@@ -1,0 +1,118 @@
+//===- bench/BenchUtil.h - Shared benchmark harness -------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the figure-regeneration binaries: run one program
+/// through the Reticle pipeline and through the baseline toolchain in both
+/// modes, and print aligned series rows. Each bench binary regenerates one
+/// figure of the paper's evaluation (Section 7); EXPERIMENTS.md records
+/// the measured series against the published shapes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_BENCH_BENCHUTIL_H
+#define RETICLE_BENCH_BENCHUTIL_H
+
+#include "core/Compiler.h"
+#include "device/Device.h"
+#include "synth/Synth.h"
+
+#include <cstdio>
+#include <string>
+
+namespace reticle {
+namespace bench {
+
+/// One toolchain run reduced to the quantities the figures plot.
+struct RunResult {
+  bool Ok = false;
+  std::string Error;
+  double CompileMs = 0.0;
+  double CriticalNs = 0.0;
+  double FmaxMhz = 0.0;
+  unsigned Luts = 0;
+  unsigned Dsps = 0;
+  unsigned Ffs = 0;
+};
+
+inline RunResult runReticle(const ir::Function &Fn,
+                            const device::Device &Dev) {
+  core::CompileOptions Options;
+  Options.Dev = Dev;
+  RunResult Out;
+  Result<core::CompileResult> R = core::compile(Fn, Options);
+  if (!R) {
+    Out.Error = R.error();
+    return Out;
+  }
+  Out.Ok = true;
+  Out.CompileMs = R.value().TotalMs;
+  Out.CriticalNs = R.value().Timing.CriticalPathNs;
+  Out.FmaxMhz = R.value().Timing.FmaxMhz;
+  Out.Luts = R.value().Util.Luts;
+  Out.Dsps = R.value().Util.Dsps;
+  Out.Ffs = R.value().Util.Ffs;
+  return Out;
+}
+
+inline RunResult runBaseline(const ir::Function &Fn, synth::Mode Mode,
+                             const device::Device &Dev) {
+  synth::SynthOptions Options;
+  Options.SynthMode = Mode;
+  Options.Dev = Dev;
+  RunResult Out;
+  Result<synth::SynthResult> R = synth::synthesize(Fn, Options);
+  if (!R) {
+    Out.Error = R.error();
+    return Out;
+  }
+  Out.Ok = true;
+  Out.CompileMs = R.value().TotalMs;
+  Out.CriticalNs = R.value().Timing.CriticalPathNs;
+  Out.FmaxMhz = R.value().Timing.FmaxMhz;
+  Out.Luts = R.value().Luts;
+  Out.Dsps = R.value().Dsps;
+  Out.Ffs = R.value().Ffs;
+  return Out;
+}
+
+/// Prints the standard four-panel comparison row for one size.
+inline void printPanelHeader(const char *Bench) {
+  std::printf("%-8s %14s %14s | %12s %12s | %8s %8s %8s | %6s %6s %6s\n",
+              "size", "compspd(base)", "compspd(hint)", "runspd(base)",
+              "runspd(hint)", "lut.base", "lut.hint", "lut.ret",
+              "dsp.bas", "dsp.hnt", "dsp.ret");
+  (void)Bench;
+}
+
+inline void printPanelRow(const std::string &Size, const RunResult &Base,
+                          const RunResult &Hint, const RunResult &Ret) {
+  std::printf(
+      "%-8s %14.1f %14.1f | %12.2f %12.2f | %8u %8u %8u | %6u %6u %6u\n",
+      Size.c_str(), Base.CompileMs / Ret.CompileMs,
+      Hint.CompileMs / Ret.CompileMs, Base.CriticalNs / Ret.CriticalNs,
+      Hint.CriticalNs / Ret.CriticalNs, Base.Luts, Hint.Luts, Ret.Luts,
+      Base.Dsps, Hint.Dsps, Ret.Dsps);
+}
+
+/// Prints the raw per-toolchain detail line (compile time, fmax).
+inline void printDetail(const std::string &Size, const char *Lang,
+                        const RunResult &R) {
+  if (!R.Ok) {
+    std::printf("  %-8s %-8s FAILED: %s\n", Size.c_str(), Lang,
+                R.Error.c_str());
+    return;
+  }
+  std::printf("  %-8s %-8s compile %9.1f ms   critical %6.2f ns   "
+              "fmax %7.1f MHz   luts %6u   dsps %4u   ffs %6u\n",
+              Size.c_str(), Lang, R.CompileMs, R.CriticalNs, R.FmaxMhz,
+              R.Luts, R.Dsps, R.Ffs);
+}
+
+} // namespace bench
+} // namespace reticle
+
+#endif // RETICLE_BENCH_BENCHUTIL_H

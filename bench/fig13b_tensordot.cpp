@@ -1,0 +1,83 @@
+//===- bench/fig13b_tensordot.cpp - Figure 13b regeneration --------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates Figure 13b (tensordot): five systolic dot-product rows over
+/// tensors of length {3, 9, 18, 36}.
+///
+/// Expected shape (paper): Reticle compiles 10-100x faster; hint applies
+/// the same cascade optimization as Reticle, so their run-times match,
+/// and both beat base (whose chains ride general routing); all three use
+/// the same DSP counts (mults always infer DSPs).
+///
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchUtil.h"
+#include "frontend/Benchmarks.h"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+using namespace reticle;
+
+int main() {
+  device::Device Dev = device::Device::xczu3eg();
+  std::printf("Figure 13b: tensordot (5 rows) on %s\n\n",
+              Dev.name().c_str());
+  bench::printPanelHeader("tensordot");
+
+  std::vector<unsigned> Sizes = {3, 9, 18, 36};
+  std::vector<bench::RunResult> Bases, Hints, Rets;
+  for (unsigned K : Sizes) {
+    ir::Function Fn = frontend::makeTensorDot(K);
+    bench::RunResult Base = bench::runBaseline(Fn, synth::Mode::Base, Dev);
+    bench::RunResult Hint = bench::runBaseline(Fn, synth::Mode::Hint, Dev);
+    bench::RunResult Ret = bench::runReticle(Fn, Dev);
+    if (!Base.Ok || !Hint.Ok || !Ret.Ok) {
+      std::printf("5x%-6u FAILED: %s%s%s\n", K, Base.Error.c_str(),
+                  Hint.Error.c_str(), Ret.Error.c_str());
+      return 1;
+    }
+    bench::printPanelRow("5x" + std::to_string(K), Base, Hint, Ret);
+    Bases.push_back(Base);
+    Hints.push_back(Hint);
+    Rets.push_back(Ret);
+  }
+  std::printf("\nPer-toolchain detail:\n");
+  for (size_t I = 0; I < Sizes.size(); ++I) {
+    std::string Size = "5x" + std::to_string(Sizes[I]);
+    bench::printDetail(Size, "base", Bases[I]);
+    bench::printDetail(Size, "hint", Hints[I]);
+    bench::printDetail(Size, "reticle", Rets[I]);
+  }
+
+  std::printf("\nShape checks (paper Figure 13b):\n");
+  bool CompileFaster = true, SameDsps = true, HintMatchesReticle = true,
+       BothBeatBase = true;
+  for (size_t I = 0; I < Sizes.size(); ++I) {
+    CompileFaster &= Rets[I].CompileMs < Bases[I].CompileMs &&
+                     Rets[I].CompileMs < Hints[I].CompileMs;
+    SameDsps &= Bases[I].Dsps == Rets[I].Dsps &&
+                Hints[I].Dsps == Rets[I].Dsps;
+    HintMatchesReticle &=
+        std::abs(Hints[I].CriticalNs - Rets[I].CriticalNs) /
+            Rets[I].CriticalNs <
+        0.35;
+    BothBeatBase &= Bases[I].CriticalNs >= Hints[I].CriticalNs - 1e-9 &&
+                    Bases[I].CriticalNs >= Rets[I].CriticalNs - 1e-9;
+  }
+  std::printf("  reticle compiles faster everywhere: %s\n",
+              CompileFaster ? "yes" : "NO");
+  std::printf("  all toolchains use equal DSP counts: %s\n",
+              SameDsps ? "yes" : "NO");
+  std::printf("  hint (cascaded) run-time tracks reticle: %s\n",
+              HintMatchesReticle ? "yes" : "NO");
+  std::printf("  base (no cascades) is never faster: %s\n",
+              BothBeatBase ? "yes" : "NO");
+  return (CompileFaster && SameDsps && HintMatchesReticle && BothBeatBase)
+             ? 0
+             : 1;
+}

@@ -1,0 +1,72 @@
+//===- bench/fig13c_fsm.cpp - Figure 13c regeneration --------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates Figure 13c (fsm): a coroutine finite state machine over
+/// {3, 5, 7, 9} states. Control logic has no DSP form, so everything maps
+/// to LUTs.
+///
+/// Expected shape (paper): this is Reticle's pathological case — the
+/// baseline's bit-level logic synthesis optimizes the mux/compare network
+/// across instruction boundaries, so the baseline's run-time is as good
+/// or better (run-time speedup <= 1) and its LUT count is lower, while
+/// Reticle still compiles much faster and uses no DSPs anywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchUtil.h"
+#include "frontend/Benchmarks.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace reticle;
+
+int main() {
+  device::Device Dev = device::Device::xczu3eg();
+  std::printf("Figure 13c: fsm on %s\n\n", Dev.name().c_str());
+  bench::printPanelHeader("fsm");
+
+  std::vector<unsigned> Sizes = {3, 5, 7, 9};
+  std::vector<bench::RunResult> Bases, Hints, Rets;
+  for (unsigned S : Sizes) {
+    ir::Function Fn = frontend::makeFsm(S);
+    bench::RunResult Base = bench::runBaseline(Fn, synth::Mode::Base, Dev);
+    bench::RunResult Hint = bench::runBaseline(Fn, synth::Mode::Hint, Dev);
+    bench::RunResult Ret = bench::runReticle(Fn, Dev);
+    if (!Base.Ok || !Hint.Ok || !Ret.Ok) {
+      std::printf("%-8u FAILED: %s%s%s\n", S, Base.Error.c_str(),
+                  Hint.Error.c_str(), Ret.Error.c_str());
+      return 1;
+    }
+    bench::printPanelRow(std::to_string(S), Base, Hint, Ret);
+    Bases.push_back(Base);
+    Hints.push_back(Hint);
+    Rets.push_back(Ret);
+  }
+  std::printf("\nPer-toolchain detail:\n");
+  for (size_t I = 0; I < Sizes.size(); ++I) {
+    std::string Size = std::to_string(Sizes[I]);
+    bench::printDetail(Size, "base", Bases[I]);
+    bench::printDetail(Size, "hint", Hints[I]);
+    bench::printDetail(Size, "reticle", Rets[I]);
+  }
+
+  std::printf("\nShape checks (paper Figure 13c):\n");
+  bool NoDsps = true, CompileFaster = true, BaselineAtLeastAsFast = true;
+  for (size_t I = 0; I < Sizes.size(); ++I) {
+    NoDsps &= Bases[I].Dsps == 0 && Hints[I].Dsps == 0 && Rets[I].Dsps == 0;
+    CompileFaster &= Rets[I].CompileMs < Bases[I].CompileMs;
+    BaselineAtLeastAsFast &=
+        Bases[I].CriticalNs <= Rets[I].CriticalNs * 1.05;
+  }
+  std::printf("  no toolchain uses DSPs (control logic): %s\n",
+              NoDsps ? "yes" : "NO");
+  std::printf("  reticle still compiles faster: %s\n",
+              CompileFaster ? "yes" : "NO");
+  std::printf("  baseline logic synthesis wins on run-time (<= 1): %s\n",
+              BaselineAtLeastAsFast ? "yes" : "NO");
+  return (NoDsps && CompileFaster && BaselineAtLeastAsFast) ? 0 : 1;
+}

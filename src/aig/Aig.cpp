@@ -1,0 +1,200 @@
+//===- aig/Aig.cpp - And-inverter graphs -----------------------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aig/Aig.h"
+
+#include <algorithm>
+
+using namespace reticle;
+using namespace reticle::aig;
+
+Aig::Aig() {
+  // Node 0: constant false.
+  Fanin0.push_back(Lit());
+  Fanin1.push_back(Lit());
+}
+
+Lit Aig::addInput(std::string Name) {
+  assert(NumAnds == 0 && "add all inputs before building logic");
+  Inputs.push_back(std::move(Name));
+  Fanin0.push_back(Lit());
+  Fanin1.push_back(Lit());
+  return Lit(static_cast<uint32_t>(Inputs.size()), false);
+}
+
+void Aig::addOutput(std::string Name, Lit L) {
+  Outputs.push_back({std::move(Name), L});
+}
+
+Lit Aig::andGate(Lit A, Lit B) {
+  // Normalize operand order for hashing.
+  if (B.code() < A.code())
+    std::swap(A, B);
+  // Constant and trivial cases.
+  if (A == Lit::constFalse() || B == Lit::constFalse() || A == ~B)
+    return Lit::constFalse();
+  if (A == Lit::constTrue())
+    return B;
+  if (B == Lit::constTrue() || A == B)
+    return A; // note: constTrue case needs A, but A<=B ordering puts
+              // constants first, so B==constTrue is unreachable; A==B
+              // returns either.
+  auto Key = std::make_pair(A.code(), B.code());
+  auto It = Strash.find(Key);
+  if (It != Strash.end())
+    return Lit(It->second, false);
+  uint32_t Node = static_cast<uint32_t>(Fanin0.size());
+  Fanin0.push_back(A);
+  Fanin1.push_back(B);
+  Strash.emplace(Key, Node);
+  ++NumAnds;
+  return Lit(Node, false);
+}
+
+Lit Aig::xorGate(Lit A, Lit B) {
+  return ~andGate(~andGate(A, ~B), ~andGate(~A, B));
+}
+
+Lit Aig::muxGate(Lit Sel, Lit T, Lit F) {
+  return ~andGate(~andGate(Sel, T), ~andGate(~Sel, F));
+}
+
+uint32_t Aig::depth() const {
+  std::vector<uint32_t> Level(Fanin0.size(), 0);
+  uint32_t Max = 0;
+  for (uint32_t Node = static_cast<uint32_t>(Inputs.size()) + 1;
+       Node < Fanin0.size(); ++Node) {
+    Level[Node] = 1 + std::max(Level[Fanin0[Node].node()],
+                               Level[Fanin1[Node].node()]);
+    Max = std::max(Max, Level[Node]);
+  }
+  return Max;
+}
+
+std::vector<uint64_t>
+Aig::simulate(const std::vector<uint64_t> &InputValues) const {
+  assert(InputValues.size() == Inputs.size() && "input count mismatch");
+  std::vector<uint64_t> Value(Fanin0.size(), 0);
+  for (size_t I = 0; I < Inputs.size(); ++I)
+    Value[I + 1] = InputValues[I];
+  auto LitValue = [&](Lit L) {
+    uint64_t V = Value[L.node()];
+    return L.complemented() ? ~V : V;
+  };
+  for (uint32_t Node = static_cast<uint32_t>(Inputs.size()) + 1;
+       Node < Fanin0.size(); ++Node)
+    Value[Node] = LitValue(Fanin0[Node]) & LitValue(Fanin1[Node]);
+  std::vector<uint64_t> Out;
+  Out.reserve(Outputs.size());
+  for (const auto &[Name, L] : Outputs)
+    Out.push_back(LitValue(L));
+  return Out;
+}
+
+// --- Word-level bit blasting -------------------------------------------------
+
+Word reticle::aig::blastConst(Aig &G, uint64_t Value, unsigned Width) {
+  Word Out;
+  for (unsigned I = 0; I < Width; ++I)
+    Out.push_back((Value >> I) & 1 ? Lit::constTrue() : Lit::constFalse());
+  return Out;
+}
+
+Word reticle::aig::blastAnd(Aig &G, const Word &A, const Word &B) {
+  assert(A.size() == B.size());
+  Word Out;
+  for (size_t I = 0; I < A.size(); ++I)
+    Out.push_back(G.andGate(A[I], B[I]));
+  return Out;
+}
+
+Word reticle::aig::blastOr(Aig &G, const Word &A, const Word &B) {
+  assert(A.size() == B.size());
+  Word Out;
+  for (size_t I = 0; I < A.size(); ++I)
+    Out.push_back(G.orGate(A[I], B[I]));
+  return Out;
+}
+
+Word reticle::aig::blastXor(Aig &G, const Word &A, const Word &B) {
+  assert(A.size() == B.size());
+  Word Out;
+  for (size_t I = 0; I < A.size(); ++I)
+    Out.push_back(G.xorGate(A[I], B[I]));
+  return Out;
+}
+
+Word reticle::aig::blastNot(Aig &G, const Word &A) {
+  Word Out;
+  for (Lit L : A)
+    Out.push_back(~L);
+  return Out;
+}
+
+Word reticle::aig::blastMux(Aig &G, Lit Sel, const Word &T, const Word &F) {
+  assert(T.size() == F.size());
+  Word Out;
+  for (size_t I = 0; I < T.size(); ++I)
+    Out.push_back(G.muxGate(Sel, T[I], F[I]));
+  return Out;
+}
+
+Word reticle::aig::blastAdd(Aig &G, const Word &A, const Word &B) {
+  assert(A.size() == B.size());
+  Word Out;
+  Lit Carry = Lit::constFalse();
+  for (size_t I = 0; I < A.size(); ++I) {
+    Lit AxB = G.xorGate(A[I], B[I]);
+    Out.push_back(G.xorGate(AxB, Carry));
+    Carry = G.orGate(G.andGate(A[I], B[I]), G.andGate(AxB, Carry));
+  }
+  return Out;
+}
+
+Word reticle::aig::blastSub(Aig &G, const Word &A, const Word &B) {
+  // a - b = a + ~b + 1.
+  assert(A.size() == B.size());
+  Word Out;
+  Lit Carry = Lit::constTrue();
+  for (size_t I = 0; I < A.size(); ++I) {
+    Lit Nb = ~B[I];
+    Lit AxB = G.xorGate(A[I], Nb);
+    Out.push_back(G.xorGate(AxB, Carry));
+    Carry = G.orGate(G.andGate(A[I], Nb), G.andGate(AxB, Carry));
+  }
+  return Out;
+}
+
+Word reticle::aig::blastMul(Aig &G, const Word &A, const Word &B) {
+  assert(A.size() == B.size());
+  size_t W = A.size();
+  Word Acc = blastConst(G, 0, static_cast<unsigned>(W));
+  for (size_t R = 0; R < W; ++R) {
+    // Partial product row R, shifted left by R and truncated to W bits.
+    Word Row = blastConst(G, 0, static_cast<unsigned>(W));
+    for (size_t K = 0; K + R < W; ++K)
+      Row[K + R] = G.andGate(A[K], B[R]);
+    Acc = blastAdd(G, Acc, Row);
+  }
+  return Acc;
+}
+
+Lit reticle::aig::blastEq(Aig &G, const Word &A, const Word &B) {
+  assert(A.size() == B.size());
+  Lit All = Lit::constTrue();
+  for (size_t I = 0; I < A.size(); ++I)
+    All = G.andGate(All, G.xnorGate(A[I], B[I]));
+  return All;
+}
+
+Lit reticle::aig::blastLtSigned(Aig &G, const Word &A, const Word &B) {
+  assert(!A.empty() && A.size() == B.size());
+  // Compute a - b and combine overflow with the sign bit:
+  // lt = (a_s ^ b_s) ? a_s : diff_s.
+  Word Diff = blastSub(G, A, B);
+  Lit As = A.back(), Bs = B.back(), Ds = Diff.back();
+  return G.muxGate(G.xorGate(As, Bs), As, Ds);
+}

@@ -1,0 +1,135 @@
+//===- aig/Aig.h - And-inverter graphs --------------------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An and-inverter graph with structural hashing, the core data structure
+/// of bit-level logic synthesis (cf. ABC [8], which the paper cites as the
+/// machinery RTL toolchains run and Reticle deliberately bypasses). The
+/// baseline "vendor" toolchain in this project bit-blasts behavioral
+/// programs into an AIG, optimizes it, and technology-maps it onto
+/// K-input LUTs (Mishchenko et al. [33]) — the expensive path whose cost
+/// Figure 13's compile-time panels measure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_AIG_AIG_H
+#define RETICLE_AIG_AIG_H
+
+#include "support/Result.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace reticle {
+namespace aig {
+
+/// An AIG literal: node id with a complement bit. Node 0 is the constant
+/// false, so literal 1 is the constant true.
+class Lit {
+public:
+  Lit() = default;
+  Lit(uint32_t Node, bool Complement)
+      : Code((Node << 1) | unsigned(Complement)) {}
+
+  static Lit constFalse() { return Lit(0, false); }
+  static Lit constTrue() { return Lit(0, true); }
+
+  uint32_t node() const { return Code >> 1; }
+  bool complemented() const { return Code & 1; }
+  uint32_t code() const { return Code; }
+
+  Lit operator~() const {
+    Lit L;
+    L.Code = Code ^ 1;
+    return L;
+  }
+  bool operator==(const Lit &Other) const = default;
+  auto operator<=>(const Lit &Other) const = default;
+
+private:
+  uint32_t Code = 0;
+};
+
+/// A combinational and-inverter graph with named inputs and outputs.
+class Aig {
+public:
+  Aig();
+
+  /// Creates a primary input.
+  Lit addInput(std::string Name);
+
+  /// Registers a named output.
+  void addOutput(std::string Name, Lit L);
+
+  /// The canonical two-input AND with constant folding, trivial-case
+  /// rewriting, and structural hashing.
+  Lit andGate(Lit A, Lit B);
+
+  // Derived gates.
+  Lit orGate(Lit A, Lit B) { return ~andGate(~A, ~B); }
+  Lit xorGate(Lit A, Lit B);
+  Lit xnorGate(Lit A, Lit B) { return ~xorGate(A, B); }
+  Lit muxGate(Lit Sel, Lit T, Lit F);
+
+  /// Number of AND nodes (excluding constants and inputs).
+  uint32_t numAnds() const { return NumAnds; }
+  uint32_t numInputs() const { return static_cast<uint32_t>(Inputs.size()); }
+  uint32_t numNodes() const { return static_cast<uint32_t>(Fanin0.size()); }
+
+  bool isInput(uint32_t Node) const {
+    return Node >= 1 && Node <= Inputs.size();
+  }
+  bool isAnd(uint32_t Node) const { return Node > Inputs.size(); }
+  Lit fanin0(uint32_t Node) const { return Fanin0[Node]; }
+  Lit fanin1(uint32_t Node) const { return Fanin1[Node]; }
+
+  const std::vector<std::string> &inputNames() const { return Inputs; }
+  const std::vector<std::pair<std::string, Lit>> &outputs() const {
+    return Outputs;
+  }
+
+  /// Logic depth of the graph (ANDs per level; inputs are level 0).
+  uint32_t depth() const;
+
+  /// 64-way parallel simulation: \p InputValues holds one 64-pattern word
+  /// per input; returns one word per output. The property tests use this
+  /// to compare an AIG against a reference function.
+  std::vector<uint64_t>
+  simulate(const std::vector<uint64_t> &InputValues) const;
+
+private:
+  // Nodes are numbered: 0 = const false, 1..N = inputs, then ANDs.
+  std::vector<Lit> Fanin0;
+  std::vector<Lit> Fanin1;
+  std::vector<std::string> Inputs;
+  std::vector<std::pair<std::string, Lit>> Outputs;
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> Strash;
+  uint32_t NumAnds = 0;
+};
+
+/// Word-level helpers for bit-blasting: a Word is a vector of literals,
+/// least-significant bit first.
+using Word = std::vector<Lit>;
+
+Word blastConst(Aig &G, uint64_t Value, unsigned Width);
+Word blastAnd(Aig &G, const Word &A, const Word &B);
+Word blastOr(Aig &G, const Word &A, const Word &B);
+Word blastXor(Aig &G, const Word &A, const Word &B);
+Word blastNot(Aig &G, const Word &A);
+Word blastMux(Aig &G, Lit Sel, const Word &T, const Word &F);
+Word blastAdd(Aig &G, const Word &A, const Word &B);
+Word blastSub(Aig &G, const Word &A, const Word &B);
+Word blastMul(Aig &G, const Word &A, const Word &B);
+Lit blastEq(Aig &G, const Word &A, const Word &B);
+/// Signed less-than.
+Lit blastLtSigned(Aig &G, const Word &A, const Word &B);
+
+} // namespace aig
+} // namespace reticle
+
+#endif // RETICLE_AIG_AIG_H

@@ -1,0 +1,169 @@
+//===- aig/Mapper.cpp - Cut-based LUT technology mapping -------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aig/Mapper.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace reticle;
+using namespace reticle::aig;
+
+namespace {
+
+struct Cut {
+  std::vector<uint32_t> Leaves; // sorted node ids
+  uint64_t Truth = 0;
+  unsigned Arrival = 0; // LUT levels through this cut
+};
+
+/// Expands \p Truth over \p From onto the superset leaf list \p To.
+uint64_t expandTruth(uint64_t Truth, const std::vector<uint32_t> &From,
+                     const std::vector<uint32_t> &To) {
+  // Position of each From leaf within To.
+  unsigned Pos[6];
+  for (size_t I = 0; I < From.size(); ++I) {
+    size_t P = std::lower_bound(To.begin(), To.end(), From[I]) - To.begin();
+    Pos[I] = static_cast<unsigned>(P);
+  }
+  uint64_t Out = 0;
+  unsigned ToBits = static_cast<unsigned>(To.size());
+  for (unsigned Minterm = 0; Minterm < (1u << ToBits); ++Minterm) {
+    unsigned FromMinterm = 0;
+    for (size_t I = 0; I < From.size(); ++I)
+      if ((Minterm >> Pos[I]) & 1)
+        FromMinterm |= 1u << I;
+    if ((Truth >> FromMinterm) & 1)
+      Out |= uint64_t(1) << Minterm;
+  }
+  return Out;
+}
+
+/// Merges two sorted leaf lists; empty result when the union exceeds \p K.
+bool mergeLeaves(const std::vector<uint32_t> &A,
+                 const std::vector<uint32_t> &B, unsigned K,
+                 std::vector<uint32_t> &Out) {
+  Out.clear();
+  size_t I = 0, J = 0;
+  while (I < A.size() || J < B.size()) {
+    uint32_t Next;
+    if (I < A.size() && (J >= B.size() || A[I] <= B[J])) {
+      Next = A[I];
+      if (J < B.size() && B[J] == Next)
+        ++J;
+      ++I;
+    } else {
+      Next = B[J++];
+    }
+    Out.push_back(Next);
+    if (Out.size() > K)
+      return false;
+  }
+  return true;
+}
+
+bool cutBetter(const Cut &A, const Cut &B) {
+  if (A.Arrival != B.Arrival)
+    return A.Arrival < B.Arrival;
+  return A.Leaves.size() < B.Leaves.size();
+}
+
+} // namespace
+
+Result<Mapping> reticle::aig::mapAig(const Aig &G, unsigned K,
+                                     unsigned CutLimit) {
+  using MappingT = Mapping;
+  if (K < 2 || K > 6)
+    return fail<MappingT>("LUT input count must be between 2 and 6");
+  uint32_t N = G.numNodes();
+  std::vector<std::vector<Cut>> Cuts(N);
+  std::vector<unsigned> Best(N, 0);
+
+  // Inputs (and the constant node) have only their trivial cut.
+  for (uint32_t Node = 1; Node <= G.numInputs(); ++Node) {
+    Cut C;
+    C.Leaves = {Node};
+    C.Truth = 0x2; // identity over one variable
+    C.Arrival = 0;
+    Cuts[Node].push_back(std::move(C));
+  }
+
+  // Forward cut enumeration over AND nodes (ids are topologically
+  // ordered by construction).
+  std::vector<uint32_t> Merged;
+  for (uint32_t Node = G.numInputs() + 1; Node < N; ++Node) {
+    Lit F0 = G.fanin0(Node);
+    Lit F1 = G.fanin1(Node);
+    std::vector<Cut> Set;
+    auto FaninCuts = [&](Lit F) -> const std::vector<Cut> & {
+      return Cuts[F.node()];
+    };
+    for (const Cut &C0 : FaninCuts(F0)) {
+      for (const Cut &C1 : FaninCuts(F1)) {
+        if (!mergeLeaves(C0.Leaves, C1.Leaves, K, Merged))
+          continue;
+        Cut C;
+        C.Leaves = Merged;
+        uint64_t T0 = expandTruth(C0.Truth, C0.Leaves, C.Leaves);
+        uint64_t T1 = expandTruth(C1.Truth, C1.Leaves, C.Leaves);
+        if (F0.complemented())
+          T0 = ~T0;
+        if (F1.complemented())
+          T1 = ~T1;
+        uint64_t Mask =
+            C.Leaves.size() == 6
+                ? ~uint64_t(0)
+                : ((uint64_t(1) << (1u << C.Leaves.size())) - 1);
+        C.Truth = (T0 & T1) & Mask;
+        unsigned Arrival = 0;
+        for (uint32_t Leaf : C.Leaves)
+          Arrival = std::max(Arrival, Best[Leaf]);
+        C.Arrival = Arrival + 1;
+        Set.push_back(std::move(C));
+      }
+    }
+    std::sort(Set.begin(), Set.end(), cutBetter);
+    if (Set.size() > CutLimit)
+      Set.resize(CutLimit);
+    // The trivial cut keeps deeper structures reachable (appended last so
+    // it never displaces a real cut).
+    Cut Trivial;
+    Trivial.Leaves = {Node};
+    Trivial.Truth = 0x2;
+    Trivial.Arrival = Set.empty() ? 1 : Set.front().Arrival;
+    Best[Node] = Set.empty() ? 1 : Set.front().Arrival;
+    Set.push_back(std::move(Trivial));
+    Cuts[Node] = std::move(Set);
+  }
+
+  // Cover extraction from the outputs.
+  Mapping Out;
+  std::set<uint32_t> Needed;
+  for (const auto &[Name, L] : G.outputs())
+    if (G.isAnd(L.node()))
+      Needed.insert(L.node());
+  std::vector<uint32_t> Work(Needed.begin(), Needed.end());
+  while (!Work.empty()) {
+    uint32_t Node = Work.back();
+    Work.pop_back();
+    if (Out.LutOfRoot.count(Node))
+      continue;
+    const Cut &C = Cuts[Node].front();
+    assert(!(C.Leaves.size() == 1 && C.Leaves[0] == Node) &&
+           "best cut of an AND node cannot be trivial");
+    MappedLut L;
+    L.Root = Node;
+    L.Leaves = C.Leaves;
+    L.Truth = C.Truth;
+    Out.LutOfRoot[Node] = Out.Luts.size();
+    Out.Luts.push_back(std::move(L));
+    for (uint32_t Leaf : C.Leaves)
+      if (G.isAnd(Leaf) && !Out.LutOfRoot.count(Leaf))
+        Work.push_back(Leaf);
+    Out.Depth = std::max(Out.Depth, Best[Node]);
+  }
+  return Out;
+}

@@ -1,0 +1,50 @@
+//===- aig/Mapper.h - Cut-based LUT technology mapping ----------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// K-feasible-cut enumeration and depth-oriented LUT mapping in the style
+/// of Mishchenko et al. [33] ("Improvements to Technology Mapping for
+/// LUT-Based FPGAs"), the algorithm family commercial synthesis runs and
+/// whose cost Reticle's coarse-grained selection avoids. Priority cuts
+/// bound the cut sets; each cut carries its truth table so the mapped
+/// netlist directly yields LUT INIT values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_AIG_MAPPER_H
+#define RETICLE_AIG_MAPPER_H
+
+#include "aig/Aig.h"
+#include "support/Result.h"
+
+#include <map>
+
+namespace reticle {
+namespace aig {
+
+/// One mapped K-input LUT rooted at an AIG node.
+struct MappedLut {
+  uint32_t Root = 0;
+  std::vector<uint32_t> Leaves; ///< AIG node ids, ordered as truth inputs
+  uint64_t Truth = 0;           ///< truth table over Leaves (K <= 6)
+};
+
+/// A mapped combinational netlist.
+struct Mapping {
+  std::vector<MappedLut> Luts;
+  std::map<uint32_t, size_t> LutOfRoot; ///< node id -> index into Luts
+  unsigned Depth = 0;                   ///< LUT levels on the longest path
+};
+
+/// Maps \p G onto \p K-input LUTs (K <= 6). \p CutLimit bounds the
+/// priority-cut set per node. Only logic reachable from the outputs is
+/// mapped.
+Result<Mapping> mapAig(const Aig &G, unsigned K = 6, unsigned CutLimit = 8);
+
+} // namespace aig
+} // namespace reticle
+
+#endif // RETICLE_AIG_MAPPER_H

@@ -1,0 +1,228 @@
+//===- anneal/Anneal.cpp - Simulated-annealing placement -------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "anneal/Anneal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <random>
+
+using namespace reticle;
+using namespace reticle::anneal;
+
+namespace {
+
+/// Half-perimeter wirelength of one net under the current placement.
+double netCost(const Net &N, const std::vector<device::Slot> &SlotOf) {
+  if (N.Cells.size() < 2)
+    return 0.0;
+  unsigned MinX = UINT32_MAX, MaxX = 0, MinY = UINT32_MAX, MaxY = 0;
+  for (size_t C : N.Cells) {
+    const device::Slot &S = SlotOf[C];
+    MinX = std::min(MinX, S.X);
+    MaxX = std::max(MaxX, S.X);
+    MinY = std::min(MinY, S.Y);
+    MaxY = std::max(MaxY, S.Y);
+  }
+  return double(MaxX - MinX) + double(MaxY - MinY);
+}
+
+} // namespace
+
+Result<AnnealResult> reticle::anneal::place(const std::vector<Cell> &Cells,
+                                            const std::vector<Net> &Nets,
+                                            const device::Device &Dev,
+                                            const AnnealOptions &Options) {
+  using ResultT = AnnealResult;
+
+  // Enumerate the slots of each kind.
+  std::map<ir::Resource, std::vector<device::Slot>> SlotsOf;
+  for (unsigned X = 0; X < Dev.numColumns(); ++X) {
+    const device::Column &Col = Dev.columns()[X];
+    for (unsigned Y = 0; Y < Col.Height; ++Y)
+      SlotsOf[Col.Kind].push_back(device::Slot{X, Y});
+  }
+  std::map<ir::Resource, size_t> Demand;
+  for (const Cell &C : Cells)
+    ++Demand[C.Kind];
+  for (auto &[Kind, Need] : Demand)
+    if (Need > SlotsOf[Kind].size())
+      return fail<ResultT>(
+          "annealing placement failed: " + std::to_string(Need) + " " +
+          ir::resourceName(Kind) + " cells exceed " +
+          std::to_string(SlotsOf[Kind].size()) + " slots on device '" +
+          Dev.name() + "'");
+
+  // Initial placement: locked cells first, then first-fit for the rest.
+  std::vector<device::Slot> SlotOf(Cells.size());
+  std::map<device::Slot, size_t> Occupant; // slot -> cell
+  for (size_t I = 0; I < Cells.size(); ++I) {
+    if (!Cells[I].Locked)
+      continue;
+    const device::Slot &S = Cells[I].Initial;
+    if (!Cells[I].HasInitial ||
+        !Dev.isValidSlot(Cells[I].Kind, S.X, S.Y))
+      return fail<ResultT>("locked cell '" + Cells[I].Name +
+                           "' has no valid slot");
+    if (!Occupant.emplace(S, I).second)
+      return fail<ResultT>("locked cells collide at slot (" +
+                           std::to_string(S.X) + ", " + std::to_string(S.Y) +
+                           ")");
+    SlotOf[I] = S;
+  }
+  {
+    std::map<ir::Resource, size_t> Cursor;
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      if (Cells[I].Locked)
+        continue;
+      const std::vector<device::Slot> &Pool = SlotsOf[Cells[I].Kind];
+      size_t &Cur = Cursor[Cells[I].Kind];
+      while (Cur < Pool.size() && Occupant.count(Pool[Cur]))
+        ++Cur;
+      if (Cur >= Pool.size())
+        return fail<ResultT>("annealing placement failed: no free slot for "
+                             "cell '" + Cells[I].Name + "'");
+      SlotOf[I] = Pool[Cur];
+      Occupant.emplace(Pool[Cur], I);
+      ++Cur;
+    }
+  }
+
+  // Net membership per cell, for incremental cost updates.
+  std::vector<std::vector<size_t>> NetsOfCell(Cells.size());
+  for (size_t N = 0; N < Nets.size(); ++N)
+    for (size_t C : Nets[N].Cells)
+      NetsOfCell[C].push_back(N);
+
+  std::vector<double> NetCostNow(Nets.size());
+  double Cost = 0.0;
+  for (size_t N = 0; N < Nets.size(); ++N) {
+    NetCostNow[N] = netCost(Nets[N], SlotOf);
+    Cost += NetCostNow[N];
+  }
+
+  AnnealResult Out;
+  Out.InitialCost = Cost;
+  std::vector<size_t> Movable;
+  for (size_t I = 0; I < Cells.size(); ++I)
+    if (!Cells[I].Locked)
+      Movable.push_back(I);
+  // Net-less designs still run the schedule: the per-pass sweep cost of a
+  // production placer does not vanish just because nothing is connected.
+  if (Movable.empty()) {
+    Out.SlotOf = std::move(SlotOf);
+    Out.FinalCost = Cost;
+    return Out;
+  }
+
+  std::mt19937_64 Rng(Options.Seed);
+  std::uniform_real_distribution<double> Unit(0.0, 1.0);
+  std::uniform_int_distribution<size_t> PickCell(0, Movable.size() - 1);
+
+  // Seed the temperature from the spread of random move deltas.
+  auto MoveDelta = [&](size_t CellIndex, const device::Slot &Target,
+                       size_t *SwapWith) -> double {
+    *SwapWith = SIZE_MAX;
+    auto It = Occupant.find(Target);
+    if (It != Occupant.end()) {
+      if (Cells[It->second].Locked)
+        return NAN; // cannot displace locked cells
+      *SwapWith = It->second;
+    }
+    device::Slot Old = SlotOf[CellIndex];
+    double Delta = 0.0;
+    std::vector<size_t> Touched = NetsOfCell[CellIndex];
+    if (*SwapWith != SIZE_MAX)
+      Touched.insert(Touched.end(), NetsOfCell[*SwapWith].begin(),
+                     NetsOfCell[*SwapWith].end());
+    std::sort(Touched.begin(), Touched.end());
+    Touched.erase(std::unique(Touched.begin(), Touched.end()),
+                  Touched.end());
+    SlotOf[CellIndex] = Target;
+    if (*SwapWith != SIZE_MAX)
+      SlotOf[*SwapWith] = Old;
+    for (size_t N : Touched)
+      Delta += netCost(Nets[N], SlotOf) - NetCostNow[N];
+    SlotOf[CellIndex] = Old;
+    if (*SwapWith != SIZE_MAX)
+      SlotOf[*SwapWith] = Target;
+    return Delta;
+  };
+  auto RandomTarget = [&](ir::Resource Kind) {
+    const std::vector<device::Slot> &Pool = SlotsOf[Kind];
+    std::uniform_int_distribution<size_t> D(0, Pool.size() - 1);
+    return Pool[D(Rng)];
+  };
+  auto Commit = [&](size_t CellIndex, const device::Slot &Target,
+                    size_t SwapWith) {
+    device::Slot Old = SlotOf[CellIndex];
+    SlotOf[CellIndex] = Target;
+    Occupant.erase(Old);
+    if (SwapWith != SIZE_MAX) {
+      SlotOf[SwapWith] = Old;
+      Occupant[Old] = SwapWith;
+    }
+    Occupant[Target] = CellIndex;
+    std::vector<size_t> Touched = NetsOfCell[CellIndex];
+    if (SwapWith != SIZE_MAX)
+      Touched.insert(Touched.end(), NetsOfCell[SwapWith].begin(),
+                     NetsOfCell[SwapWith].end());
+    std::sort(Touched.begin(), Touched.end());
+    Touched.erase(std::unique(Touched.begin(), Touched.end()),
+                  Touched.end());
+    for (size_t N : Touched) {
+      double NewCost = netCost(Nets[N], SlotOf);
+      Cost += NewCost - NetCostNow[N];
+      NetCostNow[N] = NewCost;
+    }
+  };
+
+  double SumAbs = 0.0;
+  unsigned Samples = 0;
+  for (unsigned I = 0; I < 64; ++I) {
+    size_t C = Movable[PickCell(Rng)];
+    size_t SwapWith;
+    double Delta = MoveDelta(C, RandomTarget(Cells[C].Kind), &SwapWith);
+    if (!std::isnan(Delta)) {
+      SumAbs += std::abs(Delta);
+      ++Samples;
+    }
+  }
+  double Temperature = Samples ? 4.0 * SumAbs / Samples : 1.0;
+  Temperature = std::max(Temperature, 1.0);
+
+  uint64_t MovesPerTemp = std::max<uint64_t>(
+      uint64_t(Options.MovesPerCell) * Movable.size(),
+      Options.MinMovesPerTemp);
+  while (Temperature > Options.MinTemperature) {
+    uint64_t AcceptedHere = 0;
+    for (uint64_t M = 0; M < MovesPerTemp; ++M) {
+      size_t C = Movable[PickCell(Rng)];
+      device::Slot Target = RandomTarget(Cells[C].Kind);
+      if (Target == SlotOf[C])
+        continue;
+      size_t SwapWith;
+      double Delta = MoveDelta(C, Target, &SwapWith);
+      if (std::isnan(Delta))
+        continue;
+      ++Out.Moves;
+      if (Delta <= 0.0 || Unit(Rng) < std::exp(-Delta / Temperature)) {
+        Commit(C, Target, SwapWith);
+        ++Out.Accepted;
+        ++AcceptedHere;
+      }
+    }
+    Temperature *= Options.Cooling;
+    // Quench when the design has frozen.
+    if (AcceptedHere == 0)
+      break;
+  }
+
+  Out.SlotOf = std::move(SlotOf);
+  Out.FinalCost = Cost;
+  return Out;
+}

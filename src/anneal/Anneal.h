@@ -1,0 +1,80 @@
+//===- anneal/Anneal.h - Simulated-annealing placement ----------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simulated-annealing placer in the VPR tradition, used by the baseline
+/// "vendor" toolchain. This is the expensive, randomized metaheuristic the
+/// paper contrasts with Reticle's deterministic solver-based placement
+/// (Sections 1 and 5.1): cost is half-perimeter wirelength, moves relocate
+/// or swap cells, and an adaptive temperature schedule controls
+/// acceptance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_ANNEAL_ANNEAL_H
+#define RETICLE_ANNEAL_ANNEAL_H
+
+#include "device/Device.h"
+#include "support/Result.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reticle {
+namespace anneal {
+
+/// A placeable cell occupying one slot of its resource kind.
+struct Cell {
+  std::string Name;
+  ir::Resource Kind = ir::Resource::Lut;
+  /// Locked cells keep their initial slot (used for pre-legalized DSP
+  /// cascade chains).
+  bool Locked = false;
+  /// Initial slot for locked cells; ignored otherwise.
+  device::Slot Initial;
+  bool HasInitial = false;
+};
+
+/// A multi-terminal net over cell indices.
+struct Net {
+  std::vector<size_t> Cells;
+};
+
+/// Annealer knobs; defaults give a deliberately thorough (slow) schedule.
+struct AnnealOptions {
+  uint64_t Seed = 1;
+  /// Moves per cell at each temperature (VPR uses ~10 * n^(4/3) total).
+  unsigned MovesPerCell = 40;
+  /// Floor on moves per temperature. Production placers sweep
+  /// device-sized data structures regardless of design size, so their
+  /// cost does not shrink to zero on small designs; this floor models
+  /// that fixed per-pass work. Unit tests set it to zero.
+  uint64_t MinMovesPerTemp = 20000;
+  double Cooling = 0.92;
+  double MinTemperature = 0.005;
+};
+
+struct AnnealResult {
+  std::vector<device::Slot> SlotOf; ///< one slot per cell
+  double InitialCost = 0.0;
+  double FinalCost = 0.0;
+  uint64_t Moves = 0;
+  uint64_t Accepted = 0;
+};
+
+/// Places \p Cells on \p Dev minimizing total half-perimeter wirelength of
+/// \p Nets. Fails when a resource kind is oversubscribed or a locked cell
+/// has an invalid slot.
+Result<AnnealResult> place(const std::vector<Cell> &Cells,
+                           const std::vector<Net> &Nets,
+                           const device::Device &Dev,
+                           const AnnealOptions &Options = {});
+
+} // namespace anneal
+} // namespace reticle
+
+#endif // RETICLE_ANNEAL_ANNEAL_H

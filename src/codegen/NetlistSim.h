@@ -1,0 +1,49 @@
+//===- codegen/NetlistSim.h - Gate-level netlist simulation -----*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cycle-accurate simulator for the structural Verilog this project
+/// generates. It evaluates the assigns and primitive instances
+/// (LUT1..LUT6 with INIT truth tables, CARRY8 chains, FDRE flip-flops,
+/// and the DSP48E2 configurations code generation emits) against input
+/// traces, giving the test suite a *gate-level* translation-validation
+/// oracle: for any program, the simulated netlist must match the
+/// reference interpreter cycle for cycle.
+///
+/// The expression evaluator covers the structural subset the code
+/// generator emits (references, sized literals, bit/range selects,
+/// concatenation, replication); it is not a general Verilog simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_CODEGEN_NETLISTSIM_H
+#define RETICLE_CODEGEN_NETLISTSIM_H
+
+#include "interp/Trace.h"
+#include "support/Result.h"
+#include "verilog/Ast.h"
+
+#include <map>
+#include <string>
+
+namespace reticle {
+namespace codegen {
+
+/// Simulates \p Module over \p Input. Each input step must provide a
+/// value for every input port (except the implicit clock); each output
+/// step holds all output ports as iN values of the port width (width-1
+/// ports become bool).
+///
+/// Port widths must match the values' total bit counts; values are read
+/// and produced through their flattened bit representation, so vector
+/// ports can be driven with vector-typed values directly.
+Result<interp::Trace> simulate(const verilog::Module &Module,
+                               const interp::Trace &Input);
+
+} // namespace codegen
+} // namespace reticle
+
+#endif // RETICLE_CODEGEN_NETLISTSIM_H

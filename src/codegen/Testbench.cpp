@@ -1,0 +1,111 @@
+//===- codegen/Testbench.cpp - Self-checking testbench emission ------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Testbench.h"
+
+#include <cinttypes>
+
+using namespace reticle;
+using namespace reticle::codegen;
+
+namespace {
+
+/// Renders a value as a sized hex literal over the flattened bits.
+std::string hexLiteral(const interp::Value &V) {
+  std::vector<bool> Bits = V.toBits();
+  uint64_t Word = 0;
+  // Ports wider than 64 bits never occur in practice for scalar types;
+  // render in 64-bit chunks joined by concatenation when they do.
+  if (Bits.size() <= 64) {
+    for (size_t I = 0; I < Bits.size(); ++I)
+      if (Bits[I])
+        Word |= uint64_t(1) << I;
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%" PRIx64, Word);
+    return std::to_string(Bits.size()) + "'h" + Buf;
+  }
+  std::string Out = "{";
+  for (size_t Chunk = (Bits.size() + 63) / 64; Chunk-- > 0;) {
+    size_t Lo = Chunk * 64;
+    size_t Hi = std::min(Bits.size(), Lo + 64);
+    uint64_t W = 0;
+    for (size_t I = Lo; I < Hi; ++I)
+      if (Bits[I])
+        W |= uint64_t(1) << (I - Lo);
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%" PRIx64, W);
+    Out += std::to_string(Hi - Lo) + "'h" + Buf;
+    Out += Chunk ? ", " : "}";
+  }
+  return Out;
+}
+
+} // namespace
+
+Result<std::string> reticle::codegen::emitTestbench(
+    const verilog::Module &Module, const interp::Trace &Input,
+    const interp::Trace &Expected) {
+  using OutT = std::string;
+  if (Input.size() != Expected.size())
+    return fail<OutT>("input and expected traces differ in length");
+
+  std::vector<const verilog::Port *> Inputs, Outputs;
+  for (const verilog::Port &P : Module.ports()) {
+    if (P.Name == "clock")
+      continue;
+    (P.Direction == verilog::Dir::Input ? Inputs : Outputs).push_back(&P);
+  }
+
+  std::string Out = "`timescale 1ns/1ps\n";
+  Out += "module " + Module.name() + "_tb;\n";
+  Out += "  reg clock = 0;\n";
+  Out += "  always #5 clock = ~clock;\n";
+  auto Range = [](unsigned W) {
+    return W == 0 ? std::string()
+                  : "[" + std::to_string(W - 1) + ":0] ";
+  };
+  for (const verilog::Port *P : Inputs)
+    Out += "  reg " + Range(P->Width) + P->Name + ";\n";
+  for (const verilog::Port *P : Outputs)
+    Out += "  wire " + Range(P->Width) + P->Name + ";\n";
+  Out += "  integer errors = 0;\n\n";
+  Out += "  " + Module.name() + " dut (.clock(clock)";
+  for (const verilog::Port *P : Inputs)
+    Out += ", ." + P->Name + "(" + P->Name + ")";
+  for (const verilog::Port *P : Outputs)
+    Out += ", ." + P->Name + "(" + P->Name + ")";
+  Out += ");\n\n";
+  Out += "  initial begin\n";
+  for (size_t Cycle = 0; Cycle < Input.size(); ++Cycle) {
+    for (const verilog::Port *P : Inputs) {
+      const interp::Value *V = Input.get(Cycle, P->Name);
+      if (!V)
+        return fail<OutT>("cycle " + std::to_string(Cycle) + ": input '" +
+                          P->Name + "' missing from trace");
+      Out += "    " + P->Name + " = " + hexLiteral(*V) + ";\n";
+    }
+    Out += "    #1;\n"; // settle combinational logic
+    for (const verilog::Port *P : Outputs) {
+      const interp::Value *V = Expected.get(Cycle, P->Name);
+      if (!V)
+        return fail<OutT>("cycle " + std::to_string(Cycle) +
+                          ": expected output '" + P->Name +
+                          "' missing from trace");
+      std::string Lit = hexLiteral(*V);
+      Out += "    if (" + P->Name + " !== " + Lit +
+             ") begin $display(\"cycle " + std::to_string(Cycle) + ": " +
+             P->Name + " = %h, expected " + Lit + "\", " + P->Name +
+             "); errors = errors + 1; end\n";
+    }
+    Out += "    @(posedge clock); #1;\n";
+  }
+  Out += "    if (errors == 0) $display(\"PASS\");\n";
+  Out += "    else $display(\"FAIL: %0d mismatch(es)\", errors);\n";
+  Out += "    $finish;\n";
+  Out += "  end\n";
+  Out += "endmodule\n";
+  return Out;
+}

@@ -1,0 +1,89 @@
+//===- core/Compiler.cpp - The Reticle compiler driver --------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+
+#include "tdl/Ultrascale.h"
+
+#include <chrono>
+
+using namespace reticle;
+using namespace reticle::core;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+} // namespace
+
+Result<CompileResult> reticle::core::compile(const ir::Function &Fn,
+                                             const CompileOptions &Options) {
+  using ResultT = CompileResult;
+  const tdl::Target &Target =
+      Options.Target ? *Options.Target : tdl::ultrascale();
+  CompileResult Out;
+  auto Total = std::chrono::steady_clock::now();
+
+  // Instruction selection (Section 5.1).
+  auto Start = std::chrono::steady_clock::now();
+  Result<rasm::AsmProgram> Asm =
+      isel::select(Fn, Target, &Out.SelectStats);
+  if (!Asm)
+    return fail<ResultT>(Asm.error());
+  Out.Asm = Asm.take();
+
+  // Layout optimization (Section 5.2): cascade chains are bounded by the
+  // DSP column height of the target device.
+  if (Options.Cascade) {
+    unsigned MaxChain =
+        std::max(2u, Options.Dev.maxHeight(ir::Resource::Dsp));
+    if (Status S = isel::cascadePass(Out.Asm, Target, MaxChain,
+                                     &Out.CascadeStats);
+        !S)
+      return fail<ResultT>(S.error());
+  }
+  Out.SelectMs = msSince(Start);
+
+  // Instruction placement (Section 5.3).
+  Start = std::chrono::steady_clock::now();
+  place::PlacementOptions PlaceOptions;
+  PlaceOptions.Shrink = Options.Shrink;
+  Result<rasm::AsmProgram> Placed =
+      place::place(Out.Asm, Options.Dev, PlaceOptions, &Out.PlaceStats);
+  if (!Placed)
+    return fail<ResultT>(Placed.error());
+  Out.Placed = Placed.take();
+  // Defense in depth: independently re-verify the solver's answer against
+  // the constraint system of Section 5.3 before trusting it downstream.
+  if (Status S = place::checkPlacement(Out.Asm, Out.Placed, Options.Dev);
+      !S)
+    return fail<ResultT>("internal error: invalid placement accepted: " +
+                         S.error());
+  Out.PlaceMs = msSince(Start);
+
+  // Code generation (Section 5.4).
+  Start = std::chrono::steady_clock::now();
+  Result<verilog::Module> Mod =
+      codegen::generate(Out.Placed, Target, Options.Dev, &Out.Util);
+  if (!Mod)
+    return fail<ResultT>(Mod.error());
+  Out.Verilog = Mod.take();
+  Out.CodegenMs = msSince(Start);
+
+  if (Options.Timing) {
+    Result<timing::TimingReport> Report =
+        timing::analyzeAsm(Out.Placed, Target, Options.Dev);
+    if (!Report)
+      return fail<ResultT>(Report.error());
+    Out.Timing = Report.take();
+  }
+  Out.TotalMs = msSince(Total);
+  return Out;
+}

@@ -1,0 +1,73 @@
+//===- core/Compiler.h - The Reticle compiler driver ------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end Reticle compiler (Figure 7): intermediate program ->
+/// instruction selection -> layout optimization (cascading) -> instruction
+/// placement -> structural Verilog with layout annotations. Routing and
+/// bitstream generation remain with vendor tools, exactly as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_CORE_COMPILER_H
+#define RETICLE_CORE_COMPILER_H
+
+#include "codegen/Codegen.h"
+#include "device/Device.h"
+#include "ir/Function.h"
+#include "isel/Cascade.h"
+#include "isel/Select.h"
+#include "place/Place.h"
+#include "rasm/Asm.h"
+#include "support/Result.h"
+#include "tdl/Target.h"
+#include "timing/Timing.h"
+#include "verilog/Ast.h"
+
+namespace reticle {
+namespace core {
+
+/// Pipeline configuration.
+struct CompileOptions {
+  /// Target description; null selects the built-in UltraScale-like family.
+  const tdl::Target *Target = nullptr;
+  /// Device to place for; defaults to the paper's xczu3eg.
+  device::Device Dev = device::Device::xczu3eg();
+  /// Run the cascade layout optimization (Section 5.2).
+  bool Cascade = true;
+  /// Run the placement shrinking passes (Section 5.3).
+  bool Shrink = true;
+  /// Run static timing analysis on the placed result.
+  bool Timing = true;
+};
+
+/// Everything one compilation produces, including the per-stage statistics
+/// the benchmarks report.
+struct CompileResult {
+  rasm::AsmProgram Asm;    ///< family-specific program (after cascading)
+  rasm::AsmProgram Placed; ///< device-specific program
+  verilog::Module Verilog;
+  codegen::Utilization Util;
+  timing::TimingReport Timing;
+
+  isel::SelectionStats SelectStats;
+  isel::CascadeStats CascadeStats;
+  place::PlacementStats PlaceStats;
+
+  double SelectMs = 0.0;
+  double PlaceMs = 0.0;
+  double CodegenMs = 0.0;
+  double TotalMs = 0.0;
+};
+
+/// Compiles \p Fn through the whole pipeline.
+Result<CompileResult> compile(const ir::Function &Fn,
+                              const CompileOptions &Options = {});
+
+} // namespace core
+} // namespace reticle
+
+#endif // RETICLE_CORE_COMPILER_H

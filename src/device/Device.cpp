@@ -1,0 +1,78 @@
+//===- device/Device.cpp - FPGA device models --------------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "device/Device.h"
+
+using namespace reticle;
+using namespace reticle::device;
+
+unsigned Device::numSlices(ir::Resource Kind) const {
+  unsigned Count = 0;
+  for (const Column &C : Columns)
+    if (C.Kind == Kind)
+      Count += C.Height;
+  return Count;
+}
+
+std::vector<unsigned> Device::columnsOf(ir::Resource Kind) const {
+  std::vector<unsigned> Out;
+  for (unsigned X = 0; X < Columns.size(); ++X)
+    if (Columns[X].Kind == Kind)
+      Out.push_back(X);
+  return Out;
+}
+
+unsigned Device::maxHeight(ir::Resource Kind) const {
+  unsigned Max = 0;
+  for (const Column &C : Columns)
+    if (C.Kind == Kind && C.Height > Max)
+      Max = C.Height;
+  return Max;
+}
+
+Device Device::tiny() {
+  std::vector<Column> Columns = {
+      {ir::Resource::Lut, 4},
+      {ir::Resource::Dsp, 4},
+      {ir::Resource::Lut, 4},
+  };
+  return Device("tiny", std::move(Columns));
+}
+
+Device Device::small() {
+  std::vector<Column> Columns;
+  for (unsigned I = 0; I < 2; ++I) {
+    Columns.push_back({ir::Resource::Lut, 16});
+    Columns.push_back({ir::Resource::Lut, 16});
+    Columns.push_back({ir::Resource::Dsp, 8});
+  }
+  return Device("small", std::move(Columns));
+}
+
+Device Device::stratixLike() {
+  // 30 LAB columns x 120 slices x 10 ALMs = 36000 ALMs; 2 DSP columns of
+  // 84 = 168 DSP blocks.
+  std::vector<Column> Columns;
+  for (unsigned Group = 0; Group < 2; ++Group) {
+    for (unsigned I = 0; I < 15; ++I)
+      Columns.push_back({ir::Resource::Lut, 120});
+    Columns.push_back({ir::Resource::Dsp, 84});
+  }
+  return Device("stratix-like", std::move(Columns), /*LutsPerSlice=*/10);
+}
+
+Device Device::xczu3eg() {
+  // 63 columns: a DSP column after every 20 LUT slice columns. 60 LUT
+  // columns x 148 slices x 8 LUTs = 71040 LUTs; 3 DSP columns x 120 = 360
+  // DSPs, matching the resource counts reported in Section 7.
+  std::vector<Column> Columns;
+  for (unsigned Group = 0; Group < 3; ++Group) {
+    for (unsigned I = 0; I < 20; ++I)
+      Columns.push_back({ir::Resource::Lut, 148});
+    Columns.push_back({ir::Resource::Dsp, 120});
+  }
+  return Device("xczu3eg-sbva484-1", std::move(Columns));
+}

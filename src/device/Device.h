@@ -1,0 +1,107 @@
+//===- device/Device.h - FPGA device models ---------------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-grid device models (Section 5.3). All modern FPGAs are built as
+/// columns of resources; a device is described by which columns hold DSP
+/// slices and which hold LUT slices, and how many slices each column has.
+/// Devices within one family share primitives and differ only in these
+/// counts, which is what makes assembly programs family-portable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_DEVICE_DEVICE_H
+#define RETICLE_DEVICE_DEVICE_H
+
+#include "ir/Instr.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reticle {
+namespace device {
+
+/// A physical slot on the device grid: column \p X, row \p Y within the
+/// column.
+struct Slot {
+  unsigned X = 0;
+  unsigned Y = 0;
+  auto operator<=>(const Slot &Other) const = default;
+};
+
+/// One column of same-kind slices.
+struct Column {
+  ir::Resource Kind = ir::Resource::Lut; ///< Lut or Dsp, never Any
+  unsigned Height = 0;                   ///< number of slices in the column
+};
+
+/// A concrete FPGA device: an ordered list of resource columns.
+class Device {
+public:
+  Device() = default;
+  Device(std::string Name, std::vector<Column> Columns,
+         unsigned LutsPerSlice = 8)
+      : Name(std::move(Name)), Columns(std::move(Columns)),
+        LutsPerSliceCount(LutsPerSlice) {}
+
+  const std::string &name() const { return Name; }
+  const std::vector<Column> &columns() const { return Columns; }
+  unsigned numColumns() const { return static_cast<unsigned>(Columns.size()); }
+
+  /// LUTs hosted by one LUT slice (8 on UltraScale+).
+  unsigned lutsPerSlice() const { return LutsPerSliceCount; }
+
+  /// Number of slices of \p Kind across the whole device.
+  unsigned numSlices(ir::Resource Kind) const;
+
+  /// Total LUT count (slices of LUT kind times LUTs per slice).
+  unsigned numLuts() const {
+    return numSlices(ir::Resource::Lut) * LutsPerSliceCount;
+  }
+  unsigned numDsps() const { return numSlices(ir::Resource::Dsp); }
+
+  /// True when slot (\p X, \p Y) exists and holds a slice of \p Kind.
+  bool isValidSlot(ir::Resource Kind, unsigned X, unsigned Y) const {
+    if (X >= Columns.size())
+      return false;
+    const Column &C = Columns[X];
+    return C.Kind == Kind && Y < C.Height;
+  }
+
+  /// Indices of the columns of \p Kind, in x order.
+  std::vector<unsigned> columnsOf(ir::Resource Kind) const;
+
+  /// Tallest column of \p Kind (0 when absent).
+  unsigned maxHeight(ir::Resource Kind) const;
+
+  /// A 4-slot test device: one DSP column and two LUT columns.
+  static Device tiny();
+
+  /// A small device for integration tests: 2 DSP columns of 8 and 4 LUT
+  /// columns of 16.
+  static Device small();
+
+  /// A model of the paper's evaluation target, the Xilinx
+  /// xczu3eg-sbva484-1: 360 DSPs (3 columns of 120) and 71040 LUTs
+  /// (60 slice columns of 148, 8 LUTs each).
+  static Device xczu3eg();
+
+  /// A device of the Stratix-like second family (see tdl::stratix()):
+  /// LAB columns hosting ten ALMs per slice and two DSP columns. Used by
+  /// the cross-family portability tests.
+  static Device stratixLike();
+
+private:
+  std::string Name;
+  std::vector<Column> Columns;
+  unsigned LutsPerSliceCount = 8;
+};
+
+} // namespace device
+} // namespace reticle
+
+#endif // RETICLE_DEVICE_DEVICE_H

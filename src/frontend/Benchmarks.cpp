@@ -1,0 +1,118 @@
+//===- frontend/Benchmarks.cpp - Paper benchmark generators ----------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Benchmarks.h"
+
+#include <cassert>
+
+using namespace reticle;
+using namespace reticle::frontend;
+using ir::CompOp;
+using ir::Function;
+using ir::Instr;
+using ir::Resource;
+using ir::Type;
+
+Function reticle::frontend::makeTensorAdd(unsigned Elements, bool BindDsp) {
+  assert(Elements % 4 == 0 && Elements > 0 && "element count not SIMD-able");
+  unsigned Groups = Elements / 4;
+  Function Fn("tensoradd" + std::to_string(Elements));
+  Type V = Type::makeInt(8, 4);
+  Fn.addInput("en", Type::makeBool());
+  Resource Res = BindDsp ? Resource::Dsp : Resource::Any;
+  for (unsigned G = 0; G < Groups; ++G) {
+    std::string Suffix = std::to_string(G);
+    Fn.addInput("a" + Suffix, V);
+    Fn.addInput("b" + Suffix, V);
+    Fn.addOutput("y" + Suffix, V);
+    Fn.addInstr(Instr::makeComp("t" + Suffix, V, CompOp::Add,
+                                {"a" + Suffix, "b" + Suffix}, {}, Res));
+    Fn.addInstr(Instr::makeComp("y" + Suffix, V, CompOp::Reg,
+                                {"t" + Suffix, "en"}, {0}));
+  }
+  return Fn;
+}
+
+Function reticle::frontend::makeTensorDot(unsigned K, unsigned Rows) {
+  assert(K > 0 && Rows > 0 && "degenerate dot product");
+  Function Fn("tensordot" + std::to_string(Rows) + "x" + std::to_string(K));
+  Type I8 = Type::makeInt(8);
+  Fn.addInput("en", Type::makeBool());
+  for (unsigned R = 0; R < Rows; ++R) {
+    std::string Row = std::to_string(R);
+    // A systolic row: each stage multiplies one element pair and
+    // accumulates into the running sum, registered between stages.
+    Fn.addInstr(Instr::makeWire("z" + Row, I8, ir::WireOp::Const, {0}));
+    std::string Acc = "z" + Row;
+    for (unsigned S = 0; S < K; ++S) {
+      std::string Stage = Row + "_" + std::to_string(S);
+      Fn.addInput("a" + Stage, I8);
+      Fn.addInput("b" + Stage, I8);
+      Fn.addInstr(Instr::makeComp("m" + Stage, I8, CompOp::Mul,
+                                  {"a" + Stage, "b" + Stage}));
+      Fn.addInstr(Instr::makeComp("s" + Stage, I8, CompOp::Add,
+                                  {"m" + Stage, Acc}));
+      Fn.addInstr(Instr::makeComp("p" + Stage, I8, CompOp::Reg,
+                                  {"s" + Stage, "en"}, {0}));
+      Acc = "p" + Stage;
+    }
+    Fn.addOutput(Acc, I8);
+  }
+  return Fn;
+}
+
+Function reticle::frontend::makeFsm(unsigned States) {
+  assert(States >= 2 && "a state machine needs at least two states");
+  Function Fn("fsm" + std::to_string(States));
+  Type I8 = Type::makeInt(8);
+  Type B = Type::makeBool();
+  Fn.addInput("in", I8);
+  Fn.addInput("en", B);
+  Fn.addOutput("state", I8);
+
+  // State constants and per-state thresholds on the input.
+  for (unsigned S = 0; S < States; ++S)
+    Fn.addInstr(Instr::makeWire("k" + std::to_string(S), I8,
+                                ir::WireOp::Const,
+                                {static_cast<int64_t>(S)}));
+  // The coroutine advances from state S to S+1 (mod States) when the
+  // input clears the state's threshold; otherwise it holds.
+  std::string Next = "state";
+  for (unsigned S = 0; S < States; ++S) {
+    std::string Tag = std::to_string(S);
+    Fn.addInstr(Instr::makeWire("thr" + Tag, I8, ir::WireOp::Const,
+                                {static_cast<int64_t>(3 * S + 1)}));
+    Fn.addInstr(Instr::makeComp("is" + Tag, B, CompOp::Eq,
+                                {"state", "k" + Tag}));
+    Fn.addInstr(Instr::makeComp("go" + Tag, B, CompOp::Lt,
+                                {"thr" + Tag, "in"}));
+    Fn.addInstr(Instr::makeComp("take" + Tag, B, CompOp::And,
+                                {"is" + Tag, "go" + Tag}));
+    std::string Target = "k" + std::to_string((S + 1) % States);
+    Fn.addInstr(Instr::makeComp("n" + Tag, I8, CompOp::Mux,
+                                {"take" + Tag, Target, Next}));
+    Next = "n" + Tag;
+  }
+  Fn.addInstr(Instr::makeComp("state", I8, CompOp::Reg, {Next, "en"}, {0}));
+  return Fn;
+}
+
+Function reticle::frontend::makeDspAdd(unsigned Elements) {
+  assert(Elements % 4 == 0 && Elements > 0 && "element count not SIMD-able");
+  unsigned Groups = Elements / 4;
+  Function Fn("dsp_add" + std::to_string(Elements));
+  Type V = Type::makeInt(8, 4);
+  for (unsigned G = 0; G < Groups; ++G) {
+    std::string Suffix = std::to_string(G);
+    Fn.addInput("a" + Suffix, V);
+    Fn.addInput("b" + Suffix, V);
+    Fn.addOutput("y" + Suffix, V);
+    Fn.addInstr(Instr::makeComp("y" + Suffix, V, CompOp::Add,
+                                {"a" + Suffix, "b" + Suffix}, {},
+                                Resource::Dsp));
+  }
+  return Fn;
+}

@@ -1,0 +1,60 @@
+//===- frontend/Benchmarks.h - Paper benchmark generators -------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generators for the programs the evaluation measures (Section 7.1):
+///
+///  - `tensoradd`: element-wise summation over one-dimensional tensors,
+///    pipelined with register instructions (vectorization showcase);
+///  - `tensordot`: five systolic rows computing dot products (fused
+///    operations and cascading showcase);
+///  - `fsm`: a coroutine implemented as a finite state machine
+///    (control-oriented programs, LUT-only);
+///  - `dsp_add`: Figure 3's parallel array addition, used by the Figure 4
+///    resource-utilization experiment.
+///
+/// Each generator returns one intermediate-language function. The same
+/// function feeds both toolchains: the Reticle compiler honors its vector
+/// types and resource annotations, while the baseline flow treats it the
+/// way behavioral HDL would (scalarized, hints-as-suggestions), exactly
+/// like the paper's translation backends.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_FRONTEND_BENCHMARKS_H
+#define RETICLE_FRONTEND_BENCHMARKS_H
+
+#include "ir/Function.h"
+
+namespace reticle {
+namespace frontend {
+
+/// Element-wise tensor addition over \p Elements i8 values (a multiple of
+/// four), grouped into i8<4> SIMD adds pipelined through registers.
+/// Resource annotations request DSPs when \p BindDsp is set (the paper's
+/// measured configuration) and leave the choice to the compiler
+/// otherwise.
+ir::Function makeTensorAdd(unsigned Elements, bool BindDsp = true);
+
+/// Five systolic dot-product rows over length-\p K i8 tensors: each row
+/// chains mul+add+reg stages whose accumulator flows to the next stage,
+/// the shape that selection fuses to muladdreg and the layout pass
+/// cascades.
+ir::Function makeTensorDot(unsigned K, unsigned Rows = 5);
+
+/// A coroutine-style finite state machine over \p States states: one
+/// equality comparison, guard, and mux per state plus the state register.
+/// Control logic maps only to LUTs (mux has no DSP form).
+ir::Function makeFsm(unsigned States);
+
+/// Figure 3's dsp_add: \p Elements parallel i8 additions (a multiple of
+/// four), vectorized into i8<4> groups, no pipelining.
+ir::Function makeDspAdd(unsigned Elements);
+
+} // namespace frontend
+} // namespace reticle
+
+#endif // RETICLE_FRONTEND_BENCHMARKS_H

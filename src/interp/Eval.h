@@ -1,0 +1,46 @@
+//===- interp/Eval.h - Single-instruction evaluation ------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pure evaluation of individual intermediate-language instructions over
+/// runtime values. Shared by the IR interpreter, the assembly interpreter
+/// (which executes target-description bodies), and the translation-
+/// validation property tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_INTERP_EVAL_H
+#define RETICLE_INTERP_EVAL_H
+
+#include "interp/Value.h"
+#include "ir/Instr.h"
+#include "support/Result.h"
+
+#include <vector>
+
+namespace reticle {
+namespace interp {
+
+/// Evaluates the combinational function of \p I over \p Args.
+///
+/// \p I must not be a register instruction (registers are stateful and
+/// handled by the interpreter loop). Arguments appear in instruction order
+/// and must already be type-correct.
+Result<Value> evalPure(const ir::Instr &I, const std::vector<Value> &Args);
+
+/// Computes the next state of a register instruction: returns \p Data when
+/// \p Enable is set and \p Current otherwise.
+Value evalRegNext(const Value &Current, const Value &Data,
+                  const Value &Enable);
+
+/// Builds the initial value of a register instruction from its init
+/// attribute (splatted across lanes).
+Value regInitValue(const ir::Instr &I);
+
+} // namespace interp
+} // namespace reticle
+
+#endif // RETICLE_INTERP_EVAL_H

@@ -1,0 +1,87 @@
+//===- interp/Interp.cpp - The Reticle interpreter ---------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+
+#include "interp/Eval.h"
+#include "ir/Verifier.h"
+
+#include <map>
+
+using namespace reticle;
+using namespace reticle::interp;
+using ir::Function;
+using ir::Instr;
+
+Result<Trace> reticle::interp::interpret(const Function &Fn,
+                                         const Trace &Input) {
+  // WellFormedCheck (Algorithm 1, line 2): verify and split the body into a
+  // topologically ordered pure queue P and a register queue R, seeding the
+  // environment with register initial values.
+  if (Status S = ir::verify(Fn); !S)
+    return fail<Trace>(S.error());
+  Result<std::vector<size_t>> OrderOr = ir::topoOrder(Fn);
+  if (!OrderOr)
+    return fail<Trace>(OrderOr.error());
+  const std::vector<size_t> &PureOrder = OrderOr.value();
+
+  std::vector<size_t> RegIndices;
+  std::map<std::string, Value> Env;
+  const std::vector<Instr> &Body = Fn.body();
+  for (size_t I = 0; I < Body.size(); ++I) {
+    if (!Body[I].isReg())
+      continue;
+    RegIndices.push_back(I);
+    Env[Body[I].dst()] = regInitValue(Body[I]);
+  }
+
+  Trace Output;
+  for (size_t Cycle = 0; Cycle < Input.size(); ++Cycle) {
+    // Update(env, step_in, inputs): bind every declared input.
+    for (const ir::Port &P : Fn.inputs()) {
+      const Value *V = Input.get(Cycle, P.Name);
+      if (!V)
+        return fail<Trace>("cycle " + std::to_string(Cycle) +
+                           ": input '" + P.Name + "' missing from trace");
+      if (!(V->type() == P.Ty))
+        return fail<Trace>("cycle " + std::to_string(Cycle) + ": input '" +
+                           P.Name + "' has type " + V->type().str() +
+                           ", expected " + P.Ty.str());
+      Env[P.Name] = *V;
+    }
+
+    // Eval(env, P): pure instructions in dependency order.
+    for (size_t Index : PureOrder) {
+      const Instr &I = Body[Index];
+      std::vector<Value> Args;
+      Args.reserve(I.args().size());
+      for (const std::string &Arg : I.args())
+        Args.push_back(Env.at(Arg));
+      Result<Value> V = evalPure(I, Args);
+      if (!V)
+        return fail<Trace>(V.error());
+      Env[I.dst()] = V.take();
+    }
+
+    // Step(env, outputs): snapshot declared outputs.
+    Step &Out = Output.appendStep();
+    for (const ir::Port &P : Fn.outputs())
+      Out[P.Name] = Env.at(P.Name);
+
+    // Eval(env, R): all registers update simultaneously on the clock edge,
+    // reading pre-update state.
+    std::vector<Value> NextStates;
+    NextStates.reserve(RegIndices.size());
+    for (size_t Index : RegIndices) {
+      const Instr &I = Body[Index];
+      NextStates.push_back(evalRegNext(Env.at(I.dst()), Env.at(I.args()[0]),
+                                       Env.at(I.args()[1])));
+    }
+    for (size_t K = 0; K < RegIndices.size(); ++K)
+      Env[Body[RegIndices[K]].dst()] = std::move(NextStates[K]);
+  }
+  return Output;
+}

@@ -1,0 +1,76 @@
+//===- interp/Trace.h - Input/output traces ---------------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A trace maps circuit variables to values for every clock cycle
+/// (Section 6.2). Input traces fully specify a circuit's inputs per cycle;
+/// output traces record the observed outputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_INTERP_TRACE_H
+#define RETICLE_INTERP_TRACE_H
+
+#include "interp/Value.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace reticle {
+namespace interp {
+
+/// The values present at one clock cycle.
+using Step = std::map<std::string, Value>;
+
+/// A sequence of steps, one per clock cycle.
+class Trace {
+public:
+  Trace() = default;
+
+  size_t size() const { return Steps.size(); }
+  bool empty() const { return Steps.empty(); }
+
+  Step &step(size_t Cycle) { return Steps[Cycle]; }
+  const Step &step(size_t Cycle) const { return Steps[Cycle]; }
+
+  void push(Step S) { Steps.push_back(std::move(S)); }
+
+  /// Appends a new empty step and returns it for in-place filling.
+  Step &appendStep() {
+    Steps.emplace_back();
+    return Steps.back();
+  }
+
+  /// Convenience: sets variable \p Name at cycle \p Cycle, growing the
+  /// trace as needed.
+  void set(size_t Cycle, const std::string &Name, Value V) {
+    if (Steps.size() <= Cycle)
+      Steps.resize(Cycle + 1);
+    Steps[Cycle][Name] = std::move(V);
+  }
+
+  /// Returns the value of \p Name at \p Cycle, or null when absent.
+  const Value *get(size_t Cycle, const std::string &Name) const {
+    if (Cycle >= Steps.size())
+      return nullptr;
+    auto It = Steps[Cycle].find(Name);
+    return It == Steps[Cycle].end() ? nullptr : &It->second;
+  }
+
+  std::vector<Step> &steps() { return Steps; }
+  const std::vector<Step> &steps() const { return Steps; }
+
+  bool operator==(const Trace &Other) const = default;
+
+private:
+  std::vector<Step> Steps;
+};
+
+} // namespace interp
+} // namespace reticle
+
+#endif // RETICLE_INTERP_TRACE_H

@@ -1,0 +1,81 @@
+//===- interp/Value.cpp - Runtime values ------------------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Value.h"
+
+using namespace reticle;
+using namespace reticle::interp;
+
+int64_t Value::canonicalize(int64_t Raw, unsigned Width) {
+  assert(Width >= 1 && Width <= 64 && "width out of range");
+  if (Width == 64)
+    return Raw;
+  uint64_t Mask = (uint64_t(1) << Width) - 1;
+  uint64_t Bits = static_cast<uint64_t>(Raw) & Mask;
+  uint64_t SignBit = uint64_t(1) << (Width - 1);
+  if (Bits & SignBit)
+    Bits |= ~Mask;
+  return static_cast<int64_t>(Bits);
+}
+
+Value Value::splat(ir::Type Ty, int64_t Splat) {
+  Value V;
+  V.Ty = Ty;
+  int64_t Lane = Ty.isBool() ? (Splat != 0 ? 1 : 0)
+                             : canonicalize(Splat, Ty.width());
+  V.Lanes.assign(Ty.lanes(), Lane);
+  return V;
+}
+
+Value Value::fromLanes(ir::Type Ty, std::vector<int64_t> LaneValues) {
+  assert(LaneValues.size() == Ty.lanes() && "lane count mismatch");
+  Value V;
+  V.Ty = Ty;
+  V.Lanes = std::move(LaneValues);
+  for (int64_t &Lane : V.Lanes)
+    Lane = Ty.isBool() ? (Lane != 0 ? 1 : 0) : canonicalize(Lane, Ty.width());
+  return V;
+}
+
+Value Value::makeBool(bool B) { return splat(ir::Type::makeBool(), B); }
+
+std::vector<bool> Value::toBits() const {
+  std::vector<bool> Bits;
+  Bits.reserve(Ty.totalBits());
+  for (int64_t Lane : Lanes)
+    for (unsigned B = 0; B < Ty.width(); ++B)
+      Bits.push_back((static_cast<uint64_t>(Lane) >> B) & 1);
+  return Bits;
+}
+
+Value Value::fromBits(ir::Type Ty, const std::vector<bool> &Bits) {
+  assert(Bits.size() == Ty.totalBits() && "bit count mismatch");
+  std::vector<int64_t> LaneValues;
+  LaneValues.reserve(Ty.lanes());
+  size_t Cursor = 0;
+  for (unsigned L = 0; L < Ty.lanes(); ++L) {
+    uint64_t Lane = 0;
+    for (unsigned B = 0; B < Ty.width(); ++B, ++Cursor)
+      if (Bits[Cursor])
+        Lane |= uint64_t(1) << B;
+    LaneValues.push_back(static_cast<int64_t>(Lane));
+  }
+  return fromLanes(Ty, std::move(LaneValues));
+}
+
+std::string Value::str() const {
+  if (Ty.isBool())
+    return Lanes[0] ? "true" : "false";
+  if (!Ty.isVector())
+    return std::to_string(Lanes[0]);
+  std::string Out = "[";
+  for (size_t I = 0; I < Lanes.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += std::to_string(Lanes[I]);
+  }
+  return Out + "]";
+}

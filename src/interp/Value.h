@@ -1,0 +1,87 @@
+//===- interp/Value.h - Runtime values --------------------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime values for the interpreter (Section 6.2). A value is a typed
+/// bundle of lanes; integer lanes are stored sign-extended to 64 bits so
+/// that signed arithmetic and comparisons are the native operations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_INTERP_VALUE_H
+#define RETICLE_INTERP_VALUE_H
+
+#include "ir/Type.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reticle {
+namespace interp {
+
+/// A typed runtime value: one 64-bit lane per vector lane.
+///
+/// Integer lanes are canonical (sign-extended from their width); bool lanes
+/// are 0 or 1. All constructors canonicalize.
+class Value {
+public:
+  Value() : Ty(ir::Type::makeBool()), Lanes(1, 0) {}
+
+  /// Builds a value of type \p Ty with every lane set to \p Splat.
+  static Value splat(ir::Type Ty, int64_t Splat);
+
+  /// Builds a value of type \p Ty from per-lane payloads. \p LaneValues
+  /// must have exactly Ty.lanes() entries.
+  static Value fromLanes(ir::Type Ty, std::vector<int64_t> LaneValues);
+
+  /// Builds a bool.
+  static Value makeBool(bool B);
+
+  ir::Type type() const { return Ty; }
+  unsigned lanes() const { return static_cast<unsigned>(Lanes.size()); }
+
+  int64_t lane(unsigned Index) const {
+    assert(Index < Lanes.size() && "lane index out of range");
+    return Lanes[Index];
+  }
+
+  /// Scalar accessor; the value must have exactly one lane.
+  int64_t scalar() const {
+    assert(Lanes.size() == 1 && "scalar() on a vector value");
+    return Lanes[0];
+  }
+
+  bool toBool() const {
+    assert(Ty.isBool() && "toBool() on a non-bool value");
+    return Lanes[0] != 0;
+  }
+
+  /// Flattens the value to its bit representation: lane 0 occupies the
+  /// lowest Ty.width() bits, lane 1 the next, and so on.
+  std::vector<bool> toBits() const;
+
+  /// Rebuilds a value of type \p Ty from flattened bits (inverse of
+  /// toBits()); Bits.size() must equal Ty.totalBits().
+  static Value fromBits(ir::Type Ty, const std::vector<bool> &Bits);
+
+  /// Truncates/sign-extends \p Raw to the canonical representation for an
+  /// integer of \p Width bits.
+  static int64_t canonicalize(int64_t Raw, unsigned Width);
+
+  std::string str() const;
+
+  bool operator==(const Value &Other) const = default;
+
+private:
+  ir::Type Ty;
+  std::vector<int64_t> Lanes;
+};
+
+} // namespace interp
+} // namespace reticle
+
+#endif // RETICLE_INTERP_VALUE_H

@@ -1,0 +1,52 @@
+//===- ir/Function.cpp - Intermediate-language functions -------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+
+using namespace reticle;
+using namespace reticle::ir;
+
+const Instr *Function::findDef(const std::string &Var) const {
+  for (const Instr &I : Body)
+    if (I.dst() == Var)
+      return &I;
+  return nullptr;
+}
+
+bool Function::isInput(const std::string &Var) const {
+  for (const Port &P : Inputs)
+    if (P.Name == Var)
+      return true;
+  return false;
+}
+
+Result<Type> Function::typeOf(const std::string &Var) const {
+  for (const Port &P : Inputs)
+    if (P.Name == Var)
+      return P.Ty;
+  if (const Instr *I = findDef(Var))
+    return I->type();
+  return fail<Type>("unknown variable '" + Var + "' in function '" + Name +
+                    "'");
+}
+
+std::string Function::str() const {
+  auto PortList = [](const std::vector<Port> &Ports) {
+    std::string Out = "(";
+    for (size_t I = 0; I < Ports.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Ports[I].Name + ":" + Ports[I].Ty.str();
+    }
+    return Out + ")";
+  };
+  std::string Out = "def " + Name + PortList(Inputs) + " -> " +
+                    PortList(Outputs) + " {\n";
+  for (const Instr &I : Body)
+    Out += "  " + I.str() + "\n";
+  Out += "}\n";
+  return Out;
+}

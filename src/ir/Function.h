@@ -1,0 +1,80 @@
+//===- ir/Function.h - Intermediate-language functions ----------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Reticle program is a function: a name, typed input and output ports,
+/// and a flat instruction body (Figure 5a). Instructions describe a circuit,
+/// so their textual order carries no meaning; definitions may lexically
+/// follow their uses (Figure 12b).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_IR_FUNCTION_H
+#define RETICLE_IR_FUNCTION_H
+
+#include "ir/Instr.h"
+
+#include <string>
+#include <vector>
+
+namespace reticle {
+namespace ir {
+
+/// A typed function port.
+struct Port {
+  std::string Name;
+  Type Ty;
+};
+
+/// An intermediate-language function.
+class Function {
+public:
+  Function() = default;
+  explicit Function(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  std::vector<Port> &inputs() { return Inputs; }
+  const std::vector<Port> &inputs() const { return Inputs; }
+  std::vector<Port> &outputs() { return Outputs; }
+  const std::vector<Port> &outputs() const { return Outputs; }
+  std::vector<Instr> &body() { return Body; }
+  const std::vector<Instr> &body() const { return Body; }
+
+  void addInput(std::string PortName, Type Ty) {
+    Inputs.push_back(Port{std::move(PortName), Ty});
+  }
+  void addOutput(std::string PortName, Type Ty) {
+    Outputs.push_back(Port{std::move(PortName), Ty});
+  }
+  void addInstr(Instr I) { Body.push_back(std::move(I)); }
+
+  /// Returns the instruction defining \p Var, or null when \p Var is an
+  /// input or undefined.
+  const Instr *findDef(const std::string &Var) const;
+
+  /// Returns the type of \p Var when it is an input or an instruction
+  /// result.
+  Result<Type> typeOf(const std::string &Var) const;
+
+  /// True when \p Var is a function input.
+  bool isInput(const std::string &Var) const;
+
+  /// Renders the function in surface syntax.
+  std::string str() const;
+
+private:
+  std::string Name;
+  std::vector<Port> Inputs;
+  std::vector<Port> Outputs;
+  std::vector<Instr> Body;
+};
+
+} // namespace ir
+} // namespace reticle
+
+#endif // RETICLE_IR_FUNCTION_H

@@ -1,0 +1,48 @@
+//===- ir/Instr.cpp - Intermediate-language instructions -------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instr.h"
+
+using namespace reticle;
+using namespace reticle::ir;
+
+const char *reticle::ir::resourceName(Resource Res) {
+  switch (Res) {
+  case Resource::Any:
+    return "??";
+  case Resource::Lut:
+    return "lut";
+  case Resource::Dsp:
+    return "dsp";
+  }
+  return "?";
+}
+
+std::string Instr::str() const {
+  std::string Out = Dst + ":" + DstType.str() + " = " + opName();
+  if (!Attrs.empty()) {
+    Out += "[";
+    for (size_t I = 0; I < Attrs.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += std::to_string(Attrs[I]);
+    }
+    Out += "]";
+  }
+  if (!Args.empty()) {
+    Out += "(";
+    for (size_t I = 0; I < Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Args[I];
+    }
+    Out += ")";
+  }
+  if (isComp())
+    Out += std::string(" @") + resourceName(Res);
+  Out += ";";
+  return Out;
+}

@@ -1,0 +1,121 @@
+//===- ir/Instr.h - Intermediate-language instructions ----------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instructions of the intermediate language (paper Figure 5a). Function
+/// bodies are in A-normal form: a flat list of instructions whose arguments
+/// are always variables. Every instruction produces exactly one typed value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_IR_INSTR_H
+#define RETICLE_IR_INSTR_H
+
+#include "ir/Ops.h"
+#include "ir/Type.h"
+
+#include <string>
+#include <vector>
+
+namespace reticle {
+namespace ir {
+
+/// Resource annotation on compute instructions: "@??", "@lut", or "@dsp".
+///
+/// Unlike HDL hints, these are hard constraints: the compiler rejects a
+/// program it cannot honor instead of silently ignoring the request
+/// (Section 3).
+enum class Resource : uint8_t {
+  Any, ///< the wildcard "??": the compiler chooses
+  Lut,
+  Dsp,
+};
+
+const char *resourceName(Resource Res);
+
+/// One intermediate-language instruction, either wire or compute.
+///
+/// Shared format: `dst: type = op[attrs](args) @res;` where attrs are static
+/// integers, args are variable names, and @res appears only on compute
+/// instructions.
+class Instr {
+public:
+  enum class Kind : uint8_t { Wire, Comp };
+
+  static Instr makeWire(std::string Dst, Type Ty, WireOp Op,
+                        std::vector<int64_t> Attrs = {},
+                        std::vector<std::string> Args = {}) {
+    Instr I;
+    I.InstrKind = Kind::Wire;
+    I.Dst = std::move(Dst);
+    I.DstType = Ty;
+    I.Wire = Op;
+    I.Attrs = std::move(Attrs);
+    I.Args = std::move(Args);
+    return I;
+  }
+
+  static Instr makeComp(std::string Dst, Type Ty, CompOp Op,
+                        std::vector<std::string> Args,
+                        std::vector<int64_t> Attrs = {},
+                        Resource Res = Resource::Any) {
+    Instr I;
+    I.InstrKind = Kind::Comp;
+    I.Dst = std::move(Dst);
+    I.DstType = Ty;
+    I.Comp = Op;
+    I.Attrs = std::move(Attrs);
+    I.Args = std::move(Args);
+    I.Res = Res;
+    return I;
+  }
+
+  Kind kind() const { return InstrKind; }
+  bool isWire() const { return InstrKind == Kind::Wire; }
+  bool isComp() const { return InstrKind == Kind::Comp; }
+
+  WireOp wireOp() const {
+    assert(isWire() && "not a wire instruction");
+    return Wire;
+  }
+  CompOp compOp() const {
+    assert(isComp() && "not a compute instruction");
+    return Comp;
+  }
+
+  /// True for the stateful register instruction.
+  bool isReg() const { return isComp() && Comp == CompOp::Reg; }
+
+  const std::string &dst() const { return Dst; }
+  Type type() const { return DstType; }
+  const std::vector<int64_t> &attrs() const { return Attrs; }
+  const std::vector<std::string> &args() const { return Args; }
+  Resource resource() const { return Res; }
+  void setResource(Resource R) { Res = R; }
+
+  /// The operation spelling, independent of kind.
+  std::string opName() const {
+    return isWire() ? wireOpName(Wire) : compOpName(Comp);
+  }
+
+  /// Renders the instruction in surface syntax (no trailing newline).
+  std::string str() const;
+
+private:
+  Kind InstrKind = Kind::Wire;
+  std::string Dst;
+  Type DstType;
+  WireOp Wire = WireOp::Id;
+  CompOp Comp = CompOp::Add;
+  std::vector<int64_t> Attrs;
+  std::vector<std::string> Args;
+  Resource Res = Resource::Any;
+};
+
+} // namespace ir
+} // namespace reticle
+
+#endif // RETICLE_IR_INSTR_H

@@ -1,0 +1,147 @@
+//===- ir/Ops.cpp - Intermediate-language operations -----------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Ops.h"
+
+using namespace reticle;
+using namespace reticle::ir;
+
+const char *reticle::ir::wireOpName(WireOp Op) {
+  switch (Op) {
+  case WireOp::Sll:
+    return "sll";
+  case WireOp::Srl:
+    return "srl";
+  case WireOp::Sra:
+    return "sra";
+  case WireOp::Slice:
+    return "slice";
+  case WireOp::Cat:
+    return "cat";
+  case WireOp::Id:
+    return "id";
+  case WireOp::Const:
+    return "const";
+  }
+  return "?";
+}
+
+const char *reticle::ir::compOpName(CompOp Op) {
+  switch (Op) {
+  case CompOp::Add:
+    return "add";
+  case CompOp::Sub:
+    return "sub";
+  case CompOp::Mul:
+    return "mul";
+  case CompOp::Not:
+    return "not";
+  case CompOp::And:
+    return "and";
+  case CompOp::Or:
+    return "or";
+  case CompOp::Xor:
+    return "xor";
+  case CompOp::Eq:
+    return "eq";
+  case CompOp::Neq:
+    return "neq";
+  case CompOp::Lt:
+    return "lt";
+  case CompOp::Gt:
+    return "gt";
+  case CompOp::Le:
+    return "le";
+  case CompOp::Ge:
+    return "ge";
+  case CompOp::Mux:
+    return "mux";
+  case CompOp::Reg:
+    return "reg";
+  }
+  return "?";
+}
+
+std::optional<WireOp> reticle::ir::parseWireOp(const std::string &Name) {
+  if (Name == "sll")
+    return WireOp::Sll;
+  if (Name == "srl")
+    return WireOp::Srl;
+  if (Name == "sra")
+    return WireOp::Sra;
+  if (Name == "slice")
+    return WireOp::Slice;
+  if (Name == "cat")
+    return WireOp::Cat;
+  if (Name == "id")
+    return WireOp::Id;
+  if (Name == "const")
+    return WireOp::Const;
+  return std::nullopt;
+}
+
+std::optional<CompOp> reticle::ir::parseCompOp(const std::string &Name) {
+  if (Name == "add")
+    return CompOp::Add;
+  if (Name == "sub")
+    return CompOp::Sub;
+  if (Name == "mul")
+    return CompOp::Mul;
+  if (Name == "not")
+    return CompOp::Not;
+  if (Name == "and")
+    return CompOp::And;
+  if (Name == "or")
+    return CompOp::Or;
+  if (Name == "xor")
+    return CompOp::Xor;
+  if (Name == "eq")
+    return CompOp::Eq;
+  if (Name == "neq")
+    return CompOp::Neq;
+  if (Name == "lt")
+    return CompOp::Lt;
+  if (Name == "gt")
+    return CompOp::Gt;
+  if (Name == "le")
+    return CompOp::Le;
+  if (Name == "ge")
+    return CompOp::Ge;
+  if (Name == "mux")
+    return CompOp::Mux;
+  if (Name == "reg")
+    return CompOp::Reg;
+  return std::nullopt;
+}
+
+bool reticle::ir::isCommutative(CompOp Op) {
+  switch (Op) {
+  case CompOp::Add:
+  case CompOp::Mul:
+  case CompOp::And:
+  case CompOp::Or:
+  case CompOp::Xor:
+  case CompOp::Eq:
+  case CompOp::Neq:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool reticle::ir::isComparison(CompOp Op) {
+  switch (Op) {
+  case CompOp::Eq:
+  case CompOp::Neq:
+  case CompOp::Lt:
+  case CompOp::Gt:
+  case CompOp::Le:
+  case CompOp::Ge:
+    return true;
+  default:
+    return false;
+  }
+}

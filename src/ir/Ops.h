@@ -1,0 +1,85 @@
+//===- ir/Ops.h - Intermediate-language operations --------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The intermediate instruction set of Table 1. Wire operations are
+/// area-free (wiring only); compute operations consume device resources
+/// (LUTs or DSPs) and are the unit of instruction selection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_IR_OPS_H
+#define RETICLE_IR_OPS_H
+
+#include "support/Result.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace reticle {
+namespace ir {
+
+/// Area-free wiring operations (Table 1, "Wire").
+enum class WireOp : uint8_t {
+  Sll,   ///< shift left logical by a static amount (per lane)
+  Srl,   ///< shift right logical by a static amount (per lane)
+  Sra,   ///< shift right arithmetic by a static amount (per lane)
+  Slice, ///< extract dst.totalBits() bits at a static offset
+  Cat,   ///< concatenate the flattened bits of two values
+  Id,    ///< identity / renaming
+  Const, ///< materialize a static constant from power and ground rails
+};
+
+/// Resource-consuming compute operations (Table 1, "Compute").
+enum class CompOp : uint8_t {
+  // Arithmetic.
+  Add,
+  Sub,
+  Mul,
+  // Bitwise.
+  Not,
+  And,
+  Or,
+  Xor,
+  // Comparison.
+  Eq,
+  Neq,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  // Control.
+  Mux,
+  // Memory. The only stateful instruction: updates on the clock edge when
+  // its enable is high, and is what legalizes cycles (Section 6.1).
+  Reg,
+};
+
+/// Returns the surface spelling of a wire operation.
+const char *wireOpName(WireOp Op);
+
+/// Returns the surface spelling of a compute operation.
+const char *compOpName(CompOp Op);
+
+/// Parses a wire-operation spelling; empty on failure.
+std::optional<WireOp> parseWireOp(const std::string &Name);
+
+/// Parses a compute-operation spelling; empty on failure.
+std::optional<CompOp> parseCompOp(const std::string &Name);
+
+/// True for the binary operations whose operands may be swapped without
+/// changing the result; instruction selection uses this to match patterns
+/// modulo commutativity.
+bool isCommutative(CompOp Op);
+
+/// True for comparison operations (result type is bool).
+bool isComparison(CompOp Op);
+
+} // namespace ir
+} // namespace reticle
+
+#endif // RETICLE_IR_OPS_H

@@ -1,0 +1,123 @@
+//===- ir/ParseCommon.cpp - Shared parsing helpers -------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ParseCommon.h"
+
+using namespace reticle;
+using namespace reticle::ir;
+
+std::string reticle::ir::diagAt(const Lexer &Lex, const std::string &Message) {
+  const Token &T = Lex.peek();
+  return "line " + std::to_string(T.Line) + ":" + std::to_string(T.Col) +
+         ": " + Message;
+}
+
+Status reticle::ir::expect(Lexer &Lex, TokenKind Kind) {
+  if (Lex.accept(Kind))
+    return Status::success();
+  return Status::failure(diagAt(Lex, std::string("expected ") +
+                                         tokenKindName(Kind) + ", found " +
+                                         tokenKindName(Lex.peek().Kind)));
+}
+
+Result<Type> reticle::ir::parseType(Lexer &Lex) {
+  if (!Lex.at(TokenKind::Ident))
+    return fail<Type>(diagAt(Lex, "expected a type"));
+  std::string Name = Lex.next().Text;
+  if (Name == "bool")
+    return Type::makeBool();
+  Result<Type> Base = Type::parse(Name);
+  if (!Base)
+    return fail<Type>(diagAt(Lex, Base.error()));
+  if (!Lex.accept(TokenKind::Less))
+    return Base;
+  if (!Lex.at(TokenKind::Int))
+    return fail<Type>(diagAt(Lex, "expected vector length"));
+  int64_t Lanes = Lex.next().IntValue;
+  if (Lanes < 1 || Lanes > 4096)
+    return fail<Type>(diagAt(Lex, "vector length out of range"));
+  if (Status S = expect(Lex, TokenKind::Greater); !S)
+    return fail<Type>(S.error());
+  if (Base.value().isBool())
+    return fail<Type>(diagAt(Lex, "bool cannot be a vector element type"));
+  return Type::makeInt(Base.value().width(), static_cast<unsigned>(Lanes));
+}
+
+Result<std::vector<Port>> reticle::ir::parsePortList(Lexer &Lex) {
+  using PortsT = std::vector<Port>;
+  if (Status S = expect(Lex, TokenKind::LParen); !S)
+    return fail<PortsT>(S.error());
+  PortsT Ports;
+  if (Lex.accept(TokenKind::RParen))
+    return Ports;
+  while (true) {
+    if (!Lex.at(TokenKind::Ident))
+      return fail<PortsT>(diagAt(Lex, "expected port name"));
+    std::string Name = Lex.next().Text;
+    if (Status S = expect(Lex, TokenKind::Colon); !S)
+      return fail<PortsT>(S.error());
+    Result<Type> Ty = parseType(Lex);
+    if (!Ty)
+      return fail<PortsT>(Ty.error());
+    Ports.push_back(Port{std::move(Name), Ty.value()});
+    if (Lex.accept(TokenKind::Comma))
+      continue;
+    break;
+  }
+  if (Status S = expect(Lex, TokenKind::RParen); !S)
+    return fail<PortsT>(S.error());
+  return Ports;
+}
+
+Result<std::vector<int64_t>>
+reticle::ir::parseAttrList(Lexer &Lex, bool AllowHoles,
+                           std::vector<bool> *Holes) {
+  using AttrsT = std::vector<int64_t>;
+  AttrsT Attrs;
+  if (!Lex.accept(TokenKind::LBracket))
+    return Attrs;
+  if (Lex.accept(TokenKind::RBracket))
+    return Attrs;
+  while (true) {
+    if (Lex.at(TokenKind::Int)) {
+      Attrs.push_back(Lex.next().IntValue);
+      if (Holes)
+        Holes->push_back(false);
+    } else if (AllowHoles && Lex.accept(TokenKind::Hole)) {
+      Attrs.push_back(0);
+      if (Holes)
+        Holes->push_back(true);
+    } else {
+      return fail<AttrsT>(diagAt(Lex, "expected attribute value"));
+    }
+    if (Lex.accept(TokenKind::Comma))
+      continue;
+    break;
+  }
+  if (Status S = expect(Lex, TokenKind::RBracket); !S)
+    return fail<AttrsT>(S.error());
+  return Attrs;
+}
+
+Result<std::vector<std::string>> reticle::ir::parseArgList(Lexer &Lex) {
+  using ArgsT = std::vector<std::string>;
+  ArgsT Args;
+  if (!Lex.accept(TokenKind::LParen))
+    return Args;
+  if (Lex.accept(TokenKind::RParen))
+    return Args;
+  while (true) {
+    if (!Lex.at(TokenKind::Ident))
+      return fail<ArgsT>(diagAt(Lex, "expected argument variable"));
+    Args.push_back(Lex.next().Text);
+    if (Lex.accept(TokenKind::Comma))
+      continue;
+    break;
+  }
+  if (Status S = expect(Lex, TokenKind::RParen); !S)
+    return fail<ArgsT>(S.error());
+  return Args;
+}

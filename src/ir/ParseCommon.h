@@ -1,0 +1,55 @@
+//===- ir/ParseCommon.h - Shared parsing helpers ----------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parsing helpers shared by the intermediate-language, assembly-language,
+/// and target-description parsers: types, port lists, attribute lists, and
+/// argument lists, which are spelled identically in all three dialects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_IR_PARSECOMMON_H
+#define RETICLE_IR_PARSECOMMON_H
+
+#include "ir/Function.h"
+#include "support/Lexer.h"
+#include "support/Result.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace reticle {
+namespace ir {
+
+/// Formats "line L:C: ..." for the current token of \p Lex.
+std::string diagAt(const Lexer &Lex, const std::string &Message);
+
+/// Consumes a token of kind \p Kind or produces a diagnostic.
+Status expect(Lexer &Lex, TokenKind Kind);
+
+/// Parses a type: `bool`, `iN`, or `iN<L>`.
+Result<Type> parseType(Lexer &Lex);
+
+/// Parses a parenthesized, comma-separated list of `name:type` ports. The
+/// list may be empty.
+Result<std::vector<Port>> parsePortList(Lexer &Lex);
+
+/// Parses an optional bracketed attribute list `[i, i, ...]`.
+///
+/// When \p AllowHoles is true the `_` token is accepted as an attribute
+/// hole (used by target descriptions to bind an attribute of the matched
+/// instruction); holes are recorded in \p Holes with value 0 in the
+/// attribute vector.
+Result<std::vector<int64_t>> parseAttrList(Lexer &Lex, bool AllowHoles,
+                                           std::vector<bool> *Holes);
+
+/// Parses an optional parenthesized argument list of identifiers.
+Result<std::vector<std::string>> parseArgList(Lexer &Lex);
+
+} // namespace ir
+} // namespace reticle
+
+#endif // RETICLE_IR_PARSECOMMON_H

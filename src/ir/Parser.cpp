@@ -1,0 +1,114 @@
+//===- ir/Parser.cpp - Intermediate-language parser -------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "ir/ParseCommon.h"
+#include "support/Lexer.h"
+
+using namespace reticle;
+using namespace reticle::ir;
+
+namespace {
+
+Result<Instr> parseInstr(Lexer &Lex) {
+  if (!Lex.at(TokenKind::Ident))
+    return fail<Instr>(diagAt(Lex, "expected instruction destination"));
+  std::string Dst = Lex.next().Text;
+  if (Status S = expect(Lex, TokenKind::Colon); !S)
+    return fail<Instr>(S.error());
+  Result<Type> Ty = parseType(Lex);
+  if (!Ty)
+    return fail<Instr>(Ty.error());
+  if (Status S = expect(Lex, TokenKind::Equal); !S)
+    return fail<Instr>(S.error());
+  if (!Lex.at(TokenKind::Ident))
+    return fail<Instr>(diagAt(Lex, "expected operation name"));
+  std::string OpName = Lex.next().Text;
+  Result<std::vector<int64_t>> Attrs =
+      parseAttrList(Lex, /*AllowHoles=*/false, nullptr);
+  if (!Attrs)
+    return fail<Instr>(Attrs.error());
+  Result<std::vector<std::string>> Args = parseArgList(Lex);
+  if (!Args)
+    return fail<Instr>(Args.error());
+
+  // Optional resource annotation, compute instructions only.
+  bool SawRes = false;
+  Resource Res = Resource::Any;
+  if (Lex.accept(TokenKind::At)) {
+    SawRes = true;
+    if (Lex.accept(TokenKind::Wildcard)) {
+      Res = Resource::Any;
+    } else if (Lex.atIdent("lut")) {
+      Lex.next();
+      Res = Resource::Lut;
+    } else if (Lex.atIdent("dsp")) {
+      Lex.next();
+      Res = Resource::Dsp;
+    } else {
+      return fail<Instr>(diagAt(Lex, "expected '?\?', 'lut', or 'dsp'"));
+    }
+  }
+  if (Status S = expect(Lex, TokenKind::Semi); !S)
+    return fail<Instr>(S.error());
+
+  if (std::optional<WireOp> WOp = parseWireOp(OpName)) {
+    if (SawRes)
+      return fail<Instr>("wire instruction '" + OpName +
+                         "' cannot carry a resource annotation");
+    return Instr::makeWire(std::move(Dst), Ty.value(), *WOp,
+                           Attrs.take(), Args.take());
+  }
+  if (std::optional<CompOp> COp = parseCompOp(OpName))
+    return Instr::makeComp(std::move(Dst), Ty.value(), *COp, Args.take(),
+                           Attrs.take(), Res);
+  return fail<Instr>("unknown operation '" + OpName + "'");
+}
+
+} // namespace
+
+Result<Function> reticle::ir::parseFunction(const std::string &Source) {
+  Lexer Lex(Source);
+  if (!Lex.ok())
+    return fail<Function>(Lex.error());
+
+  // Optional `def` keyword.
+  if (Lex.atIdent("def"))
+    Lex.next();
+  if (!Lex.at(TokenKind::Ident))
+    return fail<Function>(diagAt(Lex, "expected function name"));
+  Function Fn(Lex.next().Text);
+
+  Result<std::vector<Port>> Inputs = parsePortList(Lex);
+  if (!Inputs)
+    return fail<Function>(Inputs.error());
+  Fn.inputs() = Inputs.take();
+
+  if (Status S = expect(Lex, TokenKind::Arrow); !S)
+    return fail<Function>(S.error());
+
+  Result<std::vector<Port>> Outputs = parsePortList(Lex);
+  if (!Outputs)
+    return fail<Function>(Outputs.error());
+  Fn.outputs() = Outputs.take();
+  if (Fn.outputs().empty())
+    return fail<Function>("function '" + Fn.name() +
+                          "' must declare at least one output");
+
+  if (Status S = expect(Lex, TokenKind::LBrace); !S)
+    return fail<Function>(S.error());
+  while (!Lex.at(TokenKind::RBrace)) {
+    if (Lex.at(TokenKind::Eof))
+      return fail<Function>(diagAt(Lex, "unterminated function body"));
+    Result<Instr> I = parseInstr(Lex);
+    if (!I)
+      return fail<Function>(I.error());
+    Fn.addInstr(I.take());
+  }
+  Lex.next(); // consume '}'
+  return Fn;
+}

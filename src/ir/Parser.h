@@ -1,0 +1,40 @@
+//===- ir/Parser.h - Intermediate-language parser ---------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Textual front end for the intermediate language of Figure 5a.
+///
+/// Concrete syntax (the paper shows instructions only; we add a `def`
+/// function header):
+///
+/// \code
+///   def muladd(a:i8, b:i8, c:i8) -> (y:i8) {
+///     t0:i8 = mul(a, b) @??;
+///     y:i8 = add(t0, c) @dsp;
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_IR_PARSER_H
+#define RETICLE_IR_PARSER_H
+
+#include "ir/Function.h"
+#include "support/Result.h"
+
+#include <string>
+
+namespace reticle {
+namespace ir {
+
+/// Parses one function from \p Source. Parsing validates syntax only; use
+/// the Verifier for typing and well-formedness.
+Result<Function> parseFunction(const std::string &Source);
+
+} // namespace ir
+} // namespace reticle
+
+#endif // RETICLE_IR_PARSER_H

@@ -1,0 +1,55 @@
+//===- ir/Type.cpp - Reticle value types ----------------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Type.h"
+
+#include <cctype>
+
+using namespace reticle;
+using namespace reticle::ir;
+
+std::string Type::str() const {
+  if (isBool())
+    return "bool";
+  std::string Out = "i" + std::to_string(ElemWidth);
+  if (isVector())
+    Out += "<" + std::to_string(NumLanes) + ">";
+  return Out;
+}
+
+Result<Type> Type::parse(const std::string &Text) {
+  if (Text == "bool")
+    return Type::makeBool();
+  if (Text.empty() || Text[0] != 'i')
+    return fail<Type>("unknown type '" + Text + "'");
+  size_t I = 1;
+  unsigned Width = 0;
+  while (I < Text.size() && std::isdigit(static_cast<unsigned char>(Text[I]))) {
+    Width = Width * 10 + static_cast<unsigned>(Text[I] - '0');
+    if (Width > 64)
+      return fail<Type>("integer width exceeds 64 in '" + Text + "'");
+    ++I;
+  }
+  if (Width == 0)
+    return fail<Type>("unknown type '" + Text + "'");
+  unsigned Lanes = 1;
+  if (I < Text.size()) {
+    if (Text[I] != '<' || Text.back() != '>')
+      return fail<Type>("malformed vector type '" + Text + "'");
+    unsigned Value = 0;
+    for (size_t J = I + 1; J + 1 < Text.size(); ++J) {
+      if (!std::isdigit(static_cast<unsigned char>(Text[J])))
+        return fail<Type>("malformed vector type '" + Text + "'");
+      Value = Value * 10 + static_cast<unsigned>(Text[J] - '0');
+      if (Value > 4096)
+        return fail<Type>("vector length exceeds 4096 in '" + Text + "'");
+    }
+    if (Value == 0)
+      return fail<Type>("vector length must be positive in '" + Text + "'");
+    Lanes = Value;
+  }
+  return Type::makeInt(Width, Lanes);
+}

@@ -1,0 +1,86 @@
+//===- ir/Type.h - Reticle value types --------------------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Reticle type system (paper Figure 5): booleans, signed integers iN,
+/// and integer vectors iN<L>. Vector types are the lever that lets programs
+/// promote SIMD-capable hardware (DSP vectorization, Section 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_IR_TYPE_H
+#define RETICLE_IR_TYPE_H
+
+#include "support/Result.h"
+
+#include <cstdint>
+#include <string>
+
+namespace reticle {
+namespace ir {
+
+/// A Reticle value type: bool, iN, or iN<L>.
+///
+/// Integers are signed two's-complement with width 1..64. A vector type has
+/// Lanes > 1; all lanes share one element width. bool is distinct from i1 in
+/// the surface syntax but shares its single-bit representation.
+class Type {
+public:
+  enum class Kind : uint8_t { Bool, Int };
+
+  /// Default-constructs bool; prefer the named constructors.
+  Type() = default;
+
+  static Type makeBool() { return Type(); }
+
+  static Type makeInt(unsigned Width, unsigned Lanes = 1) {
+    assert(Width >= 1 && Width <= 64 && "integer width out of range");
+    assert(Lanes >= 1 && "vector must have at least one lane");
+    Type T;
+    T.TypeKind = Kind::Int;
+    T.ElemWidth = static_cast<uint8_t>(Width);
+    T.NumLanes = static_cast<uint16_t>(Lanes);
+    return T;
+  }
+
+  Kind kind() const { return TypeKind; }
+  bool isBool() const { return TypeKind == Kind::Bool; }
+  bool isInt() const { return TypeKind == Kind::Int; }
+  bool isVector() const { return NumLanes > 1; }
+
+  /// Element width in bits (1 for bool).
+  unsigned width() const { return ElemWidth; }
+
+  /// Number of lanes (1 for scalars and bool).
+  unsigned lanes() const { return NumLanes; }
+
+  /// Total bit count across all lanes; the unit wire instructions operate
+  /// on (slice/cat reinterpret flattened bits).
+  unsigned totalBits() const { return ElemWidth * NumLanes; }
+
+  /// The scalar type of one lane.
+  Type scalar() const {
+    return isBool() ? makeBool() : makeInt(ElemWidth, 1);
+  }
+
+  /// Renders the surface syntax: "bool", "i8", "i8<4>".
+  std::string str() const;
+
+  /// Parses the surface syntax accepted by str().
+  static Result<Type> parse(const std::string &Text);
+
+  bool operator==(const Type &Other) const = default;
+
+private:
+  Kind TypeKind = Kind::Bool;
+  uint8_t ElemWidth = 1;
+  uint16_t NumLanes = 1;
+};
+
+} // namespace ir
+} // namespace reticle
+
+#endif // RETICLE_IR_TYPE_H

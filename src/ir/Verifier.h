@@ -1,0 +1,42 @@
+//===- ir/Verifier.h - Typing and well-formedness ---------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks that a function is well formed (Section 6.1): names resolve,
+/// instructions are well typed, and the dependency graph is acyclic once
+/// register instructions are removed. Unlike traditional HDL tools, which
+/// silently propagate x-values through combinational loops, Reticle rejects
+/// such programs ahead of time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_IR_VERIFIER_H
+#define RETICLE_IR_VERIFIER_H
+
+#include "ir/Function.h"
+#include "support/Result.h"
+
+#include <vector>
+
+namespace reticle {
+namespace ir {
+
+/// Verifies naming, typing, and acyclicity of \p Fn.
+Status verify(const Function &Fn);
+
+/// Computes a topological order of the non-register instructions of \p Fn
+/// (indices into the body). Register instructions are excluded from the
+/// graph per Section 6.1, which is what legalizes feedback through state.
+/// Fails when a combinational (register-free) cycle exists.
+Result<std::vector<size_t>> topoOrder(const Function &Fn);
+
+/// Type-checks a single instruction in the context of \p Fn.
+Status checkInstr(const Function &Fn, const Instr &I);
+
+} // namespace ir
+} // namespace reticle
+
+#endif // RETICLE_IR_VERIFIER_H

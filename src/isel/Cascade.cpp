@@ -1,0 +1,152 @@
+//===- isel/Cascade.cpp - DSP cascade layout optimization ----------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isel/Cascade.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+using namespace reticle;
+using namespace reticle::isel;
+
+namespace {
+
+/// The accumulator ("c") operand position of the muladd family.
+constexpr size_t AccumIndex = 2;
+
+bool isCascadeHead(const std::string &OpName) {
+  return OpName == "muladd" || OpName == "muladdreg";
+}
+
+/// True when the instruction may join a cascade chain: a DSP muladd-family
+/// operation whose placement is still entirely unconstrained.
+bool isChainable(const rasm::AsmInstr &I) {
+  if (I.isWire() || !isCascadeHead(I.opName()))
+    return false;
+  return I.loc().Prim == ir::Resource::Dsp && I.loc().X.isWild() &&
+         I.loc().Y.isWild();
+}
+
+} // namespace
+
+Status reticle::isel::cascadePass(rasm::AsmProgram &Prog,
+                                  const tdl::Target &Target,
+                                  unsigned MaxChain, CascadeStats *Stats) {
+  if (MaxChain < 2)
+    return Status::success();
+  std::vector<rasm::AsmInstr> &Body = Prog.body();
+
+  // Where is each value defined, and how often is it used?
+  std::map<std::string, size_t> DefIndex;
+  std::map<std::string, unsigned> UseCount;
+  for (size_t I = 0; I < Body.size(); ++I)
+    DefIndex[Body[I].dst()] = I;
+  for (const rasm::AsmInstr &I : Body)
+    for (const std::string &Arg : I.args())
+      ++UseCount[Arg];
+  for (const ir::Port &P : Prog.outputs())
+    ++UseCount[P.Name];
+
+  // next(i): the chainable instruction consuming i's result in its
+  // accumulator port, when that result has no other use.
+  auto Next = [&](size_t I) -> std::optional<size_t> {
+    const std::string &Dst = Body[I].dst();
+    if (UseCount[Dst] != 1)
+      return std::nullopt;
+    for (size_t J = 0; J < Body.size(); ++J) {
+      if (J == I || !isChainable(Body[J]))
+        continue;
+      if (Body[J].args().size() > AccumIndex &&
+          Body[J].args()[AccumIndex] == Dst)
+        return J;
+    }
+    return std::nullopt;
+  };
+
+  // A chain head is a chainable instruction not fed (in its accumulator)
+  // by another chainable instruction with single use.
+  auto HasChainablePredecessor = [&](size_t I) {
+    const std::string &Accum = Body[I].args()[AccumIndex];
+    auto It = DefIndex.find(Accum);
+    if (It == DefIndex.end() || !isChainable(Body[It->second]))
+      return false;
+    return UseCount[Accum] == 1;
+  };
+
+  unsigned FreshVar = 0;
+  for (size_t Head = 0; Head < Body.size(); ++Head) {
+    if (!isChainable(Body[Head]) || HasChainablePredecessor(Head))
+      continue;
+    // Collect the maximal chain from this head.
+    std::vector<size_t> Chain = {Head};
+    while (auto NextIndex = Next(Chain.back()))
+      Chain.push_back(*NextIndex);
+    if (Chain.size() < 2)
+      continue;
+
+    // Split overlong chains into placeable segments.
+    for (size_t SegStart = 0; SegStart < Chain.size(); SegStart += MaxChain) {
+      size_t SegLen = std::min<size_t>(MaxChain, Chain.size() - SegStart);
+      if (SegLen < 2)
+        break;
+      // Verify that all cascade variants resolve on this target before
+      // mutating anything.
+      bool AllResolve = true;
+      std::vector<std::string> NewNames(SegLen);
+      for (size_t K = 0; K < SegLen; ++K) {
+        const rasm::AsmInstr &I = Body[Chain[SegStart + K]];
+        const char *Suffix =
+            K == 0 ? "_co" : (K + 1 == SegLen ? "_ci" : "_cio");
+        NewNames[K] = I.opName() + Suffix;
+        std::vector<ir::Type> ArgTypes;
+        bool TypesOk = true;
+        for (const std::string &Arg : I.args()) {
+          auto It = DefIndex.find(Arg);
+          if (It != DefIndex.end()) {
+            ArgTypes.push_back(Body[It->second].type());
+            continue;
+          }
+          bool IsInput = false;
+          for (const ir::Port &P : Prog.inputs())
+            if (P.Name == Arg) {
+              ArgTypes.push_back(P.Ty);
+              IsInput = true;
+              break;
+            }
+          if (!IsInput) {
+            TypesOk = false;
+            break;
+          }
+        }
+        if (!TypesOk ||
+            !Target.resolve(NewNames[K], ir::Resource::Dsp, ArgTypes,
+                            I.type())) {
+          AllResolve = false;
+          break;
+        }
+      }
+      if (!AllResolve)
+        continue; // leave this segment on general routing
+
+      std::string XVar = "cx" + std::to_string(FreshVar);
+      std::string YVar = "cy" + std::to_string(FreshVar);
+      ++FreshVar;
+      for (size_t K = 0; K < SegLen; ++K) {
+        rasm::AsmInstr &I = Body[Chain[SegStart + K]];
+        rasm::Loc NewLoc{ir::Resource::Dsp, rasm::Coord::var(XVar),
+                         rasm::Coord::var(YVar, static_cast<int64_t>(K))};
+        I = rasm::AsmInstr::makeOp(I.dst(), I.type(), NewNames[K], I.args(),
+                                   std::move(NewLoc), I.attrs());
+        if (Stats)
+          ++Stats->Rewritten;
+      }
+      if (Stats)
+        ++Stats->Chains;
+    }
+  }
+  return Status::success();
+}

@@ -1,0 +1,64 @@
+//===- isel/Dfg.cpp - Dataflow graph and tree partitioning ---------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isel/Dfg.h"
+
+#include "ir/Verifier.h"
+
+#include <set>
+
+using namespace reticle;
+using namespace reticle::isel;
+
+Result<Dfg> Dfg::build(const ir::Function &Fn) {
+  if (Status S = ir::verify(Fn); !S)
+    return fail<Dfg>(S.error());
+
+  Dfg G;
+  G.Fn = &Fn;
+  for (const ir::Port &P : Fn.inputs()) {
+    DfgNode N;
+    N.NodeKind = DfgNode::Kind::Input;
+    N.Name = P.Name;
+    G.ByName[P.Name] = G.Nodes.size();
+    G.Nodes.push_back(std::move(N));
+  }
+  for (size_t I = 0; I < Fn.body().size(); ++I) {
+    DfgNode N;
+    N.NodeKind = DfgNode::Kind::Instr;
+    N.BodyIndex = I;
+    N.Name = Fn.body()[I].dst();
+    G.ByName[N.Name] = G.Nodes.size();
+    G.Nodes.push_back(std::move(N));
+  }
+  for (size_t Id = 0; Id < G.Nodes.size(); ++Id) {
+    if (G.Nodes[Id].NodeKind != DfgNode::Kind::Instr)
+      continue;
+    for (const std::string &Arg : G.instrOf(Id).args()) {
+      size_t Operand = G.ByName.at(Arg);
+      G.Nodes[Id].Operands.push_back(Operand);
+      G.Nodes[Operand].Users.push_back(Id);
+    }
+  }
+
+  std::set<std::string> OutputNames;
+  for (const ir::Port &P : Fn.outputs())
+    OutputNames.insert(P.Name);
+
+  for (size_t Id = 0; Id < G.Nodes.size(); ++Id) {
+    DfgNode &N = G.Nodes[Id];
+    if (N.NodeKind != DfgNode::Kind::Instr || !G.isComp(Id))
+      continue;
+    const ir::Instr &I = G.instrOf(Id);
+    bool Root = OutputNames.count(N.Name) || I.isReg() ||
+                N.Users.size() != 1 ||
+                (N.Users.size() == 1 && G.isWire(N.Users[0]));
+    N.IsRoot = Root;
+    if (Root)
+      G.Roots.push_back(Id);
+  }
+  return G;
+}

@@ -1,0 +1,322 @@
+//===- opt/Transforms.cpp - Front-end optimization passes -------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Transforms.h"
+
+#include "interp/Eval.h"
+
+#include <map>
+#include <set>
+
+using namespace reticle;
+using namespace reticle::opt;
+using ir::CompOp;
+using ir::Function;
+using ir::Instr;
+using ir::Type;
+using ir::WireOp;
+
+unsigned reticle::opt::deadCodeElim(Function &Fn) {
+  std::map<std::string, size_t> DefIndex;
+  for (size_t I = 0; I < Fn.body().size(); ++I)
+    DefIndex[Fn.body()[I].dst()] = I;
+
+  // Backwards reachability from the outputs.
+  std::set<size_t> Live;
+  std::vector<size_t> Work;
+  for (const ir::Port &P : Fn.outputs()) {
+    auto It = DefIndex.find(P.Name);
+    if (It != DefIndex.end() && Live.insert(It->second).second)
+      Work.push_back(It->second);
+  }
+  while (!Work.empty()) {
+    size_t I = Work.back();
+    Work.pop_back();
+    for (const std::string &Arg : Fn.body()[I].args()) {
+      auto It = DefIndex.find(Arg);
+      if (It != DefIndex.end() && Live.insert(It->second).second)
+        Work.push_back(It->second);
+    }
+  }
+
+  std::vector<Instr> Kept;
+  Kept.reserve(Fn.body().size());
+  unsigned Removed = 0;
+  for (size_t I = 0; I < Fn.body().size(); ++I) {
+    if (Live.count(I))
+      Kept.push_back(std::move(Fn.body()[I]));
+    else
+      ++Removed;
+  }
+  Fn.body() = std::move(Kept);
+  return Removed;
+}
+
+unsigned reticle::opt::constantFold(Function &Fn) {
+  // Constant values discovered so far, by variable name.
+  std::map<std::string, interp::Value> Consts;
+  std::map<std::string, size_t> DefIndex;
+  for (size_t I = 0; I < Fn.body().size(); ++I)
+    DefIndex[Fn.body()[I].dst()] = I;
+
+  auto MakeConst = [](const Instr &I, const interp::Value &V) {
+    std::vector<int64_t> Attrs;
+    for (unsigned L = 0; L < V.lanes(); ++L)
+      Attrs.push_back(V.lane(L));
+    return Instr::makeWire(I.dst(), I.type(), WireOp::Const,
+                           std::move(Attrs));
+  };
+
+  unsigned Rewritten = 0;
+  // Instructions are a circuit, but constants only propagate forward
+  // through pure ops; iterate to a fixed point over the body order.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (Instr &I : Fn.body()) {
+      if (I.isWire() && I.wireOp() == WireOp::Const) {
+        if (!Consts.count(I.dst())) {
+          Result<interp::Value> V = interp::evalPure(I, {});
+          if (V)
+            Consts.emplace(I.dst(), V.take());
+        }
+        continue;
+      }
+      if (I.isReg())
+        continue;
+      // All-constant operands: evaluate.
+      std::vector<interp::Value> Args;
+      bool AllConst = true;
+      for (const std::string &Arg : I.args()) {
+        auto It = Consts.find(Arg);
+        if (It == Consts.end()) {
+          AllConst = false;
+          break;
+        }
+        Args.push_back(It->second);
+      }
+      if (AllConst && !I.args().empty()) {
+        Result<interp::Value> V = interp::evalPure(I, Args);
+        if (V) {
+          Consts.emplace(I.dst(), V.value());
+          I = MakeConst(I, V.value());
+          ++Rewritten;
+          Changed = true;
+          continue;
+        }
+      }
+      // Algebraic identities with one constant operand.
+      if (!I.isComp() || I.args().size() < 2)
+        continue;
+      auto ConstOf =
+          [&](size_t K) -> const interp::Value * {
+        auto It = Consts.find(I.args()[K]);
+        return It == Consts.end() ? nullptr : &It->second;
+      };
+      auto IsZero = [](const interp::Value &V) {
+        for (unsigned L = 0; L < V.lanes(); ++L)
+          if (V.lane(L) != 0)
+            return false;
+        return true;
+      };
+      auto IsOne = [](const interp::Value &V) {
+        for (unsigned L = 0; L < V.lanes(); ++L)
+          if (V.lane(L) != 1)
+            return false;
+        return true;
+      };
+      auto ToId = [&](const std::string &Keep) {
+        I = Instr::makeWire(I.dst(), I.type(), WireOp::Id, {}, {Keep});
+        ++Rewritten;
+        Changed = true;
+      };
+      switch (I.compOp()) {
+      case CompOp::Add:
+        if (const interp::Value *V = ConstOf(0); V && IsZero(*V))
+          ToId(I.args()[1]);
+        else if (const interp::Value *V1 = ConstOf(1); V1 && IsZero(*V1))
+          ToId(I.args()[0]);
+        break;
+      case CompOp::Sub:
+        if (const interp::Value *V = ConstOf(1); V && IsZero(*V))
+          ToId(I.args()[0]);
+        break;
+      case CompOp::Mul: {
+        const interp::Value *V0 = ConstOf(0);
+        const interp::Value *V1 = ConstOf(1);
+        if ((V0 && IsZero(*V0)) || (V1 && IsZero(*V1))) {
+          I = Instr::makeWire(I.dst(), I.type(), WireOp::Const, {0});
+          Consts.emplace(I.dst(),
+                         interp::Value::splat(I.type(), 0));
+          ++Rewritten;
+          Changed = true;
+        } else if (V0 && IsOne(*V0)) {
+          ToId(I.args()[1]);
+        } else if (V1 && IsOne(*V1)) {
+          ToId(I.args()[0]);
+        }
+        break;
+      }
+      case CompOp::Mux:
+        if (const interp::Value *V = ConstOf(0))
+          ToId(V->toBool() ? I.args()[1] : I.args()[2]);
+        break;
+      default:
+        break;
+      }
+    }
+  }
+  return Rewritten;
+}
+
+unsigned reticle::opt::vectorize(Function &Fn, unsigned Lanes) {
+  assert(Lanes >= 2 && (Lanes & (Lanes - 1)) == 0 &&
+         "lane count must be a power of two of at least two");
+  const std::vector<Instr> &Body = Fn.body();
+  std::map<std::string, size_t> DefIndex;
+  for (size_t I = 0; I < Body.size(); ++I)
+    DefIndex[Body[I].dst()] = I;
+
+  // Transitive dependency sets over body indices (for independence).
+  std::vector<std::set<size_t>> Deps(Body.size());
+  // Body order is arbitrary; iterate to a fixed point (registers bound
+  // the iteration count, and benchmark-shaped programs converge fast).
+  bool Grew = true;
+  while (Grew) {
+    Grew = false;
+    for (size_t I = 0; I < Body.size(); ++I) {
+      if (Body[I].isReg())
+        continue; // state breaks timing dependence
+      for (const std::string &Arg : Body[I].args()) {
+        auto It = DefIndex.find(Arg);
+        if (It == DefIndex.end())
+          continue;
+        size_t D = It->second;
+        if (Deps[I].insert(D).second)
+          Grew = true;
+        size_t Before = Deps[I].size();
+        Deps[I].insert(Deps[D].begin(), Deps[D].end());
+        if (Deps[I].size() != Before)
+          Grew = true;
+      }
+    }
+  }
+
+  /// Grouping key: op kind, scalar type, resource, and for registers the
+  /// enable variable and init value.
+  auto KeyOf = [&](const Instr &I) -> std::string {
+    if (!I.isComp() || I.type().isVector() || !I.type().isInt())
+      return "";
+    switch (I.compOp()) {
+    case CompOp::Add:
+    case CompOp::Sub:
+    case CompOp::And:
+    case CompOp::Or:
+    case CompOp::Xor:
+      break;
+    case CompOp::Reg:
+      return std::string("reg/") + I.type().str() + "/" + I.args()[1] +
+             "/" + std::to_string(I.attrs()[0]) + "/" +
+             ir::resourceName(I.resource());
+    default:
+      return "";
+    }
+    return std::string(ir::compOpName(I.compOp())) + "/" + I.type().str() +
+           "/" + ir::resourceName(I.resource());
+  };
+
+  // Greedy grouping in body order.
+  std::vector<std::vector<size_t>> Groups;
+  std::map<std::string, std::vector<size_t>> Open;
+  std::set<size_t> Grouped;
+  for (size_t I = 0; I < Body.size(); ++I) {
+    std::string Key = KeyOf(Body[I]);
+    if (Key.empty())
+      continue;
+    std::vector<size_t> &Group = Open[Key];
+    bool Independent = true;
+    for (size_t Member : Group)
+      if (Deps[I].count(Member) || Deps[Member].count(I)) {
+        Independent = false;
+        break;
+      }
+    if (!Independent)
+      continue;
+    Group.push_back(I);
+    if (Group.size() == Lanes) {
+      Groups.push_back(Group);
+      for (size_t Member : Group)
+        Grouped.insert(Member);
+      Group.clear();
+    }
+  }
+  if (Groups.empty())
+    return 0;
+
+  // Rewrite: emit cat trees for each operand, the vector instruction, and
+  // per-lane slices that take over the original destination names.
+  unsigned Fresh = 0;
+  std::vector<Instr> NewBody;
+  std::map<size_t, size_t> GroupOfHead; // first member -> group index
+  for (size_t G = 0; G < Groups.size(); ++G)
+    GroupOfHead[Groups[G][0]] = G;
+
+  auto FreshName = [&] { return "vec" + std::to_string(Fresh++); };
+  auto EmitCatTree = [&](const std::vector<std::string> &Parts,
+                         Type Scalar) {
+    // Pairwise cat to build i<W> -> iW<2> -> iW<4> ... vectors.
+    std::vector<std::string> Level = Parts;
+    unsigned LaneCount = 1;
+    while (Level.size() > 1) {
+      std::vector<std::string> Next;
+      LaneCount *= 2;
+      for (size_t K = 0; K + 1 < Level.size(); K += 2) {
+        std::string Name = FreshName();
+        Type Ty = Type::makeInt(Scalar.width(), LaneCount);
+        NewBody.push_back(Instr::makeWire(Name, Ty, WireOp::Cat, {},
+                                          {Level[K], Level[K + 1]}));
+        Next.push_back(Name);
+      }
+      Level = std::move(Next);
+    }
+    return Level[0];
+  };
+
+  for (size_t I = 0; I < Body.size(); ++I) {
+    if (Grouped.count(I) && !GroupOfHead.count(I))
+      continue; // emitted with its group head
+    if (!GroupOfHead.count(I)) {
+      NewBody.push_back(Body[I]);
+      continue;
+    }
+    const std::vector<size_t> &Group = Groups[GroupOfHead.at(I)];
+    const Instr &Head = Body[Group[0]];
+    Type Scalar = Head.type();
+    Type VecTy = Type::makeInt(Scalar.width(), Lanes);
+    bool IsReg = Head.isReg();
+    size_t ValueArgs = IsReg ? 1 : Head.args().size();
+
+    std::vector<std::string> VecArgs;
+    for (size_t A = 0; A < ValueArgs; ++A) {
+      std::vector<std::string> Parts;
+      for (size_t Member : Group)
+        Parts.push_back(Body[Member].args()[A]);
+      VecArgs.push_back(EmitCatTree(Parts, Scalar));
+    }
+    if (IsReg)
+      VecArgs.push_back(Head.args()[1]); // shared enable
+    std::string VecDst = FreshName();
+    NewBody.push_back(Instr::makeComp(VecDst, VecTy, Head.compOp(),
+                                      std::move(VecArgs), Head.attrs(),
+                                      Head.resource()));
+    for (size_t L = 0; L < Group.size(); ++L)
+      NewBody.push_back(Instr::makeWire(
+          Body[Group[L]].dst(), Scalar, WireOp::Slice,
+          {static_cast<int64_t>(L * Scalar.width())}, {VecDst}));
+  }
+  Fn.body() = std::move(NewBody);
+  return static_cast<unsigned>(Groups.size());
+}

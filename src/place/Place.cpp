@@ -1,0 +1,560 @@
+//===- place/Place.cpp - Instruction placement ----------------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "place/Place.h"
+
+#include "sat/Solver.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+using namespace reticle;
+using namespace reticle::place;
+using rasm::AsmInstr;
+using rasm::AsmProgram;
+using rasm::Coord;
+
+namespace {
+
+/// One placeable instruction with normalized coordinate expressions.
+struct Member {
+  size_t BodyIndex = 0;
+  Coord X;
+  Coord Y;
+};
+
+/// A rigid group of instructions related by shared coordinate variables.
+struct Cluster {
+  ir::Resource Prim = ir::Resource::Lut;
+  std::optional<std::string> XVar;
+  std::optional<std::string> YVar;
+  std::vector<Member> Members;
+  /// True when every member coordinate is a literal; such clusters are
+  /// pre-placed and only contribute occupancy.
+  bool isFixed() const { return !XVar && !YVar; }
+};
+
+/// A concrete base assignment for a cluster's variables.
+struct Candidate {
+  int64_t XBase = 0;
+  int64_t YBase = 0;
+  std::vector<device::Slot> Slots; // one per member, in member order
+};
+
+/// Per-kind area bounds used by the shrinking passes (exclusive).
+struct Bounds {
+  unsigned MaxColumn = 0; ///< columns with index <= MaxColumn usable
+  unsigned MaxRow = 0;    ///< rows with index <= MaxRow usable
+};
+
+/// Resolves a member's coordinates for given variable bases.
+bool memberSlot(const Member &M, int64_t XBase, int64_t YBase,
+                device::Slot &Out) {
+  int64_t X = M.X.isLit() ? M.X.offset() : XBase + M.X.offset();
+  int64_t Y = M.Y.isLit() ? M.Y.offset() : YBase + M.Y.offset();
+  if (X < 0 || Y < 0)
+    return false;
+  Out = device::Slot{static_cast<unsigned>(X), static_cast<unsigned>(Y)};
+  return true;
+}
+
+/// Sequential at-most-one encoding over \p Lits.
+void addAtMostOne(sat::Solver &S, const std::vector<sat::Lit> &Lits) {
+  if (Lits.size() <= 1)
+    return;
+  if (Lits.size() == 2) {
+    S.addBinary(~Lits[0], ~Lits[1]);
+    return;
+  }
+  std::vector<sat::Var> Aux(Lits.size() - 1);
+  for (sat::Var &V : Aux)
+    V = S.newVar();
+  S.addBinary(~Lits[0], sat::Lit(Aux[0]));
+  for (size_t I = 1; I + 1 < Lits.size(); ++I) {
+    S.addBinary(~Lits[I], sat::Lit(Aux[I]));
+    S.addBinary(~sat::Lit(Aux[I - 1]), sat::Lit(Aux[I]));
+    S.addBinary(~Lits[I], ~sat::Lit(Aux[I - 1]));
+  }
+  S.addBinary(~Lits.back(), ~sat::Lit(Aux.back()));
+}
+
+class Placer {
+public:
+  Placer(const AsmProgram &Prog, const device::Device &Dev,
+         const PlacementOptions &Options, PlacementStats *Stats)
+      : Prog(Prog), Dev(Dev), Options(Options), Stats(Stats) {}
+
+  Result<AsmProgram> run();
+
+private:
+  Status buildClusters();
+  Result<std::vector<Candidate>> enumerate(const Cluster &C,
+                                           const Bounds &B,
+                                           size_t Cap) const;
+  /// One SAT attempt under the given bounds. On success fills
+  /// \p Assignment with the chosen candidate per non-fixed cluster. A
+  /// nonzero \p ConflictBudget bounds the search (shrinking attempts give
+  /// up rather than fight pigeonhole-hard instances).
+  enum class Attempt { Sat, Unsat, Error };
+  Attempt solveOnce(const Bounds &B, size_t Cap,
+                    std::vector<Candidate> &Assignment, std::string &Err,
+                    uint64_t ConflictBudget = 0);
+
+  const AsmProgram &Prog;
+  const device::Device &Dev;
+  PlacementOptions Options;
+  PlacementStats *Stats;
+
+  std::vector<Cluster> Clusters;      // non-fixed
+  std::vector<Cluster> FixedClusters; // fully literal
+  std::set<device::Slot> FixedSlots;
+};
+
+Status Placer::buildClusters() {
+  // Union-find over coordinate variable names; wildcards become fresh
+  // variables so every placeable instruction lands in some cluster.
+  std::map<std::string, std::string> Parent;
+  auto Find = [&](std::string Name) {
+    while (Parent[Name] != Name)
+      Name = Parent[Name] = Parent[Parent[Name]];
+    return Name;
+  };
+  auto Unite = [&](const std::string &A, const std::string &B) {
+    Parent[Find(A)] = Find(B);
+  };
+  auto Ensure = [&](const std::string &Name) {
+    if (!Parent.count(Name))
+      Parent[Name] = Name;
+  };
+
+  unsigned Fresh = 0;
+  struct NormInstr {
+    size_t BodyIndex;
+    ir::Resource Prim;
+    Coord X, Y;
+  };
+  std::vector<NormInstr> Instrs;
+  for (size_t I = 0; I < Prog.body().size(); ++I) {
+    const AsmInstr &A = Prog.body()[I];
+    if (A.isWire())
+      continue;
+    Coord X = A.loc().X;
+    Coord Y = A.loc().Y;
+    if (X.isWild())
+      X = Coord::var("$x" + std::to_string(Fresh++));
+    if (Y.isWild())
+      Y = Coord::var("$y" + std::to_string(Fresh++));
+    if (X.isVar())
+      Ensure(X.name());
+    if (Y.isVar())
+      Ensure(Y.name());
+    if (X.isVar() && Y.isVar())
+      Unite(X.name(), Y.name());
+    Instrs.push_back({I, A.loc().Prim, X, Y});
+  }
+
+  // Group by representative; fully literal instructions form fixed
+  // singleton clusters.
+  std::map<std::string, size_t> GroupOf;
+  for (const NormInstr &N : Instrs) {
+    if (!N.X.isVar() && !N.Y.isVar()) {
+      Cluster C;
+      C.Prim = N.Prim;
+      C.Members.push_back({N.BodyIndex, N.X, N.Y});
+      FixedClusters.push_back(std::move(C));
+      continue;
+    }
+    std::string Rep = Find(N.X.isVar() ? N.X.name() : N.Y.name());
+    auto [It, Inserted] = GroupOf.try_emplace(Rep, Clusters.size());
+    if (Inserted)
+      Clusters.emplace_back();
+    Cluster &C = Clusters[It->second];
+    if (C.Members.empty())
+      C.Prim = N.Prim;
+    if (C.Prim != N.Prim)
+      return Status::failure(
+          "instructions sharing coordinate variables must use one "
+          "primitive kind (cluster mixes lut and dsp)");
+    // At most one distinct variable per axis within a cluster.
+    if (N.X.isVar()) {
+      if (!C.XVar)
+        C.XVar = N.X.name();
+      else if (*C.XVar != N.X.name())
+        return Status::failure("cluster uses two distinct column variables "
+                               "('" + *C.XVar + "' and '" + N.X.name() +
+                               "'); this layout constraint is unsupported");
+    }
+    if (N.Y.isVar()) {
+      if (!C.YVar)
+        C.YVar = N.Y.name();
+      else if (*C.YVar != N.Y.name())
+        return Status::failure("cluster uses two distinct row variables "
+                               "('" + *C.YVar + "' and '" + N.Y.name() +
+                               "'); this layout constraint is unsupported");
+    }
+    C.Members.push_back({N.BodyIndex, N.X, N.Y});
+  }
+
+  // Fixed clusters occupy slots up front.
+  for (const Cluster &C : FixedClusters) {
+    const Member &M = C.Members[0];
+    device::Slot S;
+    if (!memberSlot(M, 0, 0, S) ||
+        !Dev.isValidSlot(C.Prim, S.X, S.Y))
+      return Status::failure(
+          "pinned location " + Prog.body()[M.BodyIndex].loc().str() +
+          " is not a valid " + ir::resourceName(C.Prim) + " slot on device '" +
+          Dev.name() + "'");
+    if (!FixedSlots.insert(S).second)
+      return Status::failure("two instructions pinned to one slot");
+  }
+  return Status::success();
+}
+
+Result<std::vector<Candidate>>
+Placer::enumerate(const Cluster &C, const Bounds &B, size_t Cap) const {
+  std::vector<Candidate> Out;
+  // Column (x) base values to try: all usable columns when XVar is free,
+  // else the single value 0 (unused).
+  unsigned NumCols = std::min<unsigned>(Dev.numColumns(), B.MaxColumn + 1);
+  unsigned MaxRows = std::min<unsigned>(Dev.maxHeight(C.Prim), B.MaxRow + 1);
+  std::vector<int64_t> XBases;
+  if (C.XVar) {
+    for (unsigned X = 0; X < NumCols; ++X)
+      XBases.push_back(X);
+  } else {
+    XBases.push_back(0);
+  }
+  std::vector<int64_t> YBases;
+  if (C.YVar) {
+    for (unsigned Y = 0; Y < MaxRows; ++Y)
+      YBases.push_back(Y);
+  } else {
+    YBases.push_back(0);
+  }
+  for (int64_t XB : XBases) {
+    for (int64_t YB : YBases) {
+      Candidate Cand;
+      Cand.XBase = XB;
+      Cand.YBase = YB;
+      bool Ok = true;
+      for (const Member &M : C.Members) {
+        device::Slot S;
+        if (!memberSlot(M, XB, YB, S) || S.X > B.MaxColumn ||
+            S.Y > B.MaxRow || !Dev.isValidSlot(C.Prim, S.X, S.Y) ||
+            FixedSlots.count(S)) {
+          Ok = false;
+          break;
+        }
+        Cand.Slots.push_back(S);
+      }
+      if (!Ok)
+        continue;
+      Out.push_back(std::move(Cand));
+      if (Out.size() >= Cap)
+        return Out;
+    }
+  }
+  return Out;
+}
+
+Placer::Attempt Placer::solveOnce(const Bounds &B, size_t Cap,
+                                  std::vector<Candidate> &Assignment,
+                                  std::string &Err,
+                                  uint64_t ConflictBudget) {
+  // Capacity precheck: SAT needs no help recognizing that N instructions
+  // cannot fit N-1 slots, but resolution proofs of pigeonhole formulas are
+  // exponential, so rule the case out arithmetically first.
+  std::map<ir::Resource, size_t> Demand;
+  for (const Cluster &C : Clusters)
+    Demand[C.Prim] += C.Members.size();
+  // Tall clusters (cascade chains) need that many *consecutive* rows in
+  // one column; bound the number of placeable tall clusters per kind by
+  // the shortest chain height. This is a sound relaxation that rejects
+  // the pigeonhole-shaped shrink probes arithmetically.
+  std::map<ir::Resource, std::pair<size_t, unsigned>> TallClusters;
+  for (const Cluster &C : Clusters) {
+    int64_t MinDy = 0, MaxDy = 0;
+    bool First = true;
+    for (const Member &M : C.Members) {
+      if (!M.Y.isVar())
+        continue;
+      if (First) {
+        MinDy = MaxDy = M.Y.offset();
+        First = false;
+      } else {
+        MinDy = std::min(MinDy, M.Y.offset());
+        MaxDy = std::max(MaxDy, M.Y.offset());
+      }
+    }
+    unsigned Height = First ? 1 : static_cast<unsigned>(MaxDy - MinDy + 1);
+    if (Height < 2)
+      continue;
+    auto &[Count, MinHeight] = TallClusters[C.Prim];
+    ++Count;
+    MinHeight = Count == 1 ? Height : std::min(MinHeight, Height);
+  }
+  for (auto &[Kind, Need] : Demand) {
+    size_t Capacity = 0;
+    size_t SegmentCapacity = 0;
+    unsigned MinHeight = 1;
+    size_t TallNeed = 0;
+    if (auto It = TallClusters.find(Kind); It != TallClusters.end()) {
+      TallNeed = It->second.first;
+      MinHeight = It->second.second;
+    }
+    unsigned NumCols = std::min<unsigned>(Dev.numColumns(), B.MaxColumn + 1);
+    for (unsigned X = 0; X < NumCols; ++X) {
+      const device::Column &Col = Dev.columns()[X];
+      if (Col.Kind != Kind)
+        continue;
+      unsigned Rows = std::min<unsigned>(Col.Height, B.MaxRow + 1);
+      Capacity += Rows;
+      SegmentCapacity += Rows / MinHeight;
+    }
+    for (const device::Slot &S : FixedSlots)
+      if (S.X <= B.MaxColumn && S.Y <= B.MaxRow &&
+          Dev.columns()[S.X].Kind == Kind)
+        --Capacity;
+    if (Need > Capacity || TallNeed > SegmentCapacity)
+      return Attempt::Unsat;
+  }
+
+  sat::Solver S;
+  // SAT variables per (cluster, candidate).
+  std::vector<std::vector<Candidate>> Cands(Clusters.size());
+  std::vector<std::vector<sat::Var>> Vars(Clusters.size());
+  std::map<device::Slot, std::vector<sat::Lit>> SlotUsers;
+
+  for (size_t I = 0; I < Clusters.size(); ++I) {
+    Result<std::vector<Candidate>> E = enumerate(Clusters[I], B, Cap);
+    if (!E) {
+      Err = E.error();
+      return Attempt::Error;
+    }
+    Cands[I] = E.take();
+    if (Cands[I].empty())
+      return Attempt::Unsat; // no feasible base under these bounds
+    std::vector<sat::Lit> Lits;
+    for (const Candidate &Cand : Cands[I]) {
+      sat::Var V = S.newVar();
+      Vars[I].push_back(V);
+      Lits.push_back(sat::Lit(V));
+      for (const device::Slot &Slot : Cand.Slots)
+        SlotUsers[Slot].push_back(sat::Lit(V));
+    }
+    // Exactly one candidate per cluster.
+    if (!S.addClause(Lits))
+      return Attempt::Unsat;
+    addAtMostOne(S, Lits);
+  }
+  // Distinct slots: at most one user per slot. A multi-member cluster may
+  // cover one slot with two members only through distinct candidates, so
+  // pairwise AMO over candidate literals is exact.
+  for (auto &[Slot, Lits] : SlotUsers)
+    addAtMostOne(S, Lits);
+
+  if (Stats) {
+    ++Stats->Solves;
+    Stats->Vars = S.numVars();
+  }
+  if (S.solve(ConflictBudget) != sat::Outcome::Sat) {
+    if (Stats)
+      Stats->Conflicts += S.stats().Conflicts;
+    return Attempt::Unsat; // Unknown (budget hit) also counts as no-shrink
+  }
+  if (Stats)
+    Stats->Conflicts += S.stats().Conflicts;
+
+  Assignment.clear();
+  Assignment.resize(Clusters.size());
+  for (size_t I = 0; I < Clusters.size(); ++I) {
+    bool Chosen = false;
+    for (size_t K = 0; K < Vars[I].size(); ++K)
+      if (S.value(Vars[I][K])) {
+        Assignment[I] = Cands[I][K];
+        Chosen = true;
+        break;
+      }
+    if (!Chosen) {
+      Err = "internal error: satisfiable model without a chosen candidate";
+      return Attempt::Error;
+    }
+  }
+  return Attempt::Sat;
+}
+
+Result<AsmProgram> Placer::run() {
+  if (Status St = buildClusters(); !St)
+    return fail<AsmProgram>(St.error());
+
+  Bounds Full{Dev.numColumns() ? Dev.numColumns() - 1 : 0, 0};
+  unsigned TallestColumn = std::max(Dev.maxHeight(ir::Resource::Lut),
+                                    Dev.maxHeight(ir::Resource::Dsp));
+  Full.MaxRow = TallestColumn ? TallestColumn - 1 : 0;
+
+  // First solution: grow the candidate cap until satisfiable or fully
+  // enumerated.
+  size_t FullCap = static_cast<size_t>(Dev.numColumns()) * TallestColumn + 1;
+  size_t Cap = std::max<size_t>(Options.InitialCandidateCap,
+                                2 * Clusters.size() + 8);
+  std::vector<Candidate> BestAssignment;
+  while (true) {
+    std::string Err;
+    Attempt A = solveOnce(Full, Cap, BestAssignment, Err);
+    if (A == Attempt::Error)
+      return fail<AsmProgram>(Err);
+    if (A == Attempt::Sat)
+      break;
+    if (Cap >= FullCap)
+      return fail<AsmProgram>("placement failed: no valid layout for " +
+                              std::to_string(Clusters.size()) +
+                              " cluster(s) on device '" + Dev.name() + "'");
+    Cap = std::min(FullCap, Cap * 4);
+  }
+
+  // Shrinking passes: take the used area as the bound and binary-search a
+  // smaller one, re-running placement (Section 5.3).
+  if (Options.Shrink && !Clusters.empty()) {
+    // Bounds needed by the placeable clusters alone. Fixed (pinned) slots
+    // are excluded: they are not enumerated, so they may lie outside the
+    // shrink window without affecting feasibility.
+    auto UsedBounds = [&](const std::vector<Candidate> &Assignment) {
+      Bounds B{0, 0};
+      for (const Candidate &Cand : Assignment)
+        for (const device::Slot &S : Cand.Slots) {
+          B.MaxColumn = std::max(B.MaxColumn, S.X);
+          B.MaxRow = std::max(B.MaxRow, S.Y);
+        }
+      return B;
+    };
+    Bounds Cur{Full.MaxColumn, Full.MaxRow};
+
+    // Shrink columns, then rows, by binary search (Section 5.3). Columns
+    // first: packing into few columns keeps DSP chains near their cascade
+    // routing.
+    for (int Axis = 0; Axis < 2; ++Axis) {
+      unsigned Low = 0;
+      unsigned High = Axis == 0 ? UsedBounds(BestAssignment).MaxColumn
+                                : UsedBounds(BestAssignment).MaxRow;
+      while (Low < High) {
+        unsigned Mid = Low + (High - Low) / 2;
+        Bounds Try = Cur;
+        (Axis == 0 ? Try.MaxColumn : Try.MaxRow) = Mid;
+        std::vector<Candidate> Assignment;
+        std::string Err;
+        Attempt A = solveOnce(Try, FullCap, Assignment, Err,
+                              /*ConflictBudget=*/50000);
+        if (A == Attempt::Error)
+          return fail<AsmProgram>(Err);
+        if (A == Attempt::Sat) {
+          BestAssignment = std::move(Assignment);
+          High = std::min(Mid, Axis == 0
+                                   ? UsedBounds(BestAssignment).MaxColumn
+                                   : UsedBounds(BestAssignment).MaxRow);
+        } else {
+          Low = Mid + 1;
+        }
+      }
+      (Axis == 0 ? Cur.MaxColumn : Cur.MaxRow) = High;
+    }
+  }
+
+  // Materialize the placed program.
+  AsmProgram Placed(Prog.name());
+  Placed.inputs() = Prog.inputs();
+  Placed.outputs() = Prog.outputs();
+  std::map<size_t, device::Slot> SlotOf;
+  for (size_t I = 0; I < Clusters.size(); ++I)
+    for (size_t K = 0; K < Clusters[I].Members.size(); ++K)
+      SlotOf[Clusters[I].Members[K].BodyIndex] = BestAssignment[I].Slots[K];
+  for (const Cluster &C : FixedClusters) {
+    device::Slot S;
+    memberSlot(C.Members[0], 0, 0, S);
+    SlotOf[C.Members[0].BodyIndex] = S;
+  }
+  for (size_t I = 0; I < Prog.body().size(); ++I) {
+    const AsmInstr &A = Prog.body()[I];
+    if (A.isWire()) {
+      Placed.addInstr(A);
+      continue;
+    }
+    device::Slot S = SlotOf.at(I);
+    rasm::Loc L{A.loc().Prim, Coord::lit(S.X), Coord::lit(S.Y)};
+    Placed.addInstr(AsmInstr::makeOp(A.dst(), A.type(), A.opName(), A.args(),
+                                     std::move(L), A.attrs()));
+    if (Stats) {
+      Stats->MaxColumn = std::max(Stats->MaxColumn, S.X);
+      Stats->MaxRow = std::max(Stats->MaxRow, S.Y);
+    }
+  }
+  return Placed;
+}
+
+} // namespace
+
+Result<AsmProgram> reticle::place::place(const AsmProgram &Prog,
+                                         const device::Device &Dev,
+                                         const PlacementOptions &Options,
+                                         PlacementStats *Stats) {
+  Placer P(Prog, Dev, Options, Stats);
+  return P.run();
+}
+
+Status reticle::place::checkPlacement(const AsmProgram &Original,
+                                      const AsmProgram &Placed,
+                                      const device::Device &Dev) {
+  if (Original.body().size() != Placed.body().size())
+    return Status::failure("instruction count changed during placement");
+
+  std::set<device::Slot> Used;
+  std::map<std::string, int64_t> VarX, VarY;
+  for (size_t I = 0; I < Original.body().size(); ++I) {
+    const AsmInstr &O = Original.body()[I];
+    const AsmInstr &P = Placed.body()[I];
+    if (O.isWire() != P.isWire())
+      return Status::failure("instruction kind changed during placement");
+    if (O.isWire())
+      continue;
+    if (!P.loc().X.isLit() || !P.loc().Y.isLit())
+      return Status::failure("unresolved coordinate in '" + P.str() + "'");
+    int64_t X = P.loc().X.offset();
+    int64_t Y = P.loc().Y.offset();
+    if (X < 0 || Y < 0 ||
+        !Dev.isValidSlot(O.loc().Prim, static_cast<unsigned>(X),
+                         static_cast<unsigned>(Y)))
+      return Status::failure("'" + P.str() + "' is placed on an invalid " +
+                             std::string(ir::resourceName(O.loc().Prim)) +
+                             " slot");
+    device::Slot S{static_cast<unsigned>(X), static_cast<unsigned>(Y)};
+    if (!Used.insert(S).second)
+      return Status::failure("two instructions share slot (" +
+                             std::to_string(X) + ", " + std::to_string(Y) +
+                             ")");
+    // Literal pins and relative variable constraints.
+    auto CheckAxis = [&](const Coord &C, int64_t Value,
+                         std::map<std::string, int64_t> &Bases) -> Status {
+      if (C.isLit() && C.offset() != Value)
+        return Status::failure("pinned coordinate changed in '" + P.str() +
+                               "'");
+      if (C.isVar()) {
+        int64_t Base = Value - C.offset();
+        auto [It, Inserted] = Bases.try_emplace(C.name(), Base);
+        if (!Inserted && It->second != Base)
+          return Status::failure("relative constraint on '" + C.name() +
+                                 "' violated in '" + P.str() + "'");
+      }
+      return Status::success();
+    };
+    if (Status St = CheckAxis(O.loc().X, X, VarX); !St)
+      return St;
+    if (Status St = CheckAxis(O.loc().Y, Y, VarY); !St)
+      return St;
+  }
+  return Status::success();
+}

@@ -1,0 +1,78 @@
+//===- place/Place.h - Instruction placement --------------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instruction placement (Section 5.3): resolves every assembly
+/// instruction's coordinate holes against a concrete device by solving the
+/// paper's constraint system with a SAT solver (the paper uses Z3; this
+/// project uses its own CDCL solver, src/sat):
+///
+///  - a coordinate must address a column of the instruction's primitive
+///    kind;
+///  - a coordinate must lie within that column's extent;
+///  - relative constraints between instructions sharing coordinate
+///    variables (e.g. cascades at (x, y) and (x, y+1)) must hold;
+///  - all instructions occupy distinct slots.
+///
+/// Instructions sharing coordinate variables form *clusters* placed as one
+/// rigid shape; the encoding assigns each cluster exactly one base
+/// position and forbids slot overlap. After a first solution, optional
+/// shrinking passes binary-search reduced areas and re-solve, compacting
+/// the layout (Section 5.3's final paragraph).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_PLACE_PLACE_H
+#define RETICLE_PLACE_PLACE_H
+
+#include "device/Device.h"
+#include "rasm/Asm.h"
+#include "support/Result.h"
+
+namespace reticle {
+namespace place {
+
+/// Tuning knobs for placement.
+struct PlacementOptions {
+  /// Run the binary-search shrinking passes after the first solution.
+  bool Shrink = true;
+  /// Initial cap on enumerated base positions per cluster; grows
+  /// automatically (up to full enumeration) when the capped encoding is
+  /// unsatisfiable.
+  unsigned InitialCandidateCap = 128;
+};
+
+/// Facts about one placement run, reported by benchmarks.
+struct PlacementStats {
+  unsigned Solves = 0;        ///< SAT invocations (including shrinking)
+  unsigned Vars = 0;          ///< variables in the final encoding
+  unsigned Clauses = 0;       ///< clauses in the final encoding
+  uint64_t Conflicts = 0;     ///< summed solver conflicts
+  unsigned MaxColumn = 0;     ///< highest column used
+  unsigned MaxRow = 0;        ///< highest row used
+};
+
+/// Resolves all locations of \p Prog on \p Dev. Returns the placed,
+/// device-specific program (all coordinates literal). Fails when the
+/// constraints are unsatisfiable ("If Z3 cannot find a valid placement for
+/// every instruction, placement fails").
+Result<rasm::AsmProgram> place(const rasm::AsmProgram &Prog,
+                               const device::Device &Dev,
+                               const PlacementOptions &Options = {},
+                               PlacementStats *Stats = nullptr);
+
+/// Independently validates that \p Placed realizes \p Original on \p Dev:
+/// literal coordinates on valid distinct slots of the right kind, with
+/// every literal pin and every relative variable constraint of the
+/// original respected. Used by tests and as a post-placement assertion.
+Status checkPlacement(const rasm::AsmProgram &Original,
+                      const rasm::AsmProgram &Placed,
+                      const device::Device &Dev);
+
+} // namespace place
+} // namespace reticle
+
+#endif // RETICLE_PLACE_PLACE_H

@@ -1,0 +1,86 @@
+//===- rasm/Asm.cpp - The Reticle assembly language ---------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rasm/Asm.h"
+
+using namespace reticle;
+using namespace reticle::rasm;
+
+std::string Coord::str() const {
+  switch (CoordKind) {
+  case Kind::Wild:
+    return "??";
+  case Kind::Lit:
+    return std::to_string(Offset);
+  case Kind::Var:
+    if (Offset == 0)
+      return Name;
+    if (Offset > 0)
+      return Name + "+" + std::to_string(Offset);
+    return Name + "-" + std::to_string(-Offset);
+  }
+  return "?";
+}
+
+std::string Loc::str() const {
+  return std::string(ir::resourceName(Prim)) + "(" + X.str() + ", " +
+         Y.str() + ")";
+}
+
+std::string AsmInstr::str() const {
+  std::string Out = Dst + ":" + Ty.str() + " = ";
+  Out += IsWireInstr ? std::string(ir::wireOpName(Wire)) : Name;
+  if (!Attrs.empty()) {
+    Out += "[";
+    for (size_t I = 0; I < Attrs.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += std::to_string(Attrs[I]);
+    }
+    Out += "]";
+  }
+  if (!Args.empty()) {
+    Out += "(";
+    for (size_t I = 0; I < Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Args[I];
+    }
+    Out += ")";
+  }
+  if (!IsWireInstr)
+    Out += " @" + Location.str();
+  Out += ";";
+  return Out;
+}
+
+bool AsmProgram::isPlaced() const {
+  for (const AsmInstr &I : Body) {
+    if (I.isWire())
+      continue;
+    if (!I.loc().X.isLit() || !I.loc().Y.isLit())
+      return false;
+  }
+  return true;
+}
+
+std::string AsmProgram::str() const {
+  auto PortList = [](const std::vector<ir::Port> &Ports) {
+    std::string Out = "(";
+    for (size_t I = 0; I < Ports.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Ports[I].Name + ":" + Ports[I].Ty.str();
+    }
+    return Out + ")";
+  };
+  std::string Out = "def " + Name + PortList(Inputs) + " -> " +
+                    PortList(Outputs) + " {\n";
+  for (const AsmInstr &I : Body)
+    Out += "  " + I.str() + "\n";
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,178 @@
+//===- rasm/AsmParser.cpp - Assembly-language parser --------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rasm/AsmParser.h"
+
+#include "ir/ParseCommon.h"
+#include "support/Lexer.h"
+
+using namespace reticle;
+using namespace reticle::rasm;
+using ir::diagAt;
+using ir::expect;
+
+namespace {
+
+/// Parses a coordinate expression `term (+ term)*` where a term is `??`, an
+/// integer, or a variable, and normalizes it to Coord form. Sums over two
+/// distinct variables are rejected.
+Result<Coord> parseCoord(Lexer &Lex) {
+  bool SawWild = false;
+  bool SawVar = false;
+  std::string Var;
+  int64_t Offset = 0;
+  unsigned Terms = 0;
+  while (true) {
+    if (Lex.accept(TokenKind::Wildcard)) {
+      SawWild = true;
+    } else if (Lex.at(TokenKind::Int)) {
+      Offset += Lex.next().IntValue;
+    } else if (Lex.at(TokenKind::Ident)) {
+      std::string Name = Lex.next().Text;
+      if (SawVar && Name != Var)
+        return fail<Coord>(diagAt(
+            Lex, "coordinate expressions over two distinct variables are "
+                 "not supported"));
+      if (SawVar)
+        return fail<Coord>(
+            diagAt(Lex, "coordinate variable may appear only once"));
+      SawVar = true;
+      Var = std::move(Name);
+    } else {
+      return fail<Coord>(diagAt(Lex, "expected coordinate expression"));
+    }
+    ++Terms;
+    if (Lex.accept(TokenKind::Plus))
+      continue;
+    // "y-1" lexes as the variable followed by a negative literal; treat the
+    // literal as an additive term so printed coordinates re-parse.
+    if (Lex.at(TokenKind::Int) && Lex.peek().IntValue < 0)
+      continue;
+    break;
+  }
+  if (SawWild) {
+    if (Terms > 1)
+      return fail<Coord>(
+          diagAt(Lex, "'?\?' cannot be combined with other terms"));
+    return Coord::wild();
+  }
+  if (SawVar)
+    return Coord::var(std::move(Var), Offset);
+  return Coord::lit(Offset);
+}
+
+Result<Loc> parseLoc(Lexer &Lex) {
+  ir::Resource Prim;
+  if (Lex.atIdent("lut")) {
+    Prim = ir::Resource::Lut;
+  } else if (Lex.atIdent("dsp")) {
+    Prim = ir::Resource::Dsp;
+  } else {
+    return fail<Loc>(diagAt(Lex, "expected primitive 'lut' or 'dsp'"));
+  }
+  Lex.next();
+  if (Status S = expect(Lex, TokenKind::LParen); !S)
+    return fail<Loc>(S.error());
+  Result<Coord> X = parseCoord(Lex);
+  if (!X)
+    return fail<Loc>(X.error());
+  if (Status S = expect(Lex, TokenKind::Comma); !S)
+    return fail<Loc>(S.error());
+  Result<Coord> Y = parseCoord(Lex);
+  if (!Y)
+    return fail<Loc>(Y.error());
+  if (Status S = expect(Lex, TokenKind::RParen); !S)
+    return fail<Loc>(S.error());
+  return Loc{Prim, X.take(), Y.take()};
+}
+
+Result<AsmInstr> parseAsmInstr(Lexer &Lex) {
+  if (!Lex.at(TokenKind::Ident))
+    return fail<AsmInstr>(diagAt(Lex, "expected instruction destination"));
+  std::string Dst = Lex.next().Text;
+  if (Status S = expect(Lex, TokenKind::Colon); !S)
+    return fail<AsmInstr>(S.error());
+  Result<ir::Type> Ty = ir::parseType(Lex);
+  if (!Ty)
+    return fail<AsmInstr>(Ty.error());
+  if (Status S = expect(Lex, TokenKind::Equal); !S)
+    return fail<AsmInstr>(S.error());
+  if (!Lex.at(TokenKind::Ident))
+    return fail<AsmInstr>(diagAt(Lex, "expected operation name"));
+  std::string OpName = Lex.next().Text;
+  Result<std::vector<int64_t>> Attrs =
+      ir::parseAttrList(Lex, /*AllowHoles=*/false, nullptr);
+  if (!Attrs)
+    return fail<AsmInstr>(Attrs.error());
+  Result<std::vector<std::string>> Args = ir::parseArgList(Lex);
+  if (!Args)
+    return fail<AsmInstr>(Args.error());
+
+  std::optional<Loc> Location;
+  if (Lex.accept(TokenKind::At)) {
+    Result<Loc> L = parseLoc(Lex);
+    if (!L)
+      return fail<AsmInstr>(L.error());
+    Location = L.take();
+  }
+  if (Status S = expect(Lex, TokenKind::Semi); !S)
+    return fail<AsmInstr>(S.error());
+
+  if (std::optional<ir::WireOp> WOp = ir::parseWireOp(OpName)) {
+    if (Location)
+      return fail<AsmInstr>("wire instruction '" + OpName +
+                            "' cannot carry a location");
+    return AsmInstr::makeWire(std::move(Dst), Ty.value(), *WOp, Attrs.take(),
+                              Args.take());
+  }
+  if (!Location)
+    return fail<AsmInstr>("assembly instruction '" + OpName +
+                          "' requires a location, e.g. '@dsp(?\?, ?\?)'");
+  return AsmInstr::makeOp(std::move(Dst), Ty.value(), std::move(OpName),
+                          Args.take(), std::move(*Location), Attrs.take());
+}
+
+} // namespace
+
+Result<AsmProgram> reticle::rasm::parseAsmProgram(const std::string &Source) {
+  Lexer Lex(Source);
+  if (!Lex.ok())
+    return fail<AsmProgram>(Lex.error());
+  if (Lex.atIdent("def"))
+    Lex.next();
+  if (!Lex.at(TokenKind::Ident))
+    return fail<AsmProgram>(diagAt(Lex, "expected program name"));
+  AsmProgram Prog(Lex.next().Text);
+
+  Result<std::vector<ir::Port>> Inputs = ir::parsePortList(Lex);
+  if (!Inputs)
+    return fail<AsmProgram>(Inputs.error());
+  Prog.inputs() = Inputs.take();
+
+  if (Status S = expect(Lex, TokenKind::Arrow); !S)
+    return fail<AsmProgram>(S.error());
+
+  Result<std::vector<ir::Port>> Outputs = ir::parsePortList(Lex);
+  if (!Outputs)
+    return fail<AsmProgram>(Outputs.error());
+  Prog.outputs() = Outputs.take();
+  if (Prog.outputs().empty())
+    return fail<AsmProgram>("program '" + Prog.name() +
+                            "' must declare at least one output");
+
+  if (Status S = expect(Lex, TokenKind::LBrace); !S)
+    return fail<AsmProgram>(S.error());
+  while (!Lex.at(TokenKind::RBrace)) {
+    if (Lex.at(TokenKind::Eof))
+      return fail<AsmProgram>(diagAt(Lex, "unterminated program body"));
+    Result<AsmInstr> I = parseAsmInstr(Lex);
+    if (!I)
+      return fail<AsmProgram>(I.error());
+    Prog.addInstr(I.take());
+  }
+  Lex.next();
+  return Prog;
+}

@@ -1,0 +1,36 @@
+//===- rasm/AsmParser.h - Assembly-language parser ---------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Textual front end for the assembly language of Figure 5b, e.g.:
+///
+/// \code
+///   def dot(a:i8, b:i8, c:i8, d:i8, in:i8) -> (t1:i8) {
+///     t0:i8 = muladd_co(a, b, in) @dsp(x, y);
+///     t1:i8 = muladd_ci(c, d, t0) @dsp(x, y+1);
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_RASM_ASMPARSER_H
+#define RETICLE_RASM_ASMPARSER_H
+
+#include "rasm/Asm.h"
+#include "support/Result.h"
+
+#include <string>
+
+namespace reticle {
+namespace rasm {
+
+/// Parses one assembly program from \p Source.
+Result<AsmProgram> parseAsmProgram(const std::string &Source);
+
+} // namespace rasm
+} // namespace reticle
+
+#endif // RETICLE_RASM_ASMPARSER_H

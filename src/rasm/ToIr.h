@@ -1,0 +1,37 @@
+//===- rasm/ToIr.h - Assembly-to-IR expansion -------------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expands an assembly program back into the intermediate language by
+/// inlining each assembly instruction's target-description body
+/// (Section 4.2: every assembly operation is defined as a sequence of
+/// intermediate operations). The expansion gives assembly programs an
+/// executable semantics through the ordinary interpreter, which is the
+/// oracle used by the translation-validation tests for instruction
+/// selection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_RASM_TOIR_H
+#define RETICLE_RASM_TOIR_H
+
+#include "ir/Function.h"
+#include "rasm/Asm.h"
+#include "support/Result.h"
+#include "tdl/Target.h"
+
+namespace reticle {
+namespace rasm {
+
+/// Expands \p Prog into an IR function under \p Target. Fails when an
+/// operation does not resolve against the target or its attribute count
+/// does not match the definition's holes.
+Result<ir::Function> toIr(const AsmProgram &Prog, const tdl::Target &Target);
+
+} // namespace rasm
+} // namespace reticle
+
+#endif // RETICLE_RASM_TOIR_H

@@ -1,0 +1,45 @@
+//===- sat/Dimacs.h - DIMACS CNF I/O ----------------------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DIMACS CNF reading and writing, used by the SAT solver's test suite and
+/// handy for debugging placement encodings offline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_SAT_DIMACS_H
+#define RETICLE_SAT_DIMACS_H
+
+#include "sat/Solver.h"
+#include "support/Result.h"
+
+#include <string>
+#include <vector>
+
+namespace reticle {
+namespace sat {
+
+/// A CNF formula in portable form: clause lists of DIMACS literals
+/// (1-based, negative = negated).
+struct Cnf {
+  uint32_t NumVars = 0;
+  std::vector<std::vector<int>> Clauses;
+
+  /// Renders the formula in DIMACS format.
+  std::string str() const;
+
+  /// Loads all variables and clauses into \p S. Returns false when the
+  /// solver detects root-level unsatisfiability while adding.
+  bool loadInto(Solver &S) const;
+};
+
+/// Parses a DIMACS CNF document.
+Result<Cnf> parseDimacs(const std::string &Source);
+
+} // namespace sat
+} // namespace reticle
+
+#endif // RETICLE_SAT_DIMACS_H

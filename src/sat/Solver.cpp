@@ -1,0 +1,485 @@
+//===- sat/Solver.cpp - CDCL SAT solver ----------------------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/Solver.h"
+
+#include <algorithm>
+
+using namespace reticle;
+using namespace reticle::sat;
+
+Solver::Solver() = default;
+
+Var Solver::newVar() {
+  Var V = VarCount++;
+  Assign.push_back(LBool::Undef);
+  Level.push_back(0);
+  Reason.push_back(NoReason);
+  VarActivity.push_back(0.0);
+  // Default phase true: for one-hot encodings (e.g. placement slots) the
+  // first decision then *selects* the earliest candidate instead of
+  // excluding candidates one by one, which yields compact first-fit-like
+  // models.
+  SavedPhase.push_back(true);
+  Seen.push_back(0);
+  HeapPos.push_back(-1);
+  Watches.emplace_back();
+  Watches.emplace_back();
+  heapInsert(V);
+  return V;
+}
+
+bool Solver::addClause(std::vector<Lit> Lits) {
+  if (!OkFlag)
+    return false;
+  assert(TrailLimits.empty() && "clauses must be added at the root level");
+
+  // Simplify: sort, drop duplicates, detect tautologies, drop root-false
+  // literals, and detect root-satisfied clauses.
+  std::sort(Lits.begin(), Lits.end(),
+            [](Lit A, Lit B) { return A.index() < B.index(); });
+  std::vector<Lit> Out;
+  Out.reserve(Lits.size());
+  for (size_t I = 0; I < Lits.size(); ++I) {
+    Lit L = Lits[I];
+    assert(L.var() < VarCount && "literal over unknown variable");
+    if (I + 1 < Lits.size() && Lits[I + 1] == ~L)
+      return true; // tautology: always satisfied
+    if (I > 0 && L == Lits[I - 1])
+      continue; // duplicate
+    LBool V = litValue(L);
+    if (V == LBool::True)
+      return true; // satisfied at root
+    if (V == LBool::False)
+      continue; // cannot help
+    Out.push_back(L);
+  }
+  if (Out.empty()) {
+    OkFlag = false;
+    return false;
+  }
+  if (Out.size() == 1) {
+    enqueue(Out[0], NoReason);
+    if (propagate() != NoReason) {
+      OkFlag = false;
+      return false;
+    }
+    return true;
+  }
+  Clause C;
+  C.Lits = std::move(Out);
+  Clauses.push_back(std::move(C));
+  attachClause(static_cast<ClauseRef>(Clauses.size() - 1));
+  return true;
+}
+
+void Solver::attachClause(ClauseRef Ref) {
+  const Clause &C = Clauses[Ref];
+  assert(C.Lits.size() >= 2 && "attaching a short clause");
+  Watches[(~C.Lits[0]).index()].push_back({Ref, C.Lits[1]});
+  Watches[(~C.Lits[1]).index()].push_back({Ref, C.Lits[0]});
+}
+
+void Solver::enqueue(Lit L, ClauseRef From) {
+  assert(litValue(L) == LBool::Undef && "enqueueing an assigned literal");
+  Assign[L.var()] = L.negated() ? LBool::False : LBool::True;
+  Level[L.var()] = static_cast<uint32_t>(TrailLimits.size());
+  Reason[L.var()] = From;
+  Trail.push_back(L);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (PropagateHead < Trail.size()) {
+    Lit P = Trail[PropagateHead++];
+    ++Stats.Propagations;
+    std::vector<Watcher> &Ws = Watches[P.index()];
+    size_t Keep = 0;
+    for (size_t I = 0; I < Ws.size(); ++I) {
+      Watcher W = Ws[I];
+      // Cheap skip when the blocker is already true.
+      if (litValue(W.Blocker) == LBool::True) {
+        Ws[Keep++] = W;
+        continue;
+      }
+      Clause &C = Clauses[W.Ref];
+      // Normalize so that the false watched literal is Lits[1].
+      Lit NotP = ~P;
+      if (C.Lits[0] == NotP)
+        std::swap(C.Lits[0], C.Lits[1]);
+      assert(C.Lits[1] == NotP && "watch invariant violated");
+      // First literal true: keep watching.
+      if (litValue(C.Lits[0]) == LBool::True) {
+        Ws[Keep++] = {W.Ref, C.Lits[0]};
+        continue;
+      }
+      // Find a new literal to watch.
+      bool Moved = false;
+      for (size_t K = 2; K < C.Lits.size(); ++K) {
+        if (litValue(C.Lits[K]) != LBool::False) {
+          std::swap(C.Lits[1], C.Lits[K]);
+          Watches[(~C.Lits[1]).index()].push_back({W.Ref, C.Lits[0]});
+          Moved = true;
+          break;
+        }
+      }
+      if (Moved)
+        continue;
+      // Unit or conflicting.
+      Ws[Keep++] = {W.Ref, C.Lits[0]};
+      if (litValue(C.Lits[0]) == LBool::False) {
+        // Conflict: restore untraversed watchers and report.
+        for (size_t K = I + 1; K < Ws.size(); ++K)
+          Ws[Keep++] = Ws[K];
+        Ws.resize(Keep);
+        PropagateHead = Trail.size();
+        return W.Ref;
+      }
+      enqueue(C.Lits[0], W.Ref);
+    }
+    Ws.resize(Keep);
+  }
+  return NoReason;
+}
+
+void Solver::bumpVar(Var V) {
+  VarActivity[V] += VarInc;
+  if (VarActivity[V] > 1e100) {
+    for (double &A : VarActivity)
+      A *= 1e-100;
+    VarInc *= 1e-100;
+  }
+  if (HeapPos[V] >= 0)
+    heapDecrease(V);
+}
+
+void Solver::bumpClause(Clause &C) {
+  C.Activity += ClauseInc;
+  if (C.Activity > 1e20) {
+    for (Clause &Other : Clauses)
+      if (Other.Learned)
+        Other.Activity *= 1e-20;
+    ClauseInc *= 1e-20;
+  }
+}
+
+void Solver::decayActivities() {
+  VarInc /= 0.95;
+  ClauseInc /= 0.999;
+}
+
+void Solver::analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
+                     uint32_t &BackLevel) {
+  Learnt.clear();
+  Learnt.push_back(Lit()); // slot for the asserting literal
+  uint32_t CurrentLevel = static_cast<uint32_t>(TrailLimits.size());
+  uint32_t Counter = 0;
+  Lit P;
+  bool HaveP = false;
+  size_t TrailIndex = Trail.size();
+  ClauseRef ReasonRef = Conflict;
+
+  // Walk the implication graph backwards to the first UIP.
+  while (true) {
+    assert(ReasonRef != NoReason && "reached a decision without a reason");
+    Clause &C = Clauses[ReasonRef];
+    if (C.Learned)
+      bumpClause(C);
+    for (size_t I = HaveP ? 1 : 0; I < C.Lits.size(); ++I) {
+      Lit Q = C.Lits[I];
+      if (HaveP && Q == P)
+        continue;
+      Var V = Q.var();
+      if (Seen[V] || Level[V] == 0)
+        continue;
+      Seen[V] = 1;
+      AnalyzeToClear.push_back(Q);
+      bumpVar(V);
+      if (Level[V] >= CurrentLevel)
+        ++Counter;
+      else
+        Learnt.push_back(Q);
+    }
+    // Select the next literal to expand.
+    while (!Seen[Trail[TrailIndex - 1].var()])
+      --TrailIndex;
+    --TrailIndex;
+    P = Trail[TrailIndex];
+    HaveP = true;
+    Seen[P.var()] = 0;
+    ReasonRef = Reason[P.var()];
+    if (--Counter == 0)
+      break;
+  }
+  Learnt[0] = ~P;
+
+  // Conflict-clause minimization: drop literals implied by the rest.
+  uint32_t AbstractLevels = 0;
+  for (size_t I = 1; I < Learnt.size(); ++I)
+    AbstractLevels |= uint32_t(1) << (Level[Learnt[I].var()] & 31);
+  size_t Keep = 1;
+  for (size_t I = 1; I < Learnt.size(); ++I)
+    if (Reason[Learnt[I].var()] == NoReason ||
+        !litRedundant(Learnt[I], AbstractLevels))
+      Learnt[Keep++] = Learnt[I];
+  Learnt.resize(Keep);
+
+  // Compute the backtrack level (second-highest level in the clause).
+  BackLevel = 0;
+  if (Learnt.size() > 1) {
+    size_t MaxIndex = 1;
+    for (size_t I = 2; I < Learnt.size(); ++I)
+      if (Level[Learnt[I].var()] > Level[Learnt[MaxIndex].var()])
+        MaxIndex = I;
+    std::swap(Learnt[1], Learnt[MaxIndex]);
+    BackLevel = Level[Learnt[1].var()];
+  }
+  for (Lit L : AnalyzeToClear)
+    Seen[L.var()] = 0;
+  AnalyzeToClear.clear();
+}
+
+bool Solver::litRedundant(Lit L, uint32_t AbstractLevels) {
+  AnalyzeStack.clear();
+  AnalyzeStack.push_back(L);
+  size_t ClearStart = AnalyzeToClear.size();
+  while (!AnalyzeStack.empty()) {
+    Lit Cur = AnalyzeStack.back();
+    AnalyzeStack.pop_back();
+    assert(Reason[Cur.var()] != NoReason && "decision on analyze stack");
+    const Clause &C = Clauses[Reason[Cur.var()]];
+    for (size_t I = 1; I < C.Lits.size(); ++I) {
+      Lit Q = C.Lits[I];
+      Var V = Q.var();
+      if (Seen[V] || Level[V] == 0)
+        continue;
+      bool LevelMatches = (uint32_t(1) << (Level[V] & 31)) & AbstractLevels;
+      if (Reason[V] == NoReason || !LevelMatches) {
+        // Cannot resolve this literal away: undo marks made here.
+        for (size_t K = ClearStart; K < AnalyzeToClear.size(); ++K)
+          Seen[AnalyzeToClear[K].var()] = 0;
+        AnalyzeToClear.resize(ClearStart);
+        return false;
+      }
+      Seen[V] = 1;
+      AnalyzeToClear.push_back(Q);
+      AnalyzeStack.push_back(Q);
+    }
+  }
+  return true;
+}
+
+void Solver::backtrack(uint32_t TargetLevel) {
+  if (TrailLimits.size() <= TargetLevel)
+    return;
+  size_t Bound = TrailLimits[TargetLevel];
+  for (size_t I = Trail.size(); I > Bound; --I) {
+    Var V = Trail[I - 1].var();
+    SavedPhase[V] = Assign[V] == LBool::True;
+    Assign[V] = LBool::Undef;
+    Reason[V] = NoReason;
+    if (HeapPos[V] < 0)
+      heapInsert(V);
+  }
+  Trail.resize(Bound);
+  TrailLimits.resize(TargetLevel);
+  PropagateHead = Trail.size();
+}
+
+Lit Solver::pickBranchLit() {
+  while (!heapEmpty()) {
+    Var V = heapPop();
+    if (Assign[V] == LBool::Undef)
+      return Lit(V, !SavedPhase[V]);
+  }
+  return Lit(UINT32_MAX >> 1, false); // sentinel: all assigned
+}
+
+void Solver::reduceDb() {
+  // Keep roughly the most active half of the learned clauses. Clauses that
+  // are reasons for current assignments are locked. Since ClauseRefs are
+  // indices, removal works by rebuilding the clause list and all watches.
+  std::vector<ClauseRef> Learned;
+  for (ClauseRef I = 0; I < Clauses.size(); ++I)
+    if (Clauses[I].Learned)
+      Learned.push_back(I);
+  if (Learned.size() < 64)
+    return;
+  std::sort(Learned.begin(), Learned.end(), [&](ClauseRef A, ClauseRef B) {
+    return Clauses[A].Activity > Clauses[B].Activity;
+  });
+  std::vector<bool> Drop(Clauses.size(), false);
+  std::vector<bool> Locked(Clauses.size(), false);
+  for (Var V = 0; V < VarCount; ++V)
+    if (Assign[V] != LBool::Undef && Reason[V] != NoReason)
+      Locked[Reason[V]] = true;
+  for (size_t I = Learned.size() / 2; I < Learned.size(); ++I)
+    if (!Locked[Learned[I]] && Clauses[Learned[I]].Lits.size() > 2)
+      Drop[Learned[I]] = true;
+
+  std::vector<Clause> Kept;
+  std::vector<ClauseRef> Remap(Clauses.size(), NoReason);
+  Kept.reserve(Clauses.size());
+  for (ClauseRef I = 0; I < Clauses.size(); ++I) {
+    if (Drop[I])
+      continue;
+    Remap[I] = static_cast<ClauseRef>(Kept.size());
+    Kept.push_back(std::move(Clauses[I]));
+  }
+  Clauses = std::move(Kept);
+  for (ClauseRef &R : Reason)
+    if (R != NoReason)
+      R = Remap[R];
+  for (std::vector<Watcher> &Ws : Watches)
+    Ws.clear();
+  for (ClauseRef I = 0; I < Clauses.size(); ++I)
+    attachClause(I);
+}
+
+uint32_t Solver::luby(uint32_t I) {
+  // The Luby restart sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...,
+  // computed with MiniSat's iterative scheme.
+  uint32_t Size = 1, Seq = 0;
+  while (Size < I + 1) {
+    ++Seq;
+    Size = 2 * Size + 1;
+  }
+  while (Size - 1 != I) {
+    Size = (Size - 1) >> 1;
+    --Seq;
+    I %= Size;
+  }
+  return uint32_t(1) << Seq;
+}
+
+Outcome Solver::solve(uint64_t ConflictBudget) {
+  if (!OkFlag)
+    return Outcome::Unsat;
+  Model.clear();
+
+  uint64_t ConflictLimit =
+      ConflictBudget ? Stats.Conflicts + ConflictBudget : UINT64_MAX;
+  uint64_t MaxLearned = Clauses.size() / 3 + 512;
+  uint32_t RestartCount = 0;
+  uint64_t RestartBudget = 64ull * luby(RestartCount);
+  uint64_t ConflictsHere = 0;
+  std::vector<Lit> Learnt;
+
+  while (true) {
+    ClauseRef Conflict = propagate();
+    if (Conflict != NoReason) {
+      ++Stats.Conflicts;
+      ++ConflictsHere;
+      if (TrailLimits.empty())
+        return Outcome::Unsat; // conflict at root
+      if (Stats.Conflicts >= ConflictLimit) {
+        backtrack(0);
+        return Outcome::Unknown;
+      }
+      uint32_t BackLevel = 0;
+      analyze(Conflict, Learnt, BackLevel);
+      backtrack(BackLevel);
+      if (Learnt.size() == 1) {
+        enqueue(Learnt[0], NoReason);
+      } else {
+        Clause C;
+        C.Lits = Learnt;
+        C.Learned = true;
+        C.Activity = ClauseInc;
+        Clauses.push_back(std::move(C));
+        ClauseRef Ref = static_cast<ClauseRef>(Clauses.size() - 1);
+        attachClause(Ref);
+        enqueue(Learnt[0], Ref);
+        ++Stats.Learned;
+      }
+      decayActivities();
+      continue;
+    }
+
+    // No conflict: restart, reduce, or decide.
+    if (ConflictsHere >= RestartBudget) {
+      ++Stats.Restarts;
+      ++RestartCount;
+      ConflictsHere = 0;
+      RestartBudget = 64ull * luby(RestartCount);
+      backtrack(0);
+      continue;
+    }
+    if (Stats.Learned > MaxLearned) {
+      MaxLearned = MaxLearned * 3 / 2;
+      backtrack(0);
+      reduceDb();
+      continue;
+    }
+    Lit Next = pickBranchLit();
+    if (Next.var() == (UINT32_MAX >> 1)) {
+      // Complete assignment: extract the model.
+      Model.resize(VarCount);
+      for (Var V = 0; V < VarCount; ++V)
+        Model[V] = Assign[V] == LBool::True;
+      backtrack(0);
+      return Outcome::Sat;
+    }
+    ++Stats.Decisions;
+    TrailLimits.push_back(static_cast<uint32_t>(Trail.size()));
+    enqueue(Next, NoReason);
+  }
+}
+
+// Binary-heap helpers keyed on variable activity.
+
+void Solver::heapInsert(Var V) {
+  HeapPos[V] = static_cast<int32_t>(OrderHeap.size());
+  OrderHeap.push_back(V);
+  heapSiftUp(OrderHeap.size() - 1);
+}
+
+void Solver::heapDecrease(Var V) { heapSiftUp(static_cast<size_t>(HeapPos[V])); }
+
+Var Solver::heapPop() {
+  Var Top = OrderHeap[0];
+  HeapPos[Top] = -1;
+  OrderHeap[0] = OrderHeap.back();
+  OrderHeap.pop_back();
+  if (!OrderHeap.empty()) {
+    HeapPos[OrderHeap[0]] = 0;
+    heapSiftDown(0);
+  }
+  return Top;
+}
+
+void Solver::heapSiftUp(size_t I) {
+  Var V = OrderHeap[I];
+  while (I > 0) {
+    size_t Parent = (I - 1) / 2;
+    if (!heapLess(V, OrderHeap[Parent]))
+      break;
+    OrderHeap[I] = OrderHeap[Parent];
+    HeapPos[OrderHeap[I]] = static_cast<int32_t>(I);
+    I = Parent;
+  }
+  OrderHeap[I] = V;
+  HeapPos[V] = static_cast<int32_t>(I);
+}
+
+void Solver::heapSiftDown(size_t I) {
+  Var V = OrderHeap[I];
+  size_t N = OrderHeap.size();
+  while (true) {
+    size_t Left = 2 * I + 1;
+    if (Left >= N)
+      break;
+    size_t Child = Left;
+    if (Left + 1 < N && heapLess(OrderHeap[Left + 1], OrderHeap[Left]))
+      Child = Left + 1;
+    if (!heapLess(OrderHeap[Child], V))
+      break;
+    OrderHeap[I] = OrderHeap[Child];
+    HeapPos[OrderHeap[I]] = static_cast<int32_t>(I);
+    I = Child;
+  }
+  OrderHeap[I] = V;
+  HeapPos[V] = static_cast<int32_t>(I);
+}

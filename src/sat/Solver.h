@@ -1,0 +1,184 @@
+//===- sat/Solver.h - CDCL SAT solver ---------------------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A from-scratch CDCL SAT solver. The paper's instruction-placement stage
+/// (Section 5.3) formulates layout as constraints and solves them with Z3;
+/// this solver plays Z3's role here. It implements the standard
+/// conflict-driven clause-learning loop: two-watched-literal propagation,
+/// first-UIP conflict analysis with recursive clause minimization, VSIDS
+/// branching with phase saving, Luby restarts, and activity-based learned-
+/// clause reduction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_SAT_SOLVER_H
+#define RETICLE_SAT_SOLVER_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace reticle {
+namespace sat {
+
+/// A 0-based propositional variable.
+using Var = uint32_t;
+
+/// A literal: a variable or its negation, encoded as 2*var+sign.
+class Lit {
+public:
+  Lit() = default;
+  Lit(Var V, bool Negated = false) : Code((V << 1) | unsigned(Negated)) {}
+
+  Var var() const { return Code >> 1; }
+  bool negated() const { return Code & 1; }
+
+  /// Dense index usable as an array key.
+  uint32_t index() const { return Code; }
+
+  Lit operator~() const {
+    Lit L;
+    L.Code = Code ^ 1;
+    return L;
+  }
+  bool operator==(const Lit &Other) const = default;
+
+private:
+  uint32_t Code = 0;
+};
+
+/// Tri-state assignment value.
+enum class LBool : uint8_t { False, True, Undef };
+
+/// Solver outcome. Unknown is only produced when a conflict budget is
+/// exhausted.
+enum class Outcome : uint8_t { Sat, Unsat, Unknown };
+
+/// A CDCL SAT solver over clauses added incrementally before solve().
+class Solver {
+public:
+  Solver();
+
+  /// Creates a fresh variable and returns it.
+  Var newVar();
+  uint32_t numVars() const { return VarCount; }
+
+  /// Adds a clause. Returns false when the formula is already
+  /// unsatisfiable at the root level (e.g. an empty clause after
+  /// simplification); once false has been returned, solve() reports Unsat.
+  bool addClause(std::vector<Lit> Lits);
+
+  /// Convenience forms.
+  bool addUnit(Lit A) { return addClause({A}); }
+  bool addBinary(Lit A, Lit B) { return addClause({A, B}); }
+
+  /// Runs the CDCL loop. With a nonzero \p ConflictBudget the search gives
+  /// up after that many conflicts and reports Unknown (used by callers
+  /// that can fall back, e.g. placement shrinking).
+  Outcome solve(uint64_t ConflictBudget = 0);
+
+  /// Model access after a Sat outcome.
+  bool value(Var V) const {
+    assert(Model.size() == VarCount && "no model available");
+    return Model[V];
+  }
+
+  /// Search statistics, for tests and benchmark reporting.
+  struct Statistics {
+    uint64_t Decisions = 0;
+    uint64_t Propagations = 0;
+    uint64_t Conflicts = 0;
+    uint64_t Restarts = 0;
+    uint64_t Learned = 0;
+  };
+  const Statistics &stats() const { return Stats; }
+
+private:
+  struct Clause {
+    std::vector<Lit> Lits;
+    double Activity = 0.0;
+    bool Learned = false;
+  };
+  using ClauseRef = uint32_t;
+  static constexpr ClauseRef NoReason = UINT32_MAX;
+
+  struct Watcher {
+    ClauseRef Ref;
+    Lit Blocker;
+  };
+
+  LBool litValue(Lit L) const {
+    LBool V = Assign[L.var()];
+    if (V == LBool::Undef)
+      return LBool::Undef;
+    bool IsTrue = (V == LBool::True) != L.negated();
+    return IsTrue ? LBool::True : LBool::False;
+  }
+
+  void enqueue(Lit L, ClauseRef Reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
+               uint32_t &BackLevel);
+  bool litRedundant(Lit L, uint32_t AbstractLevels);
+  void backtrack(uint32_t Level);
+  void bumpVar(Var V);
+  void bumpClause(Clause &C);
+  void decayActivities();
+  Lit pickBranchLit();
+  void attachClause(ClauseRef Ref);
+  void reduceDb();
+  static uint32_t luby(uint32_t I);
+
+  uint32_t VarCount = 0;
+  std::vector<Clause> Clauses;
+  std::vector<std::vector<Watcher>> Watches; // indexed by Lit::index()
+
+  // Assignment trail.
+  std::vector<LBool> Assign;
+  std::vector<uint32_t> Level;
+  std::vector<ClauseRef> Reason;
+  std::vector<Lit> Trail;
+  std::vector<uint32_t> TrailLimits;
+  size_t PropagateHead = 0;
+
+  // Branching.
+  std::vector<double> VarActivity;
+  std::vector<bool> SavedPhase;
+  double VarInc = 1.0;
+  double ClauseInc = 1.0;
+  std::vector<Var> OrderHeap; // lazy binary heap keyed by activity
+  std::vector<int32_t> HeapPos;
+  void heapInsert(Var V);
+  void heapDecrease(Var V);
+  Var heapPop();
+  bool heapEmpty() const { return OrderHeap.empty(); }
+  bool heapLess(Var A, Var B) const {
+    // Lower-index tiebreak: with untouched activities, decisions then
+    // follow variable creation order, which gives one-hot encodings
+    // first-fit-shaped models.
+    if (VarActivity[A] != VarActivity[B])
+      return VarActivity[A] > VarActivity[B];
+    return A < B;
+  }
+  void heapSiftUp(size_t I);
+  void heapSiftDown(size_t I);
+
+  // Conflict analysis scratch.
+  std::vector<uint8_t> Seen;
+  std::vector<Lit> AnalyzeStack;
+  std::vector<Lit> AnalyzeToClear;
+
+  bool OkFlag = true;
+  std::vector<bool> Model;
+  Statistics Stats;
+};
+
+} // namespace sat
+} // namespace reticle
+
+#endif // RETICLE_SAT_SOLVER_H

@@ -1,0 +1,99 @@
+//===- support/Lexer.h - Shared token stream for Reticle dialects -*- C++ -*-//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small hand-written lexer shared by the intermediate-language, assembly,
+/// and target-description parsers. The three dialects use an identical token
+/// alphabet (Figure 5 and Figure 9 of the paper), so one lexer serves all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_SUPPORT_LEXER_H
+#define RETICLE_SUPPORT_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reticle {
+
+/// Kinds of tokens produced by the Lexer.
+enum class TokenKind : uint8_t {
+  Ident,    ///< identifier or keyword, e.g. "add", "i8", "lut"
+  Int,      ///< integer literal, possibly negative
+  LParen,   ///< (
+  RParen,   ///< )
+  LBracket, ///< [
+  RBracket, ///< ]
+  LBrace,   ///< {
+  RBrace,   ///< }
+  Less,     ///< <
+  Greater,  ///< >
+  Comma,    ///< ,
+  Semi,     ///< ;
+  Colon,    ///< :
+  Equal,    ///< =
+  At,       ///< @
+  Arrow,    ///< ->
+  Plus,     ///< +
+  Hole,     ///< _   (attribute hole in target descriptions)
+  Wildcard, ///< ??  (unconstrained resource or coordinate)
+  Eof,      ///< end of input
+};
+
+/// Returns a printable name for a token kind, used in diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// A single lexed token with its source location (1-based line/column).
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;   ///< identifier spelling, empty otherwise
+  int64_t IntValue = 0; ///< value for Int tokens
+  unsigned Line = 0;
+  unsigned Col = 0;
+};
+
+/// Tokenizes a whole buffer up front. `//` line comments are skipped.
+///
+/// Lexing is infallible except for stray characters and malformed integers,
+/// which are reported through the Ok flag and ErrorMessage members so that
+/// parsers can surface one uniform diagnostic style.
+class Lexer {
+public:
+  explicit Lexer(const std::string &Source);
+
+  /// True when the whole buffer lexed cleanly.
+  bool ok() const { return Ok; }
+  const std::string &error() const { return ErrorMessage; }
+
+  /// Returns the current token without consuming it.
+  const Token &peek(unsigned LookAhead = 0) const;
+
+  /// Consumes and returns the current token.
+  const Token &next();
+
+  /// Consumes the current token when it has kind \p Kind; returns whether it
+  /// did.
+  bool accept(TokenKind Kind);
+
+  /// True when the current token has kind \p Kind.
+  bool at(TokenKind Kind) const { return peek().Kind == Kind; }
+
+  /// True when the current token is the identifier \p Text.
+  bool atIdent(const std::string &Text) const;
+
+private:
+  void tokenize(const std::string &Source);
+
+  std::vector<Token> Tokens;
+  size_t Cursor = 0;
+  bool Ok = true;
+  std::string ErrorMessage;
+};
+
+} // namespace reticle
+
+#endif // RETICLE_SUPPORT_LEXER_H

@@ -1,0 +1,102 @@
+//===- support/Result.h - Lightweight error propagation --------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project, a reproduction of the PLDI 2021 paper
+// "Reticle: A Virtual Machine for Programming Modern FPGAs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Defines Result<T>, a minimal Expected-style carrier used throughout the
+/// library for recoverable errors (malformed programs, unsatisfiable
+/// constraints, etc.). Library code never throws; programmatic invariants
+/// use assert.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_SUPPORT_RESULT_H
+#define RETICLE_SUPPORT_RESULT_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace reticle {
+
+/// A tag type used to construct failing Result values unambiguously.
+struct ErrorTag {};
+
+/// Carries either a value of type \p T or a human-readable error message.
+///
+/// The error style follows compiler conventions: lowercase first letter and
+/// no trailing period. A Result must be queried with ok() (or operator bool)
+/// before its value is accessed.
+template <typename T> class Result {
+public:
+  /// Constructs a success value.
+  Result(T Value) : Value(std::move(Value)) {}
+
+  /// Constructs a failure carrying \p Message.
+  Result(ErrorTag, std::string Message) : Message(std::move(Message)) {}
+
+  /// Returns true when a value is present.
+  bool ok() const { return Value.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Returns the contained value; the Result must be in the success state.
+  T &value() {
+    assert(ok() && "accessing value of a failed Result");
+    return *Value;
+  }
+  const T &value() const {
+    assert(ok() && "accessing value of a failed Result");
+    return *Value;
+  }
+
+  T take() {
+    assert(ok() && "taking value of a failed Result");
+    return std::move(*Value);
+  }
+
+  /// Returns the error message; the Result must be in the failure state.
+  const std::string &error() const {
+    assert(!ok() && "accessing error of a successful Result");
+    return Message;
+  }
+
+private:
+  std::optional<T> Value;
+  std::string Message;
+};
+
+/// Builds a failing Result<T> from a message.
+template <typename T> Result<T> fail(std::string Message) {
+  return Result<T>(ErrorTag{}, std::move(Message));
+}
+
+/// A value-less Result used by checking passes.
+class Status {
+public:
+  Status() = default;
+  Status(ErrorTag, std::string Message) : Message(std::move(Message)) {}
+
+  static Status success() { return Status(); }
+  static Status failure(std::string Message) {
+    return Status(ErrorTag{}, std::move(Message));
+  }
+
+  bool ok() const { return !Message.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const std::string &error() const {
+    assert(!ok() && "accessing error of a successful Status");
+    return *Message;
+  }
+
+private:
+  std::optional<std::string> Message;
+};
+
+} // namespace reticle
+
+#endif // RETICLE_SUPPORT_RESULT_H

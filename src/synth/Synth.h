@@ -1,0 +1,90 @@
+//===- synth/Synth.h - Baseline behavioral toolchain ------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline "vendor" toolchain the evaluation compares against
+/// (Section 7's `base` and `hint` bars). It consumes the same programs as
+/// Reticle but treats them the way a behavioral-HDL flow would:
+///
+///  - vector types are scalarized (behavioral Verilog has no lane types:
+///    Figure 3's loop becomes N independent scalar adds);
+///  - DSP binding is a *heuristic cost model*, not a constraint:
+///     * `base`: only multiplications (and mul+add fusions) infer DSPs;
+///       additions stay in LUT fabric — exactly the behavior the paper
+///       observes ("Vivado's heuristics fail to exploit DSPs at all using
+///       a pure behavioral description");
+///     * `hint`: the `use_dsp` attribute also maps additions to *scalar*
+///       DSP configurations while DSPs remain, then silently falls back
+///       to LUTs (Figure 4's plateau at 360 and the LUT cliff at N=512);
+///       mul+add chains additionally get cascade placement, as Vivado
+///       2020.1 does with hints, at extra compile cost;
+///  - everything else is bit-blasted into an AIG, technology-mapped onto
+///    6-LUTs (src/aig), and placed by simulated annealing (src/anneal) —
+///    the expensive bit-level pipeline Reticle bypasses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_SYNTH_SYNTH_H
+#define RETICLE_SYNTH_SYNTH_H
+
+#include "anneal/Anneal.h"
+#include "device/Device.h"
+#include "ir/Function.h"
+#include "support/Result.h"
+#include "timing/Timing.h"
+#include "verilog/Ast.h"
+
+namespace reticle {
+namespace synth {
+
+/// Baseline flavor: plain behavioral code or behavioral code with
+/// vendor-specific DSP hints.
+enum class Mode { Base, Hint };
+
+struct SynthOptions {
+  Mode SynthMode = Mode::Base;
+  device::Device Dev = device::Device::xczu3eg();
+  timing::DelayModel Delays;
+  anneal::AnnealOptions Anneal;
+};
+
+/// Everything one baseline run produces.
+struct SynthResult {
+  // Utilization (the Figure 4 / Figure 13 quantities).
+  unsigned Luts = 0;
+  unsigned Dsps = 0;
+  unsigned Ffs = 0;
+  /// Operations that requested a DSP but were silently mapped to LUTs
+  /// after the device ran out (the unpredictability of Section 2).
+  unsigned DspFallbacks = 0;
+
+  // Synthesis internals.
+  unsigned AigAnds = 0;
+  unsigned AigDepth = 0;
+  unsigned LutDepth = 0;
+  unsigned CascadeChains = 0;
+
+  timing::TimingReport Timing;
+
+  double ElabMs = 0.0;
+  double MapMs = 0.0;
+  double PlaceMs = 0.0;
+  double TotalMs = 0.0;
+};
+
+/// Runs the full baseline flow on \p Fn.
+Result<SynthResult> synthesize(const ir::Function &Fn,
+                               const SynthOptions &Options = {});
+
+/// Renders the behavioral Verilog a vendor tool would consume for \p Fn
+/// (Figure 3 style); Hint mode adds the `use_dsp` attribute. For
+/// documentation and tests; the synthesizer consumes the IR directly.
+verilog::Module emitBehavioral(const ir::Function &Fn, Mode SynthMode);
+
+} // namespace synth
+} // namespace reticle
+
+#endif // RETICLE_SYNTH_SYNTH_H

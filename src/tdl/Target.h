@@ -1,0 +1,97 @@
+//===- tdl/Target.h - Target descriptions -----------------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The target description language of Figure 9. A target (an FPGA family)
+/// is a list of assembly-instruction definitions; each gives the operation
+/// name, the primitive it occupies, integer area and latency costs, typed
+/// ports, and a body of intermediate-language instructions defining its
+/// semantics. Instruction selection (Section 5.1) uses the bodies as tree
+/// patterns and the costs to pick a minimum-cost cover.
+///
+/// Two conventions extend the paper's grammar:
+///  - an attribute written `_` in a body is a hole: it binds the matched
+///    instruction's attribute and is carried on the selected assembly
+///    instruction (used for register init values);
+///  - definitions whose name ends in `_co`, `_ci`, or `_cio` are cascade
+///    layout variants (Section 5.2): they are never chosen by instruction
+///    selection and are introduced only by the layout-optimization pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_TDL_TARGET_H
+#define RETICLE_TDL_TARGET_H
+
+#include "ir/Function.h"
+
+#include <string>
+#include <vector>
+
+namespace reticle {
+namespace tdl {
+
+/// One assembly-instruction definition.
+class TargetDef {
+public:
+  std::string Name;
+  ir::Resource Prim = ir::Resource::Lut; ///< Lut or Dsp
+  int64_t Area = 0;    ///< cost in LUT-equivalents (one DSP is 16)
+  int64_t Latency = 0; ///< cost tie-breaker, abstract units
+  std::vector<ir::Port> Inputs;
+  ir::Port Output;
+  std::vector<ir::Instr> Body;
+  /// Holes[I][K] marks attribute K of body instruction I as bound from the
+  /// matched program instruction.
+  std::vector<std::vector<bool>> Holes;
+
+  /// Total number of attribute holes, in body order.
+  unsigned numHoles() const;
+
+  /// True for `_co` / `_ci` / `_cio` cascade variants, which instruction
+  /// selection must skip.
+  bool isCascadeVariant() const;
+
+  /// The body viewed as an ir::Function (with hole attributes substituted
+  /// from \p HoleValues, which must have numHoles() entries). Used to
+  /// interpret assembly instructions and to validate definitions.
+  ir::Function toFunction(const std::vector<int64_t> &HoleValues) const;
+
+  /// Renders the definition in TDL surface syntax.
+  std::string str() const;
+};
+
+/// A named collection of definitions describing one FPGA family.
+class Target {
+public:
+  Target() = default;
+  explicit Target(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  const std::vector<TargetDef> &defs() const { return Defs; }
+
+  /// Adds a definition after validating it: the body must be a closed,
+  /// well-typed DAG over the declared ports, and every input must be used.
+  Status addDef(TargetDef Def);
+
+  /// Resolves a definition by name, primitive, and exact port types.
+  /// Assembly operation names may be overloaded across widths and
+  /// primitives; the location's primitive and the instruction types
+  /// disambiguate.
+  const TargetDef *resolve(const std::string &Name, ir::Resource Prim,
+                           const std::vector<ir::Type> &ArgTypes,
+                           ir::Type OutType) const;
+
+  std::string str() const;
+
+private:
+  std::string Name;
+  std::vector<TargetDef> Defs;
+};
+
+} // namespace tdl
+} // namespace reticle
+
+#endif // RETICLE_TDL_TARGET_H

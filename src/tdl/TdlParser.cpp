@@ -1,0 +1,134 @@
+//===- tdl/TdlParser.cpp - Target-description parser ---------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tdl/TdlParser.h"
+
+#include "ir/ParseCommon.h"
+#include "support/Lexer.h"
+
+using namespace reticle;
+using namespace reticle::tdl;
+using ir::diagAt;
+using ir::expect;
+
+namespace {
+
+/// Parses one body instruction; like an IR instruction but with `_`
+/// attribute holes and no resource annotation.
+Result<ir::Instr> parseBodyInstr(Lexer &Lex, std::vector<bool> &Holes) {
+  if (!Lex.at(TokenKind::Ident))
+    return fail<ir::Instr>(diagAt(Lex, "expected instruction destination"));
+  std::string Dst = Lex.next().Text;
+  if (Status S = expect(Lex, TokenKind::Colon); !S)
+    return fail<ir::Instr>(S.error());
+  Result<ir::Type> Ty = ir::parseType(Lex);
+  if (!Ty)
+    return fail<ir::Instr>(Ty.error());
+  if (Status S = expect(Lex, TokenKind::Equal); !S)
+    return fail<ir::Instr>(S.error());
+  if (!Lex.at(TokenKind::Ident))
+    return fail<ir::Instr>(diagAt(Lex, "expected operation name"));
+  std::string OpName = Lex.next().Text;
+  Result<std::vector<int64_t>> Attrs =
+      ir::parseAttrList(Lex, /*AllowHoles=*/true, &Holes);
+  if (!Attrs)
+    return fail<ir::Instr>(Attrs.error());
+  Result<std::vector<std::string>> Args = ir::parseArgList(Lex);
+  if (!Args)
+    return fail<ir::Instr>(Args.error());
+  if (Status S = expect(Lex, TokenKind::Semi); !S)
+    return fail<ir::Instr>(S.error());
+
+  if (std::optional<ir::WireOp> WOp = ir::parseWireOp(OpName))
+    return ir::Instr::makeWire(std::move(Dst), Ty.value(), *WOp,
+                               Attrs.take(), Args.take());
+  if (std::optional<ir::CompOp> COp = ir::parseCompOp(OpName))
+    return ir::Instr::makeComp(std::move(Dst), Ty.value(), *COp,
+                               Args.take(), Attrs.take());
+  return fail<ir::Instr>("unknown operation '" + OpName +
+                         "' in definition body");
+}
+
+Result<TargetDef> parseDef(Lexer &Lex) {
+  TargetDef Def;
+  if (!Lex.at(TokenKind::Ident))
+    return fail<TargetDef>(diagAt(Lex, "expected definition name"));
+  Def.Name = Lex.next().Text;
+
+  // [prim, area, latency]
+  if (Status S = expect(Lex, TokenKind::LBracket); !S)
+    return fail<TargetDef>(S.error());
+  if (Lex.atIdent("lut")) {
+    Def.Prim = ir::Resource::Lut;
+  } else if (Lex.atIdent("dsp")) {
+    Def.Prim = ir::Resource::Dsp;
+  } else {
+    return fail<TargetDef>(diagAt(Lex, "expected primitive 'lut' or 'dsp'"));
+  }
+  Lex.next();
+  if (Status S = expect(Lex, TokenKind::Comma); !S)
+    return fail<TargetDef>(S.error());
+  if (!Lex.at(TokenKind::Int))
+    return fail<TargetDef>(diagAt(Lex, "expected area cost"));
+  Def.Area = Lex.next().IntValue;
+  if (Status S = expect(Lex, TokenKind::Comma); !S)
+    return fail<TargetDef>(S.error());
+  if (!Lex.at(TokenKind::Int))
+    return fail<TargetDef>(diagAt(Lex, "expected latency cost"));
+  Def.Latency = Lex.next().IntValue;
+  if (Status S = expect(Lex, TokenKind::RBracket); !S)
+    return fail<TargetDef>(S.error());
+
+  Result<std::vector<ir::Port>> Inputs = ir::parsePortList(Lex);
+  if (!Inputs)
+    return fail<TargetDef>(Inputs.error());
+  Def.Inputs = Inputs.take();
+
+  if (Status S = expect(Lex, TokenKind::Arrow); !S)
+    return fail<TargetDef>(S.error());
+  Result<std::vector<ir::Port>> Outputs = ir::parsePortList(Lex);
+  if (!Outputs)
+    return fail<TargetDef>(Outputs.error());
+  if (Outputs.value().size() != 1)
+    return fail<TargetDef>("definition '" + Def.Name +
+                           "' must declare exactly one output");
+  Def.Output = Outputs.value()[0];
+
+  if (Status S = expect(Lex, TokenKind::LBrace); !S)
+    return fail<TargetDef>(S.error());
+  while (!Lex.at(TokenKind::RBrace)) {
+    if (Lex.at(TokenKind::Eof))
+      return fail<TargetDef>(diagAt(Lex, "unterminated definition body"));
+    std::vector<bool> Holes;
+    Result<ir::Instr> I = parseBodyInstr(Lex, Holes);
+    if (!I)
+      return fail<TargetDef>(I.error());
+    Def.Body.push_back(I.take());
+    Def.Holes.push_back(std::move(Holes));
+  }
+  Lex.next();
+  return Def;
+}
+
+} // namespace
+
+Result<Target> reticle::tdl::parseTarget(const std::string &TargetName,
+                                         const std::string &Source) {
+  Lexer Lex(Source);
+  if (!Lex.ok())
+    return fail<Target>(Lex.error());
+  Target T(TargetName);
+  while (!Lex.at(TokenKind::Eof)) {
+    Result<TargetDef> Def = parseDef(Lex);
+    if (!Def)
+      return fail<Target>(Def.error());
+    if (Status S = T.addDef(Def.take()); !S)
+      return fail<Target>(S.error());
+  }
+  if (T.defs().empty())
+    return fail<Target>("target description is empty");
+  return T;
+}

@@ -1,0 +1,38 @@
+//===- tdl/TdlParser.h - Target-description parser ---------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Textual front end for the target description language (Figure 9), e.g.:
+///
+/// \code
+///   add_reg[lut, 8, 2](a:i8, b:i8, en:bool) -> (y:i8) {
+///     t0:i8 = add(a, b);
+///     y:i8 = reg[_](t0, en);
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_TDL_TDLPARSER_H
+#define RETICLE_TDL_TDLPARSER_H
+
+#include "support/Result.h"
+#include "tdl/Target.h"
+
+#include <string>
+
+namespace reticle {
+namespace tdl {
+
+/// Parses and validates a whole target description. \p TargetName names
+/// the resulting family.
+Result<Target> parseTarget(const std::string &TargetName,
+                           const std::string &Source);
+
+} // namespace tdl
+} // namespace reticle
+
+#endif // RETICLE_TDL_TDLPARSER_H

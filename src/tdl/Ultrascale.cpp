@@ -1,0 +1,225 @@
+//===- tdl/Ultrascale.cpp - UltraScale-like target library --------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tdl/Ultrascale.h"
+
+#include "tdl/TdlParser.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace reticle;
+using namespace reticle::tdl;
+
+namespace {
+
+/// Scalar integer widths the family supports directly.
+const unsigned ScalarWidths[] = {1, 2, 4, 8, 12, 16, 24, 32, 48, 64};
+
+/// DSP SIMD shapes (element width, lanes) per UG579: FOUR12 and TWO24.
+const std::pair<unsigned, unsigned> VectorShapes[] = {
+    {8, 2}, {8, 4}, {12, 4}, {16, 2}, {24, 2}};
+
+/// One DSP slot costs this many LUT-equivalents in the selection cost
+/// model.
+constexpr unsigned DspArea = 16;
+
+/// Maximum scalar width of the DSP pre-adder/ALU datapath.
+constexpr unsigned DspAddMaxWidth = 48;
+
+/// Maximum width for DSP multiplication (27x18 multiplier, signed).
+constexpr unsigned DspMulMaxWidth = 16;
+
+std::string typeName(unsigned Width, unsigned Lanes) {
+  std::string T = "i" + std::to_string(Width);
+  if (Lanes > 1)
+    T += "<" + std::to_string(Lanes) + ">";
+  return T;
+}
+
+/// Emits one definition with up to three typed value inputs plus an
+/// optional bool enable, and a body given as preformatted lines.
+void emitDef(std::string &Out, const std::string &Name,
+             const char *Prim, unsigned Area, unsigned Latency,
+             const std::vector<std::pair<std::string, std::string>> &Ports,
+             const std::string &OutName, const std::string &OutType,
+             const std::vector<std::string> &BodyLines) {
+  Out += Name + "[" + Prim + ", " + std::to_string(Area) + ", " +
+         std::to_string(Latency) + "](";
+  for (size_t I = 0; I < Ports.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Ports[I].first + ":" + Ports[I].second;
+  }
+  Out += ") -> (" + OutName + ":" + OutType + ") {\n";
+  for (const std::string &Line : BodyLines)
+    Out += "  " + Line + "\n";
+  Out += "}\n";
+}
+
+/// Emits the full op family for one element type (scalar or vector).
+///
+/// \p Width and \p Lanes describe the type; \p BoolType toggles the
+/// bool-only family used by control logic.
+void emitLutFamily(std::string &Out, const std::string &T, unsigned Bits,
+                   bool IsBool, bool IsVector) {
+  auto Bin = [&](const char *Op, unsigned Area, unsigned Lat) {
+    emitDef(Out, Op, "lut", Area, Lat, {{"a", T}, {"b", T}}, "y", T,
+            {std::string("y:") + T + " = " + Op + "(a, b);"});
+  };
+  // Bitwise logic: one LUT per bit.
+  Bin("and", Bits, 1);
+  Bin("or", Bits, 1);
+  Bin("xor", Bits, 1);
+  emitDef(Out, "not", "lut", Bits, 1, {{"a", T}}, "y", T,
+          {"y:" + T + " = not(a);"});
+  emitDef(Out, "mux", "lut", Bits, 1, {{"c", "bool"}, {"a", T}, {"b", T}},
+          "y", T, {"y:" + T + " = mux(c, a, b);"});
+  emitDef(Out, "reg", "lut", 1, 1, {{"a", T}, {"en", "bool"}}, "y", T,
+          {"y:" + T + " = reg[_](a, en);"});
+  if (!IsBool) {
+    // Arithmetic: one LUT per bit plus the slice carry chain.
+    Bin("add", Bits, 2);
+    Bin("sub", Bits, 2);
+    emitDef(Out, "addreg", "lut", Bits, 2,
+            {{"a", T}, {"b", T}, {"en", "bool"}}, "y", T,
+            {"t0:" + T + " = add(a, b);",
+             "y:" + T + " = reg[_](t0, en);"});
+    emitDef(Out, "subreg", "lut", Bits, 2,
+            {{"a", T}, {"b", T}, {"en", "bool"}}, "y", T,
+            {"t0:" + T + " = sub(a, b);",
+             "y:" + T + " = reg[_](t0, en);"});
+    // LUT multipliers scale quadratically: the classic reason synthesis
+    // prefers DSPs for mul.
+    emitDef(Out, "mul", "lut", Bits * Bits, 4, {{"a", T}, {"b", T}}, "y", T,
+            {"y:" + T + " = mul(a, b);"});
+  }
+  // Comparisons produce bool and are scalar-only.
+  if (!IsVector) {
+    const char *CmpOps[] = {"eq", "neq", "lt", "gt", "le", "ge"};
+    for (const char *Op : CmpOps) {
+      if (IsBool && (std::string(Op) != "eq" && std::string(Op) != "neq"))
+        continue;
+      emitDef(Out, Op, "lut", Bits, 2, {{"a", T}, {"b", T}}, "y", "bool",
+              {std::string("y:bool = ") + Op + "(a, b);"});
+    }
+  }
+}
+
+void emitDspFamily(std::string &Out, const std::string &T, unsigned Width,
+                   unsigned Lanes, bool SimdAlu = true) {
+  if (Lanes > 1 && !SimdAlu)
+    return; // this family has no vector ALU configurations
+  unsigned Lat = Lanes > 1 ? 2 : 1; // SIMD configs are slightly slower
+  auto Bin = [&](const char *Op) {
+    emitDef(Out, Op, "dsp", DspArea, Lat, {{"a", T}, {"b", T}}, "y", T,
+            {std::string("y:") + T + " = " + Op + "(a, b);"});
+  };
+  if (Width <= DspAddMaxWidth) {
+    Bin("add");
+    Bin("sub");
+    emitDef(Out, "addreg", "dsp", DspArea, Lat,
+            {{"a", T}, {"b", T}, {"en", "bool"}}, "y", T,
+            {"t0:" + T + " = add(a, b);",
+             "y:" + T + " = reg[_](t0, en);"});
+    emitDef(Out, "subreg", "dsp", DspArea, Lat,
+            {{"a", T}, {"b", T}, {"en", "bool"}}, "y", T,
+            {"t0:" + T + " = sub(a, b);",
+             "y:" + T + " = reg[_](t0, en);"});
+  }
+  // Multiplication and the fused multiply-add use the 27x18 multiplier and
+  // the post-adder; they have no SIMD form (UG579).
+  if (Lanes == 1 && Width <= DspMulMaxWidth) {
+    emitDef(Out, "mul", "dsp", DspArea, 2, {{"a", T}, {"b", T}}, "y", T,
+            {"y:" + T + " = mul(a, b);"});
+    emitDef(Out, "mulreg", "dsp", DspArea, 2,
+            {{"a", T}, {"b", T}, {"en", "bool"}}, "y", T,
+            {"t0:" + T + " = mul(a, b);",
+             "y:" + T + " = reg[_](t0, en);"});
+    // muladd plus its cascade layout variants (_co drives the cascade
+    // output, _ci consumes the cascade input, _cio does both); all share
+    // one semantics and differ only in routing (Section 5.2).
+    const char *MulAddNames[] = {"muladd", "muladd_co", "muladd_ci",
+                                 "muladd_cio"};
+    for (const char *Name : MulAddNames)
+      emitDef(Out, Name, "dsp", DspArea, 2,
+              {{"a", T}, {"b", T}, {"c", T}}, "y", T,
+              {"t0:" + T + " = mul(a, b);",
+               "y:" + T + " = add(t0, c);"});
+    const char *MulAddRegNames[] = {"muladdreg", "muladdreg_co",
+                                    "muladdreg_ci", "muladdreg_cio"};
+    for (const char *Name : MulAddRegNames)
+      emitDef(Out, Name, "dsp", DspArea, 2,
+              {{"a", T}, {"b", T}, {"c", T}, {"en", "bool"}}, "y", T,
+              {"t0:" + T + " = mul(a, b);",
+               "t1:" + T + " = add(t0, c);",
+               "y:" + T + " = reg[_](t1, en);"});
+  }
+}
+
+} // namespace
+
+std::string reticle::tdl::ultrascaleText() {
+  std::string Out;
+  Out.reserve(1 << 17);
+  Out += "// UltraScale-like target description (generated; see "
+         "Ultrascale.cpp)\n";
+  emitLutFamily(Out, "bool", 1, /*IsBool=*/true, /*IsVector=*/false);
+  for (unsigned W : ScalarWidths) {
+    emitLutFamily(Out, typeName(W, 1), W, false, /*IsVector=*/false);
+    emitDspFamily(Out, typeName(W, 1), W, 1);
+  }
+  for (auto [W, L] : VectorShapes) {
+    emitLutFamily(Out, typeName(W, L), W * L, false, /*IsVector=*/true);
+    emitDspFamily(Out, typeName(W, L), W, L);
+  }
+  return Out;
+}
+
+const Target &reticle::tdl::ultrascale() {
+  static const Target Instance = [] {
+    Result<Target> T = parseTarget("ultrascale", ultrascaleText());
+    if (!T) {
+      std::fprintf(stderr, "invalid built-in target: %s\n",
+                   T.error().c_str());
+      std::abort();
+    }
+    return T.take();
+  }();
+  return Instance;
+}
+
+std::string reticle::tdl::stratixText() {
+  std::string Out;
+  Out.reserve(1 << 17);
+  Out += "// Stratix-like target description (generated; see "
+         "Ultrascale.cpp)\n";
+  emitLutFamily(Out, "bool", 1, /*IsBool=*/true, /*IsVector=*/false);
+  for (unsigned W : ScalarWidths) {
+    emitLutFamily(Out, typeName(W, 1), W, false, /*IsVector=*/false);
+    emitDspFamily(Out, typeName(W, 1), W, 1, /*SimdAlu=*/false);
+  }
+  // Vector types still exist in the IL and map to soft logic: the family
+  // defines LUT implementations but no DSP SIMD configurations.
+  for (auto [W, L] : VectorShapes) {
+    emitLutFamily(Out, typeName(W, L), W * L, false, /*IsVector=*/true);
+    emitDspFamily(Out, typeName(W, L), W, L, /*SimdAlu=*/false);
+  }
+  return Out;
+}
+
+const Target &reticle::tdl::stratix() {
+  static const Target Instance = [] {
+    Result<Target> T = parseTarget("stratix", stratixText());
+    if (!T) {
+      std::fprintf(stderr, "invalid built-in target: %s\n",
+                   T.error().c_str());
+      std::abort();
+    }
+    return T.take();
+  }();
+  return Instance;
+}

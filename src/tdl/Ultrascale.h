@@ -1,0 +1,62 @@
+//===- tdl/Ultrascale.h - UltraScale-like target library ---------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The built-in target description for a Xilinx UltraScale(+)-like family
+/// (the paper's 444-line TDL library, Section 6). The description is
+/// generated per width/shape and then parsed through the normal TDL front
+/// end, so it exercises the same code path as a hand-written target.
+///
+/// Cost model (areas in LUT-equivalents; one DSP slot costs 16):
+///  - LUT word ops cost one LUT per bit; LUT multipliers cost width^2,
+///    reproducing the "poor size and speed trade-off" that steers
+///    multiplications to DSPs (Section 2);
+///  - DSP ops cost a flat 16, so small adders prefer LUTs and wide or
+///    vector ops prefer DSPs;
+///  - fused ops (add_reg, muladd, muladd_reg) model the DSP's internal
+///    post-adder and pipeline registers and the slice flip-flops next to
+///    LUTs.
+///
+/// DSP SIMD shapes follow UG579: four lanes up to 12 bits or two lanes up
+/// to 24 bits per DSP.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_TDL_ULTRASCALE_H
+#define RETICLE_TDL_ULTRASCALE_H
+
+#include "tdl/Target.h"
+
+#include <string>
+
+namespace reticle {
+namespace tdl {
+
+/// The generated TDL source text for the UltraScale-like family.
+std::string ultrascaleText();
+
+/// The parsed and validated UltraScale-like target (cached singleton).
+const Target &ultrascale();
+
+/// A second FPGA family, modeled on Intel Stratix-style variable-precision
+/// DSP blocks: fused multiply-add with dedicated accumulation chains
+/// (chainin/chainout, expressed through the same `_co`/`_ci`/`_cio`
+/// cascade convention) but *no SIMD ALU*, so vector additions must map to
+/// soft logic. Retargeting a program is a matter of swapping this target
+/// in — the intermediate language does not change (the portability claim
+/// of Sections 3 and 4.2). Code generation currently emits
+/// UltraScale-style primitives only, matching the paper's single
+/// implemented backend; this family is exercised through selection,
+/// placement, and timing.
+std::string stratixText();
+
+/// The parsed and validated Stratix-like target (cached singleton).
+const Target &stratix();
+
+} // namespace tdl
+} // namespace reticle
+
+#endif // RETICLE_TDL_ULTRASCALE_H

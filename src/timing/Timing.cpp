@@ -1,0 +1,270 @@
+//===- timing/Timing.cpp - Static timing analysis -------------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "timing/Timing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+using namespace reticle;
+using namespace reticle::timing;
+
+double TimingGraph::edgeDelay(size_t From, size_t To,
+                              bool CascadeEdge) const {
+  if (CascadeEdge)
+    return Model.Cascade;
+  const TimingNode &A = Nodes[From];
+  const TimingNode &B = Nodes[To];
+  if (!A.HasPosition || !B.HasPosition)
+    return Model.RouteBase;
+  double Dist = std::abs(A.X - B.X) + std::abs(A.Y - B.Y);
+  return Model.RouteBase + Model.RoutePerUnit * Dist;
+}
+
+Result<TimingReport> TimingGraph::analyze() const {
+  using ReportT = TimingReport;
+  size_t N = Nodes.size();
+
+  // Topological order over combinational dependencies: edges leaving a
+  // registered-output node do not extend combinational paths.
+  std::vector<unsigned> InDegree(N, 0);
+  std::vector<std::vector<size_t>> Users(N);
+  for (size_t I = 0; I < N; ++I)
+    for (size_t F : Nodes[I].Fanin)
+      if (!Nodes[F].RegisteredOutput) {
+        Users[F].push_back(I);
+        ++InDegree[I];
+      }
+  std::vector<size_t> Ready, Order;
+  for (size_t I = 0; I < N; ++I)
+    if (InDegree[I] == 0)
+      Ready.push_back(I);
+  while (!Ready.empty()) {
+    size_t I = Ready.back();
+    Ready.pop_back();
+    Order.push_back(I);
+    for (size_t U : Users[I])
+      if (--InDegree[U] == 0)
+        Ready.push_back(U);
+  }
+  if (Order.size() != N)
+    return fail<ReportT>("timing graph has a combinational cycle");
+
+  // Arrival at each node's output (or its internal register D pin).
+  std::vector<double> Arrival(N, 0.0);
+  std::vector<size_t> Critical(N, SIZE_MAX);
+  double WorstPath = 0.0;
+  size_t WorstEnd = SIZE_MAX;
+  for (size_t I : Order) {
+    const TimingNode &Node = Nodes[I];
+    double In = 0.0;
+    size_t From = SIZE_MAX;
+    for (size_t K = 0; K < Node.Fanin.size(); ++K) {
+      size_t F = Node.Fanin[K];
+      double Launch = Nodes[F].RegisteredOutput ? Model.ClockToQ
+                                                : Arrival[F];
+      double T = Launch + edgeDelay(F, I, Node.FaninCascade[K]);
+      if (T > In) {
+        In = T;
+        From = F;
+      }
+    }
+    Arrival[I] = In + Node.Delay;
+    Critical[I] = From;
+    double PathEnd =
+        Arrival[I] + (Node.RegisteredOutput ? Model.Setup : 0.0);
+    if (PathEnd > WorstPath) {
+      WorstPath = PathEnd;
+      WorstEnd = I;
+    }
+  }
+
+  TimingReport Report;
+  Report.CriticalPathNs = WorstPath;
+  Report.FmaxMhz = WorstPath > 0.0 ? 1000.0 / WorstPath : 0.0;
+  for (size_t I = WorstEnd; I != SIZE_MAX; I = Critical[I]) {
+    Report.Path.push_back(Nodes[I].Name);
+    if (Nodes[I].Fanin.empty() || Critical[I] == SIZE_MAX)
+      break;
+    if (Nodes[Critical[I]].RegisteredOutput) {
+      Report.Path.push_back(Nodes[Critical[I]].Name);
+      break;
+    }
+  }
+  std::reverse(Report.Path.begin(), Report.Path.end());
+  return Report;
+}
+
+namespace {
+
+/// Per-operation delay and registration facts derived from a target
+/// definition.
+struct OpTiming {
+  double Delay = 0.0;
+  bool Registered = false;
+};
+
+OpTiming opTiming(const tdl::TargetDef &Def, ir::Type Ty,
+                  const DelayModel &Model) {
+  OpTiming T;
+  const std::string &Name = Def.Name;
+  T.Registered = Name.find("reg") != std::string::npos;
+  unsigned Bits = Ty.totalBits();
+  unsigned CarryBlocks = (Ty.width() + 7) / 8;
+
+  if (Def.Prim == ir::Resource::Dsp) {
+    bool HasMul = Name.rfind("mul", 0) == 0;
+    bool HasPostAdd = Name.find("muladd") == 0;
+    if (HasPostAdd)
+      T.Delay = Model.DspMulAdd;
+    else if (HasMul)
+      T.Delay = Model.DspMul;
+    else
+      T.Delay = Ty.lanes() > 1 ? Model.DspAluSimd : Model.DspAlu;
+    return T;
+  }
+
+  // LUT family. The base operation is the name with any "reg" suffix
+  // stripped.
+  std::string Base = Name;
+  size_t RegPos = Base.find("reg");
+  if (RegPos != std::string::npos)
+    Base = Base.substr(0, RegPos);
+  if (Base.empty()) { // plain "reg"
+    T.Delay = 0.0;
+    T.Registered = true;
+    return T;
+  }
+  if (Base == "add" || Base == "sub") {
+    T.Delay = Model.LutLogic + Model.CarryPerBlock * CarryBlocks;
+  } else if (Base == "and" || Base == "or" || Base == "xor" ||
+             Base == "not" || Base == "mux") {
+    T.Delay = Model.LutLogic;
+  } else if (Base == "eq" || Base == "neq") {
+    // XNOR level plus a LUT6 reduction tree.
+    unsigned Levels = 1;
+    for (unsigned Width = Bits; Width > 1; Width = (Width + 5) / 6)
+      ++Levels;
+    T.Delay = Model.LutLogic * Levels;
+  } else if (Base == "lt" || Base == "gt" || Base == "le" || Base == "ge") {
+    T.Delay = 2 * Model.LutLogic + Model.CarryPerBlock * CarryBlocks;
+  } else if (Base == "mul") {
+    // One AND/XOR level plus a carry chain per operand row.
+    T.Delay =
+        Ty.width() * (Model.LutLogic + Model.CarryPerBlock * CarryBlocks);
+  } else {
+    T.Delay = Model.LutLogic;
+  }
+  return T;
+}
+
+} // namespace
+
+Result<TimingReport> reticle::timing::analyzeAsm(
+    const rasm::AsmProgram &Placed, const tdl::Target &Target,
+    const device::Device &Dev, const DelayModel &Model) {
+  using ReportT = TimingReport;
+  if (!Placed.isPlaced())
+    return fail<ReportT>("program has unresolved locations; place it first");
+
+  TimingGraph G(Model);
+  std::map<std::string, size_t> NodeOf;
+  std::map<std::string, ir::Type> TypeOf;
+  for (const ir::Port &P : Placed.inputs())
+    TypeOf[P.Name] = P.Ty;
+  for (const rasm::AsmInstr &I : Placed.body())
+    TypeOf[I.dst()] = I.type();
+
+  // Primary inputs.
+  for (const ir::Port &P : Placed.inputs()) {
+    TimingNode N;
+    N.Name = P.Name;
+    NodeOf[P.Name] = G.addNode(std::move(N));
+  }
+
+  // Wire instructions are pure wiring: map their result to the underlying
+  // sources so routing is measured between real elements. A wire value may
+  // merge several sources (cat), so resolution yields a source set.
+  std::map<std::string, std::vector<std::string>> WireSources;
+  auto ResolveSources =
+      [&](const std::string &Arg) -> const std::vector<std::string> * {
+    auto It = WireSources.find(Arg);
+    return It == WireSources.end() ? nullptr : &It->second;
+  };
+
+  // First pass: create nodes for operations.
+  for (const rasm::AsmInstr &I : Placed.body()) {
+    if (I.isWire())
+      continue;
+    std::vector<ir::Type> ArgTypes;
+    for (const std::string &Arg : I.args())
+      ArgTypes.push_back(TypeOf.at(Arg));
+    const tdl::TargetDef *Def =
+        Target.resolve(I.opName(), I.loc().Prim, ArgTypes, I.type());
+    if (!Def)
+      return fail<ReportT>("in '" + I.str() + "': unresolved operation '" +
+                           I.opName() + "'");
+    OpTiming T = opTiming(*Def, I.type(), Model);
+    TimingNode N;
+    N.Name = I.dst();
+    N.Delay = T.Delay;
+    N.RegisteredOutput = T.Registered;
+    N.HasPosition = true;
+    N.X = static_cast<int>(I.loc().X.offset());
+    N.Y = static_cast<int>(I.loc().Y.offset());
+    NodeOf[I.dst()] = G.addNode(std::move(N));
+  }
+  // Wire source resolution (wire instructions may reference each other in
+  // any order, so iterate to a fixed point).
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (const rasm::AsmInstr &I : Placed.body()) {
+      if (!I.isWire() || WireSources.count(I.dst()))
+        continue;
+      std::vector<std::string> Sources;
+      bool AllKnown = true;
+      for (const std::string &Arg : I.args()) {
+        if (NodeOf.count(Arg)) {
+          Sources.push_back(Arg);
+        } else if (const std::vector<std::string> *Sub =
+                       ResolveSources(Arg)) {
+          Sources.insert(Sources.end(), Sub->begin(), Sub->end());
+        } else {
+          AllKnown = false;
+          break;
+        }
+      }
+      if (AllKnown) {
+        WireSources[I.dst()] = std::move(Sources);
+        Changed = true;
+      }
+    }
+  }
+
+  // Second pass: edges.
+  for (const rasm::AsmInstr &I : Placed.body()) {
+    if (I.isWire())
+      continue;
+    size_t To = NodeOf.at(I.dst());
+    bool CascadeConsumer = I.opName().find("_ci") != std::string::npos;
+    for (size_t K = 0; K < I.args().size(); ++K) {
+      const std::string &Arg = I.args()[K];
+      bool CascadeEdge = CascadeConsumer && K == 2;
+      if (NodeOf.count(Arg)) {
+        G.addEdge(NodeOf.at(Arg), To, CascadeEdge);
+      } else if (const std::vector<std::string> *Sources =
+                     ResolveSources(Arg)) {
+        for (const std::string &S : *Sources)
+          G.addEdge(NodeOf.at(S), To, CascadeEdge);
+      } else {
+        return fail<ReportT>("in '" + I.str() + "': undefined variable '" +
+                             Arg + "'");
+      }
+    }
+  }
+  return G.analyze();
+}

@@ -1,0 +1,271 @@
+//===- verilog/Ast.cpp - Verilog abstract syntax --------------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verilog/Ast.h"
+
+#include <cassert>
+
+using namespace reticle;
+using namespace reticle::verilog;
+
+Expr Expr::ref(std::string Name) {
+  Expr E;
+  E.ExprKind = Kind::Ref;
+  E.Name = std::move(Name);
+  return E;
+}
+
+Expr Expr::intLit(unsigned Width, uint64_t Value) {
+  Expr E;
+  E.ExprKind = Kind::IntLit;
+  E.Width = Width;
+  E.Value = Value;
+  return E;
+}
+
+Expr Expr::str(std::string Value) {
+  Expr E;
+  E.ExprKind = Kind::Str;
+  E.Name = std::move(Value);
+  return E;
+}
+
+Expr Expr::index(Expr Base, unsigned Index) {
+  Expr E;
+  E.ExprKind = Kind::Index;
+  E.Width = Index;
+  E.Operands.push_back(std::move(Base));
+  return E;
+}
+
+Expr Expr::range(Expr Base, unsigned Hi, unsigned Lo) {
+  assert(Hi >= Lo && "inverted range");
+  Expr E;
+  E.ExprKind = Kind::Range;
+  E.Width = Hi;
+  E.Lo = Lo;
+  E.Operands.push_back(std::move(Base));
+  return E;
+}
+
+Expr Expr::concat(std::vector<Expr> Parts) {
+  assert(!Parts.empty() && "empty concatenation");
+  Expr E;
+  E.ExprKind = Kind::Concat;
+  E.Operands = std::move(Parts);
+  return E;
+}
+
+Expr Expr::repeat(unsigned Count, Expr Part) {
+  Expr E;
+  E.ExprKind = Kind::Repeat;
+  E.Width = Count;
+  E.Operands.push_back(std::move(Part));
+  return E;
+}
+
+Expr Expr::unary(std::string Op, Expr A) {
+  Expr E;
+  E.ExprKind = Kind::Unary;
+  E.Name = std::move(Op);
+  E.Operands.push_back(std::move(A));
+  return E;
+}
+
+Expr Expr::binary(std::string Op, Expr A, Expr B) {
+  Expr E;
+  E.ExprKind = Kind::Binary;
+  E.Name = std::move(Op);
+  E.Operands.push_back(std::move(A));
+  E.Operands.push_back(std::move(B));
+  return E;
+}
+
+Expr Expr::ternary(Expr C, Expr A, Expr B) {
+  Expr E;
+  E.ExprKind = Kind::Ternary;
+  E.Operands.push_back(std::move(C));
+  E.Operands.push_back(std::move(A));
+  E.Operands.push_back(std::move(B));
+  return E;
+}
+
+std::string Expr::str() const {
+  switch (ExprKind) {
+  case Kind::Ref:
+    return Name;
+  case Kind::IntLit: {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%llx",
+                  static_cast<unsigned long long>(Value));
+    return std::to_string(Width) + "'h" + Buf;
+  }
+  case Kind::Str:
+    return "\"" + Name + "\"";
+  case Kind::Index:
+    return Operands[0].str() + "[" + std::to_string(Width) + "]";
+  case Kind::Range:
+    return Operands[0].str() + "[" + std::to_string(Width) + ":" +
+           std::to_string(Lo) + "]";
+  case Kind::Concat: {
+    std::string Out = "{";
+    for (size_t I = 0; I < Operands.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Operands[I].str();
+    }
+    return Out + "}";
+  }
+  case Kind::Repeat:
+    return "{" + std::to_string(Width) + "{" + Operands[0].str() + "}}";
+  case Kind::Unary:
+    return "(" + Name + Operands[0].str() + ")";
+  case Kind::Binary:
+    return "(" + Operands[0].str() + " " + Name + " " + Operands[1].str() +
+           ")";
+  case Kind::Ternary:
+    return "(" + Operands[0].str() + " ? " + Operands[1].str() + " : " +
+           Operands[2].str() + ")";
+  }
+  return "";
+}
+
+void Module::addWire(std::string WireName, unsigned Width) {
+  Item I;
+  I.ItemKind = Item::Kind::Wire;
+  I.Name = std::move(WireName);
+  I.Width = Width;
+  Items.push_back(std::move(I));
+}
+
+void Module::addReg(std::string RegName, unsigned Width) {
+  Item I;
+  I.ItemKind = Item::Kind::Reg;
+  I.Name = std::move(RegName);
+  I.Width = Width;
+  Items.push_back(std::move(I));
+}
+
+void Module::addAssign(Expr Lhs, Expr Rhs) {
+  Item I;
+  I.ItemKind = Item::Kind::Assign;
+  I.Lhs = std::move(Lhs);
+  I.Rhs = std::move(Rhs);
+  Items.push_back(std::move(I));
+}
+
+void Module::addComment(std::string Text) {
+  Item I;
+  I.ItemKind = Item::Kind::Comment;
+  I.Text = std::move(Text);
+  Items.push_back(std::move(I));
+}
+
+Item Module::makeInstance(std::string ModuleName, std::string InstName) {
+  Item I;
+  I.ItemKind = Item::Kind::Instance;
+  I.ModuleName = std::move(ModuleName);
+  I.InstName = std::move(InstName);
+  return I;
+}
+
+Item &Module::addInstance(std::string ModuleName, std::string InstName) {
+  Items.push_back(makeInstance(std::move(ModuleName), std::move(InstName)));
+  return Items.back();
+}
+
+Item &Module::addAlwaysFF(std::string Clock) {
+  Item I;
+  I.ItemKind = Item::Kind::AlwaysFF;
+  I.Clock = std::move(Clock);
+  Items.push_back(std::move(I));
+  return Items.back();
+}
+
+unsigned Module::countInstances(const std::string &Prefix) const {
+  unsigned Count = 0;
+  for (const Item &I : Items)
+    if (I.ItemKind == Item::Kind::Instance &&
+        I.ModuleName.compare(0, Prefix.size(), Prefix) == 0)
+      ++Count;
+  return Count;
+}
+
+namespace {
+
+std::string rangeDecl(unsigned Width) {
+  if (Width == 0)
+    return "";
+  return "[" + std::to_string(Width - 1) + ":0] ";
+}
+
+} // namespace
+
+std::string Module::str() const {
+  std::string Out = "module " + Name + "(\n";
+  for (size_t I = 0; I < Ports.size(); ++I) {
+    const Port &P = Ports[I];
+    Out += "  ";
+    Out += P.Direction == Dir::Input ? "input " : "output ";
+    Out += rangeDecl(P.Width);
+    Out += P.Name;
+    Out += I + 1 < Ports.size() ? ",\n" : "\n";
+  }
+  Out += ");\n";
+  for (const Item &I : Items) {
+    switch (I.ItemKind) {
+    case Item::Kind::Wire:
+      Out += "  wire " + rangeDecl(I.Width) + I.Name + ";\n";
+      break;
+    case Item::Kind::Reg:
+      Out += "  reg " + rangeDecl(I.Width) + I.Name + ";\n";
+      break;
+    case Item::Kind::Assign:
+      Out += "  assign " + I.Lhs.str() + " = " + I.Rhs.str() + ";\n";
+      break;
+    case Item::Kind::Comment:
+      Out += "  // " + I.Text + "\n";
+      break;
+    case Item::Kind::Instance: {
+      for (const Attribute &A : I.Attributes)
+        Out += "  (* " + A.Name + " = \"" + A.Value + "\" *)\n";
+      Out += "  " + I.ModuleName;
+      if (!I.Params.empty()) {
+        Out += " # (";
+        for (size_t K = 0; K < I.Params.size(); ++K) {
+          if (K)
+            Out += ", ";
+          Out += "." + I.Params[K].first + "(" + I.Params[K].second.str() +
+                 ")";
+        }
+        Out += ")";
+      }
+      Out += "\n    " + I.InstName + " (";
+      for (size_t K = 0; K < I.Connections.size(); ++K) {
+        if (K)
+          Out += ", ";
+        Out += "." + I.Connections[K].first + "(" +
+               I.Connections[K].second.str() + ")";
+      }
+      Out += ");\n";
+      break;
+    }
+    case Item::Kind::AlwaysFF: {
+      Out += "  always @(posedge " + I.Clock + ") begin\n";
+      for (const NonBlocking &S : I.Body) {
+        Out += "    ";
+        if (!S.GuardName.empty())
+          Out += "if (" + S.GuardName + ") ";
+        Out += S.Lhs.str() + " <= " + S.Rhs.str() + ";\n";
+      }
+      Out += "  end\n";
+      break;
+    }
+    }
+  }
+  Out += "endmodule\n";
+  return Out;
+}

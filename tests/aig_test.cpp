@@ -1,0 +1,227 @@
+//===- tests/aig_test.cpp - AIG and mapper tests --------------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aig/Aig.h"
+#include "aig/Mapper.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace reticle;
+using namespace reticle::aig;
+
+TEST(Aig, ConstantFoldingAndStrash) {
+  Aig G;
+  Lit A = G.addInput("a");
+  Lit B = G.addInput("b");
+  EXPECT_EQ(G.andGate(A, Lit::constFalse()), Lit::constFalse());
+  EXPECT_EQ(G.andGate(A, Lit::constTrue()), A);
+  EXPECT_EQ(G.andGate(A, A), A);
+  EXPECT_EQ(G.andGate(A, ~A), Lit::constFalse());
+  EXPECT_EQ(G.numAnds(), 0u);
+  Lit X = G.andGate(A, B);
+  Lit Y = G.andGate(B, A); // structurally hashed
+  EXPECT_EQ(X, Y);
+  EXPECT_EQ(G.numAnds(), 1u);
+}
+
+TEST(Aig, SimulationOfBasicGates) {
+  Aig G;
+  Lit A = G.addInput("a");
+  Lit B = G.addInput("b");
+  Lit C = G.addInput("c");
+  G.addOutput("and", G.andGate(A, B));
+  G.addOutput("or", G.orGate(A, B));
+  G.addOutput("xor", G.xorGate(A, B));
+  G.addOutput("mux", G.muxGate(C, A, B));
+  uint64_t Va = 0b0101, Vb = 0b0011, Vc = 0b1111;
+  std::vector<uint64_t> Out = G.simulate({Va, Vb, Vc});
+  uint64_t Mask = 0xF;
+  EXPECT_EQ(Out[0] & Mask, (Va & Vb) & Mask);
+  EXPECT_EQ(Out[1] & Mask, (Va | Vb) & Mask);
+  EXPECT_EQ(Out[2] & Mask, (Va ^ Vb) & Mask);
+  EXPECT_EQ(Out[3] & Mask, Va & Mask); // c = 1 selects a
+}
+
+TEST(AigBlast, AdderMatchesArithmetic) {
+  Aig G;
+  Word A, B;
+  for (int I = 0; I < 8; ++I)
+    A.push_back(G.addInput("a" + std::to_string(I)));
+  for (int I = 0; I < 8; ++I)
+    B.push_back(G.addInput("b" + std::to_string(I)));
+  Word Sum = blastAdd(G, A, B);
+  for (int I = 0; I < 8; ++I)
+    G.addOutput("s" + std::to_string(I), Sum[I]);
+
+  std::mt19937_64 Rng(7);
+  std::vector<uint64_t> Inputs(16);
+  for (uint64_t &V : Inputs)
+    V = Rng();
+  std::vector<uint64_t> Out = G.simulate(Inputs);
+  // Check each of the 64 simulated patterns.
+  for (int P = 0; P < 64; ++P) {
+    unsigned Av = 0, Bv = 0, Sv = 0;
+    for (int I = 0; I < 8; ++I) {
+      Av |= ((Inputs[I] >> P) & 1) << I;
+      Bv |= ((Inputs[8 + I] >> P) & 1) << I;
+      Sv |= ((Out[I] >> P) & 1) << I;
+    }
+    EXPECT_EQ(Sv, (Av + Bv) & 0xFF);
+  }
+}
+
+namespace {
+
+/// Builds an 8-bit two-operand circuit and checks all blasted ops against
+/// reference arithmetic on 64 random patterns.
+void checkWordOps(unsigned Seed) {
+  Aig G;
+  Word A, B;
+  for (int I = 0; I < 8; ++I)
+    A.push_back(G.addInput("a" + std::to_string(I)));
+  for (int I = 0; I < 8; ++I)
+    B.push_back(G.addInput("b" + std::to_string(I)));
+  Word Sub = blastSub(G, A, B);
+  Word Mul = blastMul(G, A, B);
+  Lit Eq = blastEq(G, A, B);
+  Lit Lt = blastLtSigned(G, A, B);
+  for (int I = 0; I < 8; ++I)
+    G.addOutput("sub" + std::to_string(I), Sub[I]);
+  for (int I = 0; I < 8; ++I)
+    G.addOutput("mul" + std::to_string(I), Mul[I]);
+  G.addOutput("eq", Eq);
+  G.addOutput("lt", Lt);
+
+  std::mt19937_64 Rng(Seed);
+  std::vector<uint64_t> Inputs(16);
+  for (uint64_t &V : Inputs)
+    V = Rng();
+  // Make equality reachable: some patterns share operand bits.
+  for (int I = 0; I < 8; ++I)
+    Inputs[8 + I] = (Inputs[8 + I] & ~uint64_t(0xFF)) | (Inputs[I] & 0xFF);
+  std::vector<uint64_t> Out = G.simulate(Inputs);
+  for (int P = 0; P < 64; ++P) {
+    unsigned Av = 0, Bv = 0, SubV = 0, MulV = 0;
+    for (int I = 0; I < 8; ++I) {
+      Av |= ((Inputs[I] >> P) & 1) << I;
+      Bv |= ((Inputs[8 + I] >> P) & 1) << I;
+      SubV |= ((Out[I] >> P) & 1) << I;
+      MulV |= ((Out[8 + I] >> P) & 1) << I;
+    }
+    EXPECT_EQ(SubV, (Av - Bv) & 0xFF);
+    EXPECT_EQ(MulV, (Av * Bv) & 0xFF);
+    EXPECT_EQ((Out[16] >> P) & 1, uint64_t(Av == Bv));
+    int8_t As = static_cast<int8_t>(Av), Bs = static_cast<int8_t>(Bv);
+    EXPECT_EQ((Out[17] >> P) & 1, uint64_t(As < Bs));
+  }
+}
+
+} // namespace
+
+class AigBlastRandom : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AigBlastRandom, WordOpsMatchReference) { checkWordOps(GetParam()); }
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AigBlastRandom, ::testing::Range(0u, 10u));
+
+TEST(Mapper, MapsSmallCircuit) {
+  Aig G;
+  Lit A = G.addInput("a");
+  Lit B = G.addInput("b");
+  Lit C = G.addInput("c");
+  Lit D = G.addInput("d");
+  G.addOutput("y", G.andGate(G.xorGate(A, B), G.orGate(C, D)));
+  Result<Mapping> M = mapAig(G, 6);
+  ASSERT_TRUE(M.ok()) << M.error();
+  // Four inputs fit one LUT6.
+  EXPECT_EQ(M.value().Luts.size(), 1u);
+  EXPECT_EQ(M.value().Depth, 1u);
+}
+
+TEST(Mapper, DepthGrowsPastK) {
+  // A 12-input AND tree cannot fit one LUT6.
+  Aig G;
+  std::vector<Lit> Inputs;
+  for (int I = 0; I < 12; ++I)
+    Inputs.push_back(G.addInput("i" + std::to_string(I)));
+  Lit All = Lit::constTrue();
+  for (Lit L : Inputs)
+    All = G.andGate(All, L);
+  G.addOutput("y", All);
+  Result<Mapping> M = mapAig(G, 6);
+  ASSERT_TRUE(M.ok()) << M.error();
+  EXPECT_GE(M.value().Luts.size(), 2u);
+  EXPECT_GE(M.value().Depth, 2u);
+}
+
+namespace {
+
+/// Evaluates a mapped netlist over one input assignment per node pattern.
+uint64_t evalMapped(const Mapping &M, const Aig &G, uint32_t Root,
+                    const std::vector<uint64_t> &InputValues) {
+  auto It = M.LutOfRoot.find(Root);
+  EXPECT_NE(It, M.LutOfRoot.end());
+  const MappedLut &L = M.Luts[It->second];
+  uint64_t Out = 0;
+  for (int P = 0; P < 64; ++P) {
+    unsigned Minterm = 0;
+    for (size_t K = 0; K < L.Leaves.size(); ++K) {
+      uint64_t LeafVal;
+      if (G.isInput(L.Leaves[K]))
+        LeafVal = InputValues[L.Leaves[K] - 1];
+      else
+        LeafVal = evalMapped(M, G, L.Leaves[K], InputValues);
+      if ((LeafVal >> P) & 1)
+        Minterm |= 1u << K;
+    }
+    if ((L.Truth >> Minterm) & 1)
+      Out |= uint64_t(1) << P;
+  }
+  return Out;
+}
+
+} // namespace
+
+class MapperRandom : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MapperRandom, MappingPreservesFunctions) {
+  // Random AIG over 8 inputs; mapped netlist must compute the same
+  // functions as the AIG itself.
+  std::mt19937 Rng(GetParam() * 1337 + 5);
+  Aig G;
+  std::vector<Lit> Pool;
+  for (int I = 0; I < 8; ++I)
+    Pool.push_back(G.addInput("i" + std::to_string(I)));
+  std::uniform_int_distribution<size_t> Pick(0, 100);
+  for (int I = 0; I < 60; ++I) {
+    Lit A = Pool[Pick(Rng) % Pool.size()];
+    Lit B = Pool[Pick(Rng) % Pool.size()];
+    if (Pick(Rng) % 2)
+      A = ~A;
+    if (Pick(Rng) % 2)
+      B = ~B;
+    Pool.push_back(G.andGate(A, B));
+  }
+  Lit OutLit = Pool.back();
+  if (OutLit.node() == 0 || G.isInput(OutLit.node()))
+    return; // degenerate graph; nothing to map
+  G.addOutput("y", Lit(OutLit.node(), false));
+
+  Result<Mapping> M = mapAig(G, 6, 8);
+  ASSERT_TRUE(M.ok()) << M.error();
+
+  std::mt19937_64 Rng64(GetParam());
+  std::vector<uint64_t> Inputs(8);
+  for (uint64_t &V : Inputs)
+    V = Rng64();
+  std::vector<uint64_t> Reference = G.simulate(Inputs);
+  uint64_t Mapped = evalMapped(M.value(), G, OutLit.node(), Inputs);
+  EXPECT_EQ(Mapped, Reference[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapperRandom, ::testing::Range(0u, 30u));

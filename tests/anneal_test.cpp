@@ -1,0 +1,133 @@
+//===- tests/anneal_test.cpp - Annealing placer tests ---------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "anneal/Anneal.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace reticle;
+using namespace reticle::anneal;
+using device::Device;
+using device::Slot;
+
+namespace {
+
+std::vector<Cell> makeCells(unsigned N, ir::Resource Kind) {
+  std::vector<Cell> Cells;
+  for (unsigned I = 0; I < N; ++I) {
+    Cell C;
+    C.Name = "c" + std::to_string(I);
+    C.Kind = Kind;
+    Cells.push_back(std::move(C));
+  }
+  return Cells;
+}
+
+Status checkDisjointValid(const std::vector<Cell> &Cells,
+                          const AnnealResult &R, const Device &Dev) {
+  std::set<Slot> Seen;
+  for (size_t I = 0; I < Cells.size(); ++I) {
+    const Slot &S = R.SlotOf[I];
+    if (!Dev.isValidSlot(Cells[I].Kind, S.X, S.Y))
+      return Status::failure("invalid slot for " + Cells[I].Name);
+    if (!Seen.insert(S).second)
+      return Status::failure("overlap at (" + std::to_string(S.X) + "," +
+                             std::to_string(S.Y) + ")");
+  }
+  return Status::success();
+}
+
+} // namespace
+
+TEST(Anneal, PlacesWithoutOverlap) {
+  std::vector<Cell> Cells = makeCells(12, ir::Resource::Lut);
+  std::vector<Net> Nets;
+  for (unsigned I = 0; I + 1 < 12; ++I)
+    Nets.push_back(Net{{I, I + 1}});
+  Result<AnnealResult> R = place(Cells, Nets, Device::small());
+  ASSERT_TRUE(R.ok()) << R.error();
+  Status S = checkDisjointValid(Cells, R.value(), Device::small());
+  EXPECT_TRUE(S.ok()) << S.error();
+}
+
+TEST(Anneal, ImprovesOrMatchesInitialCost) {
+  std::vector<Cell> Cells = makeCells(30, ir::Resource::Lut);
+  std::vector<Net> Nets;
+  // A ring plus random chords: plenty to optimize.
+  for (unsigned I = 0; I < 30; ++I)
+    Nets.push_back(Net{{I, (I + 1) % 30}});
+  for (unsigned I = 0; I < 30; I += 3)
+    Nets.push_back(Net{{I, (I + 15) % 30}});
+  Result<AnnealResult> R = place(Cells, Nets, Device::small());
+  ASSERT_TRUE(R.ok()) << R.error();
+  EXPECT_LE(R.value().FinalCost, R.value().InitialCost);
+  EXPECT_GT(R.value().Moves, 0u);
+}
+
+TEST(Anneal, ConnectedPairsEndUpClose) {
+  // Two tightly connected clusters; after annealing, intra-cluster
+  // distance should be far below the device diameter.
+  std::vector<Cell> Cells = makeCells(8, ir::Resource::Lut);
+  std::vector<Net> Nets;
+  for (unsigned I = 0; I < 4; ++I)
+    for (unsigned J = I + 1; J < 4; ++J) {
+      Nets.push_back(Net{{I, J}});
+      Nets.push_back(Net{{4 + I, 4 + J}});
+    }
+  AnnealOptions Options;
+  Options.Seed = 3;
+  Result<AnnealResult> R = place(Cells, Nets, Device::small(), Options);
+  ASSERT_TRUE(R.ok()) << R.error();
+  // Cost of a perfectly packed pair of clusters is small; allow slack.
+  EXPECT_LT(R.value().FinalCost, 40.0);
+}
+
+TEST(Anneal, RespectsLockedCells) {
+  std::vector<Cell> Cells = makeCells(4, ir::Resource::Dsp);
+  Cells[0].Locked = true;
+  Cells[0].HasInitial = true;
+  Cells[0].Initial = Slot{2, 5};
+  Cells[1].Locked = true;
+  Cells[1].HasInitial = true;
+  Cells[1].Initial = Slot{2, 6};
+  std::vector<Net> Nets = {Net{{0, 1, 2, 3}}};
+  Result<AnnealResult> R = place(Cells, Nets, Device::small());
+  ASSERT_TRUE(R.ok()) << R.error();
+  EXPECT_EQ(R.value().SlotOf[0], (Slot{2, 5}));
+  EXPECT_EQ(R.value().SlotOf[1], (Slot{2, 6}));
+  EXPECT_TRUE(checkDisjointValid(Cells, R.value(), Device::small()).ok());
+}
+
+TEST(Anneal, FailsOnOversubscription) {
+  std::vector<Cell> Cells = makeCells(17, ir::Resource::Dsp);
+  Result<AnnealResult> R = place(Cells, {}, Device::small());
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().find("exceed"), std::string::npos);
+}
+
+TEST(Anneal, InvalidLockRejected) {
+  std::vector<Cell> Cells = makeCells(1, ir::Resource::Dsp);
+  Cells[0].Locked = true;
+  Cells[0].HasInitial = true;
+  Cells[0].Initial = Slot{0, 0}; // column 0 holds LUTs on small()
+  Result<AnnealResult> R = place(Cells, {}, Device::small());
+  ASSERT_FALSE(R.ok());
+}
+
+TEST(Anneal, DeterministicUnderSeed) {
+  std::vector<Cell> Cells = makeCells(10, ir::Resource::Lut);
+  std::vector<Net> Nets;
+  for (unsigned I = 0; I + 1 < 10; ++I)
+    Nets.push_back(Net{{I, I + 1}});
+  AnnealOptions Options;
+  Options.Seed = 42;
+  Result<AnnealResult> A = place(Cells, Nets, Device::small(), Options);
+  Result<AnnealResult> B = place(Cells, Nets, Device::small(), Options);
+  ASSERT_TRUE(A.ok() && B.ok());
+  EXPECT_EQ(A.value().SlotOf, B.value().SlotOf);
+}

@@ -1,0 +1,134 @@
+//===- tests/asm_test.cpp - Assembly language tests ----------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rasm/AsmParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace reticle;
+using namespace reticle::rasm;
+
+TEST(Coord, Printing) {
+  EXPECT_EQ(Coord::wild().str(), "??");
+  EXPECT_EQ(Coord::lit(7).str(), "7");
+  EXPECT_EQ(Coord::var("x").str(), "x");
+  EXPECT_EQ(Coord::var("y", 1).str(), "y+1");
+  EXPECT_EQ(Coord::var("y", -2).str(), "y-2");
+}
+
+TEST(AsmParser, ParsesPaperCascadePair) {
+  // Figure 11b: the cascading layout with relative coordinates.
+  const char *Source = R"(
+    def dot(a:i8, b:i8, c:i8, d:i8, in:i8) -> (t1:i8) {
+      t0:i8 = muladd_co(a, b, in) @dsp(x, y);
+      t1:i8 = muladd_ci(c, d, t0) @dsp(x, y+1);
+    }
+  )";
+  Result<AsmProgram> P = parseAsmProgram(Source);
+  ASSERT_TRUE(P.ok()) << P.error();
+  ASSERT_EQ(P.value().body().size(), 2u);
+  const AsmInstr &First = P.value().body()[0];
+  EXPECT_EQ(First.opName(), "muladd_co");
+  EXPECT_EQ(First.loc().Prim, ir::Resource::Dsp);
+  EXPECT_EQ(First.loc().X, Coord::var("x"));
+  EXPECT_EQ(First.loc().Y, Coord::var("y"));
+  const AsmInstr &Second = P.value().body()[1];
+  EXPECT_EQ(Second.loc().Y, Coord::var("y", 1));
+  EXPECT_FALSE(P.value().isPlaced());
+}
+
+TEST(AsmParser, ParsesWildcardsAndLiterals) {
+  const char *Source = R"(
+    def f(a:i8, b:i8) -> (y:i8) {
+      y:i8 = add(a, b) @dsp(??, 17);
+    }
+  )";
+  Result<AsmProgram> P = parseAsmProgram(Source);
+  ASSERT_TRUE(P.ok()) << P.error();
+  const AsmInstr &I = P.value().body()[0];
+  EXPECT_TRUE(I.loc().X.isWild());
+  EXPECT_EQ(I.loc().Y, Coord::lit(17));
+}
+
+TEST(AsmParser, FoldsConstantSums) {
+  Result<AsmProgram> P = parseAsmProgram(
+      "def f(a:i8) -> (y:i8) { y:i8 = add(a, a) @lut(1+2, y+1+3); }");
+  ASSERT_TRUE(P.ok()) << P.error();
+  const AsmInstr &I = P.value().body()[0];
+  EXPECT_EQ(I.loc().X, Coord::lit(3));
+  EXPECT_EQ(I.loc().Y, Coord::var("y", 4));
+}
+
+TEST(AsmParser, RetainsWireInstructions) {
+  const char *Source = R"(
+    def f(a:i8) -> (y:i8) {
+      t0:i8 = sll[1](a);
+      y:i8 = add(t0, a) @dsp(??, ??);
+    }
+  )";
+  Result<AsmProgram> P = parseAsmProgram(Source);
+  ASSERT_TRUE(P.ok()) << P.error();
+  EXPECT_TRUE(P.value().body()[0].isWire());
+  EXPECT_EQ(P.value().body()[0].wireOp(), ir::WireOp::Sll);
+}
+
+TEST(AsmParser, RejectsTwoVariableCoordinates) {
+  Result<AsmProgram> P = parseAsmProgram(
+      "def f(a:i8) -> (y:i8) { y:i8 = add(a, a) @dsp(x+z, 0); }");
+  ASSERT_FALSE(P.ok());
+  EXPECT_NE(P.error().find("two distinct variables"), std::string::npos);
+}
+
+TEST(AsmParser, RejectsMissingLocation) {
+  Result<AsmProgram> P =
+      parseAsmProgram("def f(a:i8) -> (y:i8) { y:i8 = add(a, a); }");
+  ASSERT_FALSE(P.ok());
+  EXPECT_NE(P.error().find("requires a location"), std::string::npos);
+}
+
+TEST(AsmParser, RejectsLocationOnWire) {
+  Result<AsmProgram> P = parseAsmProgram(
+      "def f(a:i8) -> (y:i8) { y:i8 = id(a) @lut(0, 0); }");
+  ASSERT_FALSE(P.ok());
+}
+
+TEST(AsmParser, PrintParseRoundTrip) {
+  const char *Source = R"(
+    def rt(a:i8, b:i8, en:bool) -> (y:i8) {
+      t0:i8 = muladd_co(a, b, a) @dsp(x0, y0);
+      t1:i8 = muladd_ci(a, b, t0) @dsp(x0, y0+1);
+      t2:i8 = sll[2](t1);
+      y:i8 = reg[0](t2, en) @lut(??, 5);
+    }
+  )";
+  Result<AsmProgram> First = parseAsmProgram(Source);
+  ASSERT_TRUE(First.ok()) << First.error();
+  std::string Printed = First.value().str();
+  Result<AsmProgram> Second = parseAsmProgram(Printed);
+  ASSERT_TRUE(Second.ok()) << Second.error() << "\n" << Printed;
+  EXPECT_EQ(Second.value().str(), Printed);
+}
+
+TEST(AsmParser, NegativeOffsetRoundTrip) {
+  Result<AsmProgram> P = parseAsmProgram(
+      "def f(a:i8) -> (y:i8) { y:i8 = add(a, a) @dsp(x, y-1); }");
+  ASSERT_TRUE(P.ok()) << P.error();
+  EXPECT_EQ(P.value().body()[0].loc().Y, Coord::var("y", -1));
+  Result<AsmProgram> Again = parseAsmProgram(P.value().str());
+  ASSERT_TRUE(Again.ok()) << Again.error();
+  EXPECT_EQ(Again.value().str(), P.value().str());
+}
+
+TEST(AsmProgram, IsPlacedWhenAllLiterals) {
+  Result<AsmProgram> P = parseAsmProgram(R"(
+    def f(a:i8) -> (y:i8) {
+      t0:i8 = add(a, a) @dsp(0, 1);
+      y:i8 = id(t0);
+    }
+  )");
+  ASSERT_TRUE(P.ok()) << P.error();
+  EXPECT_TRUE(P.value().isPlaced());
+}

@@ -1,0 +1,55 @@
+//===- tests/device_test.cpp - Device model tests -----------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "device/Device.h"
+
+#include <gtest/gtest.h>
+
+using namespace reticle;
+using device::Device;
+using ir::Resource;
+
+TEST(Device, Xczu3egMatchesPaperResourceCounts) {
+  Device D = Device::xczu3eg();
+  // Section 7: "a Xilinx xczu3eg-sbva484-1 FPGA, with 360 DSPs and 71K
+  // LUTs".
+  EXPECT_EQ(D.numDsps(), 360u);
+  EXPECT_EQ(D.numLuts(), 71040u);
+  EXPECT_EQ(D.lutsPerSlice(), 8u);
+}
+
+TEST(Device, ColumnsPartitionByKind) {
+  Device D = Device::xczu3eg();
+  std::vector<unsigned> DspCols = D.columnsOf(Resource::Dsp);
+  std::vector<unsigned> LutCols = D.columnsOf(Resource::Lut);
+  EXPECT_EQ(DspCols.size(), 3u);
+  EXPECT_EQ(LutCols.size(), 60u);
+  EXPECT_EQ(DspCols.size() + LutCols.size(), D.numColumns());
+}
+
+TEST(Device, SlotValidity) {
+  Device D = Device::tiny();
+  // Column 1 is the DSP column of height 4.
+  EXPECT_TRUE(D.isValidSlot(Resource::Dsp, 1, 0));
+  EXPECT_TRUE(D.isValidSlot(Resource::Dsp, 1, 3));
+  EXPECT_FALSE(D.isValidSlot(Resource::Dsp, 1, 4));  // row overflow
+  EXPECT_FALSE(D.isValidSlot(Resource::Dsp, 0, 0));  // wrong kind
+  EXPECT_FALSE(D.isValidSlot(Resource::Lut, 1, 0));  // wrong kind
+  EXPECT_FALSE(D.isValidSlot(Resource::Lut, 9, 0));  // column overflow
+}
+
+TEST(Device, MaxHeight) {
+  Device D = Device::small();
+  EXPECT_EQ(D.maxHeight(Resource::Lut), 16u);
+  EXPECT_EQ(D.maxHeight(Resource::Dsp), 8u);
+}
+
+TEST(Device, SliceCounts) {
+  Device D = Device::small();
+  EXPECT_EQ(D.numSlices(Resource::Lut), 64u);
+  EXPECT_EQ(D.numSlices(Resource::Dsp), 16u);
+  EXPECT_EQ(D.numLuts(), 512u);
+}

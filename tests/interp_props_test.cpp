@@ -1,0 +1,165 @@
+//===- tests/interp_props_test.cpp - Interpreter algebraic properties ----------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Property tests over the evaluation semantics: algebraic identities
+/// that must hold for every operand value, checked across random values
+/// and widths. These pin down the two's-complement, signed,
+/// lane-wise semantics the rest of the system (selection, baselines,
+/// code generation) is validated against.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Eval.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace reticle;
+using interp::Value;
+using ir::CompOp;
+using ir::Instr;
+using ir::Type;
+
+namespace {
+
+Value evalBin(CompOp Op, Type Ty, const Value &A, const Value &B) {
+  Instr I = Instr::makeComp("y", Op == CompOp::Eq || Op == CompOp::Lt
+                                     ? Type::makeBool()
+                                     : Ty,
+                            Op, {"a", "b"});
+  Result<Value> R = interp::evalPure(I, {A, B});
+  EXPECT_TRUE(R.ok()) << R.error();
+  return R.take();
+}
+
+} // namespace
+
+class InterpProps : public ::testing::TestWithParam<unsigned> {
+protected:
+  void SetUp() override {
+    Rng.seed(GetParam() * 31 + 7);
+    Widths = {1, 4, 8, 16, 32, 64};
+  }
+  Value randomValue(Type Ty) {
+    std::uniform_int_distribution<int64_t> D(INT64_MIN, INT64_MAX);
+    std::vector<int64_t> Lanes;
+    for (unsigned L = 0; L < Ty.lanes(); ++L)
+      Lanes.push_back(D(Rng));
+    return Value::fromLanes(Ty, std::move(Lanes));
+  }
+  std::mt19937_64 Rng;
+  std::vector<unsigned> Widths;
+};
+
+TEST_P(InterpProps, AddCommutesAndAssociates) {
+  for (unsigned W : Widths) {
+    Type Ty = Type::makeInt(W, 2);
+    Value A = randomValue(Ty), B = randomValue(Ty), C = randomValue(Ty);
+    EXPECT_EQ(evalBin(CompOp::Add, Ty, A, B),
+              evalBin(CompOp::Add, Ty, B, A));
+    EXPECT_EQ(
+        evalBin(CompOp::Add, Ty, evalBin(CompOp::Add, Ty, A, B), C),
+        evalBin(CompOp::Add, Ty, A, evalBin(CompOp::Add, Ty, B, C)));
+  }
+}
+
+TEST_P(InterpProps, SubIsAddOfNegation) {
+  for (unsigned W : Widths) {
+    Type Ty = Type::makeInt(W);
+    Value A = randomValue(Ty), B = randomValue(Ty);
+    Value Zero = Value::splat(Ty, 0);
+    Value NegB = evalBin(CompOp::Sub, Ty, Zero, B);
+    EXPECT_EQ(evalBin(CompOp::Sub, Ty, A, B),
+              evalBin(CompOp::Add, Ty, A, NegB));
+  }
+}
+
+TEST_P(InterpProps, MulDistributesOverAdd) {
+  for (unsigned W : Widths) {
+    Type Ty = Type::makeInt(W, 4);
+    Value A = randomValue(Ty), B = randomValue(Ty), C = randomValue(Ty);
+    Value Left =
+        evalBin(CompOp::Mul, Ty, A, evalBin(CompOp::Add, Ty, B, C));
+    Value Right = evalBin(CompOp::Add, Ty, evalBin(CompOp::Mul, Ty, A, B),
+                          evalBin(CompOp::Mul, Ty, A, C));
+    EXPECT_EQ(Left, Right) << "width " << W;
+  }
+}
+
+TEST_P(InterpProps, DeMorgan) {
+  for (unsigned W : Widths) {
+    Type Ty = Type::makeInt(W);
+    Value A = randomValue(Ty), B = randomValue(Ty);
+    Instr Not = Instr::makeComp("y", Ty, CompOp::Not, {"a"});
+    auto Negate = [&](const Value &V) {
+      Result<Value> R = interp::evalPure(Not, {V});
+      EXPECT_TRUE(R.ok());
+      return R.take();
+    };
+    EXPECT_EQ(Negate(evalBin(CompOp::And, Ty, A, B)),
+              evalBin(CompOp::Or, Ty, Negate(A), Negate(B)));
+  }
+}
+
+TEST_P(InterpProps, ComparisonTrichotomy) {
+  for (unsigned W : Widths) {
+    Type Ty = Type::makeInt(W);
+    Value A = randomValue(Ty), B = randomValue(Ty);
+    bool Lt = evalBin(CompOp::Lt, Ty, A, B).toBool();
+    bool Eq = evalBin(CompOp::Eq, Ty, A, B).toBool();
+    bool Gt = evalBin(CompOp::Lt, Ty, B, A).toBool();
+    EXPECT_EQ(int(Lt) + int(Eq) + int(Gt), 1) << "width " << W;
+  }
+}
+
+TEST_P(InterpProps, ShiftsComposeWithSlices) {
+  // sll[k] then srl[k] clears the top k bits and restores the rest.
+  for (unsigned W : {8u, 16u, 32u}) {
+    Type Ty = Type::makeInt(W);
+    Value A = randomValue(Ty);
+    unsigned K = GetParam() % (W - 1) + 1;
+    Instr Sll = Instr::makeWire("t", Ty, ir::WireOp::Sll, {int64_t(K)},
+                                {"a"});
+    Instr Srl = Instr::makeWire("y", Ty, ir::WireOp::Srl, {int64_t(K)},
+                                {"t"});
+    Value Shifted = interp::evalPure(Sll, {A}).take();
+    Value Restored = interp::evalPure(Srl, {Shifted}).take();
+    // Equivalent to masking off the top K bits.
+    uint64_t Mask =
+        W - K == 64 ? ~uint64_t(0) : ((uint64_t(1) << (W - K)) - 1);
+    Value Expected = Value::fromLanes(
+        Ty, {static_cast<int64_t>(static_cast<uint64_t>(A.scalar()) &
+                                  Mask)});
+    EXPECT_EQ(Restored, Expected) << "width " << W << " shift " << K;
+  }
+}
+
+TEST_P(InterpProps, CatSliceRoundTrip) {
+  for (unsigned W : {4u, 8u, 24u}) {
+    Type Ty = Type::makeInt(W);
+    Type Pair = Type::makeInt(W, 2);
+    Value A = randomValue(Ty), B = randomValue(Ty);
+    Instr Cat = Instr::makeWire("p", Pair, ir::WireOp::Cat, {}, {"a", "b"});
+    Value P = interp::evalPure(Cat, {A, B}).take();
+    Instr Low = Instr::makeWire("l", Ty, ir::WireOp::Slice, {0}, {"p"});
+    Instr High = Instr::makeWire("h", Ty, ir::WireOp::Slice,
+                                 {int64_t(W)}, {"p"});
+    EXPECT_EQ(interp::evalPure(Low, {P}).take(), A);
+    EXPECT_EQ(interp::evalPure(High, {P}).take(), B);
+  }
+}
+
+TEST_P(InterpProps, MuxSelectsExactly) {
+  Type Ty = Type::makeInt(8, 4);
+  Value A = randomValue(Ty), B = randomValue(Ty);
+  Instr Mux = Instr::makeComp("y", Ty, CompOp::Mux, {"c", "a", "b"});
+  EXPECT_EQ(interp::evalPure(Mux, {Value::makeBool(true), A, B}).take(), A);
+  EXPECT_EQ(interp::evalPure(Mux, {Value::makeBool(false), A, B}).take(),
+            B);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InterpProps, ::testing::Range(0u, 20u));

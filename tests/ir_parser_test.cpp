@@ -1,0 +1,127 @@
+//===- tests/ir_parser_test.cpp - IR parser/printer tests --------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace reticle;
+using namespace reticle::ir;
+
+TEST(IrParser, ParsesPaperFigure6) {
+  // Figure 6: computes 5 * 2 + 5 with a constant, a shift, and an add.
+  const char *Source = R"(
+    def fig6() -> (t2:i8) {
+      t0:i8 = const[5];
+      t1:i8 = sll[1](t0);
+      t2:i8 = add(t0, t1) @??;
+    }
+  )";
+  Result<Function> Fn = parseFunction(Source);
+  ASSERT_TRUE(Fn.ok()) << Fn.error();
+  EXPECT_EQ(Fn.value().name(), "fig6");
+  ASSERT_EQ(Fn.value().body().size(), 3u);
+  const Instr &Const = Fn.value().body()[0];
+  EXPECT_TRUE(Const.isWire());
+  EXPECT_EQ(Const.wireOp(), WireOp::Const);
+  ASSERT_EQ(Const.attrs().size(), 1u);
+  EXPECT_EQ(Const.attrs()[0], 5);
+  const Instr &Add = Fn.value().body()[2];
+  EXPECT_TRUE(Add.isComp());
+  EXPECT_EQ(Add.compOp(), CompOp::Add);
+  EXPECT_EQ(Add.resource(), Resource::Any);
+}
+
+TEST(IrParser, ParsesResourceAnnotations) {
+  const char *Source = R"(
+    def f(a:i8, b:i8) -> (y:i8) {
+      t0:i8 = add(a, b) @lut;
+      y:i8 = mul(t0, b) @dsp;
+    }
+  )";
+  Result<Function> Fn = parseFunction(Source);
+  ASSERT_TRUE(Fn.ok()) << Fn.error();
+  EXPECT_EQ(Fn.value().body()[0].resource(), Resource::Lut);
+  EXPECT_EQ(Fn.value().body()[1].resource(), Resource::Dsp);
+}
+
+TEST(IrParser, ParsesRegisterWithInit) {
+  const char *Source = R"(
+    def counter(en:bool) -> (y:i8) {
+      t0:i8 = const[1];
+      t1:i8 = add(y, t0) @??;
+      y:i8 = reg[0](t1, en) @??;
+    }
+  )";
+  Result<Function> Fn = parseFunction(Source);
+  ASSERT_TRUE(Fn.ok()) << Fn.error();
+  const Instr &Reg = Fn.value().body()[2];
+  EXPECT_TRUE(Reg.isReg());
+  EXPECT_EQ(Reg.attrs()[0], 0);
+  ASSERT_EQ(Reg.args().size(), 2u);
+  EXPECT_EQ(Reg.args()[1], "en");
+}
+
+TEST(IrParser, ParsesVectorTypes) {
+  const char *Source = R"(
+    def vadd(a:i8<4>, b:i8<4>) -> (y:i8<4>) {
+      y:i8<4> = add(a, b) @dsp;
+    }
+  )";
+  Result<Function> Fn = parseFunction(Source);
+  ASSERT_TRUE(Fn.ok()) << Fn.error();
+  EXPECT_EQ(Fn.value().inputs()[0].Ty, Type::makeInt(8, 4));
+}
+
+TEST(IrParser, PrintParseRoundTrip) {
+  const char *Source = R"(
+    def roundtrip(a:i8, b:i8, c:bool) -> (y:i8) {
+      t0:i8 = mul(a, b) @dsp;
+      t1:i8 = const[-3];
+      t2:i8 = add(t0, t1) @??;
+      t3:i16 = cat(t2, a);
+      t4:i8 = slice[8](t3);
+      y:i8 = reg[7](t4, c) @lut;
+    }
+  )";
+  Result<Function> First = parseFunction(Source);
+  ASSERT_TRUE(First.ok()) << First.error();
+  std::string Printed = First.value().str();
+  Result<Function> Second = parseFunction(Printed);
+  ASSERT_TRUE(Second.ok()) << Second.error() << "\n" << Printed;
+  EXPECT_EQ(Second.value().str(), Printed);
+}
+
+TEST(IrParser, RejectsUnknownOperation) {
+  Result<Function> Fn =
+      parseFunction("def f(a:i8) -> (y:i8) { y:i8 = frobnicate(a); }");
+  ASSERT_FALSE(Fn.ok());
+  EXPECT_NE(Fn.error().find("unknown operation"), std::string::npos);
+}
+
+TEST(IrParser, RejectsResourceOnWireInstruction) {
+  Result<Function> Fn =
+      parseFunction("def f(a:i8) -> (y:i8) { y:i8 = id(a) @lut; }");
+  ASSERT_FALSE(Fn.ok());
+  EXPECT_NE(Fn.error().find("wire instruction"), std::string::npos);
+}
+
+TEST(IrParser, RejectsMissingOutputs) {
+  Result<Function> Fn = parseFunction("def f(a:i8) -> () { }");
+  ASSERT_FALSE(Fn.ok());
+  EXPECT_NE(Fn.error().find("output"), std::string::npos);
+}
+
+TEST(IrParser, RejectsUnterminatedBody) {
+  Result<Function> Fn = parseFunction("def f(a:i8) -> (y:i8) { y:i8 = id(a);");
+  ASSERT_FALSE(Fn.ok());
+}
+
+TEST(IrParser, DefKeywordIsOptional) {
+  Result<Function> Fn = parseFunction("f(a:i8) -> (y:i8) { y:i8 = id(a); }");
+  ASSERT_TRUE(Fn.ok()) << Fn.error();
+  EXPECT_EQ(Fn.value().name(), "f");
+}

@@ -1,0 +1,252 @@
+//===- tests/sat_test.cpp - SAT solver tests -----------------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/Dimacs.h"
+#include "sat/Solver.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace reticle;
+using namespace reticle::sat;
+
+namespace {
+
+/// Checks a model against a clause list.
+bool satisfies(const std::vector<std::vector<Lit>> &Clauses,
+               const Solver &S) {
+  for (const std::vector<Lit> &Clause : Clauses) {
+    bool Ok = false;
+    for (Lit L : Clause)
+      if (S.value(L.var()) != L.negated()) {
+        Ok = true;
+        break;
+      }
+    if (!Ok)
+      return false;
+  }
+  return true;
+}
+
+/// Brute-force satisfiability for up to ~20 variables.
+bool bruteForce(uint32_t NumVars,
+                const std::vector<std::vector<Lit>> &Clauses) {
+  for (uint64_t Mask = 0; Mask < (uint64_t(1) << NumVars); ++Mask) {
+    bool All = true;
+    for (const std::vector<Lit> &Clause : Clauses) {
+      bool Ok = false;
+      for (Lit L : Clause) {
+        bool V = (Mask >> L.var()) & 1;
+        if (V != L.negated()) {
+          Ok = true;
+          break;
+        }
+      }
+      if (!Ok) {
+        All = false;
+        break;
+      }
+    }
+    if (All)
+      return true;
+  }
+  return false;
+}
+
+} // namespace
+
+TEST(Sat, TrivialSat) {
+  Solver S;
+  Var A = S.newVar();
+  Var B = S.newVar();
+  EXPECT_TRUE(S.addClause({Lit(A), Lit(B)}));
+  EXPECT_TRUE(S.addClause({Lit(A, true), Lit(B)}));
+  EXPECT_EQ(S.solve(), Outcome::Sat);
+  EXPECT_TRUE(S.value(B));
+}
+
+TEST(Sat, TrivialUnsat) {
+  Solver S;
+  Var A = S.newVar();
+  EXPECT_TRUE(S.addUnit(Lit(A)));
+  EXPECT_FALSE(S.addUnit(Lit(A, true)));
+  EXPECT_EQ(S.solve(), Outcome::Unsat);
+}
+
+TEST(Sat, EmptyClauseIsUnsat) {
+  Solver S;
+  S.newVar();
+  EXPECT_FALSE(S.addClause({}));
+  EXPECT_EQ(S.solve(), Outcome::Unsat);
+}
+
+TEST(Sat, TautologyIgnored) {
+  Solver S;
+  Var A = S.newVar();
+  EXPECT_TRUE(S.addClause({Lit(A), Lit(A, true)}));
+  EXPECT_EQ(S.solve(), Outcome::Sat);
+}
+
+TEST(Sat, PigeonholeUnsat) {
+  // 4 pigeons in 3 holes: classic small UNSAT instance that forces real
+  // conflict analysis.
+  constexpr unsigned Pigeons = 4, Holes = 3;
+  Solver S;
+  Var P[Pigeons][Holes];
+  for (unsigned I = 0; I < Pigeons; ++I)
+    for (unsigned J = 0; J < Holes; ++J)
+      P[I][J] = S.newVar();
+  for (unsigned I = 0; I < Pigeons; ++I) {
+    std::vector<Lit> AtLeastOne;
+    for (unsigned J = 0; J < Holes; ++J)
+      AtLeastOne.push_back(Lit(P[I][J]));
+    ASSERT_TRUE(S.addClause(AtLeastOne));
+  }
+  for (unsigned J = 0; J < Holes; ++J)
+    for (unsigned I1 = 0; I1 < Pigeons; ++I1)
+      for (unsigned I2 = I1 + 1; I2 < Pigeons; ++I2)
+        ASSERT_TRUE(S.addBinary(Lit(P[I1][J], true), Lit(P[I2][J], true)));
+  EXPECT_EQ(S.solve(), Outcome::Unsat);
+}
+
+TEST(Sat, PigeonholeSatWhenEnoughHoles) {
+  constexpr unsigned Pigeons = 4, Holes = 4;
+  Solver S;
+  std::vector<std::vector<Lit>> Clauses;
+  Var P[Pigeons][Holes];
+  for (unsigned I = 0; I < Pigeons; ++I)
+    for (unsigned J = 0; J < Holes; ++J)
+      P[I][J] = S.newVar();
+  for (unsigned I = 0; I < Pigeons; ++I) {
+    std::vector<Lit> AtLeastOne;
+    for (unsigned J = 0; J < Holes; ++J)
+      AtLeastOne.push_back(Lit(P[I][J]));
+    Clauses.push_back(AtLeastOne);
+  }
+  for (unsigned J = 0; J < Holes; ++J)
+    for (unsigned I1 = 0; I1 < Pigeons; ++I1)
+      for (unsigned I2 = I1 + 1; I2 < Pigeons; ++I2)
+        Clauses.push_back({Lit(P[I1][J], true), Lit(P[I2][J], true)});
+  for (const std::vector<Lit> &C : Clauses)
+    ASSERT_TRUE(S.addClause(C));
+  ASSERT_EQ(S.solve(), Outcome::Sat);
+  EXPECT_TRUE(satisfies(Clauses, S));
+}
+
+TEST(Sat, ChainedImplications) {
+  // x0 -> x1 -> ... -> x99, x0 forced true, then force !x99: UNSAT.
+  Solver S;
+  std::vector<Var> X;
+  for (unsigned I = 0; I < 100; ++I)
+    X.push_back(S.newVar());
+  for (unsigned I = 0; I + 1 < 100; ++I)
+    ASSERT_TRUE(S.addBinary(Lit(X[I], true), Lit(X[I + 1])));
+  ASSERT_TRUE(S.addUnit(Lit(X[0])));
+  EXPECT_EQ(S.solve(), Outcome::Sat);
+  EXPECT_TRUE(S.value(X[99]));
+  Solver S2;
+  std::vector<Var> Y;
+  for (unsigned I = 0; I < 100; ++I)
+    Y.push_back(S2.newVar());
+  for (unsigned I = 0; I + 1 < 100; ++I)
+    ASSERT_TRUE(S2.addBinary(Lit(Y[I], true), Lit(Y[I + 1])));
+  ASSERT_TRUE(S2.addUnit(Lit(Y[0])));
+  bool Ok = S2.addUnit(Lit(Y[99], true));
+  EXPECT_TRUE(!Ok || S2.solve() == Outcome::Unsat);
+}
+
+class SatRandomTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SatRandomTest, AgreesWithBruteForce) {
+  // Random 3-SAT near the phase transition, checked against brute force.
+  std::mt19937 Rng(GetParam());
+  constexpr uint32_t NumVars = 12;
+  std::uniform_int_distribution<uint32_t> VarDist(0, NumVars - 1);
+  std::uniform_int_distribution<int> SignDist(0, 1);
+  uint32_t NumClauses = 12 + GetParam() % 40;
+
+  std::vector<std::vector<Lit>> Clauses;
+  for (uint32_t I = 0; I < NumClauses; ++I) {
+    std::vector<Lit> Clause;
+    for (int K = 0; K < 3; ++K)
+      Clause.push_back(Lit(VarDist(Rng), SignDist(Rng) != 0));
+    Clauses.push_back(std::move(Clause));
+  }
+
+  Solver S;
+  for (uint32_t V = 0; V < NumVars; ++V)
+    S.newVar();
+  bool AddOk = true;
+  for (const std::vector<Lit> &C : Clauses)
+    AddOk = S.addClause(C) && AddOk;
+
+  bool Expected = bruteForce(NumVars, Clauses);
+  if (!AddOk) {
+    EXPECT_FALSE(Expected);
+    return;
+  }
+  Outcome Got = S.solve();
+  EXPECT_EQ(Got == Outcome::Sat, Expected);
+  if (Got == Outcome::Sat) {
+    EXPECT_TRUE(satisfies(Clauses, S));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatRandomTest, ::testing::Range(0u, 60u));
+
+TEST(Dimacs, ParseAndSolve) {
+  const char *Source = R"(
+c a small satisfiable instance
+p cnf 3 3
+1 -2 0
+2 3 0
+-1 0
+)";
+  Result<Cnf> C = parseDimacs(Source);
+  ASSERT_TRUE(C.ok()) << C.error();
+  EXPECT_EQ(C.value().NumVars, 3u);
+  EXPECT_EQ(C.value().Clauses.size(), 3u);
+  Solver S;
+  ASSERT_TRUE(C.value().loadInto(S));
+  ASSERT_EQ(S.solve(), Outcome::Sat);
+  EXPECT_FALSE(S.value(0)); // -1 unit
+  EXPECT_FALSE(S.value(1)); // 1 or -2 with !x1 forces -2
+  EXPECT_TRUE(S.value(2));  // 2 or 3 with !x2 forces 3
+}
+
+TEST(Dimacs, RoundTrip) {
+  Cnf C;
+  C.NumVars = 4;
+  C.Clauses = {{1, -2}, {3, 4, -1}, {-4}};
+  Result<Cnf> Again = parseDimacs(C.str());
+  ASSERT_TRUE(Again.ok()) << Again.error();
+  EXPECT_EQ(Again.value().NumVars, C.NumVars);
+  EXPECT_EQ(Again.value().Clauses, C.Clauses);
+}
+
+TEST(Dimacs, RejectsMalformed) {
+  EXPECT_FALSE(parseDimacs("1 2 0").ok());
+  EXPECT_FALSE(parseDimacs("p cnf 2 1\n1 3 0\n").ok());
+  EXPECT_FALSE(parseDimacs("p cnf 2 2\n1 2 0\n").ok());
+  EXPECT_FALSE(parseDimacs("p cnf 2 1\n1 2\n").ok());
+}
+
+TEST(Sat, StatsArePopulated) {
+  Solver S;
+  std::vector<Var> X;
+  for (unsigned I = 0; I < 20; ++I)
+    X.push_back(S.newVar());
+  // XOR-like chains generate conflicts.
+  for (unsigned I = 0; I + 2 < 20; ++I) {
+    ASSERT_TRUE(S.addClause({Lit(X[I]), Lit(X[I + 1]), Lit(X[I + 2])}));
+    ASSERT_TRUE(S.addClause(
+        {Lit(X[I], true), Lit(X[I + 1], true), Lit(X[I + 2], true)}));
+  }
+  ASSERT_EQ(S.solve(), Outcome::Sat);
+  EXPECT_GT(S.stats().Decisions, 0u);
+  EXPECT_GT(S.stats().Propagations, 0u);
+}

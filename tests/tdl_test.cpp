@@ -1,0 +1,184 @@
+//===- tests/tdl_test.cpp - Target-description tests ---------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tdl/TdlParser.h"
+#include "tdl/Ultrascale.h"
+
+#include <gtest/gtest.h>
+
+using namespace reticle;
+using namespace reticle::tdl;
+using ir::Resource;
+using ir::Type;
+
+TEST(TdlParser, ParsesPaperFigure10) {
+  const char *Source = R"(
+    reg[lut, 1, 2](a:i8, en:bool) -> (y:i8) {
+      y:i8 = reg[0](a, en);
+    }
+    add[lut, 1, 2](a:i8, b:i8) -> (y:i8) {
+      y:i8 = add(a, b);
+    }
+    add_reg[lut, 1, 2](a:i8, b:i8, en:bool) -> (y:i8) {
+      t0:i8 = add(a, b);
+      y:i8 = reg[0](t0, en);
+    }
+  )";
+  Result<Target> T = parseTarget("fig10", Source);
+  ASSERT_TRUE(T.ok()) << T.error();
+  EXPECT_EQ(T.value().defs().size(), 3u);
+  const TargetDef &AddReg = T.value().defs()[2];
+  EXPECT_EQ(AddReg.Name, "add_reg");
+  EXPECT_EQ(AddReg.Prim, Resource::Lut);
+  EXPECT_EQ(AddReg.Area, 1);
+  EXPECT_EQ(AddReg.Latency, 2);
+  EXPECT_EQ(AddReg.Body.size(), 2u);
+}
+
+TEST(TdlParser, AttributeHolesBind) {
+  const char *Source = R"(
+    reg[lut, 1, 1](a:i8, en:bool) -> (y:i8) {
+      y:i8 = reg[_](a, en);
+    }
+  )";
+  Result<Target> T = parseTarget("t", Source);
+  ASSERT_TRUE(T.ok()) << T.error();
+  const TargetDef &Def = T.value().defs()[0];
+  EXPECT_EQ(Def.numHoles(), 1u);
+  ir::Function Fn = Def.toFunction({42});
+  EXPECT_EQ(Fn.body()[0].attrs()[0], 42);
+}
+
+TEST(TdlParser, RejectsCyclicBody) {
+  const char *Source = R"(
+    bad[lut, 1, 1](a:i8, en:bool) -> (y:i8) {
+      t0:i8 = add(a, y);
+      y:i8 = reg[0](t0, en);
+    }
+  )";
+  Result<Target> T = parseTarget("t", Source);
+  ASSERT_FALSE(T.ok());
+  EXPECT_NE(T.error().find("acyclic"), std::string::npos);
+}
+
+TEST(TdlParser, RejectsUnusedInput) {
+  const char *Source = R"(
+    bad[lut, 1, 1](a:i8, b:i8) -> (y:i8) {
+      y:i8 = id(a);
+    }
+  )";
+  Result<Target> T = parseTarget("t", Source);
+  ASSERT_FALSE(T.ok());
+  EXPECT_NE(T.error().find("never used"), std::string::npos);
+}
+
+TEST(TdlParser, RejectsIllTypedBody) {
+  const char *Source = R"(
+    bad[lut, 1, 1](a:i8, b:i16) -> (y:i8) {
+      y:i8 = add(a, b);
+    }
+  )";
+  EXPECT_FALSE(parseTarget("t", Source).ok());
+}
+
+TEST(TdlParser, RejectsDuplicateSignature) {
+  const char *Source = R"(
+    add[lut, 1, 1](a:i8, b:i8) -> (y:i8) { y:i8 = add(a, b); }
+    add[lut, 2, 2](a:i8, b:i8) -> (y:i8) { y:i8 = add(a, b); }
+  )";
+  Result<Target> T = parseTarget("t", Source);
+  ASSERT_FALSE(T.ok());
+  EXPECT_NE(T.error().find("duplicate"), std::string::npos);
+}
+
+TEST(TdlParser, AllowsOverloadsAcrossPrimAndWidth) {
+  const char *Source = R"(
+    add[lut, 8, 2](a:i8, b:i8) -> (y:i8) { y:i8 = add(a, b); }
+    add[dsp, 16, 1](a:i8, b:i8) -> (y:i8) { y:i8 = add(a, b); }
+    add[lut, 16, 2](a:i16, b:i16) -> (y:i16) { y:i16 = add(a, b); }
+  )";
+  Result<Target> T = parseTarget("t", Source);
+  ASSERT_TRUE(T.ok()) << T.error();
+  std::vector<Type> I8Args = {Type::makeInt(8), Type::makeInt(8)};
+  const TargetDef *Lut =
+      T.value().resolve("add", Resource::Lut, I8Args, Type::makeInt(8));
+  const TargetDef *Dsp =
+      T.value().resolve("add", Resource::Dsp, I8Args, Type::makeInt(8));
+  ASSERT_NE(Lut, nullptr);
+  ASSERT_NE(Dsp, nullptr);
+  EXPECT_EQ(Lut->Area, 8);
+  EXPECT_EQ(Dsp->Area, 16);
+  EXPECT_EQ(T.value().resolve("add", Resource::Lut,
+                              {Type::makeInt(4), Type::makeInt(4)},
+                              Type::makeInt(4)),
+            nullptr);
+}
+
+TEST(TdlParser, CascadeVariantDetection) {
+  const char *Source = R"(
+    muladd_co[dsp, 16, 2](a:i8, b:i8, c:i8) -> (y:i8) {
+      t0:i8 = mul(a, b);
+      y:i8 = add(t0, c);
+    }
+  )";
+  Result<Target> T = parseTarget("t", Source);
+  ASSERT_TRUE(T.ok()) << T.error();
+  EXPECT_TRUE(T.value().defs()[0].isCascadeVariant());
+}
+
+TEST(Ultrascale, ParsesAndHasCoreDefs) {
+  const Target &T = ultrascale();
+  std::vector<Type> I8x2 = {Type::makeInt(8), Type::makeInt(8)};
+  EXPECT_NE(T.resolve("add", Resource::Lut, I8x2, Type::makeInt(8)), nullptr);
+  EXPECT_NE(T.resolve("add", Resource::Dsp, I8x2, Type::makeInt(8)), nullptr);
+  EXPECT_NE(T.resolve("mul", Resource::Dsp, I8x2, Type::makeInt(8)), nullptr);
+  std::vector<Type> I8x3 = {Type::makeInt(8), Type::makeInt(8),
+                            Type::makeInt(8)};
+  EXPECT_NE(T.resolve("muladd", Resource::Dsp, I8x3, Type::makeInt(8)),
+            nullptr);
+  EXPECT_NE(T.resolve("muladd_co", Resource::Dsp, I8x3, Type::makeInt(8)),
+            nullptr);
+  // SIMD vector add: four 8-bit lanes in one DSP.
+  Type V = Type::makeInt(8, 4);
+  EXPECT_NE(T.resolve("add", Resource::Dsp, {V, V}, V), nullptr);
+  // No DSP SIMD multiply (UG579).
+  EXPECT_EQ(T.resolve("mul", Resource::Dsp, {V, V}, V), nullptr);
+  // Control logic exists on LUTs only.
+  Type B = Type::makeBool();
+  EXPECT_NE(T.resolve("mux", Resource::Lut,
+                      {B, Type::makeInt(8), Type::makeInt(8)},
+                      Type::makeInt(8)),
+            nullptr);
+  EXPECT_EQ(T.resolve("mux", Resource::Dsp,
+                      {B, Type::makeInt(8), Type::makeInt(8)},
+                      Type::makeInt(8)),
+            nullptr);
+}
+
+TEST(Ultrascale, CostModelSteersSelection) {
+  const Target &T = ultrascale();
+  std::vector<Type> I8x2 = {Type::makeInt(8), Type::makeInt(8)};
+  const TargetDef *LutAdd =
+      T.resolve("add", Resource::Lut, I8x2, Type::makeInt(8));
+  const TargetDef *DspAdd =
+      T.resolve("add", Resource::Dsp, I8x2, Type::makeInt(8));
+  const TargetDef *LutMul =
+      T.resolve("mul", Resource::Lut, I8x2, Type::makeInt(8));
+  const TargetDef *DspMul =
+      T.resolve("mul", Resource::Dsp, I8x2, Type::makeInt(8));
+  ASSERT_TRUE(LutAdd && DspAdd && LutMul && DspMul);
+  // Small adds prefer LUTs; multiplies prefer DSPs (Section 2).
+  EXPECT_LT(LutAdd->Area, DspAdd->Area);
+  EXPECT_GT(LutMul->Area, DspMul->Area);
+}
+
+TEST(Ultrascale, TextRoundTripsThroughPrinter) {
+  const Target &T = ultrascale();
+  // Printing every definition and re-parsing must reproduce the target.
+  Result<Target> Again = parseTarget("ultrascale2", T.str());
+  ASSERT_TRUE(Again.ok()) << Again.error();
+  EXPECT_EQ(Again.value().defs().size(), T.defs().size());
+}

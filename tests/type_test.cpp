@@ -1,0 +1,64 @@
+//===- tests/type_test.cpp - Type system unit tests --------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Type.h"
+
+#include <gtest/gtest.h>
+
+using namespace reticle;
+using ir::Type;
+
+TEST(Type, BoolProperties) {
+  Type T = Type::makeBool();
+  EXPECT_TRUE(T.isBool());
+  EXPECT_FALSE(T.isInt());
+  EXPECT_FALSE(T.isVector());
+  EXPECT_EQ(T.width(), 1u);
+  EXPECT_EQ(T.lanes(), 1u);
+  EXPECT_EQ(T.totalBits(), 1u);
+  EXPECT_EQ(T.str(), "bool");
+}
+
+TEST(Type, ScalarInt) {
+  Type T = Type::makeInt(8);
+  EXPECT_TRUE(T.isInt());
+  EXPECT_FALSE(T.isVector());
+  EXPECT_EQ(T.width(), 8u);
+  EXPECT_EQ(T.totalBits(), 8u);
+  EXPECT_EQ(T.str(), "i8");
+}
+
+TEST(Type, VectorInt) {
+  Type T = Type::makeInt(8, 4);
+  EXPECT_TRUE(T.isVector());
+  EXPECT_EQ(T.lanes(), 4u);
+  EXPECT_EQ(T.totalBits(), 32u);
+  EXPECT_EQ(T.str(), "i8<4>");
+  EXPECT_EQ(T.scalar(), Type::makeInt(8));
+}
+
+TEST(Type, ParseRoundTrip) {
+  for (const char *Text : {"bool", "i1", "i8", "i16", "i64", "i8<4>",
+                           "i32<16>"}) {
+    Result<Type> T = Type::parse(Text);
+    ASSERT_TRUE(T.ok()) << Text << ": " << T.error();
+    EXPECT_EQ(T.value().str(), Text);
+  }
+}
+
+TEST(Type, ParseRejectsMalformed) {
+  for (const char *Text : {"", "u8", "i0", "i65", "i8<", "i8<0>", "i8<x>",
+                           "bool<4>", "int"}) {
+    EXPECT_FALSE(Type::parse(Text).ok()) << Text;
+  }
+}
+
+TEST(Type, Equality) {
+  EXPECT_EQ(Type::makeInt(8), Type::makeInt(8));
+  EXPECT_NE(Type::makeInt(8), Type::makeInt(16));
+  EXPECT_NE(Type::makeInt(8), Type::makeInt(8, 2));
+  EXPECT_NE(Type::makeBool(), Type::makeInt(1));
+}

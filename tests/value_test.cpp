@@ -1,0 +1,66 @@
+//===- tests/value_test.cpp - Runtime value tests ----------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Value.h"
+
+#include <gtest/gtest.h>
+
+using namespace reticle;
+using interp::Value;
+using ir::Type;
+
+TEST(Value, CanonicalizeSignExtends) {
+  EXPECT_EQ(Value::canonicalize(0xFF, 8), -1);
+  EXPECT_EQ(Value::canonicalize(0x7F, 8), 127);
+  EXPECT_EQ(Value::canonicalize(128, 8), -128);
+  EXPECT_EQ(Value::canonicalize(256, 8), 0);
+  EXPECT_EQ(Value::canonicalize(-1, 64), -1);
+  EXPECT_EQ(Value::canonicalize(1, 1), -1); // i1 is signed
+}
+
+TEST(Value, SplatFillsLanes) {
+  Value V = Value::splat(Type::makeInt(8, 4), 300);
+  ASSERT_EQ(V.lanes(), 4u);
+  for (unsigned L = 0; L < 4; ++L)
+    EXPECT_EQ(V.lane(L), 44); // 300 mod 256
+}
+
+TEST(Value, BoolNormalizesToZeroOne) {
+  EXPECT_EQ(Value::splat(Type::makeBool(), 42).scalar(), 1);
+  EXPECT_EQ(Value::splat(Type::makeBool(), 0).scalar(), 0);
+  EXPECT_TRUE(Value::makeBool(true).toBool());
+  EXPECT_FALSE(Value::makeBool(false).toBool());
+}
+
+TEST(Value, BitsRoundTripScalar) {
+  Value V = Value::splat(Type::makeInt(8), -3);
+  std::vector<bool> Bits = V.toBits();
+  ASSERT_EQ(Bits.size(), 8u);
+  EXPECT_EQ(Value::fromBits(Type::makeInt(8), Bits), V);
+}
+
+TEST(Value, BitsRoundTripVector) {
+  Value V = Value::fromLanes(Type::makeInt(4, 3), {1, -2, 7});
+  std::vector<bool> Bits = V.toBits();
+  ASSERT_EQ(Bits.size(), 12u);
+  EXPECT_EQ(Value::fromBits(Type::makeInt(4, 3), Bits), V);
+  // Lane 0 occupies the low bits: 1 = 0b0001.
+  EXPECT_TRUE(Bits[0]);
+  EXPECT_FALSE(Bits[1]);
+}
+
+TEST(Value, BitsReinterpretAcrossTypes) {
+  // i8<2> lanes {1, 2} flatten to the same bits as the i16 0x0201.
+  Value V = Value::fromLanes(Type::makeInt(8, 2), {1, 2});
+  Value W = Value::fromBits(Type::makeInt(16), V.toBits());
+  EXPECT_EQ(W.scalar(), 0x0201);
+}
+
+TEST(Value, Printing) {
+  EXPECT_EQ(Value::makeBool(true).str(), "true");
+  EXPECT_EQ(Value::splat(Type::makeInt(8), -5).str(), "-5");
+  EXPECT_EQ(Value::fromLanes(Type::makeInt(8, 2), {1, 2}).str(), "[1, 2]");
+}

@@ -1,0 +1,105 @@
+//===- tests/verilog_test.cpp - Verilog AST tests -------------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verilog/Ast.h"
+
+#include <gtest/gtest.h>
+
+using namespace reticle;
+using namespace reticle::verilog;
+
+TEST(VerilogExpr, Rendering) {
+  EXPECT_EQ(Expr::ref("a").str(), "a");
+  EXPECT_EQ(Expr::intLit(4, 8).str(), "4'h8");
+  EXPECT_EQ(Expr::str("FOUR12").str(), "\"FOUR12\"");
+  EXPECT_EQ(Expr::index(Expr::ref("a"), 3).str(), "a[3]");
+  EXPECT_EQ(Expr::range(Expr::ref("a"), 7, 0).str(), "a[7:0]");
+  EXPECT_EQ(Expr::concat({Expr::ref("b"), Expr::ref("a")}).str(), "{b, a}");
+  EXPECT_EQ(Expr::repeat(3, Expr::ref("s")).str(), "{3{s}}");
+  EXPECT_EQ(Expr::unary("~", Expr::ref("a")).str(), "(~a)");
+  EXPECT_EQ(Expr::binary("&", Expr::ref("a"), Expr::ref("b")).str(),
+            "(a & b)");
+  EXPECT_EQ(
+      Expr::ternary(Expr::ref("c"), Expr::ref("a"), Expr::ref("b")).str(),
+      "(c ? a : b)");
+}
+
+TEST(VerilogModule, PaperFigure2bStructuralAnd) {
+  // Figure 2b: a LUT2 implementing a 1-bit and.
+  Module M("bit_and");
+  M.addPort(Dir::Input, "a");
+  M.addPort(Dir::Input, "b");
+  M.addPort(Dir::Output, "y");
+  Item &I = M.addInstance("LUT2", "i0");
+  I.Params.push_back({"INIT", Expr::intLit(4, 0x8)});
+  I.Connections.push_back({"I0", Expr::ref("a")});
+  I.Connections.push_back({"I1", Expr::ref("b")});
+  I.Connections.push_back({"O", Expr::ref("y")});
+  std::string Out = M.str();
+  EXPECT_NE(Out.find("module bit_and("), std::string::npos);
+  EXPECT_NE(Out.find("LUT2 # (.INIT(4'h8))"), std::string::npos);
+  EXPECT_NE(Out.find(".I0(a), .I1(b), .O(y)"), std::string::npos);
+  EXPECT_NE(Out.find("endmodule"), std::string::npos);
+}
+
+TEST(VerilogModule, Figure2cLayoutAttributes) {
+  // Figure 2c: LOC and BEL attributes on the instance.
+  Module M("bit_and");
+  M.addPort(Dir::Input, "a");
+  M.addPort(Dir::Input, "b");
+  M.addPort(Dir::Output, "y");
+  Item &I = M.addInstance("LUT2", "i0");
+  I.Attributes.push_back({"LOC", "SLICE_X0Y0"});
+  I.Attributes.push_back({"BEL", "A6LUT"});
+  I.Params.push_back({"INIT", Expr::intLit(4, 0x8)});
+  I.Connections.push_back({"I0", Expr::ref("a")});
+  I.Connections.push_back({"I1", Expr::ref("b")});
+  I.Connections.push_back({"O", Expr::ref("y")});
+  std::string Out = M.str();
+  EXPECT_NE(Out.find("(* LOC = \"SLICE_X0Y0\" *)"), std::string::npos);
+  EXPECT_NE(Out.find("(* BEL = \"A6LUT\" *)"), std::string::npos);
+}
+
+TEST(VerilogModule, WidthsAndWires) {
+  Module M("m");
+  M.addPort(Dir::Input, "a", 8);
+  M.addPort(Dir::Output, "y", 8);
+  M.addWire("t", 16);
+  M.addWire("s"); // scalar
+  M.addAssign(Expr::ref("y"), Expr::range(Expr::ref("t"), 7, 0));
+  std::string Out = M.str();
+  EXPECT_NE(Out.find("input [7:0] a"), std::string::npos);
+  EXPECT_NE(Out.find("wire [15:0] t;"), std::string::npos);
+  EXPECT_NE(Out.find("wire s;"), std::string::npos);
+  EXPECT_NE(Out.find("assign y = t[7:0];"), std::string::npos);
+}
+
+TEST(VerilogModule, AlwaysFFBlock) {
+  Module M("m");
+  M.addPort(Dir::Input, "clock");
+  M.addPort(Dir::Input, "en");
+  Item &A = M.addAlwaysFF("clock");
+  NonBlocking S;
+  S.GuardName = "en";
+  S.Lhs = Expr::ref("q");
+  S.Rhs = Expr::ref("d");
+  A.Body.push_back(S);
+  std::string Out = M.str();
+  EXPECT_NE(Out.find("always @(posedge clock) begin"), std::string::npos);
+  EXPECT_NE(Out.find("if (en) q <= d;"), std::string::npos);
+}
+
+TEST(VerilogModule, CountInstances) {
+  Module M("m");
+  M.addInstance("LUT2", "i0");
+  M.addInstance("LUT6", "i1");
+  M.addInstance("DSP48E2", "i2");
+  M.addInstance("CARRY8", "i3");
+  EXPECT_EQ(M.countInstances("LUT"), 2u);
+  EXPECT_EQ(M.countInstances("DSP48E2"), 1u);
+  EXPECT_EQ(M.countInstances("CARRY8"), 1u);
+  EXPECT_EQ(M.countInstances("FDRE"), 0u);
+}

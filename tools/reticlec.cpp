@@ -1,0 +1,181 @@
+//===- tools/reticlec.cpp - The Reticle compiler driver -------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Command-line front end for the compilation pipeline of Figure 7:
+/// reads an intermediate-language program and emits assembly, placed
+/// assembly, or structural Verilog with layout annotations. Also exposes
+/// the behavioral-Verilog translation backend used to build the paper's
+/// baselines, the built-in target description, and the front-end
+/// optimization passes of Section 8.2.
+///
+/// Usage:
+///   reticlec [options] <input.ret>
+///     --emit=asm|placed|verilog|behavioral   artifact to print (verilog)
+///     --device=xczu3eg|small|tiny            placement target (xczu3eg)
+///     -O                                     run dce/fold/vectorize first
+///     --no-cascade                           skip the cascade rewrite
+///     --no-shrink                            skip placement shrinking
+///     --stats                                per-stage report on stderr
+///     --dump-target                          print the UltraScale TDL
+///     -o <file>                              write output to a file
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "ir/Parser.h"
+#include "opt/Transforms.h"
+#include "synth/Synth.h"
+#include "tdl/Ultrascale.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace reticle;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--emit=asm|placed|verilog|behavioral] "
+               "[--device=xczu3eg|small|tiny] [-O] [--no-cascade] "
+               "[--no-shrink] [--stats] [-o <file>] <input.ret>\n"
+               "       %s --dump-target\n",
+               Argv0, Argv0);
+  return 2;
+}
+
+int fatal(const std::string &Message) {
+  std::fprintf(stderr, "reticlec: error: %s\n", Message.c_str());
+  return 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Emit = "verilog";
+  std::string DeviceName = "xczu3eg";
+  std::string InputPath;
+  std::string OutputPath;
+  bool Optimize = false;
+  bool Stats = false;
+  core::CompileOptions Options;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--dump-target") {
+      std::fputs(tdl::ultrascaleText().c_str(), stdout);
+      return 0;
+    }
+    if (Arg.rfind("--emit=", 0) == 0) {
+      Emit = Arg.substr(7);
+    } else if (Arg.rfind("--device=", 0) == 0) {
+      DeviceName = Arg.substr(9);
+    } else if (Arg == "-O") {
+      Optimize = true;
+    } else if (Arg == "--no-cascade") {
+      Options.Cascade = false;
+    } else if (Arg == "--no-shrink") {
+      Options.Shrink = false;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg == "-o") {
+      if (++I >= Argc)
+        return usage(Argv[0]);
+      OutputPath = Argv[I];
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "reticlec: unknown option '%s'\n", Arg.c_str());
+      return usage(Argv[0]);
+    } else if (InputPath.empty()) {
+      InputPath = Arg;
+    } else {
+      return usage(Argv[0]);
+    }
+  }
+  if (InputPath.empty())
+    return usage(Argv[0]);
+
+  if (DeviceName == "xczu3eg")
+    Options.Dev = device::Device::xczu3eg();
+  else if (DeviceName == "small")
+    Options.Dev = device::Device::small();
+  else if (DeviceName == "tiny")
+    Options.Dev = device::Device::tiny();
+  else
+    return fatal("unknown device '" + DeviceName + "'");
+
+  std::ifstream In(InputPath);
+  if (!In)
+    return fatal("cannot open '" + InputPath + "'");
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  Result<ir::Function> Fn = ir::parseFunction(Buffer.str());
+  if (!Fn)
+    return fatal(InputPath + ": " + Fn.error());
+
+  if (Optimize) {
+    unsigned Folded = opt::constantFold(Fn.value());
+    unsigned Dead = opt::deadCodeElim(Fn.value());
+    unsigned Vectors = opt::vectorize(Fn.value());
+    if (Stats)
+      std::fprintf(stderr,
+                   "opt: folded %u, removed %u dead, formed %u vector "
+                   "op(s)\n",
+                   Folded, Dead, Vectors);
+  }
+
+  std::string Output;
+  if (Emit == "behavioral") {
+    Output = synth::emitBehavioral(Fn.value(), synth::Mode::Hint).str();
+  } else {
+    Result<core::CompileResult> R = core::compile(Fn.value(), Options);
+    if (!R)
+      return fatal(R.error());
+    if (Emit == "asm")
+      Output = R.value().Asm.str();
+    else if (Emit == "placed")
+      Output = R.value().Placed.str();
+    else if (Emit == "verilog")
+      Output = R.value().Verilog.str();
+    else
+      return fatal("unknown --emit kind '" + Emit + "'");
+    if (Stats) {
+      const core::CompileResult &C = R.value();
+      std::fprintf(stderr,
+                   "select: %u tree(s) -> %u op(s) + %u wire(s), area %lld "
+                   "(%.2f ms)\n",
+                   C.SelectStats.NumTrees, C.SelectStats.NumAsmOps,
+                   C.SelectStats.NumWire,
+                   static_cast<long long>(C.SelectStats.TotalArea),
+                   C.SelectMs);
+      std::fprintf(stderr, "cascade: %u chain(s), %u rewritten\n",
+                   C.CascadeStats.Chains, C.CascadeStats.Rewritten);
+      std::fprintf(stderr,
+                   "place: %u solve(s), %u var(s), %llu conflict(s) "
+                   "(%.2f ms)\n",
+                   C.PlaceStats.Solves, C.PlaceStats.Vars,
+                   static_cast<unsigned long long>(C.PlaceStats.Conflicts),
+                   C.PlaceMs);
+      std::fprintf(stderr, "util: %u DSP(s), %u LUT(s), %u FF(s)\n",
+                   C.Util.Dsps, C.Util.Luts, C.Util.Ffs);
+      std::fprintf(stderr, "timing: %.2f ns critical path (%.1f MHz)\n",
+                   C.Timing.CriticalPathNs, C.Timing.FmaxMhz);
+    }
+  }
+
+  if (OutputPath.empty()) {
+    std::fputs(Output.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream Out(OutputPath);
+  if (!Out)
+    return fatal("cannot write '" + OutputPath + "'");
+  Out << Output;
+  return 0;
+}
