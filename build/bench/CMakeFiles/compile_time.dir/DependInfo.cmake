@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/compile_time.cpp" "bench/CMakeFiles/compile_time.dir/compile_time.cpp.o" "gcc" "bench/CMakeFiles/compile_time.dir/compile_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/reticle_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/reticle_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/reticle_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/isel/CMakeFiles/reticle_isel.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/reticle_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/reticle_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/reticle_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/reticle_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/reticle_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/rasm/CMakeFiles/reticle_rasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tdl/CMakeFiles/reticle_tdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/aig/CMakeFiles/reticle_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/anneal/CMakeFiles/reticle_anneal.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/reticle_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/verilog/CMakeFiles/reticle_verilog.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/reticle_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/reticle_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

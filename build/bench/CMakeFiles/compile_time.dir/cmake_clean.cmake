@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_time.dir/compile_time.cpp.o"
+  "CMakeFiles/compile_time.dir/compile_time.cpp.o.d"
+  "compile_time"
+  "compile_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13a_tensoradd.dir/fig13a_tensoradd.cpp.o"
+  "CMakeFiles/fig13a_tensoradd.dir/fig13a_tensoradd.cpp.o.d"
+  "fig13a_tensoradd"
+  "fig13a_tensoradd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13a_tensoradd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

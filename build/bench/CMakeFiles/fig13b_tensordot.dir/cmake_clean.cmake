@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13b_tensordot.dir/fig13b_tensordot.cpp.o"
+  "CMakeFiles/fig13b_tensordot.dir/fig13b_tensordot.cpp.o.d"
+  "fig13b_tensordot"
+  "fig13b_tensordot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13b_tensordot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13c_fsm.dir/fig13c_fsm.cpp.o"
+  "CMakeFiles/fig13c_fsm.dir/fig13c_fsm.cpp.o.d"
+  "fig13c_fsm"
+  "fig13c_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13c_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

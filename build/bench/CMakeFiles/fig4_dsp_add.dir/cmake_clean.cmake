@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_dsp_add.dir/fig4_dsp_add.cpp.o"
+  "CMakeFiles/fig4_dsp_add.dir/fig4_dsp_add.cpp.o.d"
+  "fig4_dsp_add"
+  "fig4_dsp_add.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_dsp_add.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm_coroutine.dir/fsm_coroutine.cpp.o"
+  "CMakeFiles/fsm_coroutine.dir/fsm_coroutine.cpp.o.d"
+  "fsm_coroutine"
+  "fsm_coroutine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm_coroutine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensoradd.dir/tensoradd.cpp.o"
+  "CMakeFiles/tensoradd.dir/tensoradd.cpp.o.d"
+  "tensoradd"
+  "tensoradd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensoradd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensordot.dir/tensordot.cpp.o"
+  "CMakeFiles/tensordot.dir/tensordot.cpp.o.d"
+  "tensordot"
+  "tensordot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensordot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("interp")
+subdirs("device")
+subdirs("tdl")
+subdirs("rasm")
+subdirs("sat")
+subdirs("isel")
+subdirs("place")
+subdirs("verilog")
+subdirs("codegen")
+subdirs("timing")
+subdirs("core")
+subdirs("aig")
+subdirs("anneal")
+subdirs("synth")
+subdirs("frontend")
+subdirs("opt")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reticle_aig.dir/Aig.cpp.o"
+  "CMakeFiles/reticle_aig.dir/Aig.cpp.o.d"
+  "CMakeFiles/reticle_aig.dir/Mapper.cpp.o"
+  "CMakeFiles/reticle_aig.dir/Mapper.cpp.o.d"
+  "libreticle_aig.a"
+  "libreticle_aig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reticle_aig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

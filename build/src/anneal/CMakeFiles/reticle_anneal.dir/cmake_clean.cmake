@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reticle_anneal.dir/Anneal.cpp.o"
+  "CMakeFiles/reticle_anneal.dir/Anneal.cpp.o.d"
+  "libreticle_anneal.a"
+  "libreticle_anneal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reticle_anneal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

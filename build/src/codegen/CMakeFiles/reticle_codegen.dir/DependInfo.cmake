@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/Codegen.cpp" "src/codegen/CMakeFiles/reticle_codegen.dir/Codegen.cpp.o" "gcc" "src/codegen/CMakeFiles/reticle_codegen.dir/Codegen.cpp.o.d"
+  "/root/repo/src/codegen/NetlistSim.cpp" "src/codegen/CMakeFiles/reticle_codegen.dir/NetlistSim.cpp.o" "gcc" "src/codegen/CMakeFiles/reticle_codegen.dir/NetlistSim.cpp.o.d"
+  "/root/repo/src/codegen/Testbench.cpp" "src/codegen/CMakeFiles/reticle_codegen.dir/Testbench.cpp.o" "gcc" "src/codegen/CMakeFiles/reticle_codegen.dir/Testbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rasm/CMakeFiles/reticle_rasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tdl/CMakeFiles/reticle_tdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/reticle_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/verilog/CMakeFiles/reticle_verilog.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/reticle_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/reticle_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/reticle_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reticle_codegen.dir/Codegen.cpp.o"
+  "CMakeFiles/reticle_codegen.dir/Codegen.cpp.o.d"
+  "CMakeFiles/reticle_codegen.dir/NetlistSim.cpp.o"
+  "CMakeFiles/reticle_codegen.dir/NetlistSim.cpp.o.d"
+  "CMakeFiles/reticle_codegen.dir/Testbench.cpp.o"
+  "CMakeFiles/reticle_codegen.dir/Testbench.cpp.o.d"
+  "libreticle_codegen.a"
+  "libreticle_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reticle_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reticle_core.dir/Compiler.cpp.o"
+  "CMakeFiles/reticle_core.dir/Compiler.cpp.o.d"
+  "libreticle_core.a"
+  "libreticle_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reticle_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reticle_device.dir/Device.cpp.o"
+  "CMakeFiles/reticle_device.dir/Device.cpp.o.d"
+  "libreticle_device.a"
+  "libreticle_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reticle_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reticle_frontend.dir/Benchmarks.cpp.o"
+  "CMakeFiles/reticle_frontend.dir/Benchmarks.cpp.o.d"
+  "libreticle_frontend.a"
+  "libreticle_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reticle_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reticle_interp.dir/Eval.cpp.o"
+  "CMakeFiles/reticle_interp.dir/Eval.cpp.o.d"
+  "CMakeFiles/reticle_interp.dir/Interp.cpp.o"
+  "CMakeFiles/reticle_interp.dir/Interp.cpp.o.d"
+  "CMakeFiles/reticle_interp.dir/Value.cpp.o"
+  "CMakeFiles/reticle_interp.dir/Value.cpp.o.d"
+  "libreticle_interp.a"
+  "libreticle_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reticle_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

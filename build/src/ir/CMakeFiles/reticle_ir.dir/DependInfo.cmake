@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Function.cpp" "src/ir/CMakeFiles/reticle_ir.dir/Function.cpp.o" "gcc" "src/ir/CMakeFiles/reticle_ir.dir/Function.cpp.o.d"
+  "/root/repo/src/ir/Instr.cpp" "src/ir/CMakeFiles/reticle_ir.dir/Instr.cpp.o" "gcc" "src/ir/CMakeFiles/reticle_ir.dir/Instr.cpp.o.d"
+  "/root/repo/src/ir/Ops.cpp" "src/ir/CMakeFiles/reticle_ir.dir/Ops.cpp.o" "gcc" "src/ir/CMakeFiles/reticle_ir.dir/Ops.cpp.o.d"
+  "/root/repo/src/ir/ParseCommon.cpp" "src/ir/CMakeFiles/reticle_ir.dir/ParseCommon.cpp.o" "gcc" "src/ir/CMakeFiles/reticle_ir.dir/ParseCommon.cpp.o.d"
+  "/root/repo/src/ir/Parser.cpp" "src/ir/CMakeFiles/reticle_ir.dir/Parser.cpp.o" "gcc" "src/ir/CMakeFiles/reticle_ir.dir/Parser.cpp.o.d"
+  "/root/repo/src/ir/Type.cpp" "src/ir/CMakeFiles/reticle_ir.dir/Type.cpp.o" "gcc" "src/ir/CMakeFiles/reticle_ir.dir/Type.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/ir/CMakeFiles/reticle_ir.dir/Verifier.cpp.o" "gcc" "src/ir/CMakeFiles/reticle_ir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/reticle_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

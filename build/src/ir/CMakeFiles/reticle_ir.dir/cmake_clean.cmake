@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reticle_ir.dir/Function.cpp.o"
+  "CMakeFiles/reticle_ir.dir/Function.cpp.o.d"
+  "CMakeFiles/reticle_ir.dir/Instr.cpp.o"
+  "CMakeFiles/reticle_ir.dir/Instr.cpp.o.d"
+  "CMakeFiles/reticle_ir.dir/Ops.cpp.o"
+  "CMakeFiles/reticle_ir.dir/Ops.cpp.o.d"
+  "CMakeFiles/reticle_ir.dir/ParseCommon.cpp.o"
+  "CMakeFiles/reticle_ir.dir/ParseCommon.cpp.o.d"
+  "CMakeFiles/reticle_ir.dir/Parser.cpp.o"
+  "CMakeFiles/reticle_ir.dir/Parser.cpp.o.d"
+  "CMakeFiles/reticle_ir.dir/Type.cpp.o"
+  "CMakeFiles/reticle_ir.dir/Type.cpp.o.d"
+  "CMakeFiles/reticle_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/reticle_ir.dir/Verifier.cpp.o.d"
+  "libreticle_ir.a"
+  "libreticle_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reticle_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

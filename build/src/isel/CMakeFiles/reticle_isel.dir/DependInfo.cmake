@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isel/Cascade.cpp" "src/isel/CMakeFiles/reticle_isel.dir/Cascade.cpp.o" "gcc" "src/isel/CMakeFiles/reticle_isel.dir/Cascade.cpp.o.d"
+  "/root/repo/src/isel/Dfg.cpp" "src/isel/CMakeFiles/reticle_isel.dir/Dfg.cpp.o" "gcc" "src/isel/CMakeFiles/reticle_isel.dir/Dfg.cpp.o.d"
+  "/root/repo/src/isel/Select.cpp" "src/isel/CMakeFiles/reticle_isel.dir/Select.cpp.o" "gcc" "src/isel/CMakeFiles/reticle_isel.dir/Select.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/reticle_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/rasm/CMakeFiles/reticle_rasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tdl/CMakeFiles/reticle_tdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/reticle_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

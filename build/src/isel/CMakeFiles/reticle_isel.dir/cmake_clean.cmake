@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reticle_isel.dir/Cascade.cpp.o"
+  "CMakeFiles/reticle_isel.dir/Cascade.cpp.o.d"
+  "CMakeFiles/reticle_isel.dir/Dfg.cpp.o"
+  "CMakeFiles/reticle_isel.dir/Dfg.cpp.o.d"
+  "CMakeFiles/reticle_isel.dir/Select.cpp.o"
+  "CMakeFiles/reticle_isel.dir/Select.cpp.o.d"
+  "libreticle_isel.a"
+  "libreticle_isel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reticle_isel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reticle_opt.dir/Transforms.cpp.o"
+  "CMakeFiles/reticle_opt.dir/Transforms.cpp.o.d"
+  "libreticle_opt.a"
+  "libreticle_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reticle_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reticle_place.dir/Place.cpp.o"
+  "CMakeFiles/reticle_place.dir/Place.cpp.o.d"
+  "libreticle_place.a"
+  "libreticle_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reticle_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

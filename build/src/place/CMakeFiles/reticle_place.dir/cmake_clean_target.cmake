@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libreticle_place.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reticle_rasm.dir/Asm.cpp.o"
+  "CMakeFiles/reticle_rasm.dir/Asm.cpp.o.d"
+  "CMakeFiles/reticle_rasm.dir/AsmParser.cpp.o"
+  "CMakeFiles/reticle_rasm.dir/AsmParser.cpp.o.d"
+  "CMakeFiles/reticle_rasm.dir/ToIr.cpp.o"
+  "CMakeFiles/reticle_rasm.dir/ToIr.cpp.o.d"
+  "libreticle_rasm.a"
+  "libreticle_rasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reticle_rasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

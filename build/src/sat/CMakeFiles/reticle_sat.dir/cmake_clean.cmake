@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reticle_sat.dir/Dimacs.cpp.o"
+  "CMakeFiles/reticle_sat.dir/Dimacs.cpp.o.d"
+  "CMakeFiles/reticle_sat.dir/Solver.cpp.o"
+  "CMakeFiles/reticle_sat.dir/Solver.cpp.o.d"
+  "libreticle_sat.a"
+  "libreticle_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reticle_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reticle_support.dir/Lexer.cpp.o"
+  "CMakeFiles/reticle_support.dir/Lexer.cpp.o.d"
+  "libreticle_support.a"
+  "libreticle_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reticle_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

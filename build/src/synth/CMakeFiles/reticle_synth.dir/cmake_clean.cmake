@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reticle_synth.dir/Synth.cpp.o"
+  "CMakeFiles/reticle_synth.dir/Synth.cpp.o.d"
+  "libreticle_synth.a"
+  "libreticle_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reticle_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tdl/Target.cpp" "src/tdl/CMakeFiles/reticle_tdl.dir/Target.cpp.o" "gcc" "src/tdl/CMakeFiles/reticle_tdl.dir/Target.cpp.o.d"
+  "/root/repo/src/tdl/TdlParser.cpp" "src/tdl/CMakeFiles/reticle_tdl.dir/TdlParser.cpp.o" "gcc" "src/tdl/CMakeFiles/reticle_tdl.dir/TdlParser.cpp.o.d"
+  "/root/repo/src/tdl/Ultrascale.cpp" "src/tdl/CMakeFiles/reticle_tdl.dir/Ultrascale.cpp.o" "gcc" "src/tdl/CMakeFiles/reticle_tdl.dir/Ultrascale.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/reticle_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/reticle_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reticle_tdl.dir/Target.cpp.o"
+  "CMakeFiles/reticle_tdl.dir/Target.cpp.o.d"
+  "CMakeFiles/reticle_tdl.dir/TdlParser.cpp.o"
+  "CMakeFiles/reticle_tdl.dir/TdlParser.cpp.o.d"
+  "CMakeFiles/reticle_tdl.dir/Ultrascale.cpp.o"
+  "CMakeFiles/reticle_tdl.dir/Ultrascale.cpp.o.d"
+  "libreticle_tdl.a"
+  "libreticle_tdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reticle_tdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reticle_timing.dir/Timing.cpp.o"
+  "CMakeFiles/reticle_timing.dir/Timing.cpp.o.d"
+  "libreticle_timing.a"
+  "libreticle_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reticle_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

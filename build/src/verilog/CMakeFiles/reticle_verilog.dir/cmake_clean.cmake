@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reticle_verilog.dir/Ast.cpp.o"
+  "CMakeFiles/reticle_verilog.dir/Ast.cpp.o.d"
+  "libreticle_verilog.a"
+  "libreticle_verilog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reticle_verilog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

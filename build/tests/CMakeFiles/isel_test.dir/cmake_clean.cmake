@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isel_test.dir/isel_test.cpp.o"
+  "CMakeFiles/isel_test.dir/isel_test.cpp.o.d"
+  "isel_test"
+  "isel_test.pdb"
+  "isel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlistsim_test.dir/netlistsim_test.cpp.o"
+  "CMakeFiles/netlistsim_test.dir/netlistsim_test.cpp.o.d"
+  "netlistsim_test"
+  "netlistsim_test.pdb"
+  "netlistsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlistsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

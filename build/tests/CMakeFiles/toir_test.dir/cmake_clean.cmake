@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toir_test.dir/toir_test.cpp.o"
+  "CMakeFiles/toir_test.dir/toir_test.cpp.o.d"
+  "toir_test"
+  "toir_test.pdb"
+  "toir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

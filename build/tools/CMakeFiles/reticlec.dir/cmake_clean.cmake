@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reticlec.dir/reticlec.cpp.o"
+  "CMakeFiles/reticlec.dir/reticlec.cpp.o.d"
+  "reticlec"
+  "reticlec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reticlec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(reticlec_verilog "/root/repo/build/tools/reticlec" "--device=small" "--stats" "/root/repo/tools/../examples/programs/mac.ret")
+set_tests_properties(reticlec_verilog PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(reticlec_asm "/root/repo/build/tools/reticlec" "--device=small" "--emit=asm" "/root/repo/tools/../examples/programs/dot3.ret")
+set_tests_properties(reticlec_asm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(reticlec_optimized "/root/repo/build/tools/reticlec" "--device=small" "-O" "--emit=placed" "/root/repo/tools/../examples/programs/scalar_adds.ret")
+set_tests_properties(reticlec_optimized PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(reticlec_behavioral "/root/repo/build/tools/reticlec" "--emit=behavioral" "/root/repo/tools/../examples/programs/mac.ret")
+set_tests_properties(reticlec_behavioral PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(reticlec_dump_target "/root/repo/build/tools/reticlec" "--dump-target")
+set_tests_properties(reticlec_dump_target PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(reticlec_rejects_bad_input "/root/repo/build/tools/reticlec" "/root/repo/tools/../examples/programs/nonexistent.ret")
+set_tests_properties(reticlec_rejects_bad_input PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
