@@ -18,6 +18,8 @@
 
 #include "core/Compiler.h"
 #include "device/Device.h"
+#include "obs/Json.h"
+#include "obs/Report.h"
 #include "synth/Synth.h"
 
 #include <cstdio>
@@ -97,6 +99,71 @@ inline void printPanelRow(const std::string &Size, const RunResult &Base,
       Hint.CriticalNs / Ret.CriticalNs, Base.Luts, Hint.Luts, Ret.Luts,
       Base.Dsps, Hint.Dsps, Ret.Dsps);
 }
+
+/// Collects the series a figure binary prints and dumps it as
+/// `BENCH_<figure>.json` ("reticle-bench-v1") in the working directory,
+/// so plots regenerate from machine-readable data instead of scraped
+/// stdout. EXPERIMENTS.md documents the schema alongside the figures.
+class SeriesReport {
+public:
+  SeriesReport(std::string Figure, std::string Title)
+      : Figure(std::move(Figure)), Title(std::move(Title)) {}
+
+  void add(const std::string &Size, const std::string &Toolchain,
+           const RunResult &R) {
+    obs::Json Row = obs::Json::object();
+    Row.set("size", Size);
+    Row.set("toolchain", Toolchain);
+    Row.set("ok", R.Ok);
+    if (!R.Ok) {
+      Row.set("error", R.Error);
+    } else {
+      Row.set("compile_ms", R.CompileMs);
+      Row.set("critical_ns", R.CriticalNs);
+      Row.set("fmax_mhz", R.FmaxMhz);
+      Row.set("luts", R.Luts);
+      Row.set("dsps", R.Dsps);
+      Row.set("ffs", R.Ffs);
+    }
+    Rows.push(std::move(Row));
+  }
+
+  /// Convenience for ablation-style rows taken straight off a pipeline
+  /// compile rather than a RunResult.
+  void addCompile(const std::string &Size, const std::string &Toolchain,
+                  const core::CompileResult &R) {
+    RunResult Run;
+    Run.Ok = true;
+    Run.CompileMs = R.TotalMs;
+    Run.CriticalNs = R.Timing.CriticalPathNs;
+    Run.FmaxMhz = R.Timing.FmaxMhz;
+    Run.Luts = R.Util.Luts;
+    Run.Dsps = R.Util.Dsps;
+    Run.Ffs = R.Util.Ffs;
+    add(Size, Toolchain, Run);
+  }
+
+  /// Writes `BENCH_<figure>.json`; warns (without failing the figure's
+  /// shape checks) when the file cannot be written.
+  bool write() {
+    obs::Json Doc = obs::Json::object();
+    Doc.set("schema", "reticle-bench-v1");
+    Doc.set("figure", Figure);
+    Doc.set("title", Title);
+    Doc.set("series", Rows);
+    std::string Path = "BENCH_" + Figure + ".json";
+    if (Status S = obs::writeJsonFile(Doc, Path); !S) {
+      std::fprintf(stderr, "warning: %s\n", S.error().c_str());
+      return false;
+    }
+    std::printf("\nwrote %s\n", Path.c_str());
+    return true;
+  }
+
+private:
+  std::string Figure, Title;
+  obs::Json Rows = obs::Json::array();
+};
 
 /// Prints the raw per-toolchain detail line (compile time, fmax).
 inline void printDetail(const std::string &Size, const char *Lang,

@@ -15,6 +15,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "../bench/BenchUtil.h"
 #include "core/Compiler.h"
 #include "frontend/Benchmarks.h"
 #include "opt/Transforms.h"
@@ -44,6 +45,7 @@ unsigned maxRowUsed(const rasm::AsmProgram &Placed) {
 } // namespace
 
 int main() {
+  bench::SeriesReport Report("ablation", "Design-choice ablations");
   std::printf("Ablation 1: DSP cascading (tensordot 5x18)\n");
   {
     ir::Function Fn = frontend::makeTensorDot(18);
@@ -56,6 +58,8 @@ int main() {
                   Without ? "" : Without.error().c_str());
       return 1;
     }
+    Report.addCompile("tensordot_5x18", "cascade_on", With.value());
+    Report.addCompile("tensordot_5x18", "cascade_off", Without.value());
     std::printf("  critical path: cascaded %.2f ns, general routing "
                 "%.2f ns\n",
                 With.value().Timing.CriticalPathNs,
@@ -78,6 +82,8 @@ int main() {
       std::printf("FAILED\n");
       return 1;
     }
+    Report.addCompile("tensoradd_256", "shrink_on", With.value());
+    Report.addCompile("tensoradd_256", "shrink_off", Without.value());
     std::printf("  max row used: shrunk %u, unshrunk %u; place time "
                 "%.1f ms vs %.1f ms (%u vs %u solve(s))\n",
                 maxRowUsed(With.value().Placed),
@@ -112,6 +118,8 @@ int main() {
       std::printf("FAILED\n");
       return 1;
     }
+    Report.addCompile("scalar_adds_64", "scalar", A.value());
+    Report.addCompile("scalar_adds_64", "vectorized", B.value());
     std::printf("  formed %u vector op(s); scalar: %u LUTs / %u DSPs; "
                 "vectorized: %u LUTs / %u DSPs\n",
                 Formed, A.value().Util.Luts, A.value().Util.Dsps,
@@ -123,6 +131,7 @@ int main() {
           "vectorized form needs no soft logic");
   }
 
+  Report.write();
   std::printf("\n%s\n", Failures == 0 ? "all ablation checks passed"
                                       : "ABLATION CHECKS FAILED");
   return Failures == 0 ? 0 : 1;

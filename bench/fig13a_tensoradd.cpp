@@ -32,14 +32,19 @@ int main() {
 
   std::vector<unsigned> Sizes = {64, 128, 256, 512};
   std::vector<bench::RunResult> Bases, Hints, Rets;
+  bench::SeriesReport Report("fig13a_tensoradd", "Figure 13a: tensoradd");
   for (unsigned N : Sizes) {
     ir::Function Fn = frontend::makeTensorAdd(N);
     bench::RunResult Base = bench::runBaseline(Fn, synth::Mode::Base, Dev);
     bench::RunResult Hint = bench::runBaseline(Fn, synth::Mode::Hint, Dev);
     bench::RunResult Ret = bench::runReticle(Fn, Dev);
+    Report.add(std::to_string(N), "base", Base);
+    Report.add(std::to_string(N), "hint", Hint);
+    Report.add(std::to_string(N), "reticle", Ret);
     if (!Base.Ok || !Hint.Ok || !Ret.Ok) {
       std::printf("%-8u FAILED: %s%s%s\n", N, Base.Error.c_str(),
                   Hint.Error.c_str(), Ret.Error.c_str());
+      Report.write();
       return 1;
     }
     bench::printPanelRow(std::to_string(N), Base, Hint, Ret);
@@ -47,6 +52,7 @@ int main() {
     Hints.push_back(Hint);
     Rets.push_back(Ret);
   }
+  Report.write();
   std::printf("\nPer-toolchain detail:\n");
   for (size_t I = 0; I < Sizes.size(); ++I) {
     std::string Size = std::to_string(Sizes[I]);

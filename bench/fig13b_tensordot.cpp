@@ -31,21 +31,28 @@ int main() {
 
   std::vector<unsigned> Sizes = {3, 9, 18, 36};
   std::vector<bench::RunResult> Bases, Hints, Rets;
+  bench::SeriesReport Report("fig13b_tensordot", "Figure 13b: tensordot");
   for (unsigned K : Sizes) {
     ir::Function Fn = frontend::makeTensorDot(K);
     bench::RunResult Base = bench::runBaseline(Fn, synth::Mode::Base, Dev);
     bench::RunResult Hint = bench::runBaseline(Fn, synth::Mode::Hint, Dev);
     bench::RunResult Ret = bench::runReticle(Fn, Dev);
+    std::string Size = "5x" + std::to_string(K);
+    Report.add(Size, "base", Base);
+    Report.add(Size, "hint", Hint);
+    Report.add(Size, "reticle", Ret);
     if (!Base.Ok || !Hint.Ok || !Ret.Ok) {
       std::printf("5x%-6u FAILED: %s%s%s\n", K, Base.Error.c_str(),
                   Hint.Error.c_str(), Ret.Error.c_str());
+      Report.write();
       return 1;
     }
-    bench::printPanelRow("5x" + std::to_string(K), Base, Hint, Ret);
+    bench::printPanelRow(Size, Base, Hint, Ret);
     Bases.push_back(Base);
     Hints.push_back(Hint);
     Rets.push_back(Ret);
   }
+  Report.write();
   std::printf("\nPer-toolchain detail:\n");
   for (size_t I = 0; I < Sizes.size(); ++I) {
     std::string Size = "5x" + std::to_string(Sizes[I]);

@@ -31,14 +31,19 @@ int main() {
 
   std::vector<unsigned> Sizes = {3, 5, 7, 9};
   std::vector<bench::RunResult> Bases, Hints, Rets;
+  bench::SeriesReport Report("fig13c_fsm", "Figure 13c: fsm");
   for (unsigned S : Sizes) {
     ir::Function Fn = frontend::makeFsm(S);
     bench::RunResult Base = bench::runBaseline(Fn, synth::Mode::Base, Dev);
     bench::RunResult Hint = bench::runBaseline(Fn, synth::Mode::Hint, Dev);
     bench::RunResult Ret = bench::runReticle(Fn, Dev);
+    Report.add(std::to_string(S), "base", Base);
+    Report.add(std::to_string(S), "hint", Hint);
+    Report.add(std::to_string(S), "reticle", Ret);
     if (!Base.Ok || !Hint.Ok || !Ret.Ok) {
       std::printf("%-8u FAILED: %s%s%s\n", S, Base.Error.c_str(),
                   Hint.Error.c_str(), Ret.Error.c_str());
+      Report.write();
       return 1;
     }
     bench::printPanelRow(std::to_string(S), Base, Hint, Ret);
@@ -46,6 +51,7 @@ int main() {
     Hints.push_back(Hint);
     Rets.push_back(Ret);
   }
+  Report.write();
   std::printf("\nPer-toolchain detail:\n");
   for (size_t I = 0; I < Sizes.size(); ++I) {
     std::string Size = std::to_string(Sizes[I]);

@@ -37,12 +37,16 @@ int main() {
               "DSPs.reticle", "LUTs.behav", "LUTs.reticle");
 
   std::vector<unsigned> Sizes = {8, 16, 32, 64, 128, 256, 512, 1024};
+  bench::SeriesReport Report("fig4_dsp_add",
+                             "Figure 4: dsp_add utilization");
   bool AllOk = true;
   for (unsigned N : Sizes) {
     ir::Function Fn = frontend::makeDspAdd(N);
     bench::RunResult Behav =
         bench::runBaseline(Fn, synth::Mode::Hint, Dev);
     bench::RunResult Ret = bench::runReticle(Fn, Dev);
+    Report.add(std::to_string(N), "behavioral_hint", Behav);
+    Report.add(std::to_string(N), "reticle", Ret);
     if (!Behav.Ok || !Ret.Ok) {
       std::printf("%-6u FAILED: %s%s\n", N, Behav.Error.c_str(),
                   Ret.Error.c_str());
@@ -52,6 +56,7 @@ int main() {
     std::printf("%-6u | %14u %14u | %14u %14u\n", N, Behav.Dsps, Ret.Dsps,
                 Behav.Luts, Ret.Luts);
   }
+  Report.write();
   std::printf("\nShape checks (paper Figure 4):\n");
   {
     ir::Function At512 = frontend::makeDspAdd(512);

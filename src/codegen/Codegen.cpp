@@ -6,6 +6,8 @@
 
 #include "codegen/Codegen.h"
 
+#include "obs/Telemetry.h"
+
 #include <map>
 #include <set>
 
@@ -627,8 +629,17 @@ Result<verilog::Module> reticle::codegen::generate(const AsmProgram &Placed,
                                                    const tdl::Target &Target,
                                                    const device::Device &Dev,
                                                    Utilization *Util) {
+  static obs::Counter &Runs = obs::counter("codegen.generates");
+  obs::Span Sp("codegen.generate");
+  Sp.arg("instrs", static_cast<uint64_t>(Placed.body().size()));
+  ++Runs;
   Emitter E(Placed, Target, Dev);
   Result<Module> M = E.run();
+  if (M) {
+    static obs::Counter &Insts = obs::counter("codegen.instances");
+    Insts += M.value().items().size();
+    Sp.arg("items", static_cast<uint64_t>(M.value().items().size()));
+  }
   if (M && Util) {
     Util->Luts = M.value().countInstances("LUT");
     Util->Dsps = M.value().countInstances("DSP48E2");

@@ -6,6 +6,8 @@
 
 #include "codegen/NetlistSim.h"
 
+#include "obs/Telemetry.h"
+
 #include <algorithm>
 
 using namespace reticle;
@@ -348,6 +350,9 @@ Result<bool> sweep(const Module &M, SignalTable &Signals,
 
 Result<interp::Trace> reticle::codegen::simulate(const Module &M,
                                                  const interp::Trace &Input) {
+  obs::Span Sp("sim.simulate");
+  Sp.arg("module", M.name());
+  Sp.arg("cycles", static_cast<uint64_t>(Input.size()));
   using TraceT = interp::Trace;
   SignalTable Signals;
   std::map<std::string, unsigned> PortWidth;
@@ -378,8 +383,10 @@ Result<interp::Trace> reticle::codegen::simulate(const Module &M,
       State.DspP[Index] = fromUint(paramOf(I, "PINIT", 0), 48);
   }
 
+  static obs::Counter &Cycles = obs::counter("sim.cycles");
   interp::Trace Output;
   for (size_t Cycle = 0; Cycle < Input.size(); ++Cycle) {
+    ++Cycles;
     // Drive inputs.
     for (const verilog::Port *P : Inputs) {
       const interp::Value *V = Input.get(Cycle, P->Name);

@@ -58,8 +58,10 @@ struct CompileResult {
   place::PlacementStats PlaceStats;
 
   double SelectMs = 0.0;
+  double CascadeMs = 0.0;
   double PlaceMs = 0.0;
   double CodegenMs = 0.0;
+  double TimingMs = 0.0;
   double TotalMs = 0.0;
 };
 

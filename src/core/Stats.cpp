@@ -1,0 +1,83 @@
+//===- core/Stats.cpp - Unified compilation stats document ---------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Stats.h"
+
+#include "obs/Telemetry.h"
+
+using namespace reticle;
+using namespace reticle::core;
+using obs::Json;
+
+Json reticle::core::statsJson(const CompileResult &Result,
+                              std::string_view Program) {
+  Json Doc = Json::object();
+  Doc.set("schema", "reticle-stats-v1");
+  Doc.set("program", std::string(Program));
+
+  Json Timings = Json::object();
+  Timings.set("select_ms", Result.SelectMs);
+  Timings.set("cascade_ms", Result.CascadeMs);
+  Timings.set("place_ms", Result.PlaceMs);
+  Timings.set("codegen_ms", Result.CodegenMs);
+  Timings.set("timing_ms", Result.TimingMs);
+  Timings.set("total_ms", Result.TotalMs);
+  Doc.set("timings", std::move(Timings));
+
+  Json Select = Json::object();
+  Select.set("trees", Result.SelectStats.NumTrees);
+  Select.set("asm_ops", Result.SelectStats.NumAsmOps);
+  Select.set("wires", Result.SelectStats.NumWire);
+  Select.set("total_area", Result.SelectStats.TotalArea);
+  Select.set("total_latency", Result.SelectStats.TotalLatency);
+  Doc.set("select", std::move(Select));
+
+  Json Cascade = Json::object();
+  Cascade.set("chains", Result.CascadeStats.Chains);
+  Cascade.set("rewritten", Result.CascadeStats.Rewritten);
+  Doc.set("cascade", std::move(Cascade));
+
+  Json Place = Json::object();
+  Place.set("solves", Result.PlaceStats.Solves);
+  Place.set("shrink_iterations", Result.PlaceStats.ShrinkIterations);
+  Place.set("max_column", Result.PlaceStats.MaxColumn);
+  Place.set("max_row", Result.PlaceStats.MaxRow);
+  Json Sat = Json::object();
+  Sat.set("vars", Result.PlaceStats.Vars);
+  Sat.set("clauses", Result.PlaceStats.Clauses);
+  Sat.set("decisions", Result.PlaceStats.Decisions);
+  Sat.set("propagations", Result.PlaceStats.Propagations);
+  Sat.set("conflicts", Result.PlaceStats.Conflicts);
+  Sat.set("restarts", Result.PlaceStats.Restarts);
+  Sat.set("learned", Result.PlaceStats.Learned);
+  Place.set("sat", std::move(Sat));
+  Doc.set("place", std::move(Place));
+
+  Json Util = Json::object();
+  Util.set("luts", Result.Util.Luts);
+  Util.set("dsps", Result.Util.Dsps);
+  Util.set("carries", Result.Util.Carries);
+  Util.set("ffs", Result.Util.Ffs);
+  Doc.set("utilization", std::move(Util));
+
+  Json Timing = Json::object();
+  Timing.set("critical_path_ns", Result.Timing.CriticalPathNs);
+  Timing.set("fmax_mhz", Result.Timing.FmaxMhz);
+  Json Path = Json::array();
+  for (const std::string &Node : Result.Timing.Path)
+    Path.push(Node);
+  Timing.set("path", std::move(Path));
+  Doc.set("timing", std::move(Timing));
+
+#ifndef RETICLE_NO_TELEMETRY
+  Json Registry = obs::countersJson();
+  if (const Json *Counters = Registry.find("counters"))
+    Doc.set("counters", *Counters);
+  if (const Json *Gauges = Registry.find("gauges"))
+    Doc.set("gauges", *Gauges);
+#endif
+  return Doc;
+}

@@ -6,6 +6,8 @@
 
 #include "isel/Cascade.h"
 
+#include "obs/Telemetry.h"
+
 #include <algorithm>
 #include <map>
 #include <optional>
@@ -38,6 +40,8 @@ Status reticle::isel::cascadePass(rasm::AsmProgram &Prog,
                                   unsigned MaxChain, CascadeStats *Stats) {
   if (MaxChain < 2)
     return Status::success();
+  obs::Span Sp("isel.cascade");
+  Sp.arg("max_chain", static_cast<uint64_t>(MaxChain));
   std::vector<rasm::AsmInstr> &Body = Prog.body();
 
   // Where is each value defined, and how often is it used?
@@ -141,9 +145,13 @@ Status reticle::isel::cascadePass(rasm::AsmProgram &Prog,
                          rasm::Coord::var(YVar, static_cast<int64_t>(K))};
         I = rasm::AsmInstr::makeOp(I.dst(), I.type(), NewNames[K], I.args(),
                                    std::move(NewLoc), I.attrs());
+        static obs::Counter &Rewritten = obs::counter("isel.cascade_rewritten");
+        ++Rewritten;
         if (Stats)
           ++Stats->Rewritten;
       }
+      static obs::Counter &Chains = obs::counter("isel.cascade_chains");
+      ++Chains;
       if (Stats)
         ++Stats->Chains;
     }

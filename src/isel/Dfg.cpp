@@ -7,6 +7,7 @@
 #include "isel/Dfg.h"
 
 #include "ir/Verifier.h"
+#include "obs/Telemetry.h"
 
 #include <set>
 
@@ -14,6 +15,7 @@ using namespace reticle;
 using namespace reticle::isel;
 
 Result<Dfg> Dfg::build(const ir::Function &Fn) {
+  obs::Span Sp("isel.dfg_build");
   if (Status S = ir::verify(Fn); !S)
     return fail<Dfg>(S.error());
 
@@ -60,5 +62,7 @@ Result<Dfg> Dfg::build(const ir::Function &Fn) {
     if (Root)
       G.Roots.push_back(Id);
   }
+  Sp.arg("nodes", static_cast<uint64_t>(G.Nodes.size()));
+  Sp.arg("roots", static_cast<uint64_t>(G.Roots.size()));
   return G;
 }

@@ -7,6 +7,7 @@
 #include "isel/Select.h"
 
 #include "isel/Dfg.h"
+#include "obs/Telemetry.h"
 
 #include <algorithm>
 #include <map>
@@ -356,9 +357,16 @@ Result<rasm::AsmProgram> Selector::run(SelectionStats *Stats) {
                                              I.attrs(), I.args()));
 
   // Cover every tree.
-  for (size_t Root : G.roots())
-    if (Result<Cost> C = solve(Root); !C)
-      return fail<ProgT>(C.error());
+  {
+    static obs::Counter &Trees = obs::counter("isel.trees_covered");
+    obs::Span Sp("isel.tree_cover");
+    Sp.arg("trees", static_cast<uint64_t>(G.roots().size()));
+    for (size_t Root : G.roots()) {
+      if (Result<Cost> C = solve(Root); !C)
+        return fail<ProgT>(C.error());
+      ++Trees;
+    }
+  }
 
   std::set<size_t> Emitted;
   for (size_t Root : G.roots())
@@ -406,9 +414,16 @@ Result<rasm::AsmProgram> Selector::run(SelectionStats *Stats) {
 Result<rasm::AsmProgram> reticle::isel::select(const ir::Function &Fn,
                                                const tdl::Target &Target,
                                                SelectionStats *Stats) {
+  static obs::Counter &Runs = obs::counter("isel.selects");
+  obs::Span Sp("isel.select");
+  Sp.arg("fn", Fn.name());
+  ++Runs;
   Result<Dfg> G = Dfg::build(Fn);
   if (!G)
     return fail<rasm::AsmProgram>(G.error());
   Selector S(G.value(), Target);
-  return S.run(Stats);
+  Result<rasm::AsmProgram> Prog = S.run(Stats);
+  if (Prog)
+    Sp.arg("asm_ops", static_cast<uint64_t>(Prog.value().body().size()));
+  return Prog;
 }

@@ -1,0 +1,135 @@
+//===- obs/Json.h - Minimal JSON document model -----------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free JSON value used by the observability layer:
+/// trace files, the unified stats report, and the benchmark series dumps
+/// are all built from this type. Objects preserve insertion order so the
+/// human-readable table rendering and the serialized document agree.
+///
+/// The parser exists so tests (and the `json_check` tool) can read the
+/// documents back and validate them; it is a strict RFC-8259 subset
+/// parser, not a general-purpose library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_OBS_JSON_H
+#define RETICLE_OBS_JSON_H
+
+#include "support/Result.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace reticle {
+namespace obs {
+
+/// A JSON value: null, bool, integer, double, string, array, or object.
+class Json {
+public:
+  enum class Kind : uint8_t { Null, Bool, Int, Double, String, Array, Object };
+
+  Json() = default;
+  Json(bool Value) : K(Kind::Bool), B(Value) {}
+  Json(int Value) : K(Kind::Int), I(Value) {}
+  Json(unsigned Value) : K(Kind::Int), I(static_cast<int64_t>(Value)) {}
+  Json(int64_t Value) : K(Kind::Int), I(Value) {}
+  Json(uint64_t Value) : K(Kind::Int), I(static_cast<int64_t>(Value)) {}
+  Json(double Value) : K(Kind::Double), D(Value) {}
+  Json(const char *Value) : K(Kind::String), S(Value) {}
+  Json(std::string Value) : K(Kind::String), S(std::move(Value)) {}
+
+  static Json object() {
+    Json J;
+    J.K = Kind::Object;
+    return J;
+  }
+  static Json array() {
+    Json J;
+    J.K = Kind::Array;
+    return J;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Int || K == Kind::Double; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const {
+    assert(isBool() && "not a bool");
+    return B;
+  }
+  int64_t asInt() const {
+    assert(isNumber() && "not a number");
+    return K == Kind::Int ? I : static_cast<int64_t>(D);
+  }
+  double asDouble() const {
+    assert(isNumber() && "not a number");
+    return K == Kind::Int ? static_cast<double>(I) : D;
+  }
+  const std::string &asString() const {
+    assert(isString() && "not a string");
+    return S;
+  }
+
+  /// Array operations.
+  Json &push(Json Value) {
+    assert(isArray() && "push on a non-array");
+    Arr.push_back(std::move(Value));
+    return *this;
+  }
+  const std::vector<Json> &items() const {
+    assert(isArray() && "items of a non-array");
+    return Arr;
+  }
+
+  /// Object operations. \c set replaces an existing key in place, keeping
+  /// its original position; new keys append.
+  Json &set(std::string Key, Json Value);
+  const Json *find(std::string_view Key) const;
+  const std::vector<std::pair<std::string, Json>> &members() const {
+    assert(isObject() && "members of a non-object");
+    return Obj;
+  }
+
+  /// Number of elements (array) or members (object); 0 otherwise.
+  size_t size() const {
+    return K == Kind::Array ? Arr.size()
+                            : (K == Kind::Object ? Obj.size() : 0);
+  }
+
+  /// Serializes the value. \p Indent of 0 emits one compact line; a
+  /// positive indent pretty-prints with that many spaces per level.
+  std::string str(unsigned Indent = 0) const;
+
+  /// Quotes and escapes \p Text as a JSON string literal.
+  static std::string quote(std::string_view Text);
+
+  /// Parses \p Text into a value; trailing non-whitespace is an error.
+  static Result<Json> parse(std::string_view Text);
+
+private:
+  void write(std::string &Out, unsigned Indent, unsigned Depth) const;
+
+  Kind K = Kind::Null;
+  bool B = false;
+  int64_t I = 0;
+  double D = 0.0;
+  std::string S;
+  std::vector<Json> Arr;
+  std::vector<std::pair<std::string, Json>> Obj;
+};
+
+} // namespace obs
+} // namespace reticle
+
+#endif // RETICLE_OBS_JSON_H

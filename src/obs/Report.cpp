@@ -1,0 +1,73 @@
+//===- obs/Report.cpp - Structured report writer -------------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Report.h"
+
+#include <fstream>
+
+using namespace reticle;
+using namespace reticle::obs;
+
+Status reticle::obs::writeJsonFile(const Json &Doc, const std::string &Path) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return Status::failure("cannot write '" + Path + "'");
+  Out << Doc.str(2) << "\n";
+  if (!Out)
+    return Status::failure("error writing '" + Path + "'");
+  return Status::success();
+}
+
+namespace {
+
+/// One `key  value` row. Scalars render plainly; structures fall back to
+/// compact JSON.
+void printRow(std::FILE *Out, const std::string &Key, const Json &Value) {
+  std::string Rendered;
+  switch (Value.kind()) {
+  case Json::Kind::String:
+    Rendered = Value.asString();
+    break;
+  case Json::Kind::Double: {
+    char Buf[40];
+    std::snprintf(Buf, sizeof(Buf), "%.3f", Value.asDouble());
+    Rendered = Buf;
+    break;
+  }
+  default:
+    Rendered = Value.str();
+  }
+  std::fprintf(Out, "  %-26s %s\n", Key.c_str(), Rendered.c_str());
+}
+
+void printSection(std::FILE *Out, const std::string &Prefix,
+                  const Json &Object) {
+  for (const auto &[Key, Value] : Object.members()) {
+    std::string Dotted = Prefix.empty() ? Key : Prefix + "." + Key;
+    if (Value.isObject())
+      printSection(Out, Dotted, Value);
+    else
+      printRow(Out, Dotted, Value);
+  }
+}
+
+} // namespace
+
+void reticle::obs::printTable(const Json &Doc, std::FILE *Out) {
+  if (!Doc.isObject()) {
+    std::fprintf(Out, "%s\n", Doc.str().c_str());
+    return;
+  }
+  for (const auto &[Key, Value] : Doc.members())
+    if (!Value.isObject())
+      printRow(Out, Key, Value);
+  for (const auto &[Key, Value] : Doc.members()) {
+    if (!Value.isObject())
+      continue;
+    std::fprintf(Out, "[%s]\n", Key.c_str());
+    printSection(Out, "", Value);
+  }
+}

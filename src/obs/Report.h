@@ -1,0 +1,39 @@
+//===- obs/Report.h - Structured report writer ------------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The report writer: one machine-readable serialization (pretty-printed
+/// JSON on disk, for `--stats-json=` and the `BENCH_<fig>.json` series
+/// dumps) and one human rendering (the aligned table `--stats` prints)
+/// over the same obs::Json document, so the two can never drift apart.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_OBS_REPORT_H
+#define RETICLE_OBS_REPORT_H
+
+#include "obs/Json.h"
+#include "support/Result.h"
+
+#include <cstdio>
+#include <string>
+
+namespace reticle {
+namespace obs {
+
+/// Writes \p Doc to \p Path as pretty-printed JSON (2-space indent, one
+/// trailing newline).
+Status writeJsonFile(const Json &Doc, const std::string &Path);
+
+/// Renders a stats document as a human-readable table: top-level scalar
+/// members first, then one `[section]` per top-level object member, with
+/// nested objects flattened to dotted keys. Arrays print inline as JSON.
+void printTable(const Json &Doc, std::FILE *Out);
+
+} // namespace obs
+} // namespace reticle
+
+#endif // RETICLE_OBS_REPORT_H

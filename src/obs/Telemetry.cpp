@@ -1,0 +1,248 @@
+//===- obs/Telemetry.cpp - Tracing spans and counters registry -----------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_NO_TELEMETRY
+
+#include "obs/Telemetry.h"
+
+#include "obs/Json.h"
+
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <vector>
+
+using namespace reticle;
+using namespace reticle::obs;
+
+namespace {
+
+struct TraceEvent {
+  const char *Name;
+  char Phase; // 'X' complete, 'i' instant
+  double TsUs;
+  double DurUs;
+  uint32_t Tid;
+  std::string ArgsJson; // rendered "k":v,... body, may be empty
+};
+
+struct CounterEntry {
+  std::string Name;
+  Counter Value;
+  explicit CounterEntry(std::string Name) : Name(std::move(Name)) {}
+};
+
+struct GaugeEntry {
+  std::string Name;
+  Gauge Value;
+  explicit GaugeEntry(std::string Name) : Name(std::move(Name)) {}
+};
+
+/// The process-wide telemetry state. Entries live in deques so references
+/// handed out by counter()/gauge() stay valid forever.
+struct Registry {
+  std::mutex Mu;
+  std::deque<CounterEntry> Counters;
+  std::map<std::string, Counter *, std::less<>> CounterIndex;
+  std::deque<GaugeEntry> Gauges;
+  std::map<std::string, Gauge *, std::less<>> GaugeIndex;
+  std::vector<TraceEvent> Events;
+  std::atomic<bool> Tracing{false};
+  std::chrono::steady_clock::time_point Epoch =
+      std::chrono::steady_clock::now();
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+double nowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - registry().Epoch)
+      .count();
+}
+
+uint32_t threadId() {
+  static std::atomic<uint32_t> Next{1};
+  thread_local uint32_t Id = Next.fetch_add(1, std::memory_order_relaxed);
+  return Id;
+}
+
+} // namespace
+
+Counter &reticle::obs::counter(std::string_view Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  auto It = R.CounterIndex.find(Name);
+  if (It != R.CounterIndex.end())
+    return *It->second;
+  R.Counters.emplace_back(std::string(Name));
+  Counter *C = &R.Counters.back().Value;
+  R.CounterIndex.emplace(std::string(Name), C);
+  return *C;
+}
+
+Gauge &reticle::obs::gauge(std::string_view Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  auto It = R.GaugeIndex.find(Name);
+  if (It != R.GaugeIndex.end())
+    return *It->second;
+  R.Gauges.emplace_back(std::string(Name));
+  Gauge *G = &R.Gauges.back().Value;
+  R.GaugeIndex.emplace(std::string(Name), G);
+  return *G;
+}
+
+bool reticle::obs::tracingEnabled() {
+  return registry().Tracing.load(std::memory_order_relaxed);
+}
+
+void reticle::obs::enableTracing(bool On) {
+  registry().Tracing.store(On, std::memory_order_relaxed);
+}
+
+Span::Span(const char *Name) : Name(Name) {
+  if (!tracingEnabled())
+    return;
+  Active = true;
+  StartUs = nowUs();
+}
+
+Span::~Span() {
+  if (!Active)
+    return;
+  double EndUs = nowUs();
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Events.push_back(
+      {Name, 'X', StartUs, EndUs - StartUs, threadId(), std::move(ArgsJson)});
+}
+
+void Span::append(const char *Key, std::string Rendered) {
+  if (!Active)
+    return;
+  if (!ArgsJson.empty())
+    ArgsJson.push_back(',');
+  ArgsJson += Json::quote(Key);
+  ArgsJson.push_back(':');
+  ArgsJson += Rendered;
+}
+
+void Span::arg(const char *Key, int64_t Value) {
+  if (Active)
+    append(Key, std::to_string(Value));
+}
+
+void Span::arg(const char *Key, uint64_t Value) {
+  if (Active)
+    append(Key, std::to_string(Value));
+}
+
+void Span::arg(const char *Key, double Value) {
+  if (!Active)
+    return;
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.12g", Value);
+  append(Key, Buf);
+}
+
+void Span::arg(const char *Key, const char *Value) {
+  if (Active)
+    append(Key, Json::quote(Value));
+}
+
+void Span::arg(const char *Key, const std::string &Value) {
+  if (Active)
+    append(Key, Json::quote(Value));
+}
+
+void reticle::obs::instant(const char *Name) {
+  if (!tracingEnabled())
+    return;
+  double Ts = nowUs();
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Events.push_back({Name, 'i', Ts, 0.0, threadId(), std::string()});
+}
+
+std::string reticle::obs::traceJson() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  std::string Out = "{\"traceEvents\":[";
+  char Buf[64];
+  for (size_t Index = 0; Index < R.Events.size(); ++Index) {
+    const TraceEvent &E = R.Events[Index];
+    if (Index)
+      Out.push_back(',');
+    Out += "\n{\"name\":";
+    Out += Json::quote(E.Name);
+    Out += ",\"ph\":\"";
+    Out.push_back(E.Phase);
+    Out += "\",\"ts\":";
+    std::snprintf(Buf, sizeof(Buf), "%.3f", E.TsUs);
+    Out += Buf;
+    if (E.Phase == 'X') {
+      Out += ",\"dur\":";
+      std::snprintf(Buf, sizeof(Buf), "%.3f", E.DurUs);
+      Out += Buf;
+    } else {
+      Out += ",\"s\":\"t\""; // instant scope: thread
+    }
+    std::snprintf(Buf, sizeof(Buf), ",\"pid\":1,\"tid\":%u", E.Tid);
+    Out += Buf;
+    if (!E.ArgsJson.empty()) {
+      Out += ",\"args\":{";
+      Out += E.ArgsJson;
+      Out.push_back('}');
+    }
+    Out.push_back('}');
+  }
+  Out += "\n],\"displayTimeUnit\":\"ms\"}";
+  return Out;
+}
+
+Status reticle::obs::writeTrace(const std::string &Path) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return Status::failure("cannot write trace file '" + Path + "'");
+  Out << traceJson() << "\n";
+  if (!Out)
+    return Status::failure("error writing trace file '" + Path + "'");
+  return Status::success();
+}
+
+Json reticle::obs::countersJson() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  Json Doc = Json::object();
+  Json Counters = Json::object();
+  for (const CounterEntry &E : R.Counters)
+    Counters.set(E.Name, E.Value.load());
+  Doc.set("counters", std::move(Counters));
+  Json Gauges = Json::object();
+  for (const GaugeEntry &E : R.Gauges)
+    Gauges.set(E.Name, E.Value.load());
+  Doc.set("gauges", std::move(Gauges));
+  return Doc;
+}
+
+void reticle::obs::resetForTest() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Events.clear();
+  R.Tracing.store(false, std::memory_order_relaxed);
+  for (CounterEntry &E : R.Counters)
+    E.Value.reset();
+  for (GaugeEntry &E : R.Gauges)
+    E.Value.reset();
+}
+
+#endif // RETICLE_NO_TELEMETRY

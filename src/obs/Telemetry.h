@@ -1,0 +1,205 @@
+//===- obs/Telemetry.h - Tracing spans and counters registry ----*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process-wide telemetry layer behind the compiler's observability
+/// story (the Section 7 evaluation is entirely about where compile time
+/// goes; this is how we see it):
+///
+///  - **Tracing spans** (`obs::Span`): RAII, nestable, thread-safe.
+///    Enabled with `enableTracing()`, serialized as Chrome trace-event /
+///    Perfetto JSON by `writeTrace()`. When tracing is disabled a span
+///    costs one relaxed atomic load.
+///  - **Counters and gauges** (`obs::counter("isel.trees_covered")`):
+///    registry-backed monotone counters and last-value gauges. The lookup
+///    takes a lock, so hot paths cache the reference:
+///      static obs::Counter &C = obs::counter("sat.conflicts");
+///    after which every increment is one relaxed atomic add.
+///  - **Compile-out**: defining `RETICLE_NO_TELEMETRY` replaces the whole
+///    API with inline no-ops; no symbol of Telemetry.cpp is referenced, so
+///    release builds can drop the subsystem entirely.
+///
+/// Naming convention: `<stage>.<noun>` in lowercase snake case, where the
+/// stage matches the Figure-7 pipeline ("select", "cascade", "place",
+/// "codegen") or a subsystem ("sat", "sim"). See docs/OBSERVABILITY.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_OBS_TELEMETRY_H
+#define RETICLE_OBS_TELEMETRY_H
+
+#include "support/Result.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#ifndef RETICLE_NO_TELEMETRY
+#include <atomic>
+#else
+#include <fstream>
+#endif
+
+namespace reticle {
+namespace obs {
+
+class Json;
+
+#ifndef RETICLE_NO_TELEMETRY
+
+/// A monotonically increasing event count. Increments are relaxed atomic
+/// adds; cross-thread visibility of the final totals is established by the
+/// read side (writeTrace / countersJson take the registry lock).
+class Counter {
+public:
+  uint64_t operator++() { return V.fetch_add(1, std::memory_order_relaxed) + 1; }
+  uint64_t operator++(int) { return V.fetch_add(1, std::memory_order_relaxed); }
+  Counter &operator+=(uint64_t N) {
+    V.fetch_add(N, std::memory_order_relaxed);
+    return *this;
+  }
+  uint64_t load() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// A last-value-wins measurement (e.g. a high-water mark set by the code
+/// that knows it).
+class Gauge {
+public:
+  void set(double Value) { V.store(Value, std::memory_order_relaxed); }
+  double load() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0.0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> V{0.0};
+};
+
+/// Finds or registers the counter / gauge named \p Name. The returned
+/// reference is valid for the process lifetime; hot paths should cache it
+/// in a function-local static.
+Counter &counter(std::string_view Name);
+Gauge &gauge(std::string_view Name);
+
+/// Global trace switch. Spans and instants record only while enabled.
+bool tracingEnabled();
+void enableTracing(bool On = true);
+
+/// An RAII tracing span. Construction samples the clock; destruction
+/// records one Chrome trace-event "complete" ("X") event. Spans nest by
+/// scope per thread, which is exactly how trace viewers reconstruct the
+/// hierarchy. \p Name must outlive the span (string literals do).
+class Span {
+public:
+  explicit Span(const char *Name);
+  ~Span();
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+  /// Attaches a key/value argument shown by the trace viewer.
+  void arg(const char *Key, int64_t Value);
+  void arg(const char *Key, uint64_t Value);
+  void arg(const char *Key, unsigned Value) {
+    arg(Key, static_cast<uint64_t>(Value));
+  }
+  void arg(const char *Key, double Value);
+  void arg(const char *Key, const char *Value);
+  void arg(const char *Key, const std::string &Value);
+
+private:
+  void append(const char *Key, std::string Rendered);
+
+  const char *Name = nullptr;
+  double StartUs = 0.0;
+  bool Active = false;
+  std::string ArgsJson;
+};
+
+/// Records a zero-duration instant event (e.g. one CDCL restart).
+void instant(const char *Name);
+
+/// Serializes all recorded events as Chrome trace-event JSON
+/// (chrome://tracing and https://ui.perfetto.dev load it directly).
+std::string traceJson();
+Status writeTrace(const std::string &Path);
+
+/// A snapshot of every registered counter and gauge, as
+/// {"counters": {...}, "gauges": {...}}.
+Json countersJson();
+
+/// Clears recorded events and zeroes all counters/gauges; disables
+/// tracing. Registered names stay valid. Test-only.
+void resetForTest();
+
+#else // RETICLE_NO_TELEMETRY
+
+// Compiled-out variant: the full API surface as inline no-ops. Nothing
+// here references a symbol of Telemetry.cpp, so translation units built
+// with RETICLE_NO_TELEMETRY link without the telemetry objects.
+
+class Counter {
+public:
+  uint64_t operator++() { return 0; }
+  uint64_t operator++(int) { return 0; }
+  Counter &operator+=(uint64_t) { return *this; }
+  uint64_t load() const { return 0; }
+  void reset() {}
+};
+
+class Gauge {
+public:
+  void set(double) {}
+  double load() const { return 0.0; }
+  void reset() {}
+};
+
+inline Counter &counter(std::string_view) {
+  static Counter Noop;
+  return Noop;
+}
+inline Gauge &gauge(std::string_view) {
+  static Gauge Noop;
+  return Noop;
+}
+
+inline bool tracingEnabled() { return false; }
+inline void enableTracing(bool = true) {}
+
+class Span {
+public:
+  explicit Span(const char *) {}
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+  void arg(const char *, int64_t) {}
+  void arg(const char *, uint64_t) {}
+  void arg(const char *, unsigned) {}
+  void arg(const char *, double) {}
+  void arg(const char *, const char *) {}
+  void arg(const char *, const std::string &) {}
+};
+
+inline void instant(const char *) {}
+
+inline std::string traceJson() { return "{\"traceEvents\":[]}"; }
+
+inline Status writeTrace(const std::string &Path) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return Status::failure("cannot write trace file '" + Path + "'");
+  Out << traceJson() << "\n";
+  return Status::success();
+}
+
+inline void resetForTest() {}
+
+#endif // RETICLE_NO_TELEMETRY
+
+} // namespace obs
+} // namespace reticle
+
+#endif // RETICLE_OBS_TELEMETRY_H

@@ -6,6 +6,7 @@
 
 #include "place/Place.h"
 
+#include "obs/Telemetry.h"
 #include "sat/Solver.h"
 
 #include <algorithm>
@@ -267,6 +268,11 @@ Placer::Attempt Placer::solveOnce(const Bounds &B, size_t Cap,
                                   std::vector<Candidate> &Assignment,
                                   std::string &Err,
                                   uint64_t ConflictBudget) {
+  obs::Span Sp("place.solve");
+  Sp.arg("max_col", B.MaxColumn);
+  Sp.arg("max_row", B.MaxRow);
+  Sp.arg("cap", static_cast<uint64_t>(Cap));
+  Sp.arg("clusters", static_cast<uint64_t>(Clusters.size()));
   // Capacity precheck: SAT needs no help recognizing that N instructions
   // cannot fit N-1 slots, but resolution proofs of pigeonhole formulas are
   // exponential, so rule the case out arithmetically first.
@@ -321,8 +327,10 @@ Placer::Attempt Placer::solveOnce(const Bounds &B, size_t Cap,
       if (S.X <= B.MaxColumn && S.Y <= B.MaxRow &&
           Dev.columns()[S.X].Kind == Kind)
         --Capacity;
-    if (Need > Capacity || TallNeed > SegmentCapacity)
+    if (Need > Capacity || TallNeed > SegmentCapacity) {
+      Sp.arg("outcome", "precheck_unsat");
       return Attempt::Unsat;
+    }
   }
 
   sat::Solver S;
@@ -338,8 +346,10 @@ Placer::Attempt Placer::solveOnce(const Bounds &B, size_t Cap,
       return Attempt::Error;
     }
     Cands[I] = E.take();
-    if (Cands[I].empty())
+    if (Cands[I].empty()) {
+      Sp.arg("outcome", "no_candidates");
       return Attempt::Unsat; // no feasible base under these bounds
+    }
     std::vector<sat::Lit> Lits;
     for (const Candidate &Cand : Cands[I]) {
       sat::Var V = S.newVar();
@@ -362,14 +372,23 @@ Placer::Attempt Placer::solveOnce(const Bounds &B, size_t Cap,
   if (Stats) {
     ++Stats->Solves;
     Stats->Vars = S.numVars();
+    Stats->Clauses = static_cast<unsigned>(S.numClauses());
   }
-  if (S.solve(ConflictBudget) != sat::Outcome::Sat) {
-    if (Stats)
-      Stats->Conflicts += S.stats().Conflicts;
+  Sp.arg("vars", static_cast<uint64_t>(S.numVars()));
+  sat::Outcome O = S.solve(ConflictBudget);
+  if (Stats) {
+    const sat::Solver::Statistics &St = S.stats();
+    Stats->Conflicts += St.Conflicts;
+    Stats->Decisions += St.Decisions;
+    Stats->Propagations += St.Propagations;
+    Stats->Restarts += St.Restarts;
+    Stats->Learned += St.Learned;
+  }
+  if (O != sat::Outcome::Sat) {
+    Sp.arg("outcome", O == sat::Outcome::Unsat ? "unsat" : "budget_exhausted");
     return Attempt::Unsat; // Unknown (budget hit) also counts as no-shrink
   }
-  if (Stats)
-    Stats->Conflicts += S.stats().Conflicts;
+  Sp.arg("outcome", "sat");
 
   Assignment.clear();
   Assignment.resize(Clusters.size());
@@ -390,8 +409,11 @@ Placer::Attempt Placer::solveOnce(const Bounds &B, size_t Cap,
 }
 
 Result<AsmProgram> Placer::run() {
+  static obs::Counter &Placements = obs::counter("place.runs");
+  ++Placements;
   if (Status St = buildClusters(); !St)
     return fail<AsmProgram>(St.error());
+  obs::counter("place.clusters") += Clusters.size();
 
   Bounds Full{Dev.numColumns() ? Dev.numColumns() - 1 : 0, 0};
   unsigned TallestColumn = std::max(Dev.maxHeight(ir::Resource::Lut),
@@ -438,12 +460,19 @@ Result<AsmProgram> Placer::run() {
     // Shrink columns, then rows, by binary search (Section 5.3). Columns
     // first: packing into few columns keeps DSP chains near their cascade
     // routing.
+    static obs::Counter &ShrinkIters = obs::counter("place.shrink_iters");
     for (int Axis = 0; Axis < 2; ++Axis) {
       unsigned Low = 0;
       unsigned High = Axis == 0 ? UsedBounds(BestAssignment).MaxColumn
                                 : UsedBounds(BestAssignment).MaxRow;
       while (Low < High) {
         unsigned Mid = Low + (High - Low) / 2;
+        obs::Span Sp("place.shrink");
+        Sp.arg("axis", Axis == 0 ? "col" : "row");
+        Sp.arg("bound", Mid);
+        ++ShrinkIters;
+        if (Stats)
+          ++Stats->ShrinkIterations;
         Bounds Try = Cur;
         (Axis == 0 ? Try.MaxColumn : Try.MaxRow) = Mid;
         std::vector<Candidate> Assignment;
@@ -452,6 +481,7 @@ Result<AsmProgram> Placer::run() {
                               /*ConflictBudget=*/50000);
         if (A == Attempt::Error)
           return fail<AsmProgram>(Err);
+        Sp.arg("fits", A == Attempt::Sat ? "yes" : "no");
         if (A == Attempt::Sat) {
           BestAssignment = std::move(Assignment);
           High = std::min(Mid, Axis == 0

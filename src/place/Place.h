@@ -45,14 +45,23 @@ struct PlacementOptions {
   unsigned InitialCandidateCap = 128;
 };
 
-/// Facts about one placement run, reported by benchmarks.
+/// Facts about one placement run, reported by benchmarks and the unified
+/// stats document (`reticlec --stats-json=`). The Sat block aggregates
+/// sat::Solver::Statistics over every solve of the run, shrink probes
+/// included, so a slow placement can be attributed to search effort
+/// rather than guessed at.
 struct PlacementStats {
-  unsigned Solves = 0;        ///< SAT invocations (including shrinking)
-  unsigned Vars = 0;          ///< variables in the final encoding
-  unsigned Clauses = 0;       ///< clauses in the final encoding
-  uint64_t Conflicts = 0;     ///< summed solver conflicts
-  unsigned MaxColumn = 0;     ///< highest column used
-  unsigned MaxRow = 0;        ///< highest row used
+  unsigned Solves = 0;           ///< SAT invocations (including shrinking)
+  unsigned ShrinkIterations = 0; ///< binary-search probes over both axes
+  unsigned Vars = 0;             ///< variables in the final encoding
+  unsigned Clauses = 0;          ///< problem clauses in the final encoding
+  uint64_t Conflicts = 0;        ///< summed solver conflicts
+  uint64_t Decisions = 0;        ///< summed solver decisions
+  uint64_t Propagations = 0;     ///< summed solver propagations
+  uint64_t Restarts = 0;         ///< summed solver restarts
+  uint64_t Learned = 0;          ///< summed learned clauses
+  unsigned MaxColumn = 0;        ///< highest column used
+  unsigned MaxRow = 0;           ///< highest row used
 };
 
 /// Resolves all locations of \p Prog on \p Dev. Returns the placed,

@@ -6,6 +6,8 @@
 
 #include "sat/Solver.h"
 
+#include "obs/Telemetry.h"
+
 #include <algorithm>
 
 using namespace reticle;
@@ -355,6 +357,32 @@ uint32_t Solver::luby(uint32_t I) {
 }
 
 Outcome Solver::solve(uint64_t ConflictBudget) {
+  static obs::Counter &Solves = obs::counter("sat.solves");
+  static obs::Counter &Decisions = obs::counter("sat.decisions");
+  static obs::Counter &Propagations = obs::counter("sat.propagations");
+  static obs::Counter &Conflicts = obs::counter("sat.conflicts");
+  static obs::Counter &Restarts = obs::counter("sat.restarts");
+  static obs::Counter &Learned = obs::counter("sat.learned");
+
+  obs::Span Sp("sat.solve");
+  Sp.arg("vars", static_cast<uint64_t>(VarCount));
+  Sp.arg("clauses", static_cast<uint64_t>(Clauses.size()));
+  Statistics Before = Stats;
+  Outcome O = solveImpl(ConflictBudget);
+  ++Solves;
+  Decisions += Stats.Decisions - Before.Decisions;
+  Propagations += Stats.Propagations - Before.Propagations;
+  Conflicts += Stats.Conflicts - Before.Conflicts;
+  Restarts += Stats.Restarts - Before.Restarts;
+  Learned += Stats.Learned - Before.Learned;
+  Sp.arg("conflicts", Stats.Conflicts - Before.Conflicts);
+  Sp.arg("outcome", O == Outcome::Sat     ? "sat"
+                    : O == Outcome::Unsat ? "unsat"
+                                          : "unknown");
+  return O;
+}
+
+Outcome Solver::solveImpl(uint64_t ConflictBudget) {
   if (!OkFlag)
     return Outcome::Unsat;
   Model.clear();
@@ -372,8 +400,13 @@ Outcome Solver::solve(uint64_t ConflictBudget) {
     if (Conflict != NoReason) {
       ++Stats.Conflicts;
       ++ConflictsHere;
-      if (TrailLimits.empty())
-        return Outcome::Unsat; // conflict at root
+      if (TrailLimits.empty()) {
+        // A root-level conflict is final; poison the solver so a repeated
+        // solve() cannot walk past the consumed propagation queue and
+        // report a bogus model.
+        OkFlag = false;
+        return Outcome::Unsat;
+      }
       if (Stats.Conflicts >= ConflictLimit) {
         backtrack(0);
         return Outcome::Unknown;
@@ -400,6 +433,7 @@ Outcome Solver::solve(uint64_t ConflictBudget) {
 
     // No conflict: restart, reduce, or decide.
     if (ConflictsHere >= RestartBudget) {
+      obs::instant("sat.restart");
       ++Stats.Restarts;
       ++RestartCount;
       ConflictsHere = 0;

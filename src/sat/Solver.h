@@ -67,6 +67,7 @@ public:
   /// Creates a fresh variable and returns it.
   Var newVar();
   uint32_t numVars() const { return VarCount; }
+  size_t numClauses() const { return Clauses.size(); }
 
   /// Adds a clause. Returns false when the formula is already
   /// unsatisfiable at the root level (e.g. an empty clause after
@@ -79,7 +80,8 @@ public:
 
   /// Runs the CDCL loop. With a nonzero \p ConflictBudget the search gives
   /// up after that many conflicts and reports Unknown (used by callers
-  /// that can fall back, e.g. placement shrinking).
+  /// that can fall back, e.g. placement shrinking). Each call is traced as
+  /// one "sat.solve" span and accumulated into the sat.* counters.
   Outcome solve(uint64_t ConflictBudget = 0);
 
   /// Model access after a Sat outcome.
@@ -111,6 +113,8 @@ private:
     ClauseRef Ref;
     Lit Blocker;
   };
+
+  Outcome solveImpl(uint64_t ConflictBudget);
 
   LBool litValue(Lit L) const {
     LBool V = Assign[L.var()];

@@ -1,0 +1,69 @@
+//===- tests/obs_noop_test.cpp - Compiled-out telemetry tests ------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Built with RETICLE_NO_TELEMETRY (see tests/CMakeLists.txt) and linked
+/// WITHOUT reticle_obs: proves the compiled-out header is self-contained —
+/// the whole API collapses to inline no-ops referencing no symbol of
+/// Telemetry.cpp — and that instrumented code still compiles against it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_NO_TELEMETRY
+#error "this test must be compiled with RETICLE_NO_TELEMETRY"
+#endif
+
+#include "obs/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace reticle;
+
+TEST(ObsNoop, FullApiSurfaceIsInert) {
+  // The instrumentation idiom used throughout the compiler must compile
+  // and do nothing.
+  static obs::Counter &C = obs::counter("noop.counter");
+  ++C;
+  C++;
+  C += 100;
+  EXPECT_EQ(C.load(), 0u);
+  C.reset();
+
+  obs::gauge("noop.gauge").set(3.5);
+  EXPECT_DOUBLE_EQ(obs::gauge("noop.gauge").load(), 0.0);
+
+  obs::enableTracing();
+  EXPECT_FALSE(obs::tracingEnabled());
+  {
+    obs::Span Sp("noop.span");
+    Sp.arg("i", int64_t(-1));
+    Sp.arg("u", uint64_t(1));
+    Sp.arg("n", 2u);
+    Sp.arg("d", 0.5);
+    Sp.arg("c", "literal");
+    Sp.arg("s", std::string("string"));
+  }
+  obs::instant("noop.instant");
+  obs::resetForTest();
+}
+
+TEST(ObsNoop, TraceOutputIsEmptyButValid) {
+  EXPECT_EQ(obs::traceJson(), "{\"traceEvents\":[]}");
+
+  std::string Path = ::testing::TempDir() + "obs_noop_trace.json";
+  ASSERT_TRUE(obs::writeTrace(Path).ok());
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  EXPECT_EQ(Buffer.str(), "{\"traceEvents\":[]}\n");
+  std::remove(Path.c_str());
+
+  EXPECT_FALSE(obs::writeTrace("/nonexistent-dir/x/y.json").ok());
+}

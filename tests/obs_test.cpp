@@ -1,0 +1,294 @@
+//===- tests/obs_test.cpp - Telemetry subsystem tests --------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "core/Stats.h"
+#include "ir/Parser.h"
+#include "obs/Json.h"
+#include "obs/Report.h"
+#include "obs/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+using namespace reticle;
+using obs::Json;
+
+namespace {
+
+/// Tests share the process-wide registry; each starts from a clean slate.
+class Obs : public ::testing::Test {
+protected:
+  void SetUp() override { obs::resetForTest(); }
+  void TearDown() override { obs::resetForTest(); }
+};
+
+const Json *event(const Json &Trace, const std::string &Name) {
+  const Json *Events = Trace.find("traceEvents");
+  if (!Events || !Events->isArray())
+    return nullptr;
+  for (const Json &E : Events->items()) {
+    const Json *N = E.isObject() ? E.find("name") : nullptr;
+    if (N && N->isString() && N->asString() == Name)
+      return &E;
+  }
+  return nullptr;
+}
+
+double numField(const Json &Event, const char *Key) {
+  const Json *V = Event.find(Key);
+  EXPECT_NE(V, nullptr) << "missing field " << Key;
+  return V ? V->asDouble() : 0.0;
+}
+
+} // namespace
+
+TEST_F(Obs, JsonRoundTrip) {
+  Json Doc = Json::object();
+  Doc.set("int", 42);
+  Doc.set("neg", int64_t(-7));
+  Doc.set("pi", 3.25);
+  Doc.set("flag", true);
+  Doc.set("none", Json());
+  Doc.set("text", "a \"quoted\" line\nwith\ttabs and unicode \xE2\x9C\x93");
+  Json Arr = Json::array();
+  Arr.push(1).push("two").push(Json::object());
+  Doc.set("arr", std::move(Arr));
+
+  for (unsigned Indent : {0u, 2u}) {
+    Result<Json> Back = Json::parse(Doc.str(Indent));
+    ASSERT_TRUE(Back.ok()) << Back.error();
+    EXPECT_EQ(Back.value().find("int")->asInt(), 42);
+    EXPECT_EQ(Back.value().find("neg")->asInt(), -7);
+    EXPECT_DOUBLE_EQ(Back.value().find("pi")->asDouble(), 3.25);
+    EXPECT_TRUE(Back.value().find("flag")->asBool());
+    EXPECT_TRUE(Back.value().find("none")->isNull());
+    EXPECT_EQ(Back.value().find("text")->asString(),
+              Doc.find("text")->asString());
+    EXPECT_EQ(Back.value().find("arr")->size(), 3u);
+  }
+}
+
+TEST_F(Obs, JsonParserRejectsGarbage) {
+  EXPECT_FALSE(Json::parse("").ok());
+  EXPECT_FALSE(Json::parse("{").ok());
+  EXPECT_FALSE(Json::parse("[1,]").ok());
+  EXPECT_FALSE(Json::parse("{\"a\":1,}").ok());
+  EXPECT_FALSE(Json::parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::parse("01").ok());
+  EXPECT_FALSE(Json::parse("{} trailing").ok());
+  EXPECT_TRUE(Json::parse("  {\"a\": [1, 2.5, null]}  ").ok());
+}
+
+// Everything below exercises live telemetry; under a global
+// RETICLE_NO_TELEMETRY build the API is inline no-ops and these
+// expectations do not apply (obs_noop_test covers that configuration).
+#ifndef RETICLE_NO_TELEMETRY
+
+TEST_F(Obs, CounterAccumulates) {
+  obs::Counter &C = obs::counter("test.counter");
+  EXPECT_EQ(C.load(), 0u);
+  ++C;
+  C++;
+  C += 40;
+  EXPECT_EQ(C.load(), 42u);
+  // Lookup by the same name returns the same counter.
+  EXPECT_EQ(&obs::counter("test.counter"), &C);
+  EXPECT_EQ(obs::counter("test.counter").load(), 42u);
+  obs::gauge("test.gauge").set(2.5);
+  EXPECT_DOUBLE_EQ(obs::gauge("test.gauge").load(), 2.5);
+}
+
+TEST_F(Obs, CounterIsThreadSafe) {
+  obs::Counter &C = obs::counter("test.mt");
+  constexpr unsigned Threads = 4, PerThread = 10000;
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T < Threads; ++T)
+    Pool.emplace_back([&C] {
+      for (unsigned I = 0; I < PerThread; ++I)
+        ++C;
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(C.load(), uint64_t(Threads) * PerThread);
+}
+
+TEST_F(Obs, CountersJsonSnapshot) {
+  obs::counter("test.a") += 3;
+  obs::gauge("test.b").set(1.5);
+  Json Snapshot = obs::countersJson();
+  const Json *Counters = Snapshot.find("counters");
+  ASSERT_NE(Counters, nullptr);
+  ASSERT_NE(Counters->find("test.a"), nullptr);
+  EXPECT_EQ(Counters->find("test.a")->asInt(), 3);
+  const Json *Gauges = Snapshot.find("gauges");
+  ASSERT_NE(Gauges, nullptr);
+  ASSERT_NE(Gauges->find("test.b"), nullptr);
+  EXPECT_DOUBLE_EQ(Gauges->find("test.b")->asDouble(), 1.5);
+}
+
+TEST_F(Obs, SpansNestAndSerialize) {
+  obs::enableTracing();
+  {
+    obs::Span Outer("outer");
+    Outer.arg("n", uint64_t(7));
+    Outer.arg("label", "x");
+    {
+      obs::Span Inner("inner");
+      Inner.arg("ratio", 0.5);
+    }
+    obs::instant("tick");
+  }
+  Result<Json> Trace = Json::parse(obs::traceJson());
+  ASSERT_TRUE(Trace.ok()) << Trace.error();
+
+  const Json *Outer = event(Trace.value(), "outer");
+  const Json *Inner = event(Trace.value(), "inner");
+  const Json *Tick = event(Trace.value(), "tick");
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_NE(Inner, nullptr);
+  ASSERT_NE(Tick, nullptr);
+
+  // The inner span lies strictly within the outer one — that containment
+  // is what the trace viewer uses to reconstruct nesting.
+  double OuterTs = numField(*Outer, "ts"), OuterDur = numField(*Outer, "dur");
+  double InnerTs = numField(*Inner, "ts"), InnerDur = numField(*Inner, "dur");
+  EXPECT_GE(InnerTs, OuterTs);
+  EXPECT_LE(InnerTs + InnerDur, OuterTs + OuterDur + 1e-9);
+  EXPECT_EQ(Outer->find("ph")->asString(), "X");
+  EXPECT_EQ(Tick->find("ph")->asString(), "i");
+
+  const Json *Args = Outer->find("args");
+  ASSERT_NE(Args, nullptr);
+  EXPECT_EQ(Args->find("n")->asInt(), 7);
+  EXPECT_EQ(Args->find("label")->asString(), "x");
+}
+
+TEST_F(Obs, SpansRecordNothingWhileDisabled) {
+  {
+    obs::Span Sp("invisible");
+    obs::instant("also_invisible");
+  }
+  Result<Json> Trace = Json::parse(obs::traceJson());
+  ASSERT_TRUE(Trace.ok()) << Trace.error();
+  EXPECT_EQ(Trace.value().find("traceEvents")->size(), 0u);
+}
+
+TEST_F(Obs, WriteTraceProducesParsableFile) {
+  obs::enableTracing();
+  { obs::Span Sp("filed"); }
+  std::string Path = ::testing::TempDir() + "obs_test_trace.json";
+  ASSERT_TRUE(obs::writeTrace(Path).ok());
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  Result<Json> Trace = Json::parse(Buffer.str());
+  ASSERT_TRUE(Trace.ok()) << Trace.error();
+  EXPECT_NE(event(Trace.value(), "filed"), nullptr);
+  std::remove(Path.c_str());
+}
+
+#endif // RETICLE_NO_TELEMETRY
+
+TEST_F(Obs, StatsDocumentIsWellFormed) {
+  Result<ir::Function> Fn = ir::parseFunction(R"(
+    def mac(a:i8, b:i8, c:i8, en:bool) -> (y:i8) {
+      t0:i8 = mul(a, b) @??;
+      t1:i8 = add(t0, c) @??;
+      y:i8 = reg[0](t1, en) @??;
+    }
+  )");
+  ASSERT_TRUE(Fn.ok()) << Fn.error();
+  core::CompileOptions Options;
+  Options.Dev = device::Device::small();
+  Result<core::CompileResult> R = core::compile(Fn.value(), Options);
+  ASSERT_TRUE(R.ok()) << R.error();
+
+  Json Doc = core::statsJson(R.value(), "mac.ret");
+  // The document survives a serialize/parse round trip...
+  Result<Json> Back = Json::parse(Doc.str(2));
+  ASSERT_TRUE(Back.ok()) << Back.error();
+  const Json &B = Back.value();
+  // ...and carries every section of the schema.
+  EXPECT_EQ(B.find("schema")->asString(), "reticle-stats-v1");
+  EXPECT_EQ(B.find("program")->asString(), "mac.ret");
+  ASSERT_NE(B.find("timings"), nullptr);
+  EXPECT_GT(B.find("timings")->find("total_ms")->asDouble(), 0.0);
+  ASSERT_NE(B.find("place"), nullptr);
+  const Json *Sat = B.find("place")->find("sat");
+  ASSERT_NE(Sat, nullptr);
+  EXPECT_GT(Sat->find("decisions")->asInt(), 0);
+  EXPECT_GT(Sat->find("propagations")->asInt(), 0);
+  EXPECT_EQ(B.find("utilization")->find("dsps")->asInt(), 1);
+  EXPECT_GT(B.find("timing")->find("fmax_mhz")->asDouble(), 0.0);
+#ifndef RETICLE_NO_TELEMETRY
+  // Telemetry is compiled in for this test binary, so the counter
+  // registry rides along and reflects the compile that just ran.
+  const Json *Counters = B.find("counters");
+  ASSERT_NE(Counters, nullptr);
+  ASSERT_NE(Counters->find("core.compiles"), nullptr);
+  EXPECT_GE(Counters->find("core.compiles")->asInt(), 1);
+  EXPECT_GE(Counters->find("sat.solves")->asInt(), 1);
+#else
+  // The compiled-out build omits the registry sections entirely.
+  EXPECT_EQ(B.find("counters"), nullptr);
+#endif
+}
+
+#ifndef RETICLE_NO_TELEMETRY
+TEST_F(Obs, CompilePipelineEmitsNestedStageSpans) {
+  Result<ir::Function> Fn = ir::parseFunction(R"(
+    def add1(a:i8, b:i8) -> (y:i8) {
+      y:i8 = add(a, b) @??;
+    }
+  )");
+  ASSERT_TRUE(Fn.ok()) << Fn.error();
+  obs::enableTracing();
+  core::CompileOptions Options;
+  Options.Dev = device::Device::small();
+  ASSERT_TRUE(core::compile(Fn.value(), Options).ok());
+
+  Result<Json> Trace = Json::parse(obs::traceJson());
+  ASSERT_TRUE(Trace.ok()) << Trace.error();
+  const Json *Compile = event(Trace.value(), "compile");
+  ASSERT_NE(Compile, nullptr);
+  double T0 = numField(*Compile, "ts");
+  double T1 = T0 + numField(*Compile, "dur");
+  for (const char *Stage : {"select", "cascade", "place", "codegen",
+                            "timing", "sat.solve", "place.solve"}) {
+    const Json *E = event(Trace.value(), Stage);
+    ASSERT_NE(E, nullptr) << "no span " << Stage;
+    EXPECT_GE(numField(*E, "ts"), T0) << Stage;
+    EXPECT_LE(numField(*E, "ts") + numField(*E, "dur"), T1 + 1e-9) << Stage;
+  }
+}
+#endif // RETICLE_NO_TELEMETRY
+
+TEST_F(Obs, PrintTableRendersEverySection) {
+  Json Doc = Json::object();
+  Doc.set("schema", "reticle-stats-v1");
+  Json Sub = Json::object();
+  Sub.set("x", 1);
+  Json Nested = Json::object();
+  Nested.set("deep", 2);
+  Sub.set("sat", std::move(Nested));
+  Doc.set("place", std::move(Sub));
+
+  char Buffer[4096] = {};
+  FILE *Stream = fmemopen(Buffer, sizeof(Buffer) - 1, "w");
+  ASSERT_NE(Stream, nullptr);
+  obs::printTable(Doc, Stream);
+  std::fclose(Stream);
+  std::string Out(Buffer);
+  EXPECT_NE(Out.find("reticle-stats-v1"), std::string::npos);
+  EXPECT_NE(Out.find("[place]"), std::string::npos);
+  EXPECT_NE(Out.find("sat.deep"), std::string::npos);
+}

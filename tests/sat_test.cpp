@@ -250,3 +250,61 @@ TEST(Sat, StatsArePopulated) {
   EXPECT_GT(S.stats().Decisions, 0u);
   EXPECT_GT(S.stats().Propagations, 0u);
 }
+
+TEST(Sat, StatsNonzeroAndMonotoneOnUnsat) {
+  // Pigeonhole PHP(4,3) forces genuine conflict-driven search, so every
+  // statistic of interest must move.
+  constexpr unsigned Pigeons = 4, Holes = 3;
+  Solver S;
+  Var P[Pigeons][Holes];
+  for (unsigned I = 0; I < Pigeons; ++I)
+    for (unsigned J = 0; J < Holes; ++J)
+      P[I][J] = S.newVar();
+  for (unsigned I = 0; I < Pigeons; ++I) {
+    std::vector<Lit> AtLeastOne;
+    for (unsigned J = 0; J < Holes; ++J)
+      AtLeastOne.push_back(Lit(P[I][J]));
+    ASSERT_TRUE(S.addClause(AtLeastOne));
+  }
+  for (unsigned J = 0; J < Holes; ++J)
+    for (unsigned I1 = 0; I1 < Pigeons; ++I1)
+      for (unsigned I2 = I1 + 1; I2 < Pigeons; ++I2)
+        ASSERT_TRUE(S.addBinary(Lit(P[I1][J], true), Lit(P[I2][J], true)));
+  ASSERT_EQ(S.solve(), Outcome::Unsat);
+  Solver::Statistics First = S.stats();
+  EXPECT_GT(First.Decisions, 0u);
+  EXPECT_GT(First.Propagations, 0u);
+  EXPECT_GT(First.Conflicts, 0u);
+  // Statistics accumulate across solves: a second call may add events but
+  // can never report fewer.
+  EXPECT_EQ(S.solve(), Outcome::Unsat);
+  EXPECT_GE(S.stats().Decisions, First.Decisions);
+  EXPECT_GE(S.stats().Propagations, First.Propagations);
+  EXPECT_GE(S.stats().Conflicts, First.Conflicts);
+  EXPECT_GE(S.stats().Restarts, First.Restarts);
+  EXPECT_GE(S.stats().Learned, First.Learned);
+}
+
+TEST(Sat, StatsNonzeroAndMonotoneOnSat) {
+  Solver S;
+  std::vector<Var> X;
+  for (unsigned I = 0; I < 20; ++I)
+    X.push_back(S.newVar());
+  for (unsigned I = 0; I + 2 < 20; ++I) {
+    ASSERT_TRUE(S.addClause({Lit(X[I]), Lit(X[I + 1]), Lit(X[I + 2])}));
+    ASSERT_TRUE(S.addClause(
+        {Lit(X[I], true), Lit(X[I + 1], true), Lit(X[I + 2], true)}));
+  }
+  ASSERT_EQ(S.solve(), Outcome::Sat);
+  Solver::Statistics First = S.stats();
+  EXPECT_GT(First.Decisions, 0u);
+  EXPECT_GT(First.Propagations, 0u);
+  ASSERT_EQ(S.solve(), Outcome::Sat);
+  Solver::Statistics Second = S.stats();
+  EXPECT_GE(Second.Decisions, First.Decisions);
+  EXPECT_GE(Second.Propagations, First.Propagations);
+  EXPECT_GE(Second.Conflicts, First.Conflicts);
+  // The second run does real work again, so the totals strictly grow.
+  EXPECT_GT(Second.Decisions + Second.Propagations,
+            First.Decisions + First.Propagations);
+}

@@ -1,0 +1,128 @@
+//===- tools/json_check.cpp - JSON document validator --------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Validates the JSON documents the compiler emits (trace files, stats
+/// reports, benchmark series) so CTest can gate on their shape, not just
+/// on reticlec's exit code.
+///
+/// Usage:
+///   json_check [checks] <file.json>
+///     --require=<a.b.c>     dotted path must exist
+///     --nonempty=<a.b.c>    array or object at path must have elements
+///     --has-event=<name>    some traceEvents entry has "name": <name>
+///
+/// The bare invocation only checks that the file parses as strict JSON.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace reticle;
+using obs::Json;
+
+namespace {
+
+int fail(const std::string &Path, const std::string &Message) {
+  std::fprintf(stderr, "json_check: %s: %s\n", Path.c_str(),
+               Message.c_str());
+  return 1;
+}
+
+/// Walks a dotted path ("place.sat.decisions") through nested objects.
+const Json *lookup(const Json &Root, const std::string &DottedPath) {
+  const Json *Node = &Root;
+  size_t Pos = 0;
+  while (Pos <= DottedPath.size()) {
+    size_t Dot = DottedPath.find('.', Pos);
+    std::string Key = DottedPath.substr(
+        Pos, Dot == std::string::npos ? std::string::npos : Dot - Pos);
+    if (!Node->isObject())
+      return nullptr;
+    Node = Node->find(Key);
+    if (!Node)
+      return nullptr;
+    if (Dot == std::string::npos)
+      return Node;
+    Pos = Dot + 1;
+  }
+  return Node;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string FilePath;
+  std::vector<std::string> Required, NonEmpty, Events;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--require=", 0) == 0)
+      Required.push_back(Arg.substr(10));
+    else if (Arg.rfind("--nonempty=", 0) == 0)
+      NonEmpty.push_back(Arg.substr(11));
+    else if (Arg.rfind("--has-event=", 0) == 0)
+      Events.push_back(Arg.substr(12));
+    else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s [--require=<path>] [--nonempty=<path>] "
+                   "[--has-event=<name>] <file.json>\n",
+                   Argv[0]);
+      return 2;
+    } else
+      FilePath = Arg;
+  }
+  if (FilePath.empty()) {
+    std::fprintf(stderr, "json_check: no input file\n");
+    return 2;
+  }
+
+  std::ifstream In(FilePath);
+  if (!In)
+    return fail(FilePath, "cannot open");
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  Result<Json> Doc = Json::parse(Buffer.str());
+  if (!Doc)
+    return fail(FilePath, "malformed JSON: " + Doc.error());
+
+  for (const std::string &Path : Required)
+    if (!lookup(Doc.value(), Path))
+      return fail(FilePath, "missing required key '" + Path + "'");
+
+  for (const std::string &Path : NonEmpty) {
+    const Json *Node = lookup(Doc.value(), Path);
+    if (!Node)
+      return fail(FilePath, "missing required key '" + Path + "'");
+    if (Node->size() == 0)
+      return fail(FilePath, "'" + Path + "' is empty");
+  }
+
+  if (!Events.empty()) {
+    const Json *Trace = Doc.value().find("traceEvents");
+    if (!Trace || !Trace->isArray())
+      return fail(FilePath, "no traceEvents array");
+    for (const std::string &Name : Events) {
+      bool Found = false;
+      for (const Json &Event : Trace->items()) {
+        const Json *N = Event.isObject() ? Event.find("name") : nullptr;
+        if (N && N->isString() && N->asString() == Name) {
+          Found = true;
+          break;
+        }
+      }
+      if (!Found)
+        return fail(FilePath, "no trace event named '" + Name + "'");
+    }
+  }
+  return 0;
+}

@@ -19,13 +19,19 @@
 ///     --no-cascade                           skip the cascade rewrite
 ///     --no-shrink                            skip placement shrinking
 ///     --stats                                per-stage report on stderr
+///     --stats-json=<file>                    unified stats document
+///     --trace=<file>                         Chrome/Perfetto trace of the run
 ///     --dump-target                          print the UltraScale TDL
+///     --version                              print the version and exit
 ///     -o <file>                              write output to a file
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/Compiler.h"
+#include "core/Stats.h"
 #include "ir/Parser.h"
+#include "obs/Report.h"
+#include "obs/Telemetry.h"
 #include "opt/Transforms.h"
 #include "synth/Synth.h"
 #include "tdl/Ultrascale.h"
@@ -36,17 +42,26 @@
 #include <sstream>
 #include <string>
 
+#ifndef RETICLE_VERSION
+#define RETICLE_VERSION "0.0.0-dev"
+#endif
+
 using namespace reticle;
 
 namespace {
+
+constexpr const char *EmitChoices = "asm, placed, verilog, behavioral";
+constexpr const char *DeviceChoices = "xczu3eg, small, tiny";
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--emit=asm|placed|verilog|behavioral] "
                "[--device=xczu3eg|small|tiny] [-O] [--no-cascade] "
-               "[--no-shrink] [--stats] [-o <file>] <input.ret>\n"
-               "       %s --dump-target\n",
-               Argv0, Argv0);
+               "[--no-shrink] [--stats] [--stats-json=<file>] "
+               "[--trace=<file>] [-o <file>] <input.ret>\n"
+               "       %s --dump-target\n"
+               "       %s --version\n",
+               Argv0, Argv0, Argv0);
   return 2;
 }
 
@@ -62,6 +77,8 @@ int main(int Argc, char **Argv) {
   std::string DeviceName = "xczu3eg";
   std::string InputPath;
   std::string OutputPath;
+  std::string StatsJsonPath;
+  std::string TracePath;
   bool Optimize = false;
   bool Stats = false;
   core::CompileOptions Options;
@@ -72,10 +89,22 @@ int main(int Argc, char **Argv) {
       std::fputs(tdl::ultrascaleText().c_str(), stdout);
       return 0;
     }
+    if (Arg == "--version") {
+      std::printf("reticlec %s\n", RETICLE_VERSION);
+      return 0;
+    }
     if (Arg.rfind("--emit=", 0) == 0) {
       Emit = Arg.substr(7);
     } else if (Arg.rfind("--device=", 0) == 0) {
       DeviceName = Arg.substr(9);
+    } else if (Arg.rfind("--stats-json=", 0) == 0) {
+      StatsJsonPath = Arg.substr(13);
+      if (StatsJsonPath.empty())
+        return fatal("--stats-json= requires a file path");
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      TracePath = Arg.substr(8);
+      if (TracePath.empty())
+        return fatal("--trace= requires a file path");
     } else if (Arg == "-O") {
       Optimize = true;
     } else if (Arg == "--no-cascade") {
@@ -100,6 +129,11 @@ int main(int Argc, char **Argv) {
   if (InputPath.empty())
     return usage(Argv[0]);
 
+  if (Emit != "asm" && Emit != "placed" && Emit != "verilog" &&
+      Emit != "behavioral")
+    return fatal("unknown --emit kind '" + Emit +
+                 "' (valid: " + EmitChoices + ")");
+
   if (DeviceName == "xczu3eg")
     Options.Dev = device::Device::xczu3eg();
   else if (DeviceName == "small")
@@ -107,7 +141,11 @@ int main(int Argc, char **Argv) {
   else if (DeviceName == "tiny")
     Options.Dev = device::Device::tiny();
   else
-    return fatal("unknown device '" + DeviceName + "'");
+    return fatal("unknown --device '" + DeviceName +
+                 "' (valid: " + DeviceChoices + ")");
+
+  if (!TracePath.empty())
+    obs::enableTracing();
 
   std::ifstream In(InputPath);
   if (!In)
@@ -132,6 +170,9 @@ int main(int Argc, char **Argv) {
 
   std::string Output;
   if (Emit == "behavioral") {
+    if (!StatsJsonPath.empty())
+      return fatal("--stats-json requires a pipeline emit kind "
+                   "(asm, placed, verilog)");
     Output = synth::emitBehavioral(Fn.value(), synth::Mode::Hint).str();
   } else {
     Result<core::CompileResult> R = core::compile(Fn.value(), Options);
@@ -141,33 +182,20 @@ int main(int Argc, char **Argv) {
       Output = R.value().Asm.str();
     else if (Emit == "placed")
       Output = R.value().Placed.str();
-    else if (Emit == "verilog")
-      Output = R.value().Verilog.str();
     else
-      return fatal("unknown --emit kind '" + Emit + "'");
-    if (Stats) {
-      const core::CompileResult &C = R.value();
-      std::fprintf(stderr,
-                   "select: %u tree(s) -> %u op(s) + %u wire(s), area %lld "
-                   "(%.2f ms)\n",
-                   C.SelectStats.NumTrees, C.SelectStats.NumAsmOps,
-                   C.SelectStats.NumWire,
-                   static_cast<long long>(C.SelectStats.TotalArea),
-                   C.SelectMs);
-      std::fprintf(stderr, "cascade: %u chain(s), %u rewritten\n",
-                   C.CascadeStats.Chains, C.CascadeStats.Rewritten);
-      std::fprintf(stderr,
-                   "place: %u solve(s), %u var(s), %llu conflict(s) "
-                   "(%.2f ms)\n",
-                   C.PlaceStats.Solves, C.PlaceStats.Vars,
-                   static_cast<unsigned long long>(C.PlaceStats.Conflicts),
-                   C.PlaceMs);
-      std::fprintf(stderr, "util: %u DSP(s), %u LUT(s), %u FF(s)\n",
-                   C.Util.Dsps, C.Util.Luts, C.Util.Ffs);
-      std::fprintf(stderr, "timing: %.2f ns critical path (%.1f MHz)\n",
-                   C.Timing.CriticalPathNs, C.Timing.FmaxMhz);
-    }
+      Output = R.value().Verilog.str();
+
+    obs::Json Doc = core::statsJson(R.value(), InputPath);
+    if (Stats)
+      obs::printTable(Doc, stderr);
+    if (!StatsJsonPath.empty())
+      if (Status S = obs::writeJsonFile(Doc, StatsJsonPath); !S)
+        return fatal(S.error());
   }
+
+  if (!TracePath.empty())
+    if (Status S = obs::writeTrace(TracePath); !S)
+      return fatal(S.error());
 
   if (OutputPath.empty()) {
     std::fputs(Output.c_str(), stdout);
