@@ -1,0 +1,45 @@
+#!/bin/sh
+# Tier-1 verification: configure, build, run the full test suite, then
+# drive the compiler end to end and validate every machine-readable
+# artifact it emits (stats, trace, remarks, snapshot manifest) with
+# json_check. Run from anywhere; builds into <repo>/build.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build="$repo/build"
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== configure + build =="
+cmake -B "$build" -S "$repo"
+cmake --build "$build" -j"$jobs"
+
+echo "== ctest =="
+(cd "$build" && ctest --output-on-failure -j"$jobs")
+
+echo "== end-to-end artifact check =="
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+"$build/tools/reticlec" --device=small \
+    --stats-json="$out/stats.json" \
+    --trace="$out/trace.json" \
+    --remarks-json="$out/remarks.jsonl" \
+    --dump-after-all="$out/stages" \
+    --floorplan="$out/plan.svg" \
+    -o "$out/mac.v" \
+    "$repo/examples/programs/mac.ret"
+
+"$build/tools/json_check" --require=schema --require=program \
+    --require=timings.total_ms --require=place.sat.decisions \
+    --require=utilization.luts "$out/stats.json"
+"$build/tools/json_check" --require=traceEvents "$out/trace.json"
+"$build/tools/json_check" --require=schema \
+    --require=stages.parse.file --require=stages.isel.file \
+    --require=stages.cascade.file --require=stages.place.file \
+    --require=stages.codegen.file "$out/stages/manifest.json"
+# Remark contents exist only when telemetry is compiled in; the stream
+# must be valid JSONL either way (empty counts as valid).
+"$build/tools/json_check" --jsonl "$out/remarks.jsonl"
+grep -q "</svg>" "$out/plan.svg"
+
+echo "ok: build, tests, and all emitted artifacts check out"

@@ -49,6 +49,8 @@ Result<CompileResult> reticle::core::compile(const ir::Function &Fn,
     Sp.arg("asm_ops", Out.SelectStats.NumAsmOps);
   }
   Out.SelectMs = msSince(Start);
+  if (Options.Snapshots)
+    Options.Snapshots->add("isel", "asm", Out.Asm.str());
 
   // Layout optimization (Section 5.2): cascade chains are bounded by the
   // DSP column height of the target device.
@@ -65,6 +67,10 @@ Result<CompileResult> reticle::core::compile(const ir::Function &Fn,
     Sp.arg("rewritten", Out.CascadeStats.Rewritten);
   }
   Out.CascadeMs = msSince(Start);
+  // Recorded even with the pass disabled, so a snapshot directory always
+  // lists the same five stages and stage-to-stage diffs line up.
+  if (Options.Snapshots)
+    Options.Snapshots->add("cascade", "asm", Out.Asm.str());
 
   // Instruction placement (Section 5.3).
   Start = std::chrono::steady_clock::now();
@@ -89,6 +95,8 @@ Result<CompileResult> reticle::core::compile(const ir::Function &Fn,
     Sp.arg("max_row", Out.PlaceStats.MaxRow);
   }
   Out.PlaceMs = msSince(Start);
+  if (Options.Snapshots)
+    Options.Snapshots->add("place", "asm", Out.Placed.str());
 
   // Code generation (Section 5.4).
   Start = std::chrono::steady_clock::now();
@@ -103,6 +111,8 @@ Result<CompileResult> reticle::core::compile(const ir::Function &Fn,
     Sp.arg("dsps", Out.Util.Dsps);
   }
   Out.CodegenMs = msSince(Start);
+  if (Options.Snapshots)
+    Options.Snapshots->add("codegen", "verilog", Out.Verilog.str());
 
   Start = std::chrono::steady_clock::now();
   if (Options.Timing) {

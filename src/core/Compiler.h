@@ -20,6 +20,7 @@
 #include "ir/Function.h"
 #include "isel/Cascade.h"
 #include "isel/Select.h"
+#include "obs/Snapshots.h"
 #include "place/Place.h"
 #include "rasm/Asm.h"
 #include "support/Result.h"
@@ -42,6 +43,11 @@ struct CompileOptions {
   bool Shrink = true;
   /// Run static timing analysis on the placed result.
   bool Timing = true;
+  /// When non-null, the pipeline records the program text after each stage
+  /// (isel, cascade, place, codegen) into this sink. The driver owns the
+  /// sink and typically adds a "parse" snapshot before compiling. Costs
+  /// nothing when left null.
+  obs::SnapshotSink *Snapshots = nullptr;
 };
 
 /// Everything one compilation produces, including the per-stage statistics

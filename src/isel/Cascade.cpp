@@ -6,6 +6,7 @@
 
 #include "isel/Cascade.h"
 
+#include "obs/Remarks.h"
 #include "obs/Telemetry.h"
 
 #include <algorithm>
@@ -82,6 +83,7 @@ Status reticle::isel::cascadePass(rasm::AsmProgram &Prog,
   };
 
   unsigned FreshVar = 0;
+  unsigned ChainsHere = 0, RewrittenHere = 0;
   for (size_t Head = 0; Head < Body.size(); ++Head) {
     if (!isChainable(Body[Head]) || HasChainablePredecessor(Head))
       continue;
@@ -133,8 +135,17 @@ Status reticle::isel::cascadePass(rasm::AsmProgram &Prog,
           break;
         }
       }
-      if (!AllResolve)
+      if (!AllResolve) {
+        // The one silent way a chain stays on general routing; say so.
+        if (obs::remarksEnabled())
+          obs::Remark("cascade", "chain-skipped")
+              .instr(Body[Chain[SegStart]].dst())
+              .message("chain of " + std::to_string(SegLen) +
+                       " not rewritten: target does not define every "
+                       "cascade variant")
+              .arg("length", static_cast<uint64_t>(SegLen));
         continue; // leave this segment on general routing
+      }
 
       std::string XVar = "cx" + std::to_string(FreshVar);
       std::string YVar = "cy" + std::to_string(FreshVar);
@@ -152,9 +163,43 @@ Status reticle::isel::cascadePass(rasm::AsmProgram &Prog,
       }
       static obs::Counter &Chains = obs::counter("isel.cascade_chains");
       ++Chains;
+      ++ChainsHere;
+      RewrittenHere += static_cast<unsigned>(SegLen);
       if (Stats)
         ++Stats->Chains;
+      if (obs::remarksEnabled())
+        obs::Remark("cascade", "chain")
+            .instr(Body[Chain[SegStart]].dst())
+            .message("rewrote chain of " + std::to_string(SegLen) +
+                     " to cascade variants, constrained to dsp(" + XVar +
+                     ", " + YVar + ")..(" + XVar + ", " + YVar + "+" +
+                     std::to_string(SegLen - 1) + ")")
+            .arg("length", static_cast<uint64_t>(SegLen))
+            .arg("max_chain", static_cast<uint64_t>(MaxChain))
+            .arg("x_var", XVar)
+            .arg("y_var", YVar);
     }
+  }
+  // Always leave one verdict, so "the rewrite never fired" is visible in
+  // the remarks stream rather than inferred from silence.
+  if (obs::remarksEnabled()) {
+    unsigned Family = 0;
+    for (const rasm::AsmInstr &I : Body)
+      if (!I.isWire() &&
+          isCascadeHead(I.opName().substr(0, I.opName().find('_'))))
+        ++Family;
+    obs::Remark("cascade", "summary")
+        .message(ChainsHere
+                     ? "rewrote " + std::to_string(ChainsHere) +
+                           " chain(s), " + std::to_string(RewrittenHere) +
+                           " instruction(s)"
+                     : "no cascade-able chain found (" +
+                           std::to_string(Family) +
+                           " muladd-family instruction(s) present)")
+        .arg("chains", ChainsHere)
+        .arg("rewritten", RewrittenHere)
+        .arg("muladd_family_ops", Family)
+        .arg("max_chain", static_cast<uint64_t>(MaxChain));
   }
   return Status::success();
 }

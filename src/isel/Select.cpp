@@ -7,6 +7,7 @@
 #include "isel/Select.h"
 
 #include "isel/Dfg.h"
+#include "obs/Remarks.h"
 #include "obs/Telemetry.h"
 
 #include <algorithm>
@@ -276,12 +277,15 @@ Result<Cost> Selector::solve(size_t NodeId) {
   bool Found = false;
   Cost BestCost;
   Match BestMatch;
+  unsigned Candidates = 0, Matched = 0;
   auto DefsIt = DefsByOp.find(I.compOp());
   if (DefsIt != DefsByOp.end()) {
+    Candidates = static_cast<unsigned>(DefsIt->second.size());
     for (const tdl::TargetDef *Def : DefsIt->second) {
       Match M;
       if (!matchDef(*Def, NodeId, M))
         continue;
+      ++Matched;
       Cost Total{Def->Area, Def->Latency};
       bool SubOk = true;
       std::set<size_t> CoveredSet(M.Covered.begin(), M.Covered.end());
@@ -317,6 +321,22 @@ Result<Cost> Selector::solve(size_t NodeId) {
     return fail<Cost>("no instruction on target '" + Target.name() +
                       "' can implement '" + Where + "'");
   }
+  // Why this tile: the chosen pattern, what it costs, and how contested
+  // the decision was (rejected = matched alternatives that lost on cost).
+  if (obs::remarksEnabled())
+    obs::Remark("isel", "pattern")
+        .instr(I.dst())
+        .message("covered with '" + BestMatch.Def->Name + "' on " +
+                 std::string(ir::resourceName(BestMatch.Def->Prim)) + " (" +
+                 std::to_string(Matched) + " of " +
+                 std::to_string(Candidates) + " candidate tiles matched)")
+        .arg("pattern", BestMatch.Def->Name)
+        .arg("prim", ir::resourceName(BestMatch.Def->Prim))
+        .arg("cost_area", BestCost.Area)
+        .arg("cost_latency", BestCost.Latency)
+        .arg("candidates", Candidates)
+        .arg("matched", Matched)
+        .arg("rejected", Matched ? Matched - 1 : 0);
   Best[NodeId] = {BestCost, std::move(BestMatch)};
   return BestCost;
 }

@@ -1,0 +1,196 @@
+//===- obs/Remarks.cpp - Optimization remarks engine ---------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_NO_TELEMETRY
+
+#include "obs/Remarks.h"
+
+#include <atomic>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+using namespace reticle;
+using namespace reticle::obs;
+
+namespace {
+
+/// The process-wide remarks stream. Records are committed fully formed
+/// under the lock; readers (remarksText / remarksJsonl) snapshot under the
+/// same lock.
+struct RemarkStream {
+  std::mutex Mu;
+  std::vector<Json> Records;
+  std::atomic<bool> Enabled{false};
+};
+
+RemarkStream &stream() {
+  static RemarkStream S;
+  return S;
+}
+
+} // namespace
+
+bool reticle::obs::remarksEnabled() {
+  return stream().Enabled.load(std::memory_order_relaxed);
+}
+
+void reticle::obs::enableRemarks(bool On) {
+  stream().Enabled.store(On, std::memory_order_relaxed);
+}
+
+Remark::Remark(const char *Stage, const char *Kind)
+    : Active(remarksEnabled()), Stage(Stage), Kind(Kind) {
+  if (Active)
+    Args = Json::object();
+}
+
+Remark::~Remark() {
+  if (!Active)
+    return;
+  Json Record = Json::object();
+  Record.set("stage", Stage);
+  Record.set("kind", Kind);
+  if (!Instr.empty())
+    Record.set("instr", Instr);
+  Record.set("message", std::move(Message));
+  if (Args.size())
+    Record.set("args", std::move(Args));
+  RemarkStream &S = stream();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  S.Records.push_back(std::move(Record));
+}
+
+Remark &Remark::instr(std::string_view Name) {
+  if (Active)
+    Instr = std::string(Name);
+  return *this;
+}
+
+Remark &Remark::message(std::string Text) {
+  if (Active)
+    Message = std::move(Text);
+  return *this;
+}
+
+Remark &Remark::arg(const char *Key, int64_t Value) {
+  if (Active)
+    Args.set(Key, Value);
+  return *this;
+}
+
+Remark &Remark::arg(const char *Key, uint64_t Value) {
+  if (Active)
+    Args.set(Key, Value);
+  return *this;
+}
+
+Remark &Remark::arg(const char *Key, double Value) {
+  if (Active)
+    Args.set(Key, Value);
+  return *this;
+}
+
+Remark &Remark::arg(const char *Key, const char *Value) {
+  if (Active)
+    Args.set(Key, Value);
+  return *this;
+}
+
+Remark &Remark::arg(const char *Key, std::string Value) {
+  if (Active)
+    Args.set(Key, std::move(Value));
+  return *this;
+}
+
+size_t reticle::obs::remarkCount() {
+  RemarkStream &S = stream();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  return S.Records.size();
+}
+
+std::string reticle::obs::remarksText() {
+  RemarkStream &S = stream();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  std::string Out;
+  for (const Json &R : S.Records) {
+    const Json *Stage = R.find("stage");
+    const Json *Kind = R.find("kind");
+    const Json *Instr = R.find("instr");
+    const Json *Message = R.find("message");
+    Out += Stage->asString();
+    Out.push_back(':');
+    Out += Kind->asString();
+    Out += ": ";
+    if (Instr) {
+      Out.push_back('\'');
+      Out += Instr->asString();
+      Out += "': ";
+    }
+    Out += Message->asString();
+    if (const Json *Args = R.find("args"); Args && Args->size()) {
+      Out += "  {";
+      bool First = true;
+      for (const auto &[Key, Value] : Args->members()) {
+        if (!First)
+          Out += ", ";
+        First = false;
+        Out += Key;
+        Out.push_back('=');
+        Out += Value.isString() ? Value.asString() : Value.str();
+      }
+      Out.push_back('}');
+    }
+    Out.push_back('\n');
+  }
+  return Out;
+}
+
+std::string reticle::obs::remarksJsonl(std::string_view Program) {
+  RemarkStream &S = stream();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  Json Header = Json::object();
+  Header.set("schema", "reticle-remarks-v1");
+  Header.set("program", std::string(Program));
+  Header.set("remarks", static_cast<uint64_t>(S.Records.size()));
+  std::string Out = Header.str();
+  Out.push_back('\n');
+  for (const Json &R : S.Records) {
+    Out += R.str();
+    Out.push_back('\n');
+  }
+  return Out;
+}
+
+Status reticle::obs::writeRemarksText(const std::string &Path) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return Status::failure("cannot write remarks file '" + Path + "'");
+  Out << remarksText();
+  if (!Out)
+    return Status::failure("error writing remarks file '" + Path + "'");
+  return Status::success();
+}
+
+Status reticle::obs::writeRemarksJsonl(const std::string &Path,
+                                       std::string_view Program) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return Status::failure("cannot write remarks file '" + Path + "'");
+  Out << remarksJsonl(Program);
+  if (!Out)
+    return Status::failure("error writing remarks file '" + Path + "'");
+  return Status::success();
+}
+
+void reticle::obs::clearRemarks() {
+  RemarkStream &S = stream();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  S.Records.clear();
+  S.Enabled.store(false, std::memory_order_relaxed);
+}
+
+#endif // RETICLE_NO_TELEMETRY

@@ -1,0 +1,169 @@
+//===- obs/Remarks.h - Optimization remarks engine --------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured optimization remarks (LLVM `-Rpass`-style): every pipeline
+/// stage records *what it decided* — which tile covered a tree, why a
+/// cascade chain was (or was not) rewritten, how each placement shrink
+/// probe resolved — as `Remark{stage, kind, instr, message, args}`
+/// records. Telemetry (Telemetry.h) answers "where does the time go";
+/// remarks answer "what did the compiler do and why".
+///
+/// Usage at an instrumentation site:
+///
+///   if (obs::remarksEnabled())
+///     obs::Remark("isel", "pattern")
+///         .instr(I.dst())
+///         .message("covered with '" + Def->Name + "'")
+///         .arg("area", Def->Area);
+///
+/// The builder commits to the process-wide stream when it goes out of
+/// scope. Recording only happens while remarks are enabled
+/// (`enableRemarks()`, or `reticlec --remarks=... / --remarks-json=...`);
+/// sites guard string construction behind `remarksEnabled()`, which is one
+/// relaxed atomic load.
+///
+/// Rendering: `remarksText()` produces one human-readable line per
+/// remark; `remarksJsonl()` produces the machine-readable
+/// `reticle-remarks-v1` stream (one header line, then one JSON object per
+/// remark). Defining `RETICLE_NO_TELEMETRY` compiles the whole engine out
+/// to inline no-ops, exactly like the counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_OBS_REMARKS_H
+#define RETICLE_OBS_REMARKS_H
+
+#include "support/Result.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#ifndef RETICLE_NO_TELEMETRY
+#include "obs/Json.h"
+#else
+#include <fstream>
+#endif
+
+namespace reticle {
+namespace obs {
+
+#ifndef RETICLE_NO_TELEMETRY
+
+/// Global remarks switch; mirrors the tracing switch in Telemetry.h.
+bool remarksEnabled();
+void enableRemarks(bool On = true);
+
+/// A builder for one remark. Construction samples the switch; destruction
+/// commits the record to the process-wide stream when recording is on.
+/// \p Stage names the pipeline stage ("isel", "cascade", "place", "sat",
+/// "opt"); \p Kind is a short stage-specific verdict ("pattern",
+/// "chain", "shrink-probe", ...). Both must outlive the builder (string
+/// literals do).
+class Remark {
+public:
+  Remark(const char *Stage, const char *Kind);
+  ~Remark();
+  Remark(const Remark &) = delete;
+  Remark &operator=(const Remark &) = delete;
+
+  /// Names the instruction (result name) the remark is about.
+  Remark &instr(std::string_view Name);
+  /// The human-readable sentence of the remark.
+  Remark &message(std::string Text);
+  /// Structured arguments, preserved verbatim in the JSONL record.
+  Remark &arg(const char *Key, int64_t Value);
+  Remark &arg(const char *Key, uint64_t Value);
+  Remark &arg(const char *Key, int Value) {
+    return arg(Key, static_cast<int64_t>(Value));
+  }
+  Remark &arg(const char *Key, unsigned Value) {
+    return arg(Key, static_cast<uint64_t>(Value));
+  }
+  Remark &arg(const char *Key, double Value);
+  Remark &arg(const char *Key, const char *Value);
+  Remark &arg(const char *Key, std::string Value);
+
+private:
+  bool Active = false;
+  const char *Stage = nullptr;
+  const char *Kind = nullptr;
+  std::string Instr;
+  std::string Message;
+  Json Args;
+};
+
+/// Number of remarks recorded so far.
+size_t remarkCount();
+
+/// Human rendering: one `stage:kind: ['instr':] message {k=v, ...}` line
+/// per remark.
+std::string remarksText();
+
+/// Machine rendering (`reticle-remarks-v1`): a header object line
+/// (`{"schema": "reticle-remarks-v1", "program": ...}`) followed by one
+/// compact JSON object per remark.
+std::string remarksJsonl(std::string_view Program);
+
+/// File writers; used by `reticlec --remarks=<file>` / `--remarks-json=`.
+Status writeRemarksText(const std::string &Path);
+Status writeRemarksJsonl(const std::string &Path, std::string_view Program);
+
+/// Drops all recorded remarks and disables recording. Test-only.
+void clearRemarks();
+
+#else // RETICLE_NO_TELEMETRY
+
+// Compiled-out variant: the full API surface as inline no-ops. Nothing
+// here references a symbol of Remarks.cpp (or Json.cpp), so translation
+// units built with RETICLE_NO_TELEMETRY link without the obs objects.
+
+inline bool remarksEnabled() { return false; }
+inline void enableRemarks(bool = true) {}
+
+class Remark {
+public:
+  Remark(const char *, const char *) {}
+  Remark(const Remark &) = delete;
+  Remark &operator=(const Remark &) = delete;
+  Remark &instr(std::string_view) { return *this; }
+  Remark &message(std::string) { return *this; }
+  Remark &arg(const char *, int64_t) { return *this; }
+  Remark &arg(const char *, uint64_t) { return *this; }
+  Remark &arg(const char *, int) { return *this; }
+  Remark &arg(const char *, unsigned) { return *this; }
+  Remark &arg(const char *, double) { return *this; }
+  Remark &arg(const char *, const char *) { return *this; }
+  Remark &arg(const char *, std::string) { return *this; }
+};
+
+inline size_t remarkCount() { return 0; }
+inline std::string remarksText() { return std::string(); }
+inline std::string remarksJsonl(std::string_view) { return std::string(); }
+
+inline Status writeRemarksText(const std::string &Path) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return Status::failure("cannot write remarks file '" + Path + "'");
+  return Status::success();
+}
+
+inline Status writeRemarksJsonl(const std::string &Path, std::string_view) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return Status::failure("cannot write remarks file '" + Path + "'");
+  return Status::success();
+}
+
+inline void clearRemarks() {}
+
+#endif // RETICLE_NO_TELEMETRY
+
+} // namespace obs
+} // namespace reticle
+
+#endif // RETICLE_OBS_REMARKS_H

@@ -1,0 +1,82 @@
+//===- obs/Snapshots.cpp - Pipeline stage snapshots ----------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Snapshots.h"
+
+#include "obs/Json.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+using namespace reticle;
+using namespace reticle::obs;
+
+const StageSnapshot *SnapshotSink::find(std::string_view Stage) const {
+  for (const StageSnapshot &S : Stages)
+    if (S.Stage == Stage)
+      return &S;
+  return nullptr;
+}
+
+std::string reticle::obs::snapshotFileName(const StageSnapshot &Snapshot,
+                                           size_t Index) {
+  const char *Ext = ".txt";
+  if (Snapshot.Format == "ir")
+    Ext = ".ret";
+  else if (Snapshot.Format == "asm")
+    Ext = ".rasm";
+  else if (Snapshot.Format == "verilog")
+    Ext = ".v";
+  char Prefix[8];
+  std::snprintf(Prefix, sizeof(Prefix), "%02zu-", Index);
+  return Prefix + Snapshot.Stage + Ext;
+}
+
+Status reticle::obs::writeSnapshots(const SnapshotSink &Sink,
+                                    const std::string &Dir,
+                                    std::string_view Program) {
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
+  if (Ec)
+    return Status::failure("cannot create snapshot directory '" + Dir +
+                           "': " + Ec.message());
+
+  Json Stages = Json::object();
+  for (size_t I = 0; I < Sink.stages().size(); ++I) {
+    const StageSnapshot &S = Sink.stages()[I];
+    std::string File = snapshotFileName(S, I);
+    std::string Path = Dir + "/" + File;
+    std::ofstream Out(Path);
+    if (!Out)
+      return Status::failure("cannot write snapshot file '" + Path + "'");
+    Out << S.Text;
+    if (!Out)
+      return Status::failure("error writing snapshot file '" + Path + "'");
+
+    Json Entry = Json::object();
+    Entry.set("index", static_cast<uint64_t>(I));
+    Entry.set("format", S.Format);
+    Entry.set("file", File);
+    Entry.set("bytes", static_cast<uint64_t>(S.Text.size()));
+    Stages.set(S.Stage, std::move(Entry));
+  }
+
+  Json Manifest = Json::object();
+  Manifest.set("schema", "reticle-snapshots-v1");
+  Manifest.set("program", std::string(Program));
+  Manifest.set("stages", std::move(Stages));
+
+  std::string Path = Dir + "/manifest.json";
+  std::ofstream Out(Path);
+  if (!Out)
+    return Status::failure("cannot write snapshot manifest '" + Path + "'");
+  Out << Manifest.str(2) << "\n";
+  if (!Out)
+    return Status::failure("error writing snapshot manifest '" + Path + "'");
+  return Status::success();
+}

@@ -7,6 +7,7 @@
 #include "opt/Transforms.h"
 
 #include "interp/Eval.h"
+#include "obs/Remarks.h"
 
 #include <map>
 #include <set>
@@ -52,6 +53,13 @@ unsigned reticle::opt::deadCodeElim(Function &Fn) {
       ++Removed;
   }
   Fn.body() = std::move(Kept);
+  if (Removed && obs::remarksEnabled())
+    obs::Remark("opt", "dce")
+        .message("removed " + std::to_string(Removed) +
+                 " dead instruction(s), " +
+                 std::to_string(Fn.body().size()) + " remain")
+        .arg("removed", Removed)
+        .arg("remaining", static_cast<uint64_t>(Fn.body().size()));
   return Removed;
 }
 
@@ -169,6 +177,11 @@ unsigned reticle::opt::constantFold(Function &Fn) {
       }
     }
   }
+  if (Rewritten && obs::remarksEnabled())
+    obs::Remark("opt", "const-fold")
+        .message("folded or simplified " + std::to_string(Rewritten) +
+                 " instruction(s)")
+        .arg("rewritten", Rewritten);
   return Rewritten;
 }
 
@@ -318,5 +331,11 @@ unsigned reticle::opt::vectorize(Function &Fn, unsigned Lanes) {
           {static_cast<int64_t>(L * Scalar.width())}, {VecDst}));
   }
   Fn.body() = std::move(NewBody);
+  if (obs::remarksEnabled())
+    obs::Remark("opt", "vectorize")
+        .message("packed " + std::to_string(Groups.size()) + " group(s) of " +
+                 std::to_string(Lanes) + " scalar ops into vector lanes")
+        .arg("groups", static_cast<uint64_t>(Groups.size()))
+        .arg("lanes", Lanes);
   return static_cast<unsigned>(Groups.size());
 }

@@ -6,6 +6,7 @@
 
 #include "place/Place.h"
 
+#include "obs/Remarks.h"
 #include "obs/Telemetry.h"
 #include "sat/Solver.h"
 
@@ -439,6 +440,15 @@ Result<AsmProgram> Placer::run() {
                               " cluster(s) on device '" + Dev.name() + "'");
     Cap = std::min(FullCap, Cap * 4);
   }
+  if (obs::remarksEnabled())
+    obs::Remark("place", "solve")
+        .message("first placement found for " +
+                 std::to_string(Clusters.size()) + " cluster(s) on '" +
+                 Dev.name() + "' (candidate cap " + std::to_string(Cap) + ")")
+        .arg("clusters", static_cast<uint64_t>(Clusters.size()))
+        .arg("fixed_clusters", static_cast<uint64_t>(FixedClusters.size()))
+        .arg("candidate_cap", static_cast<uint64_t>(Cap))
+        .arg("device", Dev.name());
 
   // Shrinking passes: take the used area as the bound and binary-search a
   // smaller one, re-running placement (Section 5.3).
@@ -482,6 +492,17 @@ Result<AsmProgram> Placer::run() {
         if (A == Attempt::Error)
           return fail<AsmProgram>(Err);
         Sp.arg("fits", A == Attempt::Sat ? "yes" : "no");
+        // The constraint that stops an area shrink is exactly this UNSAT.
+        if (obs::remarksEnabled())
+          obs::Remark("place", "shrink-probe")
+              .message(std::string("shrink ") +
+                       (Axis == 0 ? "columns" : "rows") + " to <= " +
+                       std::to_string(Mid) +
+                       (A == Attempt::Sat ? ": SAT, layout fits"
+                                          : ": UNSAT, bound kept"))
+              .arg("axis", Axis == 0 ? "col" : "row")
+              .arg("bound", Mid)
+              .arg("outcome", A == Attempt::Sat ? "sat" : "unsat");
         if (A == Attempt::Sat) {
           BestAssignment = std::move(Assignment);
           High = std::min(Mid, Axis == 0
@@ -500,14 +521,32 @@ Result<AsmProgram> Placer::run() {
   Placed.inputs() = Prog.inputs();
   Placed.outputs() = Prog.outputs();
   std::map<size_t, device::Slot> SlotOf;
-  for (size_t I = 0; I < Clusters.size(); ++I)
+  for (size_t I = 0; I < Clusters.size(); ++I) {
     for (size_t K = 0; K < Clusters[I].Members.size(); ++K)
       SlotOf[Clusters[I].Members[K].BodyIndex] = BestAssignment[I].Slots[K];
+    // Which column kind each cluster bound to, and where.
+    if (obs::remarksEnabled() && !BestAssignment[I].Slots.empty()) {
+      const device::Slot &Base = BestAssignment[I].Slots.front();
+      obs::Remark("place", "bind")
+          .instr(Prog.body()[Clusters[I].Members.front().BodyIndex].dst())
+          .message("cluster of " +
+                   std::to_string(Clusters[I].Members.size()) +
+                   " bound to " +
+                   std::string(ir::resourceName(Clusters[I].Prim)) +
+                   " column " + std::to_string(Base.X) + ", base row " +
+                   std::to_string(Base.Y))
+          .arg("column_kind", ir::resourceName(Clusters[I].Prim))
+          .arg("x", Base.X)
+          .arg("y", Base.Y)
+          .arg("members", static_cast<uint64_t>(Clusters[I].Members.size()));
+    }
+  }
   for (const Cluster &C : FixedClusters) {
     device::Slot S;
     memberSlot(C.Members[0], 0, 0, S);
     SlotOf[C.Members[0].BodyIndex] = S;
   }
+  unsigned MaxC = 0, MaxR = 0, NumPlaced = 0;
   for (size_t I = 0; I < Prog.body().size(); ++I) {
     const AsmInstr &A = Prog.body()[I];
     if (A.isWire()) {
@@ -518,11 +557,24 @@ Result<AsmProgram> Placer::run() {
     rasm::Loc L{A.loc().Prim, Coord::lit(S.X), Coord::lit(S.Y)};
     Placed.addInstr(AsmInstr::makeOp(A.dst(), A.type(), A.opName(), A.args(),
                                      std::move(L), A.attrs()));
+    MaxC = std::max(MaxC, S.X);
+    MaxR = std::max(MaxR, S.Y);
+    ++NumPlaced;
     if (Stats) {
       Stats->MaxColumn = std::max(Stats->MaxColumn, S.X);
       Stats->MaxRow = std::max(Stats->MaxRow, S.Y);
     }
   }
+  if (obs::remarksEnabled())
+    obs::Remark("place", "area")
+        .message("final bounding box: columns 0.." + std::to_string(MaxC) +
+                 ", rows 0.." + std::to_string(MaxR) + " for " +
+                 std::to_string(NumPlaced) + " instruction(s) on '" +
+                 Dev.name() + "'")
+        .arg("max_column", MaxC)
+        .arg("max_row", MaxR)
+        .arg("placed", NumPlaced)
+        .arg("device", Dev.name());
   return Placed;
 }
 

@@ -6,6 +6,7 @@
 
 #include "sat/Solver.h"
 
+#include "obs/Remarks.h"
 #include "obs/Telemetry.h"
 
 #include <algorithm>
@@ -379,6 +380,16 @@ Outcome Solver::solve(uint64_t ConflictBudget) {
   Sp.arg("outcome", O == Outcome::Sat     ? "sat"
                     : O == Outcome::Unsat ? "unsat"
                                           : "unknown");
+  if (O == Outcome::Unsat && obs::remarksEnabled())
+    obs::Remark("sat", "unsat")
+        .message("formula with " + std::to_string(VarCount) + " var(s), " +
+                 std::to_string(Clauses.size()) + " clause(s) is unsatisfiable")
+        .arg("vars", static_cast<uint64_t>(VarCount))
+        .arg("clauses", static_cast<uint64_t>(Clauses.size()))
+        .arg("conflicts", Stats.Conflicts - Before.Conflicts)
+        .arg("decisions", Stats.Decisions - Before.Decisions)
+        .arg("propagations", Stats.Propagations - Before.Propagations)
+        .arg("restarts", Stats.Restarts - Before.Restarts);
   return O;
 }
 

@@ -15,6 +15,7 @@
 #error "this test must be compiled with RETICLE_NO_TELEMETRY"
 #endif
 
+#include "obs/Remarks.h"
 #include "obs/Telemetry.h"
 
 #include <gtest/gtest.h>
@@ -51,6 +52,37 @@ TEST(ObsNoop, FullApiSurfaceIsInert) {
   }
   obs::instant("noop.instant");
   obs::resetForTest();
+}
+
+TEST(ObsNoop, RemarksApiSurfaceIsInert) {
+  obs::enableRemarks();
+  EXPECT_FALSE(obs::remarksEnabled());
+  if (obs::remarksEnabled())
+    FAIL() << "the call-site guard must be constant-false";
+  obs::Remark("isel", "pattern")
+      .instr("t0")
+      .message("covered")
+      .arg("i", int64_t(-1))
+      .arg("u", uint64_t(1))
+      .arg("n", 2u)
+      .arg("d", 0.5)
+      .arg("c", "literal")
+      .arg("s", std::string("string"));
+  EXPECT_EQ(obs::remarkCount(), 0u);
+  EXPECT_EQ(obs::remarksText(), "");
+  EXPECT_EQ(obs::remarksJsonl("p.ret"), "");
+  obs::clearRemarks();
+}
+
+TEST(ObsNoop, RemarkFilesAreEmptyButWritable) {
+  std::string Path = ::testing::TempDir() + "obs_noop_remarks.txt";
+  ASSERT_TRUE(obs::writeRemarksText(Path).ok());
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  EXPECT_EQ(In.peek(), std::ifstream::traits_type::eof());
+  std::remove(Path.c_str());
+  EXPECT_FALSE(obs::writeRemarksText("/nonexistent-dir/x/y.txt").ok());
+  EXPECT_FALSE(obs::writeRemarksJsonl("/nonexistent-dir/x/y.jsonl", "p").ok());
 }
 
 TEST(ObsNoop, TraceOutputIsEmptyButValid) {

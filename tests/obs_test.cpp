@@ -76,6 +76,69 @@ TEST_F(Obs, JsonRoundTrip) {
   }
 }
 
+TEST_F(Obs, JsonEscapesControlCharacters) {
+  // Every control character must round-trip: short escapes where JSON has
+  // them, \u00XX otherwise.
+  std::string AllControls;
+  for (char C = 1; C < 0x20; ++C)
+    AllControls.push_back(C);
+  AllControls.push_back('\0'); // keep the embedded NUL off index 0
+  AllControls = std::string("a") + AllControls + "z";
+
+  std::string Quoted = Json::quote(AllControls);
+  EXPECT_NE(Quoted.find("\\n"), std::string::npos);
+  EXPECT_NE(Quoted.find("\\t"), std::string::npos);
+  EXPECT_NE(Quoted.find("\\u0000"), std::string::npos);
+  EXPECT_NE(Quoted.find("\\u001f"), std::string::npos);
+  // Nothing below 0x20 may appear raw inside the literal.
+  for (char C : Quoted)
+    EXPECT_GE(static_cast<unsigned char>(C), 0x20u);
+
+  Result<Json> Back = Json::parse(Quoted);
+  ASSERT_TRUE(Back.ok()) << Back.error();
+  EXPECT_EQ(Back.value().asString(), AllControls);
+}
+
+TEST_F(Obs, JsonParsesUnicodeEscapes) {
+  // BMP escape, raw UTF-8 pass-through, and a surrogate pair.
+  Result<Json> Bmp = Json::parse("\"caf\\u00e9\"");
+  ASSERT_TRUE(Bmp.ok()) << Bmp.error();
+  EXPECT_EQ(Bmp.value().asString(), "caf\xC3\xA9");
+
+  Result<Json> Pair = Json::parse("\"\\ud83d\\ude00\"");
+  ASSERT_TRUE(Pair.ok()) << Pair.error();
+  EXPECT_EQ(Pair.value().asString(), "\xF0\x9F\x98\x80");
+
+  // A decoded escape must survive a quote/parse round-trip as raw UTF-8.
+  Result<Json> Again = Json::parse(Json::quote(Pair.value().asString()));
+  ASSERT_TRUE(Again.ok()) << Again.error();
+  EXPECT_EQ(Again.value().asString(), "\xF0\x9F\x98\x80");
+
+  EXPECT_FALSE(Json::parse("\"\\ud83d\"").ok()) << "lone high surrogate";
+  EXPECT_FALSE(Json::parse("\"\\ude00\"").ok()) << "lone low surrogate";
+  EXPECT_FALSE(Json::parse("\"\\ud83d\\u0041\"").ok())
+      << "high surrogate without a low one";
+  EXPECT_FALSE(Json::parse("\"\\u12g4\"").ok()) << "bad hex digit";
+}
+
+TEST_F(Obs, JsonPassesInvalidUtf8BytesThrough) {
+  // The writer is byte-transparent above 0x1F: invalid UTF-8 (overlong,
+  // truncated, stray continuation) must round-trip byte-exact rather than
+  // be replaced or rejected, so remark text can carry arbitrary bytes.
+  const std::string Sequences[] = {
+      std::string("\x80"),         // stray continuation byte
+      std::string("\xC3"),         // truncated two-byte sequence
+      std::string("\xC0\xAF"),     // overlong encoding
+      std::string("\xFF\xFE"),     // bytes never valid in UTF-8
+      std::string("ok \xF0\x9F\x98\x80 then bad \xED\xA0\x80 end"),
+  };
+  for (const std::string &S : Sequences) {
+    Result<Json> Back = Json::parse(Json::quote(S));
+    ASSERT_TRUE(Back.ok()) << Back.error();
+    EXPECT_EQ(Back.value().asString(), S);
+  }
+}
+
 TEST_F(Obs, JsonParserRejectsGarbage) {
   EXPECT_FALSE(Json::parse("").ok());
   EXPECT_FALSE(Json::parse("{").ok());

@@ -5,14 +5,18 @@
 //===----------------------------------------------------------------------===//
 ///
 /// Validates the JSON documents the compiler emits (trace files, stats
-/// reports, benchmark series) so CTest can gate on their shape, not just
-/// on reticlec's exit code.
+/// reports, remark streams, benchmark series) so CTest can gate on their
+/// shape, not just on reticlec's exit code.
 ///
 /// Usage:
 ///   json_check [checks] <file.json>
+///     --jsonl               treat the file as JSON Lines: every non-empty
+///                           line must parse; path checks pass when ANY
+///                           line satisfies them
 ///     --require=<a.b.c>     dotted path must exist
 ///     --nonempty=<a.b.c>    array or object at path must have elements
 ///     --has-event=<name>    some traceEvents entry has "name": <name>
+///     --has-remark=<stage>  (jsonl) some record has "stage": <stage>
 ///
 /// The bare invocation only checks that the file parses as strict JSON.
 ///
@@ -57,24 +61,37 @@ const Json *lookup(const Json &Root, const std::string &DottedPath) {
   return Node;
 }
 
+bool anyLookup(const std::vector<Json> &Docs, const std::string &Path) {
+  for (const Json &Doc : Docs)
+    if (lookup(Doc, Path))
+      return true;
+  return false;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   std::string FilePath;
-  std::vector<std::string> Required, NonEmpty, Events;
+  std::vector<std::string> Required, NonEmpty, Events, Remarks;
+  bool Jsonl = false;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
-    if (Arg.rfind("--require=", 0) == 0)
+    if (Arg == "--jsonl")
+      Jsonl = true;
+    else if (Arg.rfind("--require=", 0) == 0)
       Required.push_back(Arg.substr(10));
     else if (Arg.rfind("--nonempty=", 0) == 0)
       NonEmpty.push_back(Arg.substr(11));
     else if (Arg.rfind("--has-event=", 0) == 0)
       Events.push_back(Arg.substr(12));
+    else if (Arg.rfind("--has-remark=", 0) == 0)
+      Remarks.push_back(Arg.substr(13));
     else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr,
-                   "usage: %s [--require=<path>] [--nonempty=<path>] "
-                   "[--has-event=<name>] <file.json>\n",
+                   "usage: %s [--jsonl] [--require=<path>] "
+                   "[--nonempty=<path>] [--has-event=<name>] "
+                   "[--has-remark=<stage>] <file.json>\n",
                    Argv[0]);
       return 2;
     } else
@@ -91,24 +108,53 @@ int main(int Argc, char **Argv) {
   std::stringstream Buffer;
   Buffer << In.rdbuf();
 
-  Result<Json> Doc = Json::parse(Buffer.str());
-  if (!Doc)
-    return fail(FilePath, "malformed JSON: " + Doc.error());
+  // Parse: either one document, or one document per non-empty line.
+  std::vector<Json> Docs;
+  if (Jsonl) {
+    std::istringstream Lines(Buffer.str());
+    std::string Line;
+    size_t LineNo = 0;
+    while (std::getline(Lines, Line)) {
+      ++LineNo;
+      if (Line.find_first_not_of(" \t\r") == std::string::npos)
+        continue;
+      Result<Json> Doc = Json::parse(Line);
+      if (!Doc)
+        return fail(FilePath, "line " + std::to_string(LineNo) +
+                                  ": malformed JSON: " + Doc.error());
+      Docs.push_back(Doc.take());
+    }
+  } else {
+    Result<Json> Doc = Json::parse(Buffer.str());
+    if (!Doc)
+      return fail(FilePath, "malformed JSON: " + Doc.error());
+    Docs.push_back(Doc.take());
+  }
 
   for (const std::string &Path : Required)
-    if (!lookup(Doc.value(), Path))
+    if (!anyLookup(Docs, Path))
       return fail(FilePath, "missing required key '" + Path + "'");
 
   for (const std::string &Path : NonEmpty) {
-    const Json *Node = lookup(Doc.value(), Path);
-    if (!Node)
+    bool Found = false, NonEmptyHit = false;
+    for (const Json &Doc : Docs) {
+      const Json *Node = lookup(Doc, Path);
+      if (!Node)
+        continue;
+      Found = true;
+      if (Node->size() != 0) {
+        NonEmptyHit = true;
+        break;
+      }
+    }
+    if (!Found)
       return fail(FilePath, "missing required key '" + Path + "'");
-    if (Node->size() == 0)
+    if (!NonEmptyHit)
       return fail(FilePath, "'" + Path + "' is empty");
   }
 
   if (!Events.empty()) {
-    const Json *Trace = Doc.value().find("traceEvents");
+    const Json *Trace = Docs.front().find("traceEvents");
     if (!Trace || !Trace->isArray())
       return fail(FilePath, "no traceEvents array");
     for (const std::string &Name : Events) {
@@ -123,6 +169,19 @@ int main(int Argc, char **Argv) {
       if (!Found)
         return fail(FilePath, "no trace event named '" + Name + "'");
     }
+  }
+
+  for (const std::string &Stage : Remarks) {
+    bool Found = false;
+    for (const Json &Doc : Docs) {
+      const Json *S = Doc.isObject() ? Doc.find("stage") : nullptr;
+      if (S && S->isString() && S->asString() == Stage) {
+        Found = true;
+        break;
+      }
+    }
+    if (!Found)
+      return fail(FilePath, "no remark from stage '" + Stage + "'");
   }
   return 0;
 }

@@ -8,8 +8,9 @@
 /// reads an intermediate-language program and emits assembly, placed
 /// assembly, or structural Verilog with layout annotations. Also exposes
 /// the behavioral-Verilog translation backend used to build the paper's
-/// baselines, the built-in target description, and the front-end
-/// optimization passes of Section 8.2.
+/// baselines, the built-in target description, the front-end optimization
+/// passes of Section 8.2, and the introspection surface: per-stage
+/// program snapshots, optimization remarks, and a placement floorplan.
 ///
 /// Usage:
 ///   reticlec [options] <input.ret>
@@ -19,20 +20,34 @@
 ///     --no-cascade                           skip the cascade rewrite
 ///     --no-shrink                            skip placement shrinking
 ///     --stats                                per-stage report on stderr
-///     --stats-json=<file>                    unified stats document
-///     --trace=<file>                         Chrome/Perfetto trace of the run
+///     --stats-json=<file|->                  unified stats document
+///     --trace=<file|->                       Chrome/Perfetto trace of the run
+///     --dump-after-all=<dir>                 write every stage snapshot + manifest
+///     --dump-after=<stage>                   print one stage's program to stderr
+///                                            (parse, isel, cascade, place, codegen)
+///     --remarks=<file|->                     human-readable optimization remarks
+///     --remarks-json=<file|->                remarks as JSONL (reticle-remarks-v1)
+///     --floorplan=<file|->                   placement floorplan; SVG by default,
+///                                            ASCII for "-" or a .txt path
 ///     --dump-target                          print the UltraScale TDL
 ///     --version                              print the version and exit
 ///     -o <file>                              write output to a file
+///
+/// Exit codes: 0 success, 1 the input failed to parse or compile, 2 the
+/// invocation itself was wrong (unknown flag or value, missing input,
+/// unreadable input file, unwritable output file).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/Compiler.h"
 #include "core/Stats.h"
 #include "ir/Parser.h"
+#include "obs/Remarks.h"
 #include "obs/Report.h"
+#include "obs/Snapshots.h"
 #include "obs/Telemetry.h"
 #include "opt/Transforms.h"
+#include "place/Floorplan.h"
 #include "synth/Synth.h"
 #include "tdl/Ultrascale.h"
 
@@ -52,22 +67,58 @@ namespace {
 
 constexpr const char *EmitChoices = "asm, placed, verilog, behavioral";
 constexpr const char *DeviceChoices = "xczu3eg, small, tiny";
+constexpr const char *StageChoices = "parse, isel, cascade, place, codegen";
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--emit=asm|placed|verilog|behavioral] "
                "[--device=xczu3eg|small|tiny] [-O] [--no-cascade] "
-               "[--no-shrink] [--stats] [--stats-json=<file>] "
-               "[--trace=<file>] [-o <file>] <input.ret>\n"
+               "[--no-shrink] [--stats] [--stats-json=<file|->] "
+               "[--trace=<file|->] [--dump-after-all=<dir>] "
+               "[--dump-after=<stage>] [--remarks=<file|->] "
+               "[--remarks-json=<file|->] [--floorplan=<file|->] "
+               "[-o <file>] <input.ret>\n"
                "       %s --dump-target\n"
                "       %s --version\n",
                Argv0, Argv0, Argv0);
   return 2;
 }
 
-int fatal(const std::string &Message) {
+/// The invocation itself was wrong: bad flag value, unreadable input,
+/// unwritable output. Distinct from a program that fails to compile.
+int usageError(const std::string &Message) {
+  std::fprintf(stderr, "reticlec: error: %s\n", Message.c_str());
+  return 2;
+}
+
+/// The input program failed to parse or compile.
+int compileError(const std::string &Message) {
   std::fprintf(stderr, "reticlec: error: %s\n", Message.c_str());
   return 1;
+}
+
+bool isKnownStage(const std::string &Stage) {
+  return Stage == "parse" || Stage == "isel" || Stage == "cascade" ||
+         Stage == "place" || Stage == "codegen";
+}
+
+bool endsWith(const std::string &Text, const char *Suffix) {
+  size_t N = std::strlen(Suffix);
+  return Text.size() >= N &&
+         Text.compare(Text.size() - N, N, Suffix) == 0;
+}
+
+/// Writes \p Text to \p Path, or to stdout when \p Path is "-".
+Status writeTextOutput(const std::string &Path, const std::string &Text) {
+  if (Path == "-") {
+    std::fputs(Text.c_str(), stdout);
+    return Status::success();
+  }
+  std::ofstream Out(Path);
+  if (!Out)
+    return Status::failure("cannot write '" + Path + "'");
+  Out << Text;
+  return Status::success();
 }
 
 } // namespace
@@ -79,6 +130,11 @@ int main(int Argc, char **Argv) {
   std::string OutputPath;
   std::string StatsJsonPath;
   std::string TracePath;
+  std::string DumpDir;
+  std::string DumpStage;
+  std::string RemarksPath;
+  std::string RemarksJsonPath;
+  std::string FloorplanPath;
   bool Optimize = false;
   bool Stats = false;
   core::CompileOptions Options;
@@ -100,11 +156,32 @@ int main(int Argc, char **Argv) {
     } else if (Arg.rfind("--stats-json=", 0) == 0) {
       StatsJsonPath = Arg.substr(13);
       if (StatsJsonPath.empty())
-        return fatal("--stats-json= requires a file path");
+        return usageError("--stats-json= requires a file path or '-'");
     } else if (Arg.rfind("--trace=", 0) == 0) {
       TracePath = Arg.substr(8);
       if (TracePath.empty())
-        return fatal("--trace= requires a file path");
+        return usageError("--trace= requires a file path or '-'");
+    } else if (Arg.rfind("--dump-after-all=", 0) == 0) {
+      DumpDir = Arg.substr(17);
+      if (DumpDir.empty())
+        return usageError("--dump-after-all= requires a directory");
+    } else if (Arg.rfind("--dump-after=", 0) == 0) {
+      DumpStage = Arg.substr(13);
+      if (!isKnownStage(DumpStage))
+        return usageError("unknown stage '" + DumpStage +
+                          "' (valid: " + std::string(StageChoices) + ")");
+    } else if (Arg.rfind("--remarks=", 0) == 0) {
+      RemarksPath = Arg.substr(10);
+      if (RemarksPath.empty())
+        return usageError("--remarks= requires a file path or '-'");
+    } else if (Arg.rfind("--remarks-json=", 0) == 0) {
+      RemarksJsonPath = Arg.substr(15);
+      if (RemarksJsonPath.empty())
+        return usageError("--remarks-json= requires a file path or '-'");
+    } else if (Arg.rfind("--floorplan=", 0) == 0) {
+      FloorplanPath = Arg.substr(12);
+      if (FloorplanPath.empty())
+        return usageError("--floorplan= requires a file path or '-'");
     } else if (Arg == "-O") {
       Optimize = true;
     } else if (Arg == "--no-cascade") {
@@ -117,7 +194,7 @@ int main(int Argc, char **Argv) {
       if (++I >= Argc)
         return usage(Argv[0]);
       OutputPath = Argv[I];
-    } else if (!Arg.empty() && Arg[0] == '-') {
+    } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
       std::fprintf(stderr, "reticlec: unknown option '%s'\n", Arg.c_str());
       return usage(Argv[0]);
     } else if (InputPath.empty()) {
@@ -131,8 +208,8 @@ int main(int Argc, char **Argv) {
 
   if (Emit != "asm" && Emit != "placed" && Emit != "verilog" &&
       Emit != "behavioral")
-    return fatal("unknown --emit kind '" + Emit +
-                 "' (valid: " + EmitChoices + ")");
+    return usageError("unknown --emit kind '" + Emit +
+                      "' (valid: " + EmitChoices + ")");
 
   if (DeviceName == "xczu3eg")
     Options.Dev = device::Device::xczu3eg();
@@ -141,21 +218,39 @@ int main(int Argc, char **Argv) {
   else if (DeviceName == "tiny")
     Options.Dev = device::Device::tiny();
   else
-    return fatal("unknown --device '" + DeviceName +
-                 "' (valid: " + DeviceChoices + ")");
+    return usageError("unknown --device '" + DeviceName +
+                      "' (valid: " + DeviceChoices + ")");
+
+  if (Emit == "behavioral") {
+    // Everything below observes the Figure-7 pipeline, which the
+    // behavioral translation bypasses entirely.
+    const std::pair<const char *, const std::string *> PipelineOnly[] = {
+        {"--stats-json", &StatsJsonPath},   {"--dump-after-all", &DumpDir},
+        {"--dump-after", &DumpStage},       {"--remarks", &RemarksPath},
+        {"--remarks-json", &RemarksJsonPath},
+        {"--floorplan", &FloorplanPath},
+    };
+    for (const auto &[Flag, Value] : PipelineOnly)
+      if (!Value->empty())
+        return usageError(std::string(Flag) +
+                          " requires a pipeline emit kind "
+                          "(asm, placed, verilog)");
+  }
 
   if (!TracePath.empty())
     obs::enableTracing();
+  if (!RemarksPath.empty() || !RemarksJsonPath.empty())
+    obs::enableRemarks();
 
   std::ifstream In(InputPath);
   if (!In)
-    return fatal("cannot open '" + InputPath + "'");
+    return usageError("cannot open '" + InputPath + "'");
   std::stringstream Buffer;
   Buffer << In.rdbuf();
 
   Result<ir::Function> Fn = ir::parseFunction(Buffer.str());
   if (!Fn)
-    return fatal(InputPath + ": " + Fn.error());
+    return compileError(InputPath + ": " + Fn.error());
 
   if (Optimize) {
     unsigned Folded = opt::constantFold(Fn.value());
@@ -168,16 +263,22 @@ int main(int Argc, char **Argv) {
                    Folded, Dead, Vectors);
   }
 
+  obs::SnapshotSink Snapshots;
+  bool WantSnapshots = !DumpDir.empty() || !DumpStage.empty();
+  if (WantSnapshots) {
+    // The "parse" snapshot reflects the program the pipeline actually
+    // consumes, i.e. after any -O front-end passes.
+    Snapshots.add("parse", "ir", Fn.value().str());
+    Options.Snapshots = &Snapshots;
+  }
+
   std::string Output;
   if (Emit == "behavioral") {
-    if (!StatsJsonPath.empty())
-      return fatal("--stats-json requires a pipeline emit kind "
-                   "(asm, placed, verilog)");
     Output = synth::emitBehavioral(Fn.value(), synth::Mode::Hint).str();
   } else {
     Result<core::CompileResult> R = core::compile(Fn.value(), Options);
     if (!R)
-      return fatal(R.error());
+      return compileError(R.error());
     if (Emit == "asm")
       Output = R.value().Asm.str();
     else if (Emit == "placed")
@@ -188,14 +289,59 @@ int main(int Argc, char **Argv) {
     obs::Json Doc = core::statsJson(R.value(), InputPath);
     if (Stats)
       obs::printTable(Doc, stderr);
-    if (!StatsJsonPath.empty())
-      if (Status S = obs::writeJsonFile(Doc, StatsJsonPath); !S)
-        return fatal(S.error());
+    if (!StatsJsonPath.empty()) {
+      if (StatsJsonPath == "-") {
+        std::fputs((Doc.str(2) + "\n").c_str(), stdout);
+      } else if (Status S = obs::writeJsonFile(Doc, StatsJsonPath); !S) {
+        return usageError(S.error());
+      }
+    }
+
+    if (!DumpDir.empty())
+      if (Status S = obs::writeSnapshots(Snapshots, DumpDir, InputPath); !S)
+        return usageError(S.error());
+    if (!DumpStage.empty()) {
+      const obs::StageSnapshot *Snap = Snapshots.find(DumpStage);
+      if (!Snap)
+        return compileError("no snapshot recorded for stage '" + DumpStage +
+                            "'");
+      std::fprintf(stderr, "; after %s\n", Snap->Stage.c_str());
+      std::fputs(Snap->Text.c_str(), stderr);
+    }
+
+    if (!FloorplanPath.empty()) {
+      bool Ascii = FloorplanPath == "-" || endsWith(FloorplanPath, ".txt");
+      std::string Plan =
+          Ascii ? place::floorplanAscii(R.value().Placed, Options.Dev)
+                : place::floorplanSvg(R.value().Placed, Options.Dev);
+      if (Status S = writeTextOutput(FloorplanPath, Plan); !S)
+        return usageError(S.error());
+    }
   }
 
-  if (!TracePath.empty())
-    if (Status S = obs::writeTrace(TracePath); !S)
-      return fatal(S.error());
+  if (!RemarksPath.empty()) {
+    if (RemarksPath == "-") {
+      std::fputs(obs::remarksText().c_str(), stdout);
+    } else if (Status S = obs::writeRemarksText(RemarksPath); !S) {
+      return usageError(S.error());
+    }
+  }
+  if (!RemarksJsonPath.empty()) {
+    if (RemarksJsonPath == "-") {
+      std::fputs(obs::remarksJsonl(InputPath).c_str(), stdout);
+    } else if (Status S = obs::writeRemarksJsonl(RemarksJsonPath, InputPath);
+               !S) {
+      return usageError(S.error());
+    }
+  }
+
+  if (!TracePath.empty()) {
+    if (TracePath == "-") {
+      std::fputs((obs::traceJson() + "\n").c_str(), stdout);
+    } else if (Status S = obs::writeTrace(TracePath); !S) {
+      return usageError(S.error());
+    }
+  }
 
   if (OutputPath.empty()) {
     std::fputs(Output.c_str(), stdout);
@@ -203,7 +349,7 @@ int main(int Argc, char **Argv) {
   }
   std::ofstream Out(OutputPath);
   if (!Out)
-    return fatal("cannot write '" + OutputPath + "'");
+    return usageError("cannot write '" + OutputPath + "'");
   Out << Output;
   return 0;
 }
