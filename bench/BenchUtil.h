@@ -51,7 +51,7 @@ inline RunResult runReticle(const ir::Function &Fn,
     return Out;
   }
   Out.Ok = true;
-  Out.CompileMs = R.value().TotalMs;
+  Out.CompileMs = R.value().Times.TotalMs;
   Out.CriticalNs = R.value().Timing.CriticalPathNs;
   Out.FmaxMhz = R.value().Timing.FmaxMhz;
   Out.Luts = R.value().Util.Luts;
@@ -134,7 +134,7 @@ public:
                   const core::CompileResult &R) {
     RunResult Run;
     Run.Ok = true;
-    Run.CompileMs = R.TotalMs;
+    Run.CompileMs = R.Times.TotalMs;
     Run.CriticalNs = R.Timing.CriticalPathNs;
     Run.FmaxMhz = R.Timing.FmaxMhz;
     Run.Luts = R.Util.Luts;

@@ -87,8 +87,8 @@ int main() {
     std::printf("  max row used: shrunk %u, unshrunk %u; place time "
                 "%.1f ms vs %.1f ms (%u vs %u solve(s))\n",
                 maxRowUsed(With.value().Placed),
-                maxRowUsed(Without.value().Placed), With.value().PlaceMs,
-                Without.value().PlaceMs, With.value().PlaceStats.Solves,
+                maxRowUsed(Without.value().Placed), With.value().Times.PlaceMs,
+                Without.value().Times.PlaceMs, With.value().PlaceStats.Solves,
                 Without.value().PlaceStats.Solves);
     check(maxRowUsed(With.value().Placed) <=
               maxRowUsed(Without.value().Placed),

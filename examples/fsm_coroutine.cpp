@@ -56,7 +56,7 @@ int main() {
               R.value().Util.Luts, R.value().Util.Ffs, R.value().Util.Dsps);
   std::printf("critical path %.2f ns (%.1f MHz), compile %.1f ms\n",
               R.value().Timing.CriticalPathNs, R.value().Timing.FmaxMhz,
-              R.value().TotalMs);
+              R.value().Times.TotalMs);
 
   // Every compute instruction landed on a LUT slice.
   for (const rasm::AsmInstr &I : R.value().Placed.body())

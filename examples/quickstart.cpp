@@ -75,6 +75,6 @@ int main() {
   std::printf("  critical path %.2f ns (%.1f MHz)\n",
               C.Timing.CriticalPathNs, C.Timing.FmaxMhz);
   std::printf("  compile %.2f ms (select %.2f, place %.2f, codegen %.2f)\n",
-              C.TotalMs, C.SelectMs, C.PlaceMs, C.CodegenMs);
+              C.Times.TotalMs, C.Times.SelectMs, C.Times.PlaceMs, C.Times.CodegenMs);
   return 0;
 }

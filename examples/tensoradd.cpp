@@ -37,7 +37,7 @@ int main() {
   std::printf("reticle:     %4u DSPs, %5u LUTs, critical %.2f ns, "
               "compile %7.1f ms\n",
               Ret.value().Util.Dsps, Ret.value().Util.Luts,
-              Ret.value().Timing.CriticalPathNs, Ret.value().TotalMs);
+              Ret.value().Timing.CriticalPathNs, Ret.value().Times.TotalMs);
 
   // The behavioral baseline in both flavors.
   for (synth::Mode Mode : {synth::Mode::Base, synth::Mode::Hint}) {

@@ -1,8 +1,12 @@
 #!/bin/sh
 # Tier-1 verification: configure, build, run the full test suite, then
 # drive the compiler end to end and validate every machine-readable
-# artifact it emits (stats, trace, remarks, snapshot manifest) with
-# json_check. Run from anywhere; builds into <repo>/build.
+# artifact it emits (stats, trace, remarks, snapshot manifest, batch
+# summary) with json_check. After the primary build, two hardening
+# builds run: one with the telemetry layer compiled out
+# (-DRETICLE_NO_TELEMETRY=ON) and one under ThreadSanitizer exercising
+# the concurrent batch-compile path. Run from anywhere; builds into
+# <repo>/build (plus build-notelem/ and build-tsan/ siblings).
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -30,16 +34,54 @@ trap 'rm -rf "$out"' EXIT
     "$repo/examples/programs/mac.ret"
 
 "$build/tools/json_check" --require=schema --require=program \
-    --require=timings.total_ms --require=place.sat.decisions \
+    --require=timings.total_ms --require=timings.parse_ms \
+    --require=place.sat.decisions \
     --require=utilization.luts "$out/stats.json"
 "$build/tools/json_check" --require=traceEvents "$out/trace.json"
 "$build/tools/json_check" --require=schema \
-    --require=stages.parse.file --require=stages.isel.file \
+    --require=stages.parse.file --require=stages.opt.file \
+    --require=stages.isel.file \
     --require=stages.cascade.file --require=stages.place.file \
     --require=stages.codegen.file "$out/stages/manifest.json"
 # Remark contents exist only when telemetry is compiled in; the stream
 # must be valid JSONL either way (empty counts as valid).
 "$build/tools/json_check" --jsonl "$out/remarks.jsonl"
 grep -q "</svg>" "$out/plan.svg"
+
+echo "== batch compile end to end =="
+"$build/tools/reticlec" --device=small --jobs="$jobs" \
+    --out-dir="$out/batch" \
+    --stats-json="$out/batch/summary.json" \
+    "$repo/examples/programs/mac.ret" \
+    "$repo/examples/programs/dot3.ret" \
+    "$repo/examples/programs/scalar_adds.ret"
+"$build/tools/json_check" --batch-summary "$out/batch/summary.json"
+for stem in mac dot3 scalar_adds; do
+    test -s "$out/batch/$stem.v"
+    "$build/tools/json_check" --require=schema \
+        "$out/batch/$stem.stats.json"
+done
+
+echo "== telemetry-free build (-DRETICLE_NO_TELEMETRY=ON) =="
+cmake -B "$repo/build-notelem" -S "$repo" -DRETICLE_NO_TELEMETRY=ON
+cmake --build "$repo/build-notelem" -j"$jobs"
+(cd "$repo/build-notelem" && ctest --output-on-failure -j"$jobs")
+
+echo "== ThreadSanitizer build: concurrent batch compile =="
+cmake -B "$repo/build-tsan" -S "$repo" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build "$repo/build-tsan" -j"$jobs" \
+    --target batch_race_check reticlec json_check
+"$repo/build-tsan/tests/batch_race_check"
+"$repo/build-tsan/tools/reticlec" --device=small --jobs=4 \
+    --out-dir="$out/batch-tsan" \
+    --stats-json="$out/batch-tsan/summary.json" \
+    "$repo/examples/programs/mac.ret" \
+    "$repo/examples/programs/dot3.ret" \
+    "$repo/examples/programs/scalar_adds.ret"
+"$repo/build-tsan/tools/json_check" --batch-summary \
+    "$out/batch-tsan/summary.json"
 
 echo "ok: build, tests, and all emitted artifacts check out"

@@ -628,16 +628,15 @@ Result<Module> Emitter::run() {
 Result<verilog::Module> reticle::codegen::generate(const AsmProgram &Placed,
                                                    const tdl::Target &Target,
                                                    const device::Device &Dev,
-                                                   Utilization *Util) {
-  static obs::Counter &Runs = obs::counter("codegen.generates");
-  obs::Span Sp("codegen.generate");
+                                                   Utilization *Util,
+                                                   const obs::Context &Ctx) {
+  ++Ctx.counter("codegen.generates");
+  obs::Span Sp(Ctx, "codegen.generate");
   Sp.arg("instrs", static_cast<uint64_t>(Placed.body().size()));
-  ++Runs;
   Emitter E(Placed, Target, Dev);
   Result<Module> M = E.run();
   if (M) {
-    static obs::Counter &Insts = obs::counter("codegen.instances");
-    Insts += M.value().items().size();
+    Ctx.counter("codegen.instances") += M.value().items().size();
     Sp.arg("items", static_cast<uint64_t>(M.value().items().size()));
   }
   if (M && Util) {

@@ -28,6 +28,7 @@
 #define RETICLE_CODEGEN_CODEGEN_H
 
 #include "device/Device.h"
+#include "obs/Context.h"
 #include "rasm/Asm.h"
 #include "support/Result.h"
 #include "tdl/Target.h"
@@ -51,7 +52,8 @@ struct Utilization {
 Result<verilog::Module> generate(const rasm::AsmProgram &Placed,
                                  const tdl::Target &Target,
                                  const device::Device &Dev,
-                                 Utilization *Util = nullptr);
+                                 Utilization *Util = nullptr,
+                                 const obs::Context &Ctx = obs::defaultContext());
 
 } // namespace codegen
 } // namespace reticle

@@ -349,8 +349,9 @@ Result<bool> sweep(const Module &M, SignalTable &Signals,
 } // namespace
 
 Result<interp::Trace> reticle::codegen::simulate(const Module &M,
-                                                 const interp::Trace &Input) {
-  obs::Span Sp("sim.simulate");
+                                                 const interp::Trace &Input,
+                                                 const obs::Context &Ctx) {
+  obs::Span Sp(Ctx, "sim.simulate");
   Sp.arg("module", M.name());
   Sp.arg("cycles", static_cast<uint64_t>(Input.size()));
   using TraceT = interp::Trace;
@@ -383,7 +384,7 @@ Result<interp::Trace> reticle::codegen::simulate(const Module &M,
       State.DspP[Index] = fromUint(paramOf(I, "PINIT", 0), 48);
   }
 
-  static obs::Counter &Cycles = obs::counter("sim.cycles");
+  obs::Counter &Cycles = Ctx.counter("sim.cycles");
   interp::Trace Output;
   for (size_t Cycle = 0; Cycle < Input.size(); ++Cycle) {
     ++Cycles;

@@ -23,6 +23,7 @@
 #define RETICLE_CODEGEN_NETLISTSIM_H
 
 #include "interp/Trace.h"
+#include "obs/Context.h"
 #include "support/Result.h"
 #include "verilog/Ast.h"
 
@@ -41,7 +42,8 @@ namespace codegen {
 /// and produced through their flattened bit representation, so vector
 /// ports can be driven with vector-typed values directly.
 Result<interp::Trace> simulate(const verilog::Module &Module,
-                               const interp::Trace &Input);
+                               const interp::Trace &Input,
+                               const obs::Context &Ctx = obs::defaultContext());
 
 } // namespace codegen
 } // namespace reticle

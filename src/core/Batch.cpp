@@ -1,0 +1,119 @@
+//===- core/Batch.cpp - Parallel batch compilation ------------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Batch.h"
+
+#include "core/Stats.h"
+#include "tdl/Ultrascale.h"
+
+#include <atomic>
+#include <thread>
+
+using namespace reticle;
+using namespace reticle::core;
+
+unsigned reticle::core::batchJobCount(const BatchOptions &Options,
+                                      size_t InputCount) {
+  unsigned Jobs =
+      Options.Jobs ? Options.Jobs
+                   : std::max(1u, std::thread::hardware_concurrency());
+  if (InputCount < Jobs)
+    Jobs = static_cast<unsigned>(InputCount);
+  return std::max(1u, Jobs);
+}
+
+std::vector<BatchItem>
+reticle::core::compileBatch(const std::vector<BatchInput> &Inputs,
+                            const BatchOptions &Options) {
+  // Touch the lazily-built singleton targets before any worker does, so
+  // the workers only ever read them.
+  CompileOptions PerCompile = Options.Options;
+  PerCompile.Snapshots = nullptr; // a shared sink would race; see header
+  if (!PerCompile.Target)
+    PerCompile.Target = &tdl::ultrascale();
+
+  std::vector<BatchItem> Items;
+  Items.reserve(Inputs.size());
+  for (const BatchInput &In : Inputs) {
+    BatchItem Item;
+    Item.Name = In.Name;
+    Item.Session = std::make_unique<CompileSession>();
+    if (Options.CaptureSnapshots)
+      Item.Session->captureSnapshots();
+    if (Options.EnableRemarks)
+      Item.Session->remarks().enable();
+    if (Options.EnableTracing)
+      Item.Session->telemetry().enableTracing();
+    Items.push_back(std::move(Item));
+  }
+
+  std::atomic<size_t> NextInput{0};
+  auto Work = [&] {
+    for (size_t I = NextInput.fetch_add(1, std::memory_order_relaxed);
+         I < Items.size();
+         I = NextInput.fetch_add(1, std::memory_order_relaxed))
+      Items[I].Outcome.emplace(compileSource(
+          Inputs[I].Source, Inputs[I].Name, PerCompile, *Items[I].Session));
+  };
+
+  unsigned Jobs = batchJobCount(Options, Inputs.size());
+  if (Jobs <= 1) {
+    Work();
+    return Items;
+  }
+  std::vector<std::thread> Pool;
+  Pool.reserve(Jobs);
+  for (unsigned T = 0; T < Jobs; ++T)
+    Pool.emplace_back(Work);
+  for (std::thread &T : Pool)
+    T.join();
+  return Items;
+}
+
+obs::Json reticle::core::batchStatsJson(const std::vector<BatchItem> &Items,
+                                        unsigned Jobs) {
+  using obs::Json;
+  Json Doc = Json::object();
+  Doc.set("schema", "reticle-batch-v1");
+  Doc.set("inputs", static_cast<uint64_t>(Items.size()));
+
+  uint64_t Succeeded = 0, Failed = 0;
+  double TotalMs = 0.0;
+  uint64_t Luts = 0, Dsps = 0;
+  Json Programs = Json::array();
+  for (const BatchItem &Item : Items) {
+    Json Entry = Json::object();
+    Entry.set("program", Item.Name);
+    if (Item.ok()) {
+      ++Succeeded;
+      const CompileResult &R = Item.Outcome->value();
+      TotalMs += R.Times.TotalMs;
+      Luts += R.Util.Luts;
+      Dsps += R.Util.Dsps;
+      Entry.set("status", "ok");
+      Entry.set("stats",
+                statsJson(R, Item.Name, Item.Session->context()));
+    } else {
+      ++Failed;
+      Entry.set("status", "error");
+      Entry.set("error",
+                Item.Outcome ? Item.Outcome->error()
+                             : std::string("not compiled"));
+    }
+    Programs.push(std::move(Entry));
+  }
+  Doc.set("succeeded", Succeeded);
+  Doc.set("failed", Failed);
+  Doc.set("jobs", static_cast<uint64_t>(Jobs));
+  Doc.set("programs", std::move(Programs));
+
+  Json Totals = Json::object();
+  Totals.set("total_ms", TotalMs);
+  Totals.set("luts", Luts);
+  Totals.set("dsps", Dsps);
+  Doc.set("totals", std::move(Totals));
+  return Doc;
+}

@@ -6,7 +6,8 @@
 
 #include "core/Compiler.h"
 
-#include "obs/Telemetry.h"
+#include "core/Pipeline.h"
+#include "core/Session.h"
 #include "tdl/Ultrascale.h"
 
 #include <chrono>
@@ -22,109 +23,56 @@ double msSince(std::chrono::steady_clock::time_point Start) {
       .count();
 }
 
+/// Runs \p State through the standard pipeline inside \p Session,
+/// wrapping it in the "compile" span and the total timer.
+Result<CompileResult> runStandardPipeline(CompileState &State,
+                                          const CompileOptions &Options,
+                                          CompileSession &Session,
+                                          bool FromSource) {
+  using ResultT = CompileResult;
+  const obs::Context &Ctx = Session.context();
+  ++Ctx.counter("core.compiles");
+  obs::Span TotalSp(Ctx, "compile");
+  TotalSp.arg("fn", State.Name);
+  auto Total = std::chrono::steady_clock::now();
+
+  Pipeline P = buildPipeline(Options, FromSource);
+  Status S = P.run(State, Session, Options);
+  State.Result.Times.TotalMs = msSince(Total);
+  if (!S)
+    return fail<ResultT>(S.error());
+  return std::move(State.Result);
+}
+
 } // namespace
 
 Result<CompileResult> reticle::core::compile(const ir::Function &Fn,
+                                             const CompileOptions &Options,
+                                             CompileSession &Session) {
+  CompileState State;
+  State.Name = Fn.name();
+  State.Fn = Fn;
+  State.Target = Options.Target ? Options.Target : &tdl::ultrascale();
+  return runStandardPipeline(State, Options, Session, /*FromSource=*/false);
+}
+
+Result<CompileResult> reticle::core::compile(const ir::Function &Fn,
                                              const CompileOptions &Options) {
-  using ResultT = CompileResult;
-  const tdl::Target &Target =
-      Options.Target ? *Options.Target : tdl::ultrascale();
-  CompileResult Out;
-  static obs::Counter &Compiles = obs::counter("core.compiles");
-  ++Compiles;
-  obs::Span TotalSp("compile");
-  TotalSp.arg("fn", Fn.name());
-  auto Total = std::chrono::steady_clock::now();
+  return compile(Fn, Options, CompileSession::global());
+}
 
-  // Instruction selection (Section 5.1).
-  auto Start = std::chrono::steady_clock::now();
-  {
-    obs::Span Sp("select");
-    Result<rasm::AsmProgram> Asm =
-        isel::select(Fn, Target, &Out.SelectStats);
-    if (!Asm)
-      return fail<ResultT>(Asm.error());
-    Out.Asm = Asm.take();
-    Sp.arg("trees", Out.SelectStats.NumTrees);
-    Sp.arg("asm_ops", Out.SelectStats.NumAsmOps);
-  }
-  Out.SelectMs = msSince(Start);
-  if (Options.Snapshots)
-    Options.Snapshots->add("isel", "asm", Out.Asm.str());
+Result<CompileResult> reticle::core::compileSource(
+    const std::string &Source, std::string_view Name,
+    const CompileOptions &Options, CompileSession &Session) {
+  CompileState State;
+  State.Name = std::string(Name);
+  State.Source = Source;
+  State.Target = Options.Target ? Options.Target : &tdl::ultrascale();
+  return runStandardPipeline(State, Options, Session, /*FromSource=*/true);
+}
 
-  // Layout optimization (Section 5.2): cascade chains are bounded by the
-  // DSP column height of the target device.
-  Start = std::chrono::steady_clock::now();
-  if (Options.Cascade) {
-    obs::Span Sp("cascade");
-    unsigned MaxChain =
-        std::max(2u, Options.Dev.maxHeight(ir::Resource::Dsp));
-    if (Status S = isel::cascadePass(Out.Asm, Target, MaxChain,
-                                     &Out.CascadeStats);
-        !S)
-      return fail<ResultT>(S.error());
-    Sp.arg("chains", Out.CascadeStats.Chains);
-    Sp.arg("rewritten", Out.CascadeStats.Rewritten);
-  }
-  Out.CascadeMs = msSince(Start);
-  // Recorded even with the pass disabled, so a snapshot directory always
-  // lists the same five stages and stage-to-stage diffs line up.
-  if (Options.Snapshots)
-    Options.Snapshots->add("cascade", "asm", Out.Asm.str());
-
-  // Instruction placement (Section 5.3).
-  Start = std::chrono::steady_clock::now();
-  {
-    obs::Span Sp("place");
-    place::PlacementOptions PlaceOptions;
-    PlaceOptions.Shrink = Options.Shrink;
-    Result<rasm::AsmProgram> Placed =
-        place::place(Out.Asm, Options.Dev, PlaceOptions, &Out.PlaceStats);
-    if (!Placed)
-      return fail<ResultT>(Placed.error());
-    Out.Placed = Placed.take();
-    // Defense in depth: independently re-verify the solver's answer against
-    // the constraint system of Section 5.3 before trusting it downstream.
-    if (Status S = place::checkPlacement(Out.Asm, Out.Placed, Options.Dev);
-        !S)
-      return fail<ResultT>("internal error: invalid placement accepted: " +
-                           S.error());
-    Sp.arg("solves", Out.PlaceStats.Solves);
-    Sp.arg("conflicts", Out.PlaceStats.Conflicts);
-    Sp.arg("max_col", Out.PlaceStats.MaxColumn);
-    Sp.arg("max_row", Out.PlaceStats.MaxRow);
-  }
-  Out.PlaceMs = msSince(Start);
-  if (Options.Snapshots)
-    Options.Snapshots->add("place", "asm", Out.Placed.str());
-
-  // Code generation (Section 5.4).
-  Start = std::chrono::steady_clock::now();
-  {
-    obs::Span Sp("codegen");
-    Result<verilog::Module> Mod =
-        codegen::generate(Out.Placed, Target, Options.Dev, &Out.Util);
-    if (!Mod)
-      return fail<ResultT>(Mod.error());
-    Out.Verilog = Mod.take();
-    Sp.arg("luts", Out.Util.Luts);
-    Sp.arg("dsps", Out.Util.Dsps);
-  }
-  Out.CodegenMs = msSince(Start);
-  if (Options.Snapshots)
-    Options.Snapshots->add("codegen", "verilog", Out.Verilog.str());
-
-  Start = std::chrono::steady_clock::now();
-  if (Options.Timing) {
-    obs::Span Sp("timing");
-    Result<timing::TimingReport> Report =
-        timing::analyzeAsm(Out.Placed, Target, Options.Dev);
-    if (!Report)
-      return fail<ResultT>(Report.error());
-    Out.Timing = Report.take();
-    Sp.arg("critical_path_ns", Out.Timing.CriticalPathNs);
-  }
-  Out.TimingMs = msSince(Start);
-  Out.TotalMs = msSince(Total);
-  return Out;
+Result<CompileResult> reticle::core::compileSource(
+    const std::string &Source, std::string_view Name,
+    const CompileOptions &Options) {
+  return compileSource(Source, Name, Options, CompileSession::global());
 }

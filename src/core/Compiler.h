@@ -10,6 +10,12 @@
 /// placement -> structural Verilog with layout annotations. Routing and
 /// bitstream generation remain with vendor tools, exactly as in the paper.
 ///
+/// Compilation runs as a core::Pipeline of named passes inside a
+/// core::CompileSession (see Pipeline.h, Session.h). The overloads without
+/// a session argument use CompileSession::global() and are what the tests,
+/// benchmarks, and single-input driver call; anything that compiles
+/// concurrently must pass its own session (see Batch.h).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RETICLE_CORE_COMPILER_H
@@ -28,8 +34,13 @@
 #include "timing/Timing.h"
 #include "verilog/Ast.h"
 
+#include <string>
+#include <string_view>
+
 namespace reticle {
 namespace core {
+
+class CompileSession;
 
 /// Pipeline configuration.
 struct CompileOptions {
@@ -37,6 +48,9 @@ struct CompileOptions {
   const tdl::Target *Target = nullptr;
   /// Device to place for; defaults to the paper's xczu3eg.
   device::Device Dev = device::Device::xczu3eg();
+  /// Run the front-end passes of Section 8.2 (fold, dce, vectorize)
+  /// before selection.
+  bool Optimize = false;
   /// Run the cascade layout optimization (Section 5.2).
   bool Cascade = true;
   /// Run the placement shrinking passes (Section 5.3).
@@ -44,10 +58,30 @@ struct CompileOptions {
   /// Run static timing analysis on the placed result.
   bool Timing = true;
   /// When non-null, the pipeline records the program text after each stage
-  /// (isel, cascade, place, codegen) into this sink. The driver owns the
-  /// sink and typically adds a "parse" snapshot before compiling. Costs
-  /// nothing when left null.
+  /// into this sink instead of the session's own (legacy hook; prefer
+  /// CompileSession::captureSnapshots). Costs nothing when left null.
   obs::SnapshotSink *Snapshots = nullptr;
+};
+
+/// Wall-clock spent in each pass, in milliseconds. One record per
+/// compilation; a slot is zero when its pass did not run. This is the
+/// single timing currency: `--stats-json` and the benchmarks both read it.
+struct StageTimings {
+  double ParseMs = 0.0;
+  double OptMs = 0.0;
+  double SelectMs = 0.0;
+  double CascadeMs = 0.0;
+  double PlaceMs = 0.0;
+  double CodegenMs = 0.0;
+  double TimingMs = 0.0;
+  double TotalMs = 0.0;
+};
+
+/// What the front-end optimization pass did (all zero when it is off).
+struct OptStats {
+  unsigned Folded = 0;     ///< constants folded / identities applied
+  unsigned Dead = 0;       ///< dead instructions removed
+  unsigned Vectorized = 0; ///< vector instructions formed
 };
 
 /// Everything one compilation produces, including the per-stage statistics
@@ -62,18 +96,34 @@ struct CompileResult {
   isel::SelectionStats SelectStats;
   isel::CascadeStats CascadeStats;
   place::PlacementStats PlaceStats;
+  OptStats Opt;
 
-  double SelectMs = 0.0;
-  double CascadeMs = 0.0;
-  double PlaceMs = 0.0;
-  double CodegenMs = 0.0;
-  double TimingMs = 0.0;
-  double TotalMs = 0.0;
+  StageTimings Times;
 };
 
-/// Compiles \p Fn through the whole pipeline.
+/// Compiles \p Fn through the whole pipeline in \p Session.
+Result<CompileResult> compile(const ir::Function &Fn,
+                              const CompileOptions &Options,
+                              CompileSession &Session);
+
+/// Compiles \p Fn in the global session (legacy single-session entry).
 Result<CompileResult> compile(const ir::Function &Fn,
                               const CompileOptions &Options = {});
+
+/// Parses, verifies, and compiles \p Source (named \p Name in spans,
+/// snapshots, and diagnostics) in \p Session. This is the entry the
+/// driver's batch mode uses: the parse and opt passes run inside the
+/// pipeline, so their time, snapshots, and remarks are recorded like any
+/// other stage's.
+Result<CompileResult> compileSource(const std::string &Source,
+                                    std::string_view Name,
+                                    const CompileOptions &Options,
+                                    CompileSession &Session);
+
+/// compileSource in the global session.
+Result<CompileResult> compileSource(const std::string &Source,
+                                    std::string_view Name,
+                                    const CompileOptions &Options = {});
 
 } // namespace core
 } // namespace reticle

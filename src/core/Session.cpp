@@ -1,0 +1,25 @@
+//===- core/Session.cpp - Per-compilation observability state -------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Session.h"
+
+using namespace reticle;
+using namespace reticle::core;
+
+CompileSession::CompileSession()
+    : OwnedTelem(std::make_unique<obs::Telemetry>()),
+      OwnedRem(std::make_unique<obs::RemarkStream>()),
+      Ctx{OwnedTelem.get(), OwnedRem.get()} {}
+
+CompileSession::CompileSession(GlobalTag)
+    : Ctx{&obs::defaultTelemetry(), &obs::defaultRemarks()} {}
+
+CompileSession::~CompileSession() = default;
+
+CompileSession &CompileSession::global() {
+  static CompileSession S{GlobalTag{}};
+  return S;
+}

@@ -1,0 +1,104 @@
+//===- core/Session.h - Per-compilation observability state -----*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A CompileSession owns every piece of mutable state one run of the
+/// Figure-7 pipeline produces or consumes: the telemetry registry
+/// (counters, gauges, trace spans), the remark stream, the per-stage
+/// program snapshots, and the diagnostics the pipeline raised. Stages
+/// receive the session's obs::Context explicitly, so two sessions in one
+/// process never touch each other's state — which is what makes
+/// core::compileBatch safe to run on a worker pool.
+///
+/// The process-global registries behind `obs::counter()` et al. survive as
+/// exactly one distinguished session, CompileSession::global(), used by
+/// the legacy single-session entry points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_CORE_SESSION_H
+#define RETICLE_CORE_SESSION_H
+
+#include "obs/Context.h"
+#include "obs/Remarks.h"
+#include "obs/Snapshots.h"
+#include "obs/Telemetry.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace reticle {
+namespace core {
+
+/// Owns the observability state of one compilation (or one batch item).
+/// A session may serve many compile() calls sequentially; distinct
+/// sessions may compile concurrently. The telemetry and remark sinks are
+/// internally synchronized, the snapshot sink and diagnostics list are
+/// not — they assume one pipeline runs in the session at a time.
+class CompileSession {
+public:
+  /// A fresh session with its own telemetry registry and remark stream,
+  /// both initially disabled/empty.
+  CompileSession();
+  ~CompileSession();
+
+  CompileSession(const CompileSession &) = delete;
+  CompileSession &operator=(const CompileSession &) = delete;
+
+  /// The context stages record against. Stable for the session's lifetime.
+  const obs::Context &context() const { return Ctx; }
+
+  obs::Telemetry &telemetry() { return *Ctx.Telem; }
+  const obs::Telemetry &telemetry() const { return *Ctx.Telem; }
+  obs::RemarkStream &remarks() { return *Ctx.Rem; }
+  const obs::RemarkStream &remarks() const { return *Ctx.Rem; }
+
+  /// Per-stage program snapshots captured by the pipeline when
+  /// captureSnapshots() is on (or when CompileOptions::Snapshots points at
+  /// an external sink, which then takes precedence).
+  obs::SnapshotSink &snapshots() { return Snaps; }
+  const obs::SnapshotSink &snapshots() const { return Snaps; }
+  void captureSnapshots(bool On = true) { Capture = On; }
+  bool capturingSnapshots() const { return Capture; }
+
+  /// One pipeline failure: which stage refused the program and why.
+  struct Diagnostic {
+    std::string Stage;
+    std::string Message;
+  };
+  void diagnose(std::string Stage, std::string Message) {
+    Diags.push_back({std::move(Stage), std::move(Message)});
+  }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// True for the distinguished global session, whose telemetry and
+  /// remarks are the process-wide `obs::defaultTelemetry()` /
+  /// `obs::defaultRemarks()` registries.
+  bool isGlobal() const { return !OwnedTelem; }
+
+  /// The session behind the legacy single-session API: compile() without
+  /// an explicit session argument, and the free functions in obs. Not for
+  /// concurrent use.
+  static CompileSession &global();
+
+private:
+  struct GlobalTag {};
+  explicit CompileSession(GlobalTag);
+
+  /// Null for the global session (which borrows the default registries).
+  std::unique_ptr<obs::Telemetry> OwnedTelem;
+  std::unique_ptr<obs::RemarkStream> OwnedRem;
+  obs::Context Ctx;
+  obs::SnapshotSink Snaps;
+  bool Capture = false;
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace core
+} // namespace reticle
+
+#endif // RETICLE_CORE_SESSION_H

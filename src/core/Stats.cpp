@@ -13,19 +13,28 @@ using namespace reticle::core;
 using obs::Json;
 
 Json reticle::core::statsJson(const CompileResult &Result,
-                              std::string_view Program) {
+                              std::string_view Program,
+                              const obs::Context &Ctx) {
   Json Doc = Json::object();
   Doc.set("schema", "reticle-stats-v1");
   Doc.set("program", std::string(Program));
 
   Json Timings = Json::object();
-  Timings.set("select_ms", Result.SelectMs);
-  Timings.set("cascade_ms", Result.CascadeMs);
-  Timings.set("place_ms", Result.PlaceMs);
-  Timings.set("codegen_ms", Result.CodegenMs);
-  Timings.set("timing_ms", Result.TimingMs);
-  Timings.set("total_ms", Result.TotalMs);
+  Timings.set("parse_ms", Result.Times.ParseMs);
+  Timings.set("opt_ms", Result.Times.OptMs);
+  Timings.set("select_ms", Result.Times.SelectMs);
+  Timings.set("cascade_ms", Result.Times.CascadeMs);
+  Timings.set("place_ms", Result.Times.PlaceMs);
+  Timings.set("codegen_ms", Result.Times.CodegenMs);
+  Timings.set("timing_ms", Result.Times.TimingMs);
+  Timings.set("total_ms", Result.Times.TotalMs);
   Doc.set("timings", std::move(Timings));
+
+  Json Opt = Json::object();
+  Opt.set("folded", Result.Opt.Folded);
+  Opt.set("dead", Result.Opt.Dead);
+  Opt.set("vectorized", Result.Opt.Vectorized);
+  Doc.set("opt", std::move(Opt));
 
   Json Select = Json::object();
   Select.set("trees", Result.SelectStats.NumTrees);
@@ -73,11 +82,16 @@ Json reticle::core::statsJson(const CompileResult &Result,
   Doc.set("timing", std::move(Timing));
 
 #ifndef RETICLE_NO_TELEMETRY
-  Json Registry = obs::countersJson();
+  Json Registry = Ctx.Telem->countersJson();
   if (const Json *Counters = Registry.find("counters"))
     Doc.set("counters", *Counters);
   if (const Json *Gauges = Registry.find("gauges"))
     Doc.set("gauges", *Gauges);
 #endif
   return Doc;
+}
+
+Json reticle::core::statsJson(const CompileResult &Result,
+                              std::string_view Program) {
+  return statsJson(Result, Program, obs::defaultContext());
 }

@@ -9,9 +9,9 @@
 /// `reticlec --stats-json=` writes and `--stats` renders as a table. One
 /// JSON object unifies every per-stage statistic the pipeline produces:
 /// selection, cascading, placement (with the aggregated SAT solver effort),
-/// utilization, timing, the stage wall-clock breakdown, and — when
-/// telemetry is compiled in — the process-wide counter registry. See
-/// docs/OBSERVABILITY.md for the schema.
+/// utilization, timing, the StageTimings wall-clock breakdown, and — when
+/// telemetry is compiled in — the counter registry of the session the
+/// compilation ran in. See docs/OBSERVABILITY.md for the schema.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +19,7 @@
 #define RETICLE_CORE_STATS_H
 
 #include "core/Compiler.h"
+#include "obs/Context.h"
 #include "obs/Json.h"
 
 #include <string_view>
@@ -27,7 +28,13 @@ namespace reticle {
 namespace core {
 
 /// Assembles the "reticle-stats-v1" document for one compilation of
-/// \p Program (a display name: source path or function name).
+/// \p Program (a display name: source path or function name). Counters
+/// and gauges come from \p Ctx — pass the session's context so a batch
+/// item reports its own registry, not the process-wide one.
+obs::Json statsJson(const CompileResult &Result, std::string_view Program,
+                    const obs::Context &Ctx);
+
+/// statsJson against the global session's registries.
 obs::Json statsJson(const CompileResult &Result, std::string_view Program);
 
 } // namespace core

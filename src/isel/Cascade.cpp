@@ -6,8 +6,7 @@
 
 #include "isel/Cascade.h"
 
-#include "obs/Remarks.h"
-#include "obs/Telemetry.h"
+#include "obs/Context.h"
 
 #include <algorithm>
 #include <map>
@@ -38,10 +37,11 @@ bool isChainable(const rasm::AsmInstr &I) {
 
 Status reticle::isel::cascadePass(rasm::AsmProgram &Prog,
                                   const tdl::Target &Target,
-                                  unsigned MaxChain, CascadeStats *Stats) {
+                                  unsigned MaxChain, CascadeStats *Stats,
+                                  const obs::Context &Ctx) {
   if (MaxChain < 2)
     return Status::success();
-  obs::Span Sp("isel.cascade");
+  obs::Span Sp(Ctx, "isel.cascade");
   Sp.arg("max_chain", static_cast<uint64_t>(MaxChain));
   std::vector<rasm::AsmInstr> &Body = Prog.body();
 
@@ -137,8 +137,8 @@ Status reticle::isel::cascadePass(rasm::AsmProgram &Prog,
       }
       if (!AllResolve) {
         // The one silent way a chain stays on general routing; say so.
-        if (obs::remarksEnabled())
-          obs::Remark("cascade", "chain-skipped")
+        if (Ctx.remarksEnabled())
+          obs::Remark(Ctx, "cascade", "chain-skipped")
               .instr(Body[Chain[SegStart]].dst())
               .message("chain of " + std::to_string(SegLen) +
                        " not rewritten: target does not define every "
@@ -156,19 +156,17 @@ Status reticle::isel::cascadePass(rasm::AsmProgram &Prog,
                          rasm::Coord::var(YVar, static_cast<int64_t>(K))};
         I = rasm::AsmInstr::makeOp(I.dst(), I.type(), NewNames[K], I.args(),
                                    std::move(NewLoc), I.attrs());
-        static obs::Counter &Rewritten = obs::counter("isel.cascade_rewritten");
-        ++Rewritten;
+        ++Ctx.counter("isel.cascade_rewritten");
         if (Stats)
           ++Stats->Rewritten;
       }
-      static obs::Counter &Chains = obs::counter("isel.cascade_chains");
-      ++Chains;
+      ++Ctx.counter("isel.cascade_chains");
       ++ChainsHere;
       RewrittenHere += static_cast<unsigned>(SegLen);
       if (Stats)
         ++Stats->Chains;
-      if (obs::remarksEnabled())
-        obs::Remark("cascade", "chain")
+      if (Ctx.remarksEnabled())
+        obs::Remark(Ctx, "cascade", "chain")
             .instr(Body[Chain[SegStart]].dst())
             .message("rewrote chain of " + std::to_string(SegLen) +
                      " to cascade variants, constrained to dsp(" + XVar +
@@ -182,13 +180,13 @@ Status reticle::isel::cascadePass(rasm::AsmProgram &Prog,
   }
   // Always leave one verdict, so "the rewrite never fired" is visible in
   // the remarks stream rather than inferred from silence.
-  if (obs::remarksEnabled()) {
+  if (Ctx.remarksEnabled()) {
     unsigned Family = 0;
     for (const rasm::AsmInstr &I : Body)
       if (!I.isWire() &&
           isCascadeHead(I.opName().substr(0, I.opName().find('_'))))
         ++Family;
-    obs::Remark("cascade", "summary")
+    obs::Remark(Ctx, "cascade", "summary")
         .message(ChainsHere
                      ? "rewrote " + std::to_string(ChainsHere) +
                            " chain(s), " + std::to_string(RewrittenHere) +

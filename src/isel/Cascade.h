@@ -18,6 +18,7 @@
 #ifndef RETICLE_ISEL_CASCADE_H
 #define RETICLE_ISEL_CASCADE_H
 
+#include "obs/Context.h"
 #include "rasm/Asm.h"
 #include "support/Result.h"
 #include "tdl/Target.h"
@@ -38,7 +39,8 @@ struct CascadeStats {
 /// split. Chains are rewritten only when the target defines the cascade
 /// variants for the operation.
 Status cascadePass(rasm::AsmProgram &Prog, const tdl::Target &Target,
-                   unsigned MaxChain = 64, CascadeStats *Stats = nullptr);
+                   unsigned MaxChain = 64, CascadeStats *Stats = nullptr,
+                   const obs::Context &Ctx = obs::defaultContext());
 
 } // namespace isel
 } // namespace reticle

@@ -14,8 +14,8 @@
 using namespace reticle;
 using namespace reticle::isel;
 
-Result<Dfg> Dfg::build(const ir::Function &Fn) {
-  obs::Span Sp("isel.dfg_build");
+Result<Dfg> Dfg::build(const ir::Function &Fn, const obs::Context &Ctx) {
+  obs::Span Sp(Ctx, "isel.dfg_build");
   if (Status S = ir::verify(Fn); !S)
     return fail<Dfg>(S.error());
 

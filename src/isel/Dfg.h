@@ -25,6 +25,7 @@
 #define RETICLE_ISEL_DFG_H
 
 #include "ir/Function.h"
+#include "obs/Context.h"
 #include "support/Result.h"
 
 #include <map>
@@ -49,7 +50,8 @@ struct DfgNode {
 class Dfg {
 public:
   /// Builds the graph and classifies roots. The function must be verified.
-  static Result<Dfg> build(const ir::Function &Fn);
+  static Result<Dfg> build(const ir::Function &Fn,
+                           const obs::Context &Ctx = obs::defaultContext());
 
   const ir::Function &function() const { return *Fn; }
   const std::vector<DfgNode> &nodes() const { return Nodes; }

@@ -7,8 +7,7 @@
 #include "isel/Select.h"
 
 #include "isel/Dfg.h"
-#include "obs/Remarks.h"
-#include "obs/Telemetry.h"
+#include "obs/Context.h"
 
 #include <algorithm>
 #include <map>
@@ -48,8 +47,8 @@ struct Match {
 
 class Selector {
 public:
-  Selector(const Dfg &G, const tdl::Target &Target)
-      : G(G), Target(Target) {
+  Selector(const Dfg &G, const tdl::Target &Target, const obs::Context &Ctx)
+      : G(G), Target(Target), Ctx(Ctx) {
     for (const tdl::TargetDef &Def : Target.defs()) {
       if (Def.isCascadeVariant())
         continue;
@@ -95,6 +94,7 @@ private:
 
   const Dfg &G;
   const tdl::Target &Target;
+  const obs::Context &Ctx;
   std::map<ir::CompOp, std::vector<const tdl::TargetDef *>> DefsByOp;
   std::map<size_t, std::pair<Cost, Match>> Best;
 };
@@ -323,8 +323,8 @@ Result<Cost> Selector::solve(size_t NodeId) {
   }
   // Why this tile: the chosen pattern, what it costs, and how contested
   // the decision was (rejected = matched alternatives that lost on cost).
-  if (obs::remarksEnabled())
-    obs::Remark("isel", "pattern")
+  if (Ctx.remarksEnabled())
+    obs::Remark(Ctx, "isel", "pattern")
         .instr(I.dst())
         .message("covered with '" + BestMatch.Def->Name + "' on " +
                  std::string(ir::resourceName(BestMatch.Def->Prim)) + " (" +
@@ -378,8 +378,8 @@ Result<rasm::AsmProgram> Selector::run(SelectionStats *Stats) {
 
   // Cover every tree.
   {
-    static obs::Counter &Trees = obs::counter("isel.trees_covered");
-    obs::Span Sp("isel.tree_cover");
+    obs::Counter &Trees = Ctx.counter("isel.trees_covered");
+    obs::Span Sp(Ctx, "isel.tree_cover");
     Sp.arg("trees", static_cast<uint64_t>(G.roots().size()));
     for (size_t Root : G.roots()) {
       if (Result<Cost> C = solve(Root); !C)
@@ -433,15 +433,15 @@ Result<rasm::AsmProgram> Selector::run(SelectionStats *Stats) {
 
 Result<rasm::AsmProgram> reticle::isel::select(const ir::Function &Fn,
                                                const tdl::Target &Target,
-                                               SelectionStats *Stats) {
-  static obs::Counter &Runs = obs::counter("isel.selects");
-  obs::Span Sp("isel.select");
+                                               SelectionStats *Stats,
+                                               const obs::Context &Ctx) {
+  ++Ctx.counter("isel.selects");
+  obs::Span Sp(Ctx, "isel.select");
   Sp.arg("fn", Fn.name());
-  ++Runs;
-  Result<Dfg> G = Dfg::build(Fn);
+  Result<Dfg> G = Dfg::build(Fn, Ctx);
   if (!G)
     return fail<rasm::AsmProgram>(G.error());
-  Selector S(G.value(), Target);
+  Selector S(G.value(), Target, Ctx);
   Result<rasm::AsmProgram> Prog = S.run(Stats);
   if (Prog)
     Sp.arg("asm_ops", static_cast<uint64_t>(Prog.value().body().size()));

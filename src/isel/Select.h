@@ -23,6 +23,7 @@
 #define RETICLE_ISEL_SELECT_H
 
 #include "ir/Function.h"
+#include "obs/Context.h"
 #include "rasm/Asm.h"
 #include "support/Result.h"
 #include "tdl/Target.h"
@@ -40,10 +41,12 @@ struct SelectionStats {
 };
 
 /// Lowers \p Fn to assembly for \p Target. All selected instructions carry
-/// wildcard locations; placement resolves them later.
+/// wildcard locations; placement resolves them later. Counters, spans and
+/// remarks record into \p Ctx.
 Result<rasm::AsmProgram> select(const ir::Function &Fn,
                                 const tdl::Target &Target,
-                                SelectionStats *Stats = nullptr);
+                                SelectionStats *Stats = nullptr,
+                                const obs::Context &Ctx = obs::defaultContext());
 
 } // namespace isel
 } // namespace reticle

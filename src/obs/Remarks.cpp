@@ -8,6 +8,8 @@
 
 #include "obs/Remarks.h"
 
+#include "obs/Context.h"
+
 #include <atomic>
 #include <fstream>
 #include <mutex>
@@ -16,37 +18,133 @@
 using namespace reticle;
 using namespace reticle::obs;
 
-namespace {
-
-/// The process-wide remarks stream. Records are committed fully formed
-/// under the lock; readers (remarksText / remarksJsonl) snapshot under the
-/// same lock.
-struct RemarkStream {
-  std::mutex Mu;
+/// Per-instance remark state. Records are committed fully formed under the
+/// lock; readers snapshot under the same lock.
+struct RemarkStream::Impl {
+  mutable std::mutex Mu;
   std::vector<Json> Records;
   std::atomic<bool> Enabled{false};
 };
 
-RemarkStream &stream() {
+RemarkStream::RemarkStream() : I(std::make_unique<Impl>()) {}
+RemarkStream::~RemarkStream() = default;
+
+bool RemarkStream::enabled() const {
+  return I->Enabled.load(std::memory_order_relaxed);
+}
+
+void RemarkStream::enable(bool On) {
+  I->Enabled.store(On, std::memory_order_relaxed);
+}
+
+size_t RemarkStream::count() const {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  return I->Records.size();
+}
+
+void RemarkStream::commit(Json Record) {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  I->Records.push_back(std::move(Record));
+}
+
+std::string RemarkStream::text() const {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  std::string Out;
+  for (const Json &R : I->Records) {
+    const Json *Stage = R.find("stage");
+    const Json *Kind = R.find("kind");
+    const Json *Instr = R.find("instr");
+    const Json *Message = R.find("message");
+    Out += Stage->asString();
+    Out.push_back(':');
+    Out += Kind->asString();
+    Out += ": ";
+    if (Instr) {
+      Out.push_back('\'');
+      Out += Instr->asString();
+      Out += "': ";
+    }
+    Out += Message->asString();
+    if (const Json *Args = R.find("args"); Args && Args->size()) {
+      Out += "  {";
+      bool First = true;
+      for (const auto &[Key, Value] : Args->members()) {
+        if (!First)
+          Out += ", ";
+        First = false;
+        Out += Key;
+        Out.push_back('=');
+        Out += Value.isString() ? Value.asString() : Value.str();
+      }
+      Out.push_back('}');
+    }
+    Out.push_back('\n');
+  }
+  return Out;
+}
+
+std::string RemarkStream::jsonl(std::string_view Program) const {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  Json Header = Json::object();
+  Header.set("schema", "reticle-remarks-v1");
+  Header.set("program", std::string(Program));
+  Header.set("remarks", static_cast<uint64_t>(I->Records.size()));
+  std::string Out = Header.str();
+  Out.push_back('\n');
+  for (const Json &R : I->Records) {
+    Out += R.str();
+    Out.push_back('\n');
+  }
+  return Out;
+}
+
+Status RemarkStream::writeText(const std::string &Path) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    return Status::failure("cannot write remarks file '" + Path + "'");
+  Out << text();
+  if (!Out)
+    return Status::failure("error writing remarks file '" + Path + "'");
+  return Status::success();
+}
+
+Status RemarkStream::writeJsonl(const std::string &Path,
+                                std::string_view Program) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    return Status::failure("cannot write remarks file '" + Path + "'");
+  Out << jsonl(Program);
+  if (!Out)
+    return Status::failure("error writing remarks file '" + Path + "'");
+  return Status::success();
+}
+
+void RemarkStream::clear() {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  I->Records.clear();
+  I->Enabled.store(false, std::memory_order_relaxed);
+}
+
+RemarkStream &reticle::obs::defaultRemarks() {
   static RemarkStream S;
   return S;
 }
 
-} // namespace
+bool reticle::obs::remarksEnabled() { return defaultRemarks().enabled(); }
 
-bool reticle::obs::remarksEnabled() {
-  return stream().Enabled.load(std::memory_order_relaxed);
-}
-
-void reticle::obs::enableRemarks(bool On) {
-  stream().Enabled.store(On, std::memory_order_relaxed);
-}
+void reticle::obs::enableRemarks(bool On) { defaultRemarks().enable(On); }
 
 Remark::Remark(const char *Stage, const char *Kind)
-    : Active(remarksEnabled()), Stage(Stage), Kind(Kind) {
+    : Remark(defaultRemarks(), Stage, Kind) {}
+
+Remark::Remark(RemarkStream &Stream, const char *Stage, const char *Kind)
+    : Stream(&Stream), Active(Stream.enabled()), Stage(Stage), Kind(Kind) {
   if (Active)
     Args = Json::object();
 }
+
+Remark::Remark(const Context &Ctx, const char *Stage, const char *Kind)
+    : Remark(*Ctx.Rem, Stage, Kind) {}
 
 Remark::~Remark() {
   if (!Active)
@@ -59,9 +157,7 @@ Remark::~Remark() {
   Record.set("message", std::move(Message));
   if (Args.size())
     Record.set("args", std::move(Args));
-  RemarkStream &S = stream();
-  std::lock_guard<std::mutex> Lock(S.Mu);
-  S.Records.push_back(std::move(Record));
+  Stream->commit(std::move(Record));
 }
 
 Remark &Remark::instr(std::string_view Name) {
@@ -106,91 +202,23 @@ Remark &Remark::arg(const char *Key, std::string Value) {
   return *this;
 }
 
-size_t reticle::obs::remarkCount() {
-  RemarkStream &S = stream();
-  std::lock_guard<std::mutex> Lock(S.Mu);
-  return S.Records.size();
-}
+size_t reticle::obs::remarkCount() { return defaultRemarks().count(); }
 
-std::string reticle::obs::remarksText() {
-  RemarkStream &S = stream();
-  std::lock_guard<std::mutex> Lock(S.Mu);
-  std::string Out;
-  for (const Json &R : S.Records) {
-    const Json *Stage = R.find("stage");
-    const Json *Kind = R.find("kind");
-    const Json *Instr = R.find("instr");
-    const Json *Message = R.find("message");
-    Out += Stage->asString();
-    Out.push_back(':');
-    Out += Kind->asString();
-    Out += ": ";
-    if (Instr) {
-      Out.push_back('\'');
-      Out += Instr->asString();
-      Out += "': ";
-    }
-    Out += Message->asString();
-    if (const Json *Args = R.find("args"); Args && Args->size()) {
-      Out += "  {";
-      bool First = true;
-      for (const auto &[Key, Value] : Args->members()) {
-        if (!First)
-          Out += ", ";
-        First = false;
-        Out += Key;
-        Out.push_back('=');
-        Out += Value.isString() ? Value.asString() : Value.str();
-      }
-      Out.push_back('}');
-    }
-    Out.push_back('\n');
-  }
-  return Out;
-}
+std::string reticle::obs::remarksText() { return defaultRemarks().text(); }
 
 std::string reticle::obs::remarksJsonl(std::string_view Program) {
-  RemarkStream &S = stream();
-  std::lock_guard<std::mutex> Lock(S.Mu);
-  Json Header = Json::object();
-  Header.set("schema", "reticle-remarks-v1");
-  Header.set("program", std::string(Program));
-  Header.set("remarks", static_cast<uint64_t>(S.Records.size()));
-  std::string Out = Header.str();
-  Out.push_back('\n');
-  for (const Json &R : S.Records) {
-    Out += R.str();
-    Out.push_back('\n');
-  }
-  return Out;
+  return defaultRemarks().jsonl(Program);
 }
 
 Status reticle::obs::writeRemarksText(const std::string &Path) {
-  std::ofstream Out(Path);
-  if (!Out)
-    return Status::failure("cannot write remarks file '" + Path + "'");
-  Out << remarksText();
-  if (!Out)
-    return Status::failure("error writing remarks file '" + Path + "'");
-  return Status::success();
+  return defaultRemarks().writeText(Path);
 }
 
 Status reticle::obs::writeRemarksJsonl(const std::string &Path,
                                        std::string_view Program) {
-  std::ofstream Out(Path);
-  if (!Out)
-    return Status::failure("cannot write remarks file '" + Path + "'");
-  Out << remarksJsonl(Program);
-  if (!Out)
-    return Status::failure("error writing remarks file '" + Path + "'");
-  return Status::success();
+  return defaultRemarks().writeJsonl(Path, Program);
 }
 
-void reticle::obs::clearRemarks() {
-  RemarkStream &S = stream();
-  std::lock_guard<std::mutex> Lock(S.Mu);
-  S.Records.clear();
-  S.Enabled.store(false, std::memory_order_relaxed);
-}
+void reticle::obs::clearRemarks() { defaultRemarks().clear(); }
 
 #endif // RETICLE_NO_TELEMETRY

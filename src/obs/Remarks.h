@@ -12,25 +12,29 @@
 /// records. Telemetry (Telemetry.h) answers "where does the time go";
 /// remarks answer "what did the compiler do and why".
 ///
-/// Usage at an instrumentation site:
+/// Remarks are **instance-based**: a `RemarkStream` owns one record buffer
+/// and its own enable switch, so concurrent compiles record into disjoint
+/// streams. Usage at an instrumentation site (with the obs::Context the
+/// stage was handed):
 ///
-///   if (obs::remarksEnabled())
-///     obs::Remark("isel", "pattern")
+///   if (Ctx.remarksEnabled())
+///     obs::Remark(Ctx, "isel", "pattern")
 ///         .instr(I.dst())
 ///         .message("covered with '" + Def->Name + "'")
 ///         .arg("area", Def->Area);
 ///
-/// The builder commits to the process-wide stream when it goes out of
-/// scope. Recording only happens while remarks are enabled
-/// (`enableRemarks()`, or `reticlec --remarks=... / --remarks-json=...`);
-/// sites guard string construction behind `remarksEnabled()`, which is one
-/// relaxed atomic load.
+/// The builder commits to its stream when it goes out of scope. Recording
+/// only happens while the stream is enabled (`RemarkStream::enable()`, or
+/// `reticlec --remarks=... / --remarks-json=...`); sites guard string
+/// construction behind `remarksEnabled()`, which is one relaxed atomic
+/// load. The process-wide `defaultRemarks()` stream backs the legacy free
+/// functions (`obs::remarksEnabled`, `obs::remarksText`, ...).
 ///
-/// Rendering: `remarksText()` produces one human-readable line per
-/// remark; `remarksJsonl()` produces the machine-readable
-/// `reticle-remarks-v1` stream (one header line, then one JSON object per
-/// remark). Defining `RETICLE_NO_TELEMETRY` compiles the whole engine out
-/// to inline no-ops, exactly like the counters.
+/// Rendering: `text()` produces one human-readable line per remark;
+/// `jsonl()` produces the machine-readable `reticle-remarks-v1` stream
+/// (one header line, then one JSON object per remark). Defining
+/// `RETICLE_NO_TELEMETRY` compiles the whole engine out to inline no-ops,
+/// exactly like the counters.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,6 +49,8 @@
 
 #ifndef RETICLE_NO_TELEMETRY
 #include "obs/Json.h"
+
+#include <memory>
 #else
 #include <fstream>
 #endif
@@ -52,21 +58,74 @@
 namespace reticle {
 namespace obs {
 
+struct Context;
+
 #ifndef RETICLE_NO_TELEMETRY
 
-/// Global remarks switch; mirrors the tracing switch in Telemetry.h.
+/// One remark domain: a buffer of committed remark records plus its own
+/// enable switch. Records are committed fully formed under the lock;
+/// readers (text / jsonl) snapshot under the same lock.
+class RemarkStream {
+public:
+  RemarkStream();
+  ~RemarkStream();
+  RemarkStream(const RemarkStream &) = delete;
+  RemarkStream &operator=(const RemarkStream &) = delete;
+
+  /// Recording switch; one relaxed atomic load, so sites can guard string
+  /// construction behind it.
+  bool enabled() const;
+  void enable(bool On = true);
+
+  /// Number of remarks recorded so far.
+  size_t count() const;
+
+  /// Human rendering: one `stage:kind: ['instr':] message {k=v, ...}`
+  /// line per remark.
+  std::string text() const;
+
+  /// Machine rendering (`reticle-remarks-v1`): a header object line
+  /// (`{"schema": "reticle-remarks-v1", "program": ...}`) followed by one
+  /// compact JSON object per remark.
+  std::string jsonl(std::string_view Program) const;
+
+  /// File writers; used by `reticlec --remarks=<file>` / `--remarks-json=`.
+  Status writeText(const std::string &Path) const;
+  Status writeJsonl(const std::string &Path, std::string_view Program) const;
+
+  /// Drops all recorded remarks and disables recording.
+  void clear();
+
+private:
+  friend class Remark;
+  void commit(Json Record);
+
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+/// The process-wide default stream behind the legacy free-function API.
+RemarkStream &defaultRemarks();
+
+/// Free-function dialect over defaultRemarks(), kept for tools and tests;
+/// pipeline code threads a Context instead.
 bool remarksEnabled();
 void enableRemarks(bool On = true);
 
-/// A builder for one remark. Construction samples the switch; destruction
-/// commits the record to the process-wide stream when recording is on.
-/// \p Stage names the pipeline stage ("isel", "cascade", "place", "sat",
-/// "opt"); \p Kind is a short stage-specific verdict ("pattern",
-/// "chain", "shrink-probe", ...). Both must outlive the builder (string
-/// literals do).
+/// A builder for one remark. Construction samples the stream's switch;
+/// destruction commits the record when recording is on. \p Stage names the
+/// pipeline stage ("isel", "cascade", "place", "sat", "opt", "timing");
+/// \p Kind is a short stage-specific verdict ("pattern", "chain",
+/// "shrink-probe", ...). Both must outlive the builder (string literals
+/// do).
 class Remark {
 public:
+  /// Records into defaultRemarks().
   Remark(const char *Stage, const char *Kind);
+  /// Records into \p Stream / the stream of \p Ctx, which must outlive
+  /// the builder.
+  Remark(RemarkStream &Stream, const char *Stage, const char *Kind);
+  Remark(const Context &Ctx, const char *Stage, const char *Kind);
   ~Remark();
   Remark(const Remark &) = delete;
   Remark &operator=(const Remark &) = delete;
@@ -89,6 +148,7 @@ public:
   Remark &arg(const char *Key, std::string Value);
 
 private:
+  RemarkStream *Stream = nullptr;
   bool Active = false;
   const char *Stage = nullptr;
   const char *Kind = nullptr;
@@ -97,23 +157,14 @@ private:
   Json Args;
 };
 
-/// Number of remarks recorded so far.
+/// Free-function dialect over defaultRemarks().
 size_t remarkCount();
-
-/// Human rendering: one `stage:kind: ['instr':] message {k=v, ...}` line
-/// per remark.
 std::string remarksText();
-
-/// Machine rendering (`reticle-remarks-v1`): a header object line
-/// (`{"schema": "reticle-remarks-v1", "program": ...}`) followed by one
-/// compact JSON object per remark.
 std::string remarksJsonl(std::string_view Program);
-
-/// File writers; used by `reticlec --remarks=<file>` / `--remarks-json=`.
 Status writeRemarksText(const std::string &Path);
 Status writeRemarksJsonl(const std::string &Path, std::string_view Program);
 
-/// Drops all recorded remarks and disables recording. Test-only.
+/// Clears defaultRemarks(). Test-only.
 void clearRemarks();
 
 #else // RETICLE_NO_TELEMETRY
@@ -122,12 +173,45 @@ void clearRemarks();
 // here references a symbol of Remarks.cpp (or Json.cpp), so translation
 // units built with RETICLE_NO_TELEMETRY link without the obs objects.
 
+class RemarkStream {
+public:
+  RemarkStream() = default;
+  RemarkStream(const RemarkStream &) = delete;
+  RemarkStream &operator=(const RemarkStream &) = delete;
+
+  bool enabled() const { return false; }
+  void enable(bool = true) {}
+  size_t count() const { return 0; }
+  std::string text() const { return std::string(); }
+  std::string jsonl(std::string_view) const { return std::string(); }
+  Status writeText(const std::string &Path) const {
+    std::ofstream Out(Path);
+    if (!Out)
+      return Status::failure("cannot write remarks file '" + Path + "'");
+    return Status::success();
+  }
+  Status writeJsonl(const std::string &Path, std::string_view) const {
+    std::ofstream Out(Path);
+    if (!Out)
+      return Status::failure("cannot write remarks file '" + Path + "'");
+    return Status::success();
+  }
+  void clear() {}
+};
+
+inline RemarkStream &defaultRemarks() {
+  static RemarkStream Noop;
+  return Noop;
+}
+
 inline bool remarksEnabled() { return false; }
 inline void enableRemarks(bool = true) {}
 
 class Remark {
 public:
   Remark(const char *, const char *) {}
+  Remark(RemarkStream &, const char *, const char *) {}
+  Remark(const Context &, const char *, const char *) {}
   Remark(const Remark &) = delete;
   Remark &operator=(const Remark &) = delete;
   Remark &instr(std::string_view) { return *this; }
@@ -146,17 +230,11 @@ inline std::string remarksText() { return std::string(); }
 inline std::string remarksJsonl(std::string_view) { return std::string(); }
 
 inline Status writeRemarksText(const std::string &Path) {
-  std::ofstream Out(Path);
-  if (!Out)
-    return Status::failure("cannot write remarks file '" + Path + "'");
-  return Status::success();
+  return defaultRemarks().writeText(Path);
 }
 
 inline Status writeRemarksJsonl(const std::string &Path, std::string_view) {
-  std::ofstream Out(Path);
-  if (!Out)
-    return Status::failure("cannot write remarks file '" + Path + "'");
-  return Status::success();
+  return defaultRemarks().writeJsonl(Path, std::string_view());
 }
 
 inline void clearRemarks() {}

@@ -8,6 +8,7 @@
 
 #include "obs/Telemetry.h"
 
+#include "obs/Context.h"
 #include "obs/Json.h"
 
 #include <chrono>
@@ -44,10 +45,20 @@ struct GaugeEntry {
   explicit GaugeEntry(std::string Name) : Name(std::move(Name)) {}
 };
 
-/// The process-wide telemetry state. Entries live in deques so references
-/// handed out by counter()/gauge() stay valid forever.
-struct Registry {
-  std::mutex Mu;
+/// Trace tids are process-wide so events from several Telemetry instances
+/// viewed side by side still distinguish the recording threads.
+uint32_t threadId() {
+  static std::atomic<uint32_t> Next{1};
+  thread_local uint32_t Id = Next.fetch_add(1, std::memory_order_relaxed);
+  return Id;
+}
+
+} // namespace
+
+/// Per-instance telemetry state. Entries live in deques so references
+/// handed out by counter()/gauge() stay valid for the instance lifetime.
+struct Telemetry::Impl {
+  mutable std::mutex Mu;
   std::deque<CounterEntry> Counters;
   std::map<std::string, Counter *, std::less<>> CounterIndex;
   std::deque<GaugeEntry> Gauges;
@@ -58,72 +69,163 @@ struct Registry {
       std::chrono::steady_clock::now();
 };
 
-Registry &registry() {
-  static Registry R;
-  return R;
-}
+Telemetry::Telemetry() : I(std::make_unique<Impl>()) {}
+Telemetry::~Telemetry() = default;
 
-double nowUs() {
+double Telemetry::nowUs() const {
   return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now() - registry().Epoch)
+             std::chrono::steady_clock::now() - I->Epoch)
       .count();
 }
 
-uint32_t threadId() {
-  static std::atomic<uint32_t> Next{1};
-  thread_local uint32_t Id = Next.fetch_add(1, std::memory_order_relaxed);
-  return Id;
+void Telemetry::record(const char *Name, char Phase, double TsUs, double DurUs,
+                       std::string ArgsJson) {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  I->Events.push_back({Name, Phase, TsUs, DurUs, threadId(), std::move(ArgsJson)});
 }
 
-} // namespace
-
-Counter &reticle::obs::counter(std::string_view Name) {
-  Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.Mu);
-  auto It = R.CounterIndex.find(Name);
-  if (It != R.CounterIndex.end())
+Counter &Telemetry::counter(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  auto It = I->CounterIndex.find(Name);
+  if (It != I->CounterIndex.end())
     return *It->second;
-  R.Counters.emplace_back(std::string(Name));
-  Counter *C = &R.Counters.back().Value;
-  R.CounterIndex.emplace(std::string(Name), C);
+  I->Counters.emplace_back(std::string(Name));
+  Counter *C = &I->Counters.back().Value;
+  I->CounterIndex.emplace(std::string(Name), C);
   return *C;
 }
 
-Gauge &reticle::obs::gauge(std::string_view Name) {
-  Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.Mu);
-  auto It = R.GaugeIndex.find(Name);
-  if (It != R.GaugeIndex.end())
+Gauge &Telemetry::gauge(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  auto It = I->GaugeIndex.find(Name);
+  if (It != I->GaugeIndex.end())
     return *It->second;
-  R.Gauges.emplace_back(std::string(Name));
-  Gauge *G = &R.Gauges.back().Value;
-  R.GaugeIndex.emplace(std::string(Name), G);
+  I->Gauges.emplace_back(std::string(Name));
+  Gauge *G = &I->Gauges.back().Value;
+  I->GaugeIndex.emplace(std::string(Name), G);
   return *G;
 }
 
+bool Telemetry::tracingEnabled() const {
+  return I->Tracing.load(std::memory_order_relaxed);
+}
+
+void Telemetry::enableTracing(bool On) {
+  I->Tracing.store(On, std::memory_order_relaxed);
+}
+
+void Telemetry::instant(const char *Name) {
+  if (!tracingEnabled())
+    return;
+  record(Name, 'i', nowUs(), 0.0, std::string());
+}
+
+std::string Telemetry::traceJson() const {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  std::string Out = "{\"traceEvents\":[";
+  char Buf[64];
+  for (size_t Index = 0; Index < I->Events.size(); ++Index) {
+    const TraceEvent &E = I->Events[Index];
+    if (Index)
+      Out.push_back(',');
+    Out += "\n{\"name\":";
+    Out += Json::quote(E.Name);
+    Out += ",\"ph\":\"";
+    Out.push_back(E.Phase);
+    Out += "\",\"ts\":";
+    std::snprintf(Buf, sizeof(Buf), "%.3f", E.TsUs);
+    Out += Buf;
+    if (E.Phase == 'X') {
+      Out += ",\"dur\":";
+      std::snprintf(Buf, sizeof(Buf), "%.3f", E.DurUs);
+      Out += Buf;
+    } else {
+      Out += ",\"s\":\"t\""; // instant scope: thread
+    }
+    std::snprintf(Buf, sizeof(Buf), ",\"pid\":1,\"tid\":%u", E.Tid);
+    Out += Buf;
+    if (!E.ArgsJson.empty()) {
+      Out += ",\"args\":{";
+      Out += E.ArgsJson;
+      Out.push_back('}');
+    }
+    Out.push_back('}');
+  }
+  Out += "\n],\"displayTimeUnit\":\"ms\"}";
+  return Out;
+}
+
+Status Telemetry::writeTrace(const std::string &Path) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    return Status::failure("cannot write trace file '" + Path + "'");
+  Out << traceJson() << "\n";
+  if (!Out)
+    return Status::failure("error writing trace file '" + Path + "'");
+  return Status::success();
+}
+
+Json Telemetry::countersJson() const {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  Json Doc = Json::object();
+  Json Counters = Json::object();
+  for (const CounterEntry &E : I->Counters)
+    Counters.set(E.Name, E.Value.load());
+  Doc.set("counters", std::move(Counters));
+  Json Gauges = Json::object();
+  for (const GaugeEntry &E : I->Gauges)
+    Gauges.set(E.Name, E.Value.load());
+  Doc.set("gauges", std::move(Gauges));
+  return Doc;
+}
+
+void Telemetry::reset() {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  I->Events.clear();
+  I->Tracing.store(false, std::memory_order_relaxed);
+  for (CounterEntry &E : I->Counters)
+    E.Value.reset();
+  for (GaugeEntry &E : I->Gauges)
+    E.Value.reset();
+}
+
+Telemetry &reticle::obs::defaultTelemetry() {
+  static Telemetry T;
+  return T;
+}
+
+Counter &reticle::obs::counter(std::string_view Name) {
+  return defaultTelemetry().counter(Name);
+}
+
+Gauge &reticle::obs::gauge(std::string_view Name) {
+  return defaultTelemetry().gauge(Name);
+}
+
 bool reticle::obs::tracingEnabled() {
-  return registry().Tracing.load(std::memory_order_relaxed);
+  return defaultTelemetry().tracingEnabled();
 }
 
 void reticle::obs::enableTracing(bool On) {
-  registry().Tracing.store(On, std::memory_order_relaxed);
+  defaultTelemetry().enableTracing(On);
 }
 
-Span::Span(const char *Name) : Name(Name) {
-  if (!tracingEnabled())
+Span::Span(const char *Name) : Span(defaultTelemetry(), Name) {}
+
+Span::Span(Telemetry &Telem, const char *Name) : Telem(&Telem), Name(Name) {
+  if (!Telem.tracingEnabled())
     return;
   Active = true;
-  StartUs = nowUs();
+  StartUs = Telem.nowUs();
 }
+
+Span::Span(const Context &Ctx, const char *Name) : Span(*Ctx.Telem, Name) {}
 
 Span::~Span() {
   if (!Active)
     return;
-  double EndUs = nowUs();
-  Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.Mu);
-  R.Events.push_back(
-      {Name, 'X', StartUs, EndUs - StartUs, threadId(), std::move(ArgsJson)});
+  double EndUs = Telem->nowUs();
+  Telem->record(Name, 'X', StartUs, EndUs - StartUs, std::move(ArgsJson));
 }
 
 void Span::append(const char *Key, std::string Rendered) {
@@ -165,84 +267,17 @@ void Span::arg(const char *Key, const std::string &Value) {
 }
 
 void reticle::obs::instant(const char *Name) {
-  if (!tracingEnabled())
-    return;
-  double Ts = nowUs();
-  Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.Mu);
-  R.Events.push_back({Name, 'i', Ts, 0.0, threadId(), std::string()});
+  defaultTelemetry().instant(Name);
 }
 
-std::string reticle::obs::traceJson() {
-  Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.Mu);
-  std::string Out = "{\"traceEvents\":[";
-  char Buf[64];
-  for (size_t Index = 0; Index < R.Events.size(); ++Index) {
-    const TraceEvent &E = R.Events[Index];
-    if (Index)
-      Out.push_back(',');
-    Out += "\n{\"name\":";
-    Out += Json::quote(E.Name);
-    Out += ",\"ph\":\"";
-    Out.push_back(E.Phase);
-    Out += "\",\"ts\":";
-    std::snprintf(Buf, sizeof(Buf), "%.3f", E.TsUs);
-    Out += Buf;
-    if (E.Phase == 'X') {
-      Out += ",\"dur\":";
-      std::snprintf(Buf, sizeof(Buf), "%.3f", E.DurUs);
-      Out += Buf;
-    } else {
-      Out += ",\"s\":\"t\""; // instant scope: thread
-    }
-    std::snprintf(Buf, sizeof(Buf), ",\"pid\":1,\"tid\":%u", E.Tid);
-    Out += Buf;
-    if (!E.ArgsJson.empty()) {
-      Out += ",\"args\":{";
-      Out += E.ArgsJson;
-      Out.push_back('}');
-    }
-    Out.push_back('}');
-  }
-  Out += "\n],\"displayTimeUnit\":\"ms\"}";
-  return Out;
-}
+std::string reticle::obs::traceJson() { return defaultTelemetry().traceJson(); }
 
 Status reticle::obs::writeTrace(const std::string &Path) {
-  std::ofstream Out(Path);
-  if (!Out)
-    return Status::failure("cannot write trace file '" + Path + "'");
-  Out << traceJson() << "\n";
-  if (!Out)
-    return Status::failure("error writing trace file '" + Path + "'");
-  return Status::success();
+  return defaultTelemetry().writeTrace(Path);
 }
 
-Json reticle::obs::countersJson() {
-  Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.Mu);
-  Json Doc = Json::object();
-  Json Counters = Json::object();
-  for (const CounterEntry &E : R.Counters)
-    Counters.set(E.Name, E.Value.load());
-  Doc.set("counters", std::move(Counters));
-  Json Gauges = Json::object();
-  for (const GaugeEntry &E : R.Gauges)
-    Gauges.set(E.Name, E.Value.load());
-  Doc.set("gauges", std::move(Gauges));
-  return Doc;
-}
+Json reticle::obs::countersJson() { return defaultTelemetry().countersJson(); }
 
-void reticle::obs::resetForTest() {
-  Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.Mu);
-  R.Events.clear();
-  R.Tracing.store(false, std::memory_order_relaxed);
-  for (CounterEntry &E : R.Counters)
-    E.Value.reset();
-  for (GaugeEntry &E : R.Gauges)
-    E.Value.reset();
-}
+void reticle::obs::resetForTest() { defaultTelemetry().reset(); }
 
 #endif // RETICLE_NO_TELEMETRY

@@ -5,22 +5,30 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The process-wide telemetry layer behind the compiler's observability
-/// story (the Section 7 evaluation is entirely about where compile time
-/// goes; this is how we see it):
+/// The telemetry layer behind the compiler's observability story (the
+/// Section 7 evaluation is entirely about where compile time goes; this is
+/// how we see it):
 ///
 ///  - **Tracing spans** (`obs::Span`): RAII, nestable, thread-safe.
 ///    Enabled with `enableTracing()`, serialized as Chrome trace-event /
 ///    Perfetto JSON by `writeTrace()`. When tracing is disabled a span
 ///    costs one relaxed atomic load.
-///  - **Counters and gauges** (`obs::counter("isel.trees_covered")`):
+///  - **Counters and gauges** (`Ctx.counter("isel.trees_covered")`):
 ///    registry-backed monotone counters and last-value gauges. The lookup
-///    takes a lock, so hot paths cache the reference:
-///      static obs::Counter &C = obs::counter("sat.conflicts");
+///    takes a lock, so hot paths hoist the reference out of their loops:
+///      obs::Counter &C = Ctx.counter("sat.conflicts");
 ///    after which every increment is one relaxed atomic add.
 ///  - **Compile-out**: defining `RETICLE_NO_TELEMETRY` replaces the whole
 ///    API with inline no-ops; no symbol of Telemetry.cpp is referenced, so
 ///    release builds can drop the subsystem entirely.
+///
+/// Telemetry is **instance-based**: a `Telemetry` object owns one registry
+/// of counters/gauges and one trace-event buffer with its own clock epoch,
+/// so concurrent compiles record into disjoint instances without
+/// contending. The process-wide `defaultTelemetry()` instance backs the
+/// legacy free functions (`obs::counter`, `obs::enableTracing`, ...) for
+/// tools and tests that still speak the global dialect; new code threads
+/// an `obs::Context` (Context.h) instead.
 ///
 /// Naming convention: `<stage>.<noun>` in lowercase snake case, where the
 /// stage matches the Figure-7 pipeline ("select", "cascade", "place",
@@ -39,6 +47,7 @@
 
 #ifndef RETICLE_NO_TELEMETRY
 #include <atomic>
+#include <memory>
 #else
 #include <fstream>
 #endif
@@ -47,6 +56,7 @@ namespace reticle {
 namespace obs {
 
 class Json;
+struct Context;
 
 #ifndef RETICLE_NO_TELEMETRY
 
@@ -80,13 +90,59 @@ private:
   std::atomic<double> V{0.0};
 };
 
-/// Finds or registers the counter / gauge named \p Name. The returned
-/// reference is valid for the process lifetime; hot paths should cache it
-/// in a function-local static.
+/// One telemetry domain: a registry of named counters/gauges plus a
+/// trace-event buffer with its own clock epoch and tracing switch. All
+/// operations are thread-safe; references returned by counter()/gauge()
+/// stay valid for the lifetime of the Telemetry object.
+class Telemetry {
+public:
+  Telemetry();
+  ~Telemetry();
+  Telemetry(const Telemetry &) = delete;
+  Telemetry &operator=(const Telemetry &) = delete;
+
+  /// Finds or registers the counter / gauge named \p Name. Hot paths
+  /// should hoist the returned reference out of their loops.
+  Counter &counter(std::string_view Name);
+  Gauge &gauge(std::string_view Name);
+
+  /// Trace switch. Spans and instants record only while enabled.
+  bool tracingEnabled() const;
+  void enableTracing(bool On = true);
+
+  /// Records a zero-duration instant event (e.g. one CDCL restart).
+  void instant(const char *Name);
+
+  /// Serializes all recorded events as Chrome trace-event JSON
+  /// (chrome://tracing and https://ui.perfetto.dev load it directly).
+  std::string traceJson() const;
+  Status writeTrace(const std::string &Path) const;
+
+  /// A snapshot of every registered counter and gauge, as
+  /// {"counters": {...}, "gauges": {...}}.
+  Json countersJson() const;
+
+  /// Clears recorded events and zeroes all counters/gauges; disables
+  /// tracing. Registered names stay valid.
+  void reset();
+
+private:
+  friend class Span;
+  double nowUs() const;
+  void record(const char *Name, char Phase, double TsUs, double DurUs,
+              std::string ArgsJson);
+
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+/// The process-wide default instance behind the legacy free-function API.
+Telemetry &defaultTelemetry();
+
+/// Free-function dialect over defaultTelemetry(), kept for tools and
+/// tests; pipeline code threads a Context instead.
 Counter &counter(std::string_view Name);
 Gauge &gauge(std::string_view Name);
-
-/// Global trace switch. Spans and instants record only while enabled.
 bool tracingEnabled();
 void enableTracing(bool On = true);
 
@@ -96,7 +152,12 @@ void enableTracing(bool On = true);
 /// hierarchy. \p Name must outlive the span (string literals do).
 class Span {
 public:
+  /// Records into defaultTelemetry().
   explicit Span(const char *Name);
+  /// Records into \p Telem / the telemetry of \p Ctx, which must outlive
+  /// the span.
+  Span(Telemetry &Telem, const char *Name);
+  Span(const Context &Ctx, const char *Name);
   ~Span();
   Span(const Span &) = delete;
   Span &operator=(const Span &) = delete;
@@ -114,26 +175,20 @@ public:
 private:
   void append(const char *Key, std::string Rendered);
 
+  Telemetry *Telem = nullptr;
   const char *Name = nullptr;
   double StartUs = 0.0;
   bool Active = false;
   std::string ArgsJson;
 };
 
-/// Records a zero-duration instant event (e.g. one CDCL restart).
+/// Free-function dialect over defaultTelemetry().
 void instant(const char *Name);
-
-/// Serializes all recorded events as Chrome trace-event JSON
-/// (chrome://tracing and https://ui.perfetto.dev load it directly).
 std::string traceJson();
 Status writeTrace(const std::string &Path);
-
-/// A snapshot of every registered counter and gauge, as
-/// {"counters": {...}, "gauges": {...}}.
 Json countersJson();
 
-/// Clears recorded events and zeroes all counters/gauges; disables
-/// tracing. Registered names stay valid. Test-only.
+/// Clears defaultTelemetry(). Test-only.
 void resetForTest();
 
 #else // RETICLE_NO_TELEMETRY
@@ -158,13 +213,44 @@ public:
   void reset() {}
 };
 
-inline Counter &counter(std::string_view) {
-  static Counter Noop;
+class Telemetry {
+public:
+  Telemetry() = default;
+  Telemetry(const Telemetry &) = delete;
+  Telemetry &operator=(const Telemetry &) = delete;
+
+  Counter &counter(std::string_view) {
+    static Counter Noop;
+    return Noop;
+  }
+  Gauge &gauge(std::string_view) {
+    static Gauge Noop;
+    return Noop;
+  }
+  bool tracingEnabled() const { return false; }
+  void enableTracing(bool = true) {}
+  void instant(const char *) {}
+  std::string traceJson() const { return "{\"traceEvents\":[]}"; }
+  Status writeTrace(const std::string &Path) const {
+    std::ofstream Out(Path);
+    if (!Out)
+      return Status::failure("cannot write trace file '" + Path + "'");
+    Out << traceJson() << "\n";
+    return Status::success();
+  }
+  void reset() {}
+};
+
+inline Telemetry &defaultTelemetry() {
+  static Telemetry Noop;
   return Noop;
 }
-inline Gauge &gauge(std::string_view) {
-  static Gauge Noop;
-  return Noop;
+
+inline Counter &counter(std::string_view Name) {
+  return defaultTelemetry().counter(Name);
+}
+inline Gauge &gauge(std::string_view Name) {
+  return defaultTelemetry().gauge(Name);
 }
 
 inline bool tracingEnabled() { return false; }
@@ -173,6 +259,8 @@ inline void enableTracing(bool = true) {}
 class Span {
 public:
   explicit Span(const char *) {}
+  Span(Telemetry &, const char *) {}
+  Span(const Context &, const char *) {}
   Span(const Span &) = delete;
   Span &operator=(const Span &) = delete;
   void arg(const char *, int64_t) {}

@@ -7,7 +7,7 @@
 #include "opt/Transforms.h"
 
 #include "interp/Eval.h"
-#include "obs/Remarks.h"
+#include "obs/Context.h"
 
 #include <map>
 #include <set>
@@ -20,7 +20,7 @@ using ir::Instr;
 using ir::Type;
 using ir::WireOp;
 
-unsigned reticle::opt::deadCodeElim(Function &Fn) {
+unsigned reticle::opt::deadCodeElim(Function &Fn, const obs::Context &Ctx) {
   std::map<std::string, size_t> DefIndex;
   for (size_t I = 0; I < Fn.body().size(); ++I)
     DefIndex[Fn.body()[I].dst()] = I;
@@ -53,8 +53,8 @@ unsigned reticle::opt::deadCodeElim(Function &Fn) {
       ++Removed;
   }
   Fn.body() = std::move(Kept);
-  if (Removed && obs::remarksEnabled())
-    obs::Remark("opt", "dce")
+  if (Removed && Ctx.remarksEnabled())
+    obs::Remark(Ctx, "opt", "dce")
         .message("removed " + std::to_string(Removed) +
                  " dead instruction(s), " +
                  std::to_string(Fn.body().size()) + " remain")
@@ -63,7 +63,7 @@ unsigned reticle::opt::deadCodeElim(Function &Fn) {
   return Removed;
 }
 
-unsigned reticle::opt::constantFold(Function &Fn) {
+unsigned reticle::opt::constantFold(Function &Fn, const obs::Context &Ctx) {
   // Constant values discovered so far, by variable name.
   std::map<std::string, interp::Value> Consts;
   std::map<std::string, size_t> DefIndex;
@@ -177,15 +177,16 @@ unsigned reticle::opt::constantFold(Function &Fn) {
       }
     }
   }
-  if (Rewritten && obs::remarksEnabled())
-    obs::Remark("opt", "const-fold")
+  if (Rewritten && Ctx.remarksEnabled())
+    obs::Remark(Ctx, "opt", "const-fold")
         .message("folded or simplified " + std::to_string(Rewritten) +
                  " instruction(s)")
         .arg("rewritten", Rewritten);
   return Rewritten;
 }
 
-unsigned reticle::opt::vectorize(Function &Fn, unsigned Lanes) {
+unsigned reticle::opt::vectorize(Function &Fn, unsigned Lanes,
+                                 const obs::Context &Ctx) {
   assert(Lanes >= 2 && (Lanes & (Lanes - 1)) == 0 &&
          "lane count must be a power of two of at least two");
   const std::vector<Instr> &Body = Fn.body();
@@ -331,8 +332,8 @@ unsigned reticle::opt::vectorize(Function &Fn, unsigned Lanes) {
           {static_cast<int64_t>(L * Scalar.width())}, {VecDst}));
   }
   Fn.body() = std::move(NewBody);
-  if (obs::remarksEnabled())
-    obs::Remark("opt", "vectorize")
+  if (Ctx.remarksEnabled())
+    obs::Remark(Ctx, "opt", "vectorize")
         .message("packed " + std::to_string(Groups.size()) + " group(s) of " +
                  std::to_string(Lanes) + " scalar ops into vector lanes")
         .arg("groups", static_cast<uint64_t>(Groups.size()))

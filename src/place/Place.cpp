@@ -6,8 +6,7 @@
 
 #include "place/Place.h"
 
-#include "obs/Remarks.h"
-#include "obs/Telemetry.h"
+#include "obs/Context.h"
 #include "sat/Solver.h"
 
 #include <algorithm>
@@ -88,8 +87,9 @@ void addAtMostOne(sat::Solver &S, const std::vector<sat::Lit> &Lits) {
 class Placer {
 public:
   Placer(const AsmProgram &Prog, const device::Device &Dev,
-         const PlacementOptions &Options, PlacementStats *Stats)
-      : Prog(Prog), Dev(Dev), Options(Options), Stats(Stats) {}
+         const PlacementOptions &Options, PlacementStats *Stats,
+         const obs::Context &Ctx)
+      : Prog(Prog), Dev(Dev), Options(Options), Stats(Stats), Ctx(Ctx) {}
 
   Result<AsmProgram> run();
 
@@ -111,6 +111,7 @@ private:
   const device::Device &Dev;
   PlacementOptions Options;
   PlacementStats *Stats;
+  const obs::Context &Ctx;
 
   std::vector<Cluster> Clusters;      // non-fixed
   std::vector<Cluster> FixedClusters; // fully literal
@@ -269,7 +270,7 @@ Placer::Attempt Placer::solveOnce(const Bounds &B, size_t Cap,
                                   std::vector<Candidate> &Assignment,
                                   std::string &Err,
                                   uint64_t ConflictBudget) {
-  obs::Span Sp("place.solve");
+  obs::Span Sp(Ctx, "place.solve");
   Sp.arg("max_col", B.MaxColumn);
   Sp.arg("max_row", B.MaxRow);
   Sp.arg("cap", static_cast<uint64_t>(Cap));
@@ -334,7 +335,7 @@ Placer::Attempt Placer::solveOnce(const Bounds &B, size_t Cap,
     }
   }
 
-  sat::Solver S;
+  sat::Solver S(Ctx);
   // SAT variables per (cluster, candidate).
   std::vector<std::vector<Candidate>> Cands(Clusters.size());
   std::vector<std::vector<sat::Var>> Vars(Clusters.size());
@@ -410,11 +411,10 @@ Placer::Attempt Placer::solveOnce(const Bounds &B, size_t Cap,
 }
 
 Result<AsmProgram> Placer::run() {
-  static obs::Counter &Placements = obs::counter("place.runs");
-  ++Placements;
+  ++Ctx.counter("place.runs");
   if (Status St = buildClusters(); !St)
     return fail<AsmProgram>(St.error());
-  obs::counter("place.clusters") += Clusters.size();
+  Ctx.counter("place.clusters") += Clusters.size();
 
   Bounds Full{Dev.numColumns() ? Dev.numColumns() - 1 : 0, 0};
   unsigned TallestColumn = std::max(Dev.maxHeight(ir::Resource::Lut),
@@ -440,8 +440,8 @@ Result<AsmProgram> Placer::run() {
                               " cluster(s) on device '" + Dev.name() + "'");
     Cap = std::min(FullCap, Cap * 4);
   }
-  if (obs::remarksEnabled())
-    obs::Remark("place", "solve")
+  if (Ctx.remarksEnabled())
+    obs::Remark(Ctx, "place", "solve")
         .message("first placement found for " +
                  std::to_string(Clusters.size()) + " cluster(s) on '" +
                  Dev.name() + "' (candidate cap " + std::to_string(Cap) + ")")
@@ -470,14 +470,14 @@ Result<AsmProgram> Placer::run() {
     // Shrink columns, then rows, by binary search (Section 5.3). Columns
     // first: packing into few columns keeps DSP chains near their cascade
     // routing.
-    static obs::Counter &ShrinkIters = obs::counter("place.shrink_iters");
+    obs::Counter &ShrinkIters = Ctx.counter("place.shrink_iters");
     for (int Axis = 0; Axis < 2; ++Axis) {
       unsigned Low = 0;
       unsigned High = Axis == 0 ? UsedBounds(BestAssignment).MaxColumn
                                 : UsedBounds(BestAssignment).MaxRow;
       while (Low < High) {
         unsigned Mid = Low + (High - Low) / 2;
-        obs::Span Sp("place.shrink");
+        obs::Span Sp(Ctx, "place.shrink");
         Sp.arg("axis", Axis == 0 ? "col" : "row");
         Sp.arg("bound", Mid);
         ++ShrinkIters;
@@ -493,8 +493,8 @@ Result<AsmProgram> Placer::run() {
           return fail<AsmProgram>(Err);
         Sp.arg("fits", A == Attempt::Sat ? "yes" : "no");
         // The constraint that stops an area shrink is exactly this UNSAT.
-        if (obs::remarksEnabled())
-          obs::Remark("place", "shrink-probe")
+        if (Ctx.remarksEnabled())
+          obs::Remark(Ctx, "place", "shrink-probe")
               .message(std::string("shrink ") +
                        (Axis == 0 ? "columns" : "rows") + " to <= " +
                        std::to_string(Mid) +
@@ -525,9 +525,9 @@ Result<AsmProgram> Placer::run() {
     for (size_t K = 0; K < Clusters[I].Members.size(); ++K)
       SlotOf[Clusters[I].Members[K].BodyIndex] = BestAssignment[I].Slots[K];
     // Which column kind each cluster bound to, and where.
-    if (obs::remarksEnabled() && !BestAssignment[I].Slots.empty()) {
+    if (Ctx.remarksEnabled() && !BestAssignment[I].Slots.empty()) {
       const device::Slot &Base = BestAssignment[I].Slots.front();
-      obs::Remark("place", "bind")
+      obs::Remark(Ctx, "place", "bind")
           .instr(Prog.body()[Clusters[I].Members.front().BodyIndex].dst())
           .message("cluster of " +
                    std::to_string(Clusters[I].Members.size()) +
@@ -565,8 +565,8 @@ Result<AsmProgram> Placer::run() {
       Stats->MaxRow = std::max(Stats->MaxRow, S.Y);
     }
   }
-  if (obs::remarksEnabled())
-    obs::Remark("place", "area")
+  if (Ctx.remarksEnabled())
+    obs::Remark(Ctx, "place", "area")
         .message("final bounding box: columns 0.." + std::to_string(MaxC) +
                  ", rows 0.." + std::to_string(MaxR) + " for " +
                  std::to_string(NumPlaced) + " instruction(s) on '" +
@@ -583,8 +583,9 @@ Result<AsmProgram> Placer::run() {
 Result<AsmProgram> reticle::place::place(const AsmProgram &Prog,
                                          const device::Device &Dev,
                                          const PlacementOptions &Options,
-                                         PlacementStats *Stats) {
-  Placer P(Prog, Dev, Options, Stats);
+                                         PlacementStats *Stats,
+                                         const obs::Context &Ctx) {
+  Placer P(Prog, Dev, Options, Stats, Ctx);
   return P.run();
 }
 

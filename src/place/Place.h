@@ -29,6 +29,7 @@
 #define RETICLE_PLACE_PLACE_H
 
 #include "device/Device.h"
+#include "obs/Context.h"
 #include "rasm/Asm.h"
 #include "support/Result.h"
 
@@ -71,7 +72,8 @@ struct PlacementStats {
 Result<rasm::AsmProgram> place(const rasm::AsmProgram &Prog,
                                const device::Device &Dev,
                                const PlacementOptions &Options = {},
-                               PlacementStats *Stats = nullptr);
+                               PlacementStats *Stats = nullptr,
+                               const obs::Context &Ctx = obs::defaultContext());
 
 /// Independently validates that \p Placed realizes \p Original on \p Dev:
 /// literal coordinates on valid distinct slots of the right kind, with

@@ -6,15 +6,14 @@
 
 #include "sat/Solver.h"
 
-#include "obs/Remarks.h"
-#include "obs/Telemetry.h"
+#include "obs/Context.h"
 
 #include <algorithm>
 
 using namespace reticle;
 using namespace reticle::sat;
 
-Solver::Solver() = default;
+Solver::Solver(const obs::Context &Ctx) : Ctx(Ctx) {}
 
 Var Solver::newVar() {
   Var V = VarCount++;
@@ -358,14 +357,14 @@ uint32_t Solver::luby(uint32_t I) {
 }
 
 Outcome Solver::solve(uint64_t ConflictBudget) {
-  static obs::Counter &Solves = obs::counter("sat.solves");
-  static obs::Counter &Decisions = obs::counter("sat.decisions");
-  static obs::Counter &Propagations = obs::counter("sat.propagations");
-  static obs::Counter &Conflicts = obs::counter("sat.conflicts");
-  static obs::Counter &Restarts = obs::counter("sat.restarts");
-  static obs::Counter &Learned = obs::counter("sat.learned");
+  obs::Counter &Solves = Ctx.counter("sat.solves");
+  obs::Counter &Decisions = Ctx.counter("sat.decisions");
+  obs::Counter &Propagations = Ctx.counter("sat.propagations");
+  obs::Counter &Conflicts = Ctx.counter("sat.conflicts");
+  obs::Counter &Restarts = Ctx.counter("sat.restarts");
+  obs::Counter &Learned = Ctx.counter("sat.learned");
 
-  obs::Span Sp("sat.solve");
+  obs::Span Sp(Ctx, "sat.solve");
   Sp.arg("vars", static_cast<uint64_t>(VarCount));
   Sp.arg("clauses", static_cast<uint64_t>(Clauses.size()));
   Statistics Before = Stats;
@@ -380,8 +379,8 @@ Outcome Solver::solve(uint64_t ConflictBudget) {
   Sp.arg("outcome", O == Outcome::Sat     ? "sat"
                     : O == Outcome::Unsat ? "unsat"
                                           : "unknown");
-  if (O == Outcome::Unsat && obs::remarksEnabled())
-    obs::Remark("sat", "unsat")
+  if (O == Outcome::Unsat && Ctx.remarksEnabled())
+    obs::Remark(Ctx, "sat", "unsat")
         .message("formula with " + std::to_string(VarCount) + " var(s), " +
                  std::to_string(Clauses.size()) + " clause(s) is unsatisfiable")
         .arg("vars", static_cast<uint64_t>(VarCount))
@@ -444,7 +443,7 @@ Outcome Solver::solveImpl(uint64_t ConflictBudget) {
 
     // No conflict: restart, reduce, or decide.
     if (ConflictsHere >= RestartBudget) {
-      obs::instant("sat.restart");
+      Ctx.instant("sat.restart");
       ++Stats.Restarts;
       ++RestartCount;
       ConflictsHere = 0;

@@ -18,6 +18,8 @@
 #ifndef RETICLE_SAT_SOLVER_H
 #define RETICLE_SAT_SOLVER_H
 
+#include "obs/Context.h"
+
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -60,9 +62,12 @@ enum class LBool : uint8_t { False, True, Undef };
 enum class Outcome : uint8_t { Sat, Unsat, Unknown };
 
 /// A CDCL SAT solver over clauses added incrementally before solve().
+/// Counters, spans and remarks record into the obs::Context the solver is
+/// constructed with (the process-wide default when none is given), which
+/// must outlive the solver.
 class Solver {
 public:
-  Solver();
+  explicit Solver(const obs::Context &Ctx = obs::defaultContext());
 
   /// Creates a fresh variable and returns it.
   Var newVar();
@@ -180,6 +185,7 @@ private:
   bool OkFlag = true;
   std::vector<bool> Model;
   Statistics Stats;
+  const obs::Context &Ctx;
 };
 
 } // namespace sat

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <map>
 
 using namespace reticle;
@@ -166,7 +167,8 @@ OpTiming opTiming(const tdl::TargetDef &Def, ir::Type Ty,
 
 Result<TimingReport> reticle::timing::analyzeAsm(
     const rasm::AsmProgram &Placed, const tdl::Target &Target,
-    const device::Device &Dev, const DelayModel &Model) {
+    const device::Device &Dev, const DelayModel &Model,
+    const obs::Context &Ctx) {
   using ReportT = TimingReport;
   if (!Placed.isPlaced())
     return fail<ReportT>("program has unresolved locations; place it first");
@@ -266,5 +268,30 @@ Result<TimingReport> reticle::timing::analyzeAsm(
       }
     }
   }
-  return G.analyze();
+  Result<TimingReport> Report = G.analyze();
+  // Why this fmax: name the instructions the longest path runs through,
+  // endpoint first in `instr`, the full hop sequence in args.
+  if (Report && Ctx.remarksEnabled()) {
+    const TimingReport &R = Report.value();
+    std::string PathStr;
+    for (size_t K = 0; K < R.Path.size(); ++K) {
+      if (K)
+        PathStr += " -> ";
+      PathStr += R.Path[K];
+    }
+    char NsBuf[32], MhzBuf[32];
+    std::snprintf(NsBuf, sizeof(NsBuf), "%.3f", R.CriticalPathNs);
+    std::snprintf(MhzBuf, sizeof(MhzBuf), "%.1f", R.FmaxMhz);
+    obs::Remark Rem(Ctx, "timing", "critical-path");
+    if (!R.Path.empty())
+      Rem.instr(R.Path.back());
+    Rem.message("critical path " + std::string(NsBuf) + " ns (fmax " +
+                MhzBuf + " MHz) through " +
+                std::to_string(R.Path.size()) + " node(s): " + PathStr)
+        .arg("critical_path_ns", R.CriticalPathNs)
+        .arg("fmax_mhz", R.FmaxMhz)
+        .arg("hops", static_cast<uint64_t>(R.Path.size()))
+        .arg("path", std::move(PathStr));
+  }
+  return Report;
 }

@@ -23,6 +23,7 @@
 #define RETICLE_TIMING_TIMING_H
 
 #include "device/Device.h"
+#include "obs/Context.h"
 #include "rasm/Asm.h"
 #include "support/Result.h"
 #include "tdl/Target.h"
@@ -101,10 +102,14 @@ private:
 /// Builds a timing graph for a placed Reticle assembly program and
 /// analyzes it. Wire instructions contribute wiring only; operation
 /// delays and registered outputs come from the target definition names.
+/// When remarks are enabled on \p Ctx, emits one `timing:critical-path`
+/// remark naming the instructions along the longest path, so `--remarks=-`
+/// explains fmax rather than just reporting it.
 Result<TimingReport> analyzeAsm(const rasm::AsmProgram &Placed,
                                 const tdl::Target &Target,
                                 const device::Device &Dev,
-                                const DelayModel &Model = DelayModel());
+                                const DelayModel &Model = DelayModel(),
+                                const obs::Context &Ctx = obs::defaultContext());
 
 } // namespace timing
 } // namespace reticle

@@ -43,7 +43,7 @@ TEST(Compiler, MulAddPipelineEndToEnd) {
   EXPECT_EQ(R.value().Util.Luts, 0u);
   EXPECT_TRUE(R.value().Placed.isPlaced());
   EXPECT_GT(R.value().Timing.FmaxMhz, 0.0);
-  EXPECT_GT(R.value().TotalMs, 0.0);
+  EXPECT_GT(R.value().Times.TotalMs, 0.0);
   EXPECT_TRUE(place::checkPlacement(R.value().Asm, R.value().Placed,
                                     Options.Dev)
                   .ok());
@@ -146,6 +146,6 @@ TEST(Compiler, StatsAccounting) {
   ASSERT_TRUE(R.ok()) << R.error();
   EXPECT_EQ(R.value().SelectStats.NumAsmOps, 1u); // fused addreg
   EXPECT_GT(R.value().PlaceStats.Solves, 0u);
-  EXPECT_GE(R.value().TotalMs,
-            R.value().SelectMs); // total includes stages
+  EXPECT_GE(R.value().Times.TotalMs,
+            R.value().Times.SelectMs); // total includes stages
 }

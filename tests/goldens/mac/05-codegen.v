@@ -1,0 +1,20 @@
+module mac(
+  input clock,
+  input [7:0] a,
+  input [7:0] b,
+  input [7:0] c,
+  input en,
+  output [7:0] y
+);
+  wire [47:0] y__w0;
+  wire [29:0] y__w1;
+  assign y__w1 = {{22{a[7]}}, a};
+  wire [17:0] y__w2;
+  assign y__w2 = {{10{b[7]}}, b};
+  wire [47:0] y__w3;
+  assign y__w3 = {{40{c[7]}}, c};
+  (* LOC = "DSP48E2_X2Y0" *)
+  DSP48E2 # (.USE_SIMD("ONE48"), .USE_MULT("MULTIPLY"), .ALUMODE(4'h0), .OPMODE(9'h35), .PREG(1'h1), .AREG(2'h0), .BREG(2'h0), .CREG(1'h0), .MREG(1'h0))
+    i0 (.A(y__w1), .B(y__w2), .C(y__w3), .P(y__w0), .CLK(clock), .CEP(en));
+  assign y = y__w0[7:0];
+endmodule

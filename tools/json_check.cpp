@@ -17,6 +17,11 @@
 ///     --nonempty=<a.b.c>    array or object at path must have elements
 ///     --has-event=<name>    some traceEvents entry has "name": <name>
 ///     --has-remark=<stage>  (jsonl) some record has "stage": <stage>
+///     --batch-summary       the document is a well-formed
+///                           "reticle-batch-v1" batch summary: the counts
+///                           add up, every program entry has a status, ok
+///                           entries embed a reticle-stats-v1 document,
+///                           error entries carry a message
 ///
 /// The bare invocation only checks that the file parses as strict JSON.
 ///
@@ -68,17 +73,81 @@ bool anyLookup(const std::vector<Json> &Docs, const std::string &Path) {
   return false;
 }
 
+/// Structural validation of a "reticle-batch-v1" summary (see
+/// core/Batch.h). Returns an empty string on success, else what is wrong.
+std::string checkBatchSummary(const Json &Doc) {
+  const Json *Schema = Doc.isObject() ? Doc.find("schema") : nullptr;
+  if (!Schema || !Schema->isString() ||
+      Schema->asString() != "reticle-batch-v1")
+    return "schema is not \"reticle-batch-v1\"";
+
+  auto Count = [&](const char *Key, int64_t &Out) -> bool {
+    const Json *N = Doc.find(Key);
+    if (!N || !N->isNumber())
+      return false;
+    Out = N->asInt();
+    return true;
+  };
+  int64_t Inputs = 0, Succeeded = 0, Failed = 0, Jobs = 0;
+  if (!Count("inputs", Inputs))
+    return "missing numeric 'inputs'";
+  if (!Count("succeeded", Succeeded))
+    return "missing numeric 'succeeded'";
+  if (!Count("failed", Failed))
+    return "missing numeric 'failed'";
+  if (!Count("jobs", Jobs) || Jobs < 1)
+    return "missing positive 'jobs'";
+  if (Succeeded + Failed != Inputs)
+    return "succeeded + failed != inputs";
+
+  const Json *Programs = Doc.find("programs");
+  if (!Programs || !Programs->isArray())
+    return "missing 'programs' array";
+  if (static_cast<int64_t>(Programs->size()) != Inputs)
+    return "'programs' length disagrees with 'inputs'";
+  for (const Json &Entry : Programs->items()) {
+    const Json *Name = Entry.isObject() ? Entry.find("program") : nullptr;
+    if (!Name || !Name->isString())
+      return "a program entry lacks 'program'";
+    const Json *St = Entry.find("status");
+    if (!St || !St->isString())
+      return "'" + Name->asString() + "' lacks 'status'";
+    if (St->asString() == "ok") {
+      const Json *Stats = lookup(Entry, "stats.schema");
+      if (!Stats || !Stats->isString() ||
+          Stats->asString() != "reticle-stats-v1")
+        return "'" + Name->asString() +
+               "' is ok but embeds no reticle-stats-v1 document";
+    } else if (St->asString() == "error") {
+      const Json *Error = Entry.find("error");
+      if (!Error || !Error->isString() || Error->asString().empty())
+        return "'" + Name->asString() + "' failed without an error message";
+    } else {
+      return "'" + Name->asString() + "' has unknown status '" +
+             St->asString() + "'";
+    }
+  }
+
+  const Json *TotalMs = lookup(Doc, "totals.total_ms");
+  if (!TotalMs || !TotalMs->isNumber())
+    return "missing numeric 'totals.total_ms'";
+  return {};
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   std::string FilePath;
   std::vector<std::string> Required, NonEmpty, Events, Remarks;
   bool Jsonl = false;
+  bool BatchSummary = false;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--jsonl")
       Jsonl = true;
+    else if (Arg == "--batch-summary")
+      BatchSummary = true;
     else if (Arg.rfind("--require=", 0) == 0)
       Required.push_back(Arg.substr(10));
     else if (Arg.rfind("--nonempty=", 0) == 0)
@@ -91,7 +160,8 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr,
                    "usage: %s [--jsonl] [--require=<path>] "
                    "[--nonempty=<path>] [--has-event=<name>] "
-                   "[--has-remark=<stage>] <file.json>\n",
+                   "[--has-remark=<stage>] [--batch-summary] "
+                   "<file.json>\n",
                    Argv[0]);
       return 2;
     } else
@@ -130,6 +200,11 @@ int main(int Argc, char **Argv) {
       return fail(FilePath, "malformed JSON: " + Doc.error());
     Docs.push_back(Doc.take());
   }
+
+  if (BatchSummary)
+    if (std::string Problem = checkBatchSummary(Docs.front());
+        !Problem.empty())
+      return fail(FilePath, "bad batch summary: " + Problem);
 
   for (const std::string &Path : Required)
     if (!anyLookup(Docs, Path))

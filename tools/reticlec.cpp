@@ -13,7 +13,7 @@
 /// program snapshots, optimization remarks, and a placement floorplan.
 ///
 /// Usage:
-///   reticlec [options] <input.ret>
+///   reticlec [options] <input.ret> [<input2.ret> ...]
 ///     --emit=asm|placed|verilog|behavioral   artifact to print (verilog)
 ///     --device=xczu3eg|small|tiny            placement target (xczu3eg)
 ///     -O                                     run dce/fold/vectorize first
@@ -24,7 +24,8 @@
 ///     --trace=<file|->                       Chrome/Perfetto trace of the run
 ///     --dump-after-all=<dir>                 write every stage snapshot + manifest
 ///     --dump-after=<stage>                   print one stage's program to stderr
-///                                            (parse, isel, cascade, place, codegen)
+///                                            (parse, opt, isel, cascade, place,
+///                                            codegen)
 ///     --remarks=<file|->                     human-readable optimization remarks
 ///     --remarks-json=<file|->                remarks as JSONL (reticle-remarks-v1)
 ///     --floorplan=<file|->                   placement floorplan; SVG by default,
@@ -33,13 +34,29 @@
 ///     --version                              print the version and exit
 ///     -o <file>                              write output to a file
 ///
-/// Exit codes: 0 success, 1 the input failed to parse or compile, 2 the
+/// With more than one input the driver switches to batch mode and
+/// compiles every program concurrently, one CompileSession per input:
+///     --jobs=N                               worker threads (default: cores)
+///     --out-dir=<dir>                        per-input artifacts land here (.)
+/// Each input <stem>.ret produces <out-dir>/<stem>.v (or .rasm), plus —
+/// when the corresponding flag is given — <stem>.stats.json,
+/// <stem>.remarks.txt, <stem>.remarks.jsonl, <stem>.trace.json, and a
+/// <stem>/ snapshot directory under the --dump-after-all directory. The
+/// --stats-json path then receives the merged "reticle-batch-v1" summary
+/// (the per-input file paths of --remarks/--remarks-json/--trace are
+/// ignored; presence of the flag enables the per-input artifact).
+/// Single-input flags (-o, --dump-after, --floorplan, --emit=behavioral)
+/// are rejected in batch mode.
+///
+/// Exit codes: 0 success, 1 an input failed to parse or compile, 2 the
 /// invocation itself was wrong (unknown flag or value, missing input,
 /// unreadable input file, unwritable output file).
 ///
 //===----------------------------------------------------------------------===//
 
+#include "core/Batch.h"
 #include "core/Compiler.h"
+#include "core/Session.h"
 #include "core/Stats.h"
 #include "ir/Parser.h"
 #include "obs/Remarks.h"
@@ -52,10 +69,14 @@
 #include "tdl/Ultrascale.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #ifndef RETICLE_VERSION
 #define RETICLE_VERSION "0.0.0-dev"
@@ -67,7 +88,8 @@ namespace {
 
 constexpr const char *EmitChoices = "asm, placed, verilog, behavioral";
 constexpr const char *DeviceChoices = "xczu3eg, small, tiny";
-constexpr const char *StageChoices = "parse, isel, cascade, place, codegen";
+constexpr const char *StageChoices =
+    "parse, opt, isel, cascade, place, codegen";
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
@@ -77,7 +99,8 @@ int usage(const char *Argv0) {
                "[--trace=<file|->] [--dump-after-all=<dir>] "
                "[--dump-after=<stage>] [--remarks=<file|->] "
                "[--remarks-json=<file|->] [--floorplan=<file|->] "
-               "[-o <file>] <input.ret>\n"
+               "[--jobs=N] [--out-dir=<dir>] "
+               "[-o <file>] <input.ret> [<input2.ret> ...]\n"
                "       %s --dump-target\n"
                "       %s --version\n",
                Argv0, Argv0, Argv0);
@@ -91,15 +114,15 @@ int usageError(const std::string &Message) {
   return 2;
 }
 
-/// The input program failed to parse or compile.
+/// An input program failed to parse or compile.
 int compileError(const std::string &Message) {
   std::fprintf(stderr, "reticlec: error: %s\n", Message.c_str());
   return 1;
 }
 
 bool isKnownStage(const std::string &Stage) {
-  return Stage == "parse" || Stage == "isel" || Stage == "cascade" ||
-         Stage == "place" || Stage == "codegen";
+  return Stage == "parse" || Stage == "opt" || Stage == "isel" ||
+         Stage == "cascade" || Stage == "place" || Stage == "codegen";
 }
 
 bool endsWith(const std::string &Text, const char *Suffix) {
@@ -121,12 +144,10 @@ Status writeTextOutput(const std::string &Path, const std::string &Text) {
   return Status::success();
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
+/// Everything parsed from the command line.
+struct DriverArgs {
   std::string Emit = "verilog";
-  std::string DeviceName = "xczu3eg";
-  std::string InputPath;
+  std::vector<std::string> Inputs;
   std::string OutputPath;
   std::string StatsJsonPath;
   std::string TracePath;
@@ -135,9 +156,292 @@ int main(int Argc, char **Argv) {
   std::string RemarksPath;
   std::string RemarksJsonPath;
   std::string FloorplanPath;
-  bool Optimize = false;
+  std::string OutDir = ".";
+  unsigned Jobs = 0;
   bool Stats = false;
   core::CompileOptions Options;
+};
+
+/// The compile error message for a failed pipeline run: parse failures
+/// carry the input path, later stages speak for themselves (matching the
+/// historical driver output).
+std::string pipelineErrorMessage(const core::CompileSession &Session,
+                                 const std::string &InputPath,
+                                 const std::string &Error) {
+  for (const core::CompileSession::Diagnostic &D : Session.diagnostics())
+    if (D.Stage == "parse" && D.Message == Error)
+      return InputPath + ": " + Error;
+  return Error;
+}
+
+std::string primaryArtifactText(const core::CompileResult &R,
+                                const std::string &Emit) {
+  if (Emit == "asm")
+    return R.Asm.str();
+  if (Emit == "placed")
+    return R.Placed.str();
+  return R.Verilog.str();
+}
+
+/// Compiles one input inside its own session. This is the whole
+/// single-input driver minus argument parsing.
+int runSingle(const DriverArgs &Args) {
+  const std::string &InputPath = Args.Inputs.front();
+  std::ifstream In(InputPath);
+  if (!In)
+    return usageError("cannot open '" + InputPath + "'");
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  if (Args.Emit == "behavioral") {
+    // The behavioral translation bypasses the Figure-7 pipeline: parse
+    // and optimize by hand, then emit.
+    Result<ir::Function> Fn = ir::parseFunction(Buffer.str());
+    if (!Fn)
+      return compileError(InputPath + ": " + Fn.error());
+    if (Args.Options.Optimize) {
+      unsigned Folded = opt::constantFold(Fn.value());
+      unsigned Dead = opt::deadCodeElim(Fn.value());
+      unsigned Vectors = opt::vectorize(Fn.value());
+      if (Args.Stats)
+        std::fprintf(stderr,
+                     "opt: folded %u, removed %u dead, formed %u vector "
+                     "op(s)\n",
+                     Folded, Dead, Vectors);
+    }
+    std::string Output =
+        synth::emitBehavioral(Fn.value(), synth::Mode::Hint).str();
+    if (Args.OutputPath.empty()) {
+      std::fputs(Output.c_str(), stdout);
+      return 0;
+    }
+    if (Status S = writeTextOutput(Args.OutputPath, Output); !S)
+      return usageError(S.error());
+    return 0;
+  }
+
+  core::CompileSession Session;
+  if (!Args.TracePath.empty())
+    Session.telemetry().enableTracing();
+  if (!Args.RemarksPath.empty() || !Args.RemarksJsonPath.empty())
+    Session.remarks().enable();
+  bool WantSnapshots = !Args.DumpDir.empty() || !Args.DumpStage.empty();
+  if (WantSnapshots)
+    Session.captureSnapshots();
+
+  Result<core::CompileResult> R =
+      core::compileSource(Buffer.str(), InputPath, Args.Options, Session);
+  if (!R)
+    return compileError(pipelineErrorMessage(Session, InputPath, R.error()));
+
+  if (Args.Options.Optimize && Args.Stats)
+    std::fprintf(stderr,
+                 "opt: folded %u, removed %u dead, formed %u vector "
+                 "op(s)\n",
+                 R.value().Opt.Folded, R.value().Opt.Dead,
+                 R.value().Opt.Vectorized);
+
+  std::string Output = primaryArtifactText(R.value(), Args.Emit);
+
+  obs::Json Doc = core::statsJson(R.value(), InputPath, Session.context());
+  if (Args.Stats)
+    obs::printTable(Doc, stderr);
+  if (!Args.StatsJsonPath.empty()) {
+    if (Args.StatsJsonPath == "-") {
+      std::fputs((Doc.str(2) + "\n").c_str(), stdout);
+    } else if (Status S = obs::writeJsonFile(Doc, Args.StatsJsonPath); !S) {
+      return usageError(S.error());
+    }
+  }
+
+  if (!Args.DumpDir.empty())
+    if (Status S =
+            obs::writeSnapshots(Session.snapshots(), Args.DumpDir, InputPath);
+        !S)
+      return usageError(S.error());
+  if (!Args.DumpStage.empty()) {
+    const obs::StageSnapshot *Snap =
+        Session.snapshots().find(Args.DumpStage);
+    if (!Snap)
+      return compileError("no snapshot recorded for stage '" +
+                          Args.DumpStage + "'");
+    std::fprintf(stderr, "; after %s\n", Snap->Stage.c_str());
+    std::fputs(Snap->Text.c_str(), stderr);
+  }
+
+  if (!Args.FloorplanPath.empty()) {
+    bool Ascii =
+        Args.FloorplanPath == "-" || endsWith(Args.FloorplanPath, ".txt");
+    std::string Plan =
+        Ascii ? place::floorplanAscii(R.value().Placed, Args.Options.Dev)
+              : place::floorplanSvg(R.value().Placed, Args.Options.Dev);
+    if (Status S = writeTextOutput(Args.FloorplanPath, Plan); !S)
+      return usageError(S.error());
+  }
+
+  if (!Args.RemarksPath.empty()) {
+    if (Args.RemarksPath == "-") {
+      std::fputs(Session.remarks().text().c_str(), stdout);
+    } else if (Status S = Session.remarks().writeText(Args.RemarksPath);
+               !S) {
+      return usageError(S.error());
+    }
+  }
+  if (!Args.RemarksJsonPath.empty()) {
+    if (Args.RemarksJsonPath == "-") {
+      std::fputs(Session.remarks().jsonl(InputPath).c_str(), stdout);
+    } else if (Status S = Session.remarks().writeJsonl(Args.RemarksJsonPath,
+                                                       InputPath);
+               !S) {
+      return usageError(S.error());
+    }
+  }
+
+  if (!Args.TracePath.empty()) {
+    if (Args.TracePath == "-") {
+      std::fputs((Session.telemetry().traceJson() + "\n").c_str(), stdout);
+    } else if (Status S = Session.telemetry().writeTrace(Args.TracePath);
+               !S) {
+      return usageError(S.error());
+    }
+  }
+
+  if (Args.OutputPath.empty()) {
+    std::fputs(Output.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream Out(Args.OutputPath);
+  if (!Out)
+    return usageError("cannot write '" + Args.OutputPath + "'");
+  Out << Output;
+  return 0;
+}
+
+/// Compiles every input concurrently and writes per-input artifacts plus
+/// the merged batch summary.
+int runBatch(const DriverArgs &Args) {
+  for (const auto &[Flag, Value] :
+       {std::pair<const char *, const std::string *>{"-o", &Args.OutputPath},
+        {"--dump-after", &Args.DumpStage},
+        {"--floorplan", &Args.FloorplanPath}})
+    if (!Value->empty())
+      return usageError(std::string(Flag) +
+                        " applies to a single input; with several inputs "
+                        "use --out-dir");
+  if (Args.Emit == "behavioral")
+    return usageError("--emit=behavioral applies to a single input");
+
+  // Read every input up front, and derive a unique artifact stem per
+  // input from its file name.
+  std::vector<core::BatchInput> Inputs;
+  std::vector<std::string> Stems;
+  std::set<std::string> SeenStems;
+  for (const std::string &Path : Args.Inputs) {
+    std::ifstream In(Path);
+    if (!In)
+      return usageError("cannot open '" + Path + "'");
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    Inputs.push_back({Path, Buffer.str()});
+    std::string Stem = std::filesystem::path(Path).stem().string();
+    if (Stem.empty())
+      Stem = "input" + std::to_string(Stems.size());
+    if (!SeenStems.insert(Stem).second)
+      return usageError("inputs '" + Path +
+                        "' and an earlier input share the artifact stem '" +
+                        Stem + "'; rename one");
+    Stems.push_back(Stem);
+  }
+
+  std::error_code Ec;
+  std::filesystem::create_directories(Args.OutDir, Ec);
+  if (Ec)
+    return usageError("cannot create '" + Args.OutDir +
+                      "': " + Ec.message());
+
+  core::BatchOptions Batch;
+  Batch.Options = Args.Options;
+  Batch.Jobs = Args.Jobs;
+  Batch.CaptureSnapshots = !Args.DumpDir.empty();
+  Batch.EnableRemarks =
+      !Args.RemarksPath.empty() || !Args.RemarksJsonPath.empty();
+  Batch.EnableTracing = !Args.TracePath.empty();
+  unsigned Jobs = core::batchJobCount(Batch, Inputs.size());
+
+  std::vector<core::BatchItem> Items = core::compileBatch(Inputs, Batch);
+
+  const char *Ext = Args.Emit == "verilog" ? ".v" : ".rasm";
+  int Exit = 0;
+  for (size_t I = 0; I < Items.size(); ++I) {
+    const core::BatchItem &Item = Items[I];
+    std::filesystem::path Base =
+        std::filesystem::path(Args.OutDir) / Stems[I];
+    if (!Item.ok()) {
+      std::string Error =
+          Item.Outcome ? Item.Outcome->error() : std::string("not compiled");
+      compileError(pipelineErrorMessage(*Item.Session, Item.Name, Error));
+      Exit = 1;
+      continue;
+    }
+    const core::CompileResult &R = Item.Outcome->value();
+    if (Status S = writeTextOutput(Base.string() + Ext,
+                                   primaryArtifactText(R, Args.Emit));
+        !S)
+      return usageError(S.error());
+    if (!Args.StatsJsonPath.empty()) {
+      obs::Json Doc =
+          core::statsJson(R, Item.Name, Item.Session->context());
+      if (Status S = obs::writeJsonFile(Doc, Base.string() + ".stats.json");
+          !S)
+        return usageError(S.error());
+    }
+    if (!Args.RemarksPath.empty())
+      if (Status S =
+              Item.Session->remarks().writeText(Base.string() +
+                                                ".remarks.txt");
+          !S)
+        return usageError(S.error());
+    if (!Args.RemarksJsonPath.empty())
+      if (Status S = Item.Session->remarks().writeJsonl(
+              Base.string() + ".remarks.jsonl", Item.Name);
+          !S)
+        return usageError(S.error());
+    if (!Args.TracePath.empty())
+      if (Status S = Item.Session->telemetry().writeTrace(Base.string() +
+                                                          ".trace.json");
+          !S)
+        return usageError(S.error());
+    if (!Args.DumpDir.empty()) {
+      std::filesystem::path StageDir =
+          std::filesystem::path(Args.DumpDir) / Stems[I];
+      if (Status S = obs::writeSnapshots(Item.Session->snapshots(),
+                                         StageDir.string(), Item.Name);
+          !S)
+        return usageError(S.error());
+    }
+    if (Args.Stats)
+      std::fprintf(stderr, "%s: ok (%.1f ms, %u LUT, %u DSP)\n",
+                   Item.Name.c_str(), R.Times.TotalMs, R.Util.Luts,
+                   R.Util.Dsps);
+  }
+
+  if (!Args.StatsJsonPath.empty()) {
+    obs::Json Summary = core::batchStatsJson(Items, Jobs);
+    if (Args.StatsJsonPath == "-") {
+      std::fputs((Summary.str(2) + "\n").c_str(), stdout);
+    } else if (Status S = obs::writeJsonFile(Summary, Args.StatsJsonPath);
+               !S) {
+      return usageError(S.error());
+    }
+  }
+  return Exit;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  DriverArgs Args;
+  std::string DeviceName = "xczu3eg";
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -150,85 +454,96 @@ int main(int Argc, char **Argv) {
       return 0;
     }
     if (Arg.rfind("--emit=", 0) == 0) {
-      Emit = Arg.substr(7);
+      Args.Emit = Arg.substr(7);
     } else if (Arg.rfind("--device=", 0) == 0) {
       DeviceName = Arg.substr(9);
     } else if (Arg.rfind("--stats-json=", 0) == 0) {
-      StatsJsonPath = Arg.substr(13);
-      if (StatsJsonPath.empty())
+      Args.StatsJsonPath = Arg.substr(13);
+      if (Args.StatsJsonPath.empty())
         return usageError("--stats-json= requires a file path or '-'");
     } else if (Arg.rfind("--trace=", 0) == 0) {
-      TracePath = Arg.substr(8);
-      if (TracePath.empty())
+      Args.TracePath = Arg.substr(8);
+      if (Args.TracePath.empty())
         return usageError("--trace= requires a file path or '-'");
     } else if (Arg.rfind("--dump-after-all=", 0) == 0) {
-      DumpDir = Arg.substr(17);
-      if (DumpDir.empty())
+      Args.DumpDir = Arg.substr(17);
+      if (Args.DumpDir.empty())
         return usageError("--dump-after-all= requires a directory");
     } else if (Arg.rfind("--dump-after=", 0) == 0) {
-      DumpStage = Arg.substr(13);
-      if (!isKnownStage(DumpStage))
-        return usageError("unknown stage '" + DumpStage +
+      Args.DumpStage = Arg.substr(13);
+      if (!isKnownStage(Args.DumpStage))
+        return usageError("unknown stage '" + Args.DumpStage +
                           "' (valid: " + std::string(StageChoices) + ")");
     } else if (Arg.rfind("--remarks=", 0) == 0) {
-      RemarksPath = Arg.substr(10);
-      if (RemarksPath.empty())
+      Args.RemarksPath = Arg.substr(10);
+      if (Args.RemarksPath.empty())
         return usageError("--remarks= requires a file path or '-'");
     } else if (Arg.rfind("--remarks-json=", 0) == 0) {
-      RemarksJsonPath = Arg.substr(15);
-      if (RemarksJsonPath.empty())
+      Args.RemarksJsonPath = Arg.substr(15);
+      if (Args.RemarksJsonPath.empty())
         return usageError("--remarks-json= requires a file path or '-'");
     } else if (Arg.rfind("--floorplan=", 0) == 0) {
-      FloorplanPath = Arg.substr(12);
-      if (FloorplanPath.empty())
+      Args.FloorplanPath = Arg.substr(12);
+      if (Args.FloorplanPath.empty())
         return usageError("--floorplan= requires a file path or '-'");
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      std::string Value = Arg.substr(7);
+      char *End = nullptr;
+      unsigned long Jobs = std::strtoul(Value.c_str(), &End, 10);
+      if (Value.empty() || *End != '\0' || Jobs == 0 || Jobs > 1024)
+        return usageError("--jobs= requires a positive thread count");
+      Args.Jobs = static_cast<unsigned>(Jobs);
+    } else if (Arg.rfind("--out-dir=", 0) == 0) {
+      Args.OutDir = Arg.substr(10);
+      if (Args.OutDir.empty())
+        return usageError("--out-dir= requires a directory");
     } else if (Arg == "-O") {
-      Optimize = true;
+      Args.Options.Optimize = true;
     } else if (Arg == "--no-cascade") {
-      Options.Cascade = false;
+      Args.Options.Cascade = false;
     } else if (Arg == "--no-shrink") {
-      Options.Shrink = false;
+      Args.Options.Shrink = false;
     } else if (Arg == "--stats") {
-      Stats = true;
+      Args.Stats = true;
     } else if (Arg == "-o") {
       if (++I >= Argc)
         return usage(Argv[0]);
-      OutputPath = Argv[I];
+      Args.OutputPath = Argv[I];
     } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
       std::fprintf(stderr, "reticlec: unknown option '%s'\n", Arg.c_str());
       return usage(Argv[0]);
-    } else if (InputPath.empty()) {
-      InputPath = Arg;
     } else {
-      return usage(Argv[0]);
+      Args.Inputs.push_back(Arg);
     }
   }
-  if (InputPath.empty())
+  if (Args.Inputs.empty())
     return usage(Argv[0]);
 
-  if (Emit != "asm" && Emit != "placed" && Emit != "verilog" &&
-      Emit != "behavioral")
-    return usageError("unknown --emit kind '" + Emit +
+  if (Args.Emit != "asm" && Args.Emit != "placed" &&
+      Args.Emit != "verilog" && Args.Emit != "behavioral")
+    return usageError("unknown --emit kind '" + Args.Emit +
                       "' (valid: " + EmitChoices + ")");
 
   if (DeviceName == "xczu3eg")
-    Options.Dev = device::Device::xczu3eg();
+    Args.Options.Dev = device::Device::xczu3eg();
   else if (DeviceName == "small")
-    Options.Dev = device::Device::small();
+    Args.Options.Dev = device::Device::small();
   else if (DeviceName == "tiny")
-    Options.Dev = device::Device::tiny();
+    Args.Options.Dev = device::Device::tiny();
   else
     return usageError("unknown --device '" + DeviceName +
                       "' (valid: " + DeviceChoices + ")");
 
-  if (Emit == "behavioral") {
+  if (Args.Emit == "behavioral") {
     // Everything below observes the Figure-7 pipeline, which the
     // behavioral translation bypasses entirely.
     const std::pair<const char *, const std::string *> PipelineOnly[] = {
-        {"--stats-json", &StatsJsonPath},   {"--dump-after-all", &DumpDir},
-        {"--dump-after", &DumpStage},       {"--remarks", &RemarksPath},
-        {"--remarks-json", &RemarksJsonPath},
-        {"--floorplan", &FloorplanPath},
+        {"--stats-json", &Args.StatsJsonPath},
+        {"--dump-after-all", &Args.DumpDir},
+        {"--dump-after", &Args.DumpStage},
+        {"--remarks", &Args.RemarksPath},
+        {"--remarks-json", &Args.RemarksJsonPath},
+        {"--floorplan", &Args.FloorplanPath},
     };
     for (const auto &[Flag, Value] : PipelineOnly)
       if (!Value->empty())
@@ -237,119 +552,5 @@ int main(int Argc, char **Argv) {
                           "(asm, placed, verilog)");
   }
 
-  if (!TracePath.empty())
-    obs::enableTracing();
-  if (!RemarksPath.empty() || !RemarksJsonPath.empty())
-    obs::enableRemarks();
-
-  std::ifstream In(InputPath);
-  if (!In)
-    return usageError("cannot open '" + InputPath + "'");
-  std::stringstream Buffer;
-  Buffer << In.rdbuf();
-
-  Result<ir::Function> Fn = ir::parseFunction(Buffer.str());
-  if (!Fn)
-    return compileError(InputPath + ": " + Fn.error());
-
-  if (Optimize) {
-    unsigned Folded = opt::constantFold(Fn.value());
-    unsigned Dead = opt::deadCodeElim(Fn.value());
-    unsigned Vectors = opt::vectorize(Fn.value());
-    if (Stats)
-      std::fprintf(stderr,
-                   "opt: folded %u, removed %u dead, formed %u vector "
-                   "op(s)\n",
-                   Folded, Dead, Vectors);
-  }
-
-  obs::SnapshotSink Snapshots;
-  bool WantSnapshots = !DumpDir.empty() || !DumpStage.empty();
-  if (WantSnapshots) {
-    // The "parse" snapshot reflects the program the pipeline actually
-    // consumes, i.e. after any -O front-end passes.
-    Snapshots.add("parse", "ir", Fn.value().str());
-    Options.Snapshots = &Snapshots;
-  }
-
-  std::string Output;
-  if (Emit == "behavioral") {
-    Output = synth::emitBehavioral(Fn.value(), synth::Mode::Hint).str();
-  } else {
-    Result<core::CompileResult> R = core::compile(Fn.value(), Options);
-    if (!R)
-      return compileError(R.error());
-    if (Emit == "asm")
-      Output = R.value().Asm.str();
-    else if (Emit == "placed")
-      Output = R.value().Placed.str();
-    else
-      Output = R.value().Verilog.str();
-
-    obs::Json Doc = core::statsJson(R.value(), InputPath);
-    if (Stats)
-      obs::printTable(Doc, stderr);
-    if (!StatsJsonPath.empty()) {
-      if (StatsJsonPath == "-") {
-        std::fputs((Doc.str(2) + "\n").c_str(), stdout);
-      } else if (Status S = obs::writeJsonFile(Doc, StatsJsonPath); !S) {
-        return usageError(S.error());
-      }
-    }
-
-    if (!DumpDir.empty())
-      if (Status S = obs::writeSnapshots(Snapshots, DumpDir, InputPath); !S)
-        return usageError(S.error());
-    if (!DumpStage.empty()) {
-      const obs::StageSnapshot *Snap = Snapshots.find(DumpStage);
-      if (!Snap)
-        return compileError("no snapshot recorded for stage '" + DumpStage +
-                            "'");
-      std::fprintf(stderr, "; after %s\n", Snap->Stage.c_str());
-      std::fputs(Snap->Text.c_str(), stderr);
-    }
-
-    if (!FloorplanPath.empty()) {
-      bool Ascii = FloorplanPath == "-" || endsWith(FloorplanPath, ".txt");
-      std::string Plan =
-          Ascii ? place::floorplanAscii(R.value().Placed, Options.Dev)
-                : place::floorplanSvg(R.value().Placed, Options.Dev);
-      if (Status S = writeTextOutput(FloorplanPath, Plan); !S)
-        return usageError(S.error());
-    }
-  }
-
-  if (!RemarksPath.empty()) {
-    if (RemarksPath == "-") {
-      std::fputs(obs::remarksText().c_str(), stdout);
-    } else if (Status S = obs::writeRemarksText(RemarksPath); !S) {
-      return usageError(S.error());
-    }
-  }
-  if (!RemarksJsonPath.empty()) {
-    if (RemarksJsonPath == "-") {
-      std::fputs(obs::remarksJsonl(InputPath).c_str(), stdout);
-    } else if (Status S = obs::writeRemarksJsonl(RemarksJsonPath, InputPath);
-               !S) {
-      return usageError(S.error());
-    }
-  }
-
-  if (!TracePath.empty()) {
-    if (TracePath == "-") {
-      std::fputs((obs::traceJson() + "\n").c_str(), stdout);
-    } else if (Status S = obs::writeTrace(TracePath); !S) {
-      return usageError(S.error());
-    }
-  }
-
-  if (OutputPath.empty()) {
-    std::fputs(Output.c_str(), stdout);
-    return 0;
-  }
-  std::ofstream Out(OutputPath);
-  if (!Out)
-    return usageError("cannot write '" + OutputPath + "'");
-  Out << Output;
-  return 0;
+  return Args.Inputs.size() > 1 ? runBatch(Args) : runSingle(Args);
 }
