@@ -2,8 +2,9 @@
 # Tier-1 verification: configure, build, run the full test suite, then
 # drive the compiler end to end and validate every machine-readable
 # artifact it emits (stats, trace, remarks, snapshot manifest, batch
-# summary) with json_check. After the primary build, two hardening
-# builds run: one with the telemetry layer compiled out
+# summary) with json_check, including a remark_diff of two identical
+# runs to pin down pipeline determinism. After the primary build, two
+# hardening builds run: one with the telemetry layer compiled out
 # (-DRETICLE_NO_TELEMETRY=ON) and one under ThreadSanitizer exercising
 # the concurrent batch-compile path. Run from anywhere; builds into
 # <repo>/build (plus build-notelem/ and build-tsan/ siblings).
@@ -47,6 +48,18 @@ trap 'rm -rf "$out"' EXIT
 # must be valid JSONL either way (empty counts as valid).
 "$build/tools/json_check" --jsonl "$out/remarks.jsonl"
 grep -q "</svg>" "$out/plan.svg"
+
+echo "== remark determinism (remark_diff on two identical runs) =="
+"$build/tools/reticlec" --device=small --emit=placed \
+    --remarks-json="$out/remarks-b.jsonl" \
+    --floorplan-timeline="$out/timeline.svg" \
+    "$repo/examples/programs/mac.ret"
+grep -q "</svg>" "$out/timeline.svg"
+"$build/tools/reticlec" --device=small --emit=placed \
+    --remarks-json="$out/remarks-a.jsonl" \
+    "$repo/examples/programs/mac.ret"
+"$build/tools/json_check" remark_diff \
+    "$out/remarks-a.jsonl" "$out/remarks-b.jsonl"
 
 echo "== batch compile end to end =="
 "$build/tools/reticlec" --device=small --jobs="$jobs" \

@@ -9,6 +9,7 @@
 #include "core/Stats.h"
 #include "tdl/Ultrascale.h"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
@@ -23,6 +24,23 @@ unsigned reticle::core::batchJobCount(const BatchOptions &Options,
   if (InputCount < Jobs)
     Jobs = static_cast<unsigned>(InputCount);
   return std::max(1u, Jobs);
+}
+
+std::vector<size_t>
+reticle::core::batchScheduleOrder(const std::vector<BatchInput> &Inputs) {
+  // Statement terminators are a faithful proxy for instruction count, and
+  // counting them costs nothing compared to a compile.
+  std::vector<size_t> Cost(Inputs.size(), 0);
+  for (size_t I = 0; I < Inputs.size(); ++I)
+    Cost[I] = static_cast<size_t>(
+        std::count(Inputs[I].Source.begin(), Inputs[I].Source.end(), ';'));
+  std::vector<size_t> Order(Inputs.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return Cost[A] > Cost[B];
+  });
+  return Order;
 }
 
 std::vector<BatchItem>
@@ -50,13 +68,18 @@ reticle::core::compileBatch(const std::vector<BatchInput> &Inputs,
     Items.push_back(std::move(Item));
   }
 
-  std::atomic<size_t> NextInput{0};
+  // Workers pull from the cost-sorted schedule so the most expensive
+  // compiles start first; results still land at their input's index.
+  std::vector<size_t> Order = batchScheduleOrder(Inputs);
+  std::atomic<size_t> NextSlot{0};
   auto Work = [&] {
-    for (size_t I = NextInput.fetch_add(1, std::memory_order_relaxed);
-         I < Items.size();
-         I = NextInput.fetch_add(1, std::memory_order_relaxed))
+    for (size_t Slot = NextSlot.fetch_add(1, std::memory_order_relaxed);
+         Slot < Order.size();
+         Slot = NextSlot.fetch_add(1, std::memory_order_relaxed)) {
+      size_t I = Order[Slot];
       Items[I].Outcome.emplace(compileSource(
           Inputs[I].Source, Inputs[I].Name, PerCompile, *Items[I].Session));
+    }
   };
 
   unsigned Jobs = batchJobCount(Options, Inputs.size());

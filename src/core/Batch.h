@@ -74,10 +74,18 @@ struct BatchItem {
 };
 
 /// Compiles every input, in order-stable fashion: Items[i] corresponds to
-/// Inputs[i] regardless of scheduling. Individual failures do not stop
-/// the batch; inspect each item's Outcome.
+/// Inputs[i] regardless of scheduling. Workers pick up inputs in
+/// estimated-cost order (largest first, see batchScheduleOrder) so a big
+/// program submitted last cannot serialize the tail of the batch.
+/// Individual failures do not stop the batch; inspect each item's Outcome.
 std::vector<BatchItem> compileBatch(const std::vector<BatchInput> &Inputs,
                                     const BatchOptions &Options = {});
+
+/// The order compileBatch hands inputs to workers: indices into \p Inputs
+/// sorted by estimated compile cost (instruction count, descending), ties
+/// broken by position so the schedule is deterministic. Scheduling only —
+/// the Items[i] <-> Inputs[i] correspondence is unaffected.
+std::vector<size_t> batchScheduleOrder(const std::vector<BatchInput> &Inputs);
 
 /// The merged "reticle-batch-v1" summary over a finished batch. \p Jobs
 /// records the pool size actually used (purely informational).

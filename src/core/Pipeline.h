@@ -118,6 +118,15 @@ private:
 /// compile(Fn) stage list (isel, cascade, place, codegen) intact.
 Pipeline buildPipeline(const CompileOptions &Options, bool FromSource);
 
+/// The canonical stage names in pipeline order, for driver flag
+/// validation (`--disable-pass=`, `--print-before=`).
+const std::vector<std::string> &pipelinePassNames();
+
+/// Whether \p Name is a stage the driver may disable. Only the optional
+/// stages qualify (opt, cascade, timing); parse, isel, place, and codegen
+/// are structural — skipping one leaves later stages without input.
+bool isPassDisableable(std::string_view Name);
+
 } // namespace core
 } // namespace reticle
 

@@ -65,6 +65,59 @@ Json reticle::core::statsJson(const CompileResult &Result,
   Place.set("sat", std::move(Sat));
   Doc.set("place", std::move(Place));
 
+  // The solver-level search profile: solve counts, learned-clause quality
+  // histograms, time, and the per-probe shrink record. The `place.sat`
+  // block above stays as the compact aggregate consumers already depend
+  // on; this section carries the full profile.
+  Json SatProfile = Json::object();
+  SatProfile.set("solves", Result.PlaceStats.Solves);
+  SatProfile.set("budget_exhausted", Result.PlaceStats.BudgetExhausted);
+  SatProfile.set("time_ms", Result.PlaceStats.SatMs);
+  SatProfile.set("conflicts", Result.PlaceStats.Conflicts);
+  SatProfile.set("decisions", Result.PlaceStats.Decisions);
+  SatProfile.set("propagations", Result.PlaceStats.Propagations);
+  SatProfile.set("restarts", Result.PlaceStats.Restarts);
+  SatProfile.set("learned", Result.PlaceStats.Learned);
+  Json Lbd = Json::array();
+  for (uint64_t Bucket : Result.PlaceStats.LbdHistogram)
+    Lbd.push(Bucket);
+  SatProfile.set("lbd_histogram", std::move(Lbd));
+  Json Sizes = Json::array();
+  for (uint64_t Bucket : Result.PlaceStats.LearnedSizeHistogram)
+    Sizes.push(Bucket);
+  SatProfile.set("learned_size_histogram", std::move(Sizes));
+  Json Probes = Json::array();
+  for (const place::ShrinkProbe &P : Result.PlaceStats.Timeline) {
+    Json Probe = Json::object();
+    Probe.set("axis", P.ProbeAxis == place::ShrinkProbe::Axis::Initial
+                          ? "initial"
+                          : P.ProbeAxis == place::ShrinkProbe::Axis::Column
+                                ? "col"
+                                : "row");
+    Probe.set("bound", P.Bound);
+    Probe.set("outcome", P.Result == place::ShrinkProbe::Outcome::Sat
+                             ? "sat"
+                             : P.Result == place::ShrinkProbe::Outcome::Unsat
+                                   ? "unsat"
+                                   : "budget_exhausted");
+    Probe.set("conflicts", P.Conflicts);
+    Probe.set("decisions", P.Decisions);
+    Probe.set("max_column", P.MaxColumn);
+    Probe.set("max_row", P.MaxRow);
+    Probes.push(std::move(Probe));
+  }
+  SatProfile.set("shrink_probes", std::move(Probes));
+  Json Core = Json::array();
+  for (const place::CoreConstraint &C : Result.PlaceStats.Core) {
+    Json Entry = Json::object();
+    Entry.set("constraint", C.Kind);
+    Entry.set("instr", C.Instr);
+    Entry.set("detail", C.Detail);
+    Core.push(std::move(Entry));
+  }
+  SatProfile.set("core", std::move(Core));
+  Doc.set("sat", std::move(SatProfile));
+
   Json Util = Json::object();
   Util.set("luts", Result.Util.Luts);
   Util.set("dsps", Result.Util.Dsps);

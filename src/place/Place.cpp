@@ -13,6 +13,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <tuple>
 
 using namespace reticle;
 using namespace reticle::place;
@@ -64,24 +65,34 @@ bool memberSlot(const Member &M, int64_t XBase, int64_t YBase,
   return true;
 }
 
-/// Sequential at-most-one encoding over \p Lits.
-void addAtMostOne(sat::Solver &S, const std::vector<sat::Lit> &Lits) {
+/// Sequential at-most-one encoding over \p Lits. When \p Selector is
+/// given, every emitted clause is guarded by it (clause ∨ ¬selector), so
+/// assuming the selector true enables the constraint and dropping the
+/// assumption switches the whole group off — the mechanism behind
+/// UNSAT-core extraction over named constraint groups.
+void addAtMostOne(sat::Solver &S, const std::vector<sat::Lit> &Lits,
+                  std::optional<sat::Lit> Selector = std::nullopt) {
+  auto Add = [&](std::vector<sat::Lit> Clause) {
+    if (Selector)
+      Clause.push_back(~*Selector);
+    S.addClause(std::move(Clause));
+  };
   if (Lits.size() <= 1)
     return;
   if (Lits.size() == 2) {
-    S.addBinary(~Lits[0], ~Lits[1]);
+    Add({~Lits[0], ~Lits[1]});
     return;
   }
   std::vector<sat::Var> Aux(Lits.size() - 1);
   for (sat::Var &V : Aux)
     V = S.newVar();
-  S.addBinary(~Lits[0], sat::Lit(Aux[0]));
+  Add({~Lits[0], sat::Lit(Aux[0])});
   for (size_t I = 1; I + 1 < Lits.size(); ++I) {
-    S.addBinary(~Lits[I], sat::Lit(Aux[I]));
-    S.addBinary(~sat::Lit(Aux[I - 1]), sat::Lit(Aux[I]));
-    S.addBinary(~Lits[I], ~sat::Lit(Aux[I - 1]));
+    Add({~Lits[I], sat::Lit(Aux[I])});
+    Add({~sat::Lit(Aux[I - 1]), sat::Lit(Aux[I])});
+    Add({~Lits[I], ~sat::Lit(Aux[I - 1])});
   }
-  S.addBinary(~Lits.back(), ~sat::Lit(Aux.back()));
+  Add({~Lits.back(), ~sat::Lit(Aux.back())});
 }
 
 class Placer {
@@ -98,14 +109,34 @@ private:
   Result<std::vector<Candidate>> enumerate(const Cluster &C,
                                            const Bounds &B,
                                            size_t Cap) const;
+  /// Per-attempt search effort, reported back to the caller so shrink
+  /// probes can attribute their cost (and distinguish a proved UNSAT from
+  /// an exhausted budget).
+  struct SolveInfo {
+    uint64_t Conflicts = 0;
+    uint64_t Decisions = 0;
+    bool BudgetExhausted = false;
+  };
   /// One SAT attempt under the given bounds. On success fills
   /// \p Assignment with the chosen candidate per non-fixed cluster. A
   /// nonzero \p ConflictBudget bounds the search (shrinking attempts give
-  /// up rather than fight pigeonhole-hard instances).
+  /// up rather than fight pigeonhole-hard instances). With \p Explain set,
+  /// an unsatisfiable attempt is additionally explained: the encoding is
+  /// re-emitted with one selector literal per constraint group, the
+  /// failed-assumption core is extracted and minimized, and each surviving
+  /// group is reported as a named sat:core remark and a
+  /// PlacementStats::Core entry.
   enum class Attempt { Sat, Unsat, Error };
   Attempt solveOnce(const Bounds &B, size_t Cap,
                     std::vector<Candidate> &Assignment, std::string &Err,
-                    uint64_t ConflictBudget = 0);
+                    uint64_t ConflictBudget = 0, bool Explain = false,
+                    SolveInfo *Info = nullptr);
+  /// Records one named core constraint (stats + sat:core remark).
+  void noteCore(const std::string &Kind, const std::string &Instr,
+                const std::string &Detail);
+  /// Selector-tagged re-encoding and core extraction for a proved-UNSAT
+  /// attempt; \p Cands holds the enumerated candidates per cluster.
+  void explainUnsat(const std::vector<std::vector<Candidate>> &Cands);
 
   const AsmProgram &Prog;
   const device::Device &Dev;
@@ -266,10 +297,25 @@ Placer::enumerate(const Cluster &C, const Bounds &B, size_t Cap) const {
   return Out;
 }
 
+void Placer::noteCore(const std::string &Kind, const std::string &Instr,
+                      const std::string &Detail) {
+  if (Stats)
+    Stats->Core.push_back({Kind, Instr, Detail});
+  if (Ctx.remarksEnabled())
+    obs::Remark(Ctx, "sat", "core")
+        .instr(Instr)
+        .message("unsat core: " + Detail)
+        .arg("constraint", Kind)
+        .arg("device", Dev.name());
+}
+
 Placer::Attempt Placer::solveOnce(const Bounds &B, size_t Cap,
                                   std::vector<Candidate> &Assignment,
                                   std::string &Err,
-                                  uint64_t ConflictBudget) {
+                                  uint64_t ConflictBudget, bool Explain,
+                                  SolveInfo *Info) {
+  if (Info)
+    *Info = {};
   obs::Span Sp(Ctx, "place.solve");
   Sp.arg("max_col", B.MaxColumn);
   Sp.arg("max_row", B.MaxRow);
@@ -331,6 +377,34 @@ Placer::Attempt Placer::solveOnce(const Bounds &B, size_t Cap,
         --Capacity;
     if (Need > Capacity || TallNeed > SegmentCapacity) {
       Sp.arg("outcome", "precheck_unsat");
+      if (Explain) {
+        // Name the resource and a representative demanding instruction so
+        // the explanation points back into the program.
+        std::string Instr;
+        for (const Cluster &C : Clusters)
+          if (C.Prim == Kind) {
+            Instr = Prog.body()[C.Members.front().BodyIndex].dst();
+            break;
+          }
+        std::string Detail =
+            Need > Capacity
+                ? "demand for " + std::to_string(Need) + " " +
+                      std::string(ir::resourceName(Kind)) +
+                      " slot(s) exceeds the " + std::to_string(Capacity) +
+                      " available within columns <= " +
+                      std::to_string(B.MaxColumn) + ", rows <= " +
+                      std::to_string(B.MaxRow) + " on device '" + Dev.name() +
+                      "'"
+                : std::to_string(TallNeed) + " cascade chain(s) of height >= " +
+                      std::to_string(MinHeight) + " need " +
+                      std::to_string(TallNeed) +
+                      " consecutive-row segment(s) but only " +
+                      std::to_string(SegmentCapacity) + " fit in " +
+                      std::string(ir::resourceName(Kind)) +
+                      " columns <= " + std::to_string(B.MaxColumn) +
+                      ", rows <= " + std::to_string(B.MaxRow);
+        noteCore("capacity", Instr, Detail);
+      }
       return Attempt::Unsat;
     }
   }
@@ -350,6 +424,18 @@ Placer::Attempt Placer::solveOnce(const Bounds &B, size_t Cap,
     Cands[I] = E.take();
     if (Cands[I].empty()) {
       Sp.arg("outcome", "no_candidates");
+      if (Explain) {
+        const Cluster &C = Clusters[I];
+        noteCore("range",
+                 Prog.body()[C.Members.front().BodyIndex].dst(),
+                 "cluster of " + std::to_string(C.Members.size()) + " " +
+                     std::string(ir::resourceName(C.Prim)) +
+                     " instruction(s) has no valid base position within "
+                     "columns <= " +
+                     std::to_string(B.MaxColumn) + ", rows <= " +
+                     std::to_string(B.MaxRow) + " on device '" + Dev.name() +
+                     "'");
+      }
       return Attempt::Unsat; // no feasible base under these bounds
     }
     std::vector<sat::Lit> Lits;
@@ -385,9 +471,27 @@ Placer::Attempt Placer::solveOnce(const Bounds &B, size_t Cap,
     Stats->Propagations += St.Propagations;
     Stats->Restarts += St.Restarts;
     Stats->Learned += St.Learned;
+    Stats->BudgetExhausted += St.Unknowns;
+    Stats->SatMs += St.SolveMs;
+    static_assert(sat::Solver::Statistics::HistogramBuckets ==
+                  std::tuple_size_v<decltype(Stats->LbdHistogram)>);
+    for (size_t K = 0; K < St.LbdHistogram.size(); ++K) {
+      Stats->LbdHistogram[K] += St.LbdHistogram[K];
+      Stats->LearnedSizeHistogram[K] += St.LearnedSizeHistogram[K];
+    }
+  }
+  if (Info) {
+    const sat::Solver::SolveProfile &P = S.lastProfile();
+    Info->Conflicts = P.Conflicts;
+    Info->Decisions = P.Decisions;
+    Info->BudgetExhausted = O == sat::Outcome::Unknown;
   }
   if (O != sat::Outcome::Sat) {
     Sp.arg("outcome", O == sat::Outcome::Unsat ? "unsat" : "budget_exhausted");
+    // Explain only a *proved* UNSAT: a budget-exhausted attempt has no
+    // refutation to extract a core from.
+    if (Explain && O == sat::Outcome::Unsat)
+      explainUnsat(Cands);
     return Attempt::Unsat; // Unknown (budget hit) also counts as no-shrink
   }
   Sp.arg("outcome", "sat");
@@ -410,6 +514,105 @@ Placer::Attempt Placer::solveOnce(const Bounds &B, size_t Cap,
   return Attempt::Sat;
 }
 
+void Placer::explainUnsat(const std::vector<std::vector<Candidate>> &Cands) {
+  // Re-emit the encoding with one selector literal per constraint group:
+  // group clauses become (clause ∨ ¬selector) and the solve assumes every
+  // selector, so the failed-assumption core names exactly the groups that
+  // refute each other. Per-cluster exclusivity stays hard — relaxing "at
+  // most one candidate" never models a real layout, so it cannot explain
+  // one.
+  obs::Span Sp(Ctx, "place.explain");
+  // The extraction solver re-proves UNSAT once plus once per minimization
+  // probe; mute its sat:unsat remarks (keeping spans/counters) so the
+  // stream carries only the curated sat:core records.
+  static obs::RemarkStream MutedRemarks;
+  obs::Context Quiet{Ctx.Telem, &MutedRemarks};
+  sat::Solver S(Quiet);
+  struct Group {
+    std::string Kind;
+    std::string Instr;
+    std::string Detail;
+  };
+  std::vector<Group> Groups;
+  std::vector<sat::Lit> Selectors;
+  std::map<uint32_t, size_t> GroupOfVar;
+  auto MakeSelector = [&](std::string Kind, std::string Instr,
+                          std::string Detail) {
+    sat::Var V = S.newVar();
+    GroupOfVar[V] = Groups.size();
+    Groups.push_back({std::move(Kind), std::move(Instr), std::move(Detail)});
+    Selectors.push_back(sat::Lit(V));
+    return sat::Lit(V);
+  };
+
+  std::map<device::Slot, std::vector<sat::Lit>> SlotUsers;
+  std::map<device::Slot, size_t> SlotFirstCluster;
+  for (size_t I = 0; I < Clusters.size(); ++I) {
+    const Cluster &C = Clusters[I];
+    std::vector<sat::Lit> Lits;
+    for (const Candidate &Cand : Cands[I]) {
+      sat::Var V = S.newVar();
+      Lits.push_back(sat::Lit(V));
+      for (const device::Slot &Slot : Cand.Slots) {
+        SlotUsers[Slot].push_back(sat::Lit(V));
+        SlotFirstCluster.try_emplace(Slot, I);
+      }
+    }
+    // The cluster's row span mirrors its relative adjacency constraints
+    // (e.g. a cascade chain at (x, y) .. (x, y+k)).
+    int64_t MinDy = 0, MaxDy = 0;
+    for (const Member &M : C.Members)
+      if (M.Y.isVar()) {
+        MinDy = std::min(MinDy, M.Y.offset());
+        MaxDy = std::max(MaxDy, M.Y.offset());
+      }
+    std::string Rep = Prog.body()[C.Members.front().BodyIndex].dst();
+    std::string Detail =
+        "cluster of " + std::to_string(C.Members.size()) + " " +
+        std::string(ir::resourceName(C.Prim)) + " instruction(s)" +
+        (MaxDy > MinDy
+             ? " spanning " + std::to_string(MaxDy - MinDy + 1) + " row(s)"
+             : "") +
+        " must take one of " + std::to_string(Cands[I].size()) +
+        " base position(s)";
+    sat::Lit Sel = MakeSelector("choose-one", Rep, std::move(Detail));
+    std::vector<sat::Lit> Guarded = Lits;
+    Guarded.push_back(~Sel);
+    S.addClause(std::move(Guarded));
+    addAtMostOne(S, Lits);
+  }
+  for (auto &[Slot, Lits] : SlotUsers) {
+    if (Lits.size() <= 1)
+      continue; // a sole user can never collide
+    size_t FirstCluster = SlotFirstCluster.at(Slot);
+    std::string Rep =
+        Prog.body()[Clusters[FirstCluster].Members.front().BodyIndex].dst();
+    sat::Lit Sel = MakeSelector(
+        "distinct", Rep,
+        "slot " +
+            std::string(ir::resourceName(Dev.columns()[Slot.X].Kind)) + "(" +
+            std::to_string(Slot.X) + ", " + std::to_string(Slot.Y) +
+            ") admits one instruction but " + std::to_string(Lits.size()) +
+            " candidate(s) compete for it");
+    addAtMostOne(S, Lits, Sel);
+  }
+
+  sat::Outcome O = S.solveWith(Selectors);
+  Sp.arg("groups", static_cast<uint64_t>(Groups.size()));
+  if (O != sat::Outcome::Unsat)
+    return; // defensive: nothing to explain without a refutation
+  std::vector<sat::Lit> Core =
+      S.minimizeCore(S.unsatCore(), /*ProbeConflictBudget=*/5000);
+  Sp.arg("core", static_cast<uint64_t>(Core.size()));
+  std::vector<size_t> Indices;
+  for (sat::Lit L : Core)
+    if (auto It = GroupOfVar.find(L.var()); It != GroupOfVar.end())
+      Indices.push_back(It->second);
+  std::sort(Indices.begin(), Indices.end());
+  for (size_t Idx : Indices)
+    noteCore(Groups[Idx].Kind, Groups[Idx].Instr, Groups[Idx].Detail);
+}
+
 Result<AsmProgram> Placer::run() {
   ++Ctx.counter("place.runs");
   if (Status St = buildClusters(); !St)
@@ -427,9 +630,15 @@ Result<AsmProgram> Placer::run() {
   size_t Cap = std::max<size_t>(Options.InitialCandidateCap,
                                 2 * Clusters.size() + 8);
   std::vector<Candidate> BestAssignment;
+  SolveInfo Info;
   while (true) {
     std::string Err;
-    Attempt A = solveOnce(Full, Cap, BestAssignment, Err);
+    // Once the cap admits full enumeration the attempt is conclusive, so
+    // an UNSAT there is worth explaining: solveOnce then extracts and
+    // emits the named constraint core.
+    Attempt A = solveOnce(Full, Cap, BestAssignment, Err,
+                          /*ConflictBudget=*/0, /*Explain=*/Cap >= FullCap,
+                          &Info);
     if (A == Attempt::Error)
       return fail<AsmProgram>(Err);
     if (A == Attempt::Sat)
@@ -440,6 +649,32 @@ Result<AsmProgram> Placer::run() {
                               " cluster(s) on device '" + Dev.name() + "'");
     Cap = std::min(FullCap, Cap * 4);
   }
+
+  // Timeline frame recorder: every frame carries the accepted layout so
+  // far, so the renderer can draw the best-known floorplan under each
+  // probe's attempted bound.
+  auto RecordFrame = [&](ShrinkProbe::Axis Ax, unsigned Bound,
+                         ShrinkProbe::Outcome Oc, const SolveInfo &SI) {
+    if (!Stats)
+      return;
+    ShrinkProbe P;
+    P.ProbeAxis = Ax;
+    P.Bound = Bound;
+    P.Result = Oc;
+    P.Conflicts = SI.Conflicts;
+    P.Decisions = SI.Decisions;
+    for (const Candidate &Cand : BestAssignment)
+      for (const device::Slot &S : Cand.Slots)
+        P.Slots.push_back(S);
+    for (const device::Slot &S : FixedSlots)
+      P.Slots.push_back(S);
+    for (const device::Slot &S : P.Slots) {
+      P.MaxColumn = std::max(P.MaxColumn, S.X);
+      P.MaxRow = std::max(P.MaxRow, S.Y);
+    }
+    Stats->Timeline.push_back(std::move(P));
+  };
+  RecordFrame(ShrinkProbe::Axis::Initial, 0, ShrinkProbe::Outcome::Sat, Info);
   if (Ctx.remarksEnabled())
     obs::Remark(Ctx, "place", "solve")
         .message("first placement found for " +
@@ -488,21 +723,33 @@ Result<AsmProgram> Placer::run() {
         std::vector<Candidate> Assignment;
         std::string Err;
         Attempt A = solveOnce(Try, FullCap, Assignment, Err,
-                              /*ConflictBudget=*/50000);
+                              /*ConflictBudget=*/50000, /*Explain=*/false,
+                              &Info);
         if (A == Attempt::Error)
           return fail<AsmProgram>(Err);
         Sp.arg("fits", A == Attempt::Sat ? "yes" : "no");
+        const char *OutcomeName = A == Attempt::Sat ? "sat"
+                                  : Info.BudgetExhausted ? "budget_exhausted"
+                                                         : "unsat";
         // The constraint that stops an area shrink is exactly this UNSAT.
+        // Per-probe conflict/decision counts come from the solver's delta
+        // profile, which survives budget-exhausted (Unknown) outcomes, so
+        // a probe that gave up still reports the work it did.
         if (Ctx.remarksEnabled())
           obs::Remark(Ctx, "place", "shrink-probe")
               .message(std::string("shrink ") +
                        (Axis == 0 ? "columns" : "rows") + " to <= " +
                        std::to_string(Mid) +
-                       (A == Attempt::Sat ? ": SAT, layout fits"
-                                          : ": UNSAT, bound kept"))
+                       (A == Attempt::Sat
+                            ? ": SAT, layout fits"
+                            : Info.BudgetExhausted
+                                  ? ": conflict budget exhausted, bound kept"
+                                  : ": UNSAT, bound kept"))
               .arg("axis", Axis == 0 ? "col" : "row")
               .arg("bound", Mid)
-              .arg("outcome", A == Attempt::Sat ? "sat" : "unsat");
+              .arg("outcome", OutcomeName)
+              .arg("conflicts", Info.Conflicts)
+              .arg("decisions", Info.Decisions);
         if (A == Attempt::Sat) {
           BestAssignment = std::move(Assignment);
           High = std::min(Mid, Axis == 0
@@ -511,6 +758,13 @@ Result<AsmProgram> Placer::run() {
         } else {
           Low = Mid + 1;
         }
+        RecordFrame(Axis == 0 ? ShrinkProbe::Axis::Column
+                              : ShrinkProbe::Axis::Row,
+                    Mid,
+                    A == Attempt::Sat        ? ShrinkProbe::Outcome::Sat
+                    : Info.BudgetExhausted   ? ShrinkProbe::Outcome::Budget
+                                             : ShrinkProbe::Outcome::Unsat,
+                    Info);
       }
       (Axis == 0 ? Cur.MaxColumn : Cur.MaxRow) = High;
     }

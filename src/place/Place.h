@@ -33,6 +33,10 @@
 #include "rasm/Asm.h"
 #include "support/Result.h"
 
+#include <array>
+#include <string>
+#include <vector>
+
 namespace reticle {
 namespace place {
 
@@ -44,6 +48,36 @@ struct PlacementOptions {
   /// automatically (up to full enumeration) when the capped encoding is
   /// unsatisfiable.
   unsigned InitialCandidateCap = 128;
+};
+
+/// One frame of the placement timeline: the initial solution or one probe
+/// of the binary-search shrink. Each frame carries the layout accepted so
+/// far (so failed probes still render the best-known floorplan) plus the
+/// search effort the probe cost, letting `--floorplan-timeline` draw the
+/// bounding box contracting probe by probe.
+struct ShrinkProbe {
+  enum class Axis : uint8_t { Initial, Column, Row };
+  enum class Outcome : uint8_t { Sat, Unsat, Budget };
+  Axis ProbeAxis = Axis::Initial;
+  Outcome Result = Outcome::Sat;
+  unsigned Bound = 0;     ///< tried bound on the probed axis (Initial: unused)
+  uint64_t Conflicts = 0; ///< solver conflicts spent on this probe
+  uint64_t Decisions = 0; ///< solver decisions spent on this probe
+  unsigned MaxColumn = 0; ///< bounding box of the accepted layout so far
+  unsigned MaxRow = 0;
+  std::vector<device::Slot> Slots; ///< occupied slots of the accepted layout
+};
+
+/// One named constraint participating in an UNSAT explanation. Kind is one
+/// of "capacity" (arithmetic precheck: demand exceeds slots), "range" (a
+/// cluster has no in-bounds base position), "choose-one" (a cluster's
+/// candidate-selection constraint) or "distinct" (a slot's at-most-one-user
+/// constraint); Instr names the destination of a representative
+/// instruction so the explanation points back into the program.
+struct CoreConstraint {
+  std::string Kind;
+  std::string Instr;
+  std::string Detail;
 };
 
 /// Facts about one placement run, reported by benchmarks and the unified
@@ -61,8 +95,21 @@ struct PlacementStats {
   uint64_t Propagations = 0;     ///< summed solver propagations
   uint64_t Restarts = 0;         ///< summed solver restarts
   uint64_t Learned = 0;          ///< summed learned clauses
-  unsigned MaxColumn = 0;        ///< highest column used
-  unsigned MaxRow = 0;           ///< highest row used
+  uint64_t BudgetExhausted = 0;  ///< solves that hit their conflict budget
+  double SatMs = 0.0;            ///< wall-clock spent inside the SAT solver
+  /// Learned-clause quality profile, summed over every solve (bucket
+  /// layout documented on sat::Solver::Statistics).
+  std::array<uint64_t, 8> LbdHistogram{};
+  std::array<uint64_t, 8> LearnedSizeHistogram{};
+  unsigned MaxColumn = 0; ///< highest column used
+  unsigned MaxRow = 0;    ///< highest row used
+  /// The initial solve plus every shrink probe, in order.
+  std::vector<ShrinkProbe> Timeline;
+  /// Named constraints explaining a failed placement (empty on success):
+  /// the minimized SAT core mapped back through the clause-group tags, or
+  /// the arithmetic precheck / empty-range verdicts when the encoding was
+  /// never solved.
+  std::vector<CoreConstraint> Core;
 };
 
 /// Resolves all locations of \p Prog on \p Dev. Returns the placed,

@@ -9,6 +9,7 @@
 #include "obs/Context.h"
 
 #include <algorithm>
+#include <chrono>
 
 using namespace reticle;
 using namespace reticle::sat;
@@ -357,6 +358,16 @@ uint32_t Solver::luby(uint32_t I) {
 }
 
 Outcome Solver::solve(uint64_t ConflictBudget) {
+  return runSolve(nullptr, ConflictBudget);
+}
+
+Outcome Solver::solveWith(const std::vector<Lit> &Assumptions,
+                          uint64_t ConflictBudget) {
+  return runSolve(&Assumptions, ConflictBudget);
+}
+
+Outcome Solver::runSolve(const std::vector<Lit> *Assumptions,
+                         uint64_t ConflictBudget) {
   obs::Counter &Solves = Ctx.counter("sat.solves");
   obs::Counter &Decisions = Ctx.counter("sat.decisions");
   obs::Counter &Propagations = Ctx.counter("sat.propagations");
@@ -367,32 +378,135 @@ Outcome Solver::solve(uint64_t ConflictBudget) {
   obs::Span Sp(Ctx, "sat.solve");
   Sp.arg("vars", static_cast<uint64_t>(VarCount));
   Sp.arg("clauses", static_cast<uint64_t>(Clauses.size()));
+  if (Assumptions)
+    Sp.arg("assumptions", static_cast<uint64_t>(Assumptions->size()));
   Statistics Before = Stats;
-  Outcome O = solveImpl(ConflictBudget);
+  auto T0 = std::chrono::steady_clock::now();
+  Outcome O = solveImpl(Assumptions, ConflictBudget);
+  double Ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - T0)
+                  .count();
+  // The per-solve delta profile is filled for every outcome — a budget-
+  // exhausted (Unknown) probe still reports the conflicts it burned.
+  Profile.Result = O;
+  Profile.Decisions = Stats.Decisions - Before.Decisions;
+  Profile.Propagations = Stats.Propagations - Before.Propagations;
+  Profile.Conflicts = Stats.Conflicts - Before.Conflicts;
+  Profile.Restarts = Stats.Restarts - Before.Restarts;
+  Profile.Learned = Stats.Learned - Before.Learned;
+  Profile.TimeMs = Ms;
+  ++Stats.Solves;
+  if (O == Outcome::Unknown)
+    ++Stats.Unknowns;
+  Stats.SolveMs += Ms;
   ++Solves;
-  Decisions += Stats.Decisions - Before.Decisions;
-  Propagations += Stats.Propagations - Before.Propagations;
-  Conflicts += Stats.Conflicts - Before.Conflicts;
-  Restarts += Stats.Restarts - Before.Restarts;
-  Learned += Stats.Learned - Before.Learned;
-  Sp.arg("conflicts", Stats.Conflicts - Before.Conflicts);
+  Decisions += Profile.Decisions;
+  Propagations += Profile.Propagations;
+  Conflicts += Profile.Conflicts;
+  Restarts += Profile.Restarts;
+  Learned += Profile.Learned;
+  Sp.arg("conflicts", Profile.Conflicts);
   Sp.arg("outcome", O == Outcome::Sat     ? "sat"
                     : O == Outcome::Unsat ? "unsat"
                                           : "unknown");
-  if (O == Outcome::Unsat && Ctx.remarksEnabled())
-    obs::Remark(Ctx, "sat", "unsat")
-        .message("formula with " + std::to_string(VarCount) + " var(s), " +
-                 std::to_string(Clauses.size()) + " clause(s) is unsatisfiable")
+  if (O == Outcome::Unsat && Ctx.remarksEnabled()) {
+    obs::Remark R(Ctx, "sat", "unsat");
+    R.message("formula with " + std::to_string(VarCount) + " var(s), " +
+              std::to_string(Clauses.size()) + " clause(s) is unsatisfiable")
         .arg("vars", static_cast<uint64_t>(VarCount))
         .arg("clauses", static_cast<uint64_t>(Clauses.size()))
-        .arg("conflicts", Stats.Conflicts - Before.Conflicts)
-        .arg("decisions", Stats.Decisions - Before.Decisions)
-        .arg("propagations", Stats.Propagations - Before.Propagations)
-        .arg("restarts", Stats.Restarts - Before.Restarts);
+        .arg("conflicts", Profile.Conflicts)
+        .arg("decisions", Profile.Decisions)
+        .arg("propagations", Profile.Propagations)
+        .arg("restarts", Profile.Restarts);
+    if (Assumptions)
+      R.arg("core_size", static_cast<uint64_t>(Core.size()));
+  }
   return O;
 }
 
-Outcome Solver::solveImpl(uint64_t ConflictBudget) {
+void Solver::recordLearnt(const std::vector<Lit> &Learnt) {
+  // LBD: the number of distinct decision levels among the clause's
+  // literals, measured before backtracking while levels are still live.
+  LbdScratch.clear();
+  for (Lit L : Learnt)
+    LbdScratch.push_back(Level[L.var()]);
+  std::sort(LbdScratch.begin(), LbdScratch.end());
+  size_t Lbd = std::unique(LbdScratch.begin(), LbdScratch.end()) -
+               LbdScratch.begin();
+  size_t LbdBucket =
+      std::min(Lbd, Statistics::HistogramBuckets) - (Lbd ? 1 : 0);
+  ++Stats.LbdHistogram[LbdBucket];
+  size_t N = Learnt.size();
+  size_t SizeBucket;
+  if (N <= 4)
+    SizeBucket = N ? N - 1 : 0;
+  else if (N <= 8)
+    SizeBucket = 4;
+  else if (N <= 16)
+    SizeBucket = 5;
+  else if (N <= 32)
+    SizeBucket = 6;
+  else
+    SizeBucket = 7;
+  ++Stats.LearnedSizeHistogram[SizeBucket];
+}
+
+void Solver::analyzeFinal(Lit FailedAssumption) {
+  // MiniSat-style final-conflict analysis: the assumption literal
+  // \p FailedAssumption was found false while being enqueued, so the trail
+  // above the root implies its negation. Walk the implication graph back
+  // through reasons; every decision reached is an earlier assumption and
+  // joins the core.
+  Core.clear();
+  Core.push_back(FailedAssumption);
+  if (TrailLimits.empty())
+    return; // falsified at the root: the assumption conflicts alone
+  Seen[FailedAssumption.var()] = 1;
+  for (size_t I = Trail.size(); I > TrailLimits[0]; --I) {
+    Var V = Trail[I - 1].var();
+    if (!Seen[V])
+      continue;
+    if (Reason[V] == NoReason) {
+      if (!(Trail[I - 1] == FailedAssumption))
+        Core.push_back(Trail[I - 1]);
+    } else {
+      const Clause &C = Clauses[Reason[V]];
+      for (Lit Q : C.Lits)
+        if (Q.var() != V && Level[Q.var()] > 0)
+          Seen[Q.var()] = 1;
+    }
+    Seen[V] = 0;
+  }
+  Seen[FailedAssumption.var()] = 0;
+}
+
+std::vector<Lit> Solver::minimizeCore(std::vector<Lit> CoreIn,
+                                      uint64_t ProbeConflictBudget) {
+  // Deletion probing: drop one literal at a time and re-solve; a drop
+  // sticks when the remainder is still Unsat within the budget, in which
+  // case the solver's fresh (possibly even smaller) core replaces it.
+  // Unknown probes conservatively keep the literal.
+  size_t I = 0;
+  while (I < CoreIn.size()) {
+    std::vector<Lit> Trial;
+    Trial.reserve(CoreIn.size() - 1);
+    for (size_t K = 0; K < CoreIn.size(); ++K)
+      if (K != I)
+        Trial.push_back(CoreIn[K]);
+    if (solveWith(Trial, ProbeConflictBudget) == Outcome::Unsat) {
+      CoreIn = Core;
+      I = 0;
+    } else {
+      ++I;
+    }
+  }
+  return CoreIn;
+}
+
+Outcome Solver::solveImpl(const std::vector<Lit> *Assumptions,
+                          uint64_t ConflictBudget) {
+  Core.clear();
   if (!OkFlag)
     return Outcome::Unsat;
   Model.clear();
@@ -423,6 +537,7 @@ Outcome Solver::solveImpl(uint64_t ConflictBudget) {
       }
       uint32_t BackLevel = 0;
       analyze(Conflict, Learnt, BackLevel);
+      recordLearnt(Learnt);
       backtrack(BackLevel);
       if (Learnt.size() == 1) {
         enqueue(Learnt[0], NoReason);
@@ -457,14 +572,39 @@ Outcome Solver::solveImpl(uint64_t ConflictBudget) {
       reduceDb();
       continue;
     }
-    Lit Next = pickBranchLit();
-    if (Next.var() == (UINT32_MAX >> 1)) {
-      // Complete assignment: extract the model.
-      Model.resize(VarCount);
-      for (Var V = 0; V < VarCount; ++V)
-        Model[V] = Assign[V] == LBool::True;
-      backtrack(0);
-      return Outcome::Sat;
+    // Assumptions first: each pending assumption becomes the next forced
+    // decision. An already-true assumption opens an empty decision level
+    // (keeping level indices aligned with assumption indices); an
+    // already-false one means the formula is Unsat under the assumptions,
+    // and final-conflict analysis extracts the responsible core.
+    Lit Next;
+    bool HaveDecision = false;
+    while (Assumptions && TrailLimits.size() < Assumptions->size()) {
+      Lit A = (*Assumptions)[TrailLimits.size()];
+      LBool V = litValue(A);
+      if (V == LBool::True) {
+        TrailLimits.push_back(static_cast<uint32_t>(Trail.size()));
+        continue;
+      }
+      if (V == LBool::False) {
+        analyzeFinal(A);
+        backtrack(0);
+        return Outcome::Unsat;
+      }
+      Next = A;
+      HaveDecision = true;
+      break;
+    }
+    if (!HaveDecision) {
+      Next = pickBranchLit();
+      if (Next.var() == (UINT32_MAX >> 1)) {
+        // Complete assignment: extract the model.
+        Model.resize(VarCount);
+        for (Var V = 0; V < VarCount; ++V)
+          Model[V] = Assign[V] == LBool::True;
+        backtrack(0);
+        return Outcome::Sat;
+      }
     }
     ++Stats.Decisions;
     TrailLimits.push_back(static_cast<uint32_t>(Trail.size()));

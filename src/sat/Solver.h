@@ -13,6 +13,15 @@
 /// branching with phase saving, Luby restarts, and activity-based learned-
 /// clause reduction.
 ///
+/// Beyond plain solve(), the solver supports MiniSat-style *assumption*
+/// solving: solveWith() treats a list of literals as successive forced
+/// decisions, and when the formula is unsatisfiable under them, final-
+/// conflict analysis produces an *UNSAT core* — the subset of assumptions
+/// that actually participated in the refutation. minimizeCore() shrinks
+/// such a core further by deletion probing under a conflict budget. The
+/// placement stage uses this to explain infeasible layouts in terms of
+/// named constraints.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RETICLE_SAT_SOLVER_H
@@ -20,6 +29,7 @@
 
 #include "obs/Context.h"
 
+#include <array>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -89,21 +99,68 @@ public:
   /// one "sat.solve" span and accumulated into the sat.* counters.
   Outcome solve(uint64_t ConflictBudget = 0);
 
+  /// Like solve(), but under \p Assumptions: each literal is enqueued as a
+  /// forced decision before free search begins. On Unsat, unsatCore()
+  /// holds the subset of assumptions that took part in the refutation
+  /// (empty when the formula is unsatisfiable without any assumptions).
+  Outcome solveWith(const std::vector<Lit> &Assumptions,
+                    uint64_t ConflictBudget = 0);
+
+  /// The failed-assumption core from the most recent Unsat solveWith().
+  /// Negating any literal of this set cannot restore satisfiability unless
+  /// the core is not minimal; minimizeCore() tightens it.
+  const std::vector<Lit> &unsatCore() const { return Core; }
+
+  /// Deletion-based core minimization: repeatedly re-solves with one core
+  /// literal dropped, keeping the drop whenever the remainder is still
+  /// unsatisfiable within \p ProbeConflictBudget conflicts. Literals whose
+  /// probe exhausts the budget are conservatively kept, so the result is
+  /// always a valid (if not necessarily minimum) core.
+  std::vector<Lit> minimizeCore(std::vector<Lit> Core,
+                                uint64_t ProbeConflictBudget = 2000);
+
   /// Model access after a Sat outcome.
   bool value(Var V) const {
     assert(Model.size() == VarCount && "no model available");
     return Model[V];
   }
 
-  /// Search statistics, for tests and benchmark reporting.
+  /// Search statistics, for tests and benchmark reporting. Counters
+  /// accumulate across solves; the histograms profile learned-clause
+  /// quality (LBD = number of distinct decision levels in a learnt
+  /// clause — low is good) and size.
   struct Statistics {
     uint64_t Decisions = 0;
     uint64_t Propagations = 0;
     uint64_t Conflicts = 0;
     uint64_t Restarts = 0;
     uint64_t Learned = 0;
+    uint64_t Solves = 0;   ///< solve()/solveWith() calls
+    uint64_t Unknowns = 0; ///< solves that exhausted their conflict budget
+    double SolveMs = 0.0;  ///< wall-clock summed over all solves
+    static constexpr size_t HistogramBuckets = 8;
+    /// Bucket I counts learnt clauses with LBD == I+1; the last bucket
+    /// collects LBD >= 8.
+    std::array<uint64_t, HistogramBuckets> LbdHistogram{};
+    /// Learnt-clause sizes, bucketed 1, 2, 3, 4, 5-8, 9-16, 17-32, >=33.
+    std::array<uint64_t, HistogramBuckets> LearnedSizeHistogram{};
   };
   const Statistics &stats() const { return Stats; }
+
+  /// The delta-profile of the most recent solve. Unlike the accumulated
+  /// Statistics, this isolates one search — and it is filled for *every*
+  /// outcome, Unknown included, so budget-exhausted probes still report
+  /// the work they did.
+  struct SolveProfile {
+    Outcome Result = Outcome::Unknown;
+    uint64_t Decisions = 0;
+    uint64_t Propagations = 0;
+    uint64_t Conflicts = 0;
+    uint64_t Restarts = 0;
+    uint64_t Learned = 0;
+    double TimeMs = 0.0;
+  };
+  const SolveProfile &lastProfile() const { return Profile; }
 
 private:
   struct Clause {
@@ -119,7 +176,12 @@ private:
     Lit Blocker;
   };
 
-  Outcome solveImpl(uint64_t ConflictBudget);
+  Outcome runSolve(const std::vector<Lit> *Assumptions,
+                   uint64_t ConflictBudget);
+  Outcome solveImpl(const std::vector<Lit> *Assumptions,
+                    uint64_t ConflictBudget);
+  void analyzeFinal(Lit FailedAssumption);
+  void recordLearnt(const std::vector<Lit> &Learnt);
 
   LBool litValue(Lit L) const {
     LBool V = Assign[L.var()];
@@ -181,10 +243,13 @@ private:
   std::vector<uint8_t> Seen;
   std::vector<Lit> AnalyzeStack;
   std::vector<Lit> AnalyzeToClear;
+  std::vector<uint32_t> LbdScratch;
 
   bool OkFlag = true;
   std::vector<bool> Model;
+  std::vector<Lit> Core;
   Statistics Stats;
+  SolveProfile Profile;
   const obs::Context &Ctx;
 };
 

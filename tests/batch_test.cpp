@@ -236,3 +236,40 @@ TEST(Batch, PerItemSessionsCaptureTheirOwnArtifacts) {
 }
 
 } // namespace
+
+TEST(Batch, ScheduleOrdersByCostDescendingWithStableTies) {
+  // Cost is the statement count (';' terminators); the biggest program
+  // compiles first, equal costs keep their input order, and the schedule
+  // never touches the Items[i] <-> Inputs[i] correspondence.
+  std::vector<core::BatchInput> Inputs = {
+      {"one", "a;"},
+      {"three", "a; b; c;"},
+      {"two", "a; b;"},
+      {"empty", ""},
+      {"two_again", "d; e;"},
+  };
+  std::vector<size_t> Order = core::batchScheduleOrder(Inputs);
+  EXPECT_EQ(Order, (std::vector<size_t>{1, 2, 4, 0, 3}));
+}
+
+TEST(Batch, CostSortedScheduleKeepsOutputOrdering) {
+  // threePrograms() lists mac (3 statements) first, but dot3 (6) and adds
+  // (4) are scheduled ahead of it; the result vector must still line up
+  // with the inputs, and each item must be the right program.
+  std::vector<core::BatchInput> Inputs = threePrograms();
+  std::vector<size_t> Order = core::batchScheduleOrder(Inputs);
+  EXPECT_EQ(Order, (std::vector<size_t>{1, 2, 0}));
+  core::BatchOptions Options;
+  Options.Options = smallDevice();
+  Options.Jobs = 3;
+  std::vector<core::BatchItem> Items = core::compileBatch(Inputs, Options);
+  ASSERT_EQ(Items.size(), 3u);
+  for (size_t I = 0; I < Items.size(); ++I) {
+    EXPECT_EQ(Items[I].Name, Inputs[I].Name);
+    ASSERT_TRUE(Items[I].ok());
+  }
+  EXPECT_NE(Items[0].Outcome->value().Verilog.str().find("module mac"),
+            std::string::npos);
+  EXPECT_NE(Items[1].Outcome->value().Verilog.str().find("module dot3"),
+            std::string::npos);
+}

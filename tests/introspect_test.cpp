@@ -11,6 +11,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Compiler.h"
+#include "core/Session.h"
+#include "core/Stats.h"
 #include "ir/Parser.h"
 #include "obs/Json.h"
 #include "obs/Remarks.h"
@@ -273,4 +275,70 @@ TEST_F(Introspect, FloorplanHandlesEmptyProgram) {
   EXPECT_NE(Svg.find("</svg>"), std::string::npos);
   std::string Plan = place::floorplanAscii(Empty, device::Device::tiny());
   EXPECT_EQ(Plan.rfind("floorplan:", 0), 0u) << Plan;
+}
+
+TEST_F(Introspect, FloorplanTimelineRendersOneFramePerProbe) {
+  Result<core::CompileResult> R = compileMac();
+  ASSERT_TRUE(R.ok()) << R.error();
+  ASSERT_FALSE(R.value().PlaceStats.Timeline.empty());
+  std::string Svg = place::floorplanTimelineSvg(
+      R.value().Placed, device::Device::small(), R.value().PlaceStats);
+  EXPECT_EQ(Svg.rfind("<svg", 0), 0u) << Svg.substr(0, 80);
+  EXPECT_NE(Svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(Svg.find("shrink timeline: mac on small"), std::string::npos);
+  size_t Frames = 0;
+  for (size_t Pos = Svg.find("<g class=\"frame\"");
+       Pos != std::string::npos;
+       Pos = Svg.find("<g class=\"frame\"", Pos + 1))
+    ++Frames;
+  EXPECT_EQ(Frames, R.value().PlaceStats.Timeline.size());
+  // The initial frame's caption plus at least one probe outcome.
+  EXPECT_NE(Svg.find("probe 0: initial sat"), std::string::npos) << Svg;
+  EXPECT_NE(Svg.find("conflict(s)"), std::string::npos);
+}
+
+TEST_F(Introspect, FloorplanTimelineHandlesEmptyTimeline) {
+  rasm::AsmProgram Empty;
+  place::PlacementStats Stats;
+  std::string Svg = place::floorplanTimelineSvg(Empty, device::Device::tiny(),
+                                                Stats);
+  EXPECT_EQ(Svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(Svg.find("</svg>"), std::string::npos);
+  EXPECT_EQ(Svg.find("<g class=\"frame\""), std::string::npos);
+}
+
+TEST_F(Introspect, StatsJsonCarriesTheSatProfile) {
+  Result<core::CompileResult> R = compileMac();
+  ASSERT_TRUE(R.ok()) << R.error();
+  Json Doc = core::statsJson(R.value(), "mac");
+  const Json *Sat = Doc.find("sat");
+  ASSERT_NE(Sat, nullptr);
+  ASSERT_TRUE(Sat->isObject());
+  const Json *Solves = Sat->find("solves");
+  ASSERT_NE(Solves, nullptr);
+  EXPECT_GE(Solves->asInt(), 1);
+  const Json *Lbd = Sat->find("lbd_histogram");
+  ASSERT_NE(Lbd, nullptr);
+  EXPECT_EQ(Lbd->size(), 8u);
+  const Json *Probes = Sat->find("shrink_probes");
+  ASSERT_NE(Probes, nullptr);
+  EXPECT_EQ(Probes->size(), R.value().PlaceStats.Timeline.size());
+  const Json *Core = Sat->find("core");
+  ASSERT_NE(Core, nullptr);
+  EXPECT_EQ(Core->size(), 0u); // the compile succeeded
+}
+
+TEST_F(Introspect, DisabledPassIsSkippedButStillSnapshots) {
+  core::CompileOptions Options;
+  Options.Dev = device::Device::small();
+  Options.DisabledPasses.push_back("cascade");
+  core::CompileSession Session;
+  Session.captureSnapshots();
+  Result<core::CompileResult> R = core::compileSource(
+      std::string(MacSource), "mac", Options, Session);
+  ASSERT_TRUE(R.ok()) << R.error();
+  EXPECT_EQ(R.value().CascadeStats.Chains, 0u);
+  EXPECT_EQ(R.value().CascadeStats.Rewritten, 0u);
+  // The stage list stays stable: the disabled pass still snapshots.
+  EXPECT_NE(Session.snapshots().find("cascade"), nullptr);
 }

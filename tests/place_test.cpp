@@ -220,3 +220,89 @@ TEST_P(PlaceRandomTest, RandomMixesAlwaysValidOrFail) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PlaceRandomTest, ::testing::Range(0u, 25u));
+
+TEST(Place, CapacityCoreNamesResourceAndInstruction) {
+  // 5 DSP instructions on a 4-slot device: the arithmetic precheck
+  // refutes it, and the explanation must name the resource and a real
+  // instruction of the program.
+  AsmProgram P = manyDspAdds(5);
+  PlacementStats Stats;
+  Result<AsmProgram> Placed =
+      reticle::place::place(P, Device::tiny(), PlacementOptions{}, &Stats);
+  ASSERT_FALSE(Placed.ok());
+  ASSERT_FALSE(Stats.Core.empty());
+  EXPECT_EQ(Stats.Core.front().Kind, "capacity");
+  EXPECT_EQ(Stats.Core.front().Instr, "t0");
+  EXPECT_NE(Stats.Core.front().Detail.find("dsp"), std::string::npos);
+  EXPECT_NE(Stats.Core.front().Detail.find("5"), std::string::npos);
+}
+
+TEST(Place, SolverLevelUnsatYieldsMinimizedCore) {
+  // Passes the capacity precheck (4 instructions, 4 slots) and the tall-
+  // cluster precheck (two chains of height >= 2, two segments fit), but no
+  // interleaving works: a contiguous pair and a gapped pair cannot share
+  // one column of four rows. The refutation must come from the SAT solver,
+  // and the minimized core must name the competing clusters.
+  AsmProgram P = parseOk(R"(
+    def f(a:i8, b:i8) -> (p0:i8, p1:i8, q0:i8, q1:i8) {
+      p0:i8 = add(a, b) @dsp(x, y);
+      p1:i8 = add(a, b) @dsp(x, y+1);
+      q0:i8 = add(a, b) @dsp(u, v);
+      q1:i8 = add(a, b) @dsp(u, v+2);
+    }
+  )");
+  PlacementStats Stats;
+  Result<AsmProgram> Placed =
+      reticle::place::place(P, Device::tiny(), PlacementOptions{}, &Stats);
+  ASSERT_FALSE(Placed.ok());
+  ASSERT_FALSE(Stats.Core.empty());
+  bool NamedP = false, NamedQ = false;
+  for (const CoreConstraint &C : Stats.Core) {
+    EXPECT_TRUE(C.Kind == "choose-one" || C.Kind == "distinct") << C.Kind;
+    EXPECT_FALSE(C.Detail.empty());
+    if (C.Kind == "choose-one") {
+      NamedP = NamedP || C.Instr == "p0";
+      NamedQ = NamedQ || C.Instr == "q0";
+    }
+  }
+  // Relaxing either cluster's choose-one constraint makes the formula
+  // satisfiable, so the minimized core must keep both.
+  EXPECT_TRUE(NamedP);
+  EXPECT_TRUE(NamedQ);
+}
+
+TEST(Place, TimelineRecordsInitialSolutionAndEveryProbe) {
+  AsmProgram P = manyDspAdds(8);
+  PlacementStats Stats;
+  Result<AsmProgram> Placed =
+      reticle::place::place(P, Device::small(), PlacementOptions{}, &Stats);
+  ASSERT_TRUE(Placed.ok()) << Placed.error();
+  ASSERT_GE(Stats.Timeline.size(), 2u);
+  const ShrinkProbe &First = Stats.Timeline.front();
+  EXPECT_EQ(First.ProbeAxis, ShrinkProbe::Axis::Initial);
+  EXPECT_EQ(First.Result, ShrinkProbe::Outcome::Sat);
+  EXPECT_EQ(First.Slots.size(), 8u);
+  for (size_t I = 1; I < Stats.Timeline.size(); ++I) {
+    const ShrinkProbe &Probe = Stats.Timeline[I];
+    EXPECT_NE(Probe.ProbeAxis, ShrinkProbe::Axis::Initial);
+    // Every frame carries the layout accepted so far; a shrinking run
+    // never grows its occupied-slot set.
+    EXPECT_EQ(Probe.Slots.size(), 8u);
+    EXPECT_LE(Probe.MaxColumn, First.MaxColumn);
+    EXPECT_LE(Probe.MaxRow, First.MaxRow);
+  }
+  // The run succeeded, so no frame and no constraint explanation linger.
+  EXPECT_TRUE(Stats.Core.empty());
+}
+
+TEST(Place, NoShrinkTimelineHasOnlyTheInitialFrame) {
+  AsmProgram P = manyDspAdds(2);
+  PlacementOptions Options;
+  Options.Shrink = false;
+  PlacementStats Stats;
+  Result<AsmProgram> Placed =
+      reticle::place::place(P, Device::small(), Options, &Stats);
+  ASSERT_TRUE(Placed.ok()) << Placed.error();
+  ASSERT_EQ(Stats.Timeline.size(), 1u);
+  EXPECT_EQ(Stats.Timeline.front().ProbeAxis, ShrinkProbe::Axis::Initial);
+}

@@ -308,3 +308,144 @@ TEST(Sat, StatsNonzeroAndMonotoneOnSat) {
   EXPECT_GT(Second.Decisions + Second.Propagations,
             First.Decisions + First.Propagations);
 }
+
+TEST(Sat, FailedAssumptionsYieldCore) {
+  // Selector-style encoding: s1 forces x, s2 forces !x, s3 forces the
+  // irrelevant y. Assuming all three is Unsat, and only s1 and s2 can be
+  // responsible.
+  Solver S;
+  Var S1 = S.newVar(), S2 = S.newVar(), S3 = S.newVar();
+  Var X = S.newVar(), Y = S.newVar();
+  ASSERT_TRUE(S.addBinary(Lit(S1, true), Lit(X)));
+  ASSERT_TRUE(S.addBinary(Lit(S2, true), Lit(X, true)));
+  ASSERT_TRUE(S.addBinary(Lit(S3, true), Lit(Y)));
+  ASSERT_EQ(S.solveWith({Lit(S1), Lit(S2), Lit(S3)}), Outcome::Unsat);
+  const std::vector<Lit> &Core = S.unsatCore();
+  ASSERT_FALSE(Core.empty());
+  for (Lit L : Core) {
+    EXPECT_TRUE(L.var() == S1 || L.var() == S2)
+        << "core names the irrelevant assumption s3 (var " << L.var() << ")";
+    EXPECT_FALSE(L.negated());
+  }
+  // Dropping any assumption outside the core keeps the formula Unsat, and
+  // the full assumption set without both core members is Sat — the core
+  // is unsatisfiable on its own.
+  ASSERT_EQ(S.solveWith({Lit(S1), Lit(S2)}), Outcome::Unsat);
+  ASSERT_EQ(S.solveWith({Lit(S1), Lit(S3)}), Outcome::Sat);
+  ASSERT_EQ(S.solveWith({Lit(S2), Lit(S3)}), Outcome::Sat);
+}
+
+TEST(Sat, CoreIsUnsatisfiableAsUnitClauses) {
+  // The reported core, asserted as unit clauses over the same formula in a
+  // fresh solver, must itself be unsatisfiable.
+  auto Build = [](Solver &S, Var &A, Var &B, Var &X) {
+    A = S.newVar();
+    B = S.newVar();
+    X = S.newVar();
+    ASSERT_TRUE(S.addBinary(Lit(A, true), Lit(X)));
+    ASSERT_TRUE(S.addBinary(Lit(B, true), Lit(X, true)));
+  };
+  Solver S;
+  Var A, B, X;
+  Build(S, A, B, X);
+  ASSERT_EQ(S.solveWith({Lit(A), Lit(B)}), Outcome::Unsat);
+  std::vector<Lit> Core = S.unsatCore();
+  ASSERT_FALSE(Core.empty());
+
+  // Asserting the core as units must refute the formula, either already
+  // at add time (root-level unit contradiction) or in the solver.
+  Solver Fresh;
+  Var A2, B2, X2;
+  Build(Fresh, A2, B2, X2);
+  bool Contradicted = false;
+  for (Lit L : Core)
+    if (!Fresh.addClause({L})) {
+      Contradicted = true;
+      break;
+    }
+  EXPECT_TRUE(Contradicted || Fresh.solve() == Outcome::Unsat);
+}
+
+TEST(Sat, MinimizeCoreDropsRedundantAssumptions) {
+  // a forces x, c forces !x; b constrains nothing. A seeded "core" of all
+  // three must shrink to exactly {a, c}.
+  Solver S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar(), X = S.newVar();
+  ASSERT_TRUE(S.addBinary(Lit(A, true), Lit(X)));
+  ASSERT_TRUE(S.addBinary(Lit(C, true), Lit(X, true)));
+  ASSERT_EQ(S.solveWith({Lit(A), Lit(B), Lit(C)}), Outcome::Unsat);
+  std::vector<Lit> Minimal = S.minimizeCore({Lit(A), Lit(B), Lit(C)});
+  ASSERT_EQ(Minimal.size(), 2u);
+  bool HasA = false, HasC = false;
+  for (Lit L : Minimal) {
+    HasA = HasA || L == Lit(A);
+    HasC = HasC || L == Lit(C);
+  }
+  EXPECT_TRUE(HasA);
+  EXPECT_TRUE(HasC);
+  // Minimization runs extra solves; the solver stays usable after.
+  EXPECT_EQ(S.solveWith({Lit(A), Lit(B)}), Outcome::Sat);
+}
+
+TEST(Sat, ProfileSurvivesBudgetExhaustion) {
+  // PHP(4,3) cannot be refuted within one conflict; the probe must come
+  // back Unknown while still reporting the work it did — the shrink-probe
+  // remarks depend on this.
+  constexpr unsigned Pigeons = 4, Holes = 3;
+  Solver S;
+  Var P[Pigeons][Holes];
+  for (unsigned I = 0; I < Pigeons; ++I)
+    for (unsigned J = 0; J < Holes; ++J)
+      P[I][J] = S.newVar();
+  for (unsigned I = 0; I < Pigeons; ++I) {
+    std::vector<Lit> AtLeastOne;
+    for (unsigned J = 0; J < Holes; ++J)
+      AtLeastOne.push_back(Lit(P[I][J]));
+    ASSERT_TRUE(S.addClause(AtLeastOne));
+  }
+  for (unsigned J = 0; J < Holes; ++J)
+    for (unsigned I1 = 0; I1 < Pigeons; ++I1)
+      for (unsigned I2 = I1 + 1; I2 < Pigeons; ++I2)
+        ASSERT_TRUE(S.addBinary(Lit(P[I1][J], true), Lit(P[I2][J], true)));
+  ASSERT_EQ(S.solve(/*ConflictBudget=*/1), Outcome::Unknown);
+  EXPECT_EQ(S.lastProfile().Result, Outcome::Unknown);
+  EXPECT_GE(S.lastProfile().Conflicts, 1u);
+  EXPECT_GT(S.lastProfile().Decisions, 0u);
+  EXPECT_EQ(S.stats().Unknowns, 1u);
+  EXPECT_EQ(S.stats().Solves, 1u);
+  // And without the budget the same solver still refutes the formula.
+  ASSERT_EQ(S.solve(), Outcome::Unsat);
+  EXPECT_EQ(S.stats().Solves, 2u);
+  EXPECT_EQ(S.stats().Unknowns, 1u);
+}
+
+TEST(Sat, LearnedClauseHistogramsFill) {
+  constexpr unsigned Pigeons = 5, Holes = 4;
+  Solver S;
+  std::vector<std::vector<Var>> P(Pigeons, std::vector<Var>(Holes));
+  for (unsigned I = 0; I < Pigeons; ++I)
+    for (unsigned J = 0; J < Holes; ++J)
+      P[I][J] = S.newVar();
+  for (unsigned I = 0; I < Pigeons; ++I) {
+    std::vector<Lit> AtLeastOne;
+    for (unsigned J = 0; J < Holes; ++J)
+      AtLeastOne.push_back(Lit(P[I][J]));
+    ASSERT_TRUE(S.addClause(AtLeastOne));
+  }
+  for (unsigned J = 0; J < Holes; ++J)
+    for (unsigned I1 = 0; I1 < Pigeons; ++I1)
+      for (unsigned I2 = I1 + 1; I2 < Pigeons; ++I2)
+        ASSERT_TRUE(S.addBinary(Lit(P[I1][J], true), Lit(P[I2][J], true)));
+  ASSERT_EQ(S.solve(), Outcome::Unsat);
+  uint64_t LbdTotal = 0, SizeTotal = 0;
+  for (size_t I = 0; I < Solver::Statistics::HistogramBuckets; ++I) {
+    LbdTotal += S.stats().LbdHistogram[I];
+    SizeTotal += S.stats().LearnedSizeHistogram[I];
+  }
+  // Every analyzed conflict lands in both histograms (unit learnts are
+  // recorded too, though not stored as clauses).
+  EXPECT_GT(LbdTotal, 0u);
+  EXPECT_EQ(LbdTotal, SizeTotal);
+  EXPECT_GE(LbdTotal, S.stats().Learned);
+  EXPECT_GT(S.stats().SolveMs, 0.0);
+}

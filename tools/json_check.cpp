@@ -25,12 +25,23 @@
 ///
 /// The bare invocation only checks that the file parses as strict JSON.
 ///
+/// A second mode compares two remark streams:
+///   json_check remark_diff [--json] <a.jsonl> <b.jsonl>
+/// Both files are "reticle-remarks-v1" JSONL streams. Records are joined
+/// on {stage, kind, instr} (pairing positionally within a group) and
+/// their message and args compared. Differences print as +/-/~ lines, or
+/// as one "reticle-remark-diff-v1" JSON document with --json. Exit 0 when
+/// the streams agree, 1 when they differ, 2 when an input is unusable —
+/// the same contract as diff(1), so CI can gate on remark drift.
+///
 //===----------------------------------------------------------------------===//
 
 #include "obs/Json.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -134,9 +145,193 @@ std::string checkBatchSummary(const Json &Doc) {
   return {};
 }
 
+/// One remark record, reduced to its join key and comparison payload.
+struct RemarkRecord {
+  std::string Stage;
+  std::string Kind;
+  std::string Instr;
+  std::string Payload; ///< message plus compact args — the compared text
+};
+
+/// Loads a "reticle-remarks-v1" JSONL stream, skipping the header line
+/// (and any other line without a "stage" key). Returns an error message
+/// on failure via \p Error.
+bool loadRemarks(const std::string &Path, std::vector<RemarkRecord> &Out,
+                 std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = Path + ": cannot open";
+    return false;
+  }
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue;
+    Result<Json> Doc = Json::parse(Line);
+    if (!Doc) {
+      Error = Path + ": line " + std::to_string(LineNo) +
+              ": malformed JSON: " + Doc.error();
+      return false;
+    }
+    const Json &R = Doc.value();
+    const Json *Stage = R.isObject() ? R.find("stage") : nullptr;
+    if (!Stage || !Stage->isString())
+      continue; // header or foreign line
+    RemarkRecord Rec;
+    Rec.Stage = Stage->asString();
+    if (const Json *Kind = R.find("kind"); Kind && Kind->isString())
+      Rec.Kind = Kind->asString();
+    if (const Json *Instr = R.find("instr"); Instr && Instr->isString())
+      Rec.Instr = Instr->asString();
+    if (const Json *Message = R.find("message");
+        Message && Message->isString())
+      Rec.Payload = Message->asString();
+    if (const Json *Args = R.find("args"); Args && Args->size())
+      Rec.Payload += " " + Args->str();
+    Out.push_back(std::move(Rec));
+  }
+  return true;
+}
+
+std::string remarkKeyLabel(const RemarkRecord &R) {
+  std::string Label = R.Stage + ":" + R.Kind;
+  if (!R.Instr.empty())
+    Label += " @" + R.Instr;
+  return Label;
+}
+
+/// `json_check remark_diff [--json] a.jsonl b.jsonl`: joins two remark
+/// streams on {stage, kind, instr} and reports added/removed/changed
+/// records. Exit 0 identical, 1 different, 2 unusable input.
+int runRemarkDiff(int Argc, char **Argv) {
+  bool AsJson = false;
+  std::vector<std::string> Paths;
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--json")
+      AsJson = true;
+    else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s remark_diff [--json] <a.jsonl> <b.jsonl>\n",
+                   Argv[0]);
+      return 2;
+    } else
+      Paths.push_back(Arg);
+  }
+  if (Paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: %s remark_diff [--json] <a.jsonl> <b.jsonl>\n",
+                 Argv[0]);
+    return 2;
+  }
+
+  std::vector<RemarkRecord> A, B;
+  std::string Error;
+  if (!loadRemarks(Paths[0], A, Error) || !loadRemarks(Paths[1], B, Error)) {
+    std::fprintf(stderr, "json_check: %s\n", Error.c_str());
+    return 2;
+  }
+
+  // Group both streams by the join key, preserving first-appearance order
+  // so the report reads in pipeline order.
+  auto KeyOf = [](const RemarkRecord &R) {
+    return R.Stage + '\0' + R.Kind + '\0' + R.Instr;
+  };
+  std::vector<std::string> KeyOrder;
+  std::map<std::string, std::pair<std::vector<const RemarkRecord *>,
+                                  std::vector<const RemarkRecord *>>>
+      Groups;
+  for (const RemarkRecord &R : A) {
+    auto [It, Fresh] = Groups.try_emplace(KeyOf(R));
+    if (Fresh)
+      KeyOrder.push_back(It->first);
+    It->second.first.push_back(&R);
+  }
+  for (const RemarkRecord &R : B) {
+    auto [It, Fresh] = Groups.try_emplace(KeyOf(R));
+    if (Fresh)
+      KeyOrder.push_back(It->first);
+    It->second.second.push_back(&R);
+  }
+
+  uint64_t Added = 0, Removed = 0, Changed = 0, Unchanged = 0;
+  Json Details = Json::array();
+  std::string Text;
+  auto Report = [&](const char *St, const RemarkRecord &R,
+                    const RemarkRecord *Other) {
+    const char *Mark = std::string(St) == "added"     ? "+"
+                       : std::string(St) == "removed" ? "-"
+                                                      : "~";
+    Text += std::string(Mark) + " " + remarkKeyLabel(R) + ": " + R.Payload;
+    if (Other)
+      Text += "\n  -> " + Other->Payload;
+    Text += "\n";
+    Json Entry = Json::object();
+    Entry.set("status", St);
+    Entry.set("stage", R.Stage);
+    Entry.set("kind", R.Kind);
+    if (!R.Instr.empty())
+      Entry.set("instr", R.Instr);
+    if (std::string(St) != "added")
+      Entry.set("a", R.Payload);
+    if (std::string(St) == "added")
+      Entry.set("b", R.Payload);
+    else if (Other)
+      Entry.set("b", Other->Payload);
+    Details.push(std::move(Entry));
+  };
+
+  for (const std::string &Key : KeyOrder) {
+    const auto &[InA, InB] = Groups[Key];
+    size_t Common = std::min(InA.size(), InB.size());
+    for (size_t I = 0; I < Common; ++I) {
+      if (InA[I]->Payload == InB[I]->Payload) {
+        ++Unchanged;
+      } else {
+        ++Changed;
+        Report("changed", *InA[I], InB[I]);
+      }
+    }
+    for (size_t I = Common; I < InA.size(); ++I) {
+      ++Removed;
+      Report("removed", *InA[I], nullptr);
+    }
+    for (size_t I = Common; I < InB.size(); ++I) {
+      ++Added;
+      Report("added", *InB[I], nullptr);
+    }
+  }
+
+  if (AsJson) {
+    Json Doc = Json::object();
+    Doc.set("schema", "reticle-remark-diff-v1");
+    Doc.set("a", Paths[0]);
+    Doc.set("b", Paths[1]);
+    Doc.set("added", Added);
+    Doc.set("removed", Removed);
+    Doc.set("changed", Changed);
+    Doc.set("unchanged", Unchanged);
+    Doc.set("details", std::move(Details));
+    std::fputs((Doc.str(2) + "\n").c_str(), stdout);
+  } else {
+    std::fputs(Text.c_str(), stdout);
+    std::printf("remark diff: %llu added, %llu removed, %llu changed, "
+                "%llu unchanged\n",
+                static_cast<unsigned long long>(Added),
+                static_cast<unsigned long long>(Removed),
+                static_cast<unsigned long long>(Changed),
+                static_cast<unsigned long long>(Unchanged));
+  }
+  return Added + Removed + Changed ? 1 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (Argc > 1 && std::string(Argv[1]) == "remark_diff")
+    return runRemarkDiff(Argc, Argv);
   std::string FilePath;
   std::vector<std::string> Required, NonEmpty, Events, Remarks;
   bool Jsonl = false;
@@ -161,8 +356,9 @@ int main(int Argc, char **Argv) {
                    "usage: %s [--jsonl] [--require=<path>] "
                    "[--nonempty=<path>] [--has-event=<name>] "
                    "[--has-remark=<stage>] [--batch-summary] "
-                   "<file.json>\n",
-                   Argv[0]);
+                   "<file.json>\n"
+                   "       %s remark_diff [--json] <a.jsonl> <b.jsonl>\n",
+                   Argv[0], Argv[0]);
       return 2;
     } else
       FilePath = Arg;

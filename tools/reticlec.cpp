@@ -30,6 +30,12 @@
 ///     --remarks-json=<file|->                remarks as JSONL (reticle-remarks-v1)
 ///     --floorplan=<file|->                   placement floorplan; SVG by default,
 ///                                            ASCII for "-" or a .txt path
+///     --floorplan-timeline=<file|->          shrink-probe timeline as SVG
+///                                            small multiples
+///     --disable-pass=<name>                  skip an optional pass (opt,
+///                                            cascade, timing); repeatable
+///     --print-before=<name>                  print the program to stderr just
+///                                            before the named pass runs
 ///     --dump-target                          print the UltraScale TDL
 ///     --version                              print the version and exit
 ///     -o <file>                              write output to a file
@@ -45,8 +51,13 @@
 /// --stats-json path then receives the merged "reticle-batch-v1" summary
 /// (the per-input file paths of --remarks/--remarks-json/--trace are
 /// ignored; presence of the flag enables the per-input artifact).
-/// Single-input flags (-o, --dump-after, --floorplan, --emit=behavioral)
-/// are rejected in batch mode.
+/// Single-input flags (-o, --dump-after, --floorplan,
+/// --floorplan-timeline, --print-before, --emit=behavioral) are rejected
+/// in batch mode.
+///
+/// Remarks and traces are flushed even when a compile fails: a failed
+/// placement's `sat:core` remarks are precisely the output that explains
+/// the failure.
 ///
 /// Exit codes: 0 success, 1 an input failed to parse or compile, 2 the
 /// invocation itself was wrong (unknown flag or value, missing input,
@@ -56,6 +67,7 @@
 
 #include "core/Batch.h"
 #include "core/Compiler.h"
+#include "core/Pipeline.h"
 #include "core/Session.h"
 #include "core/Stats.h"
 #include "ir/Parser.h"
@@ -90,6 +102,9 @@ constexpr const char *EmitChoices = "asm, placed, verilog, behavioral";
 constexpr const char *DeviceChoices = "xczu3eg, small, tiny";
 constexpr const char *StageChoices =
     "parse, opt, isel, cascade, place, codegen";
+constexpr const char *PassChoices =
+    "parse, opt, isel, cascade, place, codegen, timing";
+constexpr const char *DisableablePasses = "opt, cascade, timing";
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
@@ -99,6 +114,8 @@ int usage(const char *Argv0) {
                "[--trace=<file|->] [--dump-after-all=<dir>] "
                "[--dump-after=<stage>] [--remarks=<file|->] "
                "[--remarks-json=<file|->] [--floorplan=<file|->] "
+               "[--floorplan-timeline=<file|->] [--disable-pass=<name>] "
+               "[--print-before=<name>] "
                "[--jobs=N] [--out-dir=<dir>] "
                "[-o <file>] <input.ret> [<input2.ret> ...]\n"
                "       %s --dump-target\n"
@@ -123,6 +140,13 @@ int compileError(const std::string &Message) {
 bool isKnownStage(const std::string &Stage) {
   return Stage == "parse" || Stage == "opt" || Stage == "isel" ||
          Stage == "cascade" || Stage == "place" || Stage == "codegen";
+}
+
+bool isKnownPass(const std::string &Name) {
+  for (const std::string &P : core::pipelinePassNames())
+    if (P == Name)
+      return true;
+  return false;
 }
 
 bool endsWith(const std::string &Text, const char *Suffix) {
@@ -156,6 +180,7 @@ struct DriverArgs {
   std::string RemarksPath;
   std::string RemarksJsonPath;
   std::string FloorplanPath;
+  std::string FloorplanTimelinePath;
   std::string OutDir = ".";
   unsigned Jobs = 0;
   bool Stats = false;
@@ -231,8 +256,44 @@ int runSingle(const DriverArgs &Args) {
 
   Result<core::CompileResult> R =
       core::compileSource(Buffer.str(), InputPath, Args.Options, Session);
-  if (!R)
+
+  // Remarks and traces flush whether or not the compile succeeded: when a
+  // placement is infeasible, the sat:core remarks naming the binding
+  // constraints are the whole point of asking for remarks.
+  auto FlushDiagnostics = [&]() -> Status {
+    if (!Args.RemarksPath.empty()) {
+      if (Args.RemarksPath == "-") {
+        std::fputs(Session.remarks().text().c_str(), stdout);
+      } else if (Status S = Session.remarks().writeText(Args.RemarksPath);
+                 !S) {
+        return S;
+      }
+    }
+    if (!Args.RemarksJsonPath.empty()) {
+      if (Args.RemarksJsonPath == "-") {
+        std::fputs(Session.remarks().jsonl(InputPath).c_str(), stdout);
+      } else if (Status S = Session.remarks().writeJsonl(
+                     Args.RemarksJsonPath, InputPath);
+                 !S) {
+        return S;
+      }
+    }
+    if (!Args.TracePath.empty()) {
+      if (Args.TracePath == "-") {
+        std::fputs((Session.telemetry().traceJson() + "\n").c_str(), stdout);
+      } else if (Status S = Session.telemetry().writeTrace(Args.TracePath);
+                 !S) {
+        return S;
+      }
+    }
+    return Status::success();
+  };
+
+  if (!R) {
+    if (Status S = FlushDiagnostics(); !S)
+      std::fprintf(stderr, "reticlec: error: %s\n", S.error().c_str());
     return compileError(pipelineErrorMessage(Session, InputPath, R.error()));
+  }
 
   if (Args.Options.Optimize && Args.Stats)
     std::fprintf(stderr,
@@ -278,33 +339,15 @@ int runSingle(const DriverArgs &Args) {
     if (Status S = writeTextOutput(Args.FloorplanPath, Plan); !S)
       return usageError(S.error());
   }
-
-  if (!Args.RemarksPath.empty()) {
-    if (Args.RemarksPath == "-") {
-      std::fputs(Session.remarks().text().c_str(), stdout);
-    } else if (Status S = Session.remarks().writeText(Args.RemarksPath);
-               !S) {
+  if (!Args.FloorplanTimelinePath.empty()) {
+    std::string Plan = place::floorplanTimelineSvg(
+        R.value().Placed, Args.Options.Dev, R.value().PlaceStats);
+    if (Status S = writeTextOutput(Args.FloorplanTimelinePath, Plan); !S)
       return usageError(S.error());
-    }
-  }
-  if (!Args.RemarksJsonPath.empty()) {
-    if (Args.RemarksJsonPath == "-") {
-      std::fputs(Session.remarks().jsonl(InputPath).c_str(), stdout);
-    } else if (Status S = Session.remarks().writeJsonl(Args.RemarksJsonPath,
-                                                       InputPath);
-               !S) {
-      return usageError(S.error());
-    }
   }
 
-  if (!Args.TracePath.empty()) {
-    if (Args.TracePath == "-") {
-      std::fputs((Session.telemetry().traceJson() + "\n").c_str(), stdout);
-    } else if (Status S = Session.telemetry().writeTrace(Args.TracePath);
-               !S) {
-      return usageError(S.error());
-    }
-  }
+  if (Status S = FlushDiagnostics(); !S)
+    return usageError(S.error());
 
   if (Args.OutputPath.empty()) {
     std::fputs(Output.c_str(), stdout);
@@ -323,7 +366,9 @@ int runBatch(const DriverArgs &Args) {
   for (const auto &[Flag, Value] :
        {std::pair<const char *, const std::string *>{"-o", &Args.OutputPath},
         {"--dump-after", &Args.DumpStage},
-        {"--floorplan", &Args.FloorplanPath}})
+        {"--floorplan", &Args.FloorplanPath},
+        {"--floorplan-timeline", &Args.FloorplanTimelinePath},
+        {"--print-before", &Args.Options.PrintBefore}})
     if (!Value->empty())
       return usageError(std::string(Flag) +
                         " applies to a single input; with several inputs "
@@ -380,6 +425,23 @@ int runBatch(const DriverArgs &Args) {
       std::string Error =
           Item.Outcome ? Item.Outcome->error() : std::string("not compiled");
       compileError(pipelineErrorMessage(*Item.Session, Item.Name, Error));
+      // A failed item still flushes its remarks and trace — the sat:core
+      // remarks of an infeasible placement land there.
+      if (!Args.RemarksPath.empty())
+        if (Status S = Item.Session->remarks().writeText(Base.string() +
+                                                         ".remarks.txt");
+            !S)
+          return usageError(S.error());
+      if (!Args.RemarksJsonPath.empty())
+        if (Status S = Item.Session->remarks().writeJsonl(
+                Base.string() + ".remarks.jsonl", Item.Name);
+            !S)
+          return usageError(S.error());
+      if (!Args.TracePath.empty())
+        if (Status S = Item.Session->telemetry().writeTrace(
+                Base.string() + ".trace.json");
+            !S)
+          return usageError(S.error());
       Exit = 1;
       continue;
     }
@@ -486,6 +548,28 @@ int main(int Argc, char **Argv) {
       Args.FloorplanPath = Arg.substr(12);
       if (Args.FloorplanPath.empty())
         return usageError("--floorplan= requires a file path or '-'");
+    } else if (Arg.rfind("--floorplan-timeline=", 0) == 0) {
+      Args.FloorplanTimelinePath = Arg.substr(21);
+      if (Args.FloorplanTimelinePath.empty())
+        return usageError("--floorplan-timeline= requires a file path or "
+                          "'-'");
+    } else if (Arg.rfind("--disable-pass=", 0) == 0) {
+      std::string Name = Arg.substr(15);
+      if (!isKnownPass(Name))
+        return usageError("unknown pass '" + Name +
+                          "' (valid: " + std::string(PassChoices) + ")");
+      if (!core::isPassDisableable(Name))
+        return usageError("pass '" + Name +
+                          "' cannot be disabled (disableable: " +
+                          std::string(DisableablePasses) + ")");
+      if (!Args.Options.isPassDisabled(Name))
+        Args.Options.DisabledPasses.push_back(Name);
+    } else if (Arg.rfind("--print-before=", 0) == 0) {
+      std::string Name = Arg.substr(15);
+      if (!isKnownPass(Name))
+        return usageError("unknown pass '" + Name +
+                          "' (valid: " + std::string(PassChoices) + ")");
+      Args.Options.PrintBefore = Name;
     } else if (Arg.rfind("--jobs=", 0) == 0) {
       std::string Value = Arg.substr(7);
       char *End = nullptr;
@@ -544,12 +628,17 @@ int main(int Argc, char **Argv) {
         {"--remarks", &Args.RemarksPath},
         {"--remarks-json", &Args.RemarksJsonPath},
         {"--floorplan", &Args.FloorplanPath},
+        {"--floorplan-timeline", &Args.FloorplanTimelinePath},
+        {"--print-before", &Args.Options.PrintBefore},
     };
     for (const auto &[Flag, Value] : PipelineOnly)
       if (!Value->empty())
         return usageError(std::string(Flag) +
                           " requires a pipeline emit kind "
                           "(asm, placed, verilog)");
+    if (!Args.Options.DisabledPasses.empty())
+      return usageError("--disable-pass requires a pipeline emit kind "
+                        "(asm, placed, verilog)");
   }
 
   return Args.Inputs.size() > 1 ? runBatch(Args) : runSingle(Args);
