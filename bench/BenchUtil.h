@@ -16,14 +16,18 @@
 #ifndef RETICLE_BENCH_BENCHUTIL_H
 #define RETICLE_BENCH_BENCHUTIL_H
 
+#include "core/Batch.h"
 #include "core/Compiler.h"
 #include "device/Device.h"
 #include "obs/Json.h"
 #include "obs/Report.h"
 #include "synth/Synth.h"
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace reticle {
 namespace bench {
@@ -57,6 +61,74 @@ inline RunResult runReticle(const ir::Function &Fn,
   Out.Luts = R.value().Util.Luts;
   Out.Dsps = R.value().Util.Dsps;
   Out.Ffs = R.value().Util.Ffs;
+  return Out;
+}
+
+/// All of a figure's Reticle data points compiled as one batch: the
+/// per-point results (from the sequential pass, so the figures stay
+/// deterministic) plus the wall-clock of the same batch on one worker and
+/// on the full pool.
+struct BatchRun {
+  std::vector<RunResult> Results;
+  double SequentialMs = 0.0;
+  double ParallelMs = 0.0;
+  unsigned Jobs = 1;
+};
+
+inline RunResult toRunResult(const core::BatchItem &Item) {
+  RunResult Out;
+  if (!Item.ok()) {
+    Out.Error = Item.Outcome ? Item.Outcome->error()
+                             : std::string("not compiled");
+    return Out;
+  }
+  const core::CompileResult &R = Item.Outcome->value();
+  Out.Ok = true;
+  Out.CompileMs = R.Times.TotalMs;
+  Out.CriticalNs = R.Timing.CriticalPathNs;
+  Out.FmaxMhz = R.Timing.FmaxMhz;
+  Out.Luts = R.Util.Luts;
+  Out.Dsps = R.Util.Dsps;
+  Out.Ffs = R.Util.Ffs;
+  return Out;
+}
+
+/// Compiles every (name, function) data point through core::compileBatch,
+/// one CompileSession per point. The batch runs twice — once on a single
+/// worker and once on the full pool — so the figure's series can record
+/// the parallel speedup alongside the per-point numbers.
+inline BatchRun
+runReticleBatch(const std::vector<std::pair<std::string, ir::Function>> &Points,
+                const device::Device &Dev) {
+  std::vector<core::BatchInput> Inputs;
+  Inputs.reserve(Points.size());
+  for (const auto &[Name, Fn] : Points)
+    Inputs.push_back({Name, Fn.str()});
+
+  core::BatchOptions Options;
+  Options.Options.Dev = Dev;
+  using Clock = std::chrono::steady_clock;
+  auto ElapsedMs = [](Clock::time_point Begin) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - Begin)
+        .count();
+  };
+
+  BatchRun Out;
+  Options.Jobs = 1;
+  Clock::time_point SeqBegin = Clock::now();
+  std::vector<core::BatchItem> SeqItems = core::compileBatch(Inputs, Options);
+  Out.SequentialMs = ElapsedMs(SeqBegin);
+
+  Options.Jobs = 0; // full pool
+  Out.Jobs = core::batchJobCount(Options, Inputs.size());
+  Clock::time_point ParBegin = Clock::now();
+  std::vector<core::BatchItem> ParItems = core::compileBatch(Inputs, Options);
+  Out.ParallelMs = ElapsedMs(ParBegin);
+  (void)ParItems; // artifacts are byte-identical to the sequential run's
+
+  Out.Results.reserve(SeqItems.size());
+  for (const core::BatchItem &Item : SeqItems)
+    Out.Results.push_back(toRunResult(Item));
   return Out;
 }
 
@@ -143,6 +215,17 @@ public:
     add(Size, Toolchain, Run);
   }
 
+  /// Records the batch harness timings (see runReticleBatch) so the
+  /// series carries the parallel-vs-sequential comparison.
+  void setBatch(const BatchRun &Batch) {
+    obs::Json B = obs::Json::object();
+    B.set("sequential_ms", Batch.SequentialMs);
+    B.set("parallel_ms", Batch.ParallelMs);
+    B.set("jobs", static_cast<uint64_t>(Batch.Jobs));
+    BatchTiming = std::move(B);
+    HasBatch = true;
+  }
+
   /// Writes `BENCH_<figure>.json`; warns (without failing the figure's
   /// shape checks) when the file cannot be written.
   bool write() {
@@ -151,6 +234,8 @@ public:
     Doc.set("figure", Figure);
     Doc.set("title", Title);
     Doc.set("series", Rows);
+    if (HasBatch)
+      Doc.set("batch", BatchTiming);
     std::string Path = "BENCH_" + Figure + ".json";
     if (Status S = obs::writeJsonFile(Doc, Path); !S) {
       std::fprintf(stderr, "warning: %s\n", S.error().c_str());
@@ -163,6 +248,8 @@ public:
 private:
   std::string Figure, Title;
   obs::Json Rows = obs::Json::array();
+  obs::Json BatchTiming = obs::Json::object();
+  bool HasBatch = false;
 };
 
 /// Prints the raw per-toolchain detail line (compile time, fmax).

@@ -33,11 +33,21 @@ int main() {
   std::vector<unsigned> Sizes = {64, 128, 256, 512};
   std::vector<bench::RunResult> Bases, Hints, Rets;
   bench::SeriesReport Report("fig13a_tensoradd", "Figure 13a: tensoradd");
-  for (unsigned N : Sizes) {
-    ir::Function Fn = frontend::makeTensorAdd(N);
+
+  // All Reticle data points compile as one session-per-point batch.
+  std::vector<std::pair<std::string, ir::Function>> Points;
+  for (unsigned N : Sizes)
+    Points.emplace_back("tensoradd_" + std::to_string(N),
+                        frontend::makeTensorAdd(N));
+  bench::BatchRun Batch = bench::runReticleBatch(Points, Dev);
+  Report.setBatch(Batch);
+
+  for (size_t I = 0; I < Sizes.size(); ++I) {
+    unsigned N = Sizes[I];
+    const ir::Function &Fn = Points[I].second;
     bench::RunResult Base = bench::runBaseline(Fn, synth::Mode::Base, Dev);
     bench::RunResult Hint = bench::runBaseline(Fn, synth::Mode::Hint, Dev);
-    bench::RunResult Ret = bench::runReticle(Fn, Dev);
+    const bench::RunResult &Ret = Batch.Results[I];
     Report.add(std::to_string(N), "base", Base);
     Report.add(std::to_string(N), "hint", Hint);
     Report.add(std::to_string(N), "reticle", Ret);
@@ -53,6 +63,10 @@ int main() {
     Rets.push_back(Ret);
   }
   Report.write();
+  std::printf("\nBatch (%zu reticle compiles): sequential %.1f ms, "
+              "parallel %.1f ms on %u jobs\n",
+              Points.size(), Batch.SequentialMs, Batch.ParallelMs,
+              Batch.Jobs);
   std::printf("\nPer-toolchain detail:\n");
   for (size_t I = 0; I < Sizes.size(); ++I) {
     std::string Size = std::to_string(Sizes[I]);

@@ -32,11 +32,20 @@ int main() {
   std::vector<unsigned> Sizes = {3, 9, 18, 36};
   std::vector<bench::RunResult> Bases, Hints, Rets;
   bench::SeriesReport Report("fig13b_tensordot", "Figure 13b: tensordot");
-  for (unsigned K : Sizes) {
-    ir::Function Fn = frontend::makeTensorDot(K);
+
+  std::vector<std::pair<std::string, ir::Function>> Points;
+  for (unsigned K : Sizes)
+    Points.emplace_back("tensordot_5x" + std::to_string(K),
+                        frontend::makeTensorDot(K));
+  bench::BatchRun Batch = bench::runReticleBatch(Points, Dev);
+  Report.setBatch(Batch);
+
+  for (size_t I = 0; I < Sizes.size(); ++I) {
+    unsigned K = Sizes[I];
+    const ir::Function &Fn = Points[I].second;
     bench::RunResult Base = bench::runBaseline(Fn, synth::Mode::Base, Dev);
     bench::RunResult Hint = bench::runBaseline(Fn, synth::Mode::Hint, Dev);
-    bench::RunResult Ret = bench::runReticle(Fn, Dev);
+    const bench::RunResult &Ret = Batch.Results[I];
     std::string Size = "5x" + std::to_string(K);
     Report.add(Size, "base", Base);
     Report.add(Size, "hint", Hint);
@@ -53,6 +62,10 @@ int main() {
     Rets.push_back(Ret);
   }
   Report.write();
+  std::printf("\nBatch (%zu reticle compiles): sequential %.1f ms, "
+              "parallel %.1f ms on %u jobs\n",
+              Points.size(), Batch.SequentialMs, Batch.ParallelMs,
+              Batch.Jobs);
   std::printf("\nPer-toolchain detail:\n");
   for (size_t I = 0; I < Sizes.size(); ++I) {
     std::string Size = "5x" + std::to_string(Sizes[I]);

@@ -32,11 +32,19 @@ int main() {
   std::vector<unsigned> Sizes = {3, 5, 7, 9};
   std::vector<bench::RunResult> Bases, Hints, Rets;
   bench::SeriesReport Report("fig13c_fsm", "Figure 13c: fsm");
-  for (unsigned S : Sizes) {
-    ir::Function Fn = frontend::makeFsm(S);
+
+  std::vector<std::pair<std::string, ir::Function>> Points;
+  for (unsigned S : Sizes)
+    Points.emplace_back("fsm_" + std::to_string(S), frontend::makeFsm(S));
+  bench::BatchRun Batch = bench::runReticleBatch(Points, Dev);
+  Report.setBatch(Batch);
+
+  for (size_t I = 0; I < Sizes.size(); ++I) {
+    unsigned S = Sizes[I];
+    const ir::Function &Fn = Points[I].second;
     bench::RunResult Base = bench::runBaseline(Fn, synth::Mode::Base, Dev);
     bench::RunResult Hint = bench::runBaseline(Fn, synth::Mode::Hint, Dev);
-    bench::RunResult Ret = bench::runReticle(Fn, Dev);
+    const bench::RunResult &Ret = Batch.Results[I];
     Report.add(std::to_string(S), "base", Base);
     Report.add(std::to_string(S), "hint", Hint);
     Report.add(std::to_string(S), "reticle", Ret);
@@ -52,6 +60,10 @@ int main() {
     Rets.push_back(Ret);
   }
   Report.write();
+  std::printf("\nBatch (%zu reticle compiles): sequential %.1f ms, "
+              "parallel %.1f ms on %u jobs\n",
+              Points.size(), Batch.SequentialMs, Batch.ParallelMs,
+              Batch.Jobs);
   std::printf("\nPer-toolchain detail:\n");
   for (size_t I = 0; I < Sizes.size(); ++I) {
     std::string Size = std::to_string(Sizes[I]);

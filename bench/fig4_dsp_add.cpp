@@ -39,12 +39,21 @@ int main() {
   std::vector<unsigned> Sizes = {8, 16, 32, 64, 128, 256, 512, 1024};
   bench::SeriesReport Report("fig4_dsp_add",
                              "Figure 4: dsp_add utilization");
+
+  std::vector<std::pair<std::string, ir::Function>> Points;
+  for (unsigned N : Sizes)
+    Points.emplace_back("dsp_add_" + std::to_string(N),
+                        frontend::makeDspAdd(N));
+  bench::BatchRun Batch = bench::runReticleBatch(Points, Dev);
+  Report.setBatch(Batch);
+
   bool AllOk = true;
-  for (unsigned N : Sizes) {
-    ir::Function Fn = frontend::makeDspAdd(N);
+  for (size_t I = 0; I < Sizes.size(); ++I) {
+    unsigned N = Sizes[I];
+    const ir::Function &Fn = Points[I].second;
     bench::RunResult Behav =
         bench::runBaseline(Fn, synth::Mode::Hint, Dev);
-    bench::RunResult Ret = bench::runReticle(Fn, Dev);
+    const bench::RunResult &Ret = Batch.Results[I];
     Report.add(std::to_string(N), "behavioral_hint", Behav);
     Report.add(std::to_string(N), "reticle", Ret);
     if (!Behav.Ok || !Ret.Ok) {
@@ -57,6 +66,10 @@ int main() {
                 Behav.Luts, Ret.Luts);
   }
   Report.write();
+  std::printf("\nBatch (%zu reticle compiles): sequential %.1f ms, "
+              "parallel %.1f ms on %u jobs\n",
+              Points.size(), Batch.SequentialMs, Batch.ParallelMs,
+              Batch.Jobs);
   std::printf("\nShape checks (paper Figure 4):\n");
   {
     ir::Function At512 = frontend::makeDspAdd(512);

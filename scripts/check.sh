@@ -61,6 +61,16 @@ grep -q "</svg>" "$out/timeline.svg"
 "$build/tools/json_check" remark_diff \
     "$out/remarks-a.jsonl" "$out/remarks-b.jsonl"
 
+echo "== remark ratchet (golden stream for mac.ret) =="
+# The checked-in golden pins every remark the pipeline emits for mac.ret
+# on the small device. Drift is a contract change: inspect the diff, and
+# if intentional regenerate with
+#   build/tools/reticlec --device=small --emit=placed \
+#       --remarks-json=tests/goldens/mac/remarks.jsonl \
+#       examples/programs/mac.ret
+"$build/tools/json_check" remark_diff \
+    "$repo/tests/goldens/mac/remarks.jsonl" "$out/remarks-a.jsonl"
+
 echo "== batch compile end to end =="
 "$build/tools/reticlec" --device=small --jobs="$jobs" \
     --out-dir="$out/batch" \

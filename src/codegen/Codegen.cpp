@@ -10,6 +10,7 @@
 
 #include <map>
 #include <set>
+#include <stdexcept>
 
 using namespace reticle;
 using namespace reticle::codegen;
@@ -41,9 +42,28 @@ public:
   Result<Module> run();
 
 private:
+  // -- Name/type table: an Emitter-local interner maps every signal name
+  // (ports, instruction results, aux wires, inlined temporaries) to a
+  // dense id indexing the flat type vector. --
+  bool hasType(const std::string &Name) const {
+    return Names.lookup(Name) != ir::InvalidValueId;
+  }
+  /// First recording wins, matching the historical map emplace.
+  void recordType(const std::string &Name, const ir::Type &Ty) {
+    ir::ValueId Id = Names.intern(Name);
+    if (Id == Types.size())
+      Types.push_back(Ty);
+  }
+  const ir::Type &typeAt(const std::string &Name) const {
+    ir::ValueId Id = Names.lookup(Name);
+    if (Id == ir::InvalidValueId)
+      throw std::out_of_range("no type recorded for '" + Name + "'");
+    return Types[Id];
+  }
+
   // -- Bit-level expression helpers (flattened bit order, lane 0 low). --
   unsigned widthOf(const std::string &Name) const {
-    return TypeOf.at(Name).totalBits();
+    return typeAt(Name).totalBits();
   }
   Expr bit(const std::string &Name, unsigned Index) const {
     if (widthOf(Name) == 1)
@@ -62,7 +82,7 @@ private:
   std::string auxWire(const std::string &Base, unsigned Width) {
     std::string Name = Base + "__w" + std::to_string(AuxCounter++);
     Mod.addWire(Name, Width > 1 ? Width : 0);
-    TypeOf.emplace(Name, ir::Type::makeInt(Width == 0 ? 1 : Width));
+    recordType(Name, ir::Type::makeInt(Width == 0 ? 1 : Width));
     return Name;
   }
 
@@ -138,7 +158,8 @@ private:
   const tdl::Target &Target;
   const device::Device &Dev;
   Module Mod;
-  std::map<std::string, ir::Type> TypeOf;
+  ir::NameInterner Names;
+  std::vector<ir::Type> Types;
   std::set<std::string> PortNames;
   unsigned AuxCounter = 0;
   unsigned InstCounter = 0;
@@ -146,7 +167,7 @@ private:
 };
 
 Status Emitter::emitWireInstr(const AsmInstr &I) {
-  ir::Type Ty = TypeOf.at(I.dst());
+  ir::Type Ty = typeAt(I.dst());
   unsigned W = Ty.width();
   switch (I.wireOp()) {
   case ir::WireOp::Sll:
@@ -206,7 +227,7 @@ Status Emitter::emitWireInstr(const AsmInstr &I) {
 }
 
 Status Emitter::emitDspInstr(const AsmInstr &I, const tdl::TargetDef &Def) {
-  ir::Type Ty = TypeOf.at(I.dst());
+  ir::Type Ty = typeAt(I.dst());
   unsigned W = Ty.width();
   unsigned Lanes = Ty.lanes();
   unsigned X = static_cast<unsigned>(I.loc().X.offset());
@@ -320,7 +341,7 @@ Status Emitter::emitDspInstr(const AsmInstr &I, const tdl::TargetDef &Def) {
   if (CascadeOut) {
     std::string PcWire = I.dst() + "__pcout";
     Mod.addWire(PcWire, 48);
-    TypeOf.emplace(PcWire, ir::Type::makeInt(48));
+    recordType(PcWire, ir::Type::makeInt(48));
     D.Connections.push_back({"PCOUT", Expr::ref(PcWire)});
   }
   D.Connections.push_back({"P", Expr::ref(PWire)});
@@ -345,7 +366,7 @@ Status Emitter::emitDspInstr(const AsmInstr &I, const tdl::TargetDef &Def) {
 }
 
 Status Emitter::emitLutBodyInstr(const ir::Instr &B, unsigned X, unsigned Y) {
-  ir::Type Ty = TypeOf.at(B.dst());
+  ir::Type Ty = typeAt(B.dst());
   unsigned Bits = Ty.totalBits();
   switch (B.compOp()) {
   case ir::CompOp::And:
@@ -394,7 +415,7 @@ Status Emitter::emitLutBodyInstr(const ir::Instr &B, unsigned X, unsigned Y) {
   case ir::CompOp::Neq: {
     // Per-bit XNOR over the *argument* width, then a LUT6 AND-reduction
     // tree down to the single-bit result.
-    unsigned ArgBits = TypeOf.at(B.args()[0]).totalBits();
+    unsigned ArgBits = typeAt(B.args()[0]).totalBits();
     std::string Xn = auxWire(B.dst(), ArgBits);
     for (unsigned K = 0; K < ArgBits; ++K)
       emitLut({bit(B.args()[0], K), bit(B.args()[1], K)}, bit(Xn, K),
@@ -440,7 +461,7 @@ Status Emitter::emitLutBodyInstr(const ir::Instr &B, unsigned X, unsigned Y) {
                      B.compOp() == ir::CompOp::Ge;
     const std::string &A = B.args()[SwapArgs ? 1 : 0];
     const std::string &C = B.args()[SwapArgs ? 0 : 1];
-    unsigned W = TypeOf.at(A).totalBits();
+    unsigned W = typeAt(A).totalBits();
     std::string Prop = auxWire(B.dst(), W);
     std::string Gen = auxWire(B.dst(), W);
     for (unsigned K = 0; K < W; ++K) {
@@ -532,9 +553,9 @@ Status Emitter::emitLutInstr(const AsmInstr &I, const tdl::TargetDef &Def) {
   };
   for (const ir::Instr &B : Body.body()) {
     std::string Dst = Mapped(B.dst());
-    if (!TypeOf.count(Dst)) {
+    if (!hasType(Dst)) {
       Mod.addWire(Dst, B.type().totalBits() > 1 ? B.type().totalBits() : 0);
-      TypeOf.emplace(Dst, B.type());
+      recordType(Dst, B.type());
     }
     std::vector<std::string> Args;
     for (const std::string &Arg : B.args())
@@ -568,7 +589,7 @@ Result<Module> Emitter::run() {
   for (const ir::Port &P : Prog.inputs()) {
     Mod.addPort(Dir::Input, P.Name,
                 P.Ty.totalBits() > 1 ? P.Ty.totalBits() : 0);
-    TypeOf.emplace(P.Name, P.Ty);
+    recordType(P.Name, P.Ty);
     if (!PortNames.insert(P.Name).second)
       return fail<Module>("duplicate port '" + P.Name + "'");
   }
@@ -584,7 +605,7 @@ Result<Module> Emitter::run() {
   // Declare a wire for every instruction result that is not an output
   // port, and record all result types.
   for (const AsmInstr &I : Prog.body())
-    TypeOf.emplace(I.dst(), I.type());
+    recordType(I.dst(), I.type());
   for (const AsmInstr &I : Prog.body()) {
     bool IsOutput = false;
     for (const ir::Port &P : Prog.outputs())
@@ -603,11 +624,11 @@ Result<Module> Emitter::run() {
     }
     std::vector<ir::Type> ArgTypes;
     for (const std::string &Arg : I.args()) {
-      auto It = TypeOf.find(Arg);
-      if (It == TypeOf.end())
+      ir::ValueId Id = Names.lookup(Arg);
+      if (Id == ir::InvalidValueId)
         return fail<Module>("in '" + I.str() + "': undefined variable '" +
                             Arg + "'");
-      ArgTypes.push_back(It->second);
+      ArgTypes.push_back(Types[Id]);
     }
     const tdl::TargetDef *Def =
         Target.resolve(I.opName(), I.loc().Prim, ArgTypes, I.type());

@@ -6,9 +6,11 @@
 
 #include "codegen/NetlistSim.h"
 
+#include "ir/DefUse.h"
 #include "obs/Telemetry.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 using namespace reticle;
 using namespace reticle::codegen;
@@ -20,21 +22,32 @@ namespace {
 
 using Bits = std::vector<bool>;
 
-/// All signal values by name, as flattened bit vectors.
+/// All signal values, as flattened bit vectors indexed by interned id.
 class SignalTable {
 public:
   Status declare(const std::string &Name, unsigned Width) {
-    unsigned Bits = Width == 0 ? 1 : Width;
-    if (!Table.emplace(Name, std::vector<bool>(Bits, false)).second)
+    unsigned BitCount = Width == 0 ? 1 : Width;
+    ir::ValueId Id = Names.intern(Name);
+    if (Id != Table.size())
       return Status::failure("duplicate signal '" + Name + "'");
+    Table.emplace_back(BitCount, false);
     return Status::success();
   }
-  bool exists(const std::string &Name) const { return Table.count(Name); }
-  Bits &get(const std::string &Name) { return Table.at(Name); }
-  const Bits &get(const std::string &Name) const { return Table.at(Name); }
+  bool exists(const std::string &Name) const {
+    return Names.lookup(Name) != ir::InvalidValueId;
+  }
+  Bits &get(const std::string &Name) { return Table[idOf(Name)]; }
+  const Bits &get(const std::string &Name) const { return Table[idOf(Name)]; }
 
 private:
-  std::map<std::string, Bits> Table;
+  ir::ValueId idOf(const std::string &Name) const {
+    ir::ValueId Id = Names.lookup(Name);
+    if (Id == ir::InvalidValueId)
+      throw std::out_of_range("no signal '" + Name + "'");
+    return Id;
+  }
+  ir::NameInterner Names;
+  std::vector<Bits> Table;
 };
 
 uint64_t toUint(const Bits &B) {
@@ -356,12 +369,13 @@ Result<interp::Trace> reticle::codegen::simulate(const Module &M,
   Sp.arg("cycles", static_cast<uint64_t>(Input.size()));
   using TraceT = interp::Trace;
   SignalTable Signals;
-  std::map<std::string, unsigned> PortWidth;
   std::vector<const verilog::Port *> Inputs, Outputs;
+  auto WidthOf = [](const verilog::Port &P) {
+    return P.Width == 0 ? 1u : P.Width;
+  };
   for (const verilog::Port &P : M.ports()) {
     if (Status S = Signals.declare(P.Name, P.Width); !S)
       return fail<TraceT>(S.error());
-    PortWidth[P.Name] = P.Width == 0 ? 1 : P.Width;
     if (P.Name == "clock")
       continue;
     (P.Direction == verilog::Dir::Input ? Inputs : Outputs).push_back(&P);
@@ -395,7 +409,7 @@ Result<interp::Trace> reticle::codegen::simulate(const Module &M,
         return fail<TraceT>("cycle " + std::to_string(Cycle) + ": input '" +
                             P->Name + "' missing from trace");
       Bits B = V->toBits();
-      if (B.size() != PortWidth.at(P->Name))
+      if (B.size() != WidthOf(*P))
         return fail<TraceT>("input '" + P->Name + "' width mismatch");
       Signals.get(P->Name) = std::move(B);
     }
@@ -415,7 +429,7 @@ Result<interp::Trace> reticle::codegen::simulate(const Module &M,
     interp::Step &Out = Output.appendStep();
     for (const verilog::Port *P : Outputs) {
       const Bits &B = Signals.get(P->Name);
-      unsigned W = PortWidth.at(P->Name);
+      unsigned W = WidthOf(*P);
       // Ports wider than 64 bits (flattened vectors) are reported as bit
       // vectors (i1<W>); callers compare through toBits().
       ir::Type Ty = W == 1    ? ir::Type::makeBool()

@@ -9,7 +9,6 @@
 #include "interp/Eval.h"
 #include "ir/Verifier.h"
 
-#include <map>
 
 using namespace reticle;
 using namespace reticle::interp;
@@ -28,14 +27,18 @@ Result<Trace> reticle::interp::interpret(const Function &Fn,
     return fail<Trace>(OrderOr.error());
   const std::vector<size_t> &PureOrder = OrderOr.value();
 
+  // The environment is a flat vector indexed by the function's ValueIds
+  // (the verify call above warmed the cached analysis).
+  const ir::DefUse &DU = Fn.defUse();
+  std::vector<Value> Env(DU.numValues());
+
   std::vector<size_t> RegIndices;
-  std::map<std::string, Value> Env;
   const std::vector<Instr> &Body = Fn.body();
   for (size_t I = 0; I < Body.size(); ++I) {
     if (!Body[I].isReg())
       continue;
     RegIndices.push_back(I);
-    Env[Body[I].dst()] = regInitValue(Body[I]);
+    Env[DU.dstIdOf(I)] = regInitValue(Body[I]);
   }
 
   Trace Output;
@@ -50,7 +53,7 @@ Result<Trace> reticle::interp::interpret(const Function &Fn,
         return fail<Trace>("cycle " + std::to_string(Cycle) + ": input '" +
                            P.Name + "' has type " + V->type().str() +
                            ", expected " + P.Ty.str());
-      Env[P.Name] = *V;
+      Env[DU.idOf(P.Name)] = *V;
     }
 
     // Eval(env, P): pure instructions in dependency order.
@@ -58,30 +61,30 @@ Result<Trace> reticle::interp::interpret(const Function &Fn,
       const Instr &I = Body[Index];
       std::vector<Value> Args;
       Args.reserve(I.args().size());
-      for (const std::string &Arg : I.args())
-        Args.push_back(Env.at(Arg));
+      for (ir::ValueId Arg : DU.argIdsOf(Index))
+        Args.push_back(Env[Arg]);
       Result<Value> V = evalPure(I, Args);
       if (!V)
         return fail<Trace>(V.error());
-      Env[I.dst()] = V.take();
+      Env[DU.dstIdOf(Index)] = V.take();
     }
 
     // Step(env, outputs): snapshot declared outputs.
     Step &Out = Output.appendStep();
     for (const ir::Port &P : Fn.outputs())
-      Out[P.Name] = Env.at(P.Name);
+      Out[P.Name] = Env[DU.idOf(P.Name)];
 
     // Eval(env, R): all registers update simultaneously on the clock edge,
     // reading pre-update state.
     std::vector<Value> NextStates;
     NextStates.reserve(RegIndices.size());
     for (size_t Index : RegIndices) {
-      const Instr &I = Body[Index];
-      NextStates.push_back(evalRegNext(Env.at(I.dst()), Env.at(I.args()[0]),
-                                       Env.at(I.args()[1])));
+      const std::vector<ir::ValueId> &ArgIds = DU.argIdsOf(Index);
+      NextStates.push_back(evalRegNext(Env[DU.dstIdOf(Index)],
+                                       Env[ArgIds[0]], Env[ArgIds[1]]));
     }
     for (size_t K = 0; K < RegIndices.size(); ++K)
-      Env[Body[RegIndices[K]].dst()] = std::move(NextStates[K]);
+      Env[DU.dstIdOf(RegIndices[K])] = std::move(NextStates[K]);
   }
   return Output;
 }

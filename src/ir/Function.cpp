@@ -10,6 +10,13 @@ using namespace reticle;
 using namespace reticle::ir;
 
 const Instr *Function::findDef(const std::string &Var) const {
+  if (DU) {
+    ValueId Id = DU->idOf(Var);
+    if (Id == InvalidValueId)
+      return nullptr;
+    uint32_t Def = DU->defIndexOf(Id);
+    return Def == DefUse::NoDef ? nullptr : &Body[Def];
+  }
   for (const Instr &I : Body)
     if (I.dst() == Var)
       return &I;
@@ -17,6 +24,10 @@ const Instr *Function::findDef(const std::string &Var) const {
 }
 
 bool Function::isInput(const std::string &Var) const {
+  if (DU) {
+    ValueId Id = DU->idOf(Var);
+    return Id != InvalidValueId && DU->isInputId(Id);
+  }
   for (const Port &P : Inputs)
     if (P.Name == Var)
       return true;
@@ -24,6 +35,13 @@ bool Function::isInput(const std::string &Var) const {
 }
 
 Result<Type> Function::typeOf(const std::string &Var) const {
+  if (DU) {
+    ValueId Id = DU->idOf(Var);
+    if (Id != InvalidValueId)
+      return DU->typeOfId(Id);
+    return fail<Type>("unknown variable '" + Var + "' in function '" + Name +
+                      "'");
+  }
   for (const Port &P : Inputs)
     if (P.Name == Var)
       return P.Ty;

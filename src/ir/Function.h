@@ -15,8 +15,10 @@
 #ifndef RETICLE_IR_FUNCTION_H
 #define RETICLE_IR_FUNCTION_H
 
+#include "ir/DefUse.h"
 #include "ir/Instr.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -47,11 +49,45 @@ public:
 
   void addInput(std::string PortName, Type Ty) {
     Inputs.push_back(Port{std::move(PortName), Ty});
+    invalidateDefUse();
   }
   void addOutput(std::string PortName, Type Ty) {
     Outputs.push_back(Port{std::move(PortName), Ty});
+    invalidateDefUse();
   }
-  void addInstr(Instr I) { Body.push_back(std::move(I)); }
+  void addInstr(Instr I) {
+    Body.push_back(std::move(I));
+    invalidateDefUse();
+  }
+
+  /// The cached def-use analysis, built on first request. Anything that
+  /// mutates the body or ports through the non-const accessors must call
+  /// invalidateDefUse() before the next consumer reads the analysis.
+  const DefUse &defUse(const obs::Context &Ctx = obs::defaultContext()) const {
+    if (DU) {
+      ++Ctx.counter("ir.defuse.cache_hits");
+      return *DU;
+    }
+    DU = DefUse::build(*this, Ctx);
+    return *DU;
+  }
+
+  /// Shares ownership of the cached analysis, so holders survive a later
+  /// invalidation on the function (the analysis itself is immutable).
+  std::shared_ptr<const DefUse>
+  defUseShared(const obs::Context &Ctx = obs::defaultContext()) const {
+    (void)defUse(Ctx);
+    return DU;
+  }
+
+  /// Drops the cached analysis; counted only when a cache existed.
+  void invalidateDefUse(
+      const obs::Context &Ctx = obs::defaultContext()) const {
+    if (DU) {
+      DU.reset();
+      ++Ctx.counter("ir.defuse.invalidations");
+    }
+  }
 
   /// Returns the instruction defining \p Var, or null when \p Var is an
   /// input or undefined.
@@ -72,6 +108,10 @@ private:
   std::vector<Port> Inputs;
   std::vector<Port> Outputs;
   std::vector<Instr> Body;
+  /// Lazily built, dropped on mutation. Copies of a Function share the
+  /// analysis until either side invalidates its own pointer; DefUse is
+  /// immutable, so sharing is safe.
+  mutable std::shared_ptr<const DefUse> DU;
 };
 
 } // namespace ir

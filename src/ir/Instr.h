@@ -96,8 +96,9 @@ public:
   Resource resource() const { return Res; }
   void setResource(Resource R) { Res = R; }
 
-  /// The operation spelling, independent of kind.
-  std::string opName() const {
+  /// The operation spelling, independent of kind. Static storage; no
+  /// allocation on hot paths.
+  const char *opName() const {
     return isWire() ? wireOpName(Wire) : compOpName(Comp);
   }
 

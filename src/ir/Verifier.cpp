@@ -6,8 +6,7 @@
 
 #include "ir/Verifier.h"
 
-#include <map>
-#include <set>
+#include "ir/DefUse.h"
 
 using namespace reticle;
 using namespace reticle::ir;
@@ -219,86 +218,58 @@ Status reticle::ir::checkInstr(const Function &Fn, const Instr &I) {
   return I.isWire() ? checkWire(Fn, I) : checkComp(Fn, I);
 }
 
-Result<std::vector<size_t>> reticle::ir::topoOrder(const Function &Fn) {
+Result<std::vector<size_t>> reticle::ir::topoOrder(const Function &Fn,
+                                                   const obs::Context &Ctx) {
   using OrderT = std::vector<size_t>;
-  const std::vector<Instr> &Body = Fn.body();
-
-  // Map variable name to the index of its defining non-register instruction.
-  std::map<std::string, size_t> DefIndex;
-  for (size_t I = 0; I < Body.size(); ++I)
-    if (!Body[I].isReg())
-      DefIndex[Body[I].dst()] = I;
-
-  // Kahn's algorithm over def-use edges among non-register instructions.
-  std::vector<unsigned> InDegree(Body.size(), 0);
-  std::vector<std::vector<size_t>> Users(Body.size());
-  size_t NodeCount = 0;
-  for (size_t I = 0; I < Body.size(); ++I) {
-    if (Body[I].isReg())
-      continue;
-    ++NodeCount;
-    for (const std::string &Arg : Body[I].args()) {
-      auto It = DefIndex.find(Arg);
-      if (It == DefIndex.end())
-        continue; // input or register result: no combinational edge
-      Users[It->second].push_back(I);
-      ++InDegree[I];
-    }
-  }
-
-  OrderT Ready, Order;
-  for (size_t I = 0; I < Body.size(); ++I)
-    if (!Body[I].isReg() && InDegree[I] == 0)
-      Ready.push_back(I);
-  while (!Ready.empty()) {
-    size_t I = Ready.back();
-    Ready.pop_back();
-    Order.push_back(I);
-    for (size_t U : Users[I])
-      if (--InDegree[U] == 0)
-        Ready.push_back(U);
-  }
-  if (Order.size() != NodeCount)
+  const DefUse &DU = Fn.defUse(Ctx);
+  if (!DU.topoOk())
     return fail<OrderT>("function '" + Fn.name() +
                         "' has a combinational cycle (register-free loop)");
-  return Order;
+  return DU.topoOrder();
 }
 
-Status reticle::ir::verify(const Function &Fn) {
-  // Unique port and destination names.
-  std::set<std::string> Defined;
-  for (const Port &P : Fn.inputs())
-    if (!Defined.insert(P.Name).second)
-      return Status::failure("duplicate input '" + P.Name + "'");
-  for (const Instr &I : Fn.body())
-    if (!Defined.insert(I.dst()).second)
-      return Status::failure("multiple definitions of '" + I.dst() + "'");
+Status reticle::ir::verify(const Function &Fn, const obs::Context &Ctx) {
+  // Unique port and destination names. The analysis records the first
+  // duplicate in scan order (inputs before body), matching the order the
+  // old set-insertion loop reported them in.
+  const DefUse &DU = Fn.defUse(Ctx);
+  if (DU.duplicateKind() == DefUse::Dup::Input)
+    return Status::failure("duplicate input '" + DU.duplicateName() + "'");
+  if (DU.duplicateKind() == DefUse::Dup::Body)
+    return Status::failure("multiple definitions of '" + DU.duplicateName() +
+                           "'");
 
   // All arguments must resolve, and instructions must type-check.
-  for (const Instr &I : Fn.body()) {
-    for (const std::string &Arg : I.args())
-      if (!Defined.count(Arg))
-        return Status::failure("in '" + I.str() + "': undefined variable '" +
-                               Arg + "'");
-    if (Status S = checkInstr(Fn, I); !S)
+  // checkInstr's type lookups hit the cached analysis through
+  // Function::typeOf.
+  const std::vector<Instr> &Body = Fn.body();
+  for (size_t I = 0; I < Body.size(); ++I) {
+    const std::vector<ValueId> &Ids = DU.argIdsOf(I);
+    for (size_t K = 0; K < Ids.size(); ++K)
+      if (Ids[K] == InvalidValueId)
+        return Status::failure("in '" + Body[I].str() +
+                               "': undefined variable '" +
+                               Body[I].args()[K] + "'");
+    if (Status S = checkInstr(Fn, Body[I]); !S)
       return S;
   }
 
   // Outputs must name defined values with matching types.
-  for (const Port &P : Fn.outputs()) {
-    if (!Defined.count(P.Name))
+  const std::vector<Port> &Outputs = Fn.outputs();
+  for (size_t K = 0; K < Outputs.size(); ++K) {
+    const Port &P = Outputs[K];
+    ValueId Id = DU.outputIdOf(K);
+    if (Id == InvalidValueId)
       return Status::failure("output '" + P.Name + "' is never defined");
-    Result<Type> Ty = Fn.typeOf(P.Name);
-    if (!Ty)
-      return Status::failure(Ty.error());
-    if (!(Ty.value() == P.Ty))
+    if (!(DU.typeOfId(Id) == P.Ty))
       return Status::failure("output '" + P.Name + "' declared " +
                              P.Ty.str() + " but defined as " +
-                             Ty.value().str());
+                             DU.typeOfId(Id).str());
   }
 
   // No combinational cycles.
-  if (Result<std::vector<size_t>> Order = topoOrder(Fn); !Order)
-    return Status::failure(Order.error());
+  if (!DU.topoOk())
+    return Status::failure("function '" + Fn.name() +
+                           "' has a combinational cycle (register-free loop)");
   return Status::success();
 }

@@ -6,10 +6,10 @@
 
 #include "isel/Cascade.h"
 
+#include "ir/DefUse.h"
 #include "obs/Context.h"
 
 #include <algorithm>
-#include <map>
 #include <optional>
 
 using namespace reticle;
@@ -45,29 +45,24 @@ Status reticle::isel::cascadePass(rasm::AsmProgram &Prog,
   Sp.arg("max_chain", static_cast<uint64_t>(MaxChain));
   std::vector<rasm::AsmInstr> &Body = Prog.body();
 
-  // Where is each value defined, and how often is it used?
-  std::map<std::string, size_t> DefIndex;
-  std::map<std::string, unsigned> UseCount;
-  for (size_t I = 0; I < Body.size(); ++I)
-    DefIndex[Body[I].dst()] = I;
-  for (const rasm::AsmInstr &I : Body)
-    for (const std::string &Arg : I.args())
-      ++UseCount[Arg];
-  for (const ir::Port &P : Prog.outputs())
-    ++UseCount[P.Name];
+  // Where is each value defined, and how often is it used? The rewrite
+  // below changes op names and locations only — destinations, arguments,
+  // and types are untouched — so the cached analysis stays valid through
+  // the whole pass (and for the placement stages after it).
+  const ir::DefUse &DU = Prog.defUse(Ctx);
 
   // next(i): the chainable instruction consuming i's result in its
   // accumulator port, when that result has no other use.
   auto Next = [&](size_t I) -> std::optional<size_t> {
-    const std::string &Dst = Body[I].dst();
-    if (UseCount[Dst] != 1)
+    ir::ValueId Dst = DU.dstIdOf(I);
+    if (DU.useCount(Dst) != 1)
       return std::nullopt;
-    for (size_t J = 0; J < Body.size(); ++J) {
+    for (uint32_t J : DU.usersOf(Dst)) {
       if (J == I || !isChainable(Body[J]))
         continue;
       if (Body[J].args().size() > AccumIndex &&
-          Body[J].args()[AccumIndex] == Dst)
-        return J;
+          DU.argIdsOf(J)[AccumIndex] == Dst)
+        return static_cast<size_t>(J);
     }
     return std::nullopt;
   };
@@ -75,11 +70,13 @@ Status reticle::isel::cascadePass(rasm::AsmProgram &Prog,
   // A chain head is a chainable instruction not fed (in its accumulator)
   // by another chainable instruction with single use.
   auto HasChainablePredecessor = [&](size_t I) {
-    const std::string &Accum = Body[I].args()[AccumIndex];
-    auto It = DefIndex.find(Accum);
-    if (It == DefIndex.end() || !isChainable(Body[It->second]))
+    ir::ValueId Accum = DU.argIdsOf(I)[AccumIndex];
+    if (Accum == ir::InvalidValueId)
       return false;
-    return UseCount[Accum] == 1;
+    uint32_t Def = DU.defIndexOf(Accum);
+    if (Def == ir::DefUse::NoDef || !isChainable(Body[Def]))
+      return false;
+    return DU.useCount(Accum) == 1;
   };
 
   unsigned FreshVar = 0;
@@ -110,23 +107,12 @@ Status reticle::isel::cascadePass(rasm::AsmProgram &Prog,
         NewNames[K] = I.opName() + Suffix;
         std::vector<ir::Type> ArgTypes;
         bool TypesOk = true;
-        for (const std::string &Arg : I.args()) {
-          auto It = DefIndex.find(Arg);
-          if (It != DefIndex.end()) {
-            ArgTypes.push_back(Body[It->second].type());
-            continue;
-          }
-          bool IsInput = false;
-          for (const ir::Port &P : Prog.inputs())
-            if (P.Name == Arg) {
-              ArgTypes.push_back(P.Ty);
-              IsInput = true;
-              break;
-            }
-          if (!IsInput) {
+        for (ir::ValueId Arg : DU.argIdsOf(Chain[SegStart + K])) {
+          if (Arg == ir::InvalidValueId) {
             TypesOk = false;
             break;
           }
+          ArgTypes.push_back(DU.typeOfId(Arg));
         }
         if (!TypesOk ||
             !Target.resolve(NewNames[K], ir::Resource::Dsp, ArgTypes,

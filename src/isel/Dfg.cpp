@@ -9,23 +9,25 @@
 #include "ir/Verifier.h"
 #include "obs/Telemetry.h"
 
-#include <set>
-
 using namespace reticle;
 using namespace reticle::isel;
 
 Result<Dfg> Dfg::build(const ir::Function &Fn, const obs::Context &Ctx) {
   obs::Span Sp(Ctx, "isel.dfg_build");
-  if (Status S = ir::verify(Fn); !S)
+  if (Status S = ir::verify(Fn, Ctx); !S)
     return fail<Dfg>(S.error());
 
+  // Verification warmed the function's def-use cache; node ids below
+  // coincide with its ValueIds (inputs first, then body destinations).
   Dfg G;
   G.Fn = &Fn;
+  G.DU = Fn.defUseShared(Ctx);
+  const ir::DefUse &DU = *G.DU;
+  G.Nodes.reserve(DU.numValues());
   for (const ir::Port &P : Fn.inputs()) {
     DfgNode N;
     N.NodeKind = DfgNode::Kind::Input;
     N.Name = P.Name;
-    G.ByName[P.Name] = G.Nodes.size();
     G.Nodes.push_back(std::move(N));
   }
   for (size_t I = 0; I < Fn.body().size(); ++I) {
@@ -33,29 +35,23 @@ Result<Dfg> Dfg::build(const ir::Function &Fn, const obs::Context &Ctx) {
     N.NodeKind = DfgNode::Kind::Instr;
     N.BodyIndex = I;
     N.Name = Fn.body()[I].dst();
-    G.ByName[N.Name] = G.Nodes.size();
     G.Nodes.push_back(std::move(N));
   }
   for (size_t Id = 0; Id < G.Nodes.size(); ++Id) {
     if (G.Nodes[Id].NodeKind != DfgNode::Kind::Instr)
       continue;
-    for (const std::string &Arg : G.instrOf(Id).args()) {
-      size_t Operand = G.ByName.at(Arg);
+    for (ir::ValueId Operand : DU.argIdsOf(G.Nodes[Id].BodyIndex)) {
       G.Nodes[Id].Operands.push_back(Operand);
       G.Nodes[Operand].Users.push_back(Id);
     }
   }
-
-  std::set<std::string> OutputNames;
-  for (const ir::Port &P : Fn.outputs())
-    OutputNames.insert(P.Name);
 
   for (size_t Id = 0; Id < G.Nodes.size(); ++Id) {
     DfgNode &N = G.Nodes[Id];
     if (N.NodeKind != DfgNode::Kind::Instr || !G.isComp(Id))
       continue;
     const ir::Instr &I = G.instrOf(Id);
-    bool Root = OutputNames.count(N.Name) || I.isReg() ||
+    bool Root = DU.isLiveOut(static_cast<ir::ValueId>(Id)) || I.isReg() ||
                 N.Users.size() != 1 ||
                 (N.Users.size() == 1 && G.isWire(N.Users[0]));
     N.IsRoot = Root;

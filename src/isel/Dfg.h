@@ -28,7 +28,7 @@
 #include "obs/Context.h"
 #include "support/Result.h"
 
-#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -57,8 +57,13 @@ public:
   const std::vector<DfgNode> &nodes() const { return Nodes; }
   const DfgNode &node(size_t Id) const { return Nodes[Id]; }
 
-  /// Node id for a variable name.
-  size_t nodeOf(const std::string &Name) const { return ByName.at(Name); }
+  /// Node id for a variable name. Node ids coincide with interned
+  /// ValueIds: inputs first, then body destinations, in program order.
+  size_t nodeOf(const std::string &Name) const { return DU->idOf(Name); }
+
+  /// The def-use analysis the graph was built from (shared with the
+  /// function's cache).
+  const ir::DefUse &defUse() const { return *DU; }
 
   /// The instruction of an Instr node.
   const ir::Instr &instrOf(size_t Id) const {
@@ -90,8 +95,8 @@ public:
 
 private:
   const ir::Function *Fn = nullptr;
+  std::shared_ptr<const ir::DefUse> DU;
   std::vector<DfgNode> Nodes;
-  std::map<std::string, size_t> ByName;
   std::vector<size_t> Roots;
 };
 

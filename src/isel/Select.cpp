@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <set>
 
 using namespace reticle;
@@ -48,7 +49,7 @@ struct Match {
 class Selector {
 public:
   Selector(const Dfg &G, const tdl::Target &Target, const obs::Context &Ctx)
-      : G(G), Target(Target), Ctx(Ctx) {
+      : G(G), Target(Target), Ctx(Ctx), Best(G.nodes().size()) {
     for (const tdl::TargetDef &Def : Target.defs()) {
       if (Def.isCascadeVariant())
         continue;
@@ -96,7 +97,8 @@ private:
   const tdl::Target &Target;
   const obs::Context &Ctx;
   std::map<ir::CompOp, std::vector<const tdl::TargetDef *>> DefsByOp;
-  std::map<size_t, std::pair<Cost, Match>> Best;
+  /// Memoized minimum-cost cover per DFG node id (== ValueId).
+  std::vector<std::optional<std::pair<Cost, Match>>> Best;
 };
 
 bool Selector::matchOperand(
@@ -229,16 +231,10 @@ bool Selector::matchDef(const tdl::TargetDef &Def, size_t Root, Match &Out) {
     if (It == Bound.end())
       return false; // input never reached (cannot happen: inputs are used)
     // Port types were already enforced structurally for covered operands,
-    // but free bindings still need a type check.
-    ir::Type NodeType;
-    if (G.isInstr(It->second)) {
-      NodeType = G.instrOf(It->second).type();
-    } else {
-      const DfgNode &N = G.node(It->second);
-      Result<ir::Type> Ty = G.function().typeOf(N.Name);
-      assert(Ty.ok() && "input without a type");
-      NodeType = Ty.value();
-    }
+    // but free bindings still need a type check. Node ids are ValueIds,
+    // so the graph's def-use analysis answers directly.
+    ir::Type NodeType =
+        G.defUse().typeOfId(static_cast<ir::ValueId>(It->second));
     if (!(NodeType == P.Ty))
       return false;
     // A compute node consumed inside the tile cannot simultaneously feed
@@ -267,9 +263,8 @@ bool Selector::matchDef(const tdl::TargetDef &Def, size_t Root, Match &Out) {
 }
 
 Result<Cost> Selector::solve(size_t NodeId) {
-  auto Cached = Best.find(NodeId);
-  if (Cached != Best.end())
-    return Cached->second.first;
+  if (Best[NodeId])
+    return Best[NodeId]->first;
 
   const ir::Instr &I = G.instrOf(NodeId);
   assert(I.isComp() && "solving a non-compute node");
@@ -337,7 +332,7 @@ Result<Cost> Selector::solve(size_t NodeId) {
         .arg("candidates", Candidates)
         .arg("matched", Matched)
         .arg("rejected", Matched ? Matched - 1 : 0);
-  Best[NodeId] = {BestCost, std::move(BestMatch)};
+  Best[NodeId].emplace(BestCost, std::move(BestMatch));
   return BestCost;
 }
 
@@ -346,7 +341,7 @@ void Selector::emit(size_t NodeId, rasm::AsmProgram &Prog,
   if (Emitted.count(NodeId))
     return;
   Emitted.insert(NodeId);
-  const Match &M = Best.at(NodeId).second;
+  const Match &M = Best[NodeId]->second;
   std::set<size_t> CoveredSet(M.Covered.begin(), M.Covered.end());
 
   std::vector<std::string> Args;
@@ -392,24 +387,41 @@ Result<rasm::AsmProgram> Selector::run(SelectionStats *Stats) {
   for (size_t Root : G.roots())
     emit(Root, Prog, Emitted);
 
-  // Prune wire instructions whose results are never referenced. Iterate to
-  // a fixed point to collapse dead wire chains.
-  while (true) {
-    std::set<std::string> Used;
-    for (const ir::Port &P : Prog.outputs())
-      Used.insert(P.Name);
-    for (const rasm::AsmInstr &I : Prog.body())
-      for (const std::string &Arg : I.args())
-        Used.insert(Arg);
+  // Prune wire instructions whose results are never referenced, chasing
+  // use counts down dead wire chains to their fixed point.
+  {
+    const ir::DefUse &DU = Prog.defUse(Ctx);
+    std::vector<uint32_t> Count(DU.numValues());
+    for (size_t Id = 0; Id < Count.size(); ++Id)
+      Count[Id] = DU.useCount(static_cast<ir::ValueId>(Id));
+    std::vector<uint8_t> Removed(Prog.body().size(), 0);
+    std::vector<size_t> Work;
+    for (size_t I = 0; I < Prog.body().size(); ++I)
+      if (Prog.body()[I].isWire() && Count[DU.dstIdOf(I)] == 0)
+        Work.push_back(I);
+    while (!Work.empty()) {
+      size_t I = Work.back();
+      Work.pop_back();
+      if (Removed[I])
+        continue;
+      Removed[I] = 1;
+      for (ir::ValueId Arg : DU.argIdsOf(I)) {
+        if (Arg == ir::InvalidValueId || --Count[Arg] != 0)
+          continue;
+        uint32_t Def = DU.defIndexOf(Arg);
+        if (Def != ir::DefUse::NoDef && Prog.body()[Def].isWire())
+          Work.push_back(Def);
+      }
+    }
     size_t Before = Prog.body().size();
     std::vector<rasm::AsmInstr> Kept;
     Kept.reserve(Before);
-    for (rasm::AsmInstr &I : Prog.body())
-      if (!I.isWire() || Used.count(I.dst()))
-        Kept.push_back(std::move(I));
+    for (size_t I = 0; I < Before; ++I)
+      if (!Removed[I])
+        Kept.push_back(std::move(Prog.body()[I]));
     Prog.body() = std::move(Kept);
-    if (Prog.body().size() == Before)
-      break;
+    if (Prog.body().size() != Before)
+      Prog.invalidateDefUse(Ctx);
   }
 
   if (Stats) {
@@ -421,7 +433,7 @@ Result<rasm::AsmProgram> Selector::run(SelectionStats *Stats) {
       else
         ++Stats->NumAsmOps;
     for (size_t Id : Emitted) {
-      const auto &Entry = Best.at(Id);
+      const auto &Entry = *Best[Id];
       Stats->TotalArea += Entry.second.Def->Area;
       Stats->TotalLatency += Entry.second.Def->Latency;
     }

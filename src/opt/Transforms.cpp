@@ -7,9 +7,11 @@
 #include "opt/Transforms.h"
 
 #include "interp/Eval.h"
+#include "ir/DefUse.h"
 #include "obs/Context.h"
 
 #include <map>
+#include <optional>
 #include <set>
 
 using namespace reticle;
@@ -21,38 +23,42 @@ using ir::Type;
 using ir::WireOp;
 
 unsigned reticle::opt::deadCodeElim(Function &Fn, const obs::Context &Ctx) {
-  std::map<std::string, size_t> DefIndex;
-  for (size_t I = 0; I < Fn.body().size(); ++I)
-    DefIndex[Fn.body()[I].dst()] = I;
+  const ir::DefUse &DU = Fn.defUse(Ctx);
+  size_t BodySize = Fn.body().size();
 
   // Backwards reachability from the outputs.
-  std::set<size_t> Live;
+  std::vector<uint8_t> Live(BodySize, 0);
   std::vector<size_t> Work;
-  for (const ir::Port &P : Fn.outputs()) {
-    auto It = DefIndex.find(P.Name);
-    if (It != DefIndex.end() && Live.insert(It->second).second)
-      Work.push_back(It->second);
-  }
+  auto Mark = [&](ir::ValueId Id) {
+    if (Id == ir::InvalidValueId)
+      return;
+    uint32_t Def = DU.defIndexOf(Id);
+    if (Def != ir::DefUse::NoDef && !Live[Def]) {
+      Live[Def] = 1;
+      Work.push_back(Def);
+    }
+  };
+  for (size_t K = 0; K < Fn.outputs().size(); ++K)
+    Mark(DU.outputIdOf(K));
   while (!Work.empty()) {
     size_t I = Work.back();
     Work.pop_back();
-    for (const std::string &Arg : Fn.body()[I].args()) {
-      auto It = DefIndex.find(Arg);
-      if (It != DefIndex.end() && Live.insert(It->second).second)
-        Work.push_back(It->second);
-    }
+    for (ir::ValueId Arg : DU.argIdsOf(I))
+      Mark(Arg);
   }
 
   std::vector<Instr> Kept;
-  Kept.reserve(Fn.body().size());
+  Kept.reserve(BodySize);
   unsigned Removed = 0;
-  for (size_t I = 0; I < Fn.body().size(); ++I) {
-    if (Live.count(I))
+  for (size_t I = 0; I < BodySize; ++I) {
+    if (Live[I])
       Kept.push_back(std::move(Fn.body()[I]));
     else
       ++Removed;
   }
   Fn.body() = std::move(Kept);
+  if (Removed)
+    Fn.invalidateDefUse(Ctx);
   if (Removed && Ctx.remarksEnabled())
     obs::Remark(Ctx, "opt", "dce")
         .message("removed " + std::to_string(Removed) +
@@ -64,11 +70,21 @@ unsigned reticle::opt::deadCodeElim(Function &Fn, const obs::Context &Ctx) {
 }
 
 unsigned reticle::opt::constantFold(Function &Fn, const obs::Context &Ctx) {
-  // Constant values discovered so far, by variable name.
-  std::map<std::string, interp::Value> Consts;
-  std::map<std::string, size_t> DefIndex;
-  for (size_t I = 0; I < Fn.body().size(); ++I)
-    DefIndex[Fn.body()[I].dst()] = I;
+  // Constant values discovered so far, by value id. Folding preserves
+  // every destination name and type and only ever re-points arguments at
+  // existing values, so the interned id space stays stable throughout
+  // the fixed-point loop.
+  const ir::DefUse &DU = Fn.defUse(Ctx);
+  std::vector<std::optional<interp::Value>> Consts(DU.numValues());
+  std::optional<interp::Value> Unknown; // slot for names outside the id space
+  auto ConstAt = [&](const std::string &Name) -> std::optional<interp::Value> & {
+    ir::ValueId Id = DU.idOf(Name);
+    if (Id == ir::InvalidValueId) {
+      Unknown.reset();
+      return Unknown;
+    }
+    return Consts[Id];
+  };
 
   auto MakeConst = [](const Instr &I, const interp::Value &V) {
     std::vector<int64_t> Attrs;
@@ -86,10 +102,10 @@ unsigned reticle::opt::constantFold(Function &Fn, const obs::Context &Ctx) {
     Changed = false;
     for (Instr &I : Fn.body()) {
       if (I.isWire() && I.wireOp() == WireOp::Const) {
-        if (!Consts.count(I.dst())) {
+        if (std::optional<interp::Value> &Slot = ConstAt(I.dst()); !Slot) {
           Result<interp::Value> V = interp::evalPure(I, {});
           if (V)
-            Consts.emplace(I.dst(), V.take());
+            Slot = V.take();
         }
         continue;
       }
@@ -99,17 +115,18 @@ unsigned reticle::opt::constantFold(Function &Fn, const obs::Context &Ctx) {
       std::vector<interp::Value> Args;
       bool AllConst = true;
       for (const std::string &Arg : I.args()) {
-        auto It = Consts.find(Arg);
-        if (It == Consts.end()) {
+        const std::optional<interp::Value> &Slot = ConstAt(Arg);
+        if (!Slot) {
           AllConst = false;
           break;
         }
-        Args.push_back(It->second);
+        Args.push_back(*Slot);
       }
       if (AllConst && !I.args().empty()) {
         Result<interp::Value> V = interp::evalPure(I, Args);
         if (V) {
-          Consts.emplace(I.dst(), V.value());
+          if (std::optional<interp::Value> &Slot = ConstAt(I.dst()); !Slot)
+            Slot = V.value();
           I = MakeConst(I, V.value());
           ++Rewritten;
           Changed = true;
@@ -121,8 +138,8 @@ unsigned reticle::opt::constantFold(Function &Fn, const obs::Context &Ctx) {
         continue;
       auto ConstOf =
           [&](size_t K) -> const interp::Value * {
-        auto It = Consts.find(I.args()[K]);
-        return It == Consts.end() ? nullptr : &It->second;
+        const std::optional<interp::Value> &Slot = ConstAt(I.args()[K]);
+        return Slot ? &*Slot : nullptr;
       };
       auto IsZero = [](const interp::Value &V) {
         for (unsigned L = 0; L < V.lanes(); ++L)
@@ -157,8 +174,8 @@ unsigned reticle::opt::constantFold(Function &Fn, const obs::Context &Ctx) {
         const interp::Value *V1 = ConstOf(1);
         if ((V0 && IsZero(*V0)) || (V1 && IsZero(*V1))) {
           I = Instr::makeWire(I.dst(), I.type(), WireOp::Const, {0});
-          Consts.emplace(I.dst(),
-                         interp::Value::splat(I.type(), 0));
+          if (std::optional<interp::Value> &Slot = ConstAt(I.dst()); !Slot)
+            Slot = interp::Value::splat(I.type(), 0);
           ++Rewritten;
           Changed = true;
         } else if (V0 && IsOne(*V0)) {
@@ -177,6 +194,8 @@ unsigned reticle::opt::constantFold(Function &Fn, const obs::Context &Ctx) {
       }
     }
   }
+  if (Rewritten)
+    Fn.invalidateDefUse(Ctx);
   if (Rewritten && Ctx.remarksEnabled())
     obs::Remark(Ctx, "opt", "const-fold")
         .message("folded or simplified " + std::to_string(Rewritten) +
@@ -190,9 +209,7 @@ unsigned reticle::opt::vectorize(Function &Fn, unsigned Lanes,
   assert(Lanes >= 2 && (Lanes & (Lanes - 1)) == 0 &&
          "lane count must be a power of two of at least two");
   const std::vector<Instr> &Body = Fn.body();
-  std::map<std::string, size_t> DefIndex;
-  for (size_t I = 0; I < Body.size(); ++I)
-    DefIndex[Body[I].dst()] = I;
+  const ir::DefUse &DU = Fn.defUse(Ctx);
 
   // Transitive dependency sets over body indices (for independence).
   std::vector<std::set<size_t>> Deps(Body.size());
@@ -204,11 +221,12 @@ unsigned reticle::opt::vectorize(Function &Fn, unsigned Lanes,
     for (size_t I = 0; I < Body.size(); ++I) {
       if (Body[I].isReg())
         continue; // state breaks timing dependence
-      for (const std::string &Arg : Body[I].args()) {
-        auto It = DefIndex.find(Arg);
-        if (It == DefIndex.end())
+      for (ir::ValueId Arg : DU.argIdsOf(I)) {
+        if (Arg == ir::InvalidValueId)
           continue;
-        size_t D = It->second;
+        uint32_t D = DU.defIndexOf(Arg);
+        if (D == ir::DefUse::NoDef)
+          continue;
         if (Deps[I].insert(D).second)
           Grew = true;
         size_t Before = Deps[I].size();
@@ -332,6 +350,7 @@ unsigned reticle::opt::vectorize(Function &Fn, unsigned Lanes,
           {static_cast<int64_t>(L * Scalar.width())}, {VecDst}));
   }
   Fn.body() = std::move(NewBody);
+  Fn.invalidateDefUse(Ctx);
   if (Ctx.remarksEnabled())
     obs::Remark(Ctx, "opt", "vectorize")
         .message("packed " + std::to_string(Groups.size()) + " group(s) of " +

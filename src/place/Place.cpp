@@ -6,6 +6,7 @@
 
 #include "place/Place.h"
 
+#include "ir/DefUse.h"
 #include "obs/Context.h"
 #include "sat/Solver.h"
 
@@ -150,20 +151,24 @@ private:
 };
 
 Status Placer::buildClusters() {
-  // Union-find over coordinate variable names; wildcards become fresh
-  // variables so every placeable instruction lands in some cluster.
-  std::map<std::string, std::string> Parent;
-  auto Find = [&](std::string Name) {
-    while (Parent[Name] != Name)
-      Name = Parent[Name] = Parent[Parent[Name]];
-    return Name;
-  };
-  auto Unite = [&](const std::string &A, const std::string &B) {
-    Parent[Find(A)] = Find(B);
-  };
+  // Union-find over coordinate variables, interned to dense ids; wildcards
+  // become fresh variables so every placeable instruction lands in some
+  // cluster.
+  ir::NameInterner Vars;
+  std::vector<ir::ValueId> Parent;
   auto Ensure = [&](const std::string &Name) {
-    if (!Parent.count(Name))
-      Parent[Name] = Name;
+    ir::ValueId Id = Vars.intern(Name);
+    if (Id == Parent.size())
+      Parent.push_back(Id);
+    return Id;
+  };
+  auto Find = [&](ir::ValueId Id) {
+    while (Parent[Id] != Id)
+      Id = Parent[Id] = Parent[Parent[Id]];
+    return Id;
+  };
+  auto Unite = [&](ir::ValueId A, ir::ValueId B) {
+    Parent[Find(A)] = Find(B);
   };
 
   unsigned Fresh = 0;
@@ -183,18 +188,16 @@ Status Placer::buildClusters() {
       X = Coord::var("$x" + std::to_string(Fresh++));
     if (Y.isWild())
       Y = Coord::var("$y" + std::to_string(Fresh++));
-    if (X.isVar())
-      Ensure(X.name());
-    if (Y.isVar())
-      Ensure(Y.name());
-    if (X.isVar() && Y.isVar())
-      Unite(X.name(), Y.name());
+    ir::ValueId XId = X.isVar() ? Ensure(X.name()) : ir::InvalidValueId;
+    ir::ValueId YId = Y.isVar() ? Ensure(Y.name()) : ir::InvalidValueId;
+    if (XId != ir::InvalidValueId && YId != ir::InvalidValueId)
+      Unite(XId, YId);
     Instrs.push_back({I, A.loc().Prim, X, Y});
   }
 
-  // Group by representative; fully literal instructions form fixed
-  // singleton clusters.
-  std::map<std::string, size_t> GroupOf;
+  // Group by representative id; fully literal instructions form fixed
+  // singleton clusters. Cluster indices follow first-seen scan order.
+  std::vector<size_t> GroupOf(Parent.size(), SIZE_MAX);
   for (const NormInstr &N : Instrs) {
     if (!N.X.isVar() && !N.Y.isVar()) {
       Cluster C;
@@ -203,11 +206,13 @@ Status Placer::buildClusters() {
       FixedClusters.push_back(std::move(C));
       continue;
     }
-    std::string Rep = Find(N.X.isVar() ? N.X.name() : N.Y.name());
-    auto [It, Inserted] = GroupOf.try_emplace(Rep, Clusters.size());
-    if (Inserted)
+    ir::ValueId Rep =
+        Find(Vars.lookup(N.X.isVar() ? N.X.name() : N.Y.name()));
+    if (GroupOf[Rep] == SIZE_MAX) {
+      GroupOf[Rep] = Clusters.size();
       Clusters.emplace_back();
-    Cluster &C = Clusters[It->second];
+    }
+    Cluster &C = Clusters[GroupOf[Rep]];
     if (C.Members.empty())
       C.Prim = N.Prim;
     if (C.Prim != N.Prim)
@@ -774,7 +779,7 @@ Result<AsmProgram> Placer::run() {
   AsmProgram Placed(Prog.name());
   Placed.inputs() = Prog.inputs();
   Placed.outputs() = Prog.outputs();
-  std::map<size_t, device::Slot> SlotOf;
+  std::vector<device::Slot> SlotOf(Prog.body().size());
   for (size_t I = 0; I < Clusters.size(); ++I) {
     for (size_t K = 0; K < Clusters[I].Members.size(); ++K)
       SlotOf[Clusters[I].Members[K].BodyIndex] = BestAssignment[I].Slots[K];
@@ -807,7 +812,7 @@ Result<AsmProgram> Placer::run() {
       Placed.addInstr(A);
       continue;
     }
-    device::Slot S = SlotOf.at(I);
+    device::Slot S = SlotOf[I];
     rasm::Loc L{A.loc().Prim, Coord::lit(S.X), Coord::lit(S.Y)};
     Placed.addInstr(AsmInstr::makeOp(A.dst(), A.type(), A.opName(), A.args(),
                                      std::move(L), A.attrs()));
@@ -850,7 +855,10 @@ Status reticle::place::checkPlacement(const AsmProgram &Original,
     return Status::failure("instruction count changed during placement");
 
   std::set<device::Slot> Used;
-  std::map<std::string, int64_t> VarX, VarY;
+  // One interner per axis maps coordinate variables to dense ids; the
+  // resolved base per variable lives in a flat vector alongside it.
+  ir::NameInterner XVars, YVars;
+  std::vector<std::optional<int64_t>> VarX, VarY;
   for (size_t I = 0; I < Original.body().size(); ++I) {
     const AsmInstr &O = Original.body()[I];
     const AsmInstr &P = Placed.body()[I];
@@ -875,22 +883,28 @@ Status reticle::place::checkPlacement(const AsmProgram &Original,
                              ")");
     // Literal pins and relative variable constraints.
     auto CheckAxis = [&](const Coord &C, int64_t Value,
-                         std::map<std::string, int64_t> &Bases) -> Status {
+                         ir::NameInterner &Vars,
+                         std::vector<std::optional<int64_t>> &Bases)
+        -> Status {
       if (C.isLit() && C.offset() != Value)
         return Status::failure("pinned coordinate changed in '" + P.str() +
                                "'");
       if (C.isVar()) {
         int64_t Base = Value - C.offset();
-        auto [It, Inserted] = Bases.try_emplace(C.name(), Base);
-        if (!Inserted && It->second != Base)
+        ir::ValueId Id = Vars.intern(C.name());
+        if (Id == Bases.size())
+          Bases.emplace_back();
+        if (!Bases[Id])
+          Bases[Id] = Base;
+        else if (*Bases[Id] != Base)
           return Status::failure("relative constraint on '" + C.name() +
                                  "' violated in '" + P.str() + "'");
       }
       return Status::success();
     };
-    if (Status St = CheckAxis(O.loc().X, X, VarX); !St)
+    if (Status St = CheckAxis(O.loc().X, X, XVars, VarX); !St)
       return St;
-    if (Status St = CheckAxis(O.loc().Y, Y, VarY); !St)
+    if (Status St = CheckAxis(O.loc().Y, Y, YVars, VarY); !St)
       return St;
   }
   return Status::success();

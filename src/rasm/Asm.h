@@ -21,6 +21,7 @@
 #include "ir/Function.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -171,7 +172,42 @@ public:
   std::vector<AsmInstr> &body() { return Body; }
   const std::vector<AsmInstr> &body() const { return Body; }
 
-  void addInstr(AsmInstr I) { Body.push_back(std::move(I)); }
+  void addInstr(AsmInstr I) {
+    Body.push_back(std::move(I));
+    invalidateDefUse();
+  }
+
+  /// The cached def-use analysis over this program (same structure the IR
+  /// caches; locations play no part in it). Mutating the body or ports
+  /// through the non-const accessors requires invalidateDefUse() before
+  /// the next analysis consumer — except location-only edits (placement,
+  /// cascade coordinate rewrites), which leave names, args, and types
+  /// untouched and therefore keep the analysis valid.
+  const ir::DefUse &
+  defUse(const obs::Context &Ctx = obs::defaultContext()) const {
+    if (DU) {
+      ++Ctx.counter("ir.defuse.cache_hits");
+      return *DU;
+    }
+    DU = ir::DefUse::build(*this, Ctx);
+    return *DU;
+  }
+
+  /// Shares ownership of the cached analysis.
+  std::shared_ptr<const ir::DefUse>
+  defUseShared(const obs::Context &Ctx = obs::defaultContext()) const {
+    (void)defUse(Ctx);
+    return DU;
+  }
+
+  /// Drops the cached analysis; counted only when a cache existed.
+  void invalidateDefUse(
+      const obs::Context &Ctx = obs::defaultContext()) const {
+    if (DU) {
+      DU.reset();
+      ++Ctx.counter("ir.defuse.invalidations");
+    }
+  }
 
   /// True when every location coordinate is a literal (device-specific
   /// program, ready for code generation).
@@ -184,6 +220,7 @@ private:
   std::vector<ir::Port> Inputs;
   std::vector<ir::Port> Outputs;
   std::vector<AsmInstr> Body;
+  mutable std::shared_ptr<const ir::DefUse> DU;
 };
 
 } // namespace rasm

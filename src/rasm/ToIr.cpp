@@ -15,31 +15,29 @@ Result<ir::Function> reticle::rasm::toIr(const AsmProgram &Prog,
                                          const tdl::Target &Target) {
   using FnT = ir::Function;
 
-  // Types of every name in the program, for overload resolution.
-  std::map<std::string, ir::Type> TypeOf;
-  for (const ir::Port &P : Prog.inputs())
-    TypeOf[P.Name] = P.Ty;
-  for (const AsmInstr &I : Prog.body())
-    TypeOf[I.dst()] = I.type();
+  // Argument types for overload resolution come from the program's
+  // def-use analysis rather than a locally rebuilt name map.
+  const ir::DefUse &DU = Prog.defUse();
 
   ir::Function Fn(Prog.name());
   Fn.inputs() = Prog.inputs();
   Fn.outputs() = Prog.outputs();
 
   unsigned FreshCounter = 0;
-  for (const AsmInstr &I : Prog.body()) {
+  for (size_t BI = 0; BI < Prog.body().size(); ++BI) {
+    const AsmInstr &I = Prog.body()[BI];
     if (I.isWire()) {
       Fn.addInstr(ir::Instr::makeWire(I.dst(), I.type(), I.wireOp(),
                                       I.attrs(), I.args()));
       continue;
     }
     std::vector<ir::Type> ArgTypes;
-    for (const std::string &Arg : I.args()) {
-      auto It = TypeOf.find(Arg);
-      if (It == TypeOf.end())
-        return fail<FnT>("in '" + I.str() + "': undefined variable '" + Arg +
-                         "'");
-      ArgTypes.push_back(It->second);
+    for (size_t K = 0; K < I.args().size(); ++K) {
+      ir::ValueId Arg = DU.argIdsOf(BI)[K];
+      if (Arg == ir::InvalidValueId)
+        return fail<FnT>("in '" + I.str() + "': undefined variable '" +
+                         I.args()[K] + "'");
+      ArgTypes.push_back(DU.typeOfId(Arg));
     }
     const tdl::TargetDef *Def =
         Target.resolve(I.opName(), I.loc().Prim, ArgTypes, I.type());

@@ -64,21 +64,33 @@ private:
   /// constants.
   size_t sourceNode(Lit L, const aig::Mapping &Mapping) const;
 
+  // Def/use facts come from the function's cached analysis (run() warms
+  // it through ir::verify); function inputs report NoDef.
+  uint32_t defIndexOf(const std::string &Var) const {
+    ir::ValueId Id = DU->idOf(Var);
+    return Id == ir::InvalidValueId ? ir::DefUse::NoDef
+                                    : DU->defIndexOf(Id);
+  }
+  unsigned useCountOf(const std::string &Var) const {
+    ir::ValueId Id = DU->idOf(Var);
+    return Id == ir::InvalidValueId ? 0 : DU->useCount(Id);
+  }
+  Word &wordOf(const std::string &Var) { return Words[DU->idOf(Var)]; }
+
   const ir::Function &Fn;
   SynthOptions Options;
   SynthResult Out;
+  std::shared_ptr<const ir::DefUse> DU;
 
   // Binding decisions.
   std::vector<Binding> Bindings;
   std::vector<unsigned> DspLanes;            // DSP-bound lane count
   std::map<size_t, DspKind> DspKindOf;       // body index -> kind
   std::map<size_t, size_t> FusedMulOf;       // muladd body idx -> mul idx
-  std::map<std::string, size_t> DefIndex;    // var -> body index
-  std::map<std::string, unsigned> UseCount;
 
-  // Elaboration.
+  // Elaboration. Words holds each value's AIG literals, by ValueId.
   Aig G;
-  std::map<std::string, Word> WordOf;
+  std::vector<Word> Words;
   std::vector<PseudoInfo> Pseudo; // per AIG input index
 
   // Netlist / timing.
@@ -95,13 +107,6 @@ private:
 Status Synthesizer::decideBindings() {
   const std::vector<Instr> &Body = Fn.body();
   Bindings.assign(Body.size(), Binding::Logic);
-  for (size_t I = 0; I < Body.size(); ++I)
-    DefIndex[Body[I].dst()] = I;
-  for (const Instr &I : Body)
-    for (const std::string &Arg : I.args())
-      ++UseCount[Arg];
-  for (const ir::Port &P : Fn.outputs())
-    ++UseCount[P.Name];
 
   auto IsDspMul = [&](const Instr &I) {
     return I.isComp() && I.compOp() == CompOp::Mul && I.type().isInt() &&
@@ -116,15 +121,15 @@ Status Synthesizer::decideBindings() {
     if (!Add.isComp() || Add.compOp() != CompOp::Add)
       continue;
     for (const std::string &Arg : Add.args()) {
-      auto It = DefIndex.find(Arg);
-      if (It == DefIndex.end() || Fused.count(It->second))
+      uint32_t Def = defIndexOf(Arg);
+      if (Def == ir::DefUse::NoDef || Fused.count(Def))
         continue;
-      const Instr &Mul = Body[It->second];
-      if (!IsDspMul(Mul) || UseCount[Arg] != 1 ||
+      const Instr &Mul = Body[Def];
+      if (!IsDspMul(Mul) || useCountOf(Arg) != 1 ||
           !(Mul.type() == Add.type()))
         continue;
-      FusedMulOf[I] = It->second;
-      Fused.insert(It->second);
+      FusedMulOf[I] = Def;
+      Fused.insert(Def);
       break;
     }
   }
@@ -186,10 +191,10 @@ Status Synthesizer::decideBindings() {
     if (!Body[I].isReg())
       continue;
     const std::string &Data = Body[I].args()[0];
-    auto It = DefIndex.find(Data);
-    if (It == DefIndex.end() || UseCount[Data] != 1)
+    uint32_t DataDef = defIndexOf(Data);
+    if (DataDef == ir::DefUse::NoDef || useCountOf(Data) != 1)
       continue;
-    size_t Def = It->second;
+    size_t Def = DataDef;
     if (Bindings[Def] != Binding::Dsp ||
         DspLanes[Def] != Body[Def].type().lanes() || DspWithReg.count(Def))
       continue;
@@ -206,18 +211,18 @@ Status Synthesizer::decideBindings() {
     for (auto &[AddIdx, MulIdx] : FusedMulOf) {
       const Instr &Add = Fn.body()[AddIdx];
       for (const std::string &Arg : Add.args()) {
-        auto It = DefIndex.find(Arg);
-        if (It == DefIndex.end() || It->second == MulIdx)
+        uint32_t ArgDef = defIndexOf(Arg);
+        if (ArgDef == ir::DefUse::NoDef || ArgDef == MulIdx)
           continue;
-        size_t Producer = It->second;
-        if (UseCount[Arg] != 1)
+        size_t Producer = ArgDef;
+        if (useCountOf(Arg) != 1)
           continue;
         if (Fn.body()[Producer].isReg()) {
           const std::string &Data = Fn.body()[Producer].args()[0];
-          auto Inner = DefIndex.find(Data);
-          if (Inner == DefIndex.end() || UseCount[Data] != 1)
+          uint32_t Inner = defIndexOf(Data);
+          if (Inner == ir::DefUse::NoDef || useCountOf(Data) != 1)
             continue;
-          Producer = Inner->second;
+          Producer = Inner;
         }
         if (FusedMulOf.count(Producer) &&
             Bindings[Producer] == Binding::Dsp) {
@@ -253,7 +258,7 @@ Status Synthesizer::elaborate() {
       W.push_back(G.addInput(P.Name + "[" + std::to_string(B) + "]"));
       Pseudo.push_back({PseudoInfo::Kind::Pi, I});
     }
-    WordOf[P.Name] = std::move(W);
+    wordOf(P.Name) = std::move(W);
   }
   std::map<size_t, Word> DspPrefix; // DSP-bound lanes of partial bindings
   for (size_t I = 0; I < Body.size(); ++I) {
@@ -272,8 +277,8 @@ Status Synthesizer::elaborate() {
         Pseudo.push_back({PseudoInfo::Kind::DspOut, DspIdx});
       }
       // The DSP's pre-register value is unobservable (single use).
-      WordOf[Body[DspIdx].dst()] = W;
-      WordOf[Body[I].dst()] = std::move(W);
+      wordOf(Body[DspIdx].dst()) = W;
+      wordOf(Body[I].dst()) = std::move(W);
       continue;
     }
     unsigned Bits = IsReg ? Body[I].type().totalBits()
@@ -287,7 +292,7 @@ Status Synthesizer::elaborate() {
                         I});
     }
     if (IsReg || DspLanes[I] == Body[I].type().lanes())
-      WordOf[Body[I].dst()] = std::move(W);
+      wordOf(Body[I].dst()) = std::move(W);
     else
       DspPrefix[I] = std::move(W); // logic lanes appended during blasting
   }
@@ -307,7 +312,7 @@ Status Synthesizer::elaborate() {
     unsigned FirstLane = PartialDsp ? DspLanes[Index] : 0;
     auto LaneOf = [&](const std::string &Var, unsigned L,
                       unsigned LaneWidth) {
-      const Word &Full = WordOf.at(Var);
+      const Word &Full = wordOf(Var);
       return Word(Full.begin() + L * LaneWidth,
                   Full.begin() + (L + 1) * LaneWidth);
     };
@@ -323,18 +328,18 @@ Status Synthesizer::elaborate() {
         break;
       }
       case WireOp::Id:
-        Out = WordOf.at(I.args()[0]);
+        Out = wordOf(I.args()[0]);
         break;
       case WireOp::Slice: {
-        const Word &Src = WordOf.at(I.args()[0]);
+        const Word &Src = wordOf(I.args()[0]);
         size_t Off = static_cast<size_t>(I.attrs()[0]);
         Out.assign(Src.begin() + Off,
                    Src.begin() + Off + I.type().totalBits());
         break;
       }
       case WireOp::Cat: {
-        Out = WordOf.at(I.args()[0]);
-        const Word &Hi = WordOf.at(I.args()[1]);
+        Out = wordOf(I.args()[0]);
+        const Word &Hi = wordOf(I.args()[1]);
         Out.insert(Out.end(), Hi.begin(), Hi.end());
         break;
       }
@@ -361,7 +366,7 @@ Status Synthesizer::elaborate() {
         break;
       }
       }
-      WordOf[I.dst()] = std::move(Out);
+      wordOf(I.dst()) = std::move(Out);
       continue;
     }
     // Compute instructions.
@@ -403,40 +408,40 @@ Status Synthesizer::elaborate() {
       break;
     }
     case CompOp::Not:
-      Out = aig::blastNot(G, WordOf.at(I.args()[0]));
+      Out = aig::blastNot(G, wordOf(I.args()[0]));
       break;
     case CompOp::Eq:
-      Out = {aig::blastEq(G, WordOf.at(I.args()[0]),
-                          WordOf.at(I.args()[1]))};
+      Out = {aig::blastEq(G, wordOf(I.args()[0]),
+                          wordOf(I.args()[1]))};
       break;
     case CompOp::Neq:
-      Out = {~aig::blastEq(G, WordOf.at(I.args()[0]),
-                           WordOf.at(I.args()[1]))};
+      Out = {~aig::blastEq(G, wordOf(I.args()[0]),
+                           wordOf(I.args()[1]))};
       break;
     case CompOp::Lt:
-      Out = {aig::blastLtSigned(G, WordOf.at(I.args()[0]),
-                                WordOf.at(I.args()[1]))};
+      Out = {aig::blastLtSigned(G, wordOf(I.args()[0]),
+                                wordOf(I.args()[1]))};
       break;
     case CompOp::Gt:
-      Out = {aig::blastLtSigned(G, WordOf.at(I.args()[1]),
-                                WordOf.at(I.args()[0]))};
+      Out = {aig::blastLtSigned(G, wordOf(I.args()[1]),
+                                wordOf(I.args()[0]))};
       break;
     case CompOp::Le:
-      Out = {~aig::blastLtSigned(G, WordOf.at(I.args()[1]),
-                                 WordOf.at(I.args()[0]))};
+      Out = {~aig::blastLtSigned(G, wordOf(I.args()[1]),
+                                 wordOf(I.args()[0]))};
       break;
     case CompOp::Ge:
-      Out = {~aig::blastLtSigned(G, WordOf.at(I.args()[0]),
-                                 WordOf.at(I.args()[1]))};
+      Out = {~aig::blastLtSigned(G, wordOf(I.args()[0]),
+                                 wordOf(I.args()[1]))};
       break;
     case CompOp::Mux:
-      Out = aig::blastMux(G, WordOf.at(I.args()[0])[0],
-                          WordOf.at(I.args()[1]), WordOf.at(I.args()[2]));
+      Out = aig::blastMux(G, wordOf(I.args()[0])[0],
+                          wordOf(I.args()[1]), wordOf(I.args()[2]));
       break;
     case CompOp::Reg:
       return Status::failure("registers cannot be Logic-bound");
     }
-    WordOf[I.dst()] = std::move(Out);
+    wordOf(I.dst()) = std::move(Out);
   }
 
   // Register the AIG outputs that anchor mapping: flip-flop D and enable
@@ -450,11 +455,11 @@ Status Synthesizer::elaborate() {
     if (Instr.isReg()) {
       if (AbsorbedRegOf.count(I)) {
         // Only the clock enable reaches the DSP's CEP pin.
-        AddWordOutputs(Instr.dst() + ".ce", WordOf.at(Instr.args()[1]));
+        AddWordOutputs(Instr.dst() + ".ce", wordOf(Instr.args()[1]));
         continue;
       }
-      AddWordOutputs(Instr.dst() + ".d", WordOf.at(Instr.args()[0]));
-      AddWordOutputs(Instr.dst() + ".en", WordOf.at(Instr.args()[1]));
+      AddWordOutputs(Instr.dst() + ".d", wordOf(Instr.args()[0]));
+      AddWordOutputs(Instr.dst() + ".en", wordOf(Instr.args()[1]));
       continue;
     }
     if (Bindings[I] != Binding::Dsp)
@@ -470,10 +475,10 @@ Status Synthesizer::elaborate() {
       Ports = Instr.args();
     }
     for (const std::string &Port : Ports)
-      AddWordOutputs(Instr.dst() + "." + Port, WordOf.at(Port));
+      AddWordOutputs(Instr.dst() + "." + Port, wordOf(Port));
   }
   for (const ir::Port &P : Fn.outputs())
-    AddWordOutputs("out." + P.Name, WordOf.at(P.Name));
+    AddWordOutputs("out." + P.Name, wordOf(P.Name));
 
   Out.AigAnds = G.numAnds();
   Out.AigDepth = G.depth();
@@ -567,12 +572,12 @@ Status Synthesizer::buildNetlist(const aig::Mapping &Mapping) {
     if (Instr.isReg()) {
       if (auto It = AbsorbedRegOf.find(I); It != AbsorbedRegOf.end()) {
         // The enable reaches the DSP's CEP pin; the data path is internal.
-        AddWordEdges(WordOf.at(Instr.args()[1]), NodeOfBody.at(It->second),
+        AddWordEdges(wordOf(Instr.args()[1]), NodeOfBody.at(It->second),
                      false);
         continue;
       }
-      AddWordEdges(WordOf.at(Instr.args()[0]), NodeOfBody.at(I), false);
-      AddWordEdges(WordOf.at(Instr.args()[1]), NodeOfBody.at(I), false);
+      AddWordEdges(wordOf(Instr.args()[0]), NodeOfBody.at(I), false);
+      AddWordEdges(wordOf(Instr.args()[1]), NodeOfBody.at(I), false);
       continue;
     }
     if (Bindings[I] != Binding::Dsp)
@@ -592,7 +597,7 @@ Status Synthesizer::buildNetlist(const aig::Mapping &Mapping) {
       Ports = Instr.args();
     }
     for (const std::string &Port : Ports)
-      AddWordEdges(WordOf.at(Port), To, Port == PredDst);
+      AddWordEdges(wordOf(Port), To, Port == PredDst);
   }
 
   // --- Cells for annealing ---------------------------------------------
@@ -732,6 +737,10 @@ Result<SynthResult> Synthesizer::run() {
   auto Total = std::chrono::steady_clock::now();
   if (Status S = ir::verify(Fn); !S)
     return fail<ResultT>(S.error());
+  // Verification warmed the function's analysis; share it for the whole
+  // synthesis run and size the per-value AIG word table off it.
+  DU = Fn.defUseShared();
+  Words.resize(DU->numValues());
 
   auto Start = std::chrono::steady_clock::now();
   if (Status S = decideBindings(); !S)

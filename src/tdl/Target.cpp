@@ -118,10 +118,9 @@ Status Target::addDef(TargetDef Def) {
     return Status::failure("definition '" + Def.Name + "': " + S.error());
 
   // The paper requires definition bodies to be DAGs outright: even cycles
-  // through registers are disallowed.
-  std::map<std::string, size_t> DefIndex;
-  for (size_t I = 0; I < Def.Body.size(); ++I)
-    DefIndex[Def.Body[I].dst()] = I;
+  // through registers are disallowed. The verified function's analysis
+  // supplies the def edges (Fn's body indices equal Def.Body's).
+  const ir::DefUse &DU = Fn.defUse();
   std::vector<unsigned> State(Def.Body.size(), 0);
   // Iterative DFS cycle check over all def-use edges.
   for (size_t Start = 0; Start < Def.Body.size(); ++Start) {
@@ -131,32 +130,31 @@ Status Target::addDef(TargetDef Def) {
     State[Start] = 1;
     while (!Stack.empty()) {
       auto &[Node, ArgIndex] = Stack.back();
-      const std::vector<std::string> &Args = Def.Body[Node].args();
+      const std::vector<ir::ValueId> &Args = DU.argIdsOf(Node);
       if (ArgIndex >= Args.size()) {
         State[Node] = 2;
         Stack.pop_back();
         continue;
       }
-      auto It = DefIndex.find(Args[ArgIndex++]);
-      if (It == DefIndex.end())
+      ir::ValueId Arg = Args[ArgIndex++];
+      uint32_t Next = Arg == ir::InvalidValueId ? ir::DefUse::NoDef
+                                                : DU.defIndexOf(Arg);
+      if (Next == ir::DefUse::NoDef)
         continue;
-      if (State[It->second] == 1)
+      if (State[Next] == 1)
         return Status::failure("definition '" + Def.Name +
                                "': body must be acyclic");
-      if (State[It->second] == 0) {
-        State[It->second] = 1;
-        Stack.push_back({It->second, 0});
+      if (State[Next] == 0) {
+        State[Next] = 1;
+        Stack.push_back({Next, 0});
       }
     }
   }
 
-  // Every declared input must be used so that selection can bind it.
-  std::set<std::string> Used;
-  for (const ir::Instr &I : Def.Body)
-    for (const std::string &Arg : I.args())
-      Used.insert(Arg);
+  // Every declared input must be used so that selection can bind it
+  // (usersOf lists argument reads only, not output-port reads).
   for (const ir::Port &P : Def.Inputs)
-    if (!Used.count(P.Name))
+    if (DU.usersOf(DU.idOf(P.Name)).empty())
       return Status::failure("definition '" + Def.Name + "': input '" +
                              P.Name + "' is never used");
 

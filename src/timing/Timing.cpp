@@ -9,7 +9,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <map>
+#include <optional>
 
 using namespace reticle;
 using namespace reticle::timing;
@@ -174,37 +174,45 @@ Result<TimingReport> reticle::timing::analyzeAsm(
     return fail<ReportT>("program has unresolved locations; place it first");
 
   TimingGraph G(Model);
-  std::map<std::string, size_t> NodeOf;
-  std::map<std::string, ir::Type> TypeOf;
-  for (const ir::Port &P : Placed.inputs())
-    TypeOf[P.Name] = P.Ty;
-  for (const rasm::AsmInstr &I : Placed.body())
-    TypeOf[I.dst()] = I.type();
+  // Node and type lookups index flat vectors by the placed program's
+  // ValueIds (the cascade pass left its def-use cache warm: placement and
+  // this analysis only rewrote locations and opNames).
+  const ir::DefUse &DU = Placed.defUse(Ctx);
+  const std::vector<rasm::AsmInstr> &Body = Placed.body();
+  std::vector<size_t> NodeOfId(DU.numValues(), SIZE_MAX);
 
   // Primary inputs.
   for (const ir::Port &P : Placed.inputs()) {
     TimingNode N;
     N.Name = P.Name;
-    NodeOf[P.Name] = G.addNode(std::move(N));
+    NodeOfId[DU.idOf(P.Name)] = G.addNode(std::move(N));
   }
 
   // Wire instructions are pure wiring: map their result to the underlying
   // sources so routing is measured between real elements. A wire value may
   // merge several sources (cat), so resolution yields a source set.
-  std::map<std::string, std::vector<std::string>> WireSources;
+  std::vector<std::optional<std::vector<ir::ValueId>>> WireSources(
+      DU.numValues());
   auto ResolveSources =
-      [&](const std::string &Arg) -> const std::vector<std::string> * {
-    auto It = WireSources.find(Arg);
-    return It == WireSources.end() ? nullptr : &It->second;
+      [&](ir::ValueId Arg) -> const std::vector<ir::ValueId> * {
+    if (Arg == ir::InvalidValueId || !WireSources[Arg])
+      return nullptr;
+    return &*WireSources[Arg];
   };
 
   // First pass: create nodes for operations.
-  for (const rasm::AsmInstr &I : Placed.body()) {
+  for (size_t BI = 0; BI < Body.size(); ++BI) {
+    const rasm::AsmInstr &I = Body[BI];
     if (I.isWire())
       continue;
     std::vector<ir::Type> ArgTypes;
-    for (const std::string &Arg : I.args())
-      ArgTypes.push_back(TypeOf.at(Arg));
+    for (size_t K = 0; K < I.args().size(); ++K) {
+      ir::ValueId Arg = DU.argIdsOf(BI)[K];
+      if (Arg == ir::InvalidValueId)
+        return fail<ReportT>("in '" + I.str() + "': undefined variable '" +
+                             I.args()[K] + "'");
+      ArgTypes.push_back(DU.typeOfId(Arg));
+    }
     const tdl::TargetDef *Def =
         Target.resolve(I.opName(), I.loc().Prim, ArgTypes, I.type());
     if (!Def)
@@ -218,21 +226,22 @@ Result<TimingReport> reticle::timing::analyzeAsm(
     N.HasPosition = true;
     N.X = static_cast<int>(I.loc().X.offset());
     N.Y = static_cast<int>(I.loc().Y.offset());
-    NodeOf[I.dst()] = G.addNode(std::move(N));
+    NodeOfId[DU.dstIdOf(BI)] = G.addNode(std::move(N));
   }
   // Wire source resolution (wire instructions may reference each other in
   // any order, so iterate to a fixed point).
   for (bool Changed = true; Changed;) {
     Changed = false;
-    for (const rasm::AsmInstr &I : Placed.body()) {
-      if (!I.isWire() || WireSources.count(I.dst()))
+    for (size_t BI = 0; BI < Body.size(); ++BI) {
+      const rasm::AsmInstr &I = Body[BI];
+      if (!I.isWire() || WireSources[DU.dstIdOf(BI)])
         continue;
-      std::vector<std::string> Sources;
+      std::vector<ir::ValueId> Sources;
       bool AllKnown = true;
-      for (const std::string &Arg : I.args()) {
-        if (NodeOf.count(Arg)) {
+      for (ir::ValueId Arg : DU.argIdsOf(BI)) {
+        if (Arg != ir::InvalidValueId && NodeOfId[Arg] != SIZE_MAX) {
           Sources.push_back(Arg);
-        } else if (const std::vector<std::string> *Sub =
+        } else if (const std::vector<ir::ValueId> *Sub =
                        ResolveSources(Arg)) {
           Sources.insert(Sources.end(), Sub->begin(), Sub->end());
         } else {
@@ -241,30 +250,31 @@ Result<TimingReport> reticle::timing::analyzeAsm(
         }
       }
       if (AllKnown) {
-        WireSources[I.dst()] = std::move(Sources);
+        WireSources[DU.dstIdOf(BI)] = std::move(Sources);
         Changed = true;
       }
     }
   }
 
   // Second pass: edges.
-  for (const rasm::AsmInstr &I : Placed.body()) {
+  for (size_t BI = 0; BI < Body.size(); ++BI) {
+    const rasm::AsmInstr &I = Body[BI];
     if (I.isWire())
       continue;
-    size_t To = NodeOf.at(I.dst());
+    size_t To = NodeOfId[DU.dstIdOf(BI)];
     bool CascadeConsumer = I.opName().find("_ci") != std::string::npos;
     for (size_t K = 0; K < I.args().size(); ++K) {
-      const std::string &Arg = I.args()[K];
+      ir::ValueId Arg = DU.argIdsOf(BI)[K];
       bool CascadeEdge = CascadeConsumer && K == 2;
-      if (NodeOf.count(Arg)) {
-        G.addEdge(NodeOf.at(Arg), To, CascadeEdge);
-      } else if (const std::vector<std::string> *Sources =
+      if (Arg != ir::InvalidValueId && NodeOfId[Arg] != SIZE_MAX) {
+        G.addEdge(NodeOfId[Arg], To, CascadeEdge);
+      } else if (const std::vector<ir::ValueId> *Sources =
                      ResolveSources(Arg)) {
-        for (const std::string &S : *Sources)
-          G.addEdge(NodeOf.at(S), To, CascadeEdge);
+        for (ir::ValueId S : *Sources)
+          G.addEdge(NodeOfId[S], To, CascadeEdge);
       } else {
         return fail<ReportT>("in '" + I.str() + "': undefined variable '" +
-                             Arg + "'");
+                             I.args()[K] + "'");
       }
     }
   }
