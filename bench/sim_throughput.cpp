@@ -1,0 +1,142 @@
+//===- bench/sim_throughput.cpp - Simulation engine throughput -----------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Measures the cycles/second of the two simulation engines — the
+/// reference interpreter (Section 6.2) and the gate-level netlist
+/// simulator — with and without a waveform sink attached, so the cost of
+/// full per-cycle observability is a tracked number rather than folklore.
+/// Writes `BENCH_sim.json` ("reticle-bench-v1") next to the binary.
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/NetlistSim.h"
+#include "core/Compiler.h"
+#include "interp/Interp.h"
+#include "interp/Wave.h"
+#include "ir/Parser.h"
+#include "obs/Json.h"
+#include "obs/Report.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+using namespace reticle;
+using interp::Trace;
+using interp::Value;
+
+namespace {
+
+const char *MacSource = R"(
+  def mac(a:i8, b:i8, c:i8, en:bool) -> (y:i8) {
+    t0:i8 = mul(a, b) @??;
+    t1:i8 = add(t0, c) @??;
+    y:i8 = reg[0](t1, en) @??;
+  }
+)";
+
+/// A deterministic input trace: a linear-congruential walk over the i8
+/// range, so every run measures identical work.
+Trace makeTrace(const ir::Function &Fn, size_t Cycles) {
+  Trace T;
+  uint64_t State = 0x2545F4914F6CDD1DULL;
+  auto Next = [&State] {
+    State = State * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<int64_t>((State >> 33) % 256) - 128;
+  };
+  for (size_t C = 0; C < Cycles; ++C) {
+    interp::Step &S = T.appendStep();
+    for (const ir::Port &P : Fn.inputs()) {
+      if (P.Ty.isBool()) {
+        S[P.Name] = Value::makeBool(Next() & 1);
+        continue;
+      }
+      std::vector<int64_t> Lanes;
+      for (unsigned L = 0; L < P.Ty.lanes(); ++L)
+        Lanes.push_back(Next());
+      S[P.Name] = Value::fromLanes(P.Ty, std::move(Lanes));
+    }
+  }
+  return T;
+}
+
+double msSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+} // namespace
+
+int main() {
+  Result<ir::Function> Fn = ir::parseFunction(MacSource);
+  if (!Fn) {
+    std::fprintf(stderr, "parse failed: %s\n", Fn.error().c_str());
+    return 1;
+  }
+  core::CompileOptions Options;
+  Options.Dev = device::Device::small();
+  Result<core::CompileResult> Compiled = core::compile(Fn.value(), Options);
+  if (!Compiled) {
+    std::fprintf(stderr, "compile failed: %s\n", Compiled.error().c_str());
+    return 1;
+  }
+
+  const size_t Cycles = 20000;
+  Trace In = makeTrace(Fn.value(), Cycles);
+  std::printf("Simulation throughput: mac on small, %zu cycles\n\n", Cycles);
+  std::printf("  %-8s %-6s %10s %14s\n", "engine", "wave", "ms",
+              "cycles/sec");
+
+  obs::Json Rows = obs::Json::array();
+  bool AllOk = true;
+  auto Measure = [&](const char *Engine, bool WithWave) {
+    sim::WaveCapture Cap;
+    sim::WaveSink *Sink = WithWave ? &Cap : nullptr;
+    auto Start = std::chrono::steady_clock::now();
+    Result<Trace> Out =
+        std::string(Engine) == "interp"
+            ? interp::interpret(Fn.value(), In, Sink,
+                                obs::defaultContext())
+            : codegen::simulate(Compiled.value().Verilog, In, Sink,
+                                obs::defaultContext());
+    double Ms = msSince(Start);
+    obs::Json Row = obs::Json::object();
+    Row.set("engine", Engine);
+    Row.set("wave", WithWave);
+    Row.set("ok", Out.ok());
+    if (!Out) {
+      Row.set("error", Out.error());
+      std::printf("  %-8s %-6s FAILED: %s\n", Engine,
+                  WithWave ? "yes" : "no", Out.error().c_str());
+      AllOk = false;
+    } else {
+      double PerSec = Ms > 0.0 ? 1000.0 * Cycles / Ms : 0.0;
+      Row.set("cycles", static_cast<uint64_t>(Cycles));
+      Row.set("ms", Ms);
+      Row.set("cycles_per_sec", PerSec);
+      std::printf("  %-8s %-6s %10.1f %14.0f\n", Engine,
+                  WithWave ? "yes" : "no", Ms, PerSec);
+    }
+    Rows.push(std::move(Row));
+  };
+
+  for (const char *Engine : {"interp", "netlist"})
+    for (bool WithWave : {false, true})
+      Measure(Engine, WithWave);
+
+  obs::Json Doc = obs::Json::object();
+  Doc.set("schema", "reticle-bench-v1");
+  Doc.set("figure", "sim");
+  Doc.set("title", "Simulation engine throughput (mac, 20k cycles)");
+  Doc.set("series", std::move(Rows));
+  if (Status S = obs::writeJsonFile(Doc, "BENCH_sim.json"); !S) {
+    std::fprintf(stderr, "warning: %s\n", S.error().c_str());
+    return AllOk ? 0 : 1;
+  }
+  std::printf("\nwrote BENCH_sim.json\n");
+  return AllOk ? 0 : 1;
+}

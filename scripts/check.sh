@@ -85,10 +85,45 @@ for stem in mac dot3 scalar_adds; do
         "$out/batch/$stem.stats.json"
 done
 
+echo "== wave_diff sweep (interp vs netlist on every example program) =="
+# The differential-simulation oracle: run every example program's input
+# trace through both engines, emit reticle-wave-v1 streams, and require a
+# zero-divergence join on the shared port signals. A VCD streamed to
+# stdout must reach its dump section.
+for stem in mac dot3 scalar_adds; do
+    "$build/tools/reticlec" --device=small \
+        --run="$repo/examples/traces/$stem.trace.json" --sim=interp \
+        --wave-json="$out/$stem.interp.wave.jsonl" \
+        "$repo/examples/programs/$stem.ret"
+    "$build/tools/reticlec" --device=small \
+        --run="$repo/examples/traces/$stem.trace.json" --sim=netlist \
+        --wave-json="$out/$stem.netlist.wave.jsonl" \
+        "$repo/examples/programs/$stem.ret"
+    "$build/tools/json_check" --jsonl --require=schema \
+        "$out/$stem.interp.wave.jsonl"
+    "$build/tools/json_check" wave_diff \
+        "$out/$stem.interp.wave.jsonl" "$out/$stem.netlist.wave.jsonl"
+done
+"$build/tools/reticlec" --device=small \
+    --run="$repo/examples/traces/mac.trace.json" --sim=both --vcd=- \
+    "$repo/examples/programs/mac.ret" | grep -q '$enddefinitions'
+
 echo "== telemetry-free build (-DRETICLE_NO_TELEMETRY=ON) =="
 cmake -B "$repo/build-notelem" -S "$repo" -DRETICLE_NO_TELEMETRY=ON
 cmake --build "$repo/build-notelem" -j"$jobs"
 (cd "$repo/build-notelem" && ctest --output-on-failure -j"$jobs")
+# The compiled-out build still runs the differential oracle but must
+# reject the waveform writers as a usage error (exit 2).
+"$repo/build-notelem/tools/reticlec" --device=small \
+    --run="$repo/examples/traces/mac.trace.json" --sim=both \
+    "$repo/examples/programs/mac.ret"
+if "$repo/build-notelem/tools/reticlec" --device=small \
+    --run="$repo/examples/traces/mac.trace.json" --vcd=- \
+    "$repo/examples/programs/mac.ret" 2>/dev/null
+then
+    echo "error: --vcd accepted in a RETICLE_NO_TELEMETRY build" >&2
+    exit 1
+fi
 
 echo "== ThreadSanitizer build: concurrent batch compile =="
 cmake -B "$repo/build-tsan" -S "$repo" \

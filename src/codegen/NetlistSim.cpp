@@ -39,6 +39,16 @@ public:
   Bits &get(const std::string &Name) { return Table[idOf(Name)]; }
   const Bits &get(const std::string &Name) const { return Table[idOf(Name)]; }
 
+  /// Id-based access: names resolve to ids once per run, hot paths index
+  /// the flat table directly.
+  ir::ValueId lookup(const std::string &Name) const {
+    return Names.lookup(Name);
+  }
+  size_t size() const { return Table.size(); }
+  const std::string &name(ir::ValueId Id) const { return Names.name(Id); }
+  Bits &at(ir::ValueId Id) { return Table[Id]; }
+  const Bits &at(ir::ValueId Id) const { return Table[Id]; }
+
 private:
   ir::ValueId idOf(const std::string &Name) const {
     ir::ValueId Id = Names.lookup(Name);
@@ -364,109 +374,207 @@ Result<bool> sweep(const Module &M, SignalTable &Signals,
 Result<interp::Trace> reticle::codegen::simulate(const Module &M,
                                                  const interp::Trace &Input,
                                                  const obs::Context &Ctx) {
+  return simulate(M, Input, nullptr, Ctx);
+}
+
+Result<interp::Trace> reticle::codegen::simulate(const Module &M,
+                                                 const interp::Trace &Input,
+                                                 sim::WaveSink *Wave,
+                                                 const obs::Context &Ctx) {
   obs::Span Sp(Ctx, "sim.simulate");
   Sp.arg("module", M.name());
   Sp.arg("cycles", static_cast<uint64_t>(Input.size()));
   using TraceT = interp::Trace;
   SignalTable Signals;
-  std::vector<const verilog::Port *> Inputs, Outputs;
   auto WidthOf = [](const verilog::Port &P) {
     return P.Width == 0 ? 1u : P.Width;
   };
+  // Ports and internal signals resolve to table ids once per run; the
+  // cycle loop only indexes flat vectors.
+  struct BoundPort {
+    const verilog::Port *P;
+    ir::ValueId Id;
+    unsigned Width;
+  };
+  std::vector<BoundPort> Inputs, Outputs;
   for (const verilog::Port &P : M.ports()) {
     if (Status S = Signals.declare(P.Name, P.Width); !S)
       return fail<TraceT>(S.error());
     if (P.Name == "clock")
       continue;
-    (P.Direction == verilog::Dir::Input ? Inputs : Outputs).push_back(&P);
+    BoundPort B{&P, Signals.lookup(P.Name), WidthOf(P)};
+    (P.Direction == verilog::Dir::Input ? Inputs : Outputs).push_back(B);
   }
+  std::sort(Inputs.begin(), Inputs.end(),
+            [](const BoundPort &A, const BoundPort &B) {
+              return A.P->Name < B.P->Name;
+            });
   for (const Item &I : M.items())
     if (I.ItemKind == Item::Kind::Wire || I.ItemKind == Item::Kind::Reg)
       if (Status S = Signals.declare(I.Name, I.Width); !S)
         return fail<TraceT>(S.error());
 
-  // Initialize sequential state.
+  // Output steps are cloned from a prototype; the table ids and result
+  // types parallel the prototype's map order.
+  interp::Step Proto;
+  for (const BoundPort &B : Outputs)
+    Proto[B.P->Name] = interp::Value();
+  std::vector<std::pair<ir::ValueId, ir::Type>> ProtoSlots;
+  ProtoSlots.reserve(Proto.size());
+  for (const auto &KV : Proto) {
+    ir::ValueId Id = Signals.lookup(KV.first);
+    unsigned W = static_cast<unsigned>(Signals.at(Id).size());
+    // Ports wider than 64 bits (flattened vectors) are reported as bit
+    // vectors (i1<W>); callers compare through toBits().
+    ir::Type Ty = W == 1    ? ir::Type::makeBool()
+                  : W <= 64 ? ir::Type::makeInt(W)
+                            : ir::Type::makeInt(1, W);
+    ProtoSlots.emplace_back(Id, Ty);
+  }
+
+  // Initialize sequential state, resolving each element's clock-edge
+  // connections up front (one linear scan per run, not per cycle).
   SeqState State;
+  struct FdreConns {
+    const Expr *Ce, *R, *D;
+  };
+  std::map<size_t, FdreConns> FdreBind;
+  std::map<size_t, const Expr *> DspCep;
   const std::vector<Item> &Items = M.items();
   for (size_t Index = 0; Index < Items.size(); ++Index) {
     const Item &I = Items[Index];
     if (I.ItemKind != Item::Kind::Instance)
       continue;
-    if (I.ModuleName == "FDRE")
+    if (I.ModuleName == "FDRE") {
       State.FdreQ[Index] = Bits{paramOf(I, "INIT", 0) != 0};
-    else if (I.ModuleName == "DSP48E2" && paramOf(I, "PREG", 0))
+      FdreConns C{connOf(I, "CE"), connOf(I, "R"), connOf(I, "D")};
+      if (!C.Ce || !C.R || !C.D)
+        return fail<TraceT>("FDRE instance missing CE/R/D connection");
+      FdreBind[Index] = C;
+    } else if (I.ModuleName == "DSP48E2" && paramOf(I, "PREG", 0)) {
       State.DspP[Index] = fromUint(paramOf(I, "PINIT", 0), 48);
+      const Expr *Cep = connOf(I, "CEP");
+      if (!Cep)
+        return fail<TraceT>("DSP48E2 with PREG missing CEP connection");
+      DspCep[Index] = Cep;
+    }
   }
 
-  obs::Counter &Cycles = Ctx.counter("sim.cycles");
+  obs::Counter &SimCycles = Ctx.counter("sim.cycles");
+  obs::Counter &OwnCycles = Ctx.counter("netlist.cycles");
+  obs::Counter &Evals = Ctx.counter("netlist.evals");
+  obs::Counter &Sweeps = Ctx.counter("netlist.sweeps");
+
+  sim::WaveRecorder Rec(Wave, Ctx);
+  std::vector<ir::ValueId> WaveIds;
+  if (Rec.active()) {
+    std::vector<uint8_t> KindOf(Signals.size(),
+                                uint8_t(sim::WaveSignal::Kind::Internal));
+    for (const BoundPort &B : Inputs)
+      KindOf[B.Id] = uint8_t(sim::WaveSignal::Kind::Input);
+    for (const BoundPort &B : Outputs)
+      KindOf[B.Id] = uint8_t(sim::WaveSignal::Kind::Output);
+    std::vector<sim::WaveSignal> WaveSigs;
+    for (ir::ValueId Id = 0; Id < Signals.size(); ++Id) {
+      if (Signals.name(Id) == "clock")
+        continue;
+      WaveIds.push_back(Id);
+      WaveSigs.emplace_back(Signals.name(Id),
+                            static_cast<unsigned>(Signals.at(Id).size()),
+                            sim::WaveSignal::Kind(KindOf[Id]));
+    }
+    if (Status S = Rec.begin(std::move(WaveSigs)); !S)
+      return fail<TraceT>(S.error());
+  }
+
+  // Any mid-run failure still flushes the partial waveform.
+  auto Abort = [&](std::string Msg) {
+    Rec.finish(/*Aborted=*/true);
+    return fail<TraceT>(std::move(Msg));
+  };
+
   interp::Trace Output;
   for (size_t Cycle = 0; Cycle < Input.size(); ++Cycle) {
-    ++Cycles;
-    // Drive inputs.
-    for (const verilog::Port *P : Inputs) {
-      const interp::Value *V = Input.get(Cycle, P->Name);
-      if (!V)
-        return fail<TraceT>("cycle " + std::to_string(Cycle) + ": input '" +
-                            P->Name + "' missing from trace");
-      Bits B = V->toBits();
-      if (B.size() != WidthOf(*P))
-        return fail<TraceT>("input '" + P->Name + "' width mismatch");
-      Signals.get(P->Name) = std::move(B);
+    ++SimCycles;
+    ++OwnCycles;
+    // Drive inputs: the step map and the bound-port list are both
+    // name-ordered, so one merge walk binds everything.
+    const interp::Step &In = Input.step(Cycle);
+    auto It = In.begin();
+    for (const BoundPort &B : Inputs) {
+      while (It != In.end() && It->first < B.P->Name)
+        ++It;
+      if (It == In.end() || It->first != B.P->Name)
+        return Abort("cycle " + std::to_string(Cycle) + ": input '" +
+                     B.P->Name + "' missing from trace");
+      Bits V = It->second.toBits();
+      if (V.size() != B.Width)
+        return Abort("input '" + B.P->Name + "' width mismatch");
+      Signals.at(B.Id) = std::move(V);
     }
     // Settle combinational logic (the netlist is acyclic, so this
     // converges within the logic depth).
     size_t MaxSweeps = Items.size() + 2;
     for (size_t S = 0; S < MaxSweeps; ++S) {
+      ++Sweeps;
+      Evals += Items.size();
       Result<bool> Changed = sweep(M, Signals, State);
       if (!Changed)
-        return fail<TraceT>(Changed.error());
+        return Abort(Changed.error());
       if (!Changed.value())
         break;
       if (S + 1 == MaxSweeps)
-        return fail<TraceT>("netlist did not settle (combinational loop?)");
+        return Abort("netlist did not settle (combinational loop?)");
     }
-    // Sample outputs.
-    interp::Step &Out = Output.appendStep();
-    for (const verilog::Port *P : Outputs) {
-      const Bits &B = Signals.get(P->Name);
-      unsigned W = WidthOf(*P);
-      // Ports wider than 64 bits (flattened vectors) are reported as bit
-      // vectors (i1<W>); callers compare through toBits().
-      ir::Type Ty = W == 1    ? ir::Type::makeBool()
-                    : W <= 64 ? ir::Type::makeInt(W)
-                              : ir::Type::makeInt(1, W);
-      Out[P->Name] = interp::Value::fromBits(Ty, Bits(B.begin(),
-                                                      B.begin() + W));
+    // Sample outputs into a clone of the prototype step, filling values
+    // by map position.
+    Output.push(Proto);
+    interp::Step &Out = Output.steps().back();
+    size_t K = 0;
+    for (auto &KV : Out) {
+      const auto &[Id, Ty] = ProtoSlots[K++];
+      const Bits &B = Signals.at(Id);
+      KV.second = interp::Value::fromBits(
+          Ty, Bits(B.begin(), B.begin() + Ty.totalBits()));
+    }
+    // The waveform observes the settled post-sweep state: FDRE Q shows
+    // the value held during the cycle, matching the interpreter's
+    // pre-update register semantics.
+    if (Rec.active()) {
+      Rec.cycle(Cycle);
+      for (size_t W = 0; W < WaveIds.size(); ++W)
+        Rec.record(static_cast<unsigned>(W), Signals.at(WaveIds[W]));
     }
     // Clock edge: FDRE and DSP P registers capture.
     std::map<size_t, Bits> NextFdre = State.FdreQ;
     std::map<size_t, Bits> NextDsp = State.DspP;
     for (auto &[Index, Q] : NextFdre) {
-      const Item &I = Items[Index];
-      Result<Bits> Ce = evalExpr(*connOf(I, "CE"), Signals);
-      Result<Bits> R = evalExpr(*connOf(I, "R"), Signals);
-      Result<Bits> D = evalExpr(*connOf(I, "D"), Signals);
+      const FdreConns &C = FdreBind.at(Index);
+      Result<Bits> Ce = evalExpr(*C.Ce, Signals);
+      Result<Bits> R = evalExpr(*C.R, Signals);
+      Result<Bits> D = evalExpr(*C.D, Signals);
       if (!Ce || !R || !D)
-        return fail<TraceT>("FDRE input evaluation failed");
+        return Abort("FDRE input evaluation failed");
       if (R.value()[0])
         Q = Bits{false};
       else if (Ce.value()[0])
         Q = D.take();
     }
     for (auto &[Index, P] : NextDsp) {
-      const Item &I = Items[Index];
-      Result<Bits> Ce = evalExpr(*connOf(I, "CEP"), Signals);
+      Result<Bits> Ce = evalExpr(*DspCep.at(Index), Signals);
       if (!Ce)
-        return fail<TraceT>(Ce.error());
+        return Abort(Ce.error());
       if (!Ce.value()[0])
         continue;
-      Result<Bits> Comb = dspCombP(I, Signals);
+      Result<Bits> Comb = dspCombP(Items[Index], Signals);
       if (!Comb)
-        return fail<TraceT>(Comb.error());
+        return Abort(Comb.error());
       P = Comb.take();
     }
     State.FdreQ = std::move(NextFdre);
     State.DspP = std::move(NextDsp);
   }
+  if (Status S = Rec.finish(/*Aborted=*/false); !S)
+    return fail<TraceT>(S.error());
   return Output;
 }

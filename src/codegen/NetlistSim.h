@@ -23,6 +23,7 @@
 #define RETICLE_CODEGEN_NETLISTSIM_H
 
 #include "interp/Trace.h"
+#include "interp/Wave.h"
 #include "obs/Context.h"
 #include "support/Result.h"
 #include "verilog/Ast.h"
@@ -43,6 +44,16 @@ namespace codegen {
 /// ports can be driven with vector-typed values directly.
 Result<interp::Trace> simulate(const verilog::Module &Module,
                                const interp::Trace &Input,
+                               const obs::Context &Ctx = obs::defaultContext());
+
+/// As above, but additionally streams every signal (ports and internal
+/// wires/regs, except the implicit clock) into \p Wave cycle by cycle
+/// (null for no waveform) and counts `sim.cycles` / `netlist.*` into
+/// \p Ctx. A failing run still finishes the sink (aborted) so partial
+/// waveforms flush.
+Result<interp::Trace> simulate(const verilog::Module &Module,
+                               const interp::Trace &Input,
+                               sim::WaveSink *Wave,
                                const obs::Context &Ctx = obs::defaultContext());
 
 } // namespace codegen

@@ -134,6 +134,27 @@ Json reticle::core::statsJson(const CompileResult &Result,
   Timing.set("path", std::move(Path));
   Doc.set("timing", std::move(Timing));
 
+  // Simulation counters (populated by `reticlec --run` / the engines'
+  // wave-enabled entry points; all zero when nothing was simulated). The
+  // section exists in every build so consumers can rely on the shape; in
+  // RETICLE_NO_TELEMETRY builds the counters read as zero.
+  Json Sim = Json::object();
+  auto Count = [&](const char *Name) { return Ctx.counter(Name).load(); };
+  Sim.set("cycles", Count("sim.cycles"));
+  Sim.set("events", Count("sim.events"));
+  Sim.set("toggles", Count("sim.toggles"));
+  Sim.set("signals", Count("sim.signals"));
+  Json Interp = Json::object();
+  Interp.set("cycles", Count("interp.cycles"));
+  Interp.set("evals", Count("interp.evals"));
+  Sim.set("interp", std::move(Interp));
+  Json Netlist = Json::object();
+  Netlist.set("cycles", Count("netlist.cycles"));
+  Netlist.set("evals", Count("netlist.evals"));
+  Netlist.set("sweeps", Count("netlist.sweeps"));
+  Sim.set("netlist", std::move(Netlist));
+  Doc.set("sim", std::move(Sim));
+
 #ifndef RETICLE_NO_TELEMETRY
   Json Registry = Ctx.Telem->countersJson();
   if (const Json *Counters = Registry.find("counters"))

@@ -9,6 +9,7 @@
 #include "interp/Eval.h"
 #include "ir/Verifier.h"
 
+#include <algorithm>
 
 using namespace reticle;
 using namespace reticle::interp;
@@ -17,6 +18,13 @@ using ir::Instr;
 
 Result<Trace> reticle::interp::interpret(const Function &Fn,
                                          const Trace &Input) {
+  return interpret(Fn, Input, nullptr, obs::defaultContext());
+}
+
+Result<Trace> reticle::interp::interpret(const Function &Fn,
+                                         const Trace &Input,
+                                         sim::WaveSink *Wave,
+                                         const obs::Context &Ctx) {
   // WellFormedCheck (Algorithm 1, line 2): verify and split the body into a
   // topologically ordered pure queue P and a register queue R, seeding the
   // environment with register initial values.
@@ -41,19 +49,79 @@ Result<Trace> reticle::interp::interpret(const Function &Fn,
     Env[DU.dstIdOf(I)] = regInitValue(Body[I]);
   }
 
+  // Port names resolve to ids once per run, not once per cycle: input
+  // binding walks each step's ordered map in lockstep with the
+  // name-sorted port list, and the output step is cloned from a prototype
+  // whose map order is paired with a parallel id vector.
+  struct BoundInput {
+    const ir::Port *P;
+    ir::ValueId Id;
+  };
+  std::vector<BoundInput> SortedInputs;
+  SortedInputs.reserve(Fn.inputs().size());
+  for (const ir::Port &P : Fn.inputs())
+    SortedInputs.push_back({&P, DU.idOf(P.Name)});
+  std::sort(SortedInputs.begin(), SortedInputs.end(),
+            [](const BoundInput &A, const BoundInput &B) {
+              return A.P->Name < B.P->Name;
+            });
+
+  Step Proto;
+  for (const ir::Port &P : Fn.outputs())
+    Proto[P.Name] = Value();
+  std::vector<ir::ValueId> ProtoIds;
+  ProtoIds.reserve(Proto.size());
+  for (const auto &KV : Proto)
+    ProtoIds.push_back(DU.idOf(KV.first));
+
+  obs::Counter &SimCycles = Ctx.counter("sim.cycles");
+  obs::Counter &OwnCycles = Ctx.counter("interp.cycles");
+  obs::Counter &Evals = Ctx.counter("interp.evals");
+
+  sim::WaveRecorder Rec(Wave, Ctx);
+  if (Rec.active()) {
+    std::vector<sim::WaveSignal> Signals;
+    Signals.reserve(DU.numValues());
+    for (ir::ValueId Id = 0; Id < DU.numValues(); ++Id) {
+      sim::WaveSignal::Kind K = DU.isInputId(Id)
+                                    ? sim::WaveSignal::Kind::Input
+                                    : (DU.isLiveOut(Id)
+                                           ? sim::WaveSignal::Kind::Output
+                                           : sim::WaveSignal::Kind::Internal);
+      Signals.emplace_back(DU.nameOf(Id), DU.typeOfId(Id).totalBits(), K);
+    }
+    if (Status S = Rec.begin(std::move(Signals)); !S)
+      return fail<Trace>(S.error());
+  }
+
+  // Any mid-run failure still flushes the partial waveform.
+  auto Abort = [&](std::string Msg) {
+    Rec.finish(/*Aborted=*/true);
+    return fail<Trace>(std::move(Msg));
+  };
+
   Trace Output;
   for (size_t Cycle = 0; Cycle < Input.size(); ++Cycle) {
-    // Update(env, step_in, inputs): bind every declared input.
-    for (const ir::Port &P : Fn.inputs()) {
-      const Value *V = Input.get(Cycle, P.Name);
-      if (!V)
-        return fail<Trace>("cycle " + std::to_string(Cycle) +
-                           ": input '" + P.Name + "' missing from trace");
-      if (!(V->type() == P.Ty))
-        return fail<Trace>("cycle " + std::to_string(Cycle) + ": input '" +
-                           P.Name + "' has type " + V->type().str() +
-                           ", expected " + P.Ty.str());
-      Env[DU.idOf(P.Name)] = *V;
+    ++SimCycles;
+    ++OwnCycles;
+
+    // Update(env, step_in, inputs): bind every declared input. The step
+    // map and the bound-input list are both name-ordered, so one merge
+    // walk binds everything without per-cycle hashing.
+    const Step &In = Input.step(Cycle);
+    auto It = In.begin();
+    for (const BoundInput &B : SortedInputs) {
+      while (It != In.end() && It->first < B.P->Name)
+        ++It;
+      if (It == In.end() || It->first != B.P->Name)
+        return Abort("cycle " + std::to_string(Cycle) + ": input '" +
+                     B.P->Name + "' missing from trace");
+      const Value &V = It->second;
+      if (!(V.type() == B.P->Ty))
+        return Abort("cycle " + std::to_string(Cycle) + ": input '" +
+                     B.P->Name + "' has type " + V.type().str() +
+                     ", expected " + B.P->Ty.str());
+      Env[B.Id] = V;
     }
 
     // Eval(env, P): pure instructions in dependency order.
@@ -65,14 +133,27 @@ Result<Trace> reticle::interp::interpret(const Function &Fn,
         Args.push_back(Env[Arg]);
       Result<Value> V = evalPure(I, Args);
       if (!V)
-        return fail<Trace>(V.error());
+        return Abort(V.error());
       Env[DU.dstIdOf(Index)] = V.take();
     }
+    Evals += PureOrder.size();
 
-    // Step(env, outputs): snapshot declared outputs.
-    Step &Out = Output.appendStep();
-    for (const ir::Port &P : Fn.outputs())
-      Out[P.Name] = Env[DU.idOf(P.Name)];
+    // Step(env, outputs): snapshot declared outputs into a clone of the
+    // prototype step, filling values by map position.
+    Output.push(Proto);
+    Step &Out = Output.steps().back();
+    size_t K = 0;
+    for (auto &KV : Out)
+      KV.second = Env[ProtoIds[K++]];
+
+    // The waveform observes post-eval, pre-register-update state: inputs
+    // as bound, combinational values as computed, registers showing the
+    // value they held during the cycle (matching FDRE Q).
+    if (Rec.active()) {
+      Rec.cycle(Cycle);
+      for (ir::ValueId Id = 0; Id < DU.numValues(); ++Id)
+        Rec.record(Id, Env[Id].toBits());
+    }
 
     // Eval(env, R): all registers update simultaneously on the clock edge,
     // reading pre-update state.
@@ -83,8 +164,10 @@ Result<Trace> reticle::interp::interpret(const Function &Fn,
       NextStates.push_back(evalRegNext(Env[DU.dstIdOf(Index)],
                                        Env[ArgIds[0]], Env[ArgIds[1]]));
     }
-    for (size_t K = 0; K < RegIndices.size(); ++K)
-      Env[DU.dstIdOf(RegIndices[K])] = std::move(NextStates[K]);
+    for (size_t K2 = 0; K2 < RegIndices.size(); ++K2)
+      Env[DU.dstIdOf(RegIndices[K2])] = std::move(NextStates[K2]);
   }
+  if (Status S = Rec.finish(/*Aborted=*/false); !S)
+    return fail<Trace>(S.error());
   return Output;
 }

@@ -16,7 +16,9 @@
 #define RETICLE_INTERP_INTERP_H
 
 #include "interp/Trace.h"
+#include "interp/Wave.h"
 #include "ir/Function.h"
+#include "obs/Context.h"
 #include "support/Result.h"
 
 namespace reticle {
@@ -29,6 +31,15 @@ namespace interp {
 /// declared outputs. Fails when the function is ill-formed or the trace is
 /// incomplete or ill-typed.
 Result<Trace> interpret(const ir::Function &Fn, const Trace &Input);
+
+/// As above, but additionally streams every value (inputs, internal
+/// instruction results, registers, outputs) into \p Wave cycle by cycle
+/// (null for no waveform) and counts `sim.cycles` / `interp.*` into
+/// \p Ctx. A failing run still finishes the sink (aborted) so partial
+/// waveforms flush.
+Result<Trace> interpret(const ir::Function &Fn, const Trace &Input,
+                        sim::WaveSink *Wave,
+                        const obs::Context &Ctx = obs::defaultContext());
 
 } // namespace interp
 } // namespace reticle

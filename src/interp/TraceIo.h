@@ -1,0 +1,48 @@
+//===- interp/TraceIo.h - Input-trace parsing -------------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the `reticle-input-trace-v1` JSON document that `reticlec --run`
+/// feeds to the simulation engines:
+///
+///   {
+///     "schema": "reticle-input-trace-v1",
+///     "cycles": [
+///       {"a": 3, "b": -5, "en": true},
+///       {"a": [1, 2, 3, 4], "b": 0, "en": false}
+///     ]
+///   }
+///
+/// Each cycle object maps input-port names to values: booleans for `bool`
+/// ports, integers for scalar ports, and arrays with one integer per lane
+/// for vector ports. Values are canonicalized against the function's port
+/// types (wrapping like IR constants); every declared input must be
+/// present in every cycle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_INTERP_TRACEIO_H
+#define RETICLE_INTERP_TRACEIO_H
+
+#include "interp/Trace.h"
+#include "ir/Function.h"
+#include "support/Result.h"
+
+#include <string>
+
+namespace reticle {
+namespace sim {
+
+/// Parses \p Text as a `reticle-input-trace-v1` document and types it
+/// against \p Fn's input ports. Returns a trace with one fully-populated
+/// step per cycle, or a failure naming the first offending cycle/port.
+Result<interp::Trace> parseInputTrace(const std::string &Text,
+                                      const ir::Function &Fn);
+
+} // namespace sim
+} // namespace reticle
+
+#endif // RETICLE_INTERP_TRACEIO_H

@@ -1,0 +1,317 @@
+//===- interp/Wave.cpp - Per-cycle waveform sinks -------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Wave.h"
+
+#include "obs/Json.h"
+
+#include <algorithm>
+
+using namespace reticle;
+using namespace reticle::sim;
+
+std::string sim::bitsToString(const std::vector<bool> &Bits) {
+  std::string S;
+  S.reserve(Bits.size());
+  for (size_t I = Bits.size(); I-- > 0;)
+    S += Bits[I] ? '1' : '0';
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// WaveRecorder
+//===----------------------------------------------------------------------===//
+
+WaveRecorder::WaveRecorder(WaveSink *Sink, const obs::Context &Ctx)
+    : Sink(Sink) {
+  if (Sink) {
+    Events = &Ctx.counter("sim.events");
+    Toggles = &Ctx.counter("sim.toggles");
+    SignalsCount = &Ctx.counter("sim.signals");
+  }
+}
+
+Status WaveRecorder::begin(std::vector<WaveSignal> Sigs) {
+  if (!Sink)
+    return Status::success();
+  Signals = std::move(Sigs);
+  Last.assign(Signals.size(), {});
+  Seen.assign(Signals.size(), 0);
+  *SignalsCount += Signals.size();
+  return Sink->begin(Signals);
+}
+
+void WaveRecorder::cycle(uint64_t Cycle) {
+  if (Sink)
+    Sink->beginCycle(Cycle);
+}
+
+void WaveRecorder::record(unsigned Id, std::vector<bool> Bits) {
+  if (!Sink || Id >= Signals.size())
+    return;
+  Bits.resize(Signals[Id].Width, false);
+  bool Changed = !Seen[Id] || Bits != Last[Id];
+  ++*Events;
+  if (Changed && Toggles) {
+    if (!Seen[Id]) {
+      *Toggles += Bits.size();
+    } else {
+      uint64_t Flipped = 0;
+      for (size_t I = 0; I < Bits.size(); ++I)
+        Flipped += Bits[I] != Last[Id][I];
+      *Toggles += Flipped;
+    }
+  }
+  Sink->value(Id, Bits, Changed);
+  Seen[Id] = 1;
+  Last[Id] = std::move(Bits);
+}
+
+Status WaveRecorder::finish(bool Aborted) {
+  if (!Sink)
+    return Status::success();
+  return Sink->finish(Aborted);
+}
+
+//===----------------------------------------------------------------------===//
+// WaveCapture
+//===----------------------------------------------------------------------===//
+
+Status WaveCapture::begin(const std::vector<WaveSignal> &Signals) {
+  Sigs = Signals;
+  return Status::success();
+}
+
+void WaveCapture::beginCycle(uint64_t Cycle) {
+  ByCycle.resize(std::max<size_t>(ByCycle.size(), Cycle + 1));
+}
+
+void WaveCapture::value(unsigned Id, const std::vector<bool> &Bits,
+                        bool Changed) {
+  if (ByCycle.empty())
+    ByCycle.emplace_back();
+  ByCycle.back().push_back(Event{Id, Bits, Changed});
+}
+
+Status WaveCapture::finish(bool WasAborted) {
+  Done = true;
+  Aborted = WasAborted;
+  return Status::success();
+}
+
+const std::vector<bool> *WaveCapture::valueAt(uint64_t Cycle,
+                                              std::string_view Name) const {
+  if (Cycle >= ByCycle.size())
+    return nullptr;
+  for (const Event &E : ByCycle[Cycle])
+    if (E.Id < Sigs.size() && Sigs[E.Id].Name == Name)
+      return &E.Bits;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// replay
+//===----------------------------------------------------------------------===//
+
+Status sim::replay(
+    const std::vector<std::pair<const WaveCapture *, std::string>> &Sources,
+    WaveSink &Out) {
+  std::vector<WaveSignal> Merged;
+  std::vector<unsigned> Offset;
+  uint64_t Cycles = 0;
+  bool Aborted = false;
+  for (const auto &[Cap, Prefix] : Sources) {
+    Offset.push_back(static_cast<unsigned>(Merged.size()));
+    for (const WaveSignal &S : Cap->signals()) {
+      std::string Name = Prefix.empty() ? S.Name : Prefix + "." + S.Name;
+      Merged.emplace_back(std::move(Name), S.Width, S.SigKind);
+    }
+    Cycles = std::max(Cycles, Cap->cycles());
+    Aborted = Aborted || Cap->aborted();
+  }
+  if (Status S = Out.begin(Merged); !S.ok())
+    return S;
+  for (uint64_t C = 0; C < Cycles; ++C) {
+    Out.beginCycle(C);
+    for (size_t I = 0; I < Sources.size(); ++I) {
+      const WaveCapture &Cap = *Sources[I].first;
+      if (C >= Cap.cycles())
+        continue;
+      for (const WaveCapture::Event &E : Cap.eventsByCycle()[C])
+        Out.value(Offset[I] + E.Id, E.Bits, E.Changed);
+    }
+  }
+  return Out.finish(Aborted);
+}
+
+#ifndef RETICLE_NO_TELEMETRY
+
+//===----------------------------------------------------------------------===//
+// VcdWriter
+//===----------------------------------------------------------------------===//
+
+VcdWriter::VcdWriter(std::string Top) : Top(std::move(Top)) {}
+
+std::string VcdWriter::idCode(unsigned Id) {
+  // Base-94 over the printable ASCII range 33..126, least significant
+  // digit first; one character covers the first 94 signals.
+  std::string Code;
+  do {
+    Code += static_cast<char>(33 + Id % 94);
+    Id /= 94;
+  } while (Id > 0);
+  return Code;
+}
+
+Status VcdWriter::begin(const std::vector<WaveSignal> &Signals) {
+  Sigs = Signals;
+  Out += "$version reticle wave writer $end\n";
+  Out += "$timescale 1ns $end\n";
+  Out += "$scope module " + Top + " $end\n";
+
+  // Group dotted names (`interp.y`) into sub-scopes on the first dot,
+  // preserving first-appearance order; undotted names live in the top
+  // scope and are emitted first.
+  std::vector<std::string> ScopeOrder;
+  auto ScopeOf = [](const std::string &Name) {
+    size_t Dot = Name.find('.');
+    return Dot == std::string::npos ? std::string() : Name.substr(0, Dot);
+  };
+  auto LeafOf = [](const std::string &Name) {
+    size_t Dot = Name.find('.');
+    return Dot == std::string::npos ? Name : Name.substr(Dot + 1);
+  };
+  for (const WaveSignal &S : Sigs) {
+    std::string Scope = ScopeOf(S.Name);
+    if (!Scope.empty() &&
+        std::find(ScopeOrder.begin(), ScopeOrder.end(), Scope) ==
+            ScopeOrder.end())
+      ScopeOrder.push_back(Scope);
+  }
+  auto EmitVar = [&](unsigned Id) {
+    const WaveSignal &S = Sigs[Id];
+    std::string Leaf = LeafOf(S.Name);
+    Out += "$var wire " + std::to_string(S.Width) + " " + idCode(Id) + " " +
+           Leaf;
+    if (S.Width > 1)
+      Out += " [" + std::to_string(S.Width - 1) + ":0]";
+    Out += " $end\n";
+  };
+  for (unsigned Id = 0; Id < Sigs.size(); ++Id)
+    if (ScopeOf(Sigs[Id].Name).empty())
+      EmitVar(Id);
+  for (const std::string &Scope : ScopeOrder) {
+    Out += "$scope module " + Scope + " $end\n";
+    for (unsigned Id = 0; Id < Sigs.size(); ++Id)
+      if (ScopeOf(Sigs[Id].Name) == Scope)
+        EmitVar(Id);
+    Out += "$upscope $end\n";
+  }
+  Out += "$upscope $end\n";
+  Out += "$enddefinitions $end\n";
+
+  // Everything is unknown until its first recorded value — registers show
+  // as x before the first clock edge.
+  Out += "$dumpvars\n";
+  for (unsigned Id = 0; Id < Sigs.size(); ++Id) {
+    if (Sigs[Id].Width == 1)
+      Out += "x" + idCode(Id) + "\n";
+    else
+      Out += "bx " + idCode(Id) + "\n";
+  }
+  Out += "$end\n";
+  return Status::success();
+}
+
+void VcdWriter::beginCycle(uint64_t Cycle) {
+  Out += "#" + std::to_string(Cycle) + "\n";
+  LastCycle = Cycle;
+  AnyCycle = true;
+}
+
+void VcdWriter::value(unsigned Id, const std::vector<bool> &Bits,
+                      bool Changed) {
+  if (!Changed || Id >= Sigs.size())
+    return;
+  if (Sigs[Id].Width == 1) {
+    Out += Bits.empty() || !Bits[0] ? "0" : "1";
+    Out += idCode(Id) + "\n";
+    return;
+  }
+  Out += "b" + bitsToString(Bits) + " " + idCode(Id) + "\n";
+}
+
+Status VcdWriter::finish(bool Aborted) {
+  if (AnyCycle)
+    Out += "#" + std::to_string(LastCycle + 1) + "\n";
+  if (Aborted)
+    Out += "$comment aborted $end\n";
+  return Status::success();
+}
+
+//===----------------------------------------------------------------------===//
+// WaveJsonWriter
+//===----------------------------------------------------------------------===//
+
+WaveJsonWriter::WaveJsonWriter(std::string Top, std::string Engine)
+    : Top(std::move(Top)), Engine(std::move(Engine)) {}
+
+static const char *kindName(WaveSignal::Kind K) {
+  switch (K) {
+  case WaveSignal::Kind::Input:
+    return "input";
+  case WaveSignal::Kind::Output:
+    return "output";
+  case WaveSignal::Kind::Internal:
+    return "internal";
+  }
+  return "internal";
+}
+
+Status WaveJsonWriter::begin(const std::vector<WaveSignal> &Signals) {
+  Sigs = Signals;
+  obs::Json Header = obs::Json::object();
+  Header.set("schema", "reticle-wave-v1");
+  Header.set("top", Top);
+  Header.set("engine", Engine);
+  obs::Json List = obs::Json::array();
+  for (const WaveSignal &S : Sigs) {
+    obs::Json Sig = obs::Json::object();
+    Sig.set("name", S.Name);
+    Sig.set("width", S.Width);
+    Sig.set("kind", kindName(S.SigKind));
+    List.push(std::move(Sig));
+  }
+  Header.set("signals", std::move(List));
+  Out += Header.str() + "\n";
+  return Status::success();
+}
+
+void WaveJsonWriter::beginCycle(uint64_t C) {
+  Cycle = C;
+  Cycles = std::max(Cycles, C + 1);
+}
+
+void WaveJsonWriter::value(unsigned Id, const std::vector<bool> &Bits,
+                           bool /*Changed*/) {
+  if (Id >= Sigs.size())
+    return;
+  // Records are emitted for every signal every cycle (no suppression), so
+  // consumers can join on {cycle, signal} without reconstructing state.
+  Out += "{\"cycle\":" + std::to_string(Cycle) +
+         ",\"signal\":" + obs::Json::quote(Sigs[Id].Name) +
+         ",\"value\":\"" + bitsToString(Bits) + "\"}\n";
+}
+
+Status WaveJsonWriter::finish(bool Aborted) {
+  obs::Json Footer = obs::Json::object();
+  Footer.set("cycles", Cycles);
+  Footer.set("aborted", Aborted);
+  Out += Footer.str() + "\n";
+  return Status::success();
+}
+
+#endif // RETICLE_NO_TELEMETRY

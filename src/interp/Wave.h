@@ -1,0 +1,233 @@
+//===- interp/Wave.h - Per-cycle waveform sinks ----------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Execution observability for the two simulation engines. The semantics of
+/// a Reticle program are defined over per-cycle traces (Section 6.2); this
+/// layer makes those traces *watchable*: both the reference interpreter and
+/// the gate-level netlist simulator stream every port and named internal
+/// signal, cycle by cycle, into a `sim::WaveSink`.
+///
+/// The flow has three pieces:
+///
+///  - `WaveSink` — the engine-facing interface. An engine declares its
+///    signal set once (`begin`), marks each cycle (`beginCycle`), and
+///    reports every signal's flattened bit value (`value`). `finish`
+///    flushes; an aborted run (simulation error, cycle budget) still
+///    produces well-formed, truncated-but-parseable output, mirroring the
+///    remark-flush contract of failed compiles.
+///  - `WaveRecorder` — the engine-side driver. It owns last-value change
+///    detection (so writers can suppress no-change events), feeds the
+///    `sim.signals` / `sim.events` / `sim.toggles` counters, and forwards
+///    to an optional sink. With no sink attached every call is a no-op, so
+///    engines carry one unconditionally.
+///  - Writers — `VcdWriter` emits standard VCD (GTKWave / Surfer),
+///    `WaveJsonWriter` emits the re-parseable `reticle-wave-v1` JSONL
+///    stream that `json_check wave_diff` joins, and `WaveCapture` buffers
+///    events in memory so the driver can replay one or several engine runs
+///    (with per-engine name prefixes) into the file writers after the
+///    fact. The file writers are part of the telemetry surface and compile
+///    out under RETICLE_NO_TELEMETRY; capture and recorder stay, so engine
+///    signatures need no ifdefs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_INTERP_WAVE_H
+#define RETICLE_INTERP_WAVE_H
+
+#include "obs/Context.h"
+#include "support/Result.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace reticle {
+namespace sim {
+
+/// One declared waveform signal: a name, a flattened bit width, and which
+/// side of the design it lives on. The kind lets `wave_diff` restrict the
+/// differential oracle to the port signals both engines share.
+struct WaveSignal {
+  enum class Kind : uint8_t { Input, Output, Internal };
+
+  std::string Name;
+  unsigned Width = 1;
+  Kind SigKind = Kind::Internal;
+
+  WaveSignal() = default;
+  WaveSignal(std::string Name, unsigned Width, Kind K = Kind::Internal)
+      : Name(std::move(Name)), Width(Width == 0 ? 1 : Width), SigKind(K) {}
+};
+
+/// Renders flattened bits (LSB first, as Value::toBits produces) as the
+/// MSB-first binary string used by `reticle-wave-v1` records.
+std::string bitsToString(const std::vector<bool> &Bits);
+
+/// The engine-facing waveform interface. Calls arrive in strict order:
+/// one `begin`, then for each cycle one `beginCycle` followed by `value`
+/// calls (ids index the begin() signal list), then one `finish`.
+class WaveSink {
+public:
+  virtual ~WaveSink() = default;
+
+  /// Declares the full signal set. Must be called exactly once, first.
+  virtual Status begin(const std::vector<WaveSignal> &Signals) = 0;
+
+  /// Starts cycle \p Cycle (monotonically increasing from 0).
+  virtual void beginCycle(uint64_t Cycle) = 0;
+
+  /// Reports signal \p Id's value this cycle. \p Changed is false when the
+  /// bits equal the previous cycle's (writers may then suppress the
+  /// event); the first report of a signal is always marked changed.
+  virtual void value(unsigned Id, const std::vector<bool> &Bits,
+                     bool Changed) = 0;
+
+  /// Flushes. \p Aborted marks a run that stopped early (error or cycle
+  /// budget); the output must still be well-formed.
+  virtual Status finish(bool Aborted) = 0;
+};
+
+/// The engine-side recorder: change detection, counters, optional sink.
+/// Engines construct one per run; with a null sink every call is a cheap
+/// no-op, so the engine's per-cycle loop needs no branches beyond
+/// `active()`.
+class WaveRecorder {
+public:
+  WaveRecorder(WaveSink *Sink, const obs::Context &Ctx);
+
+  bool active() const { return Sink != nullptr; }
+
+  /// Declares the signals; counts them under `sim.signals`.
+  Status begin(std::vector<WaveSignal> Signals);
+
+  void cycle(uint64_t Cycle);
+
+  /// Records one value event: counts it under `sim.events`, counts the
+  /// changed bits under `sim.toggles`, normalizes the bit count to the
+  /// declared width, and forwards with the change flag.
+  void record(unsigned Id, std::vector<bool> Bits);
+
+  Status finish(bool Aborted);
+
+private:
+  WaveSink *Sink = nullptr;
+  obs::Counter *Events = nullptr;
+  obs::Counter *Toggles = nullptr;
+  obs::Counter *SignalsCount = nullptr;
+  std::vector<WaveSignal> Signals;
+  std::vector<std::vector<bool>> Last;
+  std::vector<uint8_t> Seen;
+};
+
+/// An in-memory sink: buffers every event so a run (complete or aborted)
+/// can be inspected by tests or replayed into file writers afterwards.
+class WaveCapture : public WaveSink {
+public:
+  struct Event {
+    unsigned Id = 0;
+    std::vector<bool> Bits;
+    bool Changed = true;
+  };
+
+  Status begin(const std::vector<WaveSignal> &Signals) override;
+  void beginCycle(uint64_t Cycle) override;
+  void value(unsigned Id, const std::vector<bool> &Bits,
+             bool Changed) override;
+  Status finish(bool Aborted) override;
+
+  const std::vector<WaveSignal> &signals() const { return Sigs; }
+  uint64_t cycles() const { return ByCycle.size(); }
+  bool finished() const { return Done; }
+  bool aborted() const { return Aborted; }
+  const std::vector<std::vector<Event>> &eventsByCycle() const {
+    return ByCycle;
+  }
+
+  /// The bits signal \p Name reported at \p Cycle, or null when absent.
+  const std::vector<bool> *valueAt(uint64_t Cycle,
+                                   std::string_view Name) const;
+
+private:
+  std::vector<WaveSignal> Sigs;
+  std::vector<std::vector<Event>> ByCycle;
+  bool Done = false;
+  bool Aborted = false;
+};
+
+/// Replays one or more captured runs into \p Out as a single stream.
+/// Each source's signals are renamed `<prefix>.<name>` when its prefix is
+/// nonempty (the driver uses `interp` / `netlist` in `--sim=both` runs).
+/// Cycles are interleaved in time order; the replay finishes aborted when
+/// any source run aborted.
+Status replay(
+    const std::vector<std::pair<const WaveCapture *, std::string>> &Sources,
+    WaveSink &Out);
+
+#ifndef RETICLE_NO_TELEMETRY
+
+/// Writes standard VCD into an in-memory buffer (the driver streams it to
+/// a file or stdout after the run, so aborted runs still flush). Signal
+/// names containing a '.' are split into `$scope module` groups on the
+/// first dot; all signals dump as `x` before their first recorded value,
+/// and unchanged values are suppressed.
+class VcdWriter : public WaveSink {
+public:
+  explicit VcdWriter(std::string Top = "reticle");
+
+  Status begin(const std::vector<WaveSignal> &Signals) override;
+  void beginCycle(uint64_t Cycle) override;
+  void value(unsigned Id, const std::vector<bool> &Bits,
+             bool Changed) override;
+  Status finish(bool Aborted) override;
+
+  const std::string &text() const { return Out; }
+
+  /// The short identifier code assigned to signal \p Id (base-94 over the
+  /// printable ASCII range, multi-character past 94 signals).
+  static std::string idCode(unsigned Id);
+
+private:
+  std::string Top;
+  std::string Out;
+  std::vector<WaveSignal> Sigs;
+  uint64_t LastCycle = 0;
+  bool AnyCycle = false;
+};
+
+/// Writes the `reticle-wave-v1` JSONL stream: one header line declaring
+/// the signal set, one record per signal per cycle (no suppression, so
+/// wave_diff joins without carrying state), and one footer line with the
+/// cycle count and abort flag.
+class WaveJsonWriter : public WaveSink {
+public:
+  WaveJsonWriter(std::string Top, std::string Engine);
+
+  Status begin(const std::vector<WaveSignal> &Signals) override;
+  void beginCycle(uint64_t Cycle) override;
+  void value(unsigned Id, const std::vector<bool> &Bits,
+             bool Changed) override;
+  Status finish(bool Aborted) override;
+
+  const std::string &text() const { return Out; }
+
+private:
+  std::string Top;
+  std::string Engine;
+  std::string Out;
+  std::vector<WaveSignal> Sigs;
+  uint64_t Cycle = 0;
+  uint64_t Cycles = 0;
+};
+
+#endif // RETICLE_NO_TELEMETRY
+
+} // namespace sim
+} // namespace reticle
+
+#endif // RETICLE_INTERP_WAVE_H

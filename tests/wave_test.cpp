@@ -1,0 +1,532 @@
+//===- tests/wave_test.cpp - Waveform observability tests ----------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The waveform layer end to end: the Trace convenience API the engines
+/// replay, the WaveRecorder's change detection and counters, the VCD and
+/// reticle-wave-v1 writers (including the abort-flush contract), the
+/// input-trace parser, and both engines driving a sink — with the
+/// interpreter and the gate-level simulator agreeing on every shared port
+/// signal, the property `json_check wave_diff` gates on in CI.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Wave.h"
+
+#include "codegen/NetlistSim.h"
+#include "core/Compiler.h"
+#include "core/Stats.h"
+#include "interp/Interp.h"
+#include "interp/TraceIo.h"
+#include "ir/Parser.h"
+#include "obs/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+using namespace reticle;
+using interp::Trace;
+using interp::Value;
+using obs::Json;
+using sim::WaveCapture;
+using sim::WaveRecorder;
+using sim::WaveSignal;
+
+namespace {
+
+const char *MacSource = R"(
+  def mac(a:i8, b:i8, c:i8, en:bool) -> (y:i8) {
+    t0:i8 = mul(a, b) @??;
+    t1:i8 = add(t0, c) @??;
+    y:i8 = reg[0](t1, en) @??;
+  }
+)";
+
+ir::Function parseOk(const char *Source) {
+  Result<ir::Function> Fn = ir::parseFunction(Source);
+  EXPECT_TRUE(Fn.ok()) << Fn.error();
+  return Fn.take();
+}
+
+Trace macTrace() {
+  Trace T;
+  ir::Type I8 = ir::Type::makeInt(8);
+  ir::Type B = ir::Type::makeBool();
+  for (int C = 0; C < 4; ++C) {
+    interp::Step &S = T.appendStep();
+    S["a"] = Value::splat(I8, C + 1);
+    S["b"] = Value::splat(I8, 2 * C - 1);
+    S["c"] = Value::splat(I8, -C);
+    S["en"] = Value::makeBool(C != 2);
+  }
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Trace convenience API
+//===----------------------------------------------------------------------===//
+
+TEST(TraceApi, SetGrowsTheTrace) {
+  Trace T;
+  ir::Type B = ir::Type::makeBool();
+  T.set(3, "a", Value::makeBool(true));
+  EXPECT_EQ(T.size(), 4u);
+  ASSERT_NE(T.get(3, "a"), nullptr);
+  EXPECT_EQ(T.get(3, "a")->toBits(), std::vector<bool>{true});
+  // The grown-over cycles exist but hold nothing.
+  EXPECT_EQ(T.get(1, "a"), nullptr);
+}
+
+TEST(TraceApi, GetMissingNameAndCycleReturnsNull) {
+  Trace T;
+  T.set(0, "a", Value::makeBool(false));
+  EXPECT_EQ(T.get(0, "b"), nullptr);
+  EXPECT_EQ(T.get(7, "a"), nullptr);
+}
+
+TEST(TraceApi, AppendStepFillsInPlace) {
+  Trace T;
+  interp::Step &S = T.appendStep();
+  S["x"] = Value::makeBool(true);
+  EXPECT_EQ(T.size(), 1u);
+  ASSERT_NE(T.get(0, "x"), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// bitsToString
+//===----------------------------------------------------------------------===//
+
+TEST(WaveBits, RendersMsbFirst) {
+  // LSB-first {1,0,0,1} is binary 1001.
+  EXPECT_EQ(sim::bitsToString({true, false, false, true}), "1001");
+  EXPECT_EQ(sim::bitsToString({true}), "1");
+  EXPECT_EQ(sim::bitsToString({}), "");
+}
+
+//===----------------------------------------------------------------------===//
+// WaveRecorder: change detection, width normalization, counters
+//===----------------------------------------------------------------------===//
+
+TEST(WaveRecorder, DetectsChangesAndCountsToggles) {
+  obs::Telemetry Telem;
+  obs::RemarkStream Rem;
+  obs::Context Ctx{&Telem, &Rem};
+  WaveCapture Cap;
+  WaveRecorder Rec(&Cap, Ctx);
+  EXPECT_TRUE(Rec.active());
+  ASSERT_TRUE(Rec.begin({WaveSignal("a", 4), WaveSignal("b", 1)}).ok());
+
+  Rec.cycle(0);
+  Rec.record(0, {true, false, true, false}); // 0101
+  Rec.record(1, {true});
+  Rec.cycle(1);
+  Rec.record(0, {true, false, true, false}); // unchanged
+  Rec.record(1, {false});                    // flipped
+  ASSERT_TRUE(Rec.finish(false).ok());
+
+  ASSERT_EQ(Cap.cycles(), 2u);
+  // First sight is always marked changed; repeats are not.
+  EXPECT_TRUE(Cap.eventsByCycle()[0][0].Changed);
+  EXPECT_TRUE(Cap.eventsByCycle()[0][1].Changed);
+  EXPECT_FALSE(Cap.eventsByCycle()[1][0].Changed);
+  EXPECT_TRUE(Cap.eventsByCycle()[1][1].Changed);
+  EXPECT_TRUE(Cap.finished());
+  EXPECT_FALSE(Cap.aborted());
+
+#ifndef RETICLE_NO_TELEMETRY
+  EXPECT_EQ(Ctx.counter("sim.signals").load(), 2u);
+  EXPECT_EQ(Ctx.counter("sim.events").load(), 4u);
+  // First sight toggles the full width (4 + 1); cycle 1 flips one bit.
+  EXPECT_EQ(Ctx.counter("sim.toggles").load(), 6u);
+#endif
+}
+
+TEST(WaveRecorder, NormalizesBitsToDeclaredWidth) {
+  WaveCapture Cap;
+  WaveRecorder Rec(&Cap, obs::defaultContext());
+  ASSERT_TRUE(Rec.begin({WaveSignal("w", 4)}).ok());
+  Rec.cycle(0);
+  Rec.record(0, {true}); // short: padded to 4 bits
+  ASSERT_TRUE(Rec.finish(false).ok());
+  const std::vector<bool> *V = Cap.valueAt(0, "w");
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->size(), 4u);
+  EXPECT_EQ(sim::bitsToString(*V), "0001");
+}
+
+TEST(WaveRecorder, NullSinkIsInert) {
+  obs::Telemetry Telem;
+  obs::RemarkStream Rem;
+  obs::Context Ctx{&Telem, &Rem};
+  WaveRecorder Rec(nullptr, Ctx);
+  EXPECT_FALSE(Rec.active());
+  ASSERT_TRUE(Rec.begin({WaveSignal("a", 1)}).ok());
+  Rec.cycle(0);
+  Rec.record(0, {true});
+  ASSERT_TRUE(Rec.finish(false).ok());
+  EXPECT_EQ(Ctx.counter("sim.events").load(), 0u);
+  EXPECT_EQ(Ctx.counter("sim.signals").load(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// replay: merging captures under per-engine prefixes
+//===----------------------------------------------------------------------===//
+
+TEST(WaveReplay, MergesSourcesWithPrefixes) {
+  WaveCapture A, B;
+  ASSERT_TRUE(A.begin({WaveSignal("y", 2)}).ok());
+  A.beginCycle(0);
+  A.value(0, {true, false}, true);
+  ASSERT_TRUE(A.finish(false).ok());
+  ASSERT_TRUE(B.begin({WaveSignal("y", 2)}).ok());
+  B.beginCycle(0);
+  B.value(0, {true, false}, true);
+  B.beginCycle(1);
+  B.value(0, {false, true}, true);
+  ASSERT_TRUE(B.finish(true).ok()); // one aborted source
+
+  WaveCapture Merged;
+  ASSERT_TRUE(sim::replay({{&A, "interp"}, {&B, "netlist"}}, Merged).ok());
+  ASSERT_EQ(Merged.signals().size(), 2u);
+  EXPECT_EQ(Merged.signals()[0].Name, "interp.y");
+  EXPECT_EQ(Merged.signals()[1].Name, "netlist.y");
+  // Cycle 1 only exists in B; the merge spans the longer run and carries
+  // the abort flag forward.
+  EXPECT_EQ(Merged.cycles(), 2u);
+  EXPECT_TRUE(Merged.aborted());
+  ASSERT_NE(Merged.valueAt(1, "netlist.y"), nullptr);
+  EXPECT_EQ(Merged.valueAt(1, "interp.y"), nullptr);
+}
+
+#ifndef RETICLE_NO_TELEMETRY
+
+//===----------------------------------------------------------------------===//
+// VcdWriter
+//===----------------------------------------------------------------------===//
+
+/// Checks the dump section line by line: after $enddefinitions every line
+/// must be a timestamp, a scalar change, a vector change, or one of the
+/// $dumpvars / $end / $comment keywords. Returns the first bad line.
+std::string checkVcdShape(const std::string &Text) {
+  std::istringstream In(Text);
+  std::string Line;
+  bool InDump = false;
+  while (std::getline(In, Line)) {
+    if (Line.find("$enddefinitions") != std::string::npos) {
+      InDump = true;
+      continue;
+    }
+    if (!InDump || Line.empty())
+      continue;
+    char C = Line[0];
+    if (C == '#' || C == '0' || C == '1' || C == 'b' || C == 'x' ||
+        C == '$')
+      continue;
+    return Line;
+  }
+  return {};
+}
+
+TEST(VcdWriter, IdCodesAreCompactAndUnique) {
+  EXPECT_EQ(sim::VcdWriter::idCode(0), "!");
+  EXPECT_EQ(sim::VcdWriter::idCode(93), "~");
+  EXPECT_EQ(sim::VcdWriter::idCode(94).size(), 2u);
+  std::set<std::string> Codes;
+  for (unsigned I = 0; I < 300; ++I)
+    Codes.insert(sim::VcdWriter::idCode(I));
+  EXPECT_EQ(Codes.size(), 300u);
+}
+
+TEST(VcdWriter, HeaderDumpAndSuppression) {
+  sim::VcdWriter W("top");
+  ASSERT_TRUE(W.begin({WaveSignal("s", 1), WaveSignal("v", 8)}).ok());
+  W.beginCycle(0);
+  W.value(0, {true}, true);
+  W.value(1, std::vector<bool>(8, false), true);
+  W.beginCycle(1);
+  W.value(0, {true}, false); // suppressed
+  W.value(1, {true, false, false, false, false, false, false, false}, true);
+  ASSERT_TRUE(W.finish(false).ok());
+  const std::string &T = W.text();
+
+  EXPECT_NE(T.find("$scope module top $end"), std::string::npos);
+  // Scalars carry no range; vectors do.
+  EXPECT_NE(T.find("$var wire 1 ! s $end"), std::string::npos);
+  EXPECT_NE(T.find("$var wire 8 \" v [7:0] $end"), std::string::npos);
+  // Everything dumps as x before its first value.
+  size_t Dump = T.find("$dumpvars");
+  ASSERT_NE(Dump, std::string::npos);
+  EXPECT_NE(T.find("x!", Dump), std::string::npos);
+  EXPECT_NE(T.find("bx \"", Dump), std::string::npos);
+  // Cycle 0 reports both signals; cycle 1 suppresses the unchanged scalar.
+  size_t C0 = T.find("#0");
+  size_t C1 = T.find("#1", C0 + 1);
+  ASSERT_NE(C1, std::string::npos);
+  EXPECT_NE(T.find("1!", C0), std::string::npos);
+  EXPECT_LT(T.find("1!", C0), C1);
+  EXPECT_EQ(T.find("1!", C1), std::string::npos);
+  EXPECT_NE(T.find("b00000001 \"", C1), std::string::npos);
+  // A closing timestamp follows the last cycle.
+  EXPECT_NE(T.find("#2", C1), std::string::npos);
+  EXPECT_EQ(checkVcdShape(T), "");
+}
+
+TEST(VcdWriter, DottedNamesBecomeScopes) {
+  sim::VcdWriter W("mac");
+  ASSERT_TRUE(W.begin({WaveSignal("interp.y", 8), WaveSignal("netlist.y", 8),
+                       WaveSignal("clk", 1)})
+                  .ok());
+  ASSERT_TRUE(W.finish(false).ok());
+  const std::string &T = W.text();
+  EXPECT_NE(T.find("$scope module interp $end"), std::string::npos);
+  EXPECT_NE(T.find("$scope module netlist $end"), std::string::npos);
+  // The leaf names drop the prefix inside their scope.
+  EXPECT_EQ(T.find("interp.y [7:0]"), std::string::npos);
+}
+
+TEST(VcdWriter, AbortStillFlushesWellFormedOutput) {
+  sim::VcdWriter W("t");
+  ASSERT_TRUE(W.begin({WaveSignal("a", 1)}).ok());
+  W.beginCycle(0);
+  W.value(0, {true}, true);
+  ASSERT_TRUE(W.finish(true).ok());
+  EXPECT_NE(W.text().find("$comment aborted $end"), std::string::npos);
+  EXPECT_EQ(checkVcdShape(W.text()), "");
+}
+
+//===----------------------------------------------------------------------===//
+// WaveJsonWriter: reticle-wave-v1
+//===----------------------------------------------------------------------===//
+
+TEST(WaveJsonWriter, EveryLineParsesAndNothingIsSuppressed) {
+  sim::WaveJsonWriter W("mac", "interp");
+  ASSERT_TRUE(W.begin({WaveSignal("a", 4, WaveSignal::Kind::Input),
+                       WaveSignal("y", 4, WaveSignal::Kind::Output)})
+                  .ok());
+  for (uint64_t C = 0; C < 3; ++C) {
+    W.beginCycle(C);
+    W.value(0, {true, false, false, false}, C == 0);
+    W.value(1, {false, true, false, false}, C == 0);
+  }
+  ASSERT_TRUE(W.finish(true).ok());
+
+  std::istringstream In(W.text());
+  std::string Line;
+  size_t Lines = 0, Records = 0;
+  Json Header, Footer;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    Result<Json> Doc = Json::parse(Line);
+    ASSERT_TRUE(Doc.ok()) << Line << ": " << Doc.error();
+    ++Lines;
+    if (Doc.value().find("schema"))
+      Header = Doc.take();
+    else if (Doc.value().find("signal"))
+      ++Records;
+    else
+      Footer = Doc.take();
+  }
+  // Header + footer + one record per signal per cycle, unsuppressed.
+  EXPECT_EQ(Lines, 2u + 3u * 2u);
+  EXPECT_EQ(Records, 6u);
+  ASSERT_TRUE(Header.isObject());
+  EXPECT_EQ(Header.find("schema")->asString(), "reticle-wave-v1");
+  EXPECT_EQ(Header.find("engine")->asString(), "interp");
+  ASSERT_EQ(Header.find("signals")->size(), 2u);
+  EXPECT_EQ(Header.find("signals")->items()[0].find("kind")->asString(),
+            "input");
+  ASSERT_TRUE(Footer.isObject());
+  EXPECT_EQ(Footer.find("cycles")->asInt(), 3);
+  EXPECT_TRUE(Footer.find("aborted")->asBool());
+}
+
+#endif // RETICLE_NO_TELEMETRY
+
+//===----------------------------------------------------------------------===//
+// Input-trace parsing (reticle-input-trace-v1)
+//===----------------------------------------------------------------------===//
+
+TEST(TraceIo, ParsesBoolIntAndVectorPorts) {
+  ir::Function Fn = parseOk(R"(
+    def f(a:i8, en:bool, v:i8<2>) -> (y:i8) {
+      y:i8 = add(a, a) @??;
+    }
+  )");
+  Result<Trace> T = sim::parseInputTrace(R"({
+    "schema": "reticle-input-trace-v1",
+    "cycles": [
+      {"a": -3, "en": true, "v": [1, 2]},
+      {"a": 7, "en": 0, "v": [-1, -2]}
+    ]
+  })",
+                                         Fn);
+  ASSERT_TRUE(T.ok()) << T.error();
+  ASSERT_EQ(T.value().size(), 2u);
+  EXPECT_EQ(T.value().get(0, "a")->str(), Value::splat(ir::Type::makeInt(8), -3).str());
+  EXPECT_EQ(T.value().get(1, "en")->str(), Value::makeBool(false).str());
+  EXPECT_EQ(T.value().get(0, "v")->toBits(),
+            Value::fromLanes(ir::Type::makeInt(8, 2), {1, 2}).toBits());
+}
+
+TEST(TraceIo, RejectsBadDocuments) {
+  ir::Function Fn = parseOk(R"(
+    def f(a:i8) -> (y:i8) {
+      y:i8 = add(a, a) @??;
+    }
+  )");
+  auto Err = [&](const char *Text) {
+    Result<Trace> T = sim::parseInputTrace(Text, Fn);
+    EXPECT_FALSE(T.ok()) << Text;
+    return T.ok() ? std::string() : T.error();
+  };
+  EXPECT_NE(Err(R"({"schema":"nope","cycles":[]})").find("schema"),
+            std::string::npos);
+  EXPECT_NE(Err(R"({"schema":"reticle-input-trace-v1","cycles":[{}]})")
+                .find("missing"),
+            std::string::npos);
+  EXPECT_NE(Err(R"({"schema":"reticle-input-trace-v1",
+                    "cycles":[{"a":1,"zz":2}]})")
+                .find("unknown input"),
+            std::string::npos);
+  EXPECT_FALSE(Err("not json").empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Engines driving sinks
+//===----------------------------------------------------------------------===//
+
+TEST(WaveEngines, InterpreterStreamsPortsAndInternals) {
+  ir::Function Fn = parseOk(MacSource);
+  Trace In = macTrace();
+  WaveCapture Cap;
+  Result<Trace> Out = interp::interpret(Fn, In, &Cap, obs::defaultContext());
+  ASSERT_TRUE(Out.ok()) << Out.error();
+
+  ASSERT_TRUE(Cap.finished());
+  EXPECT_FALSE(Cap.aborted());
+  EXPECT_EQ(Cap.cycles(), In.size());
+  std::map<std::string, WaveSignal::Kind> Kinds;
+  for (const WaveSignal &S : Cap.signals())
+    Kinds[S.Name] = S.SigKind;
+  EXPECT_EQ(Kinds.at("a"), WaveSignal::Kind::Input);
+  EXPECT_EQ(Kinds.at("en"), WaveSignal::Kind::Input);
+  EXPECT_EQ(Kinds.at("y"), WaveSignal::Kind::Output);
+  EXPECT_EQ(Kinds.at("t0"), WaveSignal::Kind::Internal);
+  EXPECT_EQ(Kinds.at("t1"), WaveSignal::Kind::Internal);
+  // The streamed output values are exactly the returned trace's.
+  for (size_t C = 0; C < In.size(); ++C) {
+    const std::vector<bool> *V = Cap.valueAt(C, "y");
+    ASSERT_NE(V, nullptr) << C;
+    EXPECT_EQ(*V, Out.value().get(C, "y")->toBits()) << C;
+  }
+}
+
+TEST(WaveEngines, InterpreterAbortFlushesTruncatedCapture) {
+  ir::Function Fn = parseOk(MacSource);
+  Trace In = macTrace();
+  In.steps()[2].erase("b"); // starve cycle 2
+  WaveCapture Cap;
+  Result<Trace> Out = interp::interpret(Fn, In, &Cap, obs::defaultContext());
+  ASSERT_FALSE(Out.ok());
+  EXPECT_NE(Out.error().find("cycle 2"), std::string::npos);
+  // The sink was finished (aborted) and holds the completed cycles.
+  EXPECT_TRUE(Cap.finished());
+  EXPECT_TRUE(Cap.aborted());
+  EXPECT_EQ(Cap.cycles(), 2u);
+  ASSERT_NE(Cap.valueAt(1, "y"), nullptr);
+#ifndef RETICLE_NO_TELEMETRY
+  // Replaying the truncated capture still renders well-formed VCD.
+  sim::VcdWriter W("mac");
+  ASSERT_TRUE(sim::replay({{&Cap, ""}}, W).ok());
+  EXPECT_NE(W.text().find("$comment aborted $end"), std::string::npos);
+  EXPECT_EQ(checkVcdShape(W.text()), "");
+#endif
+}
+
+TEST(WaveEngines, NetlistAndInterpreterAgreeOnSharedPorts) {
+  ir::Function Fn = parseOk(MacSource);
+  Trace In = macTrace();
+
+  WaveCapture InterpCap;
+  Result<Trace> Ref = interp::interpret(Fn, In, &InterpCap, obs::defaultContext());
+  ASSERT_TRUE(Ref.ok()) << Ref.error();
+
+  core::CompileOptions Options;
+  Options.Dev = device::Device::small();
+  Result<core::CompileResult> R = core::compile(Fn, Options);
+  ASSERT_TRUE(R.ok()) << R.error();
+  WaveCapture NetCap;
+  Result<Trace> Got = codegen::simulate(R.value().Verilog, In, &NetCap,
+                                        obs::defaultContext());
+  ASSERT_TRUE(Got.ok()) << Got.error();
+
+  ASSERT_EQ(NetCap.cycles(), InterpCap.cycles());
+  // The wave_diff property: every port signal both engines declare agrees
+  // bit for bit, every cycle.
+  std::set<std::string> NetPorts;
+  for (const WaveSignal &S : NetCap.signals())
+    if (S.SigKind != WaveSignal::Kind::Internal)
+      NetPorts.insert(S.Name);
+  size_t Shared = 0;
+  for (const WaveSignal &S : InterpCap.signals()) {
+    if (S.SigKind == WaveSignal::Kind::Internal || !NetPorts.count(S.Name))
+      continue;
+    ++Shared;
+    for (uint64_t C = 0; C < InterpCap.cycles(); ++C) {
+      const std::vector<bool> *A = InterpCap.valueAt(C, S.Name);
+      const std::vector<bool> *B = NetCap.valueAt(C, S.Name);
+      ASSERT_NE(A, nullptr) << S.Name << " cycle " << C;
+      ASSERT_NE(B, nullptr) << S.Name << " cycle " << C;
+      EXPECT_EQ(sim::bitsToString(*A), sim::bitsToString(*B))
+          << S.Name << " cycle " << C;
+    }
+  }
+  EXPECT_EQ(Shared, 5u); // a, b, c, en, y
+}
+
+//===----------------------------------------------------------------------===//
+// The stats document's sim section
+//===----------------------------------------------------------------------===//
+
+TEST(WaveStats, SimSectionReflectsTheRun) {
+  ir::Function Fn = parseOk(MacSource);
+  Trace In = macTrace();
+
+  obs::Telemetry Telem;
+  obs::RemarkStream Rem;
+  obs::Context Ctx{&Telem, &Rem};
+  WaveCapture Cap;
+  ASSERT_TRUE(interp::interpret(Fn, In, &Cap, Ctx).ok());
+
+  core::CompileOptions Options;
+  Options.Dev = device::Device::small();
+  Result<core::CompileResult> R = core::compile(Fn, Options);
+  ASSERT_TRUE(R.ok()) << R.error();
+
+  Json Doc = core::statsJson(R.value(), "mac.ret", Ctx);
+  const Json *Sim = Doc.find("sim");
+  ASSERT_NE(Sim, nullptr);
+  // The section always exists with the full shape.
+  ASSERT_NE(Sim->find("cycles"), nullptr);
+  ASSERT_NE(Sim->find("events"), nullptr);
+  ASSERT_NE(Sim->find("toggles"), nullptr);
+  ASSERT_NE(Sim->find("signals"), nullptr);
+  ASSERT_NE(Sim->find("interp"), nullptr);
+  ASSERT_NE(Sim->find("netlist"), nullptr);
+#ifndef RETICLE_NO_TELEMETRY
+  EXPECT_EQ(Sim->find("cycles")->asInt(), 4);
+  EXPECT_EQ(Sim->find("interp")->find("cycles")->asInt(), 4);
+  EXPECT_GT(Sim->find("interp")->find("evals")->asInt(), 0);
+  EXPECT_EQ(Sim->find("signals")->asInt(), 7); // a b c en t0 t1 y
+  EXPECT_GT(Sim->find("events")->asInt(), 0);
+#else
+  EXPECT_EQ(Sim->find("cycles")->asInt(), 0);
+#endif
+}
+
+} // namespace

@@ -34,6 +34,18 @@
 /// the streams agree, 1 when they differ, 2 when an input is unusable —
 /// the same contract as diff(1), so CI can gate on remark drift.
 ///
+/// A third mode compares two waveform streams:
+///   json_check wave_diff [--json] [--all-signals] <a.jsonl> <b.jsonl>
+/// Both files are "reticle-wave-v1" JSONL streams (reticlec --wave-json).
+/// Records are joined on {cycle, signal}. By default only signals that
+/// both headers mark as ports (kind "input"/"output") are compared —
+/// internal signals legitimately differ between engines; --all-signals
+/// compares every shared signal. The first divergence is reported as
+/// (cycle, signal, expected, actual), with totals; --json emits one
+/// "reticle-wave-diff-v1" document. Exit 0 when the waves agree, 1 when
+/// they diverge (including cycle-count mismatch), 2 when an input is
+/// unusable or no signal is comparable.
+///
 //===----------------------------------------------------------------------===//
 
 #include "obs/Json.h"
@@ -327,11 +339,255 @@ int runRemarkDiff(int Argc, char **Argv) {
   return Added + Removed + Changed ? 1 : 0;
 }
 
+/// One parsed "reticle-wave-v1" stream, indexed for the cycle/signal join.
+struct WaveStream {
+  std::vector<std::string> SignalOrder; ///< header order
+  std::map<std::string, std::string> Kinds; ///< name -> input/output/internal
+  /// Values[signal][cycle] = MSB-first bit string.
+  std::map<std::string, std::map<uint64_t, std::string>> Values;
+  uint64_t Cycles = 0; ///< footer count, else max record cycle + 1
+  bool HasKinds = false;
+  bool Aborted = false;
+};
+
+/// Loads a "reticle-wave-v1" JSONL stream. Returns false and sets
+/// \p Error when the file is missing, malformed, or not a wave stream.
+bool loadWave(const std::string &Path, WaveStream &Out, std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = Path + ": cannot open";
+    return false;
+  }
+  std::string Line;
+  size_t LineNo = 0;
+  bool SawHeader = false;
+  uint64_t MaxCycle = 0;
+  bool SawRecord = false;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue;
+    Result<Json> Doc = Json::parse(Line);
+    if (!Doc) {
+      Error = Path + ": line " + std::to_string(LineNo) +
+              ": malformed JSON: " + Doc.error();
+      return false;
+    }
+    const Json &R = Doc.value();
+    if (!R.isObject()) {
+      Error = Path + ": line " + std::to_string(LineNo) + ": not an object";
+      return false;
+    }
+    if (const Json *Schema = R.find("schema")) {
+      // Header line: declares the signal inventory.
+      if (!Schema->isString() || Schema->asString() != "reticle-wave-v1") {
+        Error = Path + ": schema is not \"reticle-wave-v1\"";
+        return false;
+      }
+      SawHeader = true;
+      if (const Json *Signals = R.find("signals"); Signals && Signals->isArray())
+        for (const Json &Sig : Signals->items()) {
+          const Json *Name = Sig.isObject() ? Sig.find("name") : nullptr;
+          if (!Name || !Name->isString())
+            continue;
+          Out.SignalOrder.push_back(Name->asString());
+          if (const Json *Kind = Sig.find("kind"); Kind && Kind->isString()) {
+            Out.Kinds[Name->asString()] = Kind->asString();
+            Out.HasKinds = true;
+          }
+        }
+      continue;
+    }
+    if (const Json *Sig = R.find("signal")) {
+      // Value record.
+      const Json *Cycle = R.find("cycle");
+      const Json *Value = R.find("value");
+      if (!Sig->isString() || !Cycle || !Cycle->isNumber() || !Value ||
+          !Value->isString()) {
+        Error = Path + ": line " + std::to_string(LineNo) +
+                ": bad value record";
+        return false;
+      }
+      uint64_t C = static_cast<uint64_t>(Cycle->asInt());
+      Out.Values[Sig->asString()][C] = Value->asString();
+      MaxCycle = std::max(MaxCycle, C);
+      SawRecord = true;
+      continue;
+    }
+    if (const Json *Cycles = R.find("cycles"); Cycles && Cycles->isNumber()) {
+      // Footer line.
+      Out.Cycles = static_cast<uint64_t>(Cycles->asInt());
+      if (const Json *Ab = R.find("aborted"); Ab && Ab->isBool())
+        Out.Aborted = Ab->asBool();
+      continue;
+    }
+    // Foreign line: tolerate, mirroring loadRemarks.
+  }
+  if (!SawHeader) {
+    Error = Path + ": no reticle-wave-v1 header line";
+    return false;
+  }
+  if (Out.Cycles == 0 && SawRecord)
+    Out.Cycles = MaxCycle + 1;
+  return true;
+}
+
+/// `json_check wave_diff [--json] [--all-signals] a.jsonl b.jsonl`: joins
+/// two wave streams on {cycle, signal} and reports divergences. Exit 0
+/// identical, 1 divergent, 2 unusable input or nothing comparable.
+int runWaveDiff(int Argc, char **Argv) {
+  bool AsJson = false;
+  bool AllSignals = false;
+  std::vector<std::string> Paths;
+  auto Usage = [&] {
+    std::fprintf(stderr,
+                 "usage: %s wave_diff [--json] [--all-signals] "
+                 "<a.jsonl> <b.jsonl>\n",
+                 Argv[0]);
+    return 2;
+  };
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--json")
+      AsJson = true;
+    else if (Arg == "--all-signals")
+      AllSignals = true;
+    else if (!Arg.empty() && Arg[0] == '-')
+      return Usage();
+    else
+      Paths.push_back(Arg);
+  }
+  if (Paths.size() != 2)
+    return Usage();
+
+  WaveStream A, B;
+  std::string Error;
+  if (!loadWave(Paths[0], A, Error) || !loadWave(Paths[1], B, Error)) {
+    std::fprintf(stderr, "json_check: %s\n", Error.c_str());
+    return 2;
+  }
+
+  // Comparable set: signals present in both headers, restricted to ports
+  // (kind input/output) unless --all-signals or either header lacks kind
+  // annotations. Order follows A's header.
+  auto IsPort = [](const WaveStream &W, const std::string &Name) {
+    auto It = W.Kinds.find(Name);
+    return It != W.Kinds.end() &&
+           (It->second == "input" || It->second == "output");
+  };
+  bool PortsOnly = !AllSignals && A.HasKinds && B.HasKinds;
+  std::vector<std::string> Shared;
+  for (const std::string &Name : A.SignalOrder) {
+    if (std::find(B.SignalOrder.begin(), B.SignalOrder.end(), Name) ==
+        B.SignalOrder.end())
+      continue;
+    if (PortsOnly && !(IsPort(A, Name) && IsPort(B, Name)))
+      continue;
+    Shared.push_back(Name);
+  }
+  if (Shared.empty()) {
+    std::fprintf(stderr,
+                 "json_check: %s vs %s: no comparable signals "
+                 "(%zu vs %zu in headers%s)\n",
+                 Paths[0].c_str(), Paths[1].c_str(), A.SignalOrder.size(),
+                 B.SignalOrder.size(),
+                 PortsOnly ? "; ports only, try --all-signals" : "");
+    return 2;
+  }
+
+  uint64_t Cycles = std::min(A.Cycles, B.Cycles);
+  uint64_t Divergences = 0, Compared = 0;
+  bool HaveFirst = false;
+  uint64_t FirstCycle = 0;
+  std::string FirstSignal, FirstA, FirstB;
+  Json Details = Json::array();
+  for (uint64_t C = 0; C < Cycles; ++C)
+    for (const std::string &Name : Shared) {
+      auto ValueAt = [C](const WaveStream &W,
+                         const std::string &Sig) -> const std::string * {
+        auto SigIt = W.Values.find(Sig);
+        if (SigIt == W.Values.end())
+          return nullptr;
+        auto CycIt = SigIt->second.find(C);
+        return CycIt == SigIt->second.end() ? nullptr : &CycIt->second;
+      };
+      const std::string *Va = ValueAt(A, Name);
+      const std::string *Vb = ValueAt(B, Name);
+      if (!Va && !Vb)
+        continue;
+      ++Compared;
+      std::string Sa = Va ? *Va : "<missing>";
+      std::string Sb = Vb ? *Vb : "<missing>";
+      if (Sa == Sb)
+        continue;
+      ++Divergences;
+      if (!HaveFirst) {
+        HaveFirst = true;
+        FirstCycle = C;
+        FirstSignal = Name;
+        FirstA = Sa;
+        FirstB = Sb;
+      }
+      if (Details.size() < 32) {
+        Json Entry = Json::object();
+        Entry.set("cycle", C);
+        Entry.set("signal", Name);
+        Entry.set("expected", Sa);
+        Entry.set("actual", Sb);
+        Details.push(std::move(Entry));
+      }
+    }
+
+  bool CycleMismatch = A.Cycles != B.Cycles;
+  bool Diverged = Divergences > 0 || CycleMismatch;
+
+  if (AsJson) {
+    Json Doc = Json::object();
+    Doc.set("schema", "reticle-wave-diff-v1");
+    Doc.set("a", Paths[0]);
+    Doc.set("b", Paths[1]);
+    Doc.set("cycles_a", A.Cycles);
+    Doc.set("cycles_b", B.Cycles);
+    Doc.set("signals_compared", static_cast<uint64_t>(Shared.size()));
+    Doc.set("values_compared", Compared);
+    Doc.set("divergences", Divergences);
+    if (HaveFirst) {
+      Json First = Json::object();
+      First.set("cycle", FirstCycle);
+      First.set("signal", FirstSignal);
+      First.set("expected", FirstA);
+      First.set("actual", FirstB);
+      Doc.set("first_divergence", std::move(First));
+    }
+    Doc.set("details", std::move(Details));
+    Doc.set("identical", !Diverged);
+    std::fputs((Doc.str(2) + "\n").c_str(), stdout);
+  } else {
+    if (HaveFirst)
+      std::printf("wave diff: first divergence at cycle %llu, signal '%s': "
+                  "expected %s, actual %s\n",
+                  static_cast<unsigned long long>(FirstCycle),
+                  FirstSignal.c_str(), FirstA.c_str(), FirstB.c_str());
+    if (CycleMismatch)
+      std::printf("wave diff: cycle count mismatch: %llu vs %llu\n",
+                  static_cast<unsigned long long>(A.Cycles),
+                  static_cast<unsigned long long>(B.Cycles));
+    std::printf("wave diff: %llu divergence(s) over %llu value(s), "
+                "%zu signal(s), %llu cycle(s)\n",
+                static_cast<unsigned long long>(Divergences),
+                static_cast<unsigned long long>(Compared), Shared.size(),
+                static_cast<unsigned long long>(Cycles));
+  }
+  return Diverged ? 1 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   if (Argc > 1 && std::string(Argv[1]) == "remark_diff")
     return runRemarkDiff(Argc, Argv);
+  if (Argc > 1 && std::string(Argv[1]) == "wave_diff")
+    return runWaveDiff(Argc, Argv);
   std::string FilePath;
   std::vector<std::string> Required, NonEmpty, Events, Remarks;
   bool Jsonl = false;
@@ -357,8 +613,10 @@ int main(int Argc, char **Argv) {
                    "[--nonempty=<path>] [--has-event=<name>] "
                    "[--has-remark=<stage>] [--batch-summary] "
                    "<file.json>\n"
-                   "       %s remark_diff [--json] <a.jsonl> <b.jsonl>\n",
-                   Argv[0], Argv[0]);
+                   "       %s remark_diff [--json] <a.jsonl> <b.jsonl>\n"
+                   "       %s wave_diff [--json] [--all-signals] "
+                   "<a.jsonl> <b.jsonl>\n",
+                   Argv[0], Argv[0], Argv[0]);
       return 2;
     } else
       FilePath = Arg;

@@ -40,6 +40,19 @@
 ///     --version                              print the version and exit
 ///     -o <file>                              write output to a file
 ///
+/// Run mode executes the compiled program instead of printing an
+/// artifact: the input trace (reticle-input-trace-v1 JSON) drives the
+/// reference interpreter, the gate-level netlist simulator, or both
+/// (checking them against each other cycle for cycle):
+///     --run=<trace.json>                     execute over this input trace
+///     --cycles=N                             simulate only the first N cycles
+///     --sim=interp|netlist|both              engine selection (both)
+///     --vcd=<file|->                         waveform as standard VCD
+///     --wave-json=<file|->                   waveform as reticle-wave-v1 JSONL
+/// Waveforms flush even when a run aborts mid-simulation; in a
+/// RETICLE_NO_TELEMETRY build --run works but the waveform flags are
+/// rejected. --sim=both exits 1 on the first interp/netlist divergence.
+///
 /// With more than one input the driver switches to batch mode and
 /// compiles every program concurrently, one CompileSession per input:
 ///     --jobs=N                               worker threads (default: cores)
@@ -70,6 +83,10 @@
 #include "core/Pipeline.h"
 #include "core/Session.h"
 #include "core/Stats.h"
+#include "codegen/NetlistSim.h"
+#include "interp/Interp.h"
+#include "interp/TraceIo.h"
+#include "interp/Wave.h"
 #include "ir/Parser.h"
 #include "obs/Remarks.h"
 #include "obs/Report.h"
@@ -118,9 +135,12 @@ int usage(const char *Argv0) {
                "[--print-before=<name>] "
                "[--jobs=N] [--out-dir=<dir>] "
                "[-o <file>] <input.ret> [<input2.ret> ...]\n"
+               "       %s --run=<trace.json> [--cycles=N] "
+               "[--sim=interp|netlist|both] [--vcd=<file|->] "
+               "[--wave-json=<file|->] <input.ret>\n"
                "       %s --dump-target\n"
                "       %s --version\n",
-               Argv0, Argv0, Argv0);
+               Argv0, Argv0, Argv0, Argv0);
   return 2;
 }
 
@@ -185,6 +205,13 @@ struct DriverArgs {
   unsigned Jobs = 0;
   bool Stats = false;
   core::CompileOptions Options;
+  std::string RunTracePath;
+  std::string SimEngine = "both";
+  std::string VcdPath;
+  std::string WaveJsonPath;
+  uint64_t Cycles = 0;
+  bool CyclesSet = false;
+  bool SimSet = false;
 };
 
 /// The compile error message for a failed pipeline run: parse failures
@@ -357,6 +384,194 @@ int runSingle(const DriverArgs &Args) {
   if (!Out)
     return usageError("cannot write '" + Args.OutputPath + "'");
   Out << Output;
+  return 0;
+}
+
+/// Compiles one input, then executes it over the --run input trace with
+/// the selected engine(s), streaming waveforms and checking both engines
+/// against each other in --sim=both mode.
+int runExecute(const DriverArgs &Args) {
+  const std::string &InputPath = Args.Inputs.front();
+  std::ifstream In(InputPath);
+  if (!In)
+    return usageError("cannot open '" + InputPath + "'");
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Source = Buffer.str();
+
+  std::ifstream TraceIn(Args.RunTracePath);
+  if (!TraceIn)
+    return usageError("cannot open '" + Args.RunTracePath + "'");
+  std::stringstream TraceBuffer;
+  TraceBuffer << TraceIn.rdbuf();
+
+  core::CompileSession Session;
+  if (!Args.TracePath.empty())
+    Session.telemetry().enableTracing();
+  if (!Args.RemarksPath.empty() || !Args.RemarksJsonPath.empty())
+    Session.remarks().enable();
+
+  Result<core::CompileResult> R =
+      core::compileSource(Source, InputPath, Args.Options, Session);
+
+  // Remarks and traces flush whether or not the compile or the
+  // simulation succeeded, mirroring runSingle.
+  auto FlushDiagnostics = [&]() -> Status {
+    if (!Args.RemarksPath.empty()) {
+      if (Args.RemarksPath == "-") {
+        std::fputs(Session.remarks().text().c_str(), stdout);
+      } else if (Status S = Session.remarks().writeText(Args.RemarksPath);
+                 !S) {
+        return S;
+      }
+    }
+    if (!Args.RemarksJsonPath.empty()) {
+      if (Args.RemarksJsonPath == "-") {
+        std::fputs(Session.remarks().jsonl(InputPath).c_str(), stdout);
+      } else if (Status S = Session.remarks().writeJsonl(
+                     Args.RemarksJsonPath, InputPath);
+                 !S) {
+        return S;
+      }
+    }
+    if (!Args.TracePath.empty()) {
+      if (Args.TracePath == "-") {
+        std::fputs((Session.telemetry().traceJson() + "\n").c_str(), stdout);
+      } else if (Status S = Session.telemetry().writeTrace(Args.TracePath);
+                 !S) {
+        return S;
+      }
+    }
+    return Status::success();
+  };
+
+  if (!R) {
+    if (Status S = FlushDiagnostics(); !S)
+      std::fprintf(stderr, "reticlec: error: %s\n", S.error().c_str());
+    return compileError(pipelineErrorMessage(Session, InputPath, R.error()));
+  }
+
+  // The interpreter engine executes the source program; the netlist
+  // engine executes the compiled structural Verilog.
+  Result<ir::Function> Fn = ir::parseFunction(Source);
+  if (!Fn)
+    return compileError(InputPath + ": " + Fn.error());
+
+  Result<interp::Trace> InputTrace =
+      sim::parseInputTrace(TraceBuffer.str(), Fn.value());
+  if (!InputTrace) {
+    if (Status S = FlushDiagnostics(); !S)
+      std::fprintf(stderr, "reticlec: error: %s\n", S.error().c_str());
+    return compileError(Args.RunTracePath + ": " + InputTrace.error());
+  }
+  interp::Trace Drive = InputTrace.take();
+  if (Args.CyclesSet) {
+    if (Args.Cycles > Drive.size())
+      return compileError(Args.RunTracePath + ": trace has " +
+                          std::to_string(Drive.size()) +
+                          " cycle(s), --cycles=" +
+                          std::to_string(Args.Cycles) + " requested");
+    Drive.steps().resize(Args.Cycles);
+  }
+
+  bool RunInterp = Args.SimEngine != "netlist";
+  bool RunNetlist = Args.SimEngine != "interp";
+  bool WantWave = !Args.VcdPath.empty() || !Args.WaveJsonPath.empty();
+
+  sim::WaveCapture InterpWave, NetlistWave;
+  Result<interp::Trace> InterpOut = fail<interp::Trace>("not run");
+  Result<interp::Trace> NetlistOut = fail<interp::Trace>("not run");
+  if (RunInterp)
+    InterpOut = interp::interpret(Fn.value(), Drive,
+                                  WantWave ? &InterpWave : nullptr,
+                                  Session.context());
+  if (RunNetlist)
+    NetlistOut = codegen::simulate(R.value().Verilog, Drive,
+                                   WantWave ? &NetlistWave : nullptr,
+                                   Session.context());
+
+#ifndef RETICLE_NO_TELEMETRY
+  // Waveforms are written from the in-memory captures after the run —
+  // including aborted runs, whose partial captures replay with the
+  // aborted marker so the artifacts stay parseable.
+  auto WriteWaves = [&]() -> Status {
+    if (!WantWave)
+      return Status::success();
+    std::vector<std::pair<const sim::WaveCapture *, std::string>> Sources;
+    if (RunInterp && RunNetlist)
+      Sources = {{&InterpWave, "interp"}, {&NetlistWave, "netlist"}};
+    else if (RunInterp)
+      Sources = {{&InterpWave, ""}};
+    else
+      Sources = {{&NetlistWave, ""}};
+    std::string Top = std::filesystem::path(InputPath).stem().string();
+    if (Top.empty())
+      Top = "reticle";
+    if (!Args.VcdPath.empty()) {
+      sim::VcdWriter Vcd(Top);
+      if (Status S = sim::replay(Sources, Vcd); !S)
+        return S;
+      if (Status S = writeTextOutput(Args.VcdPath, Vcd.text()); !S)
+        return S;
+    }
+    if (!Args.WaveJsonPath.empty()) {
+      const char *Engine = RunInterp && RunNetlist ? "both"
+                           : RunInterp            ? "interp"
+                                                  : "netlist";
+      sim::WaveJsonWriter Wj(Top, Engine);
+      if (Status S = sim::replay(Sources, Wj); !S)
+        return S;
+      if (Status S = writeTextOutput(Args.WaveJsonPath, Wj.text()); !S)
+        return S;
+    }
+    return Status::success();
+  };
+  if (Status S = WriteWaves(); !S)
+    return usageError(S.error());
+#endif
+
+  // Stats render after the run so the sim.* counters are populated.
+  obs::Json Doc = core::statsJson(R.value(), InputPath, Session.context());
+  if (Args.Stats)
+    obs::printTable(Doc, stderr);
+  if (!Args.StatsJsonPath.empty()) {
+    if (Args.StatsJsonPath == "-") {
+      std::fputs((Doc.str(2) + "\n").c_str(), stdout);
+    } else if (Status S = obs::writeJsonFile(Doc, Args.StatsJsonPath); !S) {
+      return usageError(S.error());
+    }
+  }
+
+  if (Status S = FlushDiagnostics(); !S)
+    return usageError(S.error());
+
+  if (RunInterp && !InterpOut)
+    return compileError("interp: " + InterpOut.error());
+  if (RunNetlist && !NetlistOut)
+    return compileError("netlist: " + NetlistOut.error());
+
+  if (RunInterp && RunNetlist) {
+    // The differential check: every output port, cycle for cycle,
+    // compared through the flattened bit representation.
+    const interp::Trace &A = InterpOut.value();
+    const interp::Trace &B = NetlistOut.value();
+    for (size_t Cycle = 0; Cycle < Drive.size(); ++Cycle) {
+      for (const ir::Port &P : Fn.value().outputs()) {
+        const interp::Value *Va = A.get(Cycle, P.Name);
+        const interp::Value *Vb = B.get(Cycle, P.Name);
+        if (!Va || !Vb || Va->toBits() != Vb->toBits())
+          return compileError(
+              "interp vs netlist divergence at cycle " +
+              std::to_string(Cycle) + ", signal '" + P.Name + "': interp " +
+              (Va ? sim::bitsToString(Va->toBits()) : "<missing>") +
+              ", netlist " +
+              (Vb ? sim::bitsToString(Vb->toBits()) : "<missing>"));
+      }
+    }
+  }
+
+  std::fprintf(stderr, "reticlec: run: %s: %zu cycle(s), sim=%s: ok\n",
+               InputPath.c_str(), Drive.size(), Args.SimEngine.c_str());
   return 0;
 }
 
@@ -570,6 +785,33 @@ int main(int Argc, char **Argv) {
         return usageError("unknown pass '" + Name +
                           "' (valid: " + std::string(PassChoices) + ")");
       Args.Options.PrintBefore = Name;
+    } else if (Arg.rfind("--run=", 0) == 0) {
+      Args.RunTracePath = Arg.substr(6);
+      if (Args.RunTracePath.empty())
+        return usageError("--run= requires an input-trace file");
+    } else if (Arg.rfind("--cycles=", 0) == 0) {
+      std::string Value = Arg.substr(9);
+      char *End = nullptr;
+      unsigned long long N = std::strtoull(Value.c_str(), &End, 10);
+      if (Value.empty() || *End != '\0')
+        return usageError("--cycles= requires a cycle count");
+      Args.Cycles = N;
+      Args.CyclesSet = true;
+    } else if (Arg.rfind("--sim=", 0) == 0) {
+      Args.SimEngine = Arg.substr(6);
+      Args.SimSet = true;
+      if (Args.SimEngine != "interp" && Args.SimEngine != "netlist" &&
+          Args.SimEngine != "both")
+        return usageError("unknown --sim engine '" + Args.SimEngine +
+                          "' (valid: interp, netlist, both)");
+    } else if (Arg.rfind("--vcd=", 0) == 0) {
+      Args.VcdPath = Arg.substr(6);
+      if (Args.VcdPath.empty())
+        return usageError("--vcd= requires a file path or '-'");
+    } else if (Arg.rfind("--wave-json=", 0) == 0) {
+      Args.WaveJsonPath = Arg.substr(12);
+      if (Args.WaveJsonPath.empty())
+        return usageError("--wave-json= requires a file path or '-'");
     } else if (Arg.rfind("--jobs=", 0) == 0) {
       std::string Value = Arg.substr(7);
       char *End = nullptr;
@@ -639,6 +881,35 @@ int main(int Argc, char **Argv) {
     if (!Args.Options.DisabledPasses.empty())
       return usageError("--disable-pass requires a pipeline emit kind "
                         "(asm, placed, verilog)");
+  }
+
+  if (Args.RunTracePath.empty()) {
+    if (Args.CyclesSet || Args.SimSet || !Args.VcdPath.empty() ||
+        !Args.WaveJsonPath.empty())
+      return usageError("--cycles/--sim/--vcd/--wave-json require --run");
+  } else {
+    if (Args.Inputs.size() > 1)
+      return usageError("--run applies to a single input");
+    if (Args.Emit == "behavioral")
+      return usageError("--run requires a pipeline emit kind "
+                        "(asm, placed, verilog)");
+    const std::pair<const char *, const std::string *> NotInRunMode[] = {
+        {"-o", &Args.OutputPath},
+        {"--dump-after", &Args.DumpStage},
+        {"--dump-after-all", &Args.DumpDir},
+        {"--floorplan", &Args.FloorplanPath},
+        {"--floorplan-timeline", &Args.FloorplanTimelinePath},
+        {"--print-before", &Args.Options.PrintBefore},
+    };
+    for (const auto &[Flag, Value] : NotInRunMode)
+      if (!Value->empty())
+        return usageError(std::string(Flag) + " does not apply with --run");
+#ifdef RETICLE_NO_TELEMETRY
+    if (!Args.VcdPath.empty() || !Args.WaveJsonPath.empty())
+      return usageError("--vcd/--wave-json require a telemetry-enabled "
+                        "build (RETICLE_NO_TELEMETRY is set)");
+#endif
+    return runExecute(Args);
   }
 
   return Args.Inputs.size() > 1 ? runBatch(Args) : runSingle(Args);
