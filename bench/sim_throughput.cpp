@@ -6,8 +6,9 @@
 ///
 /// Measures the cycles/second of the two simulation engines — the
 /// reference interpreter (Section 6.2) and the gate-level netlist
-/// simulator — with and without a waveform sink attached, so the cost of
-/// full per-cycle observability is a tracked number rather than folklore.
+/// simulator — bare, with a waveform sink attached, and with the capture
+/// replayed into per-bit toggle-coverage bins, so the cost of full
+/// per-cycle observability is a tracked number rather than folklore.
 /// Writes `BENCH_sim.json` ("reticle-bench-v1") next to the binary.
 ///
 //===----------------------------------------------------------------------===//
@@ -17,6 +18,7 @@
 #include "interp/Interp.h"
 #include "interp/Wave.h"
 #include "ir/Parser.h"
+#include "obs/Coverage.h"
 #include "obs/Json.h"
 #include "obs/Report.h"
 
@@ -88,12 +90,16 @@ int main() {
   const size_t Cycles = 20000;
   Trace In = makeTrace(Fn.value(), Cycles);
   std::printf("Simulation throughput: mac on small, %zu cycles\n\n", Cycles);
-  std::printf("  %-8s %-6s %10s %14s\n", "engine", "wave", "ms",
+  std::printf("  %-8s %-8s %10s %14s\n", "engine", "mode", "ms",
               "cycles/sec");
 
   obs::Json Rows = obs::Json::array();
   bool AllOk = true;
-  auto Measure = [&](const char *Engine, bool WithWave) {
+  // Modes: bare engine, wave capture attached, and capture replayed into
+  // toggle-coverage bins (the full --run --coverage path).
+  auto Measure = [&](const char *Engine, const char *Mode) {
+    bool WithWave = std::string(Mode) != "none";
+    bool WithCoverage = std::string(Mode) == "coverage";
     sim::WaveCapture Cap;
     sim::WaveSink *Sink = WithWave ? &Cap : nullptr;
     auto Start = std::chrono::steady_clock::now();
@@ -103,30 +109,44 @@ int main() {
                                 obs::defaultContext())
             : codegen::simulate(Compiled.value().Verilog, In, Sink,
                                 obs::defaultContext());
+    obs::Coverage Cov;
+    uint64_t ToggleBins = 0;
+    if (Out && WithCoverage) {
+      sim::ToggleCoverageSink Toggles(Cov);
+      if (Status S = sim::replay({{&Cap, Engine}}, Toggles); !S) {
+        std::printf("  %-8s %-8s replay FAILED: %s\n", Engine, Mode,
+                    S.error().c_str());
+        AllOk = false;
+      }
+      obs::CoverageSnapshot Snap = Cov.snapshot();
+      if (auto It = Snap.find("sim.toggle"); It != Snap.end())
+        ToggleBins = It->second.size();
+    }
     double Ms = msSince(Start);
     obs::Json Row = obs::Json::object();
     Row.set("engine", Engine);
-    Row.set("wave", WithWave);
+    Row.set("mode", Mode);
     Row.set("ok", Out.ok());
     if (!Out) {
       Row.set("error", Out.error());
-      std::printf("  %-8s %-6s FAILED: %s\n", Engine,
-                  WithWave ? "yes" : "no", Out.error().c_str());
+      std::printf("  %-8s %-8s FAILED: %s\n", Engine, Mode,
+                  Out.error().c_str());
       AllOk = false;
     } else {
       double PerSec = Ms > 0.0 ? 1000.0 * Cycles / Ms : 0.0;
       Row.set("cycles", static_cast<uint64_t>(Cycles));
       Row.set("ms", Ms);
       Row.set("cycles_per_sec", PerSec);
-      std::printf("  %-8s %-6s %10.1f %14.0f\n", Engine,
-                  WithWave ? "yes" : "no", Ms, PerSec);
+      if (WithCoverage)
+        Row.set("toggle_bins", ToggleBins);
+      std::printf("  %-8s %-8s %10.1f %14.0f\n", Engine, Mode, Ms, PerSec);
     }
     Rows.push(std::move(Row));
   };
 
   for (const char *Engine : {"interp", "netlist"})
-    for (bool WithWave : {false, true})
-      Measure(Engine, WithWave);
+    for (const char *Mode : {"none", "wave", "coverage"})
+      Measure(Engine, Mode);
 
   obs::Json Doc = obs::Json::object();
   Doc.set("schema", "reticle-bench-v1");

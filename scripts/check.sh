@@ -3,7 +3,10 @@
 # drive the compiler end to end and validate every machine-readable
 # artifact it emits (stats, trace, remarks, snapshot manifest, batch
 # summary) with json_check, including a remark_diff of two identical
-# runs to pin down pipeline determinism. After the primary build, two
+# runs to pin down pipeline determinism and a coverage_diff of the
+# merged example-program coverage against the checked-in golden
+# (tests/goldens/coverage.json). RUN_BENCH=1 additionally runs the
+# microbenchmarks. After the primary build, two
 # hardening builds run: one with the telemetry layer compiled out
 # (-DRETICLE_NO_TELEMETRY=ON) and one under ThreadSanitizer exercising
 # the concurrent batch-compile path. Run from anywhere; builds into
@@ -108,6 +111,52 @@ done
     --run="$repo/examples/traces/mac.trace.json" --sim=both --vcd=- \
     "$repo/examples/programs/mac.ret" | grep -q '$enddefinitions'
 
+echo "== coverage ratchet (merge over the example programs vs golden) =="
+# Each program's standalone reticle-coverage-v1 doc, merged with
+# coverage_merge, must not lose a single bin against the checked-in
+# golden (tests/goldens/coverage.json). Gained bins pass — the ratchet
+# only tightens. After an intentional coverage change regenerate with:
+#   build/tools/json_check coverage_merge \
+#       <mac,dot3,scalar_adds>.coverage.json > tests/goldens/coverage.json
+for stem in mac dot3 scalar_adds; do
+    "$build/tools/reticlec" --device=small \
+        --coverage="$out/$stem.coverage.json" \
+        --emit=asm -o /dev/null \
+        "$repo/examples/programs/$stem.ret"
+    "$build/tools/json_check" --require=schema --require=totals.hit \
+        "$out/$stem.coverage.json"
+done
+"$build/tools/json_check" coverage_merge \
+    "$out/mac.coverage.json" "$out/dot3.coverage.json" \
+    "$out/scalar_adds.coverage.json" > "$out/merged.coverage.json"
+for stem in mac dot3 scalar_adds; do
+    "$build/tools/json_check" coverage_diff \
+        "$out/$stem.coverage.json" "$out/merged.coverage.json"
+done
+"$build/tools/json_check" coverage_diff \
+    "$repo/tests/goldens/coverage.json" "$out/merged.coverage.json"
+# A --run adds dynamic toggle bins on top of the static spaces.
+"$build/tools/reticlec" --device=small \
+    --run="$repo/examples/traces/mac.trace.json" --sim=both \
+    --coverage="$out/mac.run.coverage.json" \
+    "$repo/examples/programs/mac.ret"
+"$build/tools/json_check" --nonempty=spaces.sim.toggle.bins \
+    "$out/mac.run.coverage.json"
+
+if [ "${RUN_BENCH:-0}" = "1" ]; then
+    echo "== benches (RUN_BENCH=1) =="
+    # Opt-in: the microbenchmarks are informative, not gating, so the
+    # default run skips them. Any bench binary the build produced runs
+    # once with its defaults.
+    for bench in sim_throughput fig4_dsp_add fig13a_tensoradd \
+                 fig13b_tensordot fig13c_fsm compile_time ablation; do
+        if [ -x "$build/bench/$bench" ]; then
+            echo "-- bench/$bench"
+            "$build/bench/$bench"
+        fi
+    done
+fi
+
 echo "== telemetry-free build (-DRETICLE_NO_TELEMETRY=ON) =="
 cmake -B "$repo/build-notelem" -S "$repo" -DRETICLE_NO_TELEMETRY=ON
 cmake --build "$repo/build-notelem" -j"$jobs"
@@ -124,6 +173,20 @@ then
     echo "error: --vcd accepted in a RETICLE_NO_TELEMETRY build" >&2
     exit 1
 fi
+# Coverage recording is telemetry surface too: --coverage must be a
+# usage error (exit 2) while the same compile without it succeeds.
+set +e
+"$repo/build-notelem/tools/reticlec" --device=small --coverage=- \
+    "$repo/examples/programs/mac.ret" >/dev/null 2>&1
+coverage_rc=$?
+set -e
+if [ "$coverage_rc" -ne 2 ]; then
+    echo "error: --coverage exited $coverage_rc (want 2) in a" \
+         "RETICLE_NO_TELEMETRY build" >&2
+    exit 1
+fi
+"$repo/build-notelem/tools/reticlec" --device=small \
+    "$repo/examples/programs/mac.ret" >/dev/null
 
 echo "== ThreadSanitizer build: concurrent batch compile =="
 cmake -B "$repo/build-tsan" -S "$repo" \

@@ -138,5 +138,18 @@ obs::Json reticle::core::batchStatsJson(const std::vector<BatchItem> &Items,
   Totals.set("luts", Luts);
   Totals.set("dsps", Dsps);
   Doc.set("totals", std::move(Totals));
+  Doc.set("coverage", obs::coverageJson(batchCoverage(Items)));
   return Doc;
+}
+
+obs::CoverageSnapshot
+reticle::core::batchCoverage(const std::vector<BatchItem> &Items) {
+  obs::CoverageSnapshot Merged;
+  for (const BatchItem &Item : Items)
+    for (const auto &[Space, Bins] : Item.Session->coverage().snapshot()) {
+      auto &Dst = Merged[Space];
+      for (const auto &[Bin, Count] : Bins)
+        Dst[Bin] += Count;
+    }
+  return Merged;
 }

@@ -20,7 +20,12 @@
 ///    "failed": m, "jobs": J,
 ///    "programs": [{"program": ..., "status": "ok", "stats": {...}} |
 ///                 {"program": ..., "status": "error", "error": ...}],
-///    "totals": {"total_ms": ..., "luts": ..., "dsps": ...}}
+///    "totals": {"total_ms": ..., "luts": ..., "dsps": ...},
+///    "coverage": {"spaces": ..., "totals": ...}}
+///
+/// The coverage key is the union of every item's coverage registry (bins
+/// summed), in the same shape as the per-stats `coverage` section and
+/// the standalone `reticle-coverage-v1` doc.
 /// \endcode
 ///
 //===----------------------------------------------------------------------===//
@@ -90,6 +95,12 @@ std::vector<size_t> batchScheduleOrder(const std::vector<BatchInput> &Inputs);
 /// The merged "reticle-batch-v1" summary over a finished batch. \p Jobs
 /// records the pool size actually used (purely informational).
 obs::Json batchStatsJson(const std::vector<BatchItem> &Items, unsigned Jobs);
+
+/// The union of every item's coverage registry (bins summed; failed
+/// items contribute what they recorded before the pipeline refused
+/// them). This is the snapshot behind the summary's "coverage" key and
+/// the driver's batch-mode --coverage doc.
+obs::CoverageSnapshot batchCoverage(const std::vector<BatchItem> &Items);
 
 /// The worker-pool size compileBatch would use for \p Options over
 /// \p InputCount inputs (exposed so drivers can report it).

@@ -41,7 +41,7 @@ public:
     Result<ir::Function> Fn = ir::parseFunction(State.Source);
     if (!Fn)
       return Status::failure(Fn.error());
-    if (Status S = ir::verify(Fn.value()); !S)
+    if (Status S = ir::verify(Fn.value(), Session.context()); !S)
       return S;
     State.Fn = Fn.take();
     return Status::success();

@@ -12,10 +12,12 @@ using namespace reticle::core;
 CompileSession::CompileSession()
     : OwnedTelem(std::make_unique<obs::Telemetry>()),
       OwnedRem(std::make_unique<obs::RemarkStream>()),
-      Ctx{OwnedTelem.get(), OwnedRem.get()} {}
+      OwnedCov(std::make_unique<obs::Coverage>()),
+      Ctx{OwnedTelem.get(), OwnedRem.get(), OwnedCov.get()} {}
 
 CompileSession::CompileSession(GlobalTag)
-    : Ctx{&obs::defaultTelemetry(), &obs::defaultRemarks()} {}
+    : Ctx{&obs::defaultTelemetry(), &obs::defaultRemarks(),
+          &obs::defaultCoverage()} {}
 
 CompileSession::~CompileSession() = default;
 

@@ -56,6 +56,8 @@ public:
   const obs::Telemetry &telemetry() const { return *Ctx.Telem; }
   obs::RemarkStream &remarks() { return *Ctx.Rem; }
   const obs::RemarkStream &remarks() const { return *Ctx.Rem; }
+  obs::Coverage &coverage() { return *Ctx.Cov; }
+  const obs::Coverage &coverage() const { return *Ctx.Cov; }
 
   /// Per-stage program snapshots captured by the pipeline when
   /// captureSnapshots() is on (or when CompileOptions::Snapshots points at
@@ -92,6 +94,7 @@ private:
   /// Null for the global session (which borrows the default registries).
   std::unique_ptr<obs::Telemetry> OwnedTelem;
   std::unique_ptr<obs::RemarkStream> OwnedRem;
+  std::unique_ptr<obs::Coverage> OwnedCov;
   obs::Context Ctx;
   obs::SnapshotSink Snaps;
   bool Capture = false;

@@ -6,6 +6,7 @@
 
 #include "core/Stats.h"
 
+#include "obs/Coverage.h"
 #include "obs/Telemetry.h"
 
 using namespace reticle;
@@ -154,6 +155,12 @@ Json reticle::core::statsJson(const CompileResult &Result,
   Netlist.set("sweeps", Count("netlist.sweeps"));
   Sim.set("netlist", std::move(Netlist));
   Doc.set("sim", std::move(Sim));
+
+  // Coverage bins recorded into this compile's registry (static IR, isel
+  // pattern, and — after a --run — dynamic toggle coverage). The section
+  // exists in every build; in RETICLE_NO_TELEMETRY builds the registry
+  // snapshot is empty.
+  Doc.set("coverage", obs::coverageJson(Ctx.coverage().snapshot()));
 
 #ifndef RETICLE_NO_TELEMETRY
   Json Registry = Ctx.Telem->countersJson();

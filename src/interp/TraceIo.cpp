@@ -68,6 +68,11 @@ Result<Trace> sim::parseInputTrace(const std::string &Text,
   std::map<std::string, const ir::Port *> PortOf;
   for (const ir::Port &P : Fn.inputs())
     PortOf[P.Name] = &P;
+  // "cycle" is a reserved self-check key: when present it must equal the
+  // record's index, catching reordered or dropped records in generated
+  // traces. A function whose input port is literally named "cycle" keeps
+  // the key for itself.
+  const bool CycleKeyReserved = !PortOf.count("cycle");
 
   Trace Out;
   size_t CycleNo = 0;
@@ -77,6 +82,16 @@ Result<Trace> sim::parseInputTrace(const std::string &Text,
       return fail<Trace>(Where + ": expected an object");
     Step &S = Out.appendStep();
     for (const auto &[Name, Val] : CycleObj.members()) {
+      if (CycleKeyReserved && Name == "cycle") {
+        if (!Val.isNumber() ||
+            Val.asInt() != static_cast<int64_t>(CycleNo))
+          return fail<Trace>(
+              Where + ": non-monotone cycle record: 'cycle' is " +
+              (Val.isNumber() ? std::to_string(Val.asInt())
+                              : std::string("not a number")) +
+              ", expected " + std::to_string(CycleNo));
+        continue;
+      }
       auto It = PortOf.find(Name);
       if (It == PortOf.end())
         return fail<Trace>(Where + ": unknown input '" + Name + "'");

@@ -22,6 +22,11 @@
 /// types (wrapping like IR constants); every declared input must be
 /// present in every cycle.
 ///
+/// A cycle object may also carry a reserved `"cycle"` key (unless the
+/// function declares an input port of that name): when present it must be
+/// the record's zero-based index, so generated traces can self-check
+/// against reordered or dropped records ("non-monotone cycle record").
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RETICLE_INTERP_TRACEIO_H

@@ -147,6 +147,48 @@ Status sim::replay(
   return Out.finish(Aborted);
 }
 
+//===----------------------------------------------------------------------===//
+// ToggleCoverageSink
+//===----------------------------------------------------------------------===//
+
+Status ToggleCoverageSink::begin(const std::vector<WaveSignal> &Signals) {
+  Sigs = Signals;
+  Last.assign(Sigs.size(), {});
+  Seen.assign(Sigs.size(), 0);
+  return Status::success();
+}
+
+void ToggleCoverageSink::beginCycle(uint64_t) {}
+
+void ToggleCoverageSink::value(unsigned Id, const std::vector<bool> &Bits,
+                               bool Changed) {
+  if (Id >= Sigs.size())
+    return;
+  if (!Seen[Id]) {
+    // Baseline: the first reported value is an x->v assignment, not a
+    // toggle.
+    Seen[Id] = 1;
+    Last[Id] = Bits;
+    return;
+  }
+  if (!Changed)
+    return;
+  const std::vector<bool> &Prev = Last[Id];
+  size_t Width = std::min<size_t>(Sigs[Id].Width,
+                                  std::max(Prev.size(), Bits.size()));
+  for (size_t B = 0; B < Width; ++B) {
+    bool Old = B < Prev.size() && Prev[B];
+    bool New = B < Bits.size() && Bits[B];
+    if (Old == New)
+      continue;
+    Cov.hit("sim.toggle", Sigs[Id].Name + "[" + std::to_string(B) +
+                              (New ? "]:01" : "]:10"));
+  }
+  Last[Id] = Bits;
+}
+
+Status ToggleCoverageSink::finish(bool) { return Status::success(); }
+
 #ifndef RETICLE_NO_TELEMETRY
 
 //===----------------------------------------------------------------------===//

@@ -169,6 +169,33 @@ Status replay(
     const std::vector<std::pair<const WaveCapture *, std::string>> &Sources,
     WaveSink &Out);
 
+/// Dynamic toggle coverage: turns per-cycle waveform events into
+/// per-signal-bit transition bins in the "sim.toggle" space of a
+/// coverage registry — bit \p b of signal `name` hits `name[b]:01` on a
+/// 0->1 transition and `name[b]:10` on 1->0 (bit indices are the
+/// flattened LSB-first positions the engines report). The first reported
+/// value of a signal sets its baseline and records no transition; there
+/// is no x->v toggle. Engine-agnostic: the driver replays captured
+/// interpreter/netlist runs (with per-engine name prefixes) into one
+/// sink. Present in every build — under RETICLE_NO_TELEMETRY the
+/// registry is the inline no-op, so recording vanishes with it.
+class ToggleCoverageSink : public WaveSink {
+public:
+  explicit ToggleCoverageSink(obs::Coverage &Cov) : Cov(Cov) {}
+
+  Status begin(const std::vector<WaveSignal> &Signals) override;
+  void beginCycle(uint64_t Cycle) override;
+  void value(unsigned Id, const std::vector<bool> &Bits,
+             bool Changed) override;
+  Status finish(bool Aborted) override;
+
+private:
+  obs::Coverage &Cov;
+  std::vector<WaveSignal> Sigs;
+  std::vector<std::vector<bool>> Last;
+  std::vector<uint8_t> Seen;
+};
+
 #ifndef RETICLE_NO_TELEMETRY
 
 /// Writes standard VCD into an in-memory buffer (the driver streams it to

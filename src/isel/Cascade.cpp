@@ -142,6 +142,10 @@ Status reticle::isel::cascadePass(rasm::AsmProgram &Prog,
                          rasm::Coord::var(YVar, static_cast<int64_t>(K))};
         I = rasm::AsmInstr::makeOp(I.dst(), I.type(), NewNames[K], I.args(),
                                    std::move(NewLoc), I.attrs());
+        // The cascade variant is a selection pattern becoming used; it
+        // shares the isel.pattern coverage space with directly-selected
+        // tiles (the Selector declared it).
+        Ctx.coverage().hit("isel.pattern", NewNames[K]);
         ++Ctx.counter("isel.cascade_rewritten");
         if (Stats)
           ++Stats->Rewritten;

@@ -50,12 +50,17 @@ class Selector {
 public:
   Selector(const Dfg &G, const tdl::Target &Target, const obs::Context &Ctx)
       : G(G), Target(Target), Ctx(Ctx), Best(G.nodes().size()) {
+    obs::Coverage &Cov = Ctx.coverage();
     for (const tdl::TargetDef &Def : Target.defs()) {
-      if (Def.isCascadeVariant())
-        continue;
       const ir::Instr *RootPat = patternRoot(Def);
       if (!RootPat || RootPat->isWire())
         continue; // tiles rooted at wire operations are never selected
+      // Declare every pattern that could fire — directly here, or via the
+      // cascade rewrite — so never-selected patterns show up as
+      // zero-count bins in the isel.pattern coverage space.
+      Cov.declare("isel.pattern", Def.Name);
+      if (Def.isCascadeVariant())
+        continue;
       DefsByOp[RootPat->compOp()].push_back(&Def);
     }
   }
@@ -316,6 +321,8 @@ Result<Cost> Selector::solve(size_t NodeId) {
     return fail<Cost>("no instruction on target '" + Target.name() +
                       "' can implement '" + Where + "'");
   }
+  // Pattern coverage records every win, whether or not remarks are on.
+  Ctx.coverage().hit("isel.pattern", BestMatch.Def->Name);
   // Why this tile: the chosen pattern, what it costs, and how contested
   // the decision was (rejected = matched alternatives that lost on cost).
   if (Ctx.remarksEnabled())

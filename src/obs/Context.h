@@ -6,11 +6,12 @@
 ///
 /// \file
 /// The observability context threaded through every pipeline stage: which
-/// `Telemetry` instance receives counters/spans/instants and which
-/// `RemarkStream` receives remarks. Both pointers are always non-null by
+/// `Telemetry` instance receives counters/spans/instants, which
+/// `RemarkStream` receives remarks, and which `Coverage` registry
+/// receives coverage bins. All pointers are always non-null by
 /// convention — `defaultContext()` wires them to the process-wide
 /// singletons so legacy callers keep the global behavior, while
-/// `core::CompileSession` owns a private pair so concurrent compiles in
+/// `core::CompileSession` owns a private set so concurrent compiles in
 /// one process never share mutable observability state.
 ///
 /// Stage entry points take `const obs::Context &Ctx = obs::defaultContext()`
@@ -29,6 +30,7 @@
 #ifndef RETICLE_OBS_CONTEXT_H
 #define RETICLE_OBS_CONTEXT_H
 
+#include "obs/Coverage.h"
 #include "obs/Remarks.h"
 #include "obs/Telemetry.h"
 
@@ -41,18 +43,22 @@ namespace obs {
 struct Context {
   Telemetry *Telem = nullptr;
   RemarkStream *Rem = nullptr;
+  Coverage *Cov = nullptr;
 
   Counter &counter(std::string_view Name) const { return Telem->counter(Name); }
   Gauge &gauge(std::string_view Name) const { return Telem->gauge(Name); }
   bool tracingEnabled() const { return Telem->tracingEnabled(); }
   bool remarksEnabled() const { return Rem->enabled(); }
   void instant(const char *Name) const { Telem->instant(Name); }
+  Coverage &coverage() const { return *Cov; }
 };
 
-/// The context over the process-wide default telemetry and remark stream;
-/// the default for every stage entry point's trailing Ctx parameter.
+/// The context over the process-wide default telemetry, remark stream,
+/// and coverage registry; the default for every stage entry point's
+/// trailing Ctx parameter.
 inline const Context &defaultContext() {
-  static const Context C{&defaultTelemetry(), &defaultRemarks()};
+  static const Context C{&defaultTelemetry(), &defaultRemarks(),
+                         &defaultCoverage()};
   return C;
 }
 

@@ -1,0 +1,143 @@
+//===- obs/Coverage.h - Bin-based coverage registry -------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coverage layer behind the fuzzing/DSE roadmap items: a registry of
+/// named **spaces** (e.g. "ir.op_type", "isel.pattern", "sim.toggle"),
+/// each a set of **bins** with hit counts. Three collectors feed it:
+///
+///  - **Static IR coverage**: the verifier records one bin per op, per
+///    op x result-type (the type string includes the vector width), per
+///    lane count, and per resource annotation of every instruction it
+///    accepts.
+///  - **Isel pattern coverage**: the instruction selector *declares*
+///    every selectable pattern up front (so never-fired patterns show up
+///    as zero-count bins) and hits a bin each time a pattern wins a
+///    tree, at the same site the `isel:pattern` remark is emitted.
+///  - **Dynamic toggle coverage**: `sim::ToggleCoverageSink` (a
+///    `sim::WaveSink`) replays per-cycle waveform events into
+///    per-signal-bit 0->1 / 1->0 bins for both simulation engines.
+///
+/// Like the rest of `src/obs/`, the whole API compiles out to inline
+/// no-ops under `RETICLE_NO_TELEMETRY`; collectors need no ifdefs. Like
+/// `Telemetry`, coverage is **instance-based**: `core::CompileSession`
+/// owns one registry per compile and threads it via `obs::Context`, with
+/// a process-wide `defaultCoverage()` backing the global session.
+///
+/// Serialized form is the `reticle-coverage-v1` document; see
+/// docs/OBSERVABILITY.md. Zero-count (declared-only) bins count toward a
+/// space's `total` but not its `hit`, which is what makes coverage-hole
+/// reports possible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_OBS_COVERAGE_H
+#define RETICLE_OBS_COVERAGE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#ifndef RETICLE_NO_TELEMETRY
+#include <memory>
+#endif
+
+namespace reticle {
+namespace obs {
+
+class Json;
+
+/// An ordered snapshot of one coverage registry: space name -> bin name
+/// -> hit count. std::map keeps serialization deterministic regardless
+/// of recording order.
+using CoverageSnapshot = std::map<std::string, std::map<std::string, uint64_t>>;
+
+/// Builds the {"spaces": {...}, "totals": {...}} fragment shared by the
+/// stats `coverage` section, the batch summary, and the standalone doc.
+/// Lives in Json.cpp-adjacent code, so only telemetry-linked callers may
+/// use it; available in every build.
+Json coverageJson(const CoverageSnapshot &Spaces);
+
+/// Wraps \p Spaces as a standalone `reticle-coverage-v1` document for
+/// \p Program.
+Json coverageDoc(const std::string &Program, const CoverageSnapshot &Spaces);
+
+#ifndef RETICLE_NO_TELEMETRY
+
+/// One coverage domain: named spaces of named bins with hit counts. All
+/// operations are thread-safe; concurrent compiles record into disjoint
+/// instances (one per CompileSession) without contending.
+class Coverage {
+public:
+  Coverage();
+  ~Coverage();
+  Coverage(const Coverage &) = delete;
+  Coverage &operator=(const Coverage &) = delete;
+
+  /// Registers the bin with count zero if it does not exist yet. This is
+  /// how "never fired" becomes visible: declared-but-unhit bins appear
+  /// in the snapshot with count 0.
+  void declare(std::string_view Space, std::string_view Bin);
+
+  /// Adds \p N hits to the bin, creating it on first hit.
+  void hit(std::string_view Space, std::string_view Bin, uint64_t N = 1);
+
+  /// True when no bin has been declared or hit.
+  bool empty() const;
+
+  /// Deep copy of the current state, sorted by space and bin name.
+  CoverageSnapshot snapshot() const;
+
+  /// Folds \p Other into this registry (union of bins, counts summed).
+  void merge(const Coverage &Other);
+  void merge(const CoverageSnapshot &Other);
+
+  /// Drops every space and bin.
+  void reset();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+/// The process-wide default instance, used by the global CompileSession.
+Coverage &defaultCoverage();
+
+#else // RETICLE_NO_TELEMETRY
+
+// Compiled-out variant: the full API surface as inline no-ops. Nothing
+// here references a symbol of Coverage.cpp, so translation units built
+// with RETICLE_NO_TELEMETRY link without the coverage objects. (The
+// Json-returning helpers above live in Coverage.cpp and are only
+// referenced by telemetry-linked code such as reticle_core.)
+
+class Coverage {
+public:
+  Coverage() = default;
+  Coverage(const Coverage &) = delete;
+  Coverage &operator=(const Coverage &) = delete;
+
+  void declare(std::string_view, std::string_view) {}
+  void hit(std::string_view, std::string_view, uint64_t = 1) {}
+  bool empty() const { return true; }
+  CoverageSnapshot snapshot() const { return {}; }
+  void merge(const Coverage &) {}
+  void merge(const CoverageSnapshot &) {}
+  void reset() {}
+};
+
+inline Coverage &defaultCoverage() {
+  static Coverage Noop;
+  return Noop;
+}
+
+#endif // RETICLE_NO_TELEMETRY
+
+} // namespace obs
+} // namespace reticle
+
+#endif // RETICLE_OBS_COVERAGE_H

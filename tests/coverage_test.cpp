@@ -1,0 +1,284 @@
+//===- tests/coverage_test.cpp - Coverage registry and collectors --------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The coverage observability layer: the bin registry itself (declare /
+/// hit / merge / snapshot), its JSON serializations, the three collectors
+/// (static IR coverage from the verifier, isel pattern coverage from the
+/// selector, dynamic toggle coverage from the WaveSink), session
+/// isolation, and the batch-level merge that backs `reticle-batch-v1`'s
+/// coverage key.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Coverage.h"
+
+#include "core/Batch.h"
+#include "core/Compiler.h"
+#include "core/Session.h"
+#include "core/Stats.h"
+#include "device/Device.h"
+#include "interp/Wave.h"
+#include "obs/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace reticle;
+using obs::Coverage;
+using obs::CoverageSnapshot;
+using obs::Json;
+
+namespace {
+
+const char *MacSource = R"(
+  def mac(a:i8, b:i8, c:i8, en:bool) -> (y:i8) {
+    t0:i8 = mul(a, b) @??;
+    t1:i8 = add(t0, c) @??;
+    y:i8 = reg[0](t1, en) @??;
+  }
+)";
+
+//===----------------------------------------------------------------------===//
+// Serialization (pure functions over a snapshot: valid in every build)
+//===----------------------------------------------------------------------===//
+
+TEST(CoverageJson, HitCountsExcludeDeclaredOnlyBins) {
+  CoverageSnapshot Snap;
+  Snap["s"]["hole"] = 0;
+  Snap["s"]["hit1"] = 1;
+  Snap["s"]["hit2"] = 4;
+  Json Body = obs::coverageJson(Snap);
+
+  const Json *Spaces = Body.find("spaces");
+  ASSERT_NE(Spaces, nullptr);
+  const Json *S = Spaces->find("s");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->find("hit")->asInt(), 2);
+  EXPECT_EQ(S->find("total")->asInt(), 3);
+  EXPECT_EQ(S->find("bins")->find("hole")->asInt(), 0);
+  EXPECT_EQ(S->find("bins")->find("hit2")->asInt(), 4);
+
+  const Json *Totals = Body.find("totals");
+  ASSERT_NE(Totals, nullptr);
+  EXPECT_EQ(Totals->find("spaces")->asInt(), 1);
+  EXPECT_EQ(Totals->find("bins")->asInt(), 3);
+  EXPECT_EQ(Totals->find("hit")->asInt(), 2);
+}
+
+TEST(CoverageJson, StandaloneDocCarriesSchemaAndProgram) {
+  CoverageSnapshot Snap;
+  Snap["s"]["b"] = 1;
+  Json Doc = obs::coverageDoc("mac.ret", Snap);
+  EXPECT_EQ(Doc.find("schema")->asString(), "reticle-coverage-v1");
+  EXPECT_EQ(Doc.find("program")->asString(), "mac.ret");
+  ASSERT_NE(Doc.find("spaces"), nullptr);
+  ASSERT_NE(Doc.find("totals"), nullptr);
+}
+
+TEST(CoverageCollectors, SessionsAreIsolatedAndDeterministic) {
+  auto CompileOnce = [] {
+    core::CompileSession Session;
+    core::CompileOptions Options;
+    Options.Dev = device::Device::small();
+    Result<core::CompileResult> R =
+        core::compileSource(MacSource, "mac.ret", Options, Session);
+    EXPECT_TRUE(R.ok()) << R.error();
+    return Session.coverage().snapshot();
+  };
+  CoverageSnapshot A = CompileOnce();
+  CoverageSnapshot B = CompileOnce();
+  // Two private sessions over the same source record identical coverage —
+  // nothing leaked across, nothing nondeterministic crept in. (In a
+  // RETICLE_NO_TELEMETRY build both snapshots are empty, which still
+  // satisfies the property.)
+  EXPECT_EQ(A, B);
+}
+
+// Everything below asserts recorded content, which only exists when the
+// telemetry layer is compiled in; obs_noop_test covers the compiled-out
+// no-op surface instead.
+#ifndef RETICLE_NO_TELEMETRY
+
+//===----------------------------------------------------------------------===//
+// The registry
+//===----------------------------------------------------------------------===//
+
+TEST(CoverageRegistry, DeclareCreatesZeroBinsHitIncrements) {
+  Coverage Cov;
+  EXPECT_TRUE(Cov.empty());
+  Cov.declare("space", "never");
+  Cov.hit("space", "twice");
+  Cov.hit("space", "twice");
+  Cov.hit("other", "bulk", 5);
+  EXPECT_FALSE(Cov.empty());
+
+  CoverageSnapshot S = Cov.snapshot();
+  ASSERT_EQ(S.size(), 2u);
+  EXPECT_EQ(S.at("space").at("never"), 0u);
+  EXPECT_EQ(S.at("space").at("twice"), 2u);
+  EXPECT_EQ(S.at("other").at("bulk"), 5u);
+}
+
+TEST(CoverageRegistry, DeclareNeverLowersAHitBin) {
+  Coverage Cov;
+  Cov.hit("s", "b");
+  Cov.declare("s", "b");
+  EXPECT_EQ(Cov.snapshot().at("s").at("b"), 1u);
+}
+
+TEST(CoverageRegistry, MergeUnionsSpacesAndSumsCounts) {
+  Coverage A, B;
+  A.hit("s", "shared", 2);
+  A.declare("s", "only_a");
+  B.hit("s", "shared", 3);
+  B.hit("t", "only_b");
+  A.merge(B);
+
+  CoverageSnapshot S = A.snapshot();
+  EXPECT_EQ(S.at("s").at("shared"), 5u);
+  EXPECT_EQ(S.at("s").at("only_a"), 0u);
+  EXPECT_EQ(S.at("t").at("only_b"), 1u);
+  // B is untouched.
+  EXPECT_EQ(B.snapshot().at("s").at("shared"), 3u);
+}
+
+TEST(CoverageRegistry, ResetDropsEverything) {
+  Coverage Cov;
+  Cov.hit("s", "b");
+  Cov.reset();
+  EXPECT_TRUE(Cov.empty());
+  EXPECT_TRUE(Cov.snapshot().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Collectors: static IR + isel pattern coverage through a compile
+//===----------------------------------------------------------------------===//
+
+TEST(CoverageCollectors, CompileRecordsIrAndIselSpaces) {
+  core::CompileSession Session;
+  core::CompileOptions Options;
+  Options.Dev = device::Device::small();
+  Result<core::CompileResult> R =
+      core::compileSource(MacSource, "mac.ret", Options, Session);
+  ASSERT_TRUE(R.ok()) << R.error();
+
+  CoverageSnapshot S = Session.coverage().snapshot();
+  ASSERT_TRUE(S.count("ir.op"));
+  EXPECT_GT(S.at("ir.op").count("add"), 0u);
+  EXPECT_GT(S.at("ir.op").at("add"), 0u);
+  EXPECT_GT(S.at("ir.op").count("mul"), 0u);
+  ASSERT_TRUE(S.count("ir.op_type"));
+  EXPECT_GT(S.at("ir.op_type").count("add:i8"), 0u);
+  ASSERT_TRUE(S.count("ir.lanes"));
+  EXPECT_GT(S.at("ir.lanes").at("1"), 0u);
+  ASSERT_TRUE(S.count("ir.resource"));
+
+  // The selector declared every selectable pattern up front, so the space
+  // is larger than what one small program can hit — never-fired patterns
+  // are zero-count holes.
+  ASSERT_TRUE(S.count("isel.pattern"));
+  uint64_t Hit = 0, Holes = 0;
+  for (const auto &[Bin, Count] : S.at("isel.pattern"))
+    (Count ? Hit : Holes)++;
+  EXPECT_GT(Hit, 0u);
+  EXPECT_GT(Holes, 0u);
+}
+
+TEST(CoverageCollectors, StatsDocEmbedsTheCoverageSection) {
+  core::CompileSession Session;
+  core::CompileOptions Options;
+  Options.Dev = device::Device::small();
+  Result<core::CompileResult> R =
+      core::compileSource(MacSource, "mac.ret", Options, Session);
+  ASSERT_TRUE(R.ok()) << R.error();
+
+  Json Doc = core::statsJson(R.value(), "mac.ret", Session.context());
+  const Json *Cov = Doc.find("coverage");
+  ASSERT_NE(Cov, nullptr);
+  const Json *Spaces = Cov->find("spaces");
+  ASSERT_NE(Spaces, nullptr);
+  EXPECT_NE(Spaces->find("ir.op"), nullptr);
+  EXPECT_NE(Spaces->find("isel.pattern"), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// ToggleCoverageSink: per-bit edge bins
+//===----------------------------------------------------------------------===//
+
+TEST(ToggleCoverage, RecordsPerBitEdges) {
+  Coverage Cov;
+  sim::ToggleCoverageSink Sink(Cov);
+  ASSERT_TRUE(Sink.begin({sim::WaveSignal("y", 2)}).ok());
+  Sink.beginCycle(0);
+  Sink.value(0, {false, true}, true); // first observation only seeds
+  Sink.beginCycle(1);
+  Sink.value(0, {true, false}, true); // bit0 0->1, bit1 1->0
+  Sink.beginCycle(2);
+  Sink.value(0, {true, false}, false); // unchanged: no edges
+  ASSERT_TRUE(Sink.finish(false).ok());
+
+  CoverageSnapshot S = Cov.snapshot();
+  ASSERT_TRUE(S.count("sim.toggle"));
+  const auto &Bins = S.at("sim.toggle");
+  EXPECT_EQ(Bins.at("y[0]:01"), 1u);
+  EXPECT_EQ(Bins.at("y[1]:10"), 1u);
+  // The edges never seen stay absent (bins appear on first hit).
+  EXPECT_EQ(Bins.count("y[0]:10"), 0u);
+  EXPECT_EQ(Bins.count("y[1]:01"), 0u);
+}
+
+TEST(ToggleCoverage, NarrowedValueReadsAsZeroBits) {
+  Coverage Cov;
+  sim::ToggleCoverageSink Sink(Cov);
+  ASSERT_TRUE(Sink.begin({sim::WaveSignal("w", 2)}).ok());
+  Sink.beginCycle(0);
+  Sink.value(0, {true, true}, true);
+  Sink.beginCycle(1);
+  Sink.value(0, {true}, true); // missing bit1 means 0: a 1->0 edge
+  ASSERT_TRUE(Sink.finish(false).ok());
+  EXPECT_EQ(Cov.snapshot().at("sim.toggle").at("w[1]:10"), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Batch merge
+//===----------------------------------------------------------------------===//
+
+TEST(CoverageBatch, MergedSnapshotIsASupersetOfEveryItem) {
+  std::vector<core::BatchInput> Inputs;
+  Inputs.push_back({"mac.ret", MacSource});
+  Inputs.push_back({"sub.ret", R"(
+    def f(a:i8<4>, b:i8<4>) -> (y:i8<4>) {
+      y:i8<4> = sub(a, b) @??;
+    }
+  )"});
+  core::BatchOptions Options;
+  Options.Options.Dev = device::Device::small();
+  Options.Jobs = 2;
+  std::vector<core::BatchItem> Items = core::compileBatch(Inputs, Options);
+  ASSERT_EQ(Items.size(), 2u);
+  for (const core::BatchItem &Item : Items)
+    ASSERT_TRUE(Item.ok()) << Item.Name;
+
+  CoverageSnapshot Merged = core::batchCoverage(Items);
+  for (const core::BatchItem &Item : Items)
+    for (const auto &[Space, Bins] : Item.Session->coverage().snapshot())
+      for (const auto &[Bin, Count] : Bins) {
+        ASSERT_TRUE(Merged.count(Space)) << Space;
+        ASSERT_TRUE(Merged.at(Space).count(Bin)) << Space << "/" << Bin;
+        EXPECT_GE(Merged.at(Space).at(Bin), Count) << Space << "/" << Bin;
+      }
+  // The vector-lane program contributes a lane bin mac alone cannot.
+  EXPECT_GT(Merged.at("ir.lanes").count("4"), 0u);
+
+  // The batch summary embeds the same merge.
+  Json Summary = core::batchStatsJson(Items, 2);
+  const Json *Cov = Summary.find("coverage");
+  ASSERT_NE(Cov, nullptr);
+  EXPECT_NE(Cov->find("spaces")->find("ir.op"), nullptr);
+}
+
+#endif // RETICLE_NO_TELEMETRY
+
+} // namespace

@@ -15,6 +15,7 @@
 #error "this test must be compiled with RETICLE_NO_TELEMETRY"
 #endif
 
+#include "obs/Coverage.h"
 #include "obs/Remarks.h"
 #include "obs/Telemetry.h"
 
@@ -83,6 +84,29 @@ TEST(ObsNoop, RemarkFilesAreEmptyButWritable) {
   std::remove(Path.c_str());
   EXPECT_FALSE(obs::writeRemarksText("/nonexistent-dir/x/y.txt").ok());
   EXPECT_FALSE(obs::writeRemarksJsonl("/nonexistent-dir/x/y.jsonl", "p").ok());
+}
+
+TEST(ObsNoop, CoverageApiSurfaceIsInert) {
+  // The collectors' idiom must compile against the no-op class and record
+  // nothing. Note the Json-returning free helpers (coverageJson /
+  // coverageDoc) live in reticle_obs and are deliberately NOT exercised
+  // here: this binary proves the header alone is self-contained.
+  obs::Coverage Cov;
+  Cov.declare("ir.op", "add");
+  Cov.hit("ir.op", "add");
+  Cov.hit("sim.toggle", "y[0]:01", 3);
+  EXPECT_TRUE(Cov.empty());
+  EXPECT_TRUE(Cov.snapshot().empty());
+
+  obs::Coverage Other;
+  Other.hit("s", "b");
+  Cov.merge(Other);
+  Cov.merge(Other.snapshot());
+  EXPECT_TRUE(Cov.empty());
+  Cov.reset();
+
+  obs::defaultCoverage().hit("s", "b");
+  EXPECT_TRUE(obs::defaultCoverage().empty());
 }
 
 TEST(ObsNoop, TraceOutputIsEmptyButValid) {

@@ -396,6 +396,91 @@ TEST(TraceIo, RejectsBadDocuments) {
   EXPECT_FALSE(Err("not json").empty());
 }
 
+// The four error paths the driver's diagnostics depend on must stay
+// distinguishable: malformed JSON, a missing input column, a lane-count
+// mismatch, and a non-monotone cycle record each name their own cause.
+TEST(TraceIo, DistinctErrorPaths) {
+  ir::Function Fn = parseOk(R"(
+    def f(a:i8, v:i8<3>) -> (y:i8) {
+      y:i8 = add(a, a) @??;
+    }
+  )");
+  auto Err = [&](const std::string &Text) {
+    Result<Trace> T = sim::parseInputTrace(Text, Fn);
+    EXPECT_FALSE(T.ok()) << Text;
+    return T.ok() ? std::string() : T.error();
+  };
+
+  // 1. Malformed JSON: the parser's own message, prefixed by the layer.
+  std::string Malformed = Err(R"({"schema": "reticle-input-trace-v1",)");
+  EXPECT_NE(Malformed.find("input trace"), std::string::npos) << Malformed;
+
+  // 2. Missing input column names the cycle and the port.
+  std::string Missing = Err(
+      R"({"schema":"reticle-input-trace-v1",
+          "cycles":[{"a":1,"v":[1,2,3]},{"a":2}]})");
+  EXPECT_NE(Missing.find("cycle 1"), std::string::npos) << Missing;
+  EXPECT_NE(Missing.find("'v' missing"), std::string::npos) << Missing;
+
+  // 3. Lane-count mismatch reports expected vs got.
+  std::string Lanes = Err(
+      R"({"schema":"reticle-input-trace-v1",
+          "cycles":[{"a":1,"v":[1,2]}]})");
+  EXPECT_NE(Lanes.find("expected 3 lanes, got 2"), std::string::npos)
+      << Lanes;
+
+  // 4. Non-monotone cycle record: the reserved "cycle" self-check key
+  // disagrees with the record's index.
+  std::string NonMonotone = Err(
+      R"({"schema":"reticle-input-trace-v1",
+          "cycles":[{"cycle":0,"a":1,"v":[1,2,3]},
+                    {"cycle":2,"a":2,"v":[1,2,3]}]})");
+  EXPECT_NE(NonMonotone.find("non-monotone cycle"), std::string::npos)
+      << NonMonotone;
+  EXPECT_NE(NonMonotone.find("'cycle' is 2, expected 1"), std::string::npos)
+      << NonMonotone;
+
+  // The messages are pairwise distinct.
+  EXPECT_NE(Malformed, Missing);
+  EXPECT_NE(Missing, Lanes);
+  EXPECT_NE(Lanes, NonMonotone);
+}
+
+TEST(TraceIo, CycleSelfCheckAcceptsInOrderRecords) {
+  ir::Function Fn = parseOk(R"(
+    def f(a:i8) -> (y:i8) {
+      y:i8 = add(a, a) @??;
+    }
+  )");
+  Result<Trace> T = sim::parseInputTrace(
+      R"({"schema":"reticle-input-trace-v1",
+          "cycles":[{"cycle":0,"a":1},{"cycle":1,"a":2}]})",
+      Fn);
+  ASSERT_TRUE(T.ok()) << T.error();
+  EXPECT_EQ(T.value().size(), 2u);
+  // The reserved key is a self-check, not an input: it never lands in
+  // the trace.
+  EXPECT_EQ(T.value().get(0, "cycle"), nullptr);
+}
+
+TEST(TraceIo, CycleKeyNotReservedWhenAPortClaimsIt) {
+  // A function whose input is literally named "cycle" keeps the key as a
+  // normal column; the self-check steps aside.
+  ir::Function Fn = parseOk(R"(
+    def f(cycle:i8) -> (y:i8) {
+      y:i8 = add(cycle, cycle) @??;
+    }
+  )");
+  Result<Trace> T = sim::parseInputTrace(
+      R"({"schema":"reticle-input-trace-v1",
+          "cycles":[{"cycle":42}]})",
+      Fn);
+  ASSERT_TRUE(T.ok()) << T.error();
+  ASSERT_NE(T.value().get(0, "cycle"), nullptr);
+  EXPECT_EQ(T.value().get(0, "cycle")->str(),
+            Value::splat(ir::Type::makeInt(8), 42).str());
+}
+
 //===----------------------------------------------------------------------===//
 // Engines driving sinks
 //===----------------------------------------------------------------------===//
@@ -499,7 +584,8 @@ TEST(WaveStats, SimSectionReflectsTheRun) {
 
   obs::Telemetry Telem;
   obs::RemarkStream Rem;
-  obs::Context Ctx{&Telem, &Rem};
+  obs::Coverage Cov;
+  obs::Context Ctx{&Telem, &Rem, &Cov};
   WaveCapture Cap;
   ASSERT_TRUE(interp::interpret(Fn, In, &Cap, Ctx).ok());
 

@@ -46,6 +46,18 @@
 /// they diverge (including cycle-count mismatch), 2 when an input is
 /// unusable or no signal is comparable.
 ///
+/// Two more modes operate on "reticle-coverage-v1" documents
+/// (reticlec --coverage):
+///   json_check coverage_merge <a.json> [<b.json> ...]
+/// unions the inputs' coverage spaces (bin counts summed) and writes the
+/// merged document — a superset of every input — to stdout. Exit 0, or 2
+/// when an input is unusable.
+///   json_check coverage_diff <golden.json> <new.json>
+/// is the coverage ratchet: any bin hit in the golden doc but missing (or
+/// zero) in the new doc is LOST and fails the diff; newly hit bins are
+/// reported as gained but pass. Exit 0 when nothing was lost, 1 on a
+/// coverage regression, 2 when an input is unusable.
+///
 //===----------------------------------------------------------------------===//
 
 #include "obs/Json.h"
@@ -74,14 +86,24 @@ const Json *lookup(const Json &Root, const std::string &DottedPath) {
   const Json *Node = &Root;
   size_t Pos = 0;
   while (Pos <= DottedPath.size()) {
+    if (!Node->isObject())
+      return nullptr;
     size_t Dot = DottedPath.find('.', Pos);
     std::string Key = DottedPath.substr(
         Pos, Dot == std::string::npos ? std::string::npos : Dot - Pos);
-    if (!Node->isObject())
+    const Json *Next = Node->find(Key);
+    // Keys may themselves contain dots (coverage space names like
+    // "ir.op" or "isel.pattern"): when the plain segment misses, extend
+    // it through later dots until a member matches.
+    while (!Next && Dot != std::string::npos) {
+      Dot = DottedPath.find('.', Dot + 1);
+      Key = DottedPath.substr(
+          Pos, Dot == std::string::npos ? std::string::npos : Dot - Pos);
+      Next = Node->find(Key);
+    }
+    if (!Next)
       return nullptr;
-    Node = Node->find(Key);
-    if (!Node)
-      return nullptr;
+    Node = Next;
     if (Dot == std::string::npos)
       return Node;
     Pos = Dot + 1;
@@ -581,6 +603,211 @@ int runWaveDiff(int Argc, char **Argv) {
   return Diverged ? 1 : 0;
 }
 
+/// One parsed coverage doc: space -> bin -> count, plus the program tag.
+struct CoverageDoc {
+  std::string Program;
+  std::map<std::string, std::map<std::string, int64_t>> Spaces;
+};
+
+/// Loads a "reticle-coverage-v1" document (or any document embedding the
+/// same {"spaces": {...}} shape at top level, e.g. a batch summary's
+/// coverage key is NOT accepted — the ratchet pins standalone docs).
+bool loadCoverage(const std::string &Path, CoverageDoc &Out,
+                  std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = Path + ": cannot open";
+    return false;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  Result<Json> Doc = Json::parse(Buffer.str());
+  if (!Doc) {
+    Error = Path + ": malformed JSON: " + Doc.error();
+    return false;
+  }
+  const Json &R = Doc.value();
+  const Json *Schema = R.isObject() ? R.find("schema") : nullptr;
+  if (!Schema || !Schema->isString() ||
+      Schema->asString() != "reticle-coverage-v1") {
+    Error = Path + ": schema is not \"reticle-coverage-v1\"";
+    return false;
+  }
+  if (const Json *Program = R.find("program");
+      Program && Program->isString())
+    Out.Program = Program->asString();
+  const Json *Spaces = R.find("spaces");
+  if (!Spaces || !Spaces->isObject()) {
+    Error = Path + ": missing 'spaces' object";
+    return false;
+  }
+  for (const auto &[SpaceName, Space] : Spaces->members()) {
+    const Json *Bins = Space.isObject() ? Space.find("bins") : nullptr;
+    if (!Bins || !Bins->isObject()) {
+      Error = Path + ": space '" + SpaceName + "' has no 'bins' object";
+      return false;
+    }
+    auto &Dst = Out.Spaces[SpaceName];
+    for (const auto &[BinName, Count] : Bins->members()) {
+      if (!Count.isNumber()) {
+        Error = Path + ": bin '" + SpaceName + "/" + BinName +
+                "' has a non-numeric count";
+        return false;
+      }
+      Dst[BinName] += Count.asInt();
+    }
+  }
+  return true;
+}
+
+/// Serializes a coverage map back into a "reticle-coverage-v1" document
+/// (mirrors obs::coverageDoc; duplicated here so json_check stays a pure
+/// document tool over the published schema).
+Json coverageDocJson(const CoverageDoc &Doc) {
+  Json SpacesJson = Json::object();
+  int64_t TotalBins = 0, TotalHit = 0;
+  for (const auto &[SpaceName, Bins] : Doc.Spaces) {
+    Json BinsJson = Json::object();
+    int64_t Hit = 0;
+    for (const auto &[BinName, Count] : Bins) {
+      BinsJson.set(BinName, Count);
+      if (Count > 0)
+        ++Hit;
+    }
+    Json SpaceJson = Json::object();
+    SpaceJson.set("bins", std::move(BinsJson));
+    SpaceJson.set("hit", Hit);
+    SpaceJson.set("total", static_cast<int64_t>(Bins.size()));
+    SpacesJson.set(SpaceName, std::move(SpaceJson));
+    TotalBins += static_cast<int64_t>(Bins.size());
+    TotalHit += Hit;
+  }
+  Json Out = Json::object();
+  Out.set("schema", "reticle-coverage-v1");
+  Out.set("program", Doc.Program);
+  Out.set("spaces", std::move(SpacesJson));
+  Json Totals = Json::object();
+  Totals.set("spaces", static_cast<int64_t>(Doc.Spaces.size()));
+  Totals.set("bins", TotalBins);
+  Totals.set("hit", TotalHit);
+  Out.set("totals", std::move(Totals));
+  return Out;
+}
+
+/// `json_check coverage_merge <a.json> <b.json> ...`: unions N coverage
+/// docs (bins summed) and writes the merged "reticle-coverage-v1" doc to
+/// stdout. The merge is a superset of every input by construction. Exit 0
+/// on success, 2 when an input is unusable.
+int runCoverageMerge(int Argc, char **Argv) {
+  std::vector<std::string> Paths;
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s coverage_merge <a.json> [<b.json> ...]\n",
+                   Argv[0]);
+      return 2;
+    }
+    Paths.push_back(Arg);
+  }
+  if (Paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s coverage_merge <a.json> [<b.json> ...]\n",
+                 Argv[0]);
+    return 2;
+  }
+
+  CoverageDoc Merged;
+  std::string Error;
+  for (const std::string &Path : Paths) {
+    CoverageDoc One;
+    if (!loadCoverage(Path, One, Error)) {
+      std::fprintf(stderr, "json_check: %s\n", Error.c_str());
+      return 2;
+    }
+    if (!Merged.Program.empty() && !One.Program.empty())
+      Merged.Program += "+";
+    Merged.Program += One.Program;
+    for (const auto &[SpaceName, Bins] : One.Spaces) {
+      auto &Dst = Merged.Spaces[SpaceName];
+      for (const auto &[BinName, Count] : Bins)
+        Dst[BinName] += Count;
+    }
+  }
+  std::fputs((coverageDocJson(Merged).str(2) + "\n").c_str(), stdout);
+  return 0;
+}
+
+/// `json_check coverage_diff <golden.json> <new.json>`: the coverage
+/// ratchet. A bin hit in the golden doc but missing (or zero) in the new
+/// doc is a LOST bin — coverage regressed. Bins newly hit only in the new
+/// doc are reported as gained but do not fail; the ratchet only tightens.
+/// Exit 0 when nothing was lost, 1 when coverage regressed, 2 when an
+/// input is unusable — the diff(1) contract, like remark_diff/wave_diff.
+int runCoverageDiff(int Argc, char **Argv) {
+  std::vector<std::string> Paths;
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s coverage_diff <golden.json> <new.json>\n",
+                   Argv[0]);
+      return 2;
+    }
+    Paths.push_back(Arg);
+  }
+  if (Paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: %s coverage_diff <golden.json> <new.json>\n",
+                 Argv[0]);
+    return 2;
+  }
+
+  CoverageDoc Golden, New;
+  std::string Error;
+  if (!loadCoverage(Paths[0], Golden, Error) ||
+      !loadCoverage(Paths[1], New, Error)) {
+    std::fprintf(stderr, "json_check: %s\n", Error.c_str());
+    return 2;
+  }
+
+  auto HitCount = [](const CoverageDoc &Doc, const std::string &Space,
+                     const std::string &Bin) -> int64_t {
+    auto SpaceIt = Doc.Spaces.find(Space);
+    if (SpaceIt == Doc.Spaces.end())
+      return 0;
+    auto BinIt = SpaceIt->second.find(Bin);
+    return BinIt == SpaceIt->second.end() ? 0 : BinIt->second;
+  };
+
+  uint64_t Lost = 0, Gained = 0, Kept = 0;
+  for (const auto &[SpaceName, Bins] : Golden.Spaces)
+    for (const auto &[BinName, Count] : Bins) {
+      if (Count <= 0)
+        continue; // declared-only bins are holes, not coverage to keep
+      if (HitCount(New, SpaceName, BinName) > 0) {
+        ++Kept;
+      } else {
+        ++Lost;
+        std::printf("- %s/%s\n", SpaceName.c_str(), BinName.c_str());
+      }
+    }
+  for (const auto &[SpaceName, Bins] : New.Spaces)
+    for (const auto &[BinName, Count] : Bins) {
+      if (Count <= 0)
+        continue;
+      if (HitCount(Golden, SpaceName, BinName) == 0) {
+        ++Gained;
+        std::printf("+ %s/%s\n", SpaceName.c_str(), BinName.c_str());
+      }
+    }
+  std::printf("coverage diff: %llu lost, %llu gained, %llu kept\n",
+              static_cast<unsigned long long>(Lost),
+              static_cast<unsigned long long>(Gained),
+              static_cast<unsigned long long>(Kept));
+  return Lost ? 1 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -588,6 +815,10 @@ int main(int Argc, char **Argv) {
     return runRemarkDiff(Argc, Argv);
   if (Argc > 1 && std::string(Argv[1]) == "wave_diff")
     return runWaveDiff(Argc, Argv);
+  if (Argc > 1 && std::string(Argv[1]) == "coverage_merge")
+    return runCoverageMerge(Argc, Argv);
+  if (Argc > 1 && std::string(Argv[1]) == "coverage_diff")
+    return runCoverageDiff(Argc, Argv);
   std::string FilePath;
   std::vector<std::string> Required, NonEmpty, Events, Remarks;
   bool Jsonl = false;
@@ -615,8 +846,10 @@ int main(int Argc, char **Argv) {
                    "<file.json>\n"
                    "       %s remark_diff [--json] <a.jsonl> <b.jsonl>\n"
                    "       %s wave_diff [--json] [--all-signals] "
-                   "<a.jsonl> <b.jsonl>\n",
-                   Argv[0], Argv[0], Argv[0]);
+                   "<a.jsonl> <b.jsonl>\n"
+                   "       %s coverage_merge <a.json> [<b.json> ...]\n"
+                   "       %s coverage_diff <golden.json> <new.json>\n",
+                   Argv[0], Argv[0], Argv[0], Argv[0], Argv[0]);
       return 2;
     } else
       FilePath = Arg;

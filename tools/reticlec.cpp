@@ -32,6 +32,8 @@
 ///                                            ASCII for "-" or a .txt path
 ///     --floorplan-timeline=<file|->          shrink-probe timeline as SVG
 ///                                            small multiples
+///     --coverage=<file|->                    coverage bins as a
+///                                            reticle-coverage-v1 doc
 ///     --disable-pass=<name>                  skip an optional pass (opt,
 ///                                            cascade, timing); repeatable
 ///     --print-before=<name>                  print the program to stderr just
@@ -50,8 +52,11 @@
 ///     --vcd=<file|->                         waveform as standard VCD
 ///     --wave-json=<file|->                   waveform as reticle-wave-v1 JSONL
 /// Waveforms flush even when a run aborts mid-simulation; in a
-/// RETICLE_NO_TELEMETRY build --run works but the waveform flags are
-/// rejected. --sim=both exits 1 on the first interp/netlist divergence.
+/// RETICLE_NO_TELEMETRY build --run works but the waveform and coverage
+/// flags are rejected. --sim=both exits 1 on the first interp/netlist
+/// divergence. With --run, --coverage additionally carries sim.toggle
+/// bins: per-signal-bit 0->1/1->0 transitions replayed from the captured
+/// waveforms of every engine that ran.
 ///
 /// With more than one input the driver switches to batch mode and
 /// compiles every program concurrently, one CompileSession per input:
@@ -59,8 +64,10 @@
 ///     --out-dir=<dir>                        per-input artifacts land here (.)
 /// Each input <stem>.ret produces <out-dir>/<stem>.v (or .rasm), plus —
 /// when the corresponding flag is given — <stem>.stats.json,
-/// <stem>.remarks.txt, <stem>.remarks.jsonl, <stem>.trace.json, and a
-/// <stem>/ snapshot directory under the --dump-after-all directory. The
+/// <stem>.remarks.txt, <stem>.remarks.jsonl, <stem>.trace.json,
+/// <stem>.coverage.json, and a <stem>/ snapshot directory under the
+/// --dump-after-all directory. The --coverage path receives the batch
+/// coverage union (also embedded in the summary's "coverage" key). The
 /// --stats-json path then receives the merged "reticle-batch-v1" summary
 /// (the per-input file paths of --remarks/--remarks-json/--trace are
 /// ignored; presence of the flag enables the per-input artifact).
@@ -88,6 +95,7 @@
 #include "interp/TraceIo.h"
 #include "interp/Wave.h"
 #include "ir/Parser.h"
+#include "obs/Coverage.h"
 #include "obs/Remarks.h"
 #include "obs/Report.h"
 #include "obs/Snapshots.h"
@@ -123,24 +131,68 @@ constexpr const char *PassChoices =
     "parse, opt, isel, cascade, place, codegen, timing";
 constexpr const char *DisableablePasses = "opt, cascade, timing";
 
+/// The complete flag inventory, one entry per flag the argument parser
+/// accepts. usage() renders it (and the --help e2e test asserts every
+/// accepted flag appears), so a flag added to main() without a row here
+/// is a test failure, not silent doc rot.
+void printUsage(std::FILE *Out, const char *Argv0) {
+  std::fprintf(
+      Out,
+      "usage: %s [options] <input.ret> [<input2.ret> ...]\n"
+      "\n"
+      "compile options:\n"
+      "  --emit=asm|placed|verilog|behavioral   artifact to print (verilog)\n"
+      "  --device=xczu3eg|small|tiny            placement target (xczu3eg)\n"
+      "  -O                                     run dce/fold/vectorize first\n"
+      "  --no-cascade                           skip the cascade rewrite\n"
+      "  --no-shrink                            skip placement shrinking\n"
+      "  --disable-pass=<name>                  skip an optional pass "
+      "(repeatable)\n"
+      "  --print-before=<name>                  print the program before a "
+      "pass\n"
+      "  -o <file>                              write output to a file\n"
+      "\n"
+      "observability:\n"
+      "  --stats                                per-stage report on stderr\n"
+      "  --stats-json=<file|->                  unified stats document\n"
+      "  --trace=<file|->                       Chrome/Perfetto trace\n"
+      "  --dump-after-all=<dir>                 every stage snapshot + "
+      "manifest\n"
+      "  --dump-after=<stage>                   one stage's program to "
+      "stderr\n"
+      "  --remarks=<file|->                     optimization remarks (text)\n"
+      "  --remarks-json=<file|->                remarks as JSONL\n"
+      "  --floorplan=<file|->                   placement floorplan "
+      "(SVG/ASCII)\n"
+      "  --floorplan-timeline=<file|->          shrink-probe timeline SVG\n"
+      "  --coverage=<file|->                    coverage bins as "
+      "reticle-coverage-v1\n"
+      "\n"
+      "run mode (execute instead of printing an artifact):\n"
+      "  --run=<trace.json>                     execute over this input "
+      "trace\n"
+      "  --cycles=N                             simulate only the first N "
+      "cycles\n"
+      "  --sim=interp|netlist|both              engine selection (both)\n"
+      "  --vcd=<file|->                         waveform as standard VCD\n"
+      "  --wave-json=<file|->                   waveform as reticle-wave-v1 "
+      "JSONL\n"
+      "\n"
+      "batch mode (several inputs):\n"
+      "  --jobs=N                               worker threads (default: "
+      "cores)\n"
+      "  --out-dir=<dir>                        per-input artifacts land "
+      "here (.)\n"
+      "\n"
+      "other:\n"
+      "  --dump-target                          print the UltraScale TDL\n"
+      "  --version                              print the version and exit\n"
+      "  --help                                 print this help and exit\n",
+      Argv0);
+}
+
 int usage(const char *Argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--emit=asm|placed|verilog|behavioral] "
-               "[--device=xczu3eg|small|tiny] [-O] [--no-cascade] "
-               "[--no-shrink] [--stats] [--stats-json=<file|->] "
-               "[--trace=<file|->] [--dump-after-all=<dir>] "
-               "[--dump-after=<stage>] [--remarks=<file|->] "
-               "[--remarks-json=<file|->] [--floorplan=<file|->] "
-               "[--floorplan-timeline=<file|->] [--disable-pass=<name>] "
-               "[--print-before=<name>] "
-               "[--jobs=N] [--out-dir=<dir>] "
-               "[-o <file>] <input.ret> [<input2.ret> ...]\n"
-               "       %s --run=<trace.json> [--cycles=N] "
-               "[--sim=interp|netlist|both] [--vcd=<file|->] "
-               "[--wave-json=<file|->] <input.ret>\n"
-               "       %s --dump-target\n"
-               "       %s --version\n",
-               Argv0, Argv0, Argv0, Argv0);
+  printUsage(stderr, Argv0);
   return 2;
 }
 
@@ -188,6 +240,16 @@ Status writeTextOutput(const std::string &Path, const std::string &Text) {
   return Status::success();
 }
 
+/// Writes the standalone `reticle-coverage-v1` document for \p Program
+/// over the bins in \p Spaces to \p Path ("-" streams to stdout); a no-op
+/// when no --coverage path was given.
+Status writeCoverage(const std::string &Path, const std::string &Program,
+                     const obs::CoverageSnapshot &Spaces) {
+  if (Path.empty())
+    return Status::success();
+  return writeTextOutput(Path, obs::coverageDoc(Program, Spaces).str(2) + "\n");
+}
+
 /// Everything parsed from the command line.
 struct DriverArgs {
   std::string Emit = "verilog";
@@ -209,6 +271,7 @@ struct DriverArgs {
   std::string SimEngine = "both";
   std::string VcdPath;
   std::string WaveJsonPath;
+  std::string CoveragePath;
   uint64_t Cycles = 0;
   bool CyclesSet = false;
   bool SimSet = false;
@@ -313,6 +376,12 @@ int runSingle(const DriverArgs &Args) {
         return S;
       }
     }
+    // Coverage flushes like remarks do: a failed compile still reports
+    // the bins the stages it passed through recorded.
+    if (Status S = writeCoverage(Args.CoveragePath, InputPath,
+                                 Session.coverage().snapshot());
+        !S)
+      return S;
     return Status::success();
   };
 
@@ -442,6 +511,12 @@ int runExecute(const DriverArgs &Args) {
         return S;
       }
     }
+    // Coverage flushes like remarks do; after a completed run it also
+    // carries the sim.toggle bins the replay below recorded.
+    if (Status S = writeCoverage(Args.CoveragePath, InputPath,
+                                 Session.coverage().snapshot());
+        !S)
+      return S;
     return Status::success();
   };
 
@@ -477,18 +552,43 @@ int runExecute(const DriverArgs &Args) {
   bool RunInterp = Args.SimEngine != "netlist";
   bool RunNetlist = Args.SimEngine != "interp";
   bool WantWave = !Args.VcdPath.empty() || !Args.WaveJsonPath.empty();
+  // Toggle coverage replays the same captures the waveform writers use,
+  // so a coverage or stats request keeps the captures alive too.
+  bool WantCoverage =
+      !Args.CoveragePath.empty() || !Args.StatsJsonPath.empty();
+  bool Capture = WantWave || WantCoverage;
 
   sim::WaveCapture InterpWave, NetlistWave;
   Result<interp::Trace> InterpOut = fail<interp::Trace>("not run");
   Result<interp::Trace> NetlistOut = fail<interp::Trace>("not run");
   if (RunInterp)
     InterpOut = interp::interpret(Fn.value(), Drive,
-                                  WantWave ? &InterpWave : nullptr,
+                                  Capture ? &InterpWave : nullptr,
                                   Session.context());
   if (RunNetlist)
     NetlistOut = codegen::simulate(R.value().Verilog, Drive,
-                                   WantWave ? &NetlistWave : nullptr,
+                                   Capture ? &NetlistWave : nullptr,
                                    Session.context());
+
+  auto CaptureSources =
+      [&]() -> std::vector<std::pair<const sim::WaveCapture *, std::string>> {
+    if (RunInterp && RunNetlist)
+      return {{&InterpWave, "interp"}, {&NetlistWave, "netlist"}};
+    if (RunInterp)
+      return {{&InterpWave, ""}};
+    return {{&NetlistWave, ""}};
+  };
+
+  // Dynamic toggle coverage: replay the captured run(s) — complete or
+  // aborted — into the session's coverage registry as per-signal-bit
+  // 0->1 / 1->0 bins, per-engine-prefixed in --sim=both mode. The stats
+  // document and the --coverage doc render afterwards, so both see the
+  // sim.toggle space.
+  if (Capture) {
+    sim::ToggleCoverageSink Toggles(Session.coverage());
+    if (Status S = sim::replay(CaptureSources(), Toggles); !S)
+      return compileError(S.error());
+  }
 
 #ifndef RETICLE_NO_TELEMETRY
   // Waveforms are written from the in-memory captures after the run —
@@ -497,13 +597,8 @@ int runExecute(const DriverArgs &Args) {
   auto WriteWaves = [&]() -> Status {
     if (!WantWave)
       return Status::success();
-    std::vector<std::pair<const sim::WaveCapture *, std::string>> Sources;
-    if (RunInterp && RunNetlist)
-      Sources = {{&InterpWave, "interp"}, {&NetlistWave, "netlist"}};
-    else if (RunInterp)
-      Sources = {{&InterpWave, ""}};
-    else
-      Sources = {{&NetlistWave, ""}};
+    std::vector<std::pair<const sim::WaveCapture *, std::string>> Sources =
+        CaptureSources();
     std::string Top = std::filesystem::path(InputPath).stem().string();
     if (Top.empty())
       Top = "reticle";
@@ -657,6 +752,12 @@ int runBatch(const DriverArgs &Args) {
                 Base.string() + ".trace.json");
             !S)
           return usageError(S.error());
+      if (!Args.CoveragePath.empty())
+        if (Status S = writeCoverage(Base.string() + ".coverage.json",
+                                     Item.Name,
+                                     Item.Session->coverage().snapshot());
+            !S)
+          return usageError(S.error());
       Exit = 1;
       continue;
     }
@@ -688,6 +789,12 @@ int runBatch(const DriverArgs &Args) {
                                                           ".trace.json");
           !S)
         return usageError(S.error());
+    if (!Args.CoveragePath.empty())
+      if (Status S = writeCoverage(Base.string() + ".coverage.json",
+                                   Item.Name,
+                                   Item.Session->coverage().snapshot());
+          !S)
+        return usageError(S.error());
     if (!Args.DumpDir.empty()) {
       std::filesystem::path StageDir =
           std::filesystem::path(Args.DumpDir) / Stems[I];
@@ -711,6 +818,13 @@ int runBatch(const DriverArgs &Args) {
       return usageError(S.error());
     }
   }
+  // The --coverage path receives the batch union (per-input docs landed
+  // next to the other per-input artifacts above), mirroring how
+  // --stats-json holds the merged summary in batch mode.
+  if (Status S =
+          writeCoverage(Args.CoveragePath, "batch", core::batchCoverage(Items));
+      !S)
+    return usageError(S.error());
   return Exit;
 }
 
@@ -728,6 +842,10 @@ int main(int Argc, char **Argv) {
     }
     if (Arg == "--version") {
       std::printf("reticlec %s\n", RETICLE_VERSION);
+      return 0;
+    }
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage(stdout, Argv[0]);
       return 0;
     }
     if (Arg.rfind("--emit=", 0) == 0) {
@@ -812,6 +930,10 @@ int main(int Argc, char **Argv) {
       Args.WaveJsonPath = Arg.substr(12);
       if (Args.WaveJsonPath.empty())
         return usageError("--wave-json= requires a file path or '-'");
+    } else if (Arg.rfind("--coverage=", 0) == 0) {
+      Args.CoveragePath = Arg.substr(11);
+      if (Args.CoveragePath.empty())
+        return usageError("--coverage= requires a file path or '-'");
     } else if (Arg.rfind("--jobs=", 0) == 0) {
       std::string Value = Arg.substr(7);
       char *End = nullptr;
@@ -860,6 +982,15 @@ int main(int Argc, char **Argv) {
     return usageError("unknown --device '" + DeviceName +
                       "' (valid: " + DeviceChoices + ")");
 
+#ifdef RETICLE_NO_TELEMETRY
+  // Coverage recording is part of the telemetry surface; a compiled-out
+  // build still compiles (and runs) everything, it just cannot report
+  // coverage.
+  if (!Args.CoveragePath.empty())
+    return usageError("--coverage requires a telemetry-enabled build "
+                      "(RETICLE_NO_TELEMETRY is set)");
+#endif
+
   if (Args.Emit == "behavioral") {
     // Everything below observes the Figure-7 pipeline, which the
     // behavioral translation bypasses entirely.
@@ -872,6 +1003,7 @@ int main(int Argc, char **Argv) {
         {"--floorplan", &Args.FloorplanPath},
         {"--floorplan-timeline", &Args.FloorplanTimelinePath},
         {"--print-before", &Args.Options.PrintBefore},
+        {"--coverage", &Args.CoveragePath},
     };
     for (const auto &[Flag, Value] : PipelineOnly)
       if (!Value->empty())
