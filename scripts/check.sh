@@ -9,7 +9,8 @@
 # microbenchmarks. After the primary build, two
 # hardening builds run: one with the telemetry layer compiled out
 # (-DRETICLE_NO_TELEMETRY=ON) and one under ThreadSanitizer exercising
-# the concurrent batch-compile path. Run from anywhere; builds into
+# the concurrent batch-compile path and concurrent compiled-simulation
+# VM runs. Run from anywhere; builds into
 # <repo>/build (plus build-notelem/ and build-tsan/ siblings).
 set -eu
 
@@ -88,24 +89,28 @@ for stem in mac dot3 scalar_adds; do
         "$out/batch/$stem.stats.json"
 done
 
-echo "== wave_diff sweep (interp vs netlist on every example program) =="
+echo "== wave_diff sweep (tree engines vs compiled VM on every example) =="
 # The differential-simulation oracle: run every example program's input
-# trace through both engines, emit reticle-wave-v1 streams, and require a
-# zero-divergence join on the shared port signals. A VCD streamed to
-# stdout must reach its dump section.
+# trace through all four engines (tree-walking interpreter and netlist
+# simulator, plus the compiled-bytecode VM lowered from each source),
+# emit reticle-wave-v1 streams, and require zero-divergence joins both
+# between the tree engines and between each VM and the tree engine it
+# replaces. A VCD streamed to stdout must reach its dump section.
 for stem in mac dot3 scalar_adds; do
-    "$build/tools/reticlec" --device=small \
-        --run="$repo/examples/traces/$stem.trace.json" --sim=interp \
-        --wave-json="$out/$stem.interp.wave.jsonl" \
-        "$repo/examples/programs/$stem.ret"
-    "$build/tools/reticlec" --device=small \
-        --run="$repo/examples/traces/$stem.trace.json" --sim=netlist \
-        --wave-json="$out/$stem.netlist.wave.jsonl" \
-        "$repo/examples/programs/$stem.ret"
-    "$build/tools/json_check" --jsonl --require=schema \
-        "$out/$stem.interp.wave.jsonl"
+    for engine in interp netlist vm-ir vm-netlist; do
+        "$build/tools/reticlec" --device=small \
+            --run="$repo/examples/traces/$stem.trace.json" --sim="$engine" \
+            --wave-json="$out/$stem.$engine.wave.jsonl" \
+            "$repo/examples/programs/$stem.ret"
+        "$build/tools/json_check" --jsonl --require=schema \
+            "$out/$stem.$engine.wave.jsonl"
+    done
     "$build/tools/json_check" wave_diff \
         "$out/$stem.interp.wave.jsonl" "$out/$stem.netlist.wave.jsonl"
+    "$build/tools/json_check" wave_diff \
+        "$out/$stem.vm-ir.wave.jsonl" "$out/$stem.interp.wave.jsonl"
+    "$build/tools/json_check" wave_diff \
+        "$out/$stem.vm-netlist.wave.jsonl" "$out/$stem.netlist.wave.jsonl"
 done
 "$build/tools/reticlec" --device=small \
     --run="$repo/examples/traces/mac.trace.json" --sim=both --vcd=- \
@@ -166,6 +171,16 @@ cmake --build "$repo/build-notelem" -j"$jobs"
 "$repo/build-notelem/tools/reticlec" --device=small \
     --run="$repo/examples/traces/mac.trace.json" --sim=both \
     "$repo/examples/programs/mac.ret"
+# The compiled-simulation VM is engine surface, not telemetry surface:
+# single-engine VM runs and the bytecode disassembler must work with
+# telemetry compiled out.
+"$repo/build-notelem/tools/reticlec" --device=small \
+    --run="$repo/examples/traces/mac.trace.json" --sim=vm-ir \
+    "$repo/examples/programs/mac.ret"
+"$repo/build-notelem/tools/reticlec" --device=small \
+    --run="$repo/examples/traces/mac.trace.json" --sim=vm-netlist \
+    --dump-sim-program=- \
+    "$repo/examples/programs/mac.ret" | grep -q "reticle-sim-program-v1"
 if "$repo/build-notelem/tools/reticlec" --device=small \
     --run="$repo/examples/traces/mac.trace.json" --vcd=- \
     "$repo/examples/programs/mac.ret" 2>/dev/null
@@ -194,8 +209,9 @@ cmake -B "$repo/build-tsan" -S "$repo" \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$repo/build-tsan" -j"$jobs" \
-    --target batch_race_check reticlec json_check
+    --target batch_race_check sim_vm_race_check reticlec json_check
 "$repo/build-tsan/tests/batch_race_check"
+"$repo/build-tsan/tests/sim_vm_race_check"
 "$repo/build-tsan/tools/reticlec" --device=small --jobs=4 \
     --out-dir="$out/batch-tsan" \
     --stats-json="$out/batch-tsan/summary.json" \

@@ -6,10 +6,10 @@
 
 #include "codegen/NetlistSim.h"
 
+#include "interp/Cycle.h"
 #include "ir/DefUse.h"
 #include "obs/Telemetry.h"
 
-#include <algorithm>
 #include <stdexcept>
 
 using namespace reticle;
@@ -75,9 +75,14 @@ Bits fromUint(uint64_t Value, unsigned Width) {
   return Out;
 }
 
-int64_t toSigned(const Bits &B) {
-  uint64_t U = toUint(B);
+/// Interprets \p B as a signed two's-complement number. Signals wider
+/// than 64 bits are a hard error rather than a silent truncation.
+Result<int64_t> toSigned(const Bits &B) {
   unsigned W = static_cast<unsigned>(B.size());
+  if (W > 64)
+    return fail<int64_t>("DSP multiplier input wider than 64 bits (" +
+                         std::to_string(W) + " bits)");
+  uint64_t U = toUint(B);
   if (W >= 64)
     return static_cast<int64_t>(U);
   if (B.back())
@@ -238,7 +243,13 @@ Result<Bits> dspCombP(const Item &I, const SignalTable &Signals) {
   if (!A || !B)
     return fail<Bits>("DSP input evaluation failed");
   if (Mult) {
-    int64_t Product = toSigned(A.value()) * toSigned(B.value());
+    Result<int64_t> As = toSigned(A.value());
+    if (!As)
+      return fail<Bits>(As.error());
+    Result<int64_t> Bs = toSigned(B.value());
+    if (!Bs)
+      return fail<Bits>(Bs.error());
+    int64_t Product = As.value() * Bs.value();
     Xy = fromUint(static_cast<uint64_t>(Product), 48);
   } else {
     // {A, B}: A in the top 30 bits, B in the low 18.
@@ -390,7 +401,7 @@ Result<interp::Trace> reticle::codegen::simulate(const Module &M,
     return P.Width == 0 ? 1u : P.Width;
   };
   // Ports and internal signals resolve to table ids once per run; the
-  // cycle loop only indexes flat vectors.
+  // shared binder/prototype do the per-cycle merge walk and cloning.
   struct BoundPort {
     const verilog::Port *P;
     ir::ValueId Id;
@@ -405,32 +416,30 @@ Result<interp::Trace> reticle::codegen::simulate(const Module &M,
     BoundPort B{&P, Signals.lookup(P.Name), WidthOf(P)};
     (P.Direction == verilog::Dir::Input ? Inputs : Outputs).push_back(B);
   }
-  std::sort(Inputs.begin(), Inputs.end(),
-            [](const BoundPort &A, const BoundPort &B) {
-              return A.P->Name < B.P->Name;
-            });
   for (const Item &I : M.items())
     if (I.ItemKind == Item::Kind::Wire || I.ItemKind == Item::Kind::Reg)
       if (Status S = Signals.declare(I.Name, I.Width); !S)
         return fail<TraceT>(S.error());
 
-  // Output steps are cloned from a prototype; the table ids and result
-  // types parallel the prototype's map order.
-  interp::Step Proto;
-  for (const BoundPort &B : Outputs)
-    Proto[B.P->Name] = interp::Value();
-  std::vector<std::pair<ir::ValueId, ir::Type>> ProtoSlots;
-  ProtoSlots.reserve(Proto.size());
-  for (const auto &KV : Proto) {
-    ir::ValueId Id = Signals.lookup(KV.first);
-    unsigned W = static_cast<unsigned>(Signals.at(Id).size());
+  sim::InputBinder Binder;
+  for (unsigned K = 0; K < Inputs.size(); ++K)
+    Binder.add(Inputs[K].P->Name, K);
+  Binder.seal();
+
+  sim::OutputProto Proto;
+  std::vector<std::pair<ir::ValueId, ir::Type>> OutSlots;
+  OutSlots.reserve(Outputs.size());
+  for (const BoundPort &B : Outputs) {
+    unsigned W = B.Width;
     // Ports wider than 64 bits (flattened vectors) are reported as bit
     // vectors (i1<W>); callers compare through toBits().
     ir::Type Ty = W == 1    ? ir::Type::makeBool()
                   : W <= 64 ? ir::Type::makeInt(W)
                             : ir::Type::makeInt(1, W);
-    ProtoSlots.emplace_back(Id, Ty);
+    Proto.add(B.P->Name, static_cast<unsigned>(OutSlots.size()));
+    OutSlots.emplace_back(B.Id, Ty);
   }
+  Proto.seal();
 
   // Initialize sequential state, resolving each element's clock-edge
   // connections up front (one linear scan per run, not per cycle).
@@ -460,14 +469,12 @@ Result<interp::Trace> reticle::codegen::simulate(const Module &M,
     }
   }
 
-  obs::Counter &SimCycles = Ctx.counter("sim.cycles");
-  obs::Counter &OwnCycles = Ctx.counter("netlist.cycles");
   obs::Counter &Evals = Ctx.counter("netlist.evals");
   obs::Counter &Sweeps = Ctx.counter("netlist.sweeps");
 
-  sim::WaveRecorder Rec(Wave, Ctx);
+  sim::EngineFrame Frame(Wave, Ctx, "netlist.cycles");
   std::vector<ir::ValueId> WaveIds;
-  if (Rec.active()) {
+  if (Frame.waveActive()) {
     std::vector<uint8_t> KindOf(Signals.size(),
                                 uint8_t(sim::WaveSignal::Kind::Internal));
     for (const BoundPort &B : Inputs)
@@ -483,35 +490,32 @@ Result<interp::Trace> reticle::codegen::simulate(const Module &M,
                             static_cast<unsigned>(Signals.at(Id).size()),
                             sim::WaveSignal::Kind(KindOf[Id]));
     }
-    if (Status S = Rec.begin(std::move(WaveSigs)); !S)
+    if (Status S = Frame.recorder().begin(std::move(WaveSigs)); !S)
       return fail<TraceT>(S.error());
   }
 
   // Any mid-run failure still flushes the partial waveform.
   auto Abort = [&](std::string Msg) {
-    Rec.finish(/*Aborted=*/true);
-    return fail<TraceT>(std::move(Msg));
+    return fail<TraceT>(Frame.abort(std::move(Msg)));
   };
 
   interp::Trace Output;
   for (size_t Cycle = 0; Cycle < Input.size(); ++Cycle) {
-    ++SimCycles;
-    ++OwnCycles;
-    // Drive inputs: the step map and the bound-port list are both
-    // name-ordered, so one merge walk binds everything.
-    const interp::Step &In = Input.step(Cycle);
-    auto It = In.begin();
-    for (const BoundPort &B : Inputs) {
-      while (It != In.end() && It->first < B.P->Name)
-        ++It;
-      if (It == In.end() || It->first != B.P->Name)
-        return Abort("cycle " + std::to_string(Cycle) + ": input '" +
-                     B.P->Name + "' missing from trace");
-      Bits V = It->second.toBits();
-      if (V.size() != B.Width)
-        return Abort("input '" + B.P->Name + "' width mismatch");
-      Signals.at(B.Id) = std::move(V);
-    }
+    Frame.beginCycle();
+    // Drive inputs: one merge walk over the step's ordered map.
+    Status Bound = Binder.bind(
+        Input.step(Cycle), Cycle,
+        [&](unsigned Slot, const interp::Value &V) {
+          const BoundPort &B = Inputs[Slot];
+          Bits Flat = V.toBits();
+          if (Flat.size() != B.Width)
+            return Status::failure("input '" + B.P->Name +
+                                   "' width mismatch");
+          Signals.at(B.Id) = std::move(Flat);
+          return Status::success();
+        });
+    if (!Bound)
+      return Abort(Bound.error());
     // Settle combinational logic (the netlist is acyclic, so this
     // converges within the logic depth).
     size_t MaxSweeps = Items.size() + 2;
@@ -528,22 +532,20 @@ Result<interp::Trace> reticle::codegen::simulate(const Module &M,
     }
     // Sample outputs into a clone of the prototype step, filling values
     // by map position.
-    Output.push(Proto);
-    interp::Step &Out = Output.steps().back();
-    size_t K = 0;
-    for (auto &KV : Out) {
-      const auto &[Id, Ty] = ProtoSlots[K++];
+    Proto.emit(Output, [&](unsigned Slot) {
+      const auto &[Id, Ty] = OutSlots[Slot];
       const Bits &B = Signals.at(Id);
-      KV.second = interp::Value::fromBits(
+      return interp::Value::fromBits(
           Ty, Bits(B.begin(), B.begin() + Ty.totalBits()));
-    }
+    });
     // The waveform observes the settled post-sweep state: FDRE Q shows
     // the value held during the cycle, matching the interpreter's
     // pre-update register semantics.
-    if (Rec.active()) {
-      Rec.cycle(Cycle);
+    if (Frame.waveActive()) {
+      Frame.recorder().cycle(Cycle);
       for (size_t W = 0; W < WaveIds.size(); ++W)
-        Rec.record(static_cast<unsigned>(W), Signals.at(WaveIds[W]));
+        Frame.recorder().record(static_cast<unsigned>(W),
+                                Signals.at(WaveIds[W]));
     }
     // Clock edge: FDRE and DSP P registers capture.
     std::map<size_t, Bits> NextFdre = State.FdreQ;
@@ -574,7 +576,7 @@ Result<interp::Trace> reticle::codegen::simulate(const Module &M,
     State.FdreQ = std::move(NextFdre);
     State.DspP = std::move(NextDsp);
   }
-  if (Status S = Rec.finish(/*Aborted=*/false); !S)
+  if (Status S = Frame.finish(); !S)
     return fail<TraceT>(S.error());
   return Output;
 }

@@ -8,6 +8,7 @@
 
 #include "obs/Coverage.h"
 #include "obs/Telemetry.h"
+#include "sim/Program.h"
 
 using namespace reticle;
 using namespace reticle::core;
@@ -154,6 +155,31 @@ Json reticle::core::statsJson(const CompileResult &Result,
   Netlist.set("evals", Count("netlist.evals"));
   Netlist.set("sweeps", Count("netlist.sweeps"));
   Sim.set("netlist", std::move(Netlist));
+  // The compiled-simulation VM: lowering activity (program geometry,
+  // compile count) and execution volume (cycles, bytecode instructions
+  // retired). `ops` divided by `cycles` is the per-cycle program size the
+  // VM actually ran.
+  Json Vm = Json::object();
+  Vm.set("cycles", Count("sim.vm.cycles"));
+  Vm.set("ops", Count("sim.vm.ops"));
+  Vm.set("compiles", Count("sim.vm.compiles"));
+  Json VmProgram = Json::object();
+  VmProgram.set("words", Count("sim.vm.program.words"));
+  VmProgram.set("consts", Count("sim.vm.program.consts"));
+  VmProgram.set("signals", Count("sim.vm.program.signals"));
+  Vm.set("program", std::move(VmProgram));
+  // Static opcode histogram over every program compiled in this session,
+  // keyed by mnemonic; zero-count opcodes are omitted so the section
+  // stays compact (and empty when nothing was compiled).
+  Json OpHist = Json::object();
+  for (uint32_t K = 0; K < sim::NumOps; ++K) {
+    const char *Name = sim::opName(static_cast<sim::Op>(K));
+    uint64_t N = Count((std::string("sim.vm.op.") + Name).c_str());
+    if (N != 0)
+      OpHist.set(Name, N);
+  }
+  Vm.set("op_histogram", std::move(OpHist));
+  Sim.set("vm", std::move(Vm));
   Doc.set("sim", std::move(Sim));
 
   // Coverage bins recorded into this compile's registry (static IR, isel

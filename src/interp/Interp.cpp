@@ -6,10 +6,9 @@
 
 #include "interp/Interp.h"
 
+#include "interp/Cycle.h"
 #include "interp/Eval.h"
 #include "ir/Verifier.h"
-
-#include <algorithm>
 
 using namespace reticle;
 using namespace reticle::interp;
@@ -49,37 +48,26 @@ Result<Trace> reticle::interp::interpret(const Function &Fn,
     Env[DU.dstIdOf(I)] = regInitValue(Body[I]);
   }
 
-  // Port names resolve to ids once per run, not once per cycle: input
-  // binding walks each step's ordered map in lockstep with the
-  // name-sorted port list, and the output step is cloned from a prototype
-  // whose map order is paired with a parallel id vector.
-  struct BoundInput {
-    const ir::Port *P;
-    ir::ValueId Id;
-  };
-  std::vector<BoundInput> SortedInputs;
-  SortedInputs.reserve(Fn.inputs().size());
-  for (const ir::Port &P : Fn.inputs())
-    SortedInputs.push_back({&P, DU.idOf(P.Name)});
-  std::sort(SortedInputs.begin(), SortedInputs.end(),
-            [](const BoundInput &A, const BoundInput &B) {
-              return A.P->Name < B.P->Name;
-            });
+  // Port names resolve to ids once per run, not once per cycle; the
+  // shared binder/prototype do the per-cycle merge walk and cloning.
+  sim::InputBinder Binder;
+  std::vector<const ir::Port *> InputPorts(DU.numInputs());
+  for (const ir::Port &P : Fn.inputs()) {
+    ir::ValueId Id = DU.idOf(P.Name);
+    Binder.add(P.Name, Id);
+    InputPorts[Id] = &P;
+  }
+  Binder.seal();
 
-  Step Proto;
+  sim::OutputProto Proto;
   for (const ir::Port &P : Fn.outputs())
-    Proto[P.Name] = Value();
-  std::vector<ir::ValueId> ProtoIds;
-  ProtoIds.reserve(Proto.size());
-  for (const auto &KV : Proto)
-    ProtoIds.push_back(DU.idOf(KV.first));
+    Proto.add(P.Name, DU.idOf(P.Name));
+  Proto.seal();
 
-  obs::Counter &SimCycles = Ctx.counter("sim.cycles");
-  obs::Counter &OwnCycles = Ctx.counter("interp.cycles");
   obs::Counter &Evals = Ctx.counter("interp.evals");
 
-  sim::WaveRecorder Rec(Wave, Ctx);
-  if (Rec.active()) {
+  sim::EngineFrame Frame(Wave, Ctx, "interp.cycles");
+  if (Frame.waveActive()) {
     std::vector<sim::WaveSignal> Signals;
     Signals.reserve(DU.numValues());
     for (ir::ValueId Id = 0; Id < DU.numValues(); ++Id) {
@@ -90,39 +78,28 @@ Result<Trace> reticle::interp::interpret(const Function &Fn,
                                            : sim::WaveSignal::Kind::Internal);
       Signals.emplace_back(DU.nameOf(Id), DU.typeOfId(Id).totalBits(), K);
     }
-    if (Status S = Rec.begin(std::move(Signals)); !S)
+    if (Status S = Frame.recorder().begin(std::move(Signals)); !S)
       return fail<Trace>(S.error());
   }
 
-  // Any mid-run failure still flushes the partial waveform.
-  auto Abort = [&](std::string Msg) {
-    Rec.finish(/*Aborted=*/true);
-    return fail<Trace>(std::move(Msg));
-  };
-
   Trace Output;
   for (size_t Cycle = 0; Cycle < Input.size(); ++Cycle) {
-    ++SimCycles;
-    ++OwnCycles;
+    Frame.beginCycle();
 
-    // Update(env, step_in, inputs): bind every declared input. The step
-    // map and the bound-input list are both name-ordered, so one merge
-    // walk binds everything without per-cycle hashing.
-    const Step &In = Input.step(Cycle);
-    auto It = In.begin();
-    for (const BoundInput &B : SortedInputs) {
-      while (It != In.end() && It->first < B.P->Name)
-        ++It;
-      if (It == In.end() || It->first != B.P->Name)
-        return Abort("cycle " + std::to_string(Cycle) + ": input '" +
-                     B.P->Name + "' missing from trace");
-      const Value &V = It->second;
-      if (!(V.type() == B.P->Ty))
-        return Abort("cycle " + std::to_string(Cycle) + ": input '" +
-                     B.P->Name + "' has type " + V.type().str() +
-                     ", expected " + B.P->Ty.str());
-      Env[B.Id] = V;
-    }
+    // Update(env, step_in, inputs): bind every declared input.
+    Status Bound = Binder.bind(
+        Input.step(Cycle), Cycle, [&](unsigned Slot, const Value &V) {
+          const ir::Port &P = *InputPorts[Slot];
+          if (!(V.type() == P.Ty))
+            return Status::failure("cycle " + std::to_string(Cycle) +
+                                   ": input '" + P.Name + "' has type " +
+                                   V.type().str() + ", expected " +
+                                   P.Ty.str());
+          Env[Slot] = V;
+          return Status::success();
+        });
+    if (!Bound)
+      return fail<Trace>(Frame.abort(Bound.error()));
 
     // Eval(env, P): pure instructions in dependency order.
     for (size_t Index : PureOrder) {
@@ -133,26 +110,22 @@ Result<Trace> reticle::interp::interpret(const Function &Fn,
         Args.push_back(Env[Arg]);
       Result<Value> V = evalPure(I, Args);
       if (!V)
-        return Abort(V.error());
+        return fail<Trace>(Frame.abort(V.error()));
       Env[DU.dstIdOf(Index)] = V.take();
     }
     Evals += PureOrder.size();
 
     // Step(env, outputs): snapshot declared outputs into a clone of the
     // prototype step, filling values by map position.
-    Output.push(Proto);
-    Step &Out = Output.steps().back();
-    size_t K = 0;
-    for (auto &KV : Out)
-      KV.second = Env[ProtoIds[K++]];
+    Proto.emit(Output, [&](unsigned Slot) { return Env[Slot]; });
 
     // The waveform observes post-eval, pre-register-update state: inputs
     // as bound, combinational values as computed, registers showing the
     // value they held during the cycle (matching FDRE Q).
-    if (Rec.active()) {
-      Rec.cycle(Cycle);
+    if (Frame.waveActive()) {
+      Frame.recorder().cycle(Cycle);
       for (ir::ValueId Id = 0; Id < DU.numValues(); ++Id)
-        Rec.record(Id, Env[Id].toBits());
+        Frame.recorder().record(Id, Env[Id].toBits());
     }
 
     // Eval(env, R): all registers update simultaneously on the clock edge,
@@ -167,7 +140,7 @@ Result<Trace> reticle::interp::interpret(const Function &Fn,
     for (size_t K2 = 0; K2 < RegIndices.size(); ++K2)
       Env[DU.dstIdOf(RegIndices[K2])] = std::move(NextStates[K2]);
   }
-  if (Status S = Rec.finish(/*Aborted=*/false); !S)
+  if (Status S = Frame.finish(); !S)
     return fail<Trace>(S.error());
   return Output;
 }

@@ -16,15 +16,242 @@
 
 #include "interp/Value.h"
 
-#include <map>
+#include <algorithm>
+#include <initializer_list>
+#include <new>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace reticle {
 namespace interp {
 
-/// The values present at one clock cycle.
-using Step = std::map<std::string, Value>;
+/// The values present at one clock cycle: a name-sorted flat map.
+///
+/// Steps are small (a handful of ports), written once per cycle, and
+/// iterated in name order by every consumer — the engines' merge-walk
+/// input binding, the waveform and JSON writers, trace comparison. A
+/// sorted vector serves that access pattern with one contiguous
+/// allocation per step where a node-based map pays one per entry; at
+/// millions of simulated cycles the step container is hot-loop cost,
+/// not bookkeeping. The interface mirrors the `std::map` subset the
+/// codebase uses (sorted iteration, `operator[]`, `find`, `count`,
+/// `erase`, hinted emplace), so call sites read unchanged.
+namespace detail {
+
+/// A vector of step entries with inline storage for one entry. Output
+/// steps usually carry a single port, so the common per-cycle snapshot
+/// needs no heap allocation for its entry array at all; larger steps
+/// spill to the heap transparently.
+template <typename T> class StepEntryVec {
+public:
+  StepEntryVec() = default;
+  StepEntryVec(const StepEntryVec &Other) { appendAll(Other); }
+  StepEntryVec(StepEntryVec &&Other) noexcept { moveFrom(Other); }
+  StepEntryVec &operator=(const StepEntryVec &Other) {
+    if (this != &Other) {
+      clear();
+      appendAll(Other);
+    }
+    return *this;
+  }
+  StepEntryVec &operator=(StepEntryVec &&Other) noexcept {
+    if (this != &Other) {
+      destroy();
+      Data = inlineSlot();
+      Size = 0;
+      Cap = 1;
+      moveFrom(Other);
+    }
+    return *this;
+  }
+  ~StepEntryVec() { destroy(); }
+
+  T *begin() { return Data; }
+  T *end() { return Data + Size; }
+  const T *begin() const { return Data; }
+  const T *end() const { return Data + Size; }
+
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+  T &back() { return Data[Size - 1]; }
+  const T &back() const { return Data[Size - 1]; }
+
+  void reserve(size_t N) {
+    if (N > Cap)
+      grow(N);
+  }
+
+  template <typename... Args> void emplace_back(Args &&...A) {
+    if (Size == Cap)
+      grow(Cap * 2);
+    ::new (static_cast<void *>(Data + Size)) T(std::forward<Args>(A)...);
+    ++Size;
+  }
+
+  /// Inserts before \p Pos and returns the new element.
+  template <typename... Args> T *emplace(const T *Pos, Args &&...A) {
+    size_t Index = static_cast<size_t>(Pos - Data);
+    emplace_back(std::forward<Args>(A)...);
+    std::rotate(Data + Index, Data + Size - 1, Data + Size);
+    return Data + Index;
+  }
+
+  void erase(const T *Pos) {
+    size_t Index = static_cast<size_t>(Pos - Data);
+    std::move(Data + Index + 1, Data + Size, Data + Index);
+    Data[Size - 1].~T();
+    --Size;
+  }
+
+  bool operator==(const StepEntryVec &Other) const {
+    return Size == Other.Size && std::equal(begin(), end(), Other.begin());
+  }
+
+private:
+  T *inlineSlot() { return reinterpret_cast<T *>(Inline); }
+
+  void destroy() {
+    for (size_t I = 0; I < Size; ++I)
+      Data[I].~T();
+    if (Data != inlineSlot())
+      ::operator delete(Data);
+  }
+
+  void clear() {
+    for (size_t I = 0; I < Size; ++I)
+      Data[I].~T();
+    Size = 0;
+  }
+
+  void appendAll(const StepEntryVec &Other) {
+    reserve(Other.Size);
+    for (size_t I = 0; I < Other.Size; ++I)
+      emplace_back(Other.Data[I]);
+  }
+
+  void moveFrom(StepEntryVec &Other) noexcept {
+    if (Other.Data != Other.inlineSlot()) {
+      // Steal the heap buffer.
+      Data = Other.Data;
+      Size = Other.Size;
+      Cap = Other.Cap;
+    } else {
+      for (size_t I = 0; I < Other.Size; ++I)
+        ::new (static_cast<void *>(Data + I)) T(std::move(Other.Data[I]));
+      Size = Other.Size;
+      for (size_t I = 0; I < Other.Size; ++I)
+        Other.Data[I].~T();
+    }
+    Other.Data = Other.inlineSlot();
+    Other.Size = 0;
+    Other.Cap = 1;
+  }
+
+  void grow(size_t NewCap) {
+    T *NewData =
+        static_cast<T *>(::operator new(NewCap * sizeof(T)));
+    for (size_t I = 0; I < Size; ++I) {
+      ::new (static_cast<void *>(NewData + I)) T(std::move(Data[I]));
+      Data[I].~T();
+    }
+    if (Data != inlineSlot())
+      ::operator delete(Data);
+    Data = NewData;
+    Cap = NewCap;
+  }
+
+  alignas(T) unsigned char Inline[sizeof(T)];
+  T *Data = inlineSlot();
+  size_t Size = 0;
+  size_t Cap = 1;
+};
+
+} // namespace detail
+
+class Step {
+public:
+  using value_type = std::pair<std::string, Value>;
+  using iterator = value_type *;
+  using const_iterator = const value_type *;
+
+  Step() = default;
+  Step(std::initializer_list<value_type> Init) {
+    for (const value_type &KV : Init)
+      (*this)[KV.first] = KV.second;
+  }
+
+  iterator begin() { return Entries.begin(); }
+  iterator end() { return Entries.end(); }
+  const_iterator begin() const { return Entries.begin(); }
+  const_iterator end() const { return Entries.end(); }
+
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+
+  /// Pre-sizes the entry array (one exact allocation when the port
+  /// count is known up front).
+  void reserve(size_t N) { Entries.reserve(N); }
+
+  iterator find(const std::string &Name) {
+    iterator It = lowerBound(Name);
+    return It != Entries.end() && It->first == Name ? It : Entries.end();
+  }
+  const_iterator find(const std::string &Name) const {
+    const_iterator It = lowerBound(Name);
+    return It != Entries.end() && It->first == Name ? It : Entries.end();
+  }
+
+  size_t count(const std::string &Name) const {
+    return find(Name) != Entries.end() ? 1 : 0;
+  }
+
+  Value &operator[](const std::string &Name) {
+    iterator It = lowerBound(Name);
+    if (It != Entries.end() && It->first == Name)
+      return It->second;
+    return Entries.emplace(It, Name, Value())->second;
+  }
+
+  /// Inserts \p Name -> \p V if absent and returns the entry
+  /// (`std::map::emplace_hint` semantics: an existing key is left
+  /// untouched). Appending keys in ascending order is O(1).
+  iterator emplace_hint(const_iterator /*Hint*/, const std::string &Name,
+                        Value V) {
+    if (Entries.empty() || Entries.back().first < Name) {
+      Entries.emplace_back(Name, std::move(V));
+      return &Entries.back();
+    }
+    iterator It = lowerBound(Name);
+    if (It != Entries.end() && It->first == Name)
+      return It;
+    return Entries.emplace(It, Name, std::move(V));
+  }
+
+  size_t erase(const std::string &Name) {
+    iterator It = find(Name);
+    if (It == Entries.end())
+      return 0;
+    Entries.erase(It);
+    return 1;
+  }
+
+  bool operator==(const Step &Other) const = default;
+
+private:
+  iterator lowerBound(const std::string &Name) {
+    return std::lower_bound(
+        Entries.begin(), Entries.end(), Name,
+        [](const value_type &E, const std::string &N) { return E.first < N; });
+  }
+  const_iterator lowerBound(const std::string &Name) const {
+    return std::lower_bound(
+        Entries.begin(), Entries.end(), Name,
+        [](const value_type &E, const std::string &N) { return E.first < N; });
+  }
+
+  detail::StepEntryVec<value_type> Entries;
+};
 
 /// A sequence of steps, one per clock cycle.
 class Trace {

@@ -1,0 +1,444 @@
+//===- sim/Vm.cpp - Bytecode simulation VM ---------------------------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Vm.h"
+
+#include "interp/Cycle.h"
+#include "obs/Telemetry.h"
+
+#include <cassert>
+
+using namespace reticle;
+using namespace reticle::sim;
+using interp::Trace;
+using interp::Value;
+
+namespace {
+
+uint64_t maskOf(uint32_t Len) {
+  return Len >= 64 ? ~uint64_t(0) : ((uint64_t(1) << Len) - 1);
+}
+
+/// Number of instructions in a segment (each executes exactly once per
+/// segment run: the code is straight-line), for the `sim.vm.ops` counter.
+uint64_t instrCount(const std::vector<uint32_t> &Code) {
+  uint64_t N = 0;
+  for (size_t I = 0; I < Code.size();
+       I += 1 + opOperands(static_cast<Op>(Code[I])))
+    ++N;
+  return N;
+}
+
+/// The threaded dispatch loop. The program is verified before execution,
+/// so operand bounds and stack discipline hold by construction. On GCC
+/// and Clang the loop uses computed-goto dispatch: one indirect branch
+/// per opcode with its own prediction slot, instead of a shared switch
+/// branch that mispredicts on every opcode change.
+void exec(const std::vector<uint32_t> &Code, uint64_t *Words,
+          const uint64_t *Pool, uint64_t *Stack) {
+  const uint32_t *Pc = Code.data();
+  uint64_t *Sp = Stack; // empty ascending
+
+#if defined(__GNUC__) || defined(__clang__)
+  // Table order must match the Op enumerator values exactly; the
+  // verifier has already rejected any opcode >= NumOps.
+  static const void *Targets[] = {
+      &&L_EndSeg, &&L_LoadConst, &&L_LoadField, &&L_StoreField, &&L_Dup,
+      &&L_Canon,  &&L_Bool,      &&L_Mask,      &&L_Add,        &&L_Sub,
+      &&L_Mul,    &&L_NotB,      &&L_AndB,      &&L_OrB,        &&L_XorB,
+      &&L_Shl,    &&L_Shr,       &&L_Sar,       &&L_ShrV,       &&L_CmpEq,
+      &&L_CmpNe,  &&L_CmpLt,     &&L_CmpGt,     &&L_CmpLe,      &&L_CmpGe,
+      &&L_Select,
+  };
+  static_assert(sizeof(Targets) / sizeof(Targets[0]) == NumOps,
+                "dispatch table out of sync with the opcode set");
+#define DISPATCH() goto *Targets[*Pc++]
+
+  DISPATCH();
+L_EndSeg:
+  return;
+L_LoadConst:
+  *Sp++ = Pool[*Pc++];
+  DISPATCH();
+L_LoadField : {
+  uint64_t V = Words[Pc[0]] >> Pc[1];
+  if (Pc[2] < 64)
+    V &= maskOf(Pc[2]);
+  *Sp++ = V;
+  Pc += 3;
+  DISPATCH();
+}
+L_StoreField : {
+  uint64_t V = *--Sp;
+  if (Pc[2] == 64) {
+    Words[Pc[0]] = V;
+  } else {
+    uint64_t M = maskOf(Pc[2]) << Pc[1];
+    Words[Pc[0]] = (Words[Pc[0]] & ~M) | ((V << Pc[1]) & M);
+  }
+  Pc += 3;
+  DISPATCH();
+}
+L_Dup:
+  Sp[0] = Sp[-1];
+  ++Sp;
+  DISPATCH();
+L_Canon : {
+  uint32_t W = *Pc++;
+  if (W < 64) {
+    unsigned Sh = 64 - W;
+    Sp[-1] = static_cast<uint64_t>(static_cast<int64_t>(Sp[-1] << Sh) >> Sh);
+  }
+  DISPATCH();
+}
+L_Bool:
+  Sp[-1] = Sp[-1] != 0 ? 1 : 0;
+  DISPATCH();
+L_Mask:
+  Sp[-1] &= maskOf(*Pc++);
+  DISPATCH();
+L_Add:
+  --Sp;
+  Sp[-1] += Sp[0];
+  DISPATCH();
+L_Sub:
+  --Sp;
+  Sp[-1] -= Sp[0];
+  DISPATCH();
+L_Mul:
+  --Sp;
+  Sp[-1] *= Sp[0];
+  DISPATCH();
+L_NotB:
+  Sp[-1] = ~Sp[-1];
+  DISPATCH();
+L_AndB:
+  --Sp;
+  Sp[-1] &= Sp[0];
+  DISPATCH();
+L_OrB:
+  --Sp;
+  Sp[-1] |= Sp[0];
+  DISPATCH();
+L_XorB:
+  --Sp;
+  Sp[-1] ^= Sp[0];
+  DISPATCH();
+L_Shl:
+  Sp[-1] <<= *Pc++;
+  DISPATCH();
+L_Shr:
+  Sp[-1] >>= *Pc++;
+  DISPATCH();
+L_Sar:
+  Sp[-1] = static_cast<uint64_t>(static_cast<int64_t>(Sp[-1]) >> *Pc++);
+  DISPATCH();
+L_ShrV : {
+  uint64_t Amt = *--Sp;
+  Sp[-1] = Amt < 64 ? Sp[-1] >> Amt : 0;
+  DISPATCH();
+}
+L_CmpEq:
+  --Sp;
+  Sp[-1] = static_cast<int64_t>(Sp[-1]) == static_cast<int64_t>(Sp[0]);
+  DISPATCH();
+L_CmpNe:
+  --Sp;
+  Sp[-1] = static_cast<int64_t>(Sp[-1]) != static_cast<int64_t>(Sp[0]);
+  DISPATCH();
+L_CmpLt:
+  --Sp;
+  Sp[-1] = static_cast<int64_t>(Sp[-1]) < static_cast<int64_t>(Sp[0]);
+  DISPATCH();
+L_CmpGt:
+  --Sp;
+  Sp[-1] = static_cast<int64_t>(Sp[-1]) > static_cast<int64_t>(Sp[0]);
+  DISPATCH();
+L_CmpLe:
+  --Sp;
+  Sp[-1] = static_cast<int64_t>(Sp[-1]) <= static_cast<int64_t>(Sp[0]);
+  DISPATCH();
+L_CmpGe:
+  --Sp;
+  Sp[-1] = static_cast<int64_t>(Sp[-1]) >= static_cast<int64_t>(Sp[0]);
+  DISPATCH();
+L_Select : {
+  uint64_t Cond = *--Sp;
+  uint64_t IfTrue = *--Sp;
+  if (Cond)
+    Sp[-1] = IfTrue;
+  DISPATCH();
+}
+#undef DISPATCH
+#else
+  for (;;) {
+    switch (static_cast<Op>(*Pc++)) {
+    case Op::EndSeg:
+      return;
+    case Op::LoadConst:
+      *Sp++ = Pool[*Pc++];
+      break;
+    case Op::LoadField: {
+      uint64_t V = Words[Pc[0]] >> Pc[1];
+      if (Pc[2] < 64)
+        V &= maskOf(Pc[2]);
+      *Sp++ = V;
+      Pc += 3;
+      break;
+    }
+    case Op::StoreField: {
+      uint64_t V = *--Sp;
+      if (Pc[2] == 64) {
+        Words[Pc[0]] = V;
+      } else {
+        uint64_t M = maskOf(Pc[2]) << Pc[1];
+        Words[Pc[0]] = (Words[Pc[0]] & ~M) | ((V << Pc[1]) & M);
+      }
+      Pc += 3;
+      break;
+    }
+    case Op::Dup:
+      Sp[0] = Sp[-1];
+      ++Sp;
+      break;
+    case Op::Canon: {
+      uint32_t W = *Pc++;
+      if (W < 64) {
+        unsigned Sh = 64 - W;
+        Sp[-1] = static_cast<uint64_t>(
+            static_cast<int64_t>(Sp[-1] << Sh) >> Sh);
+      }
+      break;
+    }
+    case Op::Bool:
+      Sp[-1] = Sp[-1] != 0 ? 1 : 0;
+      break;
+    case Op::Mask:
+      Sp[-1] &= maskOf(*Pc++);
+      break;
+    case Op::Add:
+      --Sp;
+      Sp[-1] += Sp[0];
+      break;
+    case Op::Sub:
+      --Sp;
+      Sp[-1] -= Sp[0];
+      break;
+    case Op::Mul:
+      --Sp;
+      Sp[-1] *= Sp[0];
+      break;
+    case Op::NotB:
+      Sp[-1] = ~Sp[-1];
+      break;
+    case Op::AndB:
+      --Sp;
+      Sp[-1] &= Sp[0];
+      break;
+    case Op::OrB:
+      --Sp;
+      Sp[-1] |= Sp[0];
+      break;
+    case Op::XorB:
+      --Sp;
+      Sp[-1] ^= Sp[0];
+      break;
+    case Op::Shl:
+      Sp[-1] <<= *Pc++;
+      break;
+    case Op::Shr:
+      Sp[-1] >>= *Pc++;
+      break;
+    case Op::Sar:
+      Sp[-1] = static_cast<uint64_t>(static_cast<int64_t>(Sp[-1]) >>
+                                     *Pc++);
+      break;
+    case Op::ShrV: {
+      uint64_t Amt = *--Sp;
+      Sp[-1] = Amt < 64 ? Sp[-1] >> Amt : 0;
+      break;
+    }
+    case Op::CmpEq:
+      --Sp;
+      Sp[-1] = static_cast<int64_t>(Sp[-1]) == static_cast<int64_t>(Sp[0]);
+      break;
+    case Op::CmpNe:
+      --Sp;
+      Sp[-1] = static_cast<int64_t>(Sp[-1]) != static_cast<int64_t>(Sp[0]);
+      break;
+    case Op::CmpLt:
+      --Sp;
+      Sp[-1] = static_cast<int64_t>(Sp[-1]) < static_cast<int64_t>(Sp[0]);
+      break;
+    case Op::CmpGt:
+      --Sp;
+      Sp[-1] = static_cast<int64_t>(Sp[-1]) > static_cast<int64_t>(Sp[0]);
+      break;
+    case Op::CmpLe:
+      --Sp;
+      Sp[-1] = static_cast<int64_t>(Sp[-1]) <= static_cast<int64_t>(Sp[0]);
+      break;
+    case Op::CmpGe:
+      --Sp;
+      Sp[-1] = static_cast<int64_t>(Sp[-1]) >= static_cast<int64_t>(Sp[0]);
+      break;
+    case Op::Select: {
+      uint64_t Cond = *--Sp;
+      uint64_t IfTrue = *--Sp;
+      if (Cond)
+        Sp[-1] = IfTrue;
+      break;
+    }
+    }
+  }
+#endif
+}
+
+} // namespace
+
+Result<Trace> reticle::sim::execute(const Program &P, const Trace &Inputs,
+                                    WaveSink *Wave,
+                                    const obs::Context &Ctx) {
+  obs::Span Sp(Ctx, "sim.vm.execute");
+  Sp.arg("program", P.Name);
+  Sp.arg("source", P.Source);
+  Sp.arg("cycles", Inputs.size());
+
+  if (Status S = verify(P); !S)
+    return fail<Trace>(S.error());
+
+  std::vector<uint64_t> Words(P.NumWords, 0);
+  std::vector<uint64_t> Stack(P.MaxStack == 0 ? 1 : P.MaxStack, 0);
+  const uint64_t *Pool = P.Pool.empty() ? Words.data() : P.Pool.data();
+
+  InputBinder Binder;
+  for (unsigned I = 0; I < P.Inputs.size(); ++I)
+    Binder.add(P.Inputs[I].Name, I);
+  Binder.seal();
+
+  OutputProto Proto;
+  for (unsigned I = 0; I < P.Outputs.size(); ++I)
+    Proto.add(P.Outputs[I].Name, I);
+  Proto.seal();
+
+  EngineFrame Frame(Wave, Ctx, "sim.vm.cycles");
+  if (Frame.waveActive()) {
+    std::vector<WaveSignal> WaveSigs;
+    WaveSigs.reserve(P.Signals.size());
+    for (const SignalInfo &S : P.Signals)
+      WaveSigs.push_back({S.Name, S.Width, S.Kind});
+    if (Status S = Frame.recorder().begin(std::move(WaveSigs)); !S)
+      return fail<Trace>(S.error());
+  }
+
+  exec(P.Init, Words.data(), Pool, Stack.data());
+
+  const uint64_t EvalOps = instrCount(P.Eval);
+  const uint64_t CommitOps = instrCount(P.Commit);
+  uint64_t OpsRun = instrCount(P.Init);
+
+  // Reads a signal's table words back into the LSB-first flattened bit
+  // vector the wave layer observes.
+  std::vector<bool> BitBuf;
+  auto GatherBits = [&](uint32_t Base, unsigned Width, unsigned LaneWidth,
+                        unsigned Lanes) -> const std::vector<bool> & {
+    BitBuf.assign(Width, false);
+    unsigned Bit = 0;
+    for (unsigned L = 0; L < Lanes && Bit < Width; ++L) {
+      unsigned Take = std::min(LaneWidth, Width - Bit);
+      uint64_t W = Words[Base + L];
+      for (unsigned K = 0; K < Take; ++K)
+        BitBuf[Bit++] = (W >> K) & 1;
+    }
+    return BitBuf;
+  };
+
+  Trace Out;
+  Out.steps().reserve(Inputs.size());
+  for (size_t Cycle = 0; Cycle < Inputs.size(); ++Cycle) {
+    Frame.beginCycle();
+
+    Status Bound = Binder.bind(
+        Inputs.step(Cycle), Cycle, [&](unsigned Slot, const Value &V) {
+          const PortInfo &Pi = P.Inputs[Slot];
+          if (!Pi.Packed) {
+            if (!(V.type() == Pi.Ty))
+              return Status::failure(
+                  "cycle " + std::to_string(Cycle) + ": input '" + Pi.Name +
+                  "' has type " + V.type().str() + ", expected " +
+                  Pi.Ty.str());
+            for (unsigned L = 0; L < Pi.Ty.lanes(); ++L)
+              Words[Pi.Base + L] = static_cast<uint64_t>(V.lane(L));
+            return Status::success();
+          }
+          if (V.type().totalBits() != Pi.Ty.totalBits())
+            return Status::failure("input '" + Pi.Name + "' width mismatch");
+          if (Pi.Ty.totalBits() <= 64) {
+            // Whole port fits one table word: pack the lanes directly
+            // instead of round-tripping through a bit vector.
+            uint64_t W = 0;
+            unsigned Wd = V.type().width();
+            for (unsigned L = 0; L < V.lanes(); ++L)
+              W |= (static_cast<uint64_t>(V.lane(L)) & maskOf(Wd))
+                   << (L * Wd);
+            Words[Pi.Base] = W;
+            return Status::success();
+          }
+          std::vector<bool> Bits = V.toBits();
+          for (size_t W = 0; W < (Bits.size() + 63) / 64; ++W)
+            Words[Pi.Base + W] = 0;
+          for (size_t B = 0; B < Bits.size(); ++B)
+            if (Bits[B])
+              Words[Pi.Base + B / 64] |= uint64_t(1) << (B % 64);
+          return Status::success();
+        });
+    if (!Bound)
+      return fail<Trace>(Frame.abort(Bound.error()));
+
+    exec(P.Eval, Words.data(), Pool, Stack.data());
+
+    Proto.emit(Out, [&](unsigned Slot) {
+      const PortInfo &Po = P.Outputs[Slot];
+      if (!Po.Packed) {
+        std::vector<int64_t> Lanes(Po.Ty.lanes());
+        for (unsigned L = 0; L < Po.Ty.lanes(); ++L)
+          Lanes[L] = static_cast<int64_t>(Words[Po.Base + L]);
+        return Value::fromLanes(Po.Ty, std::move(Lanes));
+      }
+      if (Po.Ty.totalBits() <= 64) {
+        // The whole port fits one table word: slice the lanes straight
+        // out of it (fromLanes canonicalizes, same as the bit path).
+        uint64_t W = Words[Po.Base];
+        unsigned Wd = Po.Ty.width();
+        std::vector<int64_t> Lanes(Po.Ty.lanes());
+        for (unsigned L = 0; L < Po.Ty.lanes(); ++L)
+          Lanes[L] = static_cast<int64_t>((W >> (L * Wd)) & maskOf(Wd));
+        return Value::fromLanes(Po.Ty, std::move(Lanes));
+      }
+      return Value::fromBits(
+          Po.Ty, GatherBits(Po.Base, Po.Ty.totalBits(),
+                            std::min(64u, Po.Ty.totalBits()),
+                            (Po.Ty.totalBits() + 63) / 64));
+    });
+
+    if (Frame.waveActive()) {
+      Frame.recorder().cycle(Cycle);
+      for (size_t Id = 0; Id < P.Signals.size(); ++Id) {
+        const SignalInfo &S = P.Signals[Id];
+        Frame.recorder().record(
+            Id, GatherBits(S.Base, S.Width, S.LaneWidth, S.Lanes));
+      }
+    }
+
+    exec(P.Commit, Words.data(), Pool, Stack.data());
+    OpsRun += EvalOps + CommitOps;
+  }
+
+  if (Status S = Frame.finish(); !S)
+    return fail<Trace>(S.error());
+  Ctx.counter("sim.vm.ops") += OpsRun;
+  return Out;
+}

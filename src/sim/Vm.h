@@ -1,0 +1,46 @@
+//===- sim/Vm.h - Bytecode simulation VM ------------------------*- C++ -*-===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executor of compiled simulation programs. `sim::execute` has the
+/// same contract as `interp::interpret` and `codegen::simulate`: an input
+/// trace in, a `Result`-wrapped output trace back, an optional `WaveSink`
+/// streamed the settled state each cycle (flushed on abort), and counters
+/// reported through the `obs::Context` (`sim.cycles` shared with the tree
+/// engines, plus `sim.vm.cycles` and `sim.vm.ops`).
+///
+/// The VM verifies the program, then runs the `Init` segment once and the
+/// `Eval`/`Commit` segments per cycle in a tight threaded loop over the
+/// word table — no tree walking, no per-cycle allocation, no fixpoint
+/// sweeps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETICLE_SIM_VM_H
+#define RETICLE_SIM_VM_H
+
+#include "interp/Trace.h"
+#include "interp/Wave.h"
+#include "obs/Context.h"
+#include "sim/Program.h"
+#include "support/Result.h"
+
+namespace reticle {
+namespace sim {
+
+/// Runs \p P over \p Inputs, one step per cycle, and returns the output
+/// trace. The result is bit-for-bit identical to the tree-walking engine
+/// the program was compiled from. \p Wave (may be null) observes the
+/// settled state each cycle.
+Result<interp::Trace> execute(const Program &P, const interp::Trace &Inputs,
+                              WaveSink *Wave = nullptr,
+                              const obs::Context &Ctx =
+                                  obs::defaultContext());
+
+} // namespace sim
+} // namespace reticle
+
+#endif // RETICLE_SIM_VM_H

@@ -1,0 +1,504 @@
+//===- tests/sim_vm_test.cpp - Compiled-simulation VM validation ---------------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The compiled-simulation layer's own test surface: the bytecode format
+/// (deterministic encoding, disassemble/assemble round-trips, verifier
+/// rejections) and the two lowering passes, checked differentially — the
+/// VM must produce byte-identical traces and waveforms to the tree-walking
+/// engines it replaces (interpreter for IR programs, gate-level simulator
+/// for netlist programs).
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/Compile.h"
+#include "sim/Vm.h"
+
+#include "codegen/NetlistSim.h"
+#include "core/Compiler.h"
+#include "interp/Interp.h"
+#include "interp/Wave.h"
+#include "ir/Parser.h"
+#include "verilog/Ast.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace reticle;
+using device::Device;
+using interp::Trace;
+using interp::Value;
+using sim::WaveCapture;
+using verilog::Expr;
+using verilog::Item;
+using verilog::Module;
+
+namespace {
+
+ir::Function parseOk(const char *Source) {
+  Result<ir::Function> Fn = ir::parseFunction(Source);
+  EXPECT_TRUE(Fn.ok()) << Fn.error();
+  return Fn.take();
+}
+
+Trace randomTrace(const ir::Function &Fn, size_t Cycles, unsigned Seed) {
+  Trace T;
+  std::mt19937_64 Rng(Seed);
+  std::uniform_int_distribution<int64_t> D(-128, 127);
+  for (size_t C = 0; C < Cycles; ++C) {
+    interp::Step &S = T.appendStep();
+    for (const ir::Port &P : Fn.inputs()) {
+      if (P.Ty.isBool()) {
+        S[P.Name] = Value::makeBool(D(Rng) & 1);
+        continue;
+      }
+      std::vector<int64_t> Lanes;
+      for (unsigned L = 0; L < P.Ty.lanes(); ++L)
+        Lanes.push_back(D(Rng));
+      S[P.Name] = Value::fromLanes(P.Ty, std::move(Lanes));
+    }
+  }
+  return T;
+}
+
+void expectTracesEqual(const Trace &A, const Trace &B, const char *What) {
+  ASSERT_EQ(A.size(), B.size()) << What;
+  EXPECT_TRUE(A == B) << What << ": traces differ";
+}
+
+void expectWavesEqual(const WaveCapture &A, const WaveCapture &B,
+                      const char *What) {
+  ASSERT_EQ(A.signals().size(), B.signals().size()) << What;
+  for (size_t I = 0; I < A.signals().size(); ++I) {
+    EXPECT_EQ(A.signals()[I].Name, B.signals()[I].Name) << What;
+    EXPECT_EQ(A.signals()[I].Width, B.signals()[I].Width)
+        << What << ": " << A.signals()[I].Name;
+  }
+  ASSERT_EQ(A.cycles(), B.cycles()) << What;
+  for (size_t C = 0; C < A.cycles(); ++C) {
+    const auto &Ea = A.eventsByCycle()[C];
+    const auto &Eb = B.eventsByCycle()[C];
+    ASSERT_EQ(Ea.size(), Eb.size()) << What << " cycle " << C;
+    for (size_t I = 0; I < Ea.size(); ++I) {
+      EXPECT_EQ(Ea[I].Id, Eb[I].Id) << What << " cycle " << C;
+      EXPECT_EQ(Ea[I].Bits, Eb[I].Bits)
+          << What << " cycle " << C << " signal "
+          << A.signals()[Ea[I].Id].Name;
+      EXPECT_EQ(Ea[I].Changed, Eb[I].Changed) << What << " cycle " << C;
+    }
+  }
+}
+
+/// The full differential sweep for one function: vm-ir vs interp and
+/// vm-netlist vs the gate-level tree-walker, traces and waveforms both.
+void checkVmParity(const ir::Function &Fn, const Trace &Input) {
+  WaveCapture InterpWave;
+  Result<Trace> Expected =
+      interp::interpret(Fn, Input, &InterpWave, obs::defaultContext());
+  ASSERT_TRUE(Expected.ok()) << Expected.error();
+
+  Result<sim::Program> IrProg = sim::compile(Fn);
+  ASSERT_TRUE(IrProg.ok()) << IrProg.error();
+  EXPECT_EQ(IrProg.value().Source, "ir");
+
+  WaveCapture VmIrWave;
+  Result<Trace> VmIr = sim::execute(IrProg.value(), Input, &VmIrWave);
+  ASSERT_TRUE(VmIr.ok()) << VmIr.error() << "\n"
+                         << sim::disassemble(IrProg.value());
+  expectTracesEqual(Expected.value(), VmIr.value(), "vm-ir vs interp");
+  expectWavesEqual(InterpWave, VmIrWave, "vm-ir vs interp wave");
+
+  core::CompileOptions Options;
+  Options.Dev = Device::small();
+  Result<core::CompileResult> R = core::compile(Fn, Options);
+  ASSERT_TRUE(R.ok()) << R.error();
+
+  WaveCapture TreeWave;
+  Result<Trace> Tree = codegen::simulate(R.value().Verilog, Input, &TreeWave);
+  ASSERT_TRUE(Tree.ok()) << Tree.error() << "\n" << R.value().Verilog.str();
+
+  Result<sim::Program> NetProg = sim::compile(R.value().Verilog);
+  ASSERT_TRUE(NetProg.ok()) << NetProg.error() << "\n"
+                            << R.value().Verilog.str();
+  EXPECT_EQ(NetProg.value().Source, "netlist");
+
+  WaveCapture VmNetWave;
+  Result<Trace> VmNet = sim::execute(NetProg.value(), Input, &VmNetWave);
+  ASSERT_TRUE(VmNet.ok()) << VmNet.error() << "\n"
+                          << sim::disassemble(NetProg.value());
+  expectTracesEqual(Tree.value(), VmNet.value(), "vm-netlist vs netlist");
+  expectWavesEqual(TreeWave, VmNetWave, "vm-netlist vs netlist wave");
+}
+
+//===----------------------------------------------------------------------===//
+// Differential parity: vm-ir vs interp, vm-netlist vs the tree-walker.
+//===----------------------------------------------------------------------===//
+
+TEST(SimVm, ParityCombinationalAdd) {
+  ir::Function Fn = parseOk(R"(
+    def adder(a:i8, b:i8) -> (y:i8) {
+      y:i8 = add(a, b) @??;
+    }
+  )");
+  checkVmParity(Fn, randomTrace(Fn, 16, 1));
+}
+
+TEST(SimVm, ParityMacWithRegister) {
+  ir::Function Fn = parseOk(R"(
+    def mac(a:i8, b:i8, c:i8, en:bool) -> (y:i8) {
+      t0:i8 = mul(a, b) @??;
+      t1:i8 = add(t0, c) @??;
+      y:i8 = reg[0](t1, en) @??;
+    }
+  )");
+  checkVmParity(Fn, randomTrace(Fn, 24, 2));
+}
+
+TEST(SimVm, ParityVectorAdd) {
+  ir::Function Fn = parseOk(R"(
+    def vadd(a:i8<4>, b:i8<4>) -> (y:i8<4>) {
+      y:i8<4> = add(a, b) @??;
+    }
+  )");
+  checkVmParity(Fn, randomTrace(Fn, 12, 3));
+}
+
+TEST(SimVm, ParitySliceCatShifts) {
+  ir::Function Fn = parseOk(R"(
+    def sc(a:i8, b:i8) -> (hi:i8, lo:i8, s1:i8, s2:i8, s3:i8) {
+      pair:i8<2> = cat(a, b);
+      hi:i8 = slice[8](pair);
+      lo:i8 = slice[0](pair);
+      s1:i8 = sll[2](a);
+      s2:i8 = srl[3](a);
+      s3:i8 = sra[1](a);
+    }
+  )");
+  checkVmParity(Fn, randomTrace(Fn, 16, 4));
+}
+
+TEST(SimVm, ParityComparisonsAndMux) {
+  ir::Function Fn = parseOk(R"(
+    def cm(a:i8, b:i8, c:bool) -> (e:bool, l:bool, g:bool, y:i8) {
+      e:bool = eq(a, b) @??;
+      l:bool = lt(a, b) @??;
+      g:bool = ge(a, b) @??;
+      y:i8 = mux(c, a, b) @??;
+    }
+  )");
+  checkVmParity(Fn, randomTrace(Fn, 20, 5));
+}
+
+TEST(SimVm, ParityBitwiseAndNot) {
+  ir::Function Fn = parseOk(R"(
+    def bw(a:i8, b:i8) -> (x:i8, o:i8, n:i8, z:i8) {
+      x:i8 = xor(a, b) @??;
+      o:i8 = or(a, b) @??;
+      n:i8 = not(a) @??;
+      z:i8 = and(a, b) @??;
+    }
+  )");
+  checkVmParity(Fn, randomTrace(Fn, 16, 6));
+}
+
+TEST(SimVm, ParityRegisterInitAndConst) {
+  ir::Function Fn = parseOk(R"(
+    def counter(en:bool) -> (y:i8) {
+      step:i8 = const[4];
+      next:i8 = add(y, step) @??;
+      y:i8 = reg[3](next, en) @??;
+    }
+  )");
+  checkVmParity(Fn, randomTrace(Fn, 24, 7));
+}
+
+//===----------------------------------------------------------------------===//
+// Bytecode layer: determinism, round-trip, verifier.
+//===----------------------------------------------------------------------===//
+
+TEST(SimVm, CompileIsDeterministic) {
+  ir::Function Fn = parseOk(R"(
+    def mac(a:i8, b:i8, c:i8, en:bool) -> (y:i8) {
+      t0:i8 = mul(a, b) @??;
+      t1:i8 = add(t0, c) @??;
+      y:i8 = reg[0](t1, en) @??;
+    }
+  )");
+  Result<sim::Program> A = sim::compile(Fn);
+  Result<sim::Program> B = sim::compile(Fn);
+  ASSERT_TRUE(A.ok()) << A.error();
+  ASSERT_TRUE(B.ok()) << B.error();
+  EXPECT_EQ(A.value().encode(), B.value().encode());
+
+  core::CompileOptions Options;
+  Options.Dev = Device::small();
+  Result<core::CompileResult> R = core::compile(Fn, Options);
+  ASSERT_TRUE(R.ok()) << R.error();
+  Result<sim::Program> Na = sim::compile(R.value().Verilog);
+  Result<sim::Program> Nb = sim::compile(R.value().Verilog);
+  ASSERT_TRUE(Na.ok()) << Na.error();
+  ASSERT_TRUE(Nb.ok()) << Nb.error();
+  EXPECT_EQ(Na.value().encode(), Nb.value().encode());
+  // IR and netlist lowerings of the same design are distinct programs.
+  EXPECT_NE(A.value().encode(), Na.value().encode());
+}
+
+TEST(SimVm, DisassembleAssembleRoundTrip) {
+  ir::Function Fn = parseOk(R"(
+    def sc(a:i8, b:i8, en:bool) -> (hi:i8, y:i8) {
+      pair:i8<2> = cat(a, b);
+      hi:i8 = slice[8](pair);
+      t:i8 = add(hi, b) @??;
+      y:i8 = reg[1](t, en) @??;
+    }
+  )");
+  Result<sim::Program> P = sim::compile(Fn);
+  ASSERT_TRUE(P.ok()) << P.error();
+
+  std::string Text = sim::disassemble(P.value());
+  EXPECT_NE(Text.find("reticle-sim-program-v1"), std::string::npos);
+  Result<sim::Program> Back = sim::assemble(Text);
+  ASSERT_TRUE(Back.ok()) << Back.error() << "\n" << Text;
+  EXPECT_EQ(P.value().encode(), Back.value().encode());
+  // A second round through the text form is a fixpoint.
+  EXPECT_EQ(sim::disassemble(Back.value()), Text);
+
+  core::CompileOptions Options;
+  Options.Dev = Device::small();
+  Result<core::CompileResult> R = core::compile(Fn, Options);
+  ASSERT_TRUE(R.ok()) << R.error();
+  Result<sim::Program> Np = sim::compile(R.value().Verilog);
+  ASSERT_TRUE(Np.ok()) << Np.error();
+  Result<sim::Program> NBack = sim::assemble(sim::disassemble(Np.value()));
+  ASSERT_TRUE(NBack.ok()) << NBack.error();
+  EXPECT_EQ(Np.value().encode(), NBack.value().encode());
+}
+
+/// A minimal well-formed program to perturb: one word, empty segments.
+sim::Program trivialProgram() {
+  sim::Program P;
+  P.Name = "t";
+  P.Source = "ir";
+  P.NumWords = 1;
+  P.MaxStack = 2;
+  P.Init = {uint32_t(sim::Op::EndSeg)};
+  P.Eval = {uint32_t(sim::Op::EndSeg)};
+  P.Commit = {uint32_t(sim::Op::EndSeg)};
+  return P;
+}
+
+TEST(SimVm, VerifierAcceptsTrivialProgram) {
+  EXPECT_TRUE(sim::verify(trivialProgram()).ok());
+}
+
+TEST(SimVm, VerifierRejectsUnterminatedSegment) {
+  sim::Program P = trivialProgram();
+  P.Eval.clear(); // no EndSeg
+  EXPECT_FALSE(sim::verify(P).ok());
+}
+
+TEST(SimVm, VerifierRejectsStackUnderflow) {
+  sim::Program P = trivialProgram();
+  P.Eval = {uint32_t(sim::Op::Add), uint32_t(sim::Op::EndSeg)};
+  EXPECT_FALSE(sim::verify(P).ok());
+}
+
+TEST(SimVm, VerifierRejectsValueLeftOnStack) {
+  sim::Program P = trivialProgram();
+  P.Pool = {42};
+  P.Eval = {uint32_t(sim::Op::LoadConst), 0, uint32_t(sim::Op::EndSeg)};
+  EXPECT_FALSE(sim::verify(P).ok());
+}
+
+TEST(SimVm, VerifierRejectsOutOfBoundsWord) {
+  sim::Program P = trivialProgram();
+  P.Eval = {uint32_t(sim::Op::LoadField), 7, 0, 8,
+            uint32_t(sim::Op::StoreField), 0, 0, 8,
+            uint32_t(sim::Op::EndSeg)};
+  EXPECT_FALSE(sim::verify(P).ok()); // word 7 >= NumWords
+}
+
+TEST(SimVm, VerifierRejectsOutOfBoundsConstant) {
+  sim::Program P = trivialProgram();
+  P.Eval = {uint32_t(sim::Op::LoadConst), 0,
+            uint32_t(sim::Op::StoreField), 0, 0, 64,
+            uint32_t(sim::Op::EndSeg)};
+  EXPECT_FALSE(sim::verify(P).ok()); // pool is empty
+}
+
+TEST(SimVm, VerifierRejectsStackBeyondMaxStack) {
+  sim::Program P = trivialProgram();
+  P.Pool = {1};
+  P.MaxStack = 1;
+  P.Eval = {uint32_t(sim::Op::LoadConst),  0,
+            uint32_t(sim::Op::LoadConst),  0,
+            uint32_t(sim::Op::Add),
+            uint32_t(sim::Op::StoreField), 0, 0, 64,
+            uint32_t(sim::Op::EndSeg)};
+  EXPECT_FALSE(sim::verify(P).ok());
+}
+
+TEST(SimVm, VerifierRejectsBadFieldGeometry) {
+  sim::Program P = trivialProgram();
+  P.Eval = {uint32_t(sim::Op::LoadField), 0, 60, 8,
+            uint32_t(sim::Op::StoreField), 0, 0, 8,
+            uint32_t(sim::Op::EndSeg)};
+  EXPECT_FALSE(sim::verify(P).ok()); // lo + len > 64
+}
+
+TEST(SimVm, VerifierRejectsBadShiftAmount) {
+  sim::Program P = trivialProgram();
+  P.Pool = {1};
+  P.Eval = {uint32_t(sim::Op::LoadConst), 0, uint32_t(sim::Op::Shl), 64,
+            uint32_t(sim::Op::StoreField), 0, 0, 64,
+            uint32_t(sim::Op::EndSeg)};
+  EXPECT_FALSE(sim::verify(P).ok());
+}
+
+TEST(SimVm, VerifierRejectsUnknownOpcode) {
+  sim::Program P = trivialProgram();
+  P.Eval = {sim::NumOps + 3, uint32_t(sim::Op::EndSeg)};
+  EXPECT_FALSE(sim::verify(P).ok());
+}
+
+TEST(SimVm, ExecuteRefusesUnverifiableProgram) {
+  sim::Program P = trivialProgram();
+  P.Eval.clear();
+  Trace Input;
+  Input.appendStep();
+  Result<Trace> Out = sim::execute(P, Input);
+  EXPECT_FALSE(Out.ok());
+}
+
+//===----------------------------------------------------------------------===//
+// Input binding errors mirror the tree engines' messages.
+//===----------------------------------------------------------------------===//
+
+TEST(SimVm, MissingInputReportsCycle) {
+  ir::Function Fn = parseOk(R"(
+    def adder(a:i8, b:i8) -> (y:i8) {
+      y:i8 = add(a, b) @??;
+    }
+  )");
+  Result<sim::Program> P = sim::compile(Fn);
+  ASSERT_TRUE(P.ok()) << P.error();
+  Trace Input;
+  interp::Step &S = Input.appendStep();
+  S["a"] = Value::splat(ir::Type::makeInt(8), 1);
+  Result<Trace> Out = sim::execute(P.value(), Input);
+  ASSERT_FALSE(Out.ok());
+  EXPECT_NE(Out.error().find("input 'b' missing"), std::string::npos)
+      << Out.error();
+}
+
+TEST(SimVm, TypeMismatchMatchesInterpMessage) {
+  ir::Function Fn = parseOk(R"(
+    def adder(a:i8, b:i8) -> (y:i8) {
+      y:i8 = add(a, b) @??;
+    }
+  )");
+  Trace Input;
+  interp::Step &S = Input.appendStep();
+  S["a"] = Value::splat(ir::Type::makeInt(8), 1);
+  S["b"] = Value::makeBool(true);
+
+  Result<Trace> FromInterp = interp::interpret(Fn, Input);
+  ASSERT_FALSE(FromInterp.ok());
+
+  Result<sim::Program> P = sim::compile(Fn);
+  ASSERT_TRUE(P.ok()) << P.error();
+  Result<Trace> FromVm = sim::execute(P.value(), Input);
+  ASSERT_FALSE(FromVm.ok());
+  EXPECT_EQ(FromInterp.error(), FromVm.error());
+}
+
+//===----------------------------------------------------------------------===//
+// The >64-bit DSP multiplier operand regression (silent truncation fix).
+//===----------------------------------------------------------------------===//
+
+/// A netlist whose DSP48E2 multiplies a 70-bit operand: both simulators
+/// must refuse it instead of silently truncating to the low 64 bits.
+Module wideMultiplierModule() {
+  Module M("wide");
+  M.addPort(verilog::Dir::Input, "clock", 0);
+  M.addPort(verilog::Dir::Input, "a", 70);
+  M.addPort(verilog::Dir::Input, "b", 18);
+  M.addPort(verilog::Dir::Output, "y", 48);
+  Item D = Module::makeInstance("DSP48E2", "d0");
+  D.Params.push_back({"USE_SIMD", Expr::str("ONE48")});
+  D.Params.push_back({"USE_MULT", Expr::str("MULTIPLY")});
+  D.Params.push_back({"ALUMODE", Expr::intLit(4, 0x0)});
+  D.Params.push_back({"OPMODE", Expr::intLit(9, 0x05 | (0x3u << 4))});
+  D.Params.push_back({"PREG", Expr::intLit(1, 0)});
+  D.Connections.push_back({"A", Expr::ref("a")});
+  D.Connections.push_back({"B", Expr::ref("b")});
+  D.Connections.push_back({"C", Expr::intLit(48, 0)});
+  D.Connections.push_back({"P", Expr::ref("y")});
+  M.addItem(std::move(D));
+  return M;
+}
+
+Trace wideMultiplierInput() {
+  Trace T;
+  interp::Step &S = T.appendStep();
+  S["a"] = Value::fromBits(ir::Type::makeInt(1, 70),
+                           std::vector<bool>(70, true));
+  S["b"] = Value::splat(ir::Type::makeInt(18), 3);
+  return T;
+}
+
+TEST(SimVm, TreeSimulatorRejectsWideDspMultiplier) {
+  Result<Trace> Out =
+      codegen::simulate(wideMultiplierModule(), wideMultiplierInput());
+  ASSERT_FALSE(Out.ok());
+  EXPECT_NE(Out.error().find("wider than 64 bits"), std::string::npos)
+      << Out.error();
+}
+
+TEST(SimVm, NetlistLoweringRejectsWideDspMultiplier) {
+  Result<sim::Program> P = sim::compile(wideMultiplierModule());
+  ASSERT_FALSE(P.ok());
+  EXPECT_NE(P.error().find("wider than 64 bits"), std::string::npos)
+      << P.error();
+}
+
+//===----------------------------------------------------------------------===//
+// Netlist lowering details: combinational loops, program shape.
+//===----------------------------------------------------------------------===//
+
+TEST(SimVm, NetlistLoweringRejectsCombinationalLoop) {
+  Module M("loop");
+  M.addPort(verilog::Dir::Input, "clock", 0);
+  M.addPort(verilog::Dir::Output, "y", 1);
+  M.addWire("w", 1);
+  M.addAssign(Expr::ref("w"), Expr::ref("y"));
+  M.addAssign(Expr::ref("y"), Expr::ref("w"));
+  Result<sim::Program> P = sim::compile(M);
+  ASSERT_FALSE(P.ok());
+  EXPECT_NE(P.error().find("settle"), std::string::npos) << P.error();
+}
+
+TEST(SimVm, ProgramCountsMatchMetadata) {
+  ir::Function Fn = parseOk(R"(
+    def mac(a:i8, b:i8, c:i8, en:bool) -> (y:i8) {
+      t0:i8 = mul(a, b) @??;
+      t1:i8 = add(t0, c) @??;
+      y:i8 = reg[0](t1, en) @??;
+    }
+  )");
+  Result<sim::Program> P = sim::compile(Fn);
+  ASSERT_TRUE(P.ok()) << P.error();
+  const sim::Program &Prog = P.value();
+  EXPECT_EQ(Prog.Inputs.size(), 4u);
+  EXPECT_EQ(Prog.Outputs.size(), 1u);
+  EXPECT_GE(Prog.NumWords, 7u); // 4 inputs + t0 + t1 + y
+  EXPECT_GE(Prog.MaxStack, 2u);
+  EXPECT_EQ(Prog.Signals.size(), 7u);
+  for (const sim::PortInfo &Pi : Prog.Inputs)
+    EXPECT_FALSE(Pi.Packed);
+}
+
+} // namespace

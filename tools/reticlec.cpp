@@ -44,17 +44,21 @@
 ///
 /// Run mode executes the compiled program instead of printing an
 /// artifact: the input trace (reticle-input-trace-v1 JSON) drives the
-/// reference interpreter, the gate-level netlist simulator, or both
-/// (checking them against each other cycle for cycle):
+/// reference interpreter, the gate-level netlist simulator, the bytecode
+/// VM (compiled from either source), or all of them:
 ///     --run=<trace.json>                     execute over this input trace
 ///     --cycles=N                             simulate only the first N cycles
-///     --sim=interp|netlist|both              engine selection (both)
+///     --sim=interp|netlist|vm-ir|vm-netlist|both
+///                                            engine selection (both)
 ///     --vcd=<file|->                         waveform as standard VCD
 ///     --wave-json=<file|->                   waveform as reticle-wave-v1 JSONL
+///     --dump-sim-program=<file|->            compiled sim bytecode, as
+///                                            reticle-sim-program-v1 text
 /// Waveforms flush even when a run aborts mid-simulation; in a
 /// RETICLE_NO_TELEMETRY build --run works but the waveform and coverage
-/// flags are rejected. --sim=both exits 1 on the first interp/netlist
-/// divergence. With --run, --coverage additionally carries sim.toggle
+/// flags are rejected. --sim=both runs all four engines and exits 1 on
+/// the first divergence (interp vs netlist, vm-ir vs interp, vm-netlist
+/// vs netlist). With --run, --coverage additionally carries sim.toggle
 /// bins: per-signal-bit 0->1/1->0 transitions replayed from the captured
 /// waveforms of every engine that ran.
 ///
@@ -102,6 +106,8 @@
 #include "obs/Telemetry.h"
 #include "opt/Transforms.h"
 #include "place/Floorplan.h"
+#include "sim/Compile.h"
+#include "sim/Vm.h"
 #include "synth/Synth.h"
 #include "tdl/Ultrascale.h"
 
@@ -173,10 +179,13 @@ void printUsage(std::FILE *Out, const char *Argv0) {
       "trace\n"
       "  --cycles=N                             simulate only the first N "
       "cycles\n"
-      "  --sim=interp|netlist|both              engine selection (both)\n"
+      "  --sim=interp|netlist|vm-ir|vm-netlist|both\n"
+      "                                         engine selection (both)\n"
       "  --vcd=<file|->                         waveform as standard VCD\n"
       "  --wave-json=<file|->                   waveform as reticle-wave-v1 "
       "JSONL\n"
+      "  --dump-sim-program=<file|->            compiled sim bytecode "
+      "disassembly\n"
       "\n"
       "batch mode (several inputs):\n"
       "  --jobs=N                               worker threads (default: "
@@ -271,6 +280,7 @@ struct DriverArgs {
   std::string SimEngine = "both";
   std::string VcdPath;
   std::string WaveJsonPath;
+  std::string DumpSimProgramPath;
   std::string CoveragePath;
   uint64_t Cycles = 0;
   bool CyclesSet = false;
@@ -549,8 +559,11 @@ int runExecute(const DriverArgs &Args) {
     Drive.steps().resize(Args.Cycles);
   }
 
-  bool RunInterp = Args.SimEngine != "netlist";
-  bool RunNetlist = Args.SimEngine != "interp";
+  bool Both = Args.SimEngine == "both";
+  bool RunInterp = Both || Args.SimEngine == "interp";
+  bool RunNetlist = Both || Args.SimEngine == "netlist";
+  bool RunVmIr = Both || Args.SimEngine == "vm-ir";
+  bool RunVmNetlist = Both || Args.SimEngine == "vm-netlist";
   bool WantWave = !Args.VcdPath.empty() || !Args.WaveJsonPath.empty();
   // Toggle coverage replays the same captures the waveform writers use,
   // so a coverage or stats request keeps the captures alive too.
@@ -558,9 +571,32 @@ int runExecute(const DriverArgs &Args) {
       !Args.CoveragePath.empty() || !Args.StatsJsonPath.empty();
   bool Capture = WantWave || WantCoverage;
 
-  sim::WaveCapture InterpWave, NetlistWave;
+  // The compiled-simulation programs: the VM engines execute them, and
+  // --dump-sim-program disassembles both regardless of engine selection.
+  bool WantPrograms =
+      RunVmIr || RunVmNetlist || !Args.DumpSimProgramPath.empty();
+  Result<sim::Program> IrProgram = fail<sim::Program>("not compiled");
+  Result<sim::Program> NetProgram = fail<sim::Program>("not compiled");
+  if (WantPrograms) {
+    IrProgram = sim::compile(Fn.value(), Session.context());
+    NetProgram = sim::compile(R.value().Verilog, Session.context());
+  }
+  if (!Args.DumpSimProgramPath.empty()) {
+    if (!IrProgram)
+      return compileError("vm-ir: " + IrProgram.error());
+    if (!NetProgram)
+      return compileError("vm-netlist: " + NetProgram.error());
+    std::string Text = sim::disassemble(IrProgram.value()) +
+                       sim::disassemble(NetProgram.value());
+    if (Status S = writeTextOutput(Args.DumpSimProgramPath, Text); !S)
+      return usageError(S.error());
+  }
+
+  sim::WaveCapture InterpWave, NetlistWave, VmIrWave, VmNetlistWave;
   Result<interp::Trace> InterpOut = fail<interp::Trace>("not run");
   Result<interp::Trace> NetlistOut = fail<interp::Trace>("not run");
+  Result<interp::Trace> VmIrOut = fail<interp::Trace>("not run");
+  Result<interp::Trace> VmNetlistOut = fail<interp::Trace>("not run");
   if (RunInterp)
     InterpOut = interp::interpret(Fn.value(), Drive,
                                   Capture ? &InterpWave : nullptr,
@@ -569,14 +605,33 @@ int runExecute(const DriverArgs &Args) {
     NetlistOut = codegen::simulate(R.value().Verilog, Drive,
                                    Capture ? &NetlistWave : nullptr,
                                    Session.context());
+  if (RunVmIr)
+    VmIrOut = !IrProgram ? fail<interp::Trace>(IrProgram.error())
+                         : sim::execute(IrProgram.value(), Drive,
+                                        Capture ? &VmIrWave : nullptr,
+                                        Session.context());
+  if (RunVmNetlist)
+    VmNetlistOut = !NetProgram
+                       ? fail<interp::Trace>(NetProgram.error())
+                       : sim::execute(NetProgram.value(), Drive,
+                                      Capture ? &VmNetlistWave : nullptr,
+                                      Session.context());
 
   auto CaptureSources =
       [&]() -> std::vector<std::pair<const sim::WaveCapture *, std::string>> {
-    if (RunInterp && RunNetlist)
-      return {{&InterpWave, "interp"}, {&NetlistWave, "netlist"}};
+    std::vector<std::pair<const sim::WaveCapture *, std::string>> Sources;
     if (RunInterp)
-      return {{&InterpWave, ""}};
-    return {{&NetlistWave, ""}};
+      Sources.push_back({&InterpWave, "interp"});
+    if (RunNetlist)
+      Sources.push_back({&NetlistWave, "netlist"});
+    if (RunVmIr)
+      Sources.push_back({&VmIrWave, "vm-ir"});
+    if (RunVmNetlist)
+      Sources.push_back({&VmNetlistWave, "vm-netlist"});
+    // A single engine streams unprefixed, matching the pre-VM layout.
+    if (Sources.size() == 1)
+      Sources.front().second = "";
+    return Sources;
   };
 
   // Dynamic toggle coverage: replay the captured run(s) — complete or
@@ -610,10 +665,7 @@ int runExecute(const DriverArgs &Args) {
         return S;
     }
     if (!Args.WaveJsonPath.empty()) {
-      const char *Engine = RunInterp && RunNetlist ? "both"
-                           : RunInterp            ? "interp"
-                                                  : "netlist";
-      sim::WaveJsonWriter Wj(Top, Engine);
+      sim::WaveJsonWriter Wj(Top, Args.SimEngine.c_str());
       if (Status S = sim::replay(Sources, Wj); !S)
         return S;
       if (Status S = writeTextOutput(Args.WaveJsonPath, Wj.text()); !S)
@@ -644,26 +696,45 @@ int runExecute(const DriverArgs &Args) {
     return compileError("interp: " + InterpOut.error());
   if (RunNetlist && !NetlistOut)
     return compileError("netlist: " + NetlistOut.error());
+  if (RunVmIr && !VmIrOut)
+    return compileError("vm-ir: " + VmIrOut.error());
+  if (RunVmNetlist && !VmNetlistOut)
+    return compileError("vm-netlist: " + VmNetlistOut.error());
 
-  if (RunInterp && RunNetlist) {
-    // The differential check: every output port, cycle for cycle,
-    // compared through the flattened bit representation.
-    const interp::Trace &A = InterpOut.value();
-    const interp::Trace &B = NetlistOut.value();
+  // The differential checks: every output port, cycle for cycle,
+  // compared through the flattened bit representation. In both mode the
+  // tree engines check against each other as before, and each VM engine
+  // checks against the tree engine it was compiled from.
+  auto DiffTraces = [&](const char *NameA, const interp::Trace &A,
+                        const char *NameB, const interp::Trace &B) -> int {
     for (size_t Cycle = 0; Cycle < Drive.size(); ++Cycle) {
       for (const ir::Port &P : Fn.value().outputs()) {
         const interp::Value *Va = A.get(Cycle, P.Name);
         const interp::Value *Vb = B.get(Cycle, P.Name);
         if (!Va || !Vb || Va->toBits() != Vb->toBits())
           return compileError(
-              "interp vs netlist divergence at cycle " +
-              std::to_string(Cycle) + ", signal '" + P.Name + "': interp " +
-              (Va ? sim::bitsToString(Va->toBits()) : "<missing>") +
-              ", netlist " +
+              std::string(NameA) + " vs " + NameB +
+              " divergence at cycle " + std::to_string(Cycle) +
+              ", signal '" + P.Name + "': " + NameA + " " +
+              (Va ? sim::bitsToString(Va->toBits()) : "<missing>") + ", " +
+              NameB + " " +
               (Vb ? sim::bitsToString(Vb->toBits()) : "<missing>"));
       }
     }
-  }
+    return 0;
+  };
+  if (RunInterp && RunNetlist)
+    if (int Rc = DiffTraces("interp", InterpOut.value(), "netlist",
+                            NetlistOut.value()))
+      return Rc;
+  if (RunVmIr && RunInterp)
+    if (int Rc = DiffTraces("vm-ir", VmIrOut.value(), "interp",
+                            InterpOut.value()))
+      return Rc;
+  if (RunVmNetlist && RunNetlist)
+    if (int Rc = DiffTraces("vm-netlist", VmNetlistOut.value(), "netlist",
+                            NetlistOut.value()))
+      return Rc;
 
   std::fprintf(stderr, "reticlec: run: %s: %zu cycle(s), sim=%s: ok\n",
                InputPath.c_str(), Drive.size(), Args.SimEngine.c_str());
@@ -919,9 +990,11 @@ int main(int Argc, char **Argv) {
       Args.SimEngine = Arg.substr(6);
       Args.SimSet = true;
       if (Args.SimEngine != "interp" && Args.SimEngine != "netlist" &&
+          Args.SimEngine != "vm-ir" && Args.SimEngine != "vm-netlist" &&
           Args.SimEngine != "both")
         return usageError("unknown --sim engine '" + Args.SimEngine +
-                          "' (valid: interp, netlist, both)");
+                          "' (valid: interp, netlist, vm-ir, vm-netlist, "
+                          "both)");
     } else if (Arg.rfind("--vcd=", 0) == 0) {
       Args.VcdPath = Arg.substr(6);
       if (Args.VcdPath.empty())
@@ -930,6 +1003,10 @@ int main(int Argc, char **Argv) {
       Args.WaveJsonPath = Arg.substr(12);
       if (Args.WaveJsonPath.empty())
         return usageError("--wave-json= requires a file path or '-'");
+    } else if (Arg.rfind("--dump-sim-program=", 0) == 0) {
+      Args.DumpSimProgramPath = Arg.substr(19);
+      if (Args.DumpSimProgramPath.empty())
+        return usageError("--dump-sim-program= requires a file path or '-'");
     } else if (Arg.rfind("--coverage=", 0) == 0) {
       Args.CoveragePath = Arg.substr(11);
       if (Args.CoveragePath.empty())
@@ -1017,8 +1094,9 @@ int main(int Argc, char **Argv) {
 
   if (Args.RunTracePath.empty()) {
     if (Args.CyclesSet || Args.SimSet || !Args.VcdPath.empty() ||
-        !Args.WaveJsonPath.empty())
-      return usageError("--cycles/--sim/--vcd/--wave-json require --run");
+        !Args.WaveJsonPath.empty() || !Args.DumpSimProgramPath.empty())
+      return usageError("--cycles/--sim/--vcd/--wave-json/"
+                        "--dump-sim-program require --run");
   } else {
     if (Args.Inputs.size() > 1)
       return usageError("--run applies to a single input");
