@@ -5,8 +5,9 @@
 # summary) with json_check, including a remark_diff of two identical
 # runs to pin down pipeline determinism and a coverage_diff of the
 # merged example-program coverage against the checked-in golden
-# (tests/goldens/coverage.json). RUN_BENCH=1 additionally runs the
-# microbenchmarks. After the primary build, two
+# (tests/goldens/coverage.json), and a profile_diff of two identical
+# profiled VM runs to pin down hot-set determinism. RUN_BENCH=1
+# additionally runs the microbenchmarks. After the primary build, two
 # hardening builds run: one with the telemetry layer compiled out
 # (-DRETICLE_NO_TELEMETRY=ON) and one under ThreadSanitizer exercising
 # the concurrent batch-compile path and concurrent compiled-simulation
@@ -148,18 +149,59 @@ done
 "$build/tools/json_check" --nonempty=spaces.sim.toggle.bins \
     "$out/mac.run.coverage.json"
 
+echo "== sim-VM profile (reticle-profile-v1) + hot-set determinism =="
+# Two identical profiled runs must agree on every hot instruction and
+# every count — only the sampled wall times are machine-dependent, and
+# profile_diff ignores those. The join is the determinism gate: a drift
+# in the hot set means the lowering or the attribution table changed.
+"$build/tools/reticlec" --device=small \
+    --run="$repo/examples/traces/mac.trace.json" --sim=both \
+    --profile-sim="$out/mac.profile-a.json" \
+    "$repo/examples/programs/mac.ret"
+"$build/tools/json_check" --require=schema --require=program \
+    --require=cycles --require=ops.total --require=ops.attributed \
+    --require=ops.attributed_frac --nonempty=hot_instructions \
+    --nonempty=hot_signals "$out/mac.profile-a.json"
+"$build/tools/reticlec" --device=small \
+    --run="$repo/examples/traces/mac.trace.json" --sim=both \
+    --profile-sim="$out/mac.profile-b.json" \
+    "$repo/examples/programs/mac.ret"
+"$build/tools/json_check" profile_diff \
+    "$out/mac.profile-a.json" "$out/mac.profile-b.json"
+# A profile streamed to stdout must carry the schema marker, and the
+# flamegraph fold must reconstruct at least one nested compile stack.
+"$build/tools/reticlec" --device=small \
+    --run="$repo/examples/traces/mac.trace.json" --sim=vm-netlist \
+    --profile-sim=- \
+    "$repo/examples/programs/mac.ret" | grep -q "reticle-profile-v1"
+"$build/tools/reticlec" --device=small --emit=placed \
+    --profile-folded=- \
+    "$repo/examples/programs/mac.ret" | grep -q "^compile;"
+
 if [ "${RUN_BENCH:-0}" = "1" ]; then
     echo "== benches (RUN_BENCH=1) =="
     # Opt-in: the microbenchmarks are informative, not gating, so the
     # default run skips them. Any bench binary the build produced runs
-    # once with its defaults.
+    # once with its defaults; each writes its BENCH_*.json into $out.
     for bench in sim_throughput fig4_dsp_add fig13a_tensoradd \
                  fig13b_tensordot fig13c_fsm compile_time ablation; do
         if [ -x "$build/bench/$bench" ]; then
             echo "-- bench/$bench"
-            "$build/bench/$bench"
+            (cd "$out" && "$build/bench/$bench")
         fi
     done
+    # The sim bench doc is a contract: schema, the seed baseline both
+    # speedup_vs_seed numbers divide by, one cycles_per_sec per series
+    # row (every engine/mode pair), and the profiled VM rows with their
+    # overhead_vs_none cost figure.
+    "$build/tools/json_check" --require=schema --require=figure \
+        --require=baseline.interp_cycles_per_sec \
+        --require=baseline.netlist_cycles_per_sec \
+        --nonempty=series "$out/BENCH_sim.json"
+    test "$(grep -c '"engine"' "$out/BENCH_sim.json")" = \
+         "$(grep -c '"cycles_per_sec"' "$out/BENCH_sim.json")"
+    grep -q '"profiled"' "$out/BENCH_sim.json"
+    grep -q '"overhead_vs_none"' "$out/BENCH_sim.json"
 fi
 
 echo "== telemetry-free build (-DRETICLE_NO_TELEMETRY=ON) =="
@@ -200,6 +242,21 @@ if [ "$coverage_rc" -ne 2 ]; then
          "RETICLE_NO_TELEMETRY build" >&2
     exit 1
 fi
+# So are both profile writers: the VM profile rides the telemetry
+# counters and the flamegraph fold reads the tracing span buffer.
+for flag in --profile-sim=- --profile-folded=-; do
+    set +e
+    "$repo/build-notelem/tools/reticlec" --device=small \
+        --run="$repo/examples/traces/mac.trace.json" --sim=vm-ir \
+        "$flag" "$repo/examples/programs/mac.ret" >/dev/null 2>&1
+    profile_rc=$?
+    set -e
+    if [ "$profile_rc" -ne 2 ]; then
+        echo "error: $flag exited $profile_rc (want 2) in a" \
+             "RETICLE_NO_TELEMETRY build" >&2
+        exit 1
+    fi
+done
 "$repo/build-notelem/tools/reticlec" --device=small \
     "$repo/examples/programs/mac.ret" >/dev/null
 

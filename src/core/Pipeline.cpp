@@ -246,11 +246,21 @@ Status Pipeline::run(CompileState &State, CompileSession &Session,
     }
     auto Start = std::chrono::steady_clock::now();
     Status Outcome = Status::success();
-    if (P->enabled(Options) && !Options.isPassDisabled(P->name())) {
+    bool Ran = P->enabled(Options) && !Options.isPassDisabled(P->name());
+    if (Ran) {
       obs::Span Sp(Session.context(), P->spanName());
       Outcome = P->run(State, Session, Options);
       if (Outcome)
         P->spanArgs(Sp, State);
+    }
+    if (Ran) {
+      // Latency distributions: every pass execution lands one sample in
+      // the aggregate pass histogram and one in its per-pass histogram,
+      // so batch compiles expose real p50/p90/p99 per stage.
+      double Ms = msSince(Start);
+      const obs::Context &Ctx = Session.context();
+      Ctx.histogram("pipeline.pass_ms").record(Ms);
+      Ctx.histogram(std::string("pipeline.pass_ms.") + P->name()).record(Ms);
     }
     if (double StageTimings::*Slot = P->timingSlot())
       State.Result.Times.*Slot = msSince(Start);

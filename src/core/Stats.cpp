@@ -194,6 +194,9 @@ Json reticle::core::statsJson(const CompileResult &Result,
     Doc.set("counters", *Counters);
   if (const Json *Gauges = Registry.find("gauges"))
     Doc.set("gauges", *Gauges);
+  // Latency distributions (pipeline.pass_ms[.<pass>], sat.solve_ms,
+  // sim.cycle_batch_ms): log-bucketed percentile estimates per name.
+  Doc.set("histograms", Ctx.Telem->histogramsJson());
 #endif
   return Doc;
 }

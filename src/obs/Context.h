@@ -47,6 +47,9 @@ struct Context {
 
   Counter &counter(std::string_view Name) const { return Telem->counter(Name); }
   Gauge &gauge(std::string_view Name) const { return Telem->gauge(Name); }
+  Histogram &histogram(std::string_view Name) const {
+    return Telem->histogram(Name);
+  }
   bool tracingEnabled() const { return Telem->tracingEnabled(); }
   bool remarksEnabled() const { return Rem->enabled(); }
   void instant(const char *Name) const { Telem->instant(Name); }

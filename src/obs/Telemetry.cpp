@@ -11,7 +11,9 @@
 #include "obs/Context.h"
 #include "obs/Json.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <deque>
 #include <fstream>
@@ -45,6 +47,12 @@ struct GaugeEntry {
   explicit GaugeEntry(std::string Name) : Name(std::move(Name)) {}
 };
 
+struct HistogramEntry {
+  std::string Name;
+  Histogram Value;
+  explicit HistogramEntry(std::string Name) : Name(std::move(Name)) {}
+};
+
 /// Trace tids are process-wide so events from several Telemetry instances
 /// viewed side by side still distinguish the recording threads.
 uint32_t threadId() {
@@ -63,6 +71,8 @@ struct Telemetry::Impl {
   std::map<std::string, Counter *, std::less<>> CounterIndex;
   std::deque<GaugeEntry> Gauges;
   std::map<std::string, Gauge *, std::less<>> GaugeIndex;
+  std::deque<HistogramEntry> Histograms;
+  std::map<std::string, Histogram *, std::less<>> HistogramIndex;
   std::vector<TraceEvent> Events;
   std::atomic<bool> Tracing{false};
   std::chrono::steady_clock::time_point Epoch =
@@ -104,6 +114,17 @@ Gauge &Telemetry::gauge(std::string_view Name) {
   Gauge *G = &I->Gauges.back().Value;
   I->GaugeIndex.emplace(std::string(Name), G);
   return *G;
+}
+
+Histogram &Telemetry::histogram(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  auto It = I->HistogramIndex.find(Name);
+  if (It != I->HistogramIndex.end())
+    return *It->second;
+  I->Histograms.emplace_back(std::string(Name));
+  Histogram *H = &I->Histograms.back().Value;
+  I->HistogramIndex.emplace(std::string(Name), H);
+  return *H;
 }
 
 bool Telemetry::tracingEnabled() const {
@@ -165,6 +186,71 @@ Status Telemetry::writeTrace(const std::string &Path) const {
   return Status::success();
 }
 
+std::string Telemetry::foldedStacks() const {
+  std::vector<TraceEvent> Events;
+  {
+    std::lock_guard<std::mutex> Lock(I->Mu);
+    for (const TraceEvent &E : I->Events)
+      if (E.Phase == 'X')
+        Events.push_back(E);
+  }
+
+  std::map<uint32_t, std::vector<const TraceEvent *>> ByTid;
+  for (const TraceEvent &E : Events)
+    ByTid[E.Tid].push_back(&E);
+
+  // Spans record on destruction, i.e. in completion order; re-sorting by
+  // start time (ties: longer span first, it is the encloser) restores the
+  // call order, after which timestamp containment reconstructs nesting —
+  // a span belongs to every still-open span that started before it and
+  // ends after it. Self time is a span's duration minus its children's.
+  std::map<std::string, double> SelfUs;
+  for (auto &[Tid, Evs] : ByTid) {
+    (void)Tid;
+    std::stable_sort(Evs.begin(), Evs.end(),
+                     [](const TraceEvent *A, const TraceEvent *B) {
+                       if (A->TsUs != B->TsUs)
+                         return A->TsUs < B->TsUs;
+                       return A->DurUs > B->DurUs;
+                     });
+    struct Frame {
+      std::string Stack;
+      double EndUs;
+      double SelfUs;
+    };
+    std::vector<Frame> Open;
+    auto Close = [&](Frame &F) { SelfUs[F.Stack] += F.SelfUs; };
+    for (const TraceEvent *E : Evs) {
+      while (!Open.empty() && Open.back().EndUs <= E->TsUs) {
+        Close(Open.back());
+        Open.pop_back();
+      }
+      std::string Stack = Open.empty()
+                              ? std::string(E->Name)
+                              : Open.back().Stack + ";" + E->Name;
+      if (!Open.empty())
+        Open.back().SelfUs -= E->DurUs;
+      Open.push_back({std::move(Stack), E->TsUs + E->DurUs, E->DurUs});
+    }
+    while (!Open.empty()) {
+      Close(Open.back());
+      Open.pop_back();
+    }
+  }
+
+  std::string Out;
+  for (const auto &[Stack, Us] : SelfUs) {
+    long long N = std::llround(Us);
+    if (N < 0)
+      N = 0;
+    Out += Stack;
+    Out.push_back(' ');
+    Out += std::to_string(N);
+    Out.push_back('\n');
+  }
+  return Out;
+}
+
 Json Telemetry::countersJson() const {
   std::lock_guard<std::mutex> Lock(I->Mu);
   Json Doc = Json::object();
@@ -179,6 +265,24 @@ Json Telemetry::countersJson() const {
   return Doc;
 }
 
+Json Telemetry::histogramsJson() const {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  Json Doc = Json::object();
+  for (const HistogramEntry &E : I->Histograms) {
+    if (!E.Value.count())
+      continue;
+    Json H = Json::object();
+    H.set("count", E.Value.count());
+    H.set("sum", E.Value.sum());
+    H.set("p50", E.Value.percentile(50.0));
+    H.set("p90", E.Value.percentile(90.0));
+    H.set("p99", E.Value.percentile(99.0));
+    H.set("max", E.Value.max());
+    Doc.set(E.Name, std::move(H));
+  }
+  return Doc;
+}
+
 void Telemetry::reset() {
   std::lock_guard<std::mutex> Lock(I->Mu);
   I->Events.clear();
@@ -186,6 +290,8 @@ void Telemetry::reset() {
   for (CounterEntry &E : I->Counters)
     E.Value.reset();
   for (GaugeEntry &E : I->Gauges)
+    E.Value.reset();
+  for (HistogramEntry &E : I->Histograms)
     E.Value.reset();
 }
 

@@ -47,6 +47,7 @@
 
 #ifndef RETICLE_NO_TELEMETRY
 #include <atomic>
+#include <cmath>
 #include <memory>
 #else
 #include <fstream>
@@ -90,6 +91,90 @@ private:
   std::atomic<double> V{0.0};
 };
 
+/// A log-bucketed latency distribution: samples land in power-of-two
+/// buckets spanning 2^-32 .. 2^32 (the recording unit is by convention
+/// milliseconds), so percentile queries are a bucket walk with log-2
+/// resolution. Recording is lock-free — one relaxed bucket add plus CAS
+/// loops for the running sum and max — so distinct threads can record into
+/// the same histogram; reads (count/percentile/max) are registry-export
+/// paths and take relaxed snapshots.
+class Histogram {
+public:
+  void record(double Value) {
+    Buckets[bucketOf(Value)].fetch_add(1, std::memory_order_relaxed);
+    N.fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(Sum, Value);
+    atomicMax(Mx, Value);
+  }
+
+  uint64_t count() const { return N.load(std::memory_order_relaxed); }
+  double sum() const { return Sum.load(std::memory_order_relaxed); }
+  double max() const { return Mx.load(std::memory_order_relaxed); }
+
+  /// The \p Q-th percentile (0..100) estimated as the upper bound of the
+  /// bucket holding the rank-Q sample, clamped to the observed max.
+  double percentile(double Q) const {
+    uint64_t Total = N.load(std::memory_order_relaxed);
+    if (!Total)
+      return 0.0;
+    auto Rank = static_cast<uint64_t>(std::ceil(Q / 100.0 * Total));
+    if (Rank < 1)
+      Rank = 1;
+    uint64_t Seen = 0;
+    for (unsigned I = 0; I < NumBuckets; ++I) {
+      Seen += Buckets[I].load(std::memory_order_relaxed);
+      if (Seen >= Rank)
+        return std::min(upperOf(I), max());
+    }
+    return max();
+  }
+
+  void reset() {
+    for (auto &B : Buckets)
+      B.store(0, std::memory_order_relaxed);
+    N.store(0, std::memory_order_relaxed);
+    Sum.store(0.0, std::memory_order_relaxed);
+    Mx.store(0.0, std::memory_order_relaxed);
+  }
+
+private:
+  static constexpr unsigned NumBuckets = 64;
+
+  /// Bucket I holds values in [2^(I-33), 2^(I-32)); non-positive values
+  /// land in bucket 0.
+  static unsigned bucketOf(double V) {
+    if (!(V > 0.0))
+      return 0;
+    int Exp = 0;
+    std::frexp(V, &Exp); // V = m * 2^Exp, m in [0.5, 1)
+    int Index = Exp + 32;
+    if (Index < 0)
+      return 0;
+    if (Index >= static_cast<int>(NumBuckets))
+      return NumBuckets - 1;
+    return static_cast<unsigned>(Index);
+  }
+  static double upperOf(unsigned I) {
+    return std::ldexp(1.0, static_cast<int>(I) - 32);
+  }
+  static void atomicAdd(std::atomic<double> &A, double V) {
+    double Cur = A.load(std::memory_order_relaxed);
+    while (!A.compare_exchange_weak(Cur, Cur + V, std::memory_order_relaxed)) {
+    }
+  }
+  static void atomicMax(std::atomic<double> &A, double V) {
+    double Cur = A.load(std::memory_order_relaxed);
+    while (Cur < V &&
+           !A.compare_exchange_weak(Cur, V, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<uint64_t> Buckets[NumBuckets]{};
+  std::atomic<uint64_t> N{0};
+  std::atomic<double> Sum{0.0};
+  std::atomic<double> Mx{0.0};
+};
+
 /// One telemetry domain: a registry of named counters/gauges plus a
 /// trace-event buffer with its own clock epoch and tracing switch. All
 /// operations are thread-safe; references returned by counter()/gauge()
@@ -101,10 +186,11 @@ public:
   Telemetry(const Telemetry &) = delete;
   Telemetry &operator=(const Telemetry &) = delete;
 
-  /// Finds or registers the counter / gauge named \p Name. Hot paths
-  /// should hoist the returned reference out of their loops.
+  /// Finds or registers the counter / gauge / histogram named \p Name.
+  /// Hot paths should hoist the returned reference out of their loops.
   Counter &counter(std::string_view Name);
   Gauge &gauge(std::string_view Name);
+  Histogram &histogram(std::string_view Name);
 
   /// Trace switch. Spans and instants record only while enabled.
   bool tracingEnabled() const;
@@ -118,9 +204,22 @@ public:
   std::string traceJson() const;
   Status writeTrace(const std::string &Path) const;
 
+  /// Folds the recorded span tree into collapsed-stack format — one
+  /// `frame;frame;leaf <self_us>` line per distinct stack, sorted by
+  /// stack name, with integer-microsecond self time (the flamegraph
+  /// input dialect of speedscope and flamegraph.pl). Nesting is
+  /// reconstructed per thread from event timestamp containment, the same
+  /// way trace viewers do it.
+  std::string foldedStacks() const;
+
   /// A snapshot of every registered counter and gauge, as
   /// {"counters": {...}, "gauges": {...}}.
   Json countersJson() const;
+
+  /// A snapshot of every registered histogram, as
+  /// {name: {"count": N, "sum": S, "p50": ..., "p90": ..., "p99": ...,
+  /// "max": ...}}. Empty (zero-sample) histograms are skipped.
+  Json histogramsJson() const;
 
   /// Clears recorded events and zeroes all counters/gauges; disables
   /// tracing. Registered names stay valid.
@@ -213,6 +312,16 @@ public:
   void reset() {}
 };
 
+class Histogram {
+public:
+  void record(double) {}
+  uint64_t count() const { return 0; }
+  double sum() const { return 0.0; }
+  double max() const { return 0.0; }
+  double percentile(double) const { return 0.0; }
+  void reset() {}
+};
+
 class Telemetry {
 public:
   Telemetry() = default;
@@ -227,10 +336,15 @@ public:
     static Gauge Noop;
     return Noop;
   }
+  Histogram &histogram(std::string_view) {
+    static Histogram Noop;
+    return Noop;
+  }
   bool tracingEnabled() const { return false; }
   void enableTracing(bool = true) {}
   void instant(const char *) {}
   std::string traceJson() const { return "{\"traceEvents\":[]}"; }
+  std::string foldedStacks() const { return ""; }
   Status writeTrace(const std::string &Path) const {
     std::ofstream Out(Path);
     if (!Out)

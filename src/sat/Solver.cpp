@@ -399,6 +399,7 @@ Outcome Solver::runSolve(const std::vector<Lit> *Assumptions,
   if (O == Outcome::Unknown)
     ++Stats.Unknowns;
   Stats.SolveMs += Ms;
+  Ctx.histogram("sat.solve_ms").record(Ms);
   ++Solves;
   Decisions += Profile.Decisions;
   Propagations += Profile.Propagations;

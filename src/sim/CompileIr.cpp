@@ -137,11 +137,13 @@ Result<Program> reticle::sim::compile(const ir::Function &Fn,
   for (size_t Index = 0; Index < Body.size(); ++Index) {
     const Instr &I = Body[Index];
     if (I.isReg()) {
+      E.setSource(I.dst());
       StoreValue(DU.dstIdOf(Index), interp::regInitValue(I));
     } else if (I.isWire() && I.wireOp() == ir::WireOp::Const) {
       Result<interp::Value> V = interp::evalPure(I, {});
       if (!V)
         return fail<Program>(V.error());
+      E.setSource(I.dst());
       StoreValue(DU.dstIdOf(Index), V.value());
     }
   }
@@ -151,6 +153,7 @@ Result<Program> reticle::sim::compile(const ir::Function &Fn,
   E.use(P.Eval);
   for (size_t Index : PureOrder) {
     const Instr &I = Body[Index];
+    E.setSource(I.dst());
     ValueId Dst = DU.dstIdOf(Index);
     Type Ty = I.type();
     unsigned W = Ty.width();
@@ -301,11 +304,17 @@ Result<Program> reticle::sim::compile(const ir::Function &Fn,
   // Commit: every register's next state is computed onto the stack, then
   // all stores happen — the simultaneous clock edge.
   E.use(P.Commit);
-  std::vector<std::pair<uint32_t, unsigned>> Stores; // (word, lanes) per reg
+  struct RegStore {
+    uint32_t Word;
+    unsigned Lanes;
+    std::string Name;
+  };
+  std::vector<RegStore> Stores; // per reg, in body order
   for (size_t Index = 0; Index < Body.size(); ++Index) {
     const Instr &I = Body[Index];
     if (!I.isReg())
       continue;
+    E.setSource(I.dst());
     ValueId Dst = DU.dstIdOf(Index);
     const std::vector<ValueId> &Args = DU.argIdsOf(Index);
     for (unsigned L = 0; L < I.type().lanes(); ++L) {
@@ -314,11 +323,13 @@ Result<Program> reticle::sim::compile(const ir::Function &Fn,
       E.loadWord(BaseOf[Args[1]]);     // condition: enable
       E.op(Op::Select);
     }
-    Stores.emplace_back(BaseOf[Dst], I.type().lanes());
+    Stores.push_back({BaseOf[Dst], I.type().lanes(), I.dst()});
   }
-  for (size_t R = Stores.size(); R-- > 0;)
-    for (unsigned L = Stores[R].second; L-- > 0;)
-      E.storeWord(Stores[R].first + L);
+  for (size_t R = Stores.size(); R-- > 0;) {
+    E.setSource(Stores[R].Name);
+    for (unsigned L = Stores[R].Lanes; L-- > 0;)
+      E.storeWord(Stores[R].Word + L);
+  }
   E.endSeg();
 
   E.countInto(Ctx);

@@ -566,6 +566,45 @@ private:
     return Status::success();
   }
 
+  /// The profile-attribution label of an item: the signal it drives (the
+  /// assign target, LUT/CARRY8 O, FDRE Q, DSP P/PCOUT). Empty when the
+  /// target cannot be resolved — those items stay unattributed rather
+  /// than failing the lowering here (the emission path reports the real
+  /// error).
+  std::string itemLabel(const Item &I) {
+    auto NameOfLhs = [&](const Expr *Lhs) -> std::string {
+      if (!Lhs)
+        return std::string();
+      Result<LTarget> T = lvalueOf(*Lhs, Sigs);
+      if (!T)
+        return std::string();
+      return Sigs.at(T.value().Sig).Name;
+    };
+    if (I.ItemKind == Item::Kind::Assign)
+      return NameOfLhs(&I.Lhs);
+    if (I.ItemKind != Item::Kind::Instance)
+      return std::string();
+    if (I.ModuleName.rfind("LUT", 0) == 0 || I.ModuleName == "CARRY8")
+      return NameOfLhs(connOf(I, "O"));
+    if (I.ModuleName == "FDRE")
+      return NameOfLhs(connOf(I, "Q"));
+    if (I.ModuleName == "DSP48E2") {
+      std::string Name = NameOfLhs(connOf(I, "P"));
+      return Name.empty() ? NameOfLhs(connOf(I, "PCOUT")) : Name;
+    }
+    return std::string();
+  }
+
+  /// Attributes subsequent emissions to \p I's driven signal (or clears
+  /// the attribution when the item has no resolvable target).
+  void attribute(const Item &I) {
+    std::string Label = itemLabel(I);
+    if (Label.empty())
+      E.clearSource();
+    else
+      E.setSource(Label);
+  }
+
   Status emitEvalItem(size_t Index);
   Result<std::vector<size_t>> orderItems();
 };
@@ -679,6 +718,7 @@ Result<std::vector<size_t>> NetlistLowering::orderItems() {
 
 Status NetlistLowering::emitEvalItem(size_t Index) {
   const Item &I = M.items()[Index];
+  attribute(I);
   if (I.ItemKind == Item::Kind::Assign) {
     Result<std::vector<Piece>> V = flatten(I.Rhs, Sigs);
     if (!V)
@@ -871,10 +911,12 @@ Status NetlistLowering::run() {
   // Init: state words take their INIT/PINIT values.
   E.use(P.Init);
   for (const auto &[Index, Word] : FdreState) {
+    attribute(Items[Index]);
     E.loadConst(paramOf(Items[Index], "INIT", 0) != 0 ? 1 : 0);
     E.storeField(Word, 0, 1);
   }
   for (const auto &[Index, Word] : DspState) {
+    attribute(Items[Index]);
     E.loadConst(paramOf(Items[Index], "PINIT", 0) & maskOf(48));
     E.storeField(Word, 0, 48);
   }
@@ -892,7 +934,9 @@ Status NetlistLowering::run() {
   E.use(P.Commit);
   std::vector<uint32_t> StateStores; // state word per pushed value
   std::vector<unsigned> StateLens;
+  std::vector<std::string> StateNames; // attribution per pushed value
   for (const auto &[Index, Word] : FdreState) {
+    attribute(Items[Index]);
     const FdreConns &C = FdreBind.at(Index);
     Result<std::vector<Piece>> Ce = flatten(*C.Ce, Sigs);
     Result<std::vector<Piece>> R = flatten(*C.R, Sigs);
@@ -909,8 +953,10 @@ Status NetlistLowering::run() {
     E.op(Op::Select);
     StateStores.push_back(Word);
     StateLens.push_back(1);
+    StateNames.push_back(itemLabel(Items[Index]));
   }
   for (const auto &[Index, Word] : DspState) {
+    attribute(Items[Index]);
     if (Status S = emitDspComb(Items[Index]); !S)
       return S;
     Result<std::vector<Piece>> Cep = flatten(*DspCep.at(Index), Sigs);
@@ -922,9 +968,15 @@ Status NetlistLowering::run() {
     E.op(Op::Select);
     StateStores.push_back(Word);
     StateLens.push_back(48);
+    StateNames.push_back(itemLabel(Items[Index]));
   }
-  for (size_t K = StateStores.size(); K-- > 0;)
+  for (size_t K = StateStores.size(); K-- > 0;) {
+    if (StateNames[K].empty())
+      E.clearSource();
+    else
+      E.setSource(StateNames[K]);
     E.storeField(StateStores[K], 0, StateLens[K]);
+  }
   E.endSeg();
 
   P.NumWords = NextWord;

@@ -24,6 +24,8 @@
 #include <cassert>
 #include <initializer_list>
 #include <map>
+#include <string>
+#include <string_view>
 
 namespace reticle {
 namespace sim {
@@ -37,11 +39,36 @@ public:
   void use(std::vector<uint32_t> &Seg) {
     Code = &Seg;
     LastInstr = NoInstr;
+    Marks = &Seg == &Prog.Init     ? &Prog.InitSrc
+            : &Seg == &Prog.Eval   ? &Prog.EvalSrc
+            : &Seg == &Prog.Commit ? &Prog.CommitSrc
+                                   : nullptr;
+    clearSource();
+  }
+
+  /// Attributes subsequently emitted instructions to source \p Name (an
+  /// IR instruction destination or netlist signal). Marks land lazily on
+  /// the next emission, so naming a source that emits nothing leaves no
+  /// debris in the side table.
+  void setSource(std::string_view Name) {
+    if (HaveSource && CurName == Name)
+      return;
+    CurName.assign(Name);
+    HaveSource = true;
+    CurInterned = false;
+  }
+
+  /// Ends the current attribution range; following instructions are
+  /// unattributed until the next setSource().
+  void clearSource() {
+    HaveSource = false;
+    CurInterned = false;
   }
 
   void op(Op O, std::initializer_list<uint32_t> Operands = {}) {
     assert(Code && "no active segment");
     assert(Operands.size() == opOperands(O) && "operand arity mismatch");
+    mark();
     LastInstr = Code->size();
     Code->push_back(static_cast<uint32_t>(O));
     for (uint32_t A : Operands)
@@ -77,6 +104,14 @@ public:
         (*Code)[LastInstr + 3] == 64) {
       Code->insert(Code->begin() + LastInstr,
                    static_cast<uint32_t>(Op::Dup));
+      // The insertion shifts every instruction at or past the store by
+      // one word; debug marks pointing there (only the sorted tail can)
+      // shift with it, so they keep naming instruction boundaries. The
+      // dup itself joins the preceding mark's range.
+      if (Marks)
+        for (auto It = Marks->rbegin();
+             It != Marks->rend() && It->Offset >= LastInstr; ++It)
+          ++It->Offset;
       ++LastInstr; // the store, shifted by the inserted dup
       ++Histogram[static_cast<uint32_t>(Op::Dup)];
       ++Depth; // the duplicate survives the store, like the load would
@@ -120,9 +155,40 @@ public:
 private:
   static constexpr size_t NoInstr = static_cast<size_t>(-1);
 
+  /// Appends a debug mark when the attribution changed since the last
+  /// emitted instruction. Names intern on first mark, so the interning
+  /// order is the mark order — the property the disassemble/assemble
+  /// round-trip relies on to reproduce encode() exactly.
+  void mark() {
+    if (!Marks)
+      return;
+    uint32_t Want = SourceMark::NoSource;
+    if (HaveSource) {
+      if (!CurInterned) {
+        auto [It, Inserted] = SrcIndex.try_emplace(
+            CurName, static_cast<uint32_t>(Prog.SourceNames.size()));
+        if (Inserted)
+          Prog.SourceNames.push_back(CurName);
+        CurIdx = It->second;
+        CurInterned = true;
+      }
+      Want = CurIdx;
+    }
+    if (Marks->empty() ? Want == SourceMark::NoSource
+                       : Marks->back().Name == Want)
+      return;
+    Marks->push_back({static_cast<uint32_t>(Code->size()), Want});
+  }
+
   Program &Prog;
   std::vector<uint32_t> *Code = nullptr;
+  std::vector<SourceMark> *Marks = nullptr;
   std::map<uint64_t, uint32_t> PoolIndex;
+  std::map<std::string, uint32_t, std::less<>> SrcIndex;
+  std::string CurName;
+  bool HaveSource = false;
+  bool CurInterned = false;
+  uint32_t CurIdx = 0;
   size_t Depth = 0;
   size_t LastInstr = NoInstr;
   std::array<uint64_t, NumOps> Histogram{};

@@ -9,6 +9,7 @@
 #include <array>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <sstream>
 
 using namespace reticle;
@@ -191,6 +192,21 @@ unsigned reticle::sim::opPops(Op O) { return OpTable[uint32_t(O)].Pops; }
 
 unsigned reticle::sim::opPushes(Op O) { return OpTable[uint32_t(O)].Pushes; }
 
+const char *Program::sourceAt(unsigned SegIx, uint32_t Offset) const {
+  const std::vector<SourceMark> &Marks = marks(SegIx);
+  // The covering mark is the last one at or before Offset.
+  const SourceMark *Found = nullptr;
+  for (const SourceMark &M : Marks) {
+    if (M.Offset > Offset)
+      break;
+    Found = &M;
+  }
+  if (!Found || Found->Name == SourceMark::NoSource ||
+      Found->Name >= SourceNames.size())
+    return nullptr;
+  return SourceNames[Found->Name].c_str();
+}
+
 std::string Program::encode() const {
   std::string Out;
   Out += "RSIM1";
@@ -224,6 +240,16 @@ std::string Program::encode() const {
       Out.push_back(Port.Packed ? 1 : 0);
     }
   }
+  encodeU32(Out, static_cast<uint32_t>(SourceNames.size()));
+  for (const std::string &S : SourceNames)
+    encodeStr(Out, S);
+  for (const std::vector<SourceMark> *Marks : {&InitSrc, &EvalSrc, &CommitSrc}) {
+    encodeU32(Out, static_cast<uint32_t>(Marks->size()));
+    for (const SourceMark &M : *Marks) {
+      encodeU32(Out, M.Offset);
+      encodeU32(Out, M.Name);
+    }
+  }
   return Out;
 }
 
@@ -248,6 +274,24 @@ Status reticle::sim::verify(const Program &P) {
     return S;
   if (Status S = verifyPorts(P, P.Outputs, "output"); !S)
     return S;
+  // Debug-info side table: marks must stay offset-sorted within their
+  // segment and reference interned names (or the explicit no-source
+  // sentinel), so profile attribution never walks garbage.
+  for (unsigned SegIx = 0; SegIx < 3; ++SegIx) {
+    const std::vector<SourceMark> &Marks = P.marks(SegIx);
+    for (size_t I = 0; I < Marks.size(); ++I) {
+      if (I && Marks[I].Offset <= Marks[I - 1].Offset)
+        return Status::failure("sim program '" + P.Name + "': segment " +
+                               SegNames[SegIx] +
+                               " has out-of-order source marks");
+      if (Marks[I].Name != SourceMark::NoSource &&
+          Marks[I].Name >= P.SourceNames.size())
+        return Status::failure("sim program '" + P.Name + "': segment " +
+                               SegNames[SegIx] +
+                               " source mark references unknown name index " +
+                               std::to_string(Marks[I].Name));
+    }
+  }
   return Status::success();
 }
 
@@ -278,8 +322,20 @@ std::string reticle::sim::disassemble(const Program &P) {
   for (unsigned SegIx = 0; SegIx < 3; ++SegIx) {
     Out << "segment " << SegNames[SegIx] << "\n";
     const std::vector<uint32_t> &Code = *Segs[SegIx];
+    const std::vector<SourceMark> &Marks = P.marks(SegIx);
+    size_t MarkIx = 0;
     size_t Pc = 0;
     while (Pc < Code.size()) {
+      // Debug-info marks print ahead of the instruction they cover;
+      // marks off an instruction boundary (malformed input) are dropped.
+      for (; MarkIx < Marks.size() && Marks[MarkIx].Offset <= Pc; ++MarkIx)
+        if (Marks[MarkIx].Offset == Pc) {
+          uint32_t Name = Marks[MarkIx].Name;
+          Out << "  src "
+              << (Name < P.SourceNames.size() ? P.SourceNames[Name].c_str()
+                                              : "-")
+              << "\n";
+        }
       uint32_t Raw = Code[Pc];
       if (Raw >= NumOps) {
         // Malformed programs still disassemble (for debugging); the raw
@@ -335,6 +391,12 @@ Result<Program> reticle::sim::assemble(const std::string &Text) {
   bool SawProgram = false;
   int SegIx = -1;
   std::vector<uint32_t> *Segs[3] = {&P.Init, &P.Eval, &P.Commit};
+  std::vector<SourceMark> *MarkSegs[3] = {&P.InitSrc, &P.EvalSrc,
+                                          &P.CommitSrc};
+  // Re-interns src names in first-appearance order, which matches the
+  // emitters' first-mark interning order, so a disassemble/assemble
+  // round-trip reproduces encode() byte for byte.
+  std::map<std::string, uint32_t> SrcIndex;
   while (NextLine(Line)) {
     std::istringstream Toks(Line);
     std::string Head;
@@ -428,6 +490,27 @@ Result<Program> reticle::sim::assemble(const std::string &Text) {
           SegIx = I;
       if (SegIx < 0)
         return Fail("unknown segment '" + Name + "'");
+      continue;
+    }
+    if (Head == "src") {
+      if (SegIx < 0)
+        return Fail("src mark outside a segment");
+      std::string Name;
+      if (!(Toks >> Name))
+        return Fail("src mark without a name");
+      std::string Extra;
+      if (Toks >> Extra)
+        return Fail("trailing token '" + Extra + "' after src mark");
+      uint32_t Idx = SourceMark::NoSource;
+      if (Name != "-") {
+        auto [It, Inserted] = SrcIndex.try_emplace(
+            Name, static_cast<uint32_t>(P.SourceNames.size()));
+        if (Inserted)
+          P.SourceNames.push_back(Name);
+        Idx = It->second;
+      }
+      MarkSegs[SegIx]->push_back(
+          {static_cast<uint32_t>(Segs[SegIx]->size()), Idx});
       continue;
     }
     // Anything else must be an instruction inside a segment.

@@ -120,6 +120,18 @@ struct PortInfo {
   bool Packed = false;
 };
 
+/// One debug-info attribution mark: instructions from word `Offset` of a
+/// segment up to the next mark (or the segment end) originate from
+/// `Program::SourceNames[Name]` — an IR instruction destination or a
+/// netlist signal. `Name == NoSource` explicitly ends an attributed range.
+struct SourceMark {
+  /// Sentinel name index: the range is unattributed.
+  static constexpr uint32_t NoSource = ~uint32_t(0);
+
+  uint32_t Offset = 0;
+  uint32_t Name = 0;
+};
+
 /// A compiled simulation program. Produced by `sim::compile`, checked by
 /// `sim::verify`, executed by `sim::execute`.
 struct Program {
@@ -134,6 +146,26 @@ struct Program {
   std::vector<SignalInfo> Signals; ///< wave signal list, in stream order
   std::vector<PortInfo> Inputs;    ///< name-unsorted declaration order
   std::vector<PortInfo> Outputs;
+
+  /// Debug-info side table: interned attribution names plus one
+  /// offset-sorted mark list per segment, mapping every bytecode range
+  /// back to the IR instruction / netlist signal the lowering emitted it
+  /// for. Purely observational — execution never reads it — but it
+  /// round-trips through encode() and the text format so profiles of
+  /// reassembled programs still attribute.
+  std::vector<std::string> SourceNames;
+  std::vector<SourceMark> InitSrc;
+  std::vector<SourceMark> EvalSrc;
+  std::vector<SourceMark> CommitSrc;
+
+  /// The mark list of segment \p SegIx (0 init, 1 eval, 2 commit).
+  const std::vector<SourceMark> &marks(unsigned SegIx) const {
+    return SegIx == 0 ? InitSrc : SegIx == 1 ? EvalSrc : CommitSrc;
+  }
+
+  /// The source name covering word \p Offset of segment \p SegIx, or
+  /// nullptr when the range is unattributed.
+  const char *sourceAt(unsigned SegIx, uint32_t Offset) const;
 
   /// A deterministic byte-for-byte serialization: equal programs encode
   /// identically, so determinism and round-trip tests compare blobs.

@@ -9,7 +9,10 @@
 #include "interp/Cycle.h"
 #include "obs/Telemetry.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <map>
 
 using namespace reticle;
 using namespace reticle::sim;
@@ -297,11 +300,14 @@ L_Select : {
 #endif
 }
 
-} // namespace
+/// Every SampleEvery-th cycle of a profiled run times its eval and
+/// commit segment executions; the others run untimed, keeping the
+/// clock-read overhead off the hot path.
+constexpr uint64_t SampleEvery = 32;
 
-Result<Trace> reticle::sim::execute(const Program &P, const Trace &Inputs,
-                                    WaveSink *Wave,
-                                    const obs::Context &Ctx) {
+Result<Trace> executeImpl(const Program &P, const Trace &Inputs,
+                          WaveSink *Wave, const obs::Context &Ctx,
+                          VmProfile *Prof) {
   obs::Span Sp(Ctx, "sim.vm.execute");
   Sp.arg("program", P.Name);
   Sp.arg("source", P.Source);
@@ -339,6 +345,46 @@ Result<Trace> reticle::sim::execute(const Program &P, const Trace &Inputs,
   const uint64_t EvalOps = instrCount(P.Eval);
   const uint64_t CommitOps = instrCount(P.Commit);
   uint64_t OpsRun = instrCount(P.Init);
+  uint64_t EvalRuns = 0;
+  uint64_t CommitRuns = 0;
+
+  // Segments are straight-line, so a site's dynamic count is exactly the
+  // number of times its segment ran: the profile reconstructs per-op
+  // counts from one static walk instead of counting in the hot loop.
+  auto FillProfile = [&](uint64_t CyclesDone, bool Aborted) {
+    if (!Prof)
+      return;
+    Prof->Cycles = CyclesDone;
+    Prof->Aborted = Aborted;
+    Prof->Sites.clear();
+    Prof->TotalOps = 0;
+    Prof->AttributedOps = 0;
+    auto Walk = [&](unsigned SegIx, const std::vector<uint32_t> &Code,
+                    uint64_t Runs) {
+      for (size_t Pc = 0; Pc < Code.size();
+           Pc += 1 + opOperands(static_cast<Op>(Code[Pc]))) {
+        ProfileSite Site;
+        Site.Segment = SegIx;
+        Site.Offset = static_cast<uint32_t>(Pc);
+        Site.Opcode = static_cast<Op>(Code[Pc]);
+        Site.Count = Runs;
+        if (const char *Src = P.sourceAt(SegIx, Site.Offset))
+          Site.Source = Src;
+        Prof->TotalOps += Runs;
+        if (!Site.Source.empty())
+          Prof->AttributedOps += Runs;
+        Prof->Sites.push_back(std::move(Site));
+      }
+    };
+    Walk(0, P.Init, 1);
+    Walk(1, P.Eval, EvalRuns);
+    Walk(2, P.Commit, CommitRuns);
+    ++Ctx.counter("obs.profile.vm_runs");
+    Ctx.counter("obs.profile.ops_attributed") += Prof->AttributedOps;
+    Ctx.counter("obs.profile.ops_unattributed") +=
+        Prof->TotalOps - Prof->AttributedOps;
+    Ctx.counter("obs.profile.sampled_cycles") += Prof->SampledCycles;
+  };
 
   // Reads a signal's table words back into the LSB-first flattened bit
   // vector the wave layer observes.
@@ -395,10 +441,21 @@ Result<Trace> reticle::sim::execute(const Program &P, const Trace &Inputs,
               Words[Pi.Base + B / 64] |= uint64_t(1) << (B % 64);
           return Status::success();
         });
-    if (!Bound)
+    if (!Bound) {
+      FillProfile(Cycle, /*Aborted=*/true);
       return fail<Trace>(Frame.abort(Bound.error()));
+    }
 
+    const bool Sampled = Prof && (Cycle % SampleEvery) == 0;
+    std::chrono::steady_clock::time_point T0;
+    if (Sampled)
+      T0 = std::chrono::steady_clock::now();
     exec(P.Eval, Words.data(), Pool, Stack.data());
+    if (Sampled)
+      Prof->EvalMs += std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - T0)
+                          .count();
+    ++EvalRuns;
 
     Proto.emit(Out, [&](unsigned Slot) {
       const PortInfo &Po = P.Outputs[Slot];
@@ -433,12 +490,120 @@ Result<Trace> reticle::sim::execute(const Program &P, const Trace &Inputs,
       }
     }
 
+    if (Sampled)
+      T0 = std::chrono::steady_clock::now();
     exec(P.Commit, Words.data(), Pool, Stack.data());
+    if (Sampled) {
+      Prof->CommitMs += std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - T0)
+                            .count();
+      ++Prof->SampledCycles;
+    }
+    ++CommitRuns;
     OpsRun += EvalOps + CommitOps;
   }
 
+  FillProfile(Inputs.size(), /*Aborted=*/false);
   if (Status S = Frame.finish(); !S)
     return fail<Trace>(S.error());
   Ctx.counter("sim.vm.ops") += OpsRun;
   return Out;
+}
+
+const char *segName(unsigned SegIx) {
+  return SegIx == 0 ? "init" : SegIx == 1 ? "eval" : "commit";
+}
+
+} // namespace
+
+Result<Trace> reticle::sim::execute(const Program &P, const Trace &Inputs,
+                                    WaveSink *Wave,
+                                    const obs::Context &Ctx) {
+  return executeImpl(P, Inputs, Wave, Ctx, nullptr);
+}
+
+Result<Trace> reticle::sim::execute(const Program &P, const Trace &Inputs,
+                                    VmProfile &Profile, WaveSink *Wave,
+                                    const obs::Context &Ctx) {
+  Profile = VmProfile();
+  Result<Trace> R = executeImpl(P, Inputs, Wave, Ctx, &Profile);
+  if (!R)
+    Profile.Aborted = true;
+  return R;
+}
+
+obs::Json reticle::sim::profileJson(const Program &P, const VmProfile &Prof) {
+  obs::Json Doc = obs::Json::object();
+  Doc.set("schema", "reticle-profile-v1");
+  Doc.set("program", P.Name);
+  Doc.set("source", P.Source);
+  Doc.set("cycles", Prof.Cycles);
+  Doc.set("aborted", Prof.Aborted);
+
+  obs::Json Ops = obs::Json::object();
+  Ops.set("total", Prof.TotalOps);
+  Ops.set("attributed", Prof.AttributedOps);
+  Ops.set("attributed_frac",
+          Prof.TotalOps == 0 ? 0.0
+                             : static_cast<double>(Prof.AttributedOps) /
+                                   static_cast<double>(Prof.TotalOps));
+  Doc.set("ops", std::move(Ops));
+
+  // Sampled wall time is machine- and run-dependent; consumers comparing
+  // profiles for determinism (json_check profile_diff) ignore it.
+  obs::Json Sampling = obs::Json::object();
+  Sampling.set("cycles", Prof.SampledCycles);
+  Sampling.set("eval_ms", Prof.EvalMs);
+  Sampling.set("commit_ms", Prof.CommitMs);
+  Doc.set("sampling", std::move(Sampling));
+
+  std::vector<const ProfileSite *> Ranked;
+  Ranked.reserve(Prof.Sites.size());
+  for (const ProfileSite &S : Prof.Sites)
+    Ranked.push_back(&S);
+  std::stable_sort(Ranked.begin(), Ranked.end(),
+                   [](const ProfileSite *A, const ProfileSite *B) {
+                     if (A->Count != B->Count)
+                       return A->Count > B->Count;
+                     if (A->Segment != B->Segment)
+                       return A->Segment < B->Segment;
+                     return A->Offset < B->Offset;
+                   });
+  obs::Json Hot = obs::Json::array();
+  for (const ProfileSite *S : Ranked) {
+    obs::Json Row = obs::Json::object();
+    Row.set("segment", segName(S->Segment));
+    Row.set("offset", S->Offset);
+    Row.set("op", opName(S->Opcode));
+    Row.set("count", S->Count);
+    Row.set("source", S->Source.empty() ? obs::Json() : obs::Json(S->Source));
+    Hot.push(std::move(Row));
+  }
+  Doc.set("hot_instructions", std::move(Hot));
+
+  std::map<std::string, uint64_t> BySource;
+  for (const ProfileSite &S : Prof.Sites)
+    if (!S.Source.empty())
+      BySource[S.Source] += S.Count;
+  std::vector<std::pair<std::string, uint64_t>> Sigs(BySource.begin(),
+                                                     BySource.end());
+  std::stable_sort(Sigs.begin(), Sigs.end(),
+                   [](const auto &A, const auto &B) {
+                     if (A.second != B.second)
+                       return A.second > B.second;
+                     return A.first < B.first;
+                   });
+  obs::Json Signals = obs::Json::array();
+  for (const auto &[Name, Count] : Sigs) {
+    obs::Json Row = obs::Json::object();
+    Row.set("source", Name);
+    Row.set("count", Count);
+    Row.set("frac", Prof.TotalOps == 0
+                        ? 0.0
+                        : static_cast<double>(Count) /
+                              static_cast<double>(Prof.TotalOps));
+    Signals.push(std::move(Row));
+  }
+  Doc.set("hot_signals", std::move(Signals));
+  return Doc;
 }

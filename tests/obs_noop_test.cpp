@@ -40,6 +40,12 @@ TEST(ObsNoop, FullApiSurfaceIsInert) {
   obs::gauge("noop.gauge").set(3.5);
   EXPECT_DOUBLE_EQ(obs::gauge("noop.gauge").load(), 0.0);
 
+  obs::Histogram &H = obs::defaultTelemetry().histogram("noop.hist");
+  H.record(1.5);
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_DOUBLE_EQ(H.percentile(99), 0.0);
+  EXPECT_EQ(obs::defaultTelemetry().foldedStacks(), "");
+
   obs::enableTracing();
   EXPECT_FALSE(obs::tracingEnabled());
   {

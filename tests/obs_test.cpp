@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -257,6 +258,56 @@ TEST_F(Obs, WriteTraceProducesParsableFile) {
   ASSERT_TRUE(Trace.ok()) << Trace.error();
   EXPECT_NE(event(Trace.value(), "filed"), nullptr);
   std::remove(Path.c_str());
+}
+
+TEST_F(Obs, HistogramPercentilesAreBucketUpperBounds) {
+  obs::Telemetry T;
+  obs::Histogram &H = T.histogram("t.ms");
+  EXPECT_DOUBLE_EQ(H.percentile(50), 0.0) << "empty histogram";
+  for (int I = 1; I <= 100; ++I)
+    H.record(double(I));
+  EXPECT_EQ(H.count(), 100u);
+  EXPECT_DOUBLE_EQ(H.max(), 100.0);
+  EXPECT_NEAR(H.sum(), 5050.0, 1e-9);
+  // The rank-50 sample (50) lands in the [32,64) bucket, whose upper
+  // bound is the reported percentile; p90/p99 clamp to the observed max.
+  EXPECT_DOUBLE_EQ(H.percentile(50), 64.0);
+  EXPECT_DOUBLE_EQ(H.percentile(90), 100.0);
+  EXPECT_DOUBLE_EQ(H.percentile(99), 100.0);
+
+  Json Doc = T.histogramsJson();
+  const Json *E = Doc.find("t.ms");
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->find("count")->asInt(), 100);
+  EXPECT_DOUBLE_EQ(E->find("p50")->asDouble(), 64.0);
+  EXPECT_DOUBLE_EQ(E->find("p99")->asDouble(), 100.0);
+  EXPECT_DOUBLE_EQ(E->find("max")->asDouble(), 100.0);
+
+  // Registered-but-empty histograms stay out of the export.
+  T.histogram("t.unused");
+  EXPECT_EQ(T.histogramsJson().find("t.unused"), nullptr);
+}
+
+TEST_F(Obs, FoldedStacksReconstructNesting) {
+  obs::enableTracing();
+  {
+    obs::Span Outer("outer");
+    {
+      obs::Span Inner("inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  std::string Folded = obs::defaultTelemetry().foldedStacks();
+  EXPECT_NE(Folded.find("outer;inner "), std::string::npos) << Folded;
+  EXPECT_NE(Folded.find("outer "), std::string::npos) << Folded;
+  // Every line is `stack <integer self-microseconds>`.
+  std::istringstream Lines(Folded);
+  std::string Line;
+  while (std::getline(Lines, Line)) {
+    size_t Space = Line.rfind(' ');
+    ASSERT_NE(Space, std::string::npos) << Line;
+    EXPECT_NO_THROW((void)std::stoll(Line.substr(Space + 1))) << Line;
+  }
 }
 
 #endif // RETICLE_NO_TELEMETRY

@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "sim/Compile.h"
+#include "sim/Emitter.h"
 #include "sim/Vm.h"
 
 #include "codegen/NetlistSim.h"
@@ -21,6 +22,9 @@
 #include "interp/Interp.h"
 #include "interp/Wave.h"
 #include "ir/Parser.h"
+#include "obs/Coverage.h"
+#include "obs/Remarks.h"
+#include "obs/Telemetry.h"
 #include "verilog/Ast.h"
 
 #include <gtest/gtest.h>
@@ -374,8 +378,213 @@ TEST(SimVm, ExecuteRefusesUnverifiableProgram) {
 }
 
 //===----------------------------------------------------------------------===//
-// Input binding errors mirror the tree engines' messages.
+// Emitter: store-then-load peephole, debug marks, static opcode histogram.
 //===----------------------------------------------------------------------===//
+
+TEST(SimVm, EmitterPeepholeRewritesStoreThenLoad) {
+  sim::Program P;
+  P.NumWords = 2;
+  sim::detail::Emitter E(P);
+  E.use(P.Eval);
+  E.loadConst(5);
+  E.storeWord(0);
+  E.loadWord(0); // whole-word load of the word just stored: dup instead
+  E.storeWord(1);
+  E.endSeg();
+  std::vector<uint32_t> Expect = {
+      uint32_t(sim::Op::LoadConst),  0,
+      uint32_t(sim::Op::Dup),
+      uint32_t(sim::Op::StoreField), 0, 0, 64,
+      uint32_t(sim::Op::StoreField), 1, 0, 64,
+      uint32_t(sim::Op::EndSeg)};
+  EXPECT_EQ(P.Eval, Expect);
+  EXPECT_GE(P.MaxStack, 2u);
+}
+
+TEST(SimVm, EmitterPeepholeRequiresWholeWordAdjacency) {
+  // A partial-field load must not be rewritten: the stored value on the
+  // stack is the whole word, not the field.
+  sim::Program P;
+  P.NumWords = 2;
+  sim::detail::Emitter E(P);
+  E.use(P.Eval);
+  E.loadConst(5);
+  E.storeWord(0);
+  E.loadField(0, 0, 8);
+  E.storeWord(1);
+  E.endSeg();
+  EXPECT_EQ(P.Eval[6], uint32_t(sim::Op::LoadField));
+
+  // Nor a load of a different word than the preceding store's.
+  sim::Program Q;
+  Q.NumWords = 2;
+  sim::detail::Emitter F(Q);
+  F.use(Q.Eval);
+  F.loadConst(5);
+  F.storeWord(1);
+  F.loadWord(0);
+  F.storeWord(0);
+  F.endSeg();
+  EXPECT_EQ(Q.Eval[6], uint32_t(sim::Op::LoadField));
+}
+
+TEST(SimVm, EmitterPeepholeShiftsDebugMarks) {
+  // The inserted dup shifts every instruction at or past the store by
+  // one word; a mark pointing at the store must move with it so it keeps
+  // naming an instruction boundary.
+  sim::Program P;
+  P.NumWords = 1;
+  sim::detail::Emitter E(P);
+  E.use(P.Eval);
+  E.setSource("x");
+  E.loadConst(1); // mark {0 -> x}
+  E.setSource("y");
+  E.storeWord(0); // mark {2 -> y}, store at offset 2
+  E.loadWord(0);  // peephole: dup inserted at offset 2
+  E.storeWord(0);
+  E.endSeg();
+  ASSERT_EQ(P.SourceNames.size(), 2u);
+  EXPECT_EQ(P.SourceNames[0], "x");
+  EXPECT_EQ(P.SourceNames[1], "y");
+  ASSERT_EQ(P.EvalSrc.size(), 2u);
+  EXPECT_EQ(P.EvalSrc[0].Offset, 0u);
+  EXPECT_EQ(P.EvalSrc[1].Offset, 3u); // the store, shifted by the dup
+  EXPECT_STREQ(P.sourceAt(1, 2), "x"); // the dup joins the preceding range
+  EXPECT_STREQ(P.sourceAt(1, 3), "y");
+}
+
+TEST(SimVm, EmitterCountsStaticOpcodeHistogram) {
+#ifdef RETICLE_NO_TELEMETRY
+  GTEST_SKIP() << "telemetry compiled out";
+#endif
+  obs::Telemetry Telem;
+  obs::RemarkStream Rem;
+  obs::Coverage Cov;
+  obs::Context Ctx{&Telem, &Rem, &Cov};
+  ir::Function Fn = parseOk(R"(
+    def mac(a:i8, b:i8, c:i8, en:bool) -> (y:i8) {
+      t0:i8 = mul(a, b) @??;
+      t1:i8 = add(t0, c) @??;
+      y:i8 = reg[0](t1, en) @??;
+    }
+  )");
+  Result<sim::Program> P = sim::compile(Fn, Ctx);
+  ASSERT_TRUE(P.ok()) << P.error();
+  EXPECT_EQ(Telem.counter("sim.vm.compiles").load(), 1u);
+  EXPECT_GT(Telem.counter("sim.vm.op.storefield").load(), 0u);
+  EXPECT_GT(Telem.counter("sim.vm.op.endseg").load(), 0u);
+  EXPECT_EQ(Telem.counter("sim.vm.program.words").load(),
+            P.value().NumWords);
+}
+
+//===----------------------------------------------------------------------===//
+// Debug-info side table and the profiled executor.
+//===----------------------------------------------------------------------===//
+
+TEST(SimVm, SourceTableSurvivesAssembleRoundTrip) {
+  ir::Function Fn = parseOk(R"(
+    def mac(a:i8, b:i8, c:i8, en:bool) -> (y:i8) {
+      t0:i8 = mul(a, b) @??;
+      t1:i8 = add(t0, c) @??;
+      y:i8 = reg[0](t1, en) @??;
+    }
+  )");
+  Result<sim::Program> P = sim::compile(Fn);
+  ASSERT_TRUE(P.ok()) << P.error();
+  EXPECT_FALSE(P.value().EvalSrc.empty());
+  auto Has = [&](const char *Name) {
+    for (const std::string &S : P.value().SourceNames)
+      if (S == Name)
+        return true;
+    return false;
+  };
+  EXPECT_TRUE(Has("t0"));
+  EXPECT_TRUE(Has("t1"));
+  EXPECT_TRUE(Has("y"));
+
+  Result<sim::Program> Back = sim::assemble(sim::disassemble(P.value()));
+  ASSERT_TRUE(Back.ok()) << Back.error();
+  EXPECT_EQ(Back.value().SourceNames, P.value().SourceNames);
+  for (unsigned Seg = 0; Seg < 3; ++Seg) {
+    ASSERT_EQ(Back.value().marks(Seg).size(), P.value().marks(Seg).size());
+    for (size_t I = 0; I < P.value().marks(Seg).size(); ++I) {
+      EXPECT_EQ(Back.value().marks(Seg)[I].Offset,
+                P.value().marks(Seg)[I].Offset);
+      EXPECT_EQ(Back.value().marks(Seg)[I].Name,
+                P.value().marks(Seg)[I].Name);
+    }
+  }
+}
+
+TEST(SimVm, ProfiledExecuteAttributesAndMatchesPlainRun) {
+  ir::Function Fn = parseOk(R"(
+    def mac(a:i8, b:i8, c:i8, en:bool) -> (y:i8) {
+      t0:i8 = mul(a, b) @??;
+      t1:i8 = add(t0, c) @??;
+      y:i8 = reg[0](t1, en) @??;
+    }
+  )");
+  Result<sim::Program> P = sim::compile(Fn);
+  ASSERT_TRUE(P.ok()) << P.error();
+  Trace In = randomTrace(Fn, 20000, 9);
+
+  Result<Trace> Plain = sim::execute(P.value(), In);
+  ASSERT_TRUE(Plain.ok()) << Plain.error();
+  sim::VmProfile Prof;
+  Result<Trace> Out = sim::execute(P.value(), In, Prof);
+  ASSERT_TRUE(Out.ok()) << Out.error();
+  EXPECT_TRUE(Plain.value() == Out.value()) << "profiling changed the run";
+
+  EXPECT_EQ(Prof.Cycles, 20000u);
+  EXPECT_FALSE(Prof.Aborted);
+  EXPECT_GT(Prof.TotalOps, 0u);
+  // The acceptance bar: at least 95% of executed ops attribute to a
+  // source (mac attributes every one).
+  EXPECT_GE(Prof.AttributedOps * 100, Prof.TotalOps * 95);
+  uint64_t SiteSum = 0;
+  for (const sim::ProfileSite &S : Prof.Sites)
+    SiteSum += S.Count;
+  EXPECT_EQ(SiteSum, Prof.TotalOps) << "sites must partition the op count";
+  EXPECT_GT(Prof.SampledCycles, 0u);
+
+  obs::Json Doc = sim::profileJson(P.value(), Prof);
+  const obs::Json *Schema = Doc.find("schema");
+  ASSERT_NE(Schema, nullptr);
+  EXPECT_EQ(Schema->asString(), "reticle-profile-v1");
+  const obs::Json *Ops = Doc.find("ops");
+  ASSERT_NE(Ops, nullptr);
+  EXPECT_EQ(Ops->find("total")->asInt(),
+            static_cast<int64_t>(Prof.TotalOps));
+  const obs::Json *Hot = Doc.find("hot_instructions");
+  ASSERT_NE(Hot, nullptr);
+  EXPECT_GT(Hot->size(), 0u);
+  const obs::Json *Signals = Doc.find("hot_signals");
+  ASSERT_NE(Signals, nullptr);
+  EXPECT_GT(Signals->size(), 0u);
+}
+
+TEST(SimVm, ProfiledExecuteFlushesOnAbort) {
+  ir::Function Fn = parseOk(R"(
+    def adder(a:i8, b:i8) -> (y:i8) {
+      y:i8 = add(a, b) @??;
+    }
+  )");
+  Result<sim::Program> P = sim::compile(Fn);
+  ASSERT_TRUE(P.ok()) << P.error();
+  Trace In;
+  interp::Step &S0 = In.appendStep();
+  S0["a"] = Value::splat(ir::Type::makeInt(8), 1);
+  S0["b"] = Value::splat(ir::Type::makeInt(8), 2);
+  interp::Step &S1 = In.appendStep();
+  S1["a"] = Value::splat(ir::Type::makeInt(8), 3); // "b" missing: abort
+
+  sim::VmProfile Prof;
+  Result<Trace> Out = sim::execute(P.value(), In, Prof);
+  ASSERT_FALSE(Out.ok());
+  EXPECT_TRUE(Prof.Aborted);
+  EXPECT_EQ(Prof.Cycles, 1u) << "one cycle completed before the abort";
+  EXPECT_GT(Prof.TotalOps, 0u) << "the partial run still attributes";
+}
 
 TEST(SimVm, MissingInputReportsCycle) {
   ir::Function Fn = parseOk(R"(

@@ -58,6 +58,18 @@
 /// reported as gained but pass. Exit 0 when nothing was lost, 1 on a
 /// coverage regression, 2 when an input is unusable.
 ///
+/// A further mode compares two sim-VM execution profiles:
+///   json_check profile_diff [--json] <a.json> <b.json>
+/// Both files are "reticle-profile-v1" documents (reticlec --profile-sim).
+/// Hot-instruction entries are joined on {segment, offset} and their
+/// opcode, source attribution, and execution count compared; cycle and
+/// total/attributed op counts are compared as scalars. The sampled wall
+/// times ("sampling") are machine-dependent and deliberately IGNORED, so
+/// two runs of the same program over the same trace must diff clean —
+/// that is the hot-set determinism gate. Exit 0 when the profiles agree,
+/// 1 when they differ, 2 when an input is unusable — the diff(1)
+/// contract, like the other diff modes.
+///
 //===----------------------------------------------------------------------===//
 
 #include "obs/Json.h"
@@ -808,6 +820,217 @@ int runCoverageDiff(int Argc, char **Argv) {
   return Lost ? 1 : 0;
 }
 
+/// One hot-instruction entry of a "reticle-profile-v1" doc, keyed for the
+/// {segment, offset} join.
+struct ProfileSiteRecord {
+  std::string Op;
+  std::string Source; ///< empty when unattributed (JSON null)
+  int64_t Count = 0;
+};
+
+/// One parsed "reticle-profile-v1" document: the deterministic fields
+/// only — sampled wall times are not loaded, they may not reproduce.
+struct ProfileDoc {
+  std::string Program;
+  int64_t Cycles = 0;
+  int64_t Total = 0;
+  int64_t Attributed = 0;
+  std::map<std::pair<std::string, int64_t>, ProfileSiteRecord> Sites;
+};
+
+bool loadProfile(const std::string &Path, ProfileDoc &Out,
+                 std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = Path + ": cannot open";
+    return false;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  Result<Json> Doc = Json::parse(Buffer.str());
+  if (!Doc) {
+    Error = Path + ": malformed JSON: " + Doc.error();
+    return false;
+  }
+  const Json &R = Doc.value();
+  const Json *Schema = R.isObject() ? R.find("schema") : nullptr;
+  if (!Schema || !Schema->isString() ||
+      Schema->asString() != "reticle-profile-v1") {
+    Error = Path + ": schema is not \"reticle-profile-v1\"";
+    return false;
+  }
+  if (const Json *Program = R.find("program");
+      Program && Program->isString())
+    Out.Program = Program->asString();
+  if (const Json *Cycles = R.find("cycles"); Cycles && Cycles->isNumber())
+    Out.Cycles = Cycles->asInt();
+  if (const Json *Total = lookup(R, "ops.total"); Total && Total->isNumber())
+    Out.Total = Total->asInt();
+  if (const Json *Attr = lookup(R, "ops.attributed");
+      Attr && Attr->isNumber())
+    Out.Attributed = Attr->asInt();
+  const Json *Hot = R.find("hot_instructions");
+  if (!Hot || !Hot->isArray()) {
+    Error = Path + ": missing 'hot_instructions' array";
+    return false;
+  }
+  for (const Json &Entry : Hot->items()) {
+    const Json *Segment = Entry.isObject() ? Entry.find("segment") : nullptr;
+    const Json *Offset = Entry.isObject() ? Entry.find("offset") : nullptr;
+    if (!Segment || !Segment->isString() || !Offset || !Offset->isNumber()) {
+      Error = Path + ": a hot_instructions entry lacks segment/offset";
+      return false;
+    }
+    ProfileSiteRecord Rec;
+    if (const Json *Op = Entry.find("op"); Op && Op->isString())
+      Rec.Op = Op->asString();
+    if (const Json *Source = Entry.find("source");
+        Source && Source->isString())
+      Rec.Source = Source->asString();
+    if (const Json *Count = Entry.find("count"); Count && Count->isNumber())
+      Rec.Count = Count->asInt();
+    Out.Sites[{Segment->asString(), Offset->asInt()}] = std::move(Rec);
+  }
+  return true;
+}
+
+/// `json_check profile_diff [--json] a.json b.json`: joins two sim-VM
+/// profiles on {segment, offset} and reports sites that appeared,
+/// vanished, or changed opcode/source/count; sampled timing is ignored.
+/// Exit 0 identical, 1 different, 2 unusable input.
+int runProfileDiff(int Argc, char **Argv) {
+  bool AsJson = false;
+  std::vector<std::string> Paths;
+  auto Usage = [&] {
+    std::fprintf(stderr, "usage: %s profile_diff [--json] <a.json> <b.json>\n",
+                 Argv[0]);
+    return 2;
+  };
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--json")
+      AsJson = true;
+    else if (!Arg.empty() && Arg[0] == '-')
+      return Usage();
+    else
+      Paths.push_back(Arg);
+  }
+  if (Paths.size() != 2)
+    return Usage();
+
+  ProfileDoc A, B;
+  std::string Error;
+  if (!loadProfile(Paths[0], A, Error) || !loadProfile(Paths[1], B, Error)) {
+    std::fprintf(stderr, "json_check: %s\n", Error.c_str());
+    return 2;
+  }
+
+  uint64_t Added = 0, Removed = 0, Changed = 0, Unchanged = 0;
+  Json Details = Json::array();
+  std::string Text;
+  auto SiteLabel = [](const std::pair<std::string, int64_t> &Key,
+                      const ProfileSiteRecord &Rec) {
+    std::string Label = Key.first + "+" + std::to_string(Key.second) + " " +
+                        Rec.Op + " x" + std::to_string(Rec.Count);
+    if (!Rec.Source.empty())
+      Label += " (" + Rec.Source + ")";
+    return Label;
+  };
+  auto Report = [&](const char *St,
+                    const std::pair<std::string, int64_t> &Key,
+                    const ProfileSiteRecord &Rec,
+                    const ProfileSiteRecord *Other) {
+    const char *Mark = std::string(St) == "added"     ? "+"
+                       : std::string(St) == "removed" ? "-"
+                                                      : "~";
+    Text += std::string(Mark) + " " + SiteLabel(Key, Rec);
+    if (Other)
+      Text += "\n  -> " + SiteLabel(Key, *Other);
+    Text += "\n";
+    if (Details.size() < 32) {
+      Json Entry = Json::object();
+      Entry.set("status", St);
+      Entry.set("segment", Key.first);
+      Entry.set("offset", Key.second);
+      Entry.set("op", Rec.Op);
+      Entry.set("count", Rec.Count);
+      if (!Rec.Source.empty())
+        Entry.set("source", Rec.Source);
+      if (Other) {
+        Json Now = Json::object();
+        Now.set("op", Other->Op);
+        Now.set("count", Other->Count);
+        if (!Other->Source.empty())
+          Now.set("source", Other->Source);
+        Entry.set("b", std::move(Now));
+      }
+      Details.push(std::move(Entry));
+    }
+  };
+
+  for (const auto &[Key, RecA] : A.Sites) {
+    auto It = B.Sites.find(Key);
+    if (It == B.Sites.end()) {
+      ++Removed;
+      Report("removed", Key, RecA, nullptr);
+      continue;
+    }
+    const ProfileSiteRecord &RecB = It->second;
+    if (RecA.Op == RecB.Op && RecA.Source == RecB.Source &&
+        RecA.Count == RecB.Count) {
+      ++Unchanged;
+    } else {
+      ++Changed;
+      Report("changed", Key, RecA, &RecB);
+    }
+  }
+  for (const auto &[Key, RecB] : B.Sites)
+    if (!A.Sites.count(Key)) {
+      ++Added;
+      Report("added", Key, RecB, nullptr);
+    }
+
+  bool ScalarsDiffer = A.Cycles != B.Cycles || A.Total != B.Total ||
+                       A.Attributed != B.Attributed;
+  bool Differ = ScalarsDiffer || Added + Removed + Changed > 0;
+
+  if (AsJson) {
+    Json Doc = Json::object();
+    Doc.set("schema", "reticle-profile-diff-v1");
+    Doc.set("a", Paths[0]);
+    Doc.set("b", Paths[1]);
+    Doc.set("cycles_a", A.Cycles);
+    Doc.set("cycles_b", B.Cycles);
+    Doc.set("ops_a", A.Total);
+    Doc.set("ops_b", B.Total);
+    Doc.set("added", Added);
+    Doc.set("removed", Removed);
+    Doc.set("changed", Changed);
+    Doc.set("unchanged", Unchanged);
+    Doc.set("details", std::move(Details));
+    Doc.set("identical", !Differ);
+    std::fputs((Doc.str(2) + "\n").c_str(), stdout);
+  } else {
+    std::fputs(Text.c_str(), stdout);
+    if (ScalarsDiffer)
+      std::printf("profile diff: scalars differ: cycles %lld vs %lld, "
+                  "ops %lld vs %lld, attributed %lld vs %lld\n",
+                  static_cast<long long>(A.Cycles),
+                  static_cast<long long>(B.Cycles),
+                  static_cast<long long>(A.Total),
+                  static_cast<long long>(B.Total),
+                  static_cast<long long>(A.Attributed),
+                  static_cast<long long>(B.Attributed));
+    std::printf("profile diff: %llu added, %llu removed, %llu changed, "
+                "%llu unchanged\n",
+                static_cast<unsigned long long>(Added),
+                static_cast<unsigned long long>(Removed),
+                static_cast<unsigned long long>(Changed),
+                static_cast<unsigned long long>(Unchanged));
+  }
+  return Differ ? 1 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -819,6 +1042,8 @@ int main(int Argc, char **Argv) {
     return runCoverageMerge(Argc, Argv);
   if (Argc > 1 && std::string(Argv[1]) == "coverage_diff")
     return runCoverageDiff(Argc, Argv);
+  if (Argc > 1 && std::string(Argv[1]) == "profile_diff")
+    return runProfileDiff(Argc, Argv);
   std::string FilePath;
   std::vector<std::string> Required, NonEmpty, Events, Remarks;
   bool Jsonl = false;
@@ -848,8 +1073,9 @@ int main(int Argc, char **Argv) {
                    "       %s wave_diff [--json] [--all-signals] "
                    "<a.jsonl> <b.jsonl>\n"
                    "       %s coverage_merge <a.json> [<b.json> ...]\n"
-                   "       %s coverage_diff <golden.json> <new.json>\n",
-                   Argv[0], Argv[0], Argv[0], Argv[0], Argv[0]);
+                   "       %s coverage_diff <golden.json> <new.json>\n"
+                   "       %s profile_diff [--json] <a.json> <b.json>\n",
+                   Argv[0], Argv[0], Argv[0], Argv[0], Argv[0], Argv[0]);
       return 2;
     } else
       FilePath = Arg;

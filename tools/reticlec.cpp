@@ -34,6 +34,8 @@
 ///                                            small multiples
 ///     --coverage=<file|->                    coverage bins as a
 ///                                            reticle-coverage-v1 doc
+///     --profile-folded=<file|->              collapsed-stack flamegraph fold
+///                                            of the recorded tracing spans
 ///     --disable-pass=<name>                  skip an optional pass (opt,
 ///                                            cascade, timing); repeatable
 ///     --print-before=<name>                  print the program to stderr just
@@ -54,9 +56,13 @@
 ///     --wave-json=<file|->                   waveform as reticle-wave-v1 JSONL
 ///     --dump-sim-program=<file|->            compiled sim bytecode, as
 ///                                            reticle-sim-program-v1 text
-/// Waveforms flush even when a run aborts mid-simulation; in a
-/// RETICLE_NO_TELEMETRY build --run works but the waveform and coverage
-/// flags are rejected. --sim=both runs all four engines and exits 1 on
+///     --profile-sim=<file|->                 per-op VM execution profile as
+///                                            a reticle-profile-v1 doc
+///                                            (requires a VM engine; in
+///                                            --sim=both mode profiles vm-ir)
+/// Waveforms and sim profiles flush even when a run aborts
+/// mid-simulation; in a RETICLE_NO_TELEMETRY build --run works but the
+/// waveform, coverage, and profile flags are rejected. --sim=both runs all four engines and exits 1 on
 /// the first divergence (interp vs netlist, vm-ir vs interp, vm-netlist
 /// vs netlist). With --run, --coverage additionally carries sim.toggle
 /// bins: per-signal-bit 0->1/1->0 transitions replayed from the captured
@@ -173,6 +179,9 @@ void printUsage(std::FILE *Out, const char *Argv0) {
       "  --floorplan-timeline=<file|->          shrink-probe timeline SVG\n"
       "  --coverage=<file|->                    coverage bins as "
       "reticle-coverage-v1\n"
+      "  --profile-folded=<file|->              collapsed-stack flamegraph "
+      "fold of the\n"
+      "                                         recorded tracing spans\n"
       "\n"
       "run mode (execute instead of printing an artifact):\n"
       "  --run=<trace.json>                     execute over this input "
@@ -186,6 +195,9 @@ void printUsage(std::FILE *Out, const char *Argv0) {
       "JSONL\n"
       "  --dump-sim-program=<file|->            compiled sim bytecode "
       "disassembly\n"
+      "  --profile-sim=<file|->                 per-op VM execution profile "
+      "as a\n"
+      "                                         reticle-profile-v1 doc\n"
       "\n"
       "batch mode (several inputs):\n"
       "  --jobs=N                               worker threads (default: "
@@ -282,6 +294,8 @@ struct DriverArgs {
   std::string WaveJsonPath;
   std::string DumpSimProgramPath;
   std::string CoveragePath;
+  std::string ProfileSimPath;
+  std::string ProfileFoldedPath;
   uint64_t Cycles = 0;
   bool CyclesSet = false;
   bool SimSet = false;
@@ -346,7 +360,7 @@ int runSingle(const DriverArgs &Args) {
   }
 
   core::CompileSession Session;
-  if (!Args.TracePath.empty())
+  if (!Args.TracePath.empty() || !Args.ProfileFoldedPath.empty())
     Session.telemetry().enableTracing();
   if (!Args.RemarksPath.empty() || !Args.RemarksJsonPath.empty())
     Session.remarks().enable();
@@ -386,6 +400,13 @@ int runSingle(const DriverArgs &Args) {
         return S;
       }
     }
+    // The flamegraph fold flushes like the raw trace does: the spans of
+    // a failed compile are exactly what explains where it spent time.
+    if (!Args.ProfileFoldedPath.empty())
+      if (Status S = writeTextOutput(Args.ProfileFoldedPath,
+                                     Session.telemetry().foldedStacks());
+          !S)
+        return S;
     // Coverage flushes like remarks do: a failed compile still reports
     // the bins the stages it passed through recorded.
     if (Status S = writeCoverage(Args.CoveragePath, InputPath,
@@ -485,7 +506,7 @@ int runExecute(const DriverArgs &Args) {
   TraceBuffer << TraceIn.rdbuf();
 
   core::CompileSession Session;
-  if (!Args.TracePath.empty())
+  if (!Args.TracePath.empty() || !Args.ProfileFoldedPath.empty())
     Session.telemetry().enableTracing();
   if (!Args.RemarksPath.empty() || !Args.RemarksJsonPath.empty())
     Session.remarks().enable();
@@ -521,6 +542,13 @@ int runExecute(const DriverArgs &Args) {
         return S;
       }
     }
+    // The flamegraph fold flushes like the raw trace does, aborted runs
+    // included.
+    if (!Args.ProfileFoldedPath.empty())
+      if (Status S = writeTextOutput(Args.ProfileFoldedPath,
+                                     Session.telemetry().foldedStacks());
+          !S)
+        return S;
     // Coverage flushes like remarks do; after a completed run it also
     // carries the sim.toggle bins the replay below recorded.
     if (Status S = writeCoverage(Args.CoveragePath, InputPath,
@@ -605,17 +633,42 @@ int runExecute(const DriverArgs &Args) {
     NetlistOut = codegen::simulate(R.value().Verilog, Drive,
                                    Capture ? &NetlistWave : nullptr,
                                    Session.context());
+  // --profile-sim attaches the profiled executor to one VM engine: vm-ir
+  // when it runs (the primary in --sim=both mode), vm-netlist otherwise.
+  bool ProfileIr = !Args.ProfileSimPath.empty() && RunVmIr;
+  bool ProfileNet = !Args.ProfileSimPath.empty() && !RunVmIr && RunVmNetlist;
+  sim::VmProfile Profile;
   if (RunVmIr)
     VmIrOut = !IrProgram ? fail<interp::Trace>(IrProgram.error())
-                         : sim::execute(IrProgram.value(), Drive,
-                                        Capture ? &VmIrWave : nullptr,
-                                        Session.context());
+              : ProfileIr
+                  ? sim::execute(IrProgram.value(), Drive, Profile,
+                                 Capture ? &VmIrWave : nullptr,
+                                 Session.context())
+                  : sim::execute(IrProgram.value(), Drive,
+                                 Capture ? &VmIrWave : nullptr,
+                                 Session.context());
   if (RunVmNetlist)
     VmNetlistOut = !NetProgram
                        ? fail<interp::Trace>(NetProgram.error())
+                   : ProfileNet
+                       ? sim::execute(NetProgram.value(), Drive, Profile,
+                                      Capture ? &VmNetlistWave : nullptr,
+                                      Session.context())
                        : sim::execute(NetProgram.value(), Drive,
                                       Capture ? &VmNetlistWave : nullptr,
                                       Session.context());
+
+  // The sim profile flushes before the engine-failure checks below, so an
+  // aborted run still reports the ops it retired (Aborted marked true).
+  if (ProfileIr || ProfileNet) {
+    const Result<sim::Program> &Prog = ProfileIr ? IrProgram : NetProgram;
+    if (Prog)
+      if (Status S = writeTextOutput(
+              Args.ProfileSimPath,
+              sim::profileJson(Prog.value(), Profile).str(2) + "\n");
+          !S)
+        return usageError(S.error());
+  }
 
   auto CaptureSources =
       [&]() -> std::vector<std::pair<const sim::WaveCapture *, std::string>> {
@@ -749,6 +802,7 @@ int runBatch(const DriverArgs &Args) {
         {"--dump-after", &Args.DumpStage},
         {"--floorplan", &Args.FloorplanPath},
         {"--floorplan-timeline", &Args.FloorplanTimelinePath},
+        {"--profile-folded", &Args.ProfileFoldedPath},
         {"--print-before", &Args.Options.PrintBefore}})
     if (!Value->empty())
       return usageError(std::string(Flag) +
@@ -1011,6 +1065,14 @@ int main(int Argc, char **Argv) {
       Args.CoveragePath = Arg.substr(11);
       if (Args.CoveragePath.empty())
         return usageError("--coverage= requires a file path or '-'");
+    } else if (Arg.rfind("--profile-sim=", 0) == 0) {
+      Args.ProfileSimPath = Arg.substr(14);
+      if (Args.ProfileSimPath.empty())
+        return usageError("--profile-sim= requires a file path or '-'");
+    } else if (Arg.rfind("--profile-folded=", 0) == 0) {
+      Args.ProfileFoldedPath = Arg.substr(17);
+      if (Args.ProfileFoldedPath.empty())
+        return usageError("--profile-folded= requires a file path or '-'");
     } else if (Arg.rfind("--jobs=", 0) == 0) {
       std::string Value = Arg.substr(7);
       char *End = nullptr;
@@ -1060,11 +1122,17 @@ int main(int Argc, char **Argv) {
                       "' (valid: " + DeviceChoices + ")");
 
 #ifdef RETICLE_NO_TELEMETRY
-  // Coverage recording is part of the telemetry surface; a compiled-out
-  // build still compiles (and runs) everything, it just cannot report
-  // coverage.
+  // Coverage recording and profiling are part of the telemetry surface; a
+  // compiled-out build still compiles (and runs) everything, it just
+  // cannot report coverage or profiles.
   if (!Args.CoveragePath.empty())
     return usageError("--coverage requires a telemetry-enabled build "
+                      "(RETICLE_NO_TELEMETRY is set)");
+  if (!Args.ProfileSimPath.empty())
+    return usageError("--profile-sim requires a telemetry-enabled build "
+                      "(RETICLE_NO_TELEMETRY is set)");
+  if (!Args.ProfileFoldedPath.empty())
+    return usageError("--profile-folded requires a telemetry-enabled build "
                       "(RETICLE_NO_TELEMETRY is set)");
 #endif
 
@@ -1081,6 +1149,7 @@ int main(int Argc, char **Argv) {
         {"--floorplan-timeline", &Args.FloorplanTimelinePath},
         {"--print-before", &Args.Options.PrintBefore},
         {"--coverage", &Args.CoveragePath},
+        {"--profile-folded", &Args.ProfileFoldedPath},
     };
     for (const auto &[Flag, Value] : PipelineOnly)
       if (!Value->empty())
@@ -1094,9 +1163,10 @@ int main(int Argc, char **Argv) {
 
   if (Args.RunTracePath.empty()) {
     if (Args.CyclesSet || Args.SimSet || !Args.VcdPath.empty() ||
-        !Args.WaveJsonPath.empty() || !Args.DumpSimProgramPath.empty())
+        !Args.WaveJsonPath.empty() || !Args.DumpSimProgramPath.empty() ||
+        !Args.ProfileSimPath.empty())
       return usageError("--cycles/--sim/--vcd/--wave-json/"
-                        "--dump-sim-program require --run");
+                        "--dump-sim-program/--profile-sim require --run");
   } else {
     if (Args.Inputs.size() > 1)
       return usageError("--run applies to a single input");
@@ -1114,6 +1184,10 @@ int main(int Argc, char **Argv) {
     for (const auto &[Flag, Value] : NotInRunMode)
       if (!Value->empty())
         return usageError(std::string(Flag) + " does not apply with --run");
+    if (!Args.ProfileSimPath.empty() && Args.SimEngine != "both" &&
+        Args.SimEngine != "vm-ir" && Args.SimEngine != "vm-netlist")
+      return usageError("--profile-sim requires a VM engine "
+                        "(--sim=vm-ir, vm-netlist, or both)");
 #ifdef RETICLE_NO_TELEMETRY
     if (!Args.VcdPath.empty() || !Args.WaveJsonPath.empty())
       return usageError("--vcd/--wave-json require a telemetry-enabled "
