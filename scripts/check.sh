@@ -3,15 +3,17 @@
 # drive the compiler end to end and validate every machine-readable
 # artifact it emits (stats, trace, remarks, snapshot manifest, batch
 # summary) with json_check, including a remark_diff of two identical
-# runs to pin down pipeline determinism and a coverage_diff of the
+# runs to pin down pipeline determinism (once for the default solver
+# and once for the clause-sharing SAT portfolio, whose race must be a
+# deterministic function of the formula), a coverage_diff of the
 # merged example-program coverage against the checked-in golden
 # (tests/goldens/coverage.json), and a profile_diff of two identical
 # profiled VM runs to pin down hot-set determinism. RUN_BENCH=1
 # additionally runs the microbenchmarks. After the primary build, two
 # hardening builds run: one with the telemetry layer compiled out
 # (-DRETICLE_NO_TELEMETRY=ON) and one under ThreadSanitizer exercising
-# the concurrent batch-compile path and concurrent compiled-simulation
-# VM runs. Run from anywhere; builds into
+# the concurrent batch-compile path, concurrent compiled-simulation
+# VM runs, and the SAT portfolio's racing lane threads. Run from anywhere; builds into
 # <repo>/build (plus build-notelem/ and build-tsan/ siblings).
 set -eu
 
@@ -42,6 +44,10 @@ trap 'rm -rf "$out"' EXIT
 "$build/tools/json_check" --require=schema --require=program \
     --require=timings.total_ms --require=timings.parse_ms \
     --require=place.sat.decisions \
+    --require=sat.solver_mode --require=sat.shrink_ms \
+    --require=sat.incremental.probes --require=sat.incremental.encodes \
+    --require=sat.incremental.reused_clauses \
+    --require=sat.portfolio.rounds --require=sat.portfolio.exported \
     --require=utilization.luts "$out/stats.json"
 "$build/tools/json_check" --require=traceEvents "$out/trace.json"
 "$build/tools/json_check" --require=schema \
@@ -75,6 +81,25 @@ echo "== remark ratchet (golden stream for mac.ret) =="
 #       examples/programs/mac.ret
 "$build/tools/json_check" remark_diff \
     "$repo/tests/goldens/mac/remarks.jsonl" "$out/remarks-a.jsonl"
+
+echo "== portfolio determinism (remark_diff on two racing runs) =="
+# Two clause-sharing portfolio races over a program with real SAT-backed
+# shrink probes must emit byte-identical remark streams: the barrier
+# rounds, lane-ordered exchange, and lowest-lane-earliest-round winner
+# rule make the race a deterministic function of the formula, however
+# the lane threads interleave. The stream must also attribute at least
+# one probe to a winning lane.
+"$build/tools/reticlec" --device=small --emit=placed \
+    --sat-solver=portfolio --sat-threads=4 \
+    --remarks-json="$out/portfolio-a.jsonl" \
+    "$repo/tests/inputs/fsm_shrink.ret"
+"$build/tools/reticlec" --device=small --emit=placed \
+    --sat-solver=portfolio --sat-threads=4 \
+    --remarks-json="$out/portfolio-b.jsonl" \
+    "$repo/tests/inputs/fsm_shrink.ret"
+"$build/tools/json_check" remark_diff \
+    "$out/portfolio-a.jsonl" "$out/portfolio-b.jsonl"
+grep -q '"lane"' "$out/portfolio-a.jsonl"
 
 echo "== batch compile end to end =="
 "$build/tools/reticlec" --device=small --jobs="$jobs" \
@@ -183,8 +208,9 @@ if [ "${RUN_BENCH:-0}" = "1" ]; then
     # Opt-in: the microbenchmarks are informative, not gating, so the
     # default run skips them. Any bench binary the build produced runs
     # once with its defaults; each writes its BENCH_*.json into $out.
-    for bench in sim_throughput fig4_dsp_add fig13a_tensoradd \
-                 fig13b_tensordot fig13c_fsm compile_time ablation; do
+    for bench in sim_throughput place_throughput fig4_dsp_add \
+                 fig13a_tensoradd fig13b_tensordot fig13c_fsm \
+                 compile_time ablation; do
         if [ -x "$build/bench/$bench" ]; then
             echo "-- bench/$bench"
             (cd "$out" && "$build/bench/$bench")
@@ -202,6 +228,11 @@ if [ "${RUN_BENCH:-0}" = "1" ]; then
          "$(grep -c '"cycles_per_sec"' "$out/BENCH_sim.json")"
     grep -q '"profiled"' "$out/BENCH_sim.json"
     grep -q '"overhead_vs_none"' "$out/BENCH_sim.json"
+    # The placement bench doc carries the per-mode series rows and the
+    # scratch-vs-persistent speedup block the acceptance bar reads.
+    "$build/tools/json_check" --require=schema --require=figure \
+        --nonempty=series --nonempty=speedup "$out/BENCH_place.json"
+    grep -q '"incremental_vs_scratch"' "$out/BENCH_place.json"
 fi
 
 echo "== telemetry-free build (-DRETICLE_NO_TELEMETRY=ON) =="
@@ -266,9 +297,11 @@ cmake -B "$repo/build-tsan" -S "$repo" \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$repo/build-tsan" -j"$jobs" \
-    --target batch_race_check sim_vm_race_check reticlec json_check
+    --target batch_race_check sim_vm_race_check sat_portfolio_race_check \
+    reticlec json_check
 "$repo/build-tsan/tests/batch_race_check"
 "$repo/build-tsan/tests/sim_vm_race_check"
+"$repo/build-tsan/tests/sat_portfolio_race_check"
 "$repo/build-tsan/tools/reticlec" --device=small --jobs=4 \
     --out-dir="$out/batch-tsan" \
     --stats-json="$out/batch-tsan/summary.json" \

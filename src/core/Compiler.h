@@ -55,6 +55,15 @@ struct CompileOptions {
   bool Cascade = true;
   /// Run the placement shrinking passes (Section 5.3).
   bool Shrink = true;
+  /// Shrink-search solver strategy (`--sat-solver=`): Scratch re-encodes
+  /// per probe, Incremental keeps one solver across probes, Portfolio
+  /// races SatThreads diverse lanes per probe.
+  place::SatMode SatMode = place::SatMode::Incremental;
+  /// Racing lanes in Portfolio mode (`--sat-threads=`).
+  unsigned SatThreads = 4;
+  /// Record a DRAT-style proof log of the placement SAT searches into
+  /// CompileResult::SatProof (`--sat-proof=`).
+  bool SatProof = false;
   /// Run static timing analysis on the placed result.
   bool Timing = true;
   /// When non-null, the pipeline records the program text after each stage
@@ -112,6 +121,11 @@ struct CompileResult {
   isel::CascadeStats CascadeStats;
   place::PlacementStats PlaceStats;
   OptStats Opt;
+
+  /// DRAT-style proof text of the placement SAT searches (empty unless
+  /// CompileOptions::SatProof): sections of DIMACS-notation learnt
+  /// additions/deletions delimited by `c` comments per solve.
+  std::string SatProof;
 
   StageTimings Times;
 };

@@ -9,6 +9,7 @@
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
 #include "opt/Transforms.h"
+#include "sat/Solver.h"
 
 #include <chrono>
 #include <cstdio>
@@ -155,9 +156,16 @@ public:
              const CompileOptions &Options) override {
     place::PlacementOptions PlaceOptions;
     PlaceOptions.Shrink = Options.Shrink;
+    PlaceOptions.Mode = Options.SatMode;
+    PlaceOptions.PortfolioLanes = Options.SatThreads;
+    sat::ProofWriter Proof;
+    if (Options.SatProof)
+      PlaceOptions.Proof = &Proof;
     Result<rasm::AsmProgram> Placed =
         place::place(State.Result.Asm, Options.Dev, PlaceOptions,
                      &State.Result.PlaceStats, Session.context());
+    if (Options.SatProof)
+      State.Result.SatProof = Proof.take();
     if (!Placed)
       return Status::failure(Placed.error());
     State.Result.Placed = Placed.take();

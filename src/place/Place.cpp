@@ -8,10 +8,14 @@
 
 #include "ir/DefUse.h"
 #include "obs/Context.h"
+#include "sat/Portfolio.h"
 #include "sat/Solver.h"
 
 #include <algorithm>
+#include <chrono>
+#include <climits>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <tuple>
@@ -70,8 +74,11 @@ bool memberSlot(const Member &M, int64_t XBase, int64_t YBase,
 /// given, every emitted clause is guarded by it (clause ∨ ¬selector), so
 /// assuming the selector true enables the constraint and dropping the
 /// assumption switches the whole group off — the mechanism behind
-/// UNSAT-core extraction over named constraint groups.
-void addAtMostOne(sat::Solver &S, const std::vector<sat::Lit> &Lits,
+/// UNSAT-core extraction over named constraint groups. Templated over the
+/// backend so one encoding serves both a single sat::Solver and a
+/// sat::Portfolio (which mirrors clauses into every racing lane).
+template <typename SolverT>
+void addAtMostOne(SolverT &S, const std::vector<sat::Lit> &Lits,
                   std::optional<sat::Lit> Selector = std::nullopt) {
   auto Add = [&](std::vector<sat::Lit> Clause) {
     if (Selector)
@@ -117,6 +124,11 @@ private:
     uint64_t Conflicts = 0;
     uint64_t Decisions = 0;
     bool BudgetExhausted = false;
+    /// True when the attempt reached the SAT solver (false: settled by an
+    /// arithmetic precheck or an empty candidate range).
+    bool SatBacked = false;
+    /// Winning portfolio lane, -1 outside Portfolio mode.
+    int Lane = -1;
   };
   /// One SAT attempt under the given bounds. On success fills
   /// \p Assignment with the chosen candidate per non-fixed cluster. A
@@ -139,6 +151,66 @@ private:
   /// attempt; \p Cands holds the enumerated candidates per cluster.
   void explainUnsat(const std::vector<std::vector<Candidate>> &Cands);
 
+  /// Arithmetic infeasibility precheck shared by every solve path: demand
+  /// vs capacity within the bounds, and cascade-chain segment capacity.
+  /// Returns true (and tags \p Sp) when \p B provably cannot fit.
+  bool capacityInfeasible(const Bounds &B, bool Explain, obs::Span &Sp);
+
+  /// Delta-exact accumulation of one solve's effort into PlacementStats.
+  /// Takes a Statistics *delta* (After - Before snapshots around the
+  /// solve), never cumulative totals — the latter double-count when one
+  /// solver is reused across probes.
+  void accumulate(const sat::Solver::Statistics &D, bool BudgetHit);
+
+  /// Persistent shrink-search state (Incremental/Portfolio modes): one
+  /// encoding built lazily at the first SAT-backed probe and reused —
+  /// learned clauses, activities and saved phases included — for every
+  /// probe after it. Area bounds are not re-encoded per probe; they are
+  /// assumption literals over the Kill ladders below.
+  struct Persistent {
+    bool Built = false;
+    /// The encoding's bounding box. Columns are clamped to the initial
+    /// solution's used columns — the binary search never probes above
+    /// them, and a device-wide enumeration (63x148 positions per cluster
+    /// on xczu3eg) costs more to build and propagate than every scratch
+    /// re-encoding combined. Rows stay at full device height: the column
+    /// pass probes with the row bound still wide open, and dropping
+    /// high-row candidates there would prune layouts scratch mode can
+    /// reach.
+    Bounds Box{0, 0};
+    std::unique_ptr<sat::Solver> Inc;     // Incremental backend
+    std::unique_ptr<sat::Portfolio> Port; // Portfolio backend
+    /// Full-bounds candidates and their variables, per cluster.
+    std::vector<std::vector<Candidate>> Cands;
+    std::vector<std::vector<sat::Var>> Vars;
+    /// Bound ladders: ColKill[c] means "columns >= c are banned" (same for
+    /// rows). Monotone clauses (¬Kill[c] ∨ Kill[c+1]) let a probe ban a
+    /// whole suffix by assuming the single literal Kill[B+1]; per-
+    /// candidate guards (¬Kill[mx] ∨ ¬cand) kill every candidate whose
+    /// footprint reaches a banned column/row. Ladder variables are created
+    /// last with saved phase false, so free decisions never tighten a
+    /// bound on their own.
+    std::vector<sat::Var> ColKill;
+    std::vector<sat::Var> RowKill;
+    /// Empty-range precheck table: MinRow[I][c] is the smallest row
+    /// footprint over cluster I's candidates whose column footprint is
+    /// <= c (UINT_MAX: none). Replicates scratch mode's "enumerate came
+    /// back empty" verdict without touching the solver, keeping such
+    /// probes at zero conflicts/decisions in every mode.
+    std::vector<std::vector<unsigned>> MinRow;
+    size_t ProblemClauses = 0;
+  };
+
+  /// Builds the persistent encoding (enumeration, constraints, ladders,
+  /// precheck table) into the mode's backend.
+  Status buildPersistent();
+  template <typename SolverT> void encodePersistent(SolverT &S);
+
+  /// One shrink probe against the persistent solver: prechecks, then a
+  /// bounds-as-assumptions solve on the retained encoding.
+  Attempt probe(const Bounds &B, std::vector<Candidate> &Assignment,
+                std::string &Err, uint64_t ConflictBudget, SolveInfo *Info);
+
   const AsmProgram &Prog;
   const device::Device &Dev;
   PlacementOptions Options;
@@ -148,6 +220,9 @@ private:
   std::vector<Cluster> Clusters;      // non-fixed
   std::vector<Cluster> FixedClusters; // fully literal
   std::set<device::Slot> FixedSlots;
+
+  size_t FullCapVal = 0; // cap admitting full enumeration, set by run()
+  Persistent Persist;
 };
 
 Status Placer::buildClusters() {
@@ -314,18 +389,8 @@ void Placer::noteCore(const std::string &Kind, const std::string &Instr,
         .arg("device", Dev.name());
 }
 
-Placer::Attempt Placer::solveOnce(const Bounds &B, size_t Cap,
-                                  std::vector<Candidate> &Assignment,
-                                  std::string &Err,
-                                  uint64_t ConflictBudget, bool Explain,
-                                  SolveInfo *Info) {
-  if (Info)
-    *Info = {};
-  obs::Span Sp(Ctx, "place.solve");
-  Sp.arg("max_col", B.MaxColumn);
-  Sp.arg("max_row", B.MaxRow);
-  Sp.arg("cap", static_cast<uint64_t>(Cap));
-  Sp.arg("clusters", static_cast<uint64_t>(Clusters.size()));
+bool Placer::capacityInfeasible(const Bounds &B, bool Explain,
+                                obs::Span &Sp) {
   // Capacity precheck: SAT needs no help recognizing that N instructions
   // cannot fit N-1 slots, but resolution proofs of pigeonhole formulas are
   // exponential, so rule the case out arithmetically first.
@@ -410,11 +475,30 @@ Placer::Attempt Placer::solveOnce(const Bounds &B, size_t Cap,
                       ", rows <= " + std::to_string(B.MaxRow);
         noteCore("capacity", Instr, Detail);
       }
-      return Attempt::Unsat;
+      return true;
     }
   }
+  return false;
+}
+
+Placer::Attempt Placer::solveOnce(const Bounds &B, size_t Cap,
+                                  std::vector<Candidate> &Assignment,
+                                  std::string &Err,
+                                  uint64_t ConflictBudget, bool Explain,
+                                  SolveInfo *Info) {
+  if (Info)
+    *Info = {};
+  obs::Span Sp(Ctx, "place.solve");
+  Sp.arg("max_col", B.MaxColumn);
+  Sp.arg("max_row", B.MaxRow);
+  Sp.arg("cap", static_cast<uint64_t>(Cap));
+  Sp.arg("clusters", static_cast<uint64_t>(Clusters.size()));
+  if (capacityInfeasible(B, Explain, Sp))
+    return Attempt::Unsat;
 
   sat::Solver S(Ctx);
+  if (Options.Proof)
+    S.setProof(Options.Proof);
   // SAT variables per (cluster, candidate).
   std::vector<std::vector<Candidate>> Cands(Clusters.size());
   std::vector<std::vector<sat::Var>> Vars(Clusters.size());
@@ -468,28 +552,19 @@ Placer::Attempt Placer::solveOnce(const Bounds &B, size_t Cap,
     Stats->Clauses = static_cast<unsigned>(S.numClauses());
   }
   Sp.arg("vars", static_cast<uint64_t>(S.numVars()));
+  // Snapshot-and-delta accounting: exact whether the solver is fresh (as
+  // here) or reused, and immune to the double-count a cumulative
+  // `Stats += S.stats()` produces on a persistent solver.
+  const sat::Solver::Statistics StatsBefore = S.stats();
   sat::Outcome O = S.solve(ConflictBudget);
-  if (Stats) {
-    const sat::Solver::Statistics &St = S.stats();
-    Stats->Conflicts += St.Conflicts;
-    Stats->Decisions += St.Decisions;
-    Stats->Propagations += St.Propagations;
-    Stats->Restarts += St.Restarts;
-    Stats->Learned += St.Learned;
-    Stats->BudgetExhausted += St.Unknowns;
-    Stats->SatMs += St.SolveMs;
-    static_assert(sat::Solver::Statistics::HistogramBuckets ==
-                  std::tuple_size_v<decltype(Stats->LbdHistogram)>);
-    for (size_t K = 0; K < St.LbdHistogram.size(); ++K) {
-      Stats->LbdHistogram[K] += St.LbdHistogram[K];
-      Stats->LearnedSizeHistogram[K] += St.LearnedSizeHistogram[K];
-    }
-  }
+  accumulate(sat::Solver::Statistics::delta(S.stats(), StatsBefore),
+             O == sat::Outcome::Unknown);
   if (Info) {
     const sat::Solver::SolveProfile &P = S.lastProfile();
     Info->Conflicts = P.Conflicts;
     Info->Decisions = P.Decisions;
     Info->BudgetExhausted = O == sat::Outcome::Unknown;
+    Info->SatBacked = true;
   }
   if (O != sat::Outcome::Sat) {
     Sp.arg("outcome", O == sat::Outcome::Unsat ? "unsat" : "budget_exhausted");
@@ -511,6 +586,273 @@ Placer::Attempt Placer::solveOnce(const Bounds &B, size_t Cap,
         Chosen = true;
         break;
       }
+    if (!Chosen) {
+      Err = "internal error: satisfiable model without a chosen candidate";
+      return Attempt::Error;
+    }
+  }
+  return Attempt::Sat;
+}
+
+void Placer::accumulate(const sat::Solver::Statistics &D, bool BudgetHit) {
+  if (!Stats)
+    return;
+  Stats->Conflicts += D.Conflicts;
+  Stats->Decisions += D.Decisions;
+  Stats->Propagations += D.Propagations;
+  Stats->Restarts += D.Restarts;
+  Stats->Learned += D.Learned;
+  Stats->BudgetExhausted += BudgetHit ? 1 : 0;
+  Stats->SatMs += D.SolveMs;
+  static_assert(sat::Solver::Statistics::HistogramBuckets ==
+                std::tuple_size_v<decltype(Stats->LbdHistogram)>);
+  for (size_t K = 0; K < D.LbdHistogram.size(); ++K) {
+    Stats->LbdHistogram[K] += D.LbdHistogram[K];
+    Stats->LearnedSizeHistogram[K] += D.LearnedSizeHistogram[K];
+  }
+}
+
+/// The column/row footprint a candidate needs: the maximum slot
+/// coordinate, widened by the base value on axes the bounds restrict
+/// during enumeration (a bound B drops base values > B even when every
+/// slot stays within B, and the persistent guards must ban exactly what a
+/// bounded re-enumeration would drop).
+static std::pair<unsigned, unsigned> candFootprint(const Cluster &C,
+                                                   const Candidate &Cand) {
+  unsigned MX = 0, MY = 0;
+  for (const device::Slot &S : Cand.Slots) {
+    MX = std::max(MX, S.X);
+    MY = std::max(MY, S.Y);
+  }
+  if (C.XVar)
+    MX = std::max(MX, static_cast<unsigned>(Cand.XBase));
+  if (C.YVar)
+    MY = std::max(MY, static_cast<unsigned>(Cand.YBase));
+  return {MX, MY};
+}
+
+template <typename SolverT> void Placer::encodePersistent(SolverT &S) {
+  // Identical constraint order to solveOnce's per-probe encoding: cluster
+  // candidate variables with exactly-one + at-most-one, then slot
+  // exclusivity. A bounded probe's encoding is this one minus the killed
+  // candidates, and the kill guards propagate those false before any free
+  // decision, so the persistent solver explores the same restricted space.
+  std::map<device::Slot, std::vector<sat::Lit>> SlotUsers;
+  Persist.Vars.assign(Clusters.size(), {});
+  for (size_t I = 0; I < Clusters.size(); ++I) {
+    std::vector<sat::Lit> Lits;
+    for (const Candidate &Cand : Persist.Cands[I]) {
+      sat::Var V = S.newVar();
+      Persist.Vars[I].push_back(V);
+      Lits.push_back(sat::Lit(V));
+      for (const device::Slot &Slot : Cand.Slots)
+        SlotUsers[Slot].push_back(sat::Lit(V));
+    }
+    S.addClause(Lits);
+    addAtMostOne(S, Lits);
+  }
+  for (auto &[Slot, Lits] : SlotUsers)
+    addAtMostOne(S, Lits);
+
+  // Bound ladders, created after every candidate/auxiliary variable so
+  // free decisions reach them last, pinned to phase false so an unassumed
+  // ladder never tightens a bound on its own.
+  Persist.ColKill.clear();
+  Persist.RowKill.clear();
+  for (unsigned C = 0; C <= Persist.Box.MaxColumn; ++C) {
+    sat::Var V = S.newVar();
+    S.setPhase(V, false);
+    Persist.ColKill.push_back(V);
+  }
+  for (unsigned R = 0; R <= Persist.Box.MaxRow; ++R) {
+    sat::Var V = S.newVar();
+    S.setPhase(V, false);
+    Persist.RowKill.push_back(V);
+  }
+  // Monotone: banning columns >= c bans columns >= c+1.
+  for (size_t C = 0; C + 1 < Persist.ColKill.size(); ++C)
+    S.addBinary(~sat::Lit(Persist.ColKill[C]), sat::Lit(Persist.ColKill[C + 1]));
+  for (size_t R = 0; R + 1 < Persist.RowKill.size(); ++R)
+    S.addBinary(~sat::Lit(Persist.RowKill[R]), sat::Lit(Persist.RowKill[R + 1]));
+  // Guards: a candidate dies with the outermost column/row it needs.
+  for (size_t I = 0; I < Clusters.size(); ++I)
+    for (size_t K = 0; K < Persist.Cands[I].size(); ++K) {
+      auto [MX, MY] = candFootprint(Clusters[I], Persist.Cands[I][K]);
+      S.addBinary(~sat::Lit(Persist.ColKill[MX]),
+                  ~sat::Lit(Persist.Vars[I][K]));
+      S.addBinary(~sat::Lit(Persist.RowKill[MY]),
+                  ~sat::Lit(Persist.Vars[I][K]));
+    }
+}
+
+Status Placer::buildPersistent() {
+  obs::Span Sp(Ctx, "place.encode.persistent");
+  Sp.arg("clusters", static_cast<uint64_t>(Clusters.size()));
+  Persist.Cands.assign(Clusters.size(), {});
+  for (size_t I = 0; I < Clusters.size(); ++I) {
+    Result<std::vector<Candidate>> E =
+        enumerate(Clusters[I], Persist.Box, FullCapVal);
+    if (!E)
+      return Status::failure(E.error());
+    Persist.Cands[I] = E.take();
+    if (Persist.Cands[I].empty())
+      return Status::failure(
+          "internal error: cluster lost all candidates between the initial "
+          "solve and the shrink search");
+  }
+
+  // Feasibility table for the empty-range precheck (prefix-min over the
+  // column footprint).
+  Persist.MinRow.assign(
+      Clusters.size(),
+      std::vector<unsigned>(Persist.Box.MaxColumn + 1, UINT_MAX));
+  for (size_t I = 0; I < Clusters.size(); ++I) {
+    std::vector<unsigned> &Row = Persist.MinRow[I];
+    for (const Candidate &Cand : Persist.Cands[I]) {
+      auto [MX, MY] = candFootprint(Clusters[I], Cand);
+      Row[MX] = std::min(Row[MX], MY);
+    }
+    for (size_t C = 1; C < Row.size(); ++C)
+      Row[C] = std::min(Row[C], Row[C - 1]);
+  }
+
+  if (Options.Mode == SatMode::Portfolio) {
+    sat::Portfolio::Options PO;
+    PO.Lanes = Options.PortfolioLanes;
+    Persist.Port = std::make_unique<sat::Portfolio>(PO, Ctx);
+    if (Options.Proof)
+      Persist.Port->setProof(Options.Proof);
+    encodePersistent(*Persist.Port);
+    Persist.ProblemClauses = Persist.Port->numClauses();
+    if (Stats) {
+      Stats->Vars = Persist.Port->numVars();
+      Stats->Clauses = static_cast<unsigned>(Persist.ProblemClauses);
+    }
+  } else {
+    Persist.Inc = std::make_unique<sat::Solver>(Ctx);
+    if (Options.Proof)
+      Persist.Inc->setProof(Options.Proof);
+    encodePersistent(*Persist.Inc);
+    Persist.ProblemClauses = Persist.Inc->numClauses();
+    if (Stats) {
+      Stats->Vars = Persist.Inc->numVars();
+      Stats->Clauses = static_cast<unsigned>(Persist.ProblemClauses);
+    }
+  }
+  if (Stats)
+    ++Stats->IncrementalEncodes;
+  Ctx.counter("sat.incremental.encodes") += 1;
+  Persist.Built = true;
+  Sp.arg("clauses", static_cast<uint64_t>(Persist.ProblemClauses));
+  return Status::success();
+}
+
+Placer::Attempt Placer::probe(const Bounds &B,
+                              std::vector<Candidate> &Assignment,
+                              std::string &Err, uint64_t ConflictBudget,
+                              SolveInfo *Info) {
+  if (Info)
+    *Info = {};
+  obs::Span Sp(Ctx, "place.solve");
+  Sp.arg("max_col", B.MaxColumn);
+  Sp.arg("max_row", B.MaxRow);
+  Sp.arg("cap", static_cast<uint64_t>(FullCapVal));
+  Sp.arg("clusters", static_cast<uint64_t>(Clusters.size()));
+  if (capacityInfeasible(B, /*Explain=*/false, Sp))
+    return Attempt::Unsat;
+
+  if (!Persist.Built)
+    if (Status St = buildPersistent(); !St) {
+      Err = St.error();
+      return Attempt::Error;
+    }
+
+  // Empty-range precheck in cluster order, mirroring scratch mode's
+  // "enumerate came back empty" verdict: such probes never reach the
+  // solver and report zero conflicts/decisions in every mode.
+  for (size_t I = 0; I < Clusters.size(); ++I) {
+    unsigned C = std::min(B.MaxColumn, Persist.Box.MaxColumn);
+    unsigned Need = Persist.MinRow[I][C];
+    if (Need == UINT_MAX || Need > B.MaxRow) {
+      Sp.arg("outcome", "no_candidates");
+      return Attempt::Unsat;
+    }
+  }
+
+  const bool UsePortfolio = Options.Mode == SatMode::Portfolio;
+  size_t TotalClauses =
+      UsePortfolio ? Persist.Port->numClauses() : Persist.Inc->numClauses();
+  if (Stats) {
+    ++Stats->Solves;
+    Stats->ReusedClauses += Persist.ProblemClauses;
+    Stats->ReusedLearned += TotalClauses - Persist.ProblemClauses;
+  }
+  Ctx.counter("sat.incremental.reused_clauses") += Persist.ProblemClauses;
+  Ctx.counter("sat.incremental.reused_learned") +=
+      TotalClauses - Persist.ProblemClauses;
+  Sp.arg("vars", static_cast<uint64_t>(UsePortfolio ? Persist.Port->numVars()
+                                                    : Persist.Inc->numVars()));
+
+  // The probe's bounds are two assumption literals at most: ban the
+  // column/row suffix beyond the tried bound. Everything else — clauses,
+  // learned clauses, activities, phases — carries over from prior probes.
+  std::vector<sat::Lit> Assumps;
+  if (B.MaxColumn < Persist.Box.MaxColumn)
+    Assumps.push_back(sat::Lit(Persist.ColKill[B.MaxColumn + 1]));
+  if (B.MaxRow < Persist.Box.MaxRow)
+    Assumps.push_back(sat::Lit(Persist.RowKill[B.MaxRow + 1]));
+
+  sat::Outcome O;
+  sat::Solver::Statistics D;
+  if (UsePortfolio) {
+    O = Persist.Port->solveWith(Assumps, ConflictBudget);
+    D = Persist.Port->lastDelta();
+    // SatMs is wall-clock: the race's wall time, not the winner's summed
+    // CPU quanta.
+    D.SolveMs = Persist.Port->lastProfile().TimeMs;
+    if (Info && O != sat::Outcome::Unknown)
+      Info->Lane = static_cast<int>(Persist.Port->winnerLane());
+  } else {
+    const sat::Solver::Statistics StatsBefore = Persist.Inc->stats();
+    O = Persist.Inc->solveWith(Assumps, ConflictBudget);
+    D = sat::Solver::Statistics::delta(Persist.Inc->stats(), StatsBefore);
+  }
+  accumulate(D, O == sat::Outcome::Unknown);
+  if (Info) {
+    Info->Conflicts = D.Conflicts;
+    Info->Decisions = D.Decisions;
+    Info->BudgetExhausted = O == sat::Outcome::Unknown;
+    Info->SatBacked = true;
+  }
+
+  // Re-arm the ladder phases: search may have saved a true phase on a
+  // kill variable; the next probe must again reach them last and false.
+  for (sat::Var V : Persist.ColKill)
+    UsePortfolio ? Persist.Port->setPhase(V, false)
+                 : Persist.Inc->setPhase(V, false);
+  for (sat::Var V : Persist.RowKill)
+    UsePortfolio ? Persist.Port->setPhase(V, false)
+                 : Persist.Inc->setPhase(V, false);
+
+  if (O != sat::Outcome::Sat) {
+    Sp.arg("outcome", O == sat::Outcome::Unsat ? "unsat" : "budget_exhausted");
+    return Attempt::Unsat;
+  }
+  Sp.arg("outcome", "sat");
+
+  Assignment.clear();
+  Assignment.resize(Clusters.size());
+  for (size_t I = 0; I < Clusters.size(); ++I) {
+    bool Chosen = false;
+    for (size_t K = 0; K < Persist.Vars[I].size(); ++K) {
+      bool Val = UsePortfolio ? Persist.Port->value(Persist.Vars[I][K])
+                              : Persist.Inc->value(Persist.Vars[I][K]);
+      if (Val) {
+        Assignment[I] = Persist.Cands[I][K];
+        Chosen = true;
+        break;
+      }
+    }
     if (!Chosen) {
       Err = "internal error: satisfiable model without a chosen candidate";
       return Attempt::Error;
@@ -620,6 +962,8 @@ void Placer::explainUnsat(const std::vector<std::vector<Candidate>> &Cands) {
 
 Result<AsmProgram> Placer::run() {
   ++Ctx.counter("place.runs");
+  if (Stats)
+    Stats->Mode = Options.Mode;
   if (Status St = buildClusters(); !St)
     return fail<AsmProgram>(St.error());
   Ctx.counter("place.clusters") += Clusters.size();
@@ -630,14 +974,20 @@ Result<AsmProgram> Placer::run() {
   Full.MaxRow = TallestColumn ? TallestColumn - 1 : 0;
 
   // First solution: grow the candidate cap until satisfiable or fully
-  // enumerated.
+  // enumerated. The initial solve is always from scratch, whatever the
+  // shrink mode: it is one solve (nothing to reuse) and it owns the
+  // UNSAT-explanation path.
   size_t FullCap = static_cast<size_t>(Dev.numColumns()) * TallestColumn + 1;
+  FullCapVal = FullCap;
   size_t Cap = std::max<size_t>(Options.InitialCandidateCap,
                                 2 * Clusters.size() + 8);
   std::vector<Candidate> BestAssignment;
   SolveInfo Info;
   while (true) {
     std::string Err;
+    if (Options.Proof)
+      Options.Proof->comment("place: initial solve, fresh encoding, cap=" +
+                             std::to_string(Cap));
     // Once the cap admits full enumeration the attempt is conclusive, so
     // an UNSAT there is worth explaining: solveOnce then extracts and
     // emits the named constraint core.
@@ -668,6 +1018,7 @@ Result<AsmProgram> Placer::run() {
     P.Result = Oc;
     P.Conflicts = SI.Conflicts;
     P.Decisions = SI.Decisions;
+    P.Lane = SI.Lane;
     for (const Candidate &Cand : BestAssignment)
       for (const device::Slot &S : Cand.Slots)
         P.Slots.push_back(S);
@@ -691,7 +1042,10 @@ Result<AsmProgram> Placer::run() {
         .arg("device", Dev.name());
 
   // Shrinking passes: take the used area as the bound and binary-search a
-  // smaller one, re-running placement (Section 5.3).
+  // smaller one, re-running placement (Section 5.3). Scratch mode rebuilds
+  // the encoding per probe; Incremental/Portfolio probe one persistent
+  // solver with bounds as assumptions.
+  auto ShrinkT0 = std::chrono::steady_clock::now();
   if (Options.Shrink && !Clusters.empty()) {
     // Bounds needed by the placeable clusters alone. Fixed (pinned) slots
     // are excluded: they are not enumerated, so they may lie outside the
@@ -705,6 +1059,12 @@ Result<AsmProgram> Placer::run() {
         }
       return B;
     };
+    // The lazily built persistent encoding covers exactly the space the
+    // probes below can reach: columns up to the initial solution's used
+    // columns (the binary search only ever tries less), rows up to the
+    // full device height (the column pass probes with the row bound
+    // still open).
+    Persist.Box = Bounds{UsedBounds(BestAssignment).MaxColumn, Full.MaxRow};
     Bounds Cur{Full.MaxColumn, Full.MaxRow};
 
     // Shrink columns, then rows, by binary search (Section 5.3). Columns
@@ -727,11 +1087,37 @@ Result<AsmProgram> Placer::run() {
         (Axis == 0 ? Try.MaxColumn : Try.MaxRow) = Mid;
         std::vector<Candidate> Assignment;
         std::string Err;
-        Attempt A = solveOnce(Try, FullCap, Assignment, Err,
-                              /*ConflictBudget=*/50000, /*Explain=*/false,
-                              &Info);
+        if (Options.Proof)
+          Options.Proof->comment(
+              std::string("place: shrink probe axis=") +
+              (Axis == 0 ? "col" : "row") + " bound=" + std::to_string(Mid));
+        Attempt A =
+            Options.Mode == SatMode::Scratch
+                ? solveOnce(Try, FullCap, Assignment, Err,
+                            /*ConflictBudget=*/50000, /*Explain=*/false,
+                            &Info)
+                : probe(Try, Assignment, Err, /*ConflictBudget=*/50000,
+                        &Info);
         if (A == Attempt::Error)
           return fail<AsmProgram>(Err);
+        if (Stats) {
+          if (Info.SatBacked) {
+            ++Stats->IncrementalProbes;
+            // Scratch re-encodes per SAT-backed probe; the persistent
+            // modes count their one build inside buildPersistent().
+            if (Options.Mode == SatMode::Scratch)
+              ++Stats->IncrementalEncodes;
+          } else {
+            ++Stats->PrecheckProbes;
+          }
+        }
+        if (Info.SatBacked) {
+          Ctx.counter("sat.incremental.probes") += 1;
+          if (Options.Mode == SatMode::Scratch)
+            Ctx.counter("sat.incremental.encodes") += 1;
+        } else {
+          Ctx.counter("sat.incremental.precheck_probes") += 1;
+        }
         Sp.arg("fits", A == Attempt::Sat ? "yes" : "no");
         const char *OutcomeName = A == Attempt::Sat ? "sat"
                                   : Info.BudgetExhausted ? "budget_exhausted"
@@ -740,21 +1126,27 @@ Result<AsmProgram> Placer::run() {
         // Per-probe conflict/decision counts come from the solver's delta
         // profile, which survives budget-exhausted (Unknown) outcomes, so
         // a probe that gave up still reports the work it did.
-        if (Ctx.remarksEnabled())
-          obs::Remark(Ctx, "place", "shrink-probe")
-              .message(std::string("shrink ") +
-                       (Axis == 0 ? "columns" : "rows") + " to <= " +
-                       std::to_string(Mid) +
-                       (A == Attempt::Sat
-                            ? ": SAT, layout fits"
-                            : Info.BudgetExhausted
-                                  ? ": conflict budget exhausted, bound kept"
-                                  : ": UNSAT, bound kept"))
+        if (Ctx.remarksEnabled()) {
+          obs::Remark R(Ctx, "place", "shrink-probe");
+          R.message(std::string("shrink ") +
+                    (Axis == 0 ? "columns" : "rows") + " to <= " +
+                    std::to_string(Mid) +
+                    (A == Attempt::Sat
+                         ? ": SAT, layout fits"
+                         : Info.BudgetExhausted
+                               ? ": conflict budget exhausted, bound kept"
+                               : ": UNSAT, bound kept"))
               .arg("axis", Axis == 0 ? "col" : "row")
               .arg("bound", Mid)
               .arg("outcome", OutcomeName)
               .arg("conflicts", Info.Conflicts)
               .arg("decisions", Info.Decisions);
+          // Attribute the probe to the racing lane that decided it; only
+          // Portfolio mode has lanes, so the key stays absent elsewhere
+          // and single-solver remark streams are unchanged.
+          if (Info.Lane >= 0)
+            R.arg("lane", static_cast<uint64_t>(Info.Lane));
+        }
         if (A == Attempt::Sat) {
           BestAssignment = std::move(Assignment);
           High = std::min(Mid, Axis == 0
@@ -772,6 +1164,18 @@ Result<AsmProgram> Placer::run() {
                     Info);
       }
       (Axis == 0 ? Cur.MaxColumn : Cur.MaxRow) = High;
+    }
+  }
+  if (Stats) {
+    Stats->ShrinkMs = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - ShrinkT0)
+                          .count();
+    if (Persist.Port) {
+      const sat::Portfolio::Statistics &PS = Persist.Port->stats();
+      Stats->PortfolioRounds = PS.Rounds;
+      Stats->PortfolioExported = PS.Exported;
+      Stats->PortfolioImported = PS.Imported;
+      Stats->PortfolioWins = PS.WinsByLane;
     }
   }
 

@@ -38,7 +38,24 @@
 #include <vector>
 
 namespace reticle {
+namespace sat {
+class ProofWriter;
+} // namespace sat
+
 namespace place {
+
+/// How the shrink search drives the SAT solver.
+///
+///  - Scratch: every probe builds and solves a fresh encoding (the
+///    historical behavior; kept as the equivalence oracle).
+///  - Incremental: one persistent solver carries the full-bounds encoding
+///    across all probes; per-kind area bounds become assumption literals
+///    over a ladder of "kill" selectors, so learned clauses, variable
+///    activities and saved phases survive from probe to probe.
+///  - Portfolio: the persistent encoding is mirrored into N diverse
+///    solver lanes that race each probe in deterministic barrier rounds,
+///    sharing short learnt clauses between rounds.
+enum class SatMode : uint8_t { Scratch, Incremental, Portfolio };
 
 /// Tuning knobs for placement.
 struct PlacementOptions {
@@ -48,6 +65,16 @@ struct PlacementOptions {
   /// automatically (up to full enumeration) when the capped encoding is
   /// unsatisfiable.
   unsigned InitialCandidateCap = 128;
+  /// Shrink-probe solver strategy. The initial solve (cap growth and
+  /// UNSAT explanation) is always from scratch; the mode governs the
+  /// shrink probes only. Placements are byte-identical across modes in
+  /// single-thread (Scratch/Incremental) configurations.
+  SatMode Mode = SatMode::Incremental;
+  /// Racing lanes in Portfolio mode (clamped to [1, 8] by the portfolio).
+  unsigned PortfolioLanes = 4;
+  /// When set, every SAT search of the run appends DRAT-style proof lines
+  /// (learnt additions, deletions, assumption-core implications) here.
+  sat::ProofWriter *Proof = nullptr;
 };
 
 /// One frame of the placement timeline: the initial solution or one probe
@@ -63,6 +90,7 @@ struct ShrinkProbe {
   unsigned Bound = 0;     ///< tried bound on the probed axis (Initial: unused)
   uint64_t Conflicts = 0; ///< solver conflicts spent on this probe
   uint64_t Decisions = 0; ///< solver decisions spent on this probe
+  int Lane = -1;          ///< winning portfolio lane (-1 outside Portfolio)
   unsigned MaxColumn = 0; ///< bounding box of the accepted layout so far
   unsigned MaxRow = 0;
   std::vector<device::Slot> Slots; ///< occupied slots of the accepted layout
@@ -103,6 +131,25 @@ struct PlacementStats {
   std::array<uint64_t, 8> LearnedSizeHistogram{};
   unsigned MaxColumn = 0; ///< highest column used
   unsigned MaxRow = 0;    ///< highest row used
+  /// Which shrink strategy produced the run.
+  SatMode Mode = SatMode::Incremental;
+  /// Wall-clock of the whole shrink phase (persistent encoding build
+  /// included); the headline "placement solve time" the benchmarks
+  /// compare across modes.
+  double ShrinkMs = 0.0;
+  /// Reuse accounting for the persistent (Incremental/Portfolio) solver.
+  /// Scratch mode rebuilds per probe, so Encodes == SAT-backed probes
+  /// there; a persistent run encodes once however many probes follow.
+  uint64_t IncrementalEncodes = 0; ///< times a probe (re)built an encoding
+  uint64_t IncrementalProbes = 0;  ///< probes answered by the SAT solver
+  uint64_t PrecheckProbes = 0;     ///< probes settled arithmetically (no SAT)
+  uint64_t ReusedClauses = 0;      ///< problem clauses carried across probes
+  uint64_t ReusedLearned = 0;      ///< learnt clauses alive at probe start
+  /// Portfolio-race accounting (zero outside Portfolio mode).
+  uint64_t PortfolioRounds = 0;   ///< barrier rounds across all probes
+  uint64_t PortfolioExported = 0; ///< clauses published at exchange barriers
+  uint64_t PortfolioImported = 0; ///< import acceptances across lanes
+  std::array<uint64_t, 8> PortfolioWins{}; ///< decisive probes won per lane
   /// The initial solve plus every shrink probe, in order.
   std::vector<ShrinkProbe> Timeline;
   /// Named constraints explaining a failed placement (empty on success):

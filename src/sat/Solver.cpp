@@ -16,6 +16,19 @@ using namespace reticle::sat;
 
 Solver::Solver(const obs::Context &Ctx) : Ctx(Ctx) {}
 
+Solver::Solver(const Config &Cfg, const obs::Context &Ctx)
+    : Cfg(Cfg), Ctx(Ctx) {}
+
+namespace {
+/// splitmix64: a stateless deterministic scrambler for hashed phase init.
+uint64_t phaseHash(uint64_t Seed, Var V) {
+  uint64_t Z = Seed + 0x9e3779b97f4a7c15ull * (uint64_t(V) + 1);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+} // namespace
+
 Var Solver::newVar() {
   Var V = VarCount++;
   Assign.push_back(LBool::Undef);
@@ -25,8 +38,19 @@ Var Solver::newVar() {
   // Default phase true: for one-hot encodings (e.g. placement slots) the
   // first decision then *selects* the earliest candidate instead of
   // excluding candidates one by one, which yields compact first-fit-like
-  // models.
-  SavedPhase.push_back(true);
+  // models. Portfolio lanes diversify this through Config::Phase.
+  bool Phase = true;
+  switch (Cfg.Phase) {
+  case Config::PhaseInit::True:
+    break;
+  case Config::PhaseInit::False:
+    Phase = false;
+    break;
+  case Config::PhaseInit::Hashed:
+    Phase = phaseHash(Cfg.Seed, V) & 1;
+    break;
+  }
+  SavedPhase.push_back(Phase);
   Seen.push_back(0);
   HeapPos.push_back(-1);
   Watches.emplace_back();
@@ -62,18 +86,76 @@ bool Solver::addClause(std::vector<Lit> Lits) {
   }
   if (Out.empty()) {
     OkFlag = false;
+    if (Proof)
+      Proof->addEmpty();
     return false;
   }
   if (Out.size() == 1) {
     enqueue(Out[0], NoReason);
     if (propagate() != NoReason) {
       OkFlag = false;
+      if (Proof)
+        Proof->addEmpty();
       return false;
     }
     return true;
   }
   Clause C;
   C.Lits = std::move(Out);
+  Clauses.push_back(std::move(C));
+  attachClause(static_cast<ClauseRef>(Clauses.size() - 1));
+  return true;
+}
+
+bool Solver::importClause(const std::vector<Lit> &Lits) {
+  assert(TrailLimits.empty() && "imports happen at the root, between solves");
+  if (!OkFlag)
+    return false;
+  // Same simplification as addClause: the exporter's clause is formula-
+  // implied, so dropping root-false literals and root-satisfied copies is
+  // sound against this solver's root trail too. No proof line is emitted —
+  // in a merged portfolio log the exporting lane already logged the
+  // addition.
+  std::vector<Lit> Sorted = Lits;
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](Lit A, Lit B) { return A.index() < B.index(); });
+  std::vector<Lit> Out;
+  Out.reserve(Sorted.size());
+  for (size_t I = 0; I < Sorted.size(); ++I) {
+    Lit L = Sorted[I];
+    assert(L.var() < VarCount && "imported literal over unknown variable");
+    if (I + 1 < Sorted.size() && Sorted[I + 1] == ~L)
+      return true; // tautology
+    if (I > 0 && L == Sorted[I - 1])
+      continue;
+    LBool V = litValue(L);
+    if (V == LBool::True)
+      return true; // already satisfied at the root
+    if (V == LBool::False)
+      continue;
+    Out.push_back(L);
+  }
+  ++Stats.Imported;
+  if (Out.empty()) {
+    OkFlag = false;
+    if (Proof)
+      Proof->addEmpty();
+    return false;
+  }
+  if (Out.size() == 1) {
+    enqueue(Out[0], NoReason);
+    if (propagate() != NoReason) {
+      OkFlag = false;
+      if (Proof)
+        Proof->addEmpty();
+      return false;
+    }
+    return true;
+  }
+  Clause C;
+  C.Lits = std::move(Out);
+  C.Learned = true;
+  C.Activity = ClauseInc;
   Clauses.push_back(std::move(C));
   attachClause(static_cast<ClauseRef>(Clauses.size() - 1));
   return true;
@@ -169,7 +251,7 @@ void Solver::bumpClause(Clause &C) {
 }
 
 void Solver::decayActivities() {
-  VarInc /= 0.95;
+  VarInc /= Cfg.VarDecay;
   ClauseInc /= 0.999;
 }
 
@@ -326,8 +408,11 @@ void Solver::reduceDb() {
   std::vector<ClauseRef> Remap(Clauses.size(), NoReason);
   Kept.reserve(Clauses.size());
   for (ClauseRef I = 0; I < Clauses.size(); ++I) {
-    if (Drop[I])
+    if (Drop[I]) {
+      if (Proof)
+        Proof->del(Clauses[I].Lits);
       continue;
+    }
     Remap[I] = static_cast<ClauseRef>(Kept.size());
     Kept.push_back(std::move(Clauses[I]));
   }
@@ -516,7 +601,7 @@ Outcome Solver::solveImpl(const std::vector<Lit> *Assumptions,
       ConflictBudget ? Stats.Conflicts + ConflictBudget : UINT64_MAX;
   uint64_t MaxLearned = Clauses.size() / 3 + 512;
   uint32_t RestartCount = 0;
-  uint64_t RestartBudget = 64ull * luby(RestartCount);
+  uint64_t RestartBudget = Cfg.RestartBase * luby(RestartCount);
   uint64_t ConflictsHere = 0;
   std::vector<Lit> Learnt;
 
@@ -530,6 +615,8 @@ Outcome Solver::solveImpl(const std::vector<Lit> *Assumptions,
         // solve() cannot walk past the consumed propagation queue and
         // report a bogus model.
         OkFlag = false;
+        if (Proof)
+          Proof->addEmpty();
         return Outcome::Unsat;
       }
       if (Stats.Conflicts >= ConflictLimit) {
@@ -539,6 +626,10 @@ Outcome Solver::solveImpl(const std::vector<Lit> *Assumptions,
       uint32_t BackLevel = 0;
       analyze(Conflict, Learnt, BackLevel);
       recordLearnt(Learnt);
+      if (Proof)
+        Proof->add(Learnt);
+      if (Export && Learnt.size() <= ClauseExportBuffer::MaxLits)
+        Export->tryPush(Learnt.data(), Learnt.size());
       backtrack(BackLevel);
       if (Learnt.size() == 1) {
         enqueue(Learnt[0], NoReason);
@@ -563,7 +654,7 @@ Outcome Solver::solveImpl(const std::vector<Lit> *Assumptions,
       ++Stats.Restarts;
       ++RestartCount;
       ConflictsHere = 0;
-      RestartBudget = 64ull * luby(RestartCount);
+      RestartBudget = Cfg.RestartBase * luby(RestartCount);
       backtrack(0);
       continue;
     }
@@ -589,6 +680,16 @@ Outcome Solver::solveImpl(const std::vector<Lit> *Assumptions,
       }
       if (V == LBool::False) {
         analyzeFinal(A);
+        if (Proof) {
+          // The core's implied clause: asserting the whole core unit-
+          // propagates to this falsification, so its negation is RUP
+          // against the formula plus the learnt clauses logged above.
+          std::vector<Lit> CoreClause;
+          CoreClause.reserve(Core.size());
+          for (Lit C : Core)
+            CoreClause.push_back(~C);
+          Proof->add(CoreClause);
+        }
         backtrack(0);
         return Outcome::Unsat;
       }

@@ -30,9 +30,11 @@
 #include "obs/Context.h"
 
 #include <array>
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace reticle {
@@ -71,18 +73,165 @@ enum class LBool : uint8_t { False, True, Undef };
 /// exhausted.
 enum class Outcome : uint8_t { Sat, Unsat, Unknown };
 
+/// A DRAT-style proof sink. The solver logs every learnt clause as an
+/// addition, every reduceDb victim as a deletion ("d" line), the failed-
+/// assumption core of an assumption-Unsat solve as its implied clause
+/// (the disjunction of the negated core literals, which is RUP w.r.t. the
+/// formula plus the additions logged before it), and a root refutation as
+/// the empty clause — all in DIMACS literal notation, plus "c" comment
+/// lines callers may interleave to delimit solves. Deletions can be
+/// suppressed (portfolio mode merges several lanes' logs into one stream,
+/// where a deletion by one lane must not invalidate another lane's later
+/// inferences). The writer is plain state with no telemetry dependency,
+/// so proof logging works in RETICLE_NO_TELEMETRY builds.
+class ProofWriter {
+public:
+  void add(const std::vector<Lit> &Lits) {
+    line("", Lits);
+    ++Added;
+  }
+  void del(const std::vector<Lit> &Lits) {
+    if (NoDeletions)
+      return;
+    line("d ", Lits);
+    ++Deleted;
+  }
+  /// The empty clause: the formula is refuted outright.
+  void addEmpty() {
+    Text += "0\n";
+    ++Added;
+  }
+  void comment(const std::string &Note) {
+    Text += "c ";
+    Text += Note;
+    Text += '\n';
+  }
+  /// Splices another writer's finished text (used when merging per-lane
+  /// portfolio logs in deterministic lane order).
+  void appendRaw(const std::string &Raw) { Text += Raw; }
+  /// Moves the accumulated text out, leaving the writer empty.
+  std::string take() {
+    std::string Out = std::move(Text);
+    Text.clear();
+    return Out;
+  }
+  void suppressDeletions() { NoDeletions = true; }
+  const std::string &str() const { return Text; }
+  uint64_t added() const { return Added; }
+  uint64_t deleted() const { return Deleted; }
+
+private:
+  void line(const char *Prefix, const std::vector<Lit> &Lits) {
+    Text += Prefix;
+    for (Lit L : Lits) {
+      long D = static_cast<long>(L.var()) + 1;
+      Text += std::to_string(L.negated() ? -D : D);
+      Text += ' ';
+    }
+    Text += "0\n";
+  }
+
+  std::string Text;
+  bool NoDeletions = false;
+  uint64_t Added = 0;
+  uint64_t Deleted = 0;
+};
+
+/// A bounded lock-free clause-publication buffer: one producer (a solver
+/// lane inside its search) pushes short learnt clauses, consumers read
+/// everything published so far after a synchronization point (the
+/// portfolio's round barrier). Pushes beyond the capacity are counted and
+/// dropped — the bound is what keeps sharing cheap. The single release
+/// store on Count publishes the slot contents to acquire-loading readers.
+class ClauseExportBuffer {
+public:
+  static constexpr size_t MaxLits = 8;
+  static constexpr size_t Capacity = 256;
+
+  /// Producer side. Returns false (and counts a drop) when the clause is
+  /// too long or the buffer is full.
+  bool tryPush(const Lit *Lits, size_t N) {
+    if (N == 0 || N > MaxLits)
+      return false;
+    uint32_t I = Count.load(std::memory_order_relaxed);
+    if (I >= Capacity) {
+      ++Dropped;
+      return false;
+    }
+    Slots[I].Size = static_cast<uint32_t>(N);
+    for (size_t K = 0; K < N; ++K)
+      Slots[I].Lits[K] = Lits[K];
+    Count.store(I + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side (call only across a synchronization point).
+  size_t size() const { return Count.load(std::memory_order_acquire); }
+  size_t litCount(size_t I) const { return Slots[I].Size; }
+  const Lit *lits(size_t I) const { return Slots[I].Lits.data(); }
+  uint64_t dropped() const { return Dropped; }
+
+  /// Resets for the next round (consumer side, between rounds).
+  void clear() {
+    Count.store(0, std::memory_order_relaxed);
+    Dropped = 0;
+  }
+
+private:
+  struct Slot {
+    uint32_t Size = 0;
+    std::array<Lit, MaxLits> Lits{};
+  };
+  std::array<Slot, Capacity> Slots{};
+  std::atomic<uint32_t> Count{0};
+  uint64_t Dropped = 0; // producer-only; read across the barrier
+};
+
 /// A CDCL SAT solver over clauses added incrementally before solve().
 /// Counters, spans and remarks record into the obs::Context the solver is
 /// constructed with (the process-wide default when none is given), which
 /// must outlive the solver.
 class Solver {
 public:
+  /// Deterministic policy knobs. The defaults reproduce the historical
+  /// single-configuration behavior bit for bit; a portfolio diversifies
+  /// lanes by varying them (see Portfolio::laneConfig). Every knob is
+  /// deterministic — Seed feeds a hash, never a stateful RNG — so a
+  /// solver's run is a pure function of its config and call sequence.
+  struct Config {
+    /// Seeds the phase scrambler when PhaseInit is Hashed.
+    uint64_t Seed = 0;
+    /// VSIDS decay: each conflict divides the activity increment by this.
+    double VarDecay = 0.95;
+    /// Luby restart unit, in conflicts.
+    uint64_t RestartBase = 64;
+    /// Initial saved phase for fresh variables. True yields first-fit
+    /// models on one-hot encodings (see newVar); False prefers exclusion;
+    /// Hashed scrambles per variable from Seed.
+    enum class PhaseInit : uint8_t { True, False, Hashed };
+    PhaseInit Phase = PhaseInit::True;
+  };
+
   explicit Solver(const obs::Context &Ctx = obs::defaultContext());
+  Solver(const Config &Cfg, const obs::Context &Ctx = obs::defaultContext());
+
+  const Config &config() const { return Cfg; }
 
   /// Creates a fresh variable and returns it.
   Var newVar();
   uint32_t numVars() const { return VarCount; }
   size_t numClauses() const { return Clauses.size(); }
+
+  /// Overrides the saved phase of \p V, steering the next free decision
+  /// on it. The placement shrink search pins its bound-selector variables
+  /// to false so an unassumed selector never tightens a bound on its own.
+  void setPhase(Var V, bool Phase) {
+    assert(V < VarCount && "unknown variable");
+    SavedPhase[V] = Phase;
+  }
+
+  /// True while the formula is not yet refuted at the root level.
+  bool ok() const { return OkFlag; }
 
   /// Adds a clause. Returns false when the formula is already
   /// unsatisfiable at the root level (e.g. an empty clause after
@@ -92,6 +241,21 @@ public:
   /// Convenience forms.
   bool addUnit(Lit A) { return addClause({A}); }
   bool addBinary(Lit A, Lit B) { return addClause({A, B}); }
+
+  /// Adds a clause learned by another solver over the same variable
+  /// numbering (portfolio clause sharing). The clause is attached as a
+  /// *learned* clause, so reduceDb may age it out again. Must be called
+  /// at the root level, between solves. Returns false when the import
+  /// refutes the formula at the root.
+  bool importClause(const std::vector<Lit> &Lits);
+
+  /// Attaches a DRAT-style proof sink (null detaches). The solver does
+  /// not own the writer.
+  void setProof(ProofWriter *P) { Proof = P; }
+
+  /// Attaches a clause-export buffer (null detaches): every learnt clause
+  /// of at most ClauseExportBuffer::MaxLits literals is published to it.
+  void setExport(ClauseExportBuffer *B) { Export = B; }
 
   /// Runs the CDCL loop. With a nonzero \p ConflictBudget the search gives
   /// up after that many conflicts and reports Unknown (used by callers
@@ -137,6 +301,7 @@ public:
     uint64_t Learned = 0;
     uint64_t Solves = 0;   ///< solve()/solveWith() calls
     uint64_t Unknowns = 0; ///< solves that exhausted their conflict budget
+    uint64_t Imported = 0; ///< clauses accepted via importClause()
     double SolveMs = 0.0;  ///< wall-clock summed over all solves
     static constexpr size_t HistogramBuckets = 8;
     /// Bucket I counts learnt clauses with LBD == I+1; the last bucket
@@ -144,6 +309,30 @@ public:
     std::array<uint64_t, HistogramBuckets> LbdHistogram{};
     /// Learnt-clause sizes, bucketed 1, 2, 3, 4, 5-8, 9-16, 17-32, >=33.
     std::array<uint64_t, HistogramBuckets> LearnedSizeHistogram{};
+
+    /// Member-wise After - Before. The accounting primitive for callers
+    /// that keep one solver alive across many solves: snapshot stats()
+    /// before a probe and delta after it, instead of re-adding the
+    /// cumulative totals (which double-counts under reuse).
+    static Statistics delta(const Statistics &After,
+                            const Statistics &Before) {
+      Statistics D;
+      D.Decisions = After.Decisions - Before.Decisions;
+      D.Propagations = After.Propagations - Before.Propagations;
+      D.Conflicts = After.Conflicts - Before.Conflicts;
+      D.Restarts = After.Restarts - Before.Restarts;
+      D.Learned = After.Learned - Before.Learned;
+      D.Solves = After.Solves - Before.Solves;
+      D.Unknowns = After.Unknowns - Before.Unknowns;
+      D.Imported = After.Imported - Before.Imported;
+      D.SolveMs = After.SolveMs - Before.SolveMs;
+      for (size_t I = 0; I < HistogramBuckets; ++I) {
+        D.LbdHistogram[I] = After.LbdHistogram[I] - Before.LbdHistogram[I];
+        D.LearnedSizeHistogram[I] =
+            After.LearnedSizeHistogram[I] - Before.LearnedSizeHistogram[I];
+      }
+      return D;
+    }
   };
   const Statistics &stats() const { return Stats; }
 
@@ -250,6 +439,9 @@ private:
   std::vector<Lit> Core;
   Statistics Stats;
   SolveProfile Profile;
+  Config Cfg;
+  ProofWriter *Proof = nullptr;
+  ClauseExportBuffer *Export = nullptr;
   const obs::Context &Ctx;
 };
 

@@ -306,3 +306,96 @@ TEST(Place, NoShrinkTimelineHasOnlyTheInitialFrame) {
   ASSERT_EQ(Stats.Timeline.size(), 1u);
   EXPECT_EQ(Stats.Timeline.front().ProbeAxis, ShrinkProbe::Axis::Initial);
 }
+
+TEST(Place, SolverModesAgreeOnFinalArea) {
+  // Scratch, incremental, and portfolio shrink searches may pick
+  // different models once learnt clauses carry over, but they must land
+  // on the same shrunk bounding box and all pass the checker.
+  AsmProgram P = manyDspAdds(6);
+  unsigned Col[3], Row[3];
+  int I = 0;
+  for (SatMode Mode :
+       {SatMode::Scratch, SatMode::Incremental, SatMode::Portfolio}) {
+    PlacementOptions Options;
+    Options.Mode = Mode;
+    PlacementStats Stats;
+    Result<AsmProgram> Placed = reticle::place::place(
+        parseOk(P.str()), Device::small(), Options, &Stats);
+    ASSERT_TRUE(Placed.ok()) << Placed.error();
+    Status S = checkPlacement(P, Placed.value(), Device::small());
+    EXPECT_TRUE(S.ok()) << S.error();
+    EXPECT_EQ(Stats.Mode, Mode);
+    Col[I] = Stats.MaxColumn;
+    Row[I] = Stats.MaxRow;
+    ++I;
+  }
+  EXPECT_EQ(Col[0], Col[1]);
+  EXPECT_EQ(Row[0], Row[1]);
+  EXPECT_EQ(Col[0], Col[2]);
+  EXPECT_EQ(Row[0], Row[2]);
+}
+
+TEST(Place, IncrementalModeRecordsReuseStats) {
+  // The persistent solver encodes at most once and attributes every
+  // shrink probe as either precheck or SAT-backed; reused problem
+  // clauses accumulate per SAT-backed probe.
+  AsmProgram P = manyDspAdds(8);
+  PlacementOptions Options;
+  Options.Mode = SatMode::Incremental;
+  PlacementStats Stats;
+  Result<AsmProgram> Placed =
+      reticle::place::place(P, Device::small(), Options, &Stats);
+  ASSERT_TRUE(Placed.ok()) << Placed.error();
+  // Timeline holds the initial frame plus one frame per shrink probe.
+  EXPECT_EQ(Stats.IncrementalProbes + Stats.PrecheckProbes,
+            Stats.Timeline.size() - 1);
+  EXPECT_LE(Stats.IncrementalEncodes, 1u);
+  if (Stats.IncrementalProbes > 0) {
+    EXPECT_EQ(Stats.IncrementalEncodes, 1u);
+    EXPECT_GT(Stats.ReusedClauses, 0u);
+  }
+  EXPECT_GT(Stats.ShrinkMs, 0.0);
+}
+
+TEST(Place, ScratchModeMatchesHistoricalAccounting) {
+  // Scratch mode re-encodes per SAT-backed probe and never builds the
+  // persistent solver, so encodes == SAT-backed probes and nothing is
+  // reused.
+  AsmProgram P = manyDspAdds(8);
+  PlacementOptions Options;
+  Options.Mode = SatMode::Scratch;
+  PlacementStats Stats;
+  Result<AsmProgram> Placed =
+      reticle::place::place(P, Device::small(), Options, &Stats);
+  ASSERT_TRUE(Placed.ok()) << Placed.error();
+  EXPECT_EQ(Stats.Mode, SatMode::Scratch);
+  EXPECT_EQ(Stats.IncrementalEncodes, Stats.IncrementalProbes);
+  EXPECT_EQ(Stats.ReusedClauses, 0u);
+  EXPECT_EQ(Stats.ReusedLearned, 0u);
+}
+
+TEST(Place, PortfolioModeAttributesLanes) {
+  // A portfolio run records round/exchange totals and, for each
+  // SAT-backed probe, which lane decided it (timeline Lane >= 0).
+  AsmProgram P = manyDspAdds(8);
+  PlacementOptions Options;
+  Options.Mode = SatMode::Portfolio;
+  Options.PortfolioLanes = 4;
+  PlacementStats Stats;
+  Result<AsmProgram> Placed =
+      reticle::place::place(P, Device::small(), Options, &Stats);
+  ASSERT_TRUE(Placed.ok()) << Placed.error();
+  uint64_t Wins = 0;
+  for (uint64_t W : Stats.PortfolioWins)
+    Wins += W;
+  size_t LaneFrames = 0;
+  for (const ShrinkProbe &Frame : Stats.Timeline)
+    if (Frame.Lane >= 0) {
+      ++LaneFrames;
+      EXPECT_LT(Frame.Lane, 4);
+    }
+  EXPECT_EQ(Wins, Stats.IncrementalProbes);
+  EXPECT_EQ(LaneFrames, Stats.IncrementalProbes);
+  if (Stats.IncrementalProbes > 0)
+    EXPECT_GT(Stats.PortfolioRounds, 0u);
+}

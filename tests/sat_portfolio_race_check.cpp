@@ -1,0 +1,137 @@
+//===- tests/sat_portfolio_race_check.cpp - Portfolio determinism check ---------===//
+//
+// Part of the Reticle-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A plain-main (no gtest) check that the clause-sharing SAT portfolio is
+/// deterministic: two races over the same formula pick the same winner
+/// lane, the same outcome, and the same model, and both agree with a
+/// single-threaded reference solver's verdict. Built without a test
+/// framework so it can also be compiled under ThreadSanitizer, where it
+/// serves as the data-race detector for the lane threads and the bounded
+/// clause-export buffers (see scripts/check.sh).
+///
+/// The formulas are pigeonhole instances: PHP(n+1, n) is UNSAT and needs
+/// real conflict-driven search (so the lanes genuinely learn and exchange
+/// clauses), and PHP(n, n) is SAT with many symmetric models (so a
+/// scheduling-dependent winner would almost surely surface as a model
+/// mismatch between runs).
+///
+/// Exit code 0 on success, 1 on any mismatch.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sat/Portfolio.h"
+#include "sat/Solver.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace reticle;
+
+namespace {
+
+int Failures = 0;
+
+void check(bool Ok, const char *What) {
+  if (!Ok) {
+    std::fprintf(stderr, "sat_portfolio_race_check: FAILED: %s\n", What);
+    ++Failures;
+  }
+}
+
+/// Pigeonhole: every pigeon in some hole, no hole holds two pigeons.
+/// Var(p, h) = p * Holes + h.
+template <typename SolverT>
+std::vector<std::vector<sat::Var>> encodePigeonhole(SolverT &S,
+                                                    unsigned Pigeons,
+                                                    unsigned Holes) {
+  std::vector<std::vector<sat::Var>> V(Pigeons);
+  for (unsigned P = 0; P < Pigeons; ++P)
+    for (unsigned H = 0; H < Holes; ++H)
+      V[P].push_back(S.newVar());
+  for (unsigned P = 0; P < Pigeons; ++P) {
+    std::vector<sat::Lit> AtLeastOne;
+    for (unsigned H = 0; H < Holes; ++H)
+      AtLeastOne.push_back(sat::Lit(V[P][H]));
+    S.addClause(AtLeastOne);
+  }
+  for (unsigned H = 0; H < Holes; ++H)
+    for (unsigned P1 = 0; P1 < Pigeons; ++P1)
+      for (unsigned P2 = P1 + 1; P2 < Pigeons; ++P2)
+        S.addBinary(~sat::Lit(V[P1][H]), ~sat::Lit(V[P2][H]));
+  return V;
+}
+
+struct RaceResult {
+  sat::Outcome O = sat::Outcome::Unknown;
+  unsigned Winner = 0;
+  uint64_t Rounds = 0;
+  std::vector<bool> Model;
+};
+
+RaceResult race(unsigned Pigeons, unsigned Holes, unsigned Lanes) {
+  sat::Portfolio::Options Opts;
+  Opts.Lanes = Lanes;
+  Opts.RoundConflicts = 64; // small quantum: force several exchange rounds
+  sat::Portfolio Port(Opts);
+  std::vector<std::vector<sat::Var>> V =
+      encodePigeonhole(Port, Pigeons, Holes);
+  RaceResult R;
+  R.O = Port.solveWith({});
+  R.Winner = Port.winnerLane();
+  R.Rounds = Port.stats().Rounds;
+  if (R.O == sat::Outcome::Sat)
+    for (unsigned P = 0; P < Pigeons; ++P)
+      for (unsigned H = 0; H < Holes; ++H)
+        R.Model.push_back(Port.value(V[P][H]));
+  return R;
+}
+
+sat::Outcome reference(unsigned Pigeons, unsigned Holes) {
+  sat::Solver S;
+  encodePigeonhole(S, Pigeons, Holes);
+  return S.solve();
+}
+
+void checkRace(unsigned Pigeons, unsigned Holes, unsigned Lanes,
+               const char *What) {
+  RaceResult A = race(Pigeons, Holes, Lanes);
+  RaceResult B = race(Pigeons, Holes, Lanes);
+  check(A.O == B.O, "outcome differs between identical races");
+  check(A.Winner == B.Winner, "winner lane differs between identical races");
+  check(A.Rounds == B.Rounds, "round count differs between identical races");
+  check(A.Model == B.Model, "model differs between identical races");
+  check(A.O == reference(Pigeons, Holes),
+        "portfolio verdict differs from the reference solver");
+  std::fprintf(stderr,
+               "sat_portfolio_race_check: %s: outcome=%s winner=%u "
+               "rounds=%llu\n",
+               What,
+               A.O == sat::Outcome::Sat
+                   ? "sat"
+                   : A.O == sat::Outcome::Unsat ? "unsat" : "unknown",
+               A.Winner, static_cast<unsigned long long>(A.Rounds));
+}
+
+} // namespace
+
+int main() {
+  // UNSAT with real search: 7 pigeons, 6 holes burns hundreds of
+  // conflicts, so every lane crosses several exchange barriers.
+  checkRace(7, 6, 4, "php(7,6) x4");
+  // SAT with massive symmetry: any nondeterminism in winner selection
+  // would pick different (equally valid) models run to run.
+  checkRace(7, 7, 4, "php(7,7) x4");
+  // A one-lane portfolio must behave like the plain solver.
+  checkRace(6, 5, 1, "php(6,5) x1");
+
+  if (Failures) {
+    std::fprintf(stderr, "sat_portfolio_race_check: %d failure(s)\n",
+                 Failures);
+    return 1;
+  }
+  std::fprintf(stderr, "sat_portfolio_race_check: ok\n");
+  return 0;
+}

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "sat/Dimacs.h"
+#include "sat/Portfolio.h"
 #include "sat/Solver.h"
 
 #include <gtest/gtest.h>
@@ -448,4 +449,182 @@ TEST(Sat, LearnedClauseHistogramsFill) {
   EXPECT_EQ(LbdTotal, SizeTotal);
   EXPECT_GE(LbdTotal, S.stats().Learned);
   EXPECT_GT(S.stats().SolveMs, 0.0);
+}
+
+TEST(Sat, DeltaAccountingIsExactAcrossPersistentSolves) {
+  // One solver, three solves under different assumptions: the per-solve
+  // deltas must partition the accumulated totals exactly — this is the
+  // contract the placement shrink loop's per-probe attribution rests on.
+  Solver S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+  ASSERT_TRUE(S.addClause({Lit(A), Lit(B)}));
+  ASSERT_TRUE(S.addClause({Lit(A, true), Lit(C)}));
+  ASSERT_TRUE(S.addClause({Lit(B, true), Lit(C, true)}));
+
+  const Solver::Statistics Zero;
+  Solver::Statistics Sum = Zero;
+  for (const std::vector<Lit> &Assumps :
+       {std::vector<Lit>{}, {Lit(A)}, {Lit(B)}, {Lit(A), Lit(B)}}) {
+    Solver::Statistics Before = S.stats();
+    S.solveWith(Assumps);
+    Solver::Statistics D = Solver::Statistics::delta(S.stats(), Before);
+    Sum.Decisions += D.Decisions;
+    Sum.Propagations += D.Propagations;
+    Sum.Conflicts += D.Conflicts;
+    Sum.Solves += D.Solves;
+    Sum.Unknowns += D.Unknowns;
+  }
+  EXPECT_EQ(Sum.Decisions, S.stats().Decisions);
+  EXPECT_EQ(Sum.Propagations, S.stats().Propagations);
+  EXPECT_EQ(Sum.Conflicts, S.stats().Conflicts);
+  EXPECT_EQ(Sum.Solves, S.stats().Solves);
+  EXPECT_EQ(Sum.Solves, 4u);
+  EXPECT_EQ(Sum.Unknowns, 0u);
+}
+
+TEST(Sat, DeltaAttributesUnknownToItsProbe) {
+  // A budget-exhausted probe in the middle of a persistent solver's life
+  // must surface Unknowns=1 in ITS delta, not leak into neighbors.
+  constexpr unsigned Pigeons = 7, Holes = 6;
+  Solver S;
+  std::vector<std::vector<Var>> P(Pigeons, std::vector<Var>(Holes));
+  for (unsigned I = 0; I < Pigeons; ++I)
+    for (unsigned J = 0; J < Holes; ++J)
+      P[I][J] = S.newVar();
+  for (unsigned I = 0; I < Pigeons; ++I) {
+    std::vector<Lit> AtLeastOne;
+    for (unsigned J = 0; J < Holes; ++J)
+      AtLeastOne.push_back(Lit(P[I][J]));
+    ASSERT_TRUE(S.addClause(AtLeastOne));
+  }
+  for (unsigned J = 0; J < Holes; ++J)
+    for (unsigned I1 = 0; I1 < Pigeons; ++I1)
+      for (unsigned I2 = I1 + 1; I2 < Pigeons; ++I2)
+        ASSERT_TRUE(S.addBinary(Lit(P[I1][J], true), Lit(P[I2][J], true)));
+
+  Solver::Statistics Before = S.stats();
+  ASSERT_EQ(S.solve(/*ConflictBudget=*/5), Outcome::Unknown);
+  Solver::Statistics D1 = Solver::Statistics::delta(S.stats(), Before);
+  EXPECT_EQ(D1.Unknowns, 1u);
+  EXPECT_EQ(D1.Conflicts, 5u);
+
+  Before = S.stats();
+  ASSERT_EQ(S.solve(), Outcome::Unsat);
+  Solver::Statistics D2 = Solver::Statistics::delta(S.stats(), Before);
+  EXPECT_EQ(D2.Unknowns, 0u);
+  EXPECT_GT(D2.Conflicts, 0u);
+}
+
+TEST(Sat, SetPhaseSteersTheFirstModel) {
+  // An unconstrained variable takes its seeded phase in the first model,
+  // which is how the shrink ladder keeps its Kill selectors off during
+  // free search.
+  for (bool Phase : {false, true}) {
+    Solver S;
+    Var A = S.newVar(), B = S.newVar();
+    ASSERT_TRUE(S.addClause({Lit(A), Lit(B)}));
+    S.setPhase(A, Phase);
+    S.setPhase(B, true);
+    ASSERT_EQ(S.solve(), Outcome::Sat);
+    EXPECT_EQ(S.value(A), Phase);
+  }
+}
+
+TEST(Sat, ImportClauseActsLikeALearnedClause) {
+  // An imported clause constrains the search (portfolio sharing), and a
+  // root-refuting import reports failure.
+  Solver S;
+  Var A = S.newVar(), B = S.newVar();
+  ASSERT_TRUE(S.addClause({Lit(A), Lit(B)}));
+  ASSERT_TRUE(S.importClause({Lit(A, true), Lit(B)}));
+  ASSERT_EQ(S.solve(), Outcome::Sat);
+  EXPECT_TRUE(S.value(B));
+  EXPECT_EQ(S.stats().Imported, 1u);
+
+  Solver T;
+  Var C = T.newVar();
+  ASSERT_TRUE(T.addUnit(Lit(C)));
+  EXPECT_FALSE(T.importClause({Lit(C, true)}));
+  EXPECT_EQ(T.solve(), Outcome::Unsat);
+}
+
+TEST(Sat, ProofWriterRecordsRefutation) {
+  // The DRAT-style log of an UNSAT run ends in the empty clause and
+  // carries every learnt addition in DIMACS notation.
+  Solver S;
+  ProofWriter Proof;
+  S.setProof(&Proof);
+  Var A = S.newVar(), B = S.newVar();
+  ASSERT_TRUE(S.addClause({Lit(A), Lit(B)}));
+  ASSERT_TRUE(S.addClause({Lit(A), Lit(B, true)}));
+  ASSERT_TRUE(S.addClause({Lit(A, true), Lit(B)}));
+  ASSERT_TRUE(S.addClause({Lit(A, true), Lit(B, true)}));
+  ASSERT_EQ(S.solve(), Outcome::Unsat);
+  EXPECT_GT(Proof.added(), 0u);
+  const std::string &Text = Proof.str();
+  // The log ends in the empty clause (a bare "0" line) and every other
+  // line is a DIMACS clause or a comment/deletion.
+  ASSERT_GE(Text.size(), 2u);
+  EXPECT_EQ(Text.substr(Text.size() - 2), "0\n");
+  std::string TakeOut = Proof.take();
+  EXPECT_EQ(TakeOut.substr(TakeOut.size() - 2), "0\n");
+  EXPECT_TRUE(Proof.str().empty());
+}
+
+TEST(Sat, ClauseExportBufferIsBoundedAndCounted) {
+  ClauseExportBuffer Buf;
+  std::vector<Lit> Short = {Lit(Var(0)), Lit(Var(1), true)};
+  std::vector<Lit> Long(ClauseExportBuffer::MaxLits + 1, Lit(Var(0)));
+  EXPECT_FALSE(Buf.tryPush(Long.data(), Long.size()));
+  for (size_t I = 0; I < ClauseExportBuffer::Capacity; ++I)
+    EXPECT_TRUE(Buf.tryPush(Short.data(), Short.size()));
+  EXPECT_FALSE(Buf.tryPush(Short.data(), Short.size()));
+  EXPECT_EQ(Buf.size(), ClauseExportBuffer::Capacity);
+  EXPECT_EQ(Buf.dropped(), 1u);
+  EXPECT_EQ(Buf.litCount(0), 2u);
+  EXPECT_EQ(Buf.lits(0)[0], Short[0]);
+  Buf.clear();
+  EXPECT_EQ(Buf.size(), 0u);
+  EXPECT_EQ(Buf.dropped(), 0u);
+}
+
+TEST(Sat, PortfolioAgreesWithReferenceAndAttributesWinner) {
+  // A 4-lane race decides like a single solver and names a winner lane;
+  // lane diversification must not change verdicts.
+  sat::Portfolio::Options Opts;
+  Opts.Lanes = 4;
+  Opts.RoundConflicts = 16;
+  sat::Portfolio Port(Opts);
+  Var A = Port.newVar(), B = Port.newVar(), C = Port.newVar();
+  ASSERT_TRUE(Port.addClause({Lit(A), Lit(B)}));
+  ASSERT_TRUE(Port.addBinary(Lit(A, true), Lit(C)));
+  ASSERT_TRUE(Port.addBinary(Lit(B, true), Lit(C)));
+  ASSERT_EQ(Port.solveWith({}), Outcome::Sat);
+  EXPECT_TRUE(Port.value(C));
+  EXPECT_LT(Port.winnerLane(), 4u);
+  EXPECT_EQ(Port.stats().Solves, 1u);
+  EXPECT_EQ(Port.stats().WinsByLane[Port.winnerLane()], 1u);
+
+  // Under assumptions forcing ~C the race refutes and surfaces the core.
+  ASSERT_EQ(Port.solveWith({Lit(C, true), Lit(A)}), Outcome::Unsat);
+  EXPECT_FALSE(Port.unsatCore().empty());
+}
+
+TEST(Sat, PortfolioLaneConfigsAreDiverseAndDeterministic) {
+  // Lane 0 is the reference configuration; later lanes differ from it in
+  // at least one policy knob, and the mapping is stable.
+  Solver::Config Ref = sat::Portfolio::laneConfig(0);
+  EXPECT_EQ(Ref.VarDecay, Solver::Config().VarDecay);
+  EXPECT_EQ(Ref.RestartBase, Solver::Config().RestartBase);
+  EXPECT_EQ(Ref.Phase, Solver::Config().Phase);
+  for (unsigned I = 1; I < 4; ++I) {
+    Solver::Config C = sat::Portfolio::laneConfig(I);
+    EXPECT_NE(C.Seed, Ref.Seed);
+    EXPECT_TRUE(C.VarDecay != Ref.VarDecay ||
+                C.RestartBase != Ref.RestartBase || C.Phase != Ref.Phase);
+    Solver::Config Again = sat::Portfolio::laneConfig(I);
+    EXPECT_EQ(C.Seed, Again.Seed);
+    EXPECT_EQ(C.VarDecay, Again.VarDecay);
+    EXPECT_EQ(C.RestartBase, Again.RestartBase);
+  }
 }

@@ -19,6 +19,13 @@
 ///     -O                                     run dce/fold/vectorize first
 ///     --no-cascade                           skip the cascade rewrite
 ///     --no-shrink                            skip placement shrinking
+///     --sat-solver=scratch|incremental|portfolio
+///                                            shrink-search solver strategy
+///                                            (incremental)
+///     --sat-threads=N                        racing lanes in portfolio
+///                                            mode (4)
+///     --sat-proof=<file|->                   DRAT-style proof log of the
+///                                            placement SAT searches
 ///     --stats                                per-stage report on stderr
 ///     --stats-json=<file|->                  unified stats document
 ///     --trace=<file|->                       Chrome/Perfetto trace of the run
@@ -72,6 +79,8 @@
 /// compiles every program concurrently, one CompileSession per input:
 ///     --jobs=N                               worker threads (default: cores)
 ///     --out-dir=<dir>                        per-input artifacts land here (.)
+///     --schedule-from=<summary.json>         schedule by measured timings
+///                                            from a prior run's batch summary
 /// Each input <stem>.ret produces <out-dir>/<stem>.v (or .rasm), plus —
 /// when the corresponding flag is given — <stem>.stats.json,
 /// <stem>.remarks.txt, <stem>.remarks.jsonl, <stem>.trace.json,
@@ -158,6 +167,14 @@ void printUsage(std::FILE *Out, const char *Argv0) {
       "  -O                                     run dce/fold/vectorize first\n"
       "  --no-cascade                           skip the cascade rewrite\n"
       "  --no-shrink                            skip placement shrinking\n"
+      "  --sat-solver=scratch|incremental|portfolio\n"
+      "                                         shrink-search solver strategy "
+      "(incremental)\n"
+      "  --sat-threads=N                        racing lanes in portfolio "
+      "mode (4)\n"
+      "  --sat-proof=<file|->                   DRAT-style proof log of the "
+      "placement\n"
+      "                                         SAT searches\n"
       "  --disable-pass=<name>                  skip an optional pass "
       "(repeatable)\n"
       "  --print-before=<name>                  print the program before a "
@@ -204,6 +221,9 @@ void printUsage(std::FILE *Out, const char *Argv0) {
       "cores)\n"
       "  --out-dir=<dir>                        per-input artifacts land "
       "here (.)\n"
+      "  --schedule-from=<summary.json>         schedule by measured timings "
+      "from a\n"
+      "                                         prior run's batch summary\n"
       "\n"
       "other:\n"
       "  --dump-target                          print the UltraScale TDL\n"
@@ -285,6 +305,8 @@ struct DriverArgs {
   std::string FloorplanPath;
   std::string FloorplanTimelinePath;
   std::string OutDir = ".";
+  std::string SatProofPath;
+  std::string ScheduleFromPath;
   unsigned Jobs = 0;
   bool Stats = false;
   core::CompileOptions Options;
@@ -472,6 +494,13 @@ int runSingle(const DriverArgs &Args) {
     if (Status S = writeTextOutput(Args.FloorplanTimelinePath, Plan); !S)
       return usageError(S.error());
   }
+
+  // The proof log flushes with the other artifacts: DIMACS-notation learnt
+  // additions/deletions, one `c`-delimited section per placement solve.
+  if (!Args.SatProofPath.empty())
+    if (Status S = writeTextOutput(Args.SatProofPath, R.value().SatProof);
+        !S)
+      return usageError(S.error());
 
   if (Status S = FlushDiagnostics(); !S)
     return usageError(S.error());
@@ -803,6 +832,7 @@ int runBatch(const DriverArgs &Args) {
         {"--floorplan", &Args.FloorplanPath},
         {"--floorplan-timeline", &Args.FloorplanTimelinePath},
         {"--profile-folded", &Args.ProfileFoldedPath},
+        {"--sat-proof", &Args.SatProofPath},
         {"--print-before", &Args.Options.PrintBefore}})
     if (!Value->empty())
       return usageError(std::string(Flag) +
@@ -842,6 +872,19 @@ int runBatch(const DriverArgs &Args) {
   core::BatchOptions Batch;
   Batch.Options = Args.Options;
   Batch.Jobs = Args.Jobs;
+  // A prior run's summary turns the statement-count schedule heuristic
+  // into measured timings (see core::batchMeasuredCosts).
+  if (!Args.ScheduleFromPath.empty()) {
+    std::ifstream ScheduleIn(Args.ScheduleFromPath);
+    if (!ScheduleIn)
+      return usageError("cannot open '" + Args.ScheduleFromPath + "'");
+    std::stringstream ScheduleBuffer;
+    ScheduleBuffer << ScheduleIn.rdbuf();
+    Result<obs::Json> Summary = obs::Json::parse(ScheduleBuffer.str());
+    if (!Summary)
+      return usageError(Args.ScheduleFromPath + ": " + Summary.error());
+    Batch.MeasuredCostMs = core::batchMeasuredCosts(Summary.value());
+  }
   Batch.CaptureSnapshots = !Args.DumpDir.empty();
   Batch.EnableRemarks =
       !Args.RemarksPath.empty() || !Args.RemarksJsonPath.empty();
@@ -1073,6 +1116,33 @@ int main(int Argc, char **Argv) {
       Args.ProfileFoldedPath = Arg.substr(17);
       if (Args.ProfileFoldedPath.empty())
         return usageError("--profile-folded= requires a file path or '-'");
+    } else if (Arg.rfind("--sat-solver=", 0) == 0) {
+      std::string Value = Arg.substr(13);
+      if (Value == "scratch")
+        Args.Options.SatMode = place::SatMode::Scratch;
+      else if (Value == "incremental")
+        Args.Options.SatMode = place::SatMode::Incremental;
+      else if (Value == "portfolio")
+        Args.Options.SatMode = place::SatMode::Portfolio;
+      else
+        return usageError("unknown --sat-solver '" + Value +
+                          "' (valid: scratch, incremental, portfolio)");
+    } else if (Arg.rfind("--sat-threads=", 0) == 0) {
+      std::string Value = Arg.substr(14);
+      char *End = nullptr;
+      unsigned long Lanes = std::strtoul(Value.c_str(), &End, 10);
+      if (Value.empty() || *End != '\0' || Lanes == 0 || Lanes > 8)
+        return usageError("--sat-threads= requires a lane count from 1 to 8");
+      Args.Options.SatThreads = static_cast<unsigned>(Lanes);
+    } else if (Arg.rfind("--sat-proof=", 0) == 0) {
+      Args.SatProofPath = Arg.substr(12);
+      if (Args.SatProofPath.empty())
+        return usageError("--sat-proof= requires a file path or '-'");
+      Args.Options.SatProof = true;
+    } else if (Arg.rfind("--schedule-from=", 0) == 0) {
+      Args.ScheduleFromPath = Arg.substr(16);
+      if (Args.ScheduleFromPath.empty())
+        return usageError("--schedule-from= requires a summary file");
     } else if (Arg.rfind("--jobs=", 0) == 0) {
       std::string Value = Arg.substr(7);
       char *End = nullptr;
@@ -1150,6 +1220,7 @@ int main(int Argc, char **Argv) {
         {"--print-before", &Args.Options.PrintBefore},
         {"--coverage", &Args.CoveragePath},
         {"--profile-folded", &Args.ProfileFoldedPath},
+        {"--sat-proof", &Args.SatProofPath},
     };
     for (const auto &[Flag, Value] : PipelineOnly)
       if (!Value->empty())
@@ -1160,6 +1231,10 @@ int main(int Argc, char **Argv) {
       return usageError("--disable-pass requires a pipeline emit kind "
                         "(asm, placed, verilog)");
   }
+
+  if (!Args.ScheduleFromPath.empty() && Args.Inputs.size() <= 1)
+    return usageError("--schedule-from applies to batch mode "
+                      "(several inputs)");
 
   if (Args.RunTracePath.empty()) {
     if (Args.CyclesSet || Args.SimSet || !Args.VcdPath.empty() ||
@@ -1179,6 +1254,7 @@ int main(int Argc, char **Argv) {
         {"--dump-after-all", &Args.DumpDir},
         {"--floorplan", &Args.FloorplanPath},
         {"--floorplan-timeline", &Args.FloorplanTimelinePath},
+        {"--sat-proof", &Args.SatProofPath},
         {"--print-before", &Args.Options.PrintBefore},
     };
     for (const auto &[Flag, Value] : NotInRunMode)
